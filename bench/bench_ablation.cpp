@@ -1,0 +1,119 @@
+// Ablation study of the FakeDetector design choices called out in
+// DESIGN.md: GDU gate variants (§4.2 — forget gate, adjust gate, plain
+// fusion), HFLU feature families (§4.1 — explicit-only, latent-only), and
+// the diffusion depth K. Not a paper figure; it quantifies why the
+// published architecture looks the way it does.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "data/generator.h"
+#include "eval/report.h"
+
+namespace {
+
+struct Variant {
+  std::string name;
+  fkd::core::FakeDetectorConfig config;
+};
+
+std::vector<Variant> MakeVariants(const fkd::bench::BenchScale& scale) {
+  const fkd::core::FakeDetectorConfig base = fkd::bench::DetectorConfig(scale);
+  std::vector<Variant> variants;
+  variants.push_back({"full (paper)", base});
+
+  Variant no_forget{"no forget gate", base};
+  no_forget.config.gdu.disable_forget_gate = true;
+  variants.push_back(no_forget);
+
+  Variant no_adjust{"no adjust gate", base};
+  no_adjust.config.gdu.disable_adjust_gate = true;
+  variants.push_back(no_adjust);
+
+  Variant plain{"plain fusion unit", base};
+  plain.config.gdu.plain_unit = true;
+  variants.push_back(plain);
+
+  Variant explicit_only{"explicit features only", base};
+  explicit_only.config.hflu.use_latent = false;
+  variants.push_back(explicit_only);
+
+  Variant latent_only{"latent features only", base};
+  latent_only.config.hflu.use_explicit = false;
+  variants.push_back(latent_only);
+
+  Variant k1{"diffusion K=1", base};
+  k1.config.diffusion_steps = 1;
+  variants.push_back(k1);
+
+  Variant k3{"diffusion K=3", base};
+  k3.config.diffusion_steps = 3;
+  variants.push_back(k3);
+
+  return variants;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fkd::FlagParser flags;
+  flags.AddInt("articles", 400, "corpus size");
+  flags.AddInt("folds", 2, "CV folds to run (of 5)");
+  flags.AddDouble("theta", 0.8, "training sample ratio");
+  flags.AddInt("seed", 7, "random seed");
+  fkd::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return parsed.code() == fkd::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+
+  fkd::bench::BenchScale scale = fkd::bench::BenchScale::FromEnvironment();
+  scale.articles = flags.GetInt("articles");
+
+  auto dataset_result = fkd::data::GeneratePolitiFact(
+      fkd::data::GeneratorOptions::Scaled(scale.articles,
+                                          static_cast<uint64_t>(flags.GetInt("seed"))));
+  FKD_CHECK_OK(dataset_result.status());
+  const fkd::data::Dataset& dataset = dataset_result.value();
+  std::printf("FakeDetector ablations on %s (theta=%.2f, %lld folds)\n\n",
+              fkd::data::DescribeDataset(dataset).c_str(),
+              flags.GetDouble("theta"),
+              static_cast<long long>(flags.GetInt("folds")));
+
+  fkd::eval::ExperimentOptions options;
+  options.k_folds = 5;
+  options.folds_to_run = static_cast<size_t>(flags.GetInt("folds"));
+  options.sample_ratios = {flags.GetDouble("theta")};
+  options.granularity = fkd::eval::LabelGranularity::kBinary;
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  fkd::eval::ExperimentRunner runner(dataset, options);
+  const auto variants = MakeVariants(scale);
+  for (const auto& variant : variants) {
+    runner.RegisterMethod([config = variant.config] {
+      return std::make_unique<fkd::core::FakeDetector>(config);
+    });
+  }
+
+  fkd::WallTimer timer;
+  auto results = runner.Run();
+  FKD_CHECK_OK(results.status());
+
+  fkd::eval::TextTable table({"variant", "article acc", "article f1",
+                              "creator acc", "subject acc"});
+  for (size_t i = 0; i < variants.size(); ++i) {
+    const auto& cell = results.value()[i];
+    table.AddRow({variants[i].name,
+                  fkd::StrFormat("%.3f", cell.articles.accuracy),
+                  fkd::StrFormat("%.3f", cell.articles.f1),
+                  fkd::StrFormat("%.3f", cell.creators.accuracy),
+                  fkd::StrFormat("%.3f", cell.subjects.accuracy)});
+  }
+  std::printf("%s\nfinished in %.1fs\n", table.Render().c_str(),
+              timer.ElapsedSeconds());
+  return 0;
+}

@@ -1,0 +1,210 @@
+// Extension study beyond the paper's comparison set:
+//   (1) latent-encoder cell family in the HFLU (basic RNN vs GRU vs LSTM),
+//   (2) explicit-feature pipeline in the SVM baseline (counts vs TF-IDF,
+//       chi-square vs mutual-information selection),
+//   (3) walk bias: DeepWalk vs node2vec (p = 0.5, q = 2),
+// plus a McNemar significance check of FakeDetector vs the SVM baseline on
+// one held-out fold.
+
+#include <cstdio>
+
+#include "baselines/deepwalk.h"
+#include "baselines/gcn.h"
+#include "baselines/node2vec.h"
+#include "baselines/svm.h"
+#include "bench/bench_util.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "eval/report.h"
+#include "eval/significance.h"
+
+namespace {
+
+using fkd::eval::SweepResult;
+
+void PrintCells(const std::vector<std::string>& names,
+                const std::vector<SweepResult>& results) {
+  fkd::eval::TextTable table(
+      {"variant", "article acc", "article f1", "creator acc", "subject acc"});
+  for (size_t i = 0; i < names.size(); ++i) {
+    const auto& cell = results[i];
+    table.AddRow({names[i], fkd::StrFormat("%.3f", cell.articles.accuracy),
+                  fkd::StrFormat("%.3f", cell.articles.f1),
+                  fkd::StrFormat("%.3f", cell.creators.accuracy),
+                  fkd::StrFormat("%.3f", cell.subjects.accuracy)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fkd::FlagParser flags;
+  flags.AddInt("articles", 400, "corpus size");
+  flags.AddInt("folds", 2, "CV folds to run (of 5)");
+  flags.AddDouble("theta", 0.8, "training sample ratio");
+  flags.AddInt("seed", 7, "random seed");
+  fkd::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return parsed.code() == fkd::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+
+  auto dataset_result = fkd::data::GeneratePolitiFact(
+      fkd::data::GeneratorOptions::Scaled(
+          flags.GetInt("articles"), static_cast<uint64_t>(flags.GetInt("seed"))));
+  FKD_CHECK_OK(dataset_result.status());
+  const fkd::data::Dataset& dataset = dataset_result.value();
+  std::printf("Extension studies on %s (theta=%.2f)\n\n",
+              fkd::data::DescribeDataset(dataset).c_str(),
+              flags.GetDouble("theta"));
+
+  fkd::eval::ExperimentOptions options;
+  options.k_folds = 5;
+  options.folds_to_run = static_cast<size_t>(flags.GetInt("folds"));
+  options.sample_ratios = {flags.GetDouble("theta")};
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+
+  fkd::WallTimer timer;
+
+  // ---- (1) HFLU latent-encoder cell family --------------------------------
+  {
+    fkd::eval::ExperimentRunner runner(dataset, options);
+    std::vector<std::string> names;
+    for (const auto kind :
+         {fkd::nn::RnnCellKind::kBasic, fkd::nn::RnnCellKind::kGru,
+          fkd::nn::RnnCellKind::kLstm}) {
+      names.push_back(std::string("FakeDetector hflu=") +
+                      fkd::nn::RnnCellKindName(kind));
+      runner.RegisterMethod([kind] {
+        fkd::core::FakeDetectorConfig config;
+        config.epochs = 60;
+        config.hflu.cell = kind;
+        return std::make_unique<fkd::core::FakeDetector>(config);
+      });
+    }
+    auto results = runner.Run();
+    FKD_CHECK_OK(results.status());
+    std::printf("== (1) HFLU latent encoder cell (paper: GRU) ==\n");
+    PrintCells(names, results.value());
+  }
+
+  // ---- (2) SVM feature pipeline --------------------------------------------
+  {
+    fkd::eval::ExperimentRunner runner(dataset, options);
+    struct Pipe {
+      std::string name;
+      fkd::baselines::FeatureWeighting weighting;
+      fkd::baselines::FeatureSelector selector;
+    };
+    const std::vector<Pipe> pipes = {
+        {"svm counts+chi2 (paper)", fkd::baselines::FeatureWeighting::kCounts,
+         fkd::baselines::FeatureSelector::kChiSquare},
+        {"svm tfidf+chi2", fkd::baselines::FeatureWeighting::kTfIdf,
+         fkd::baselines::FeatureSelector::kChiSquare},
+        {"svm counts+mi", fkd::baselines::FeatureWeighting::kCounts,
+         fkd::baselines::FeatureSelector::kMutualInformation},
+        {"svm tfidf+mi", fkd::baselines::FeatureWeighting::kTfIdf,
+         fkd::baselines::FeatureSelector::kMutualInformation},
+    };
+    std::vector<std::string> names;
+    for (const auto& pipe : pipes) {
+      names.push_back(pipe.name);
+      runner.RegisterMethod([pipe] {
+        fkd::baselines::SvmClassifier::Options svm_options;
+        svm_options.weighting = pipe.weighting;
+        svm_options.selector = pipe.selector;
+        return std::make_unique<fkd::baselines::SvmClassifier>(svm_options);
+      });
+    }
+    auto results = runner.Run();
+    FKD_CHECK_OK(results.status());
+    std::printf("== (2) explicit-feature pipeline (SVM baseline) ==\n");
+    PrintCells(names, results.value());
+  }
+
+  // ---- (3) walk bias: DeepWalk vs node2vec ----------------------------------
+  {
+    fkd::eval::ExperimentRunner runner(dataset, options);
+    runner.RegisterMethod(
+        [] { return std::make_unique<fkd::baselines::DeepWalkClassifier>(); });
+    for (const auto [p, q] : {std::pair<double, double>{0.5, 2.0},
+                              std::pair<double, double>{2.0, 0.5}}) {
+      runner.RegisterMethod([p = p, q = q] {
+        fkd::baselines::Node2VecClassifier::Options n2v;
+        n2v.walks.return_p = p;
+        n2v.walks.inout_q = q;
+        return std::make_unique<fkd::baselines::Node2VecClassifier>(n2v);
+      });
+    }
+    auto results = runner.Run();
+    FKD_CHECK_OK(results.status());
+    std::printf("== (3) walk bias ==\n");
+    PrintCells({"deepwalk (p=q=1)", "node2vec p=.5 q=2 (local)",
+                "node2vec p=2 q=.5 (exploratory)"},
+               results.value());
+  }
+
+  // ---- (3b) GNN-era comparator: GCN vs FakeDetector --------------------------
+  {
+    fkd::eval::ExperimentRunner runner(dataset, options);
+    runner.RegisterMethod(
+        [] { return std::make_unique<fkd::core::FakeDetector>(); });
+    runner.RegisterMethod(
+        [] { return std::make_unique<fkd::baselines::GcnClassifier>(); });
+    auto results = runner.Run();
+    FKD_CHECK_OK(results.status());
+    std::printf("== (3b) GNN-era comparator ==\n");
+    PrintCells({"FakeDetector", "gcn (2-layer, shared head)"},
+               results.value());
+  }
+
+  // ---- (4) significance: FakeDetector vs svm on one fold --------------------
+  {
+    auto graph = dataset.BuildGraph().value();
+    fkd::Rng rng(options.seed);
+    auto splits = fkd::data::KFoldTriSplits(
+                      dataset.articles.size(), dataset.creators.size(),
+                      dataset.subjects.size(), 5, &rng)
+                      .value();
+    fkd::eval::TrainContext context;
+    context.dataset = &dataset;
+    context.graph = &graph;
+    context.train_articles = splits[0].articles.train;
+    context.train_creators = splits[0].creators.train;
+    context.train_subjects = splits[0].subjects.train;
+    context.seed = options.seed;
+
+    fkd::core::FakeDetector detector;
+    FKD_CHECK_OK(detector.Train(context));
+    fkd::baselines::SvmClassifier svm;
+    FKD_CHECK_OK(svm.Train(context));
+    const auto fd = detector.Predict().value();
+    const auto sv = svm.Predict().value();
+
+    std::vector<int32_t> actual;
+    std::vector<int32_t> fd_test;
+    std::vector<int32_t> svm_test;
+    for (int32_t id : splits[0].articles.test) {
+      actual.push_back(fkd::data::BiClassOf(dataset.articles[id].label));
+      fd_test.push_back(fd.articles[id]);
+      svm_test.push_back(sv.articles[id]);
+    }
+    const auto mcnemar =
+        fkd::eval::McNemarTest(actual, fd_test, svm_test).value();
+    std::printf(
+        "== (4) McNemar, FakeDetector vs svm, article test fold ==\n"
+        "only FakeDetector correct: %lld, only svm correct: %lld, "
+        "chi2 = %.3f, p = %.3f\n\n",
+        static_cast<long long>(mcnemar.only_a_correct),
+        static_cast<long long>(mcnemar.only_b_correct), mcnemar.statistic,
+        mcnemar.p_value);
+  }
+
+  std::printf("finished in %.1fs\n", timer.ElapsedSeconds());
+  return 0;
+}

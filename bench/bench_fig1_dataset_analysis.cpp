@@ -1,0 +1,163 @@
+// Reproduces the Figure 1 dataset-analysis panels:
+//   (a) creator-article power-law distribution (+ Zipf MLE exponent),
+//   (b)/(c) frequent words of true vs false articles,
+//   (d) true/false article counts of the top subjects,
+//   (e)/(f) 6-class histograms of the four persona creators.
+// Paper reference values are printed next to the measured ones.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "data/generator.h"
+#include "eval/report.h"
+#include "graph/stats.h"
+#include "text/features.h"
+
+namespace {
+
+using fkd::data::CredibilityLabel;
+using fkd::data::Dataset;
+
+void PanelA(const Dataset& dataset) {
+  std::printf("-- Fig 1(a): creator publishing power law --\n");
+  std::vector<size_t> counts(dataset.creators.size(), 0);
+  for (const auto& article : dataset.articles) ++counts[article.creator];
+  const auto summary = fkd::graph::SummarizeDegrees(counts);
+  const auto fit = fkd::graph::FitPowerLaw(counts, /*k_min=*/2);
+  std::printf("  mean articles/creator: %.2f (paper: 3.86)\n", summary.mean);
+  std::printf("  most prolific creator: %zu articles (paper: 599, Obama)\n",
+              summary.max);
+  std::printf("  power-law alpha (k>=2): %.2f\n", fit.alpha);
+  std::printf("  #articles -> fraction of creators:\n");
+  size_t shown = 0;
+  for (const auto& [degree, fraction] :
+       fkd::graph::DegreeFractionDistribution(counts)) {
+    if (shown++ >= 6) break;
+    std::printf("    %4zu  %.4f\n", degree, fraction);
+  }
+  std::printf("\n");
+}
+
+void PanelBC(const Dataset& dataset) {
+  fkd::text::ClassWordStats stats(2);
+  std::vector<std::string> texts;
+  for (const auto& article : dataset.articles) texts.push_back(article.text);
+  const auto documents = fkd::text::TokenizeDocuments(texts);
+  for (const auto& article : dataset.articles) {
+    stats.AddDocument(documents[article.id],
+                      fkd::data::BiClassOf(article.label));
+  }
+  std::printf(
+      "-- Fig 1(b): frequent words, TRUE articles "
+      "(paper: president, income, tax, american, ...) --\n  ");
+  for (const auto& [word, count] : stats.TopWordsForClass(1, 15)) {
+    std::printf("%s:%lld ", word.c_str(), static_cast<long long>(count));
+  }
+  std::printf(
+      "\n-- Fig 1(c): frequent words, FALSE articles "
+      "(paper: obama, republican, clinton, obamacare, gun, ...) --\n  ");
+  for (const auto& [word, count] : stats.TopWordsForClass(0, 15)) {
+    std::printf("%s:%lld ", word.c_str(), static_cast<long long>(count));
+  }
+  std::printf("\n\n");
+}
+
+void PanelD(const Dataset& dataset) {
+  std::printf(
+      "-- Fig 1(d): top-10 subjects, true vs false counts "
+      "(paper: health 46.5%% true, economy 63.2%% true) --\n");
+  std::vector<std::pair<int64_t, int64_t>> counts(dataset.subjects.size(),
+                                                  {0, 0});
+  for (const auto& article : dataset.articles) {
+    for (int32_t s : article.subjects) {
+      if (fkd::data::IsPositive(article.label)) {
+        ++counts[s].first;
+      } else {
+        ++counts[s].second;
+      }
+    }
+  }
+  std::vector<std::pair<int64_t, int32_t>> order;
+  for (const auto& subject : dataset.subjects) {
+    order.emplace_back(counts[subject.id].first + counts[subject.id].second,
+                       subject.id);
+  }
+  std::sort(order.rbegin(), order.rend());
+  fkd::eval::TextTable table({"subject", "true", "false", "% true"});
+  for (size_t i = 0; i < std::min<size_t>(10, order.size()); ++i) {
+    const int32_t id = order[i].second;
+    const auto [true_count, false_count] = counts[id];
+    const double total =
+        std::max<double>(1.0, static_cast<double>(true_count + false_count));
+    table.AddRow({dataset.subjects[id].name,
+                  fkd::StrFormat("%lld", static_cast<long long>(true_count)),
+                  fkd::StrFormat("%lld", static_cast<long long>(false_count)),
+                  fkd::StrFormat("%.1f", 100.0 * true_count / total)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+}
+
+void PanelEF(const Dataset& dataset) {
+  std::printf(
+      "-- Fig 1(e)/(f): persona creators "
+      "(paper: Trump ~69%% false; Pence 52:48; Obama >76%% true; "
+      "Clinton >73%% true) --\n");
+  for (const auto& name : fkd::data::PersonaNames()) {
+    const auto it = std::find_if(
+        dataset.creators.begin(), dataset.creators.end(),
+        [&](const fkd::data::Creator& c) { return c.name == name; });
+    if (it == dataset.creators.end()) continue;
+    std::vector<int64_t> histogram(fkd::data::kNumCredibilityClasses, 0);
+    int64_t total = 0;
+    int64_t true_count = 0;
+    for (const auto& article : dataset.articles) {
+      if (article.creator != it->id) continue;
+      ++histogram[fkd::data::MultiClassOf(article.label)];
+      ++total;
+      true_count += fkd::data::IsPositive(article.label);
+    }
+    std::printf("  %-16s %4lld articles, %4.1f%% true  [", name.c_str(),
+                static_cast<long long>(total),
+                100.0 * true_count / std::max<int64_t>(1, total));
+    for (size_t c = fkd::data::kNumCredibilityClasses; c-- > 0;) {
+      std::printf("%lld%s", static_cast<long long>(histogram[c]),
+                  c == 0 ? "" : " ");
+    }
+    std::printf("]  (True..PantsOnFire)\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fkd::FlagParser flags;
+  flags.AddInt("articles", 14055, "corpus size (14055 = paper scale)");
+  flags.AddInt("seed", 42, "random seed");
+  fkd::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return parsed.code() == fkd::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+
+  fkd::data::GeneratorOptions options;
+  if (static_cast<size_t>(flags.GetInt("articles")) != options.num_articles) {
+    options = fkd::data::GeneratorOptions::Scaled(
+        flags.GetInt("articles"), static_cast<uint64_t>(flags.GetInt("seed")));
+  } else {
+    options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  }
+  auto dataset_result = fkd::data::GeneratePolitiFact(options);
+  FKD_CHECK_OK(dataset_result.status());
+  const Dataset& dataset = dataset_result.value();
+
+  std::printf("Figure 1: PolitiFact dataset statistical analysis (%zu articles)\n\n",
+              dataset.articles.size());
+  PanelA(dataset);
+  PanelBC(dataset);
+  PanelD(dataset);
+  PanelEF(dataset);
+  return 0;
+}

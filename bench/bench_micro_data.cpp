@@ -1,0 +1,94 @@
+// Microbenchmarks of the data and text pipelines: corpus generation,
+// tokenization, chi-square word selection and bag-of-words featurization.
+
+#include <benchmark/benchmark.h>
+
+#include "data/generator.h"
+#include "text/features.h"
+#include "text/tokenizer.h"
+
+namespace fkd {
+namespace {
+
+void BM_GeneratePolitiFact(benchmark::State& state) {
+  const size_t articles = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto dataset =
+        data::GeneratePolitiFact(data::GeneratorOptions::Scaled(articles, 31));
+    benchmark::DoNotOptimize(dataset.value().articles.size());
+  }
+  state.SetItemsProcessed(state.iterations() * articles);
+}
+BENCHMARK(BM_GeneratePolitiFact)
+    ->Arg(1000)
+    ->Arg(14055)
+    ->Unit(benchmark::kMillisecond);
+
+struct CorpusFixture {
+  std::vector<std::string> texts;
+  std::vector<int32_t> labels;
+
+  explicit CorpusFixture(size_t articles) {
+    auto dataset = data::GeneratePolitiFact(
+                       data::GeneratorOptions::Scaled(articles, 32))
+                       .value();
+    for (const auto& article : dataset.articles) {
+      texts.push_back(article.text);
+      labels.push_back(data::BiClassOf(article.label));
+    }
+  }
+};
+
+void BM_TokenizeCorpus(benchmark::State& state) {
+  CorpusFixture corpus(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto docs = text::TokenizeDocuments(corpus.texts);
+    benchmark::DoNotOptimize(docs.size());
+  }
+  state.SetItemsProcessed(state.iterations() * corpus.texts.size());
+}
+BENCHMARK(BM_TokenizeCorpus)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_ChiSquareSelection(benchmark::State& state) {
+  CorpusFixture corpus(static_cast<size_t>(state.range(0)));
+  const auto docs = text::TokenizeDocuments(corpus.texts);
+  std::vector<int32_t> train_ids(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) train_ids[i] = static_cast<int32_t>(i);
+  for (auto _ : state) {
+    auto selected =
+        text::SelectChiSquareWordSet(docs, train_ids, corpus.labels, 2, 150);
+    benchmark::DoNotOptimize(selected.size());
+  }
+}
+BENCHMARK(BM_ChiSquareSelection)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_BowFeaturize(benchmark::State& state) {
+  CorpusFixture corpus(static_cast<size_t>(state.range(0)));
+  const auto docs = text::TokenizeDocuments(corpus.texts);
+  text::BowFeaturizer featurizer(text::BuildFrequencyVocabulary(docs, 150));
+  for (auto _ : state) {
+    Tensor features = featurizer.FeaturizeBatch(docs);
+    benchmark::DoNotOptimize(features.data());
+  }
+  state.SetItemsProcessed(state.iterations() * docs.size());
+}
+BENCHMARK(BM_BowFeaturize)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_VocabularyEncodePadded(benchmark::State& state) {
+  CorpusFixture corpus(2000);
+  const auto docs = text::TokenizeDocuments(corpus.texts);
+  const auto vocab = text::BuildFrequencyVocabulary(docs, 1000);
+  for (auto _ : state) {
+    size_t total = 0;
+    for (const auto& tokens : docs) {
+      total += vocab.EncodePadded(tokens, 24).size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_VocabularyEncodePadded);
+
+}  // namespace
+}  // namespace fkd
+
+BENCHMARK_MAIN();

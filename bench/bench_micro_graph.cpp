@@ -1,0 +1,108 @@
+// Microbenchmarks of the graph substrate: CSR construction, neighbour
+// queries, alias sampling, random walks, and label-propagation sweeps.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/label_propagation.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "graph/alias_table.h"
+#include "graph/random_walk.h"
+
+namespace fkd {
+namespace {
+
+data::Dataset DatasetOf(size_t articles) {
+  return data::GeneratePolitiFact(data::GeneratorOptions::Scaled(articles, 21))
+      .value();
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  const auto dataset = DatasetOf(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto graph = dataset.BuildGraph();
+    benchmark::DoNotOptimize(graph.value().TotalNodes());
+  }
+}
+BENCHMARK(BM_GraphBuild)->Arg(1000)->Arg(14055)->Unit(benchmark::kMillisecond);
+
+void BM_NeighborScan(benchmark::State& state) {
+  const auto dataset = DatasetOf(5000);
+  const auto graph = dataset.BuildGraph().value();
+  for (auto _ : state) {
+    size_t total = 0;
+    for (size_t a = 0; a < graph.NumNodes(graph::NodeType::kArticle); ++a) {
+      total += graph
+                   .ArticleNeighbors(graph::EdgeType::kSubjectIndication,
+                                     static_cast<int32_t>(a))
+                   .size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_NeighborScan);
+
+void BM_AliasTableSample(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> weights(static_cast<size_t>(state.range(0)));
+  for (auto& w : weights) w = rng.Uniform(0.1, 10.0);
+  graph::AliasTable table(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(&rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample)->Arg(1000)->Arg(100000);
+
+void BM_AliasTableBuild(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> weights(static_cast<size_t>(state.range(0)));
+  for (auto& w : weights) w = rng.Uniform(0.1, 10.0);
+  for (auto _ : state) {
+    graph::AliasTable table(weights);
+    benchmark::DoNotOptimize(table.size());
+  }
+}
+BENCHMARK(BM_AliasTableBuild)->Arg(1000)->Arg(100000);
+
+void BM_RandomWalks(benchmark::State& state) {
+  const auto dataset = DatasetOf(static_cast<size_t>(state.range(0)));
+  const auto graph = dataset.BuildGraph().value();
+  Rng rng(3);
+  graph::RandomWalkOptions options;
+  options.walks_per_node = 2;
+  options.walk_length = 20;
+  for (auto _ : state) {
+    auto walks = graph::GenerateRandomWalks(graph, options, &rng);
+    benchmark::DoNotOptimize(walks.size());
+  }
+}
+BENCHMARK(BM_RandomWalks)->Arg(1000)->Arg(5000)->Unit(benchmark::kMillisecond);
+
+void BM_LabelPropagationTrain(benchmark::State& state) {
+  auto dataset = DatasetOf(static_cast<size_t>(state.range(0)));
+  auto graph = dataset.BuildGraph().value();
+  Rng rng(4);
+  auto splits = data::KFoldTriSplits(dataset.articles.size(),
+                                     dataset.creators.size(),
+                                     dataset.subjects.size(), 5, &rng)
+                    .value();
+  eval::TrainContext context;
+  context.dataset = &dataset;
+  context.graph = &graph;
+  context.train_articles = splits[0].articles.train;
+  context.train_creators = splits[0].creators.train;
+  context.train_subjects = splits[0].subjects.train;
+  for (auto _ : state) {
+    baselines::LabelPropagation propagation;
+    benchmark::DoNotOptimize(propagation.Train(context).ok());
+  }
+}
+BENCHMARK(BM_LabelPropagationTrain)
+    ->Arg(1000)
+    ->Arg(14055)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fkd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Microbenchmarks of the model-layer building blocks: GRU step, GDU step,
+// HFLU forward, and one full FakeDetector training epoch.
+
+#include <benchmark/benchmark.h>
+
+#include "core/fake_detector.h"
+#include "core/gdu.h"
+#include "core/hflu.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "nn/layers.h"
+
+namespace fkd {
+namespace {
+
+namespace ag = ::fkd::autograd;
+
+void BM_GruCellStep(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  nn::GruCell cell(24, 32, &rng);
+  ag::Variable x(Tensor::Randn(batch, 24, &rng), false);
+  ag::Variable h = cell.InitialState(batch);
+  for (auto _ : state) {
+    ag::Variable next = cell.Step(x, h);
+    benchmark::DoNotOptimize(next.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_GruCellStep)->Arg(128)->Arg(1024)->Arg(4096);
+
+void BM_GduCellStep(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  core::GduCell cell(96, 48, &rng);
+  ag::Variable x(Tensor::Randn(batch, 96, &rng), false);
+  ag::Variable z(Tensor::Randn(batch, 48, &rng, 0.0f, 0.3f), false);
+  ag::Variable t(Tensor::Randn(batch, 48, &rng, 0.0f, 0.3f), false);
+  for (auto _ : state) {
+    ag::Variable h = cell.Step(x, z, t);
+    benchmark::DoNotOptimize(h.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_GduCellStep)->Arg(128)->Arg(1024)->Arg(4096);
+
+void BM_GduVsPlainUnit(benchmark::State& state) {
+  const bool plain = state.range(0) == 1;
+  Rng rng(3);
+  core::GduOptions options;
+  options.plain_unit = plain;
+  core::GduCell cell(96, 48, &rng, options);
+  ag::Variable x(Tensor::Randn(1024, 96, &rng), false);
+  ag::Variable z(Tensor::Randn(1024, 48, &rng, 0.0f, 0.3f), false);
+  ag::Variable t(Tensor::Randn(1024, 48, &rng, 0.0f, 0.3f), false);
+  for (auto _ : state) {
+    ag::Variable h = cell.Step(x, z, t);
+    benchmark::DoNotOptimize(h.value().data());
+  }
+  state.SetLabel(plain ? "plain" : "gated");
+}
+BENCHMARK(BM_GduVsPlainUnit)->Arg(0)->Arg(1);
+
+struct HfluFixture {
+  std::unique_ptr<core::Hflu> hflu;
+  core::HfluInput input;
+
+  explicit HfluFixture(size_t documents) {
+    auto dataset = data::GeneratePolitiFact(
+                       data::GeneratorOptions::Scaled(documents, 11))
+                       .value();
+    std::vector<std::string> texts;
+    for (const auto& article : dataset.articles) texts.push_back(article.text);
+    const auto docs = text::TokenizeDocuments(texts);
+    Rng rng(4);
+    core::HfluConfig config;
+    config.max_sequence_length = 16;
+    hflu = std::make_unique<core::Hflu>(
+        config, text::BuildFrequencyVocabulary(docs, 100),
+        text::BuildFrequencyVocabulary(docs, 500), &rng);
+    input = hflu->PrepareBatch(docs);
+  }
+};
+
+void BM_HfluForward(benchmark::State& state) {
+  HfluFixture fixture(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    ag::Variable features = fixture.hflu->Forward(fixture.input);
+    benchmark::DoNotOptimize(features.value().data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HfluForward)->Arg(200)->Arg(1000);
+
+void BM_FakeDetectorTrainEpoch(benchmark::State& state) {
+  const size_t articles = static_cast<size_t>(state.range(0));
+  auto dataset =
+      data::GeneratePolitiFact(data::GeneratorOptions::Scaled(articles, 12))
+          .value();
+  auto graph = dataset.BuildGraph().value();
+  Rng rng(5);
+  auto splits = data::KFoldTriSplits(dataset.articles.size(),
+                                     dataset.creators.size(),
+                                     dataset.subjects.size(), 5, &rng)
+                    .value();
+  eval::TrainContext context;
+  context.dataset = &dataset;
+  context.graph = &graph;
+  context.train_articles = splits[0].articles.train;
+  context.train_creators = splits[0].creators.train;
+  context.train_subjects = splits[0].subjects.train;
+  context.seed = 5;
+
+  // One epoch per iteration: the config trains a fresh single-epoch model,
+  // so the measured unit is "full forward + backward + step" at this size.
+  for (auto _ : state) {
+    core::FakeDetectorConfig config;
+    config.epochs = 1;
+    config.explicit_words = 80;
+    config.latent_vocabulary = 400;
+    config.hflu.max_sequence_length = 16;
+    config.hflu.gru_hidden = 24;
+    config.hflu.latent_dim = 16;
+    config.hflu.embed_dim = 16;
+    config.gdu_hidden = 32;
+    core::FakeDetector detector(config);
+    benchmark::DoNotOptimize(detector.Train(context).ok());
+  }
+}
+BENCHMARK(BM_FakeDetectorTrainEpoch)->Arg(200)->Arg(600)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace fkd
+
+BENCHMARK_MAIN();

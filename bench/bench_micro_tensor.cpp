@@ -1,0 +1,141 @@
+// Microbenchmarks of the tensor/autograd engine kernels that dominate
+// FakeDetector training time.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "tensor/tensor.h"
+
+namespace fkd {
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::Randn(n, n, &rng);
+  const Tensor b = Tensor::Randn(n, n, &rng);
+  Tensor c(n, n);
+  for (auto _ : state) {
+    Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransposedB(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  const Tensor a = Tensor::Randn(n, n, &rng);
+  const Tensor b = Tensor::Randn(n, n, &rng);
+  Tensor c(n, n);
+  for (auto _ : state) {
+    Gemm(false, true, 1.0f, a, b, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTransposedB)->Arg(64)->Arg(128);
+
+void BM_Sigmoid(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  const Tensor x = Tensor::Randn(n, n, &rng);
+  for (auto _ : state) {
+    Tensor y = Sigmoid(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Sigmoid)->Arg(64)->Arg(256);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(4);
+  const Tensor logits = Tensor::Randn(static_cast<size_t>(state.range(0)), 6, &rng);
+  for (auto _ : state) {
+    Tensor probs = SoftmaxRows(logits);
+    benchmark::DoNotOptimize(probs.data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(1000)->Arg(10000);
+
+void BM_AutogradMatMulForwardBackward(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  autograd::Variable a(Tensor::Randn(n, n, &rng), true);
+  autograd::Variable b(Tensor::Randn(n, n, &rng), true);
+  for (auto _ : state) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    autograd::Variable loss = autograd::SumSquares(autograd::MatMul(a, b));
+    autograd::Backward(loss);
+    benchmark::DoNotOptimize(a.grad().data());
+  }
+}
+BENCHMARK(BM_AutogradMatMulForwardBackward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GroupMeanRows(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  autograd::Variable h(Tensor::Randn(n, 48, &rng), false);
+  // ~3.5 members per group, like article-subject fan-in.
+  std::vector<std::vector<int32_t>> groups(n);
+  for (auto& group : groups) {
+    const size_t size = 1 + rng.UniformInt(5u);
+    for (size_t i = 0; i < size; ++i) {
+      group.push_back(static_cast<int32_t>(rng.UniformInt(n)));
+    }
+  }
+  for (auto _ : state) {
+    autograd::Variable out = autograd::GroupMeanRows(h, groups);
+    benchmark::DoNotOptimize(out.value().data());
+  }
+}
+BENCHMARK(BM_GroupMeanRows)->Arg(1000)->Arg(14055);
+
+void BM_SoftmaxCrossEntropy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  autograd::Variable logits(Tensor::Randn(n, 6, &rng), true);
+  std::vector<int32_t> labels(n);
+  for (auto& label : labels) label = static_cast<int32_t>(rng.UniformInt(6u));
+  for (auto _ : state) {
+    logits.ZeroGrad();
+    autograd::Variable loss = autograd::SoftmaxCrossEntropy(logits, labels);
+    autograd::Backward(loss);
+    benchmark::DoNotOptimize(loss.scalar());
+  }
+}
+BENCHMARK(BM_SoftmaxCrossEntropy)->Arg(1000)->Arg(14055);
+
+void BM_SparseVsDenseMatMul(benchmark::State& state) {
+  // BoW-like sparsity: 5000 x 150 explicit features, ~20 nonzeros per row.
+  const bool use_sparse = state.range(0) == 1;
+  Rng rng(8);
+  Tensor features(5000, 150);
+  for (size_t r = 0; r < features.rows(); ++r) {
+    for (int k = 0; k < 20; ++k) {
+      features.At(r, rng.UniformInt(150u)) += 1.0f;
+    }
+  }
+  const CsrMatrix sparse = CsrMatrix::FromDense(features);
+  const Tensor weights = Tensor::Randn(150, 48, &rng);
+  for (auto _ : state) {
+    if (use_sparse) {
+      Tensor out = sparse.MatMul(weights);
+      benchmark::DoNotOptimize(out.data());
+    } else {
+      Tensor out = MatMul(features, weights);
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+  state.SetLabel(use_sparse ? "sparse" : "dense");
+}
+BENCHMARK(BM_SparseVsDenseMatMul)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace fkd
+
+BENCHMARK_MAIN();

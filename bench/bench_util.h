@@ -1,0 +1,102 @@
+#ifndef FKD_BENCH_BENCH_UTIL_H_
+#define FKD_BENCH_BENCH_UTIL_H_
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "baselines/deepwalk.h"
+#include "baselines/label_propagation.h"
+#include "baselines/line.h"
+#include "baselines/rnn_classifier.h"
+#include "baselines/svm.h"
+#include "core/fake_detector.h"
+#include "eval/experiment.h"
+
+namespace fkd {
+namespace bench {
+
+/// Scale profile of a figure bench. Default runs finish in minutes on a
+/// laptop; `FKD_BENCH_SCALE=full` (or --full) reproduces the paper's
+/// protocol (14,055 articles, theta 0.1..1.0, 10-fold CV) and takes hours.
+struct BenchScale {
+  size_t articles = 400;
+  std::vector<double> sample_ratios = {0.1, 0.25, 0.5, 0.75, 1.0};
+  size_t k_folds = 5;
+  size_t folds_to_run = 2;
+  size_t detector_epochs = 80;
+  bool full = false;
+
+  static BenchScale FromEnvironment() {
+    BenchScale scale;
+    const char* env = std::getenv("FKD_BENCH_SCALE");
+    if (env != nullptr && std::string(env) == "full") scale = Full();
+    return scale;
+  }
+
+  static BenchScale Full() {
+    BenchScale scale;
+    scale.articles = 14055;
+    scale.sample_ratios = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+    scale.k_folds = 10;
+    scale.folds_to_run = 10;
+    scale.detector_epochs = 60;
+    scale.full = true;
+    return scale;
+  }
+};
+
+/// Bench-scale FakeDetector configuration: the library defaults (tuned on
+/// the synthetic corpus), with only the epoch count taken from the scale.
+inline core::FakeDetectorConfig DetectorConfig(const BenchScale& scale) {
+  core::FakeDetectorConfig config;
+  config.epochs = scale.detector_epochs;
+  return config;
+}
+
+/// Registers the paper's six methods (FakeDetector + five baselines) in
+/// figure-legend order.
+inline void RegisterAllMethods(eval::ExperimentRunner* runner,
+                               const BenchScale& scale) {
+  runner->RegisterMethod([scale] {
+    return std::make_unique<core::FakeDetector>(DetectorConfig(scale));
+  });
+  runner->RegisterMethod(
+      [] { return std::make_unique<baselines::LabelPropagation>(); });
+  runner->RegisterMethod([scale] {
+    baselines::DeepWalkClassifier::Options options;
+    if (!scale.full) {
+      options.walks.walks_per_node = 6;
+      options.walks.walk_length = 20;
+      options.skipgram.dim = 32;
+      options.skipgram.epochs = 2;
+    }
+    return std::make_unique<baselines::DeepWalkClassifier>(options);
+  });
+  runner->RegisterMethod([scale] {
+    baselines::LineClassifier::Options options;
+    if (!scale.full) {
+      options.line.dim = 32;
+      options.line.samples_per_edge = 15;
+    }
+    return std::make_unique<baselines::LineClassifier>(options);
+  });
+  runner->RegisterMethod(
+      [] { return std::make_unique<baselines::SvmClassifier>(); });
+  runner->RegisterMethod([scale] {
+    baselines::RnnClassifier::Options options;
+    if (!scale.full) {
+      options.epochs = 30;
+      options.vocabulary = 400;
+      options.max_sequence_length = 16;
+      options.hidden_dim = 24;
+      options.embed_dim = 16;
+    }
+    return std::make_unique<baselines::RnnClassifier>(options);
+  });
+}
+
+}  // namespace bench
+}  // namespace fkd
+
+#endif  // FKD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,86 @@
+// Compares FakeDetector against all five baselines of the paper on one
+// synthetic corpus at a fixed sample ratio, using the same experiment
+// harness the figure benches use.
+//
+//   ./baseline_comparison [--articles=500] [--theta=0.5] [--multi]
+
+#include <cstdio>
+
+#include "baselines/deepwalk.h"
+#include "baselines/label_propagation.h"
+#include "baselines/line.h"
+#include "baselines/rnn_classifier.h"
+#include "baselines/svm.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/fake_detector.h"
+#include "data/generator.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+int main(int argc, char** argv) {
+  fkd::FlagParser flags;
+  flags.AddInt("articles", 500, "synthetic corpus size");
+  flags.AddDouble("theta", 0.5, "training sample ratio");
+  flags.AddBool("multi", false, "6-class instead of bi-class");
+  flags.AddInt("seed", 42, "random seed");
+  fkd::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return parsed.code() == fkd::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+
+  auto dataset_result = fkd::data::GeneratePolitiFact(
+      fkd::data::GeneratorOptions::Scaled(
+          flags.GetInt("articles"), static_cast<uint64_t>(flags.GetInt("seed"))));
+  FKD_CHECK_OK(dataset_result.status());
+  const fkd::data::Dataset& dataset = dataset_result.value();
+  std::printf("dataset: %s\n\n", fkd::data::DescribeDataset(dataset).c_str());
+
+  fkd::eval::ExperimentOptions options;
+  options.k_folds = 5;
+  options.folds_to_run = 1;
+  options.sample_ratios = {flags.GetDouble("theta")};
+  options.granularity = flags.GetBool("multi")
+                            ? fkd::eval::LabelGranularity::kMulti
+                            : fkd::eval::LabelGranularity::kBinary;
+  options.verbose = true;
+
+  fkd::eval::ExperimentRunner runner(dataset, options);
+  runner.RegisterMethod([] {
+    fkd::core::FakeDetectorConfig config;
+    config.epochs = 40;
+    return std::make_unique<fkd::core::FakeDetector>(config);
+  });
+  runner.RegisterMethod(
+      [] { return std::make_unique<fkd::baselines::LabelPropagation>(); });
+  runner.RegisterMethod(
+      [] { return std::make_unique<fkd::baselines::DeepWalkClassifier>(); });
+  runner.RegisterMethod(
+      [] { return std::make_unique<fkd::baselines::LineClassifier>(); });
+  runner.RegisterMethod(
+      [] { return std::make_unique<fkd::baselines::SvmClassifier>(); });
+  runner.RegisterMethod(
+      [] { return std::make_unique<fkd::baselines::RnnClassifier>(); });
+
+  auto results = runner.Run();
+  FKD_CHECK_OK(results.status());
+
+  fkd::eval::TextTable table(
+      {"method", "entity", "accuracy", "precision", "recall", "f1"});
+  for (const auto& result : results.value()) {
+    const fkd::eval::MetricsRow* rows[3] = {&result.articles, &result.creators,
+                                            &result.subjects};
+    const char* names[3] = {"articles", "creators", "subjects"};
+    for (int i = 0; i < 3; ++i) {
+      table.AddRow({result.method, names[i],
+                    fkd::StrFormat("%.3f", rows[i]->accuracy),
+                    fkd::StrFormat("%.3f", rows[i]->precision),
+                    fkd::StrFormat("%.3f", rows[i]->recall),
+                    fkd::StrFormat("%.3f", rows[i]->f1)});
+    }
+  }
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Dataset analysis walk-through: regenerates the statistics of the paper's
+// Section 3 (Table 1 and Figure 1) from a synthetic PolitiFact corpus and
+// prints them. Run with --articles=14055 for the paper-scale corpus.
+//
+//   ./dataset_analysis [--articles=3000] [--seed=42] [--save_prefix=path]
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "graph/stats.h"
+#include "text/features.h"
+
+namespace {
+
+using fkd::data::CredibilityLabel;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fkd::FlagParser flags;
+  flags.AddInt("articles", 3000, "synthetic corpus size");
+  flags.AddInt("seed", 42, "random seed");
+  flags.AddString("save_prefix", "", "optional TSV output prefix");
+  fkd::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return parsed.code() == fkd::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+
+  auto options = fkd::data::GeneratorOptions::Scaled(
+      flags.GetInt("articles"), static_cast<uint64_t>(flags.GetInt("seed")));
+  auto dataset_result = fkd::data::GeneratePolitiFact(options);
+  FKD_CHECK_OK(dataset_result.status());
+  const fkd::data::Dataset& dataset = dataset_result.value();
+
+  // ---- Table 1: network properties ----------------------------------------
+  std::printf("== Table 1: properties of the heterogeneous network ==\n");
+  std::printf("  articles              %zu\n", dataset.articles.size());
+  std::printf("  creators              %zu\n", dataset.creators.size());
+  std::printf("  subjects              %zu\n", dataset.subjects.size());
+  std::printf("  creator-article links %zu\n", dataset.articles.size());
+  std::printf("  article-subject links %zu\n\n", dataset.NumSubjectLinks());
+
+  // ---- Fig 1(a): creator-article power law --------------------------------
+  std::vector<size_t> articles_per_creator(dataset.creators.size(), 0);
+  for (const auto& article : dataset.articles) {
+    ++articles_per_creator[article.creator];
+  }
+  const auto fit = fkd::graph::FitPowerLaw(articles_per_creator);
+  const auto summary = fkd::graph::SummarizeDegrees(articles_per_creator);
+  std::printf("== Fig 1(a): creator publishing distribution ==\n");
+  std::printf("  mean %.2f articles/creator, max %zu, power-law alpha %.2f\n",
+              summary.mean, summary.max, fit.alpha);
+  const auto fractions =
+      fkd::graph::DegreeFractionDistribution(articles_per_creator);
+  std::printf("  #articles -> fraction of creators (head of distribution):\n");
+  size_t shown = 0;
+  for (const auto& [degree, fraction] : fractions) {
+    if (shown++ >= 8) break;
+    std::printf("    %3zu -> %.4f\n", degree, fraction);
+  }
+  std::printf("\n");
+
+  // ---- Fig 1(b)/(c): frequent words by credibility ------------------------
+  fkd::text::ClassWordStats stats(2);
+  for (const auto& article : dataset.articles) {
+    stats.AddDocument(fkd::text::TokenizeDocuments({article.text})[0],
+                      fkd::data::BiClassOf(article.label));
+  }
+  std::printf("== Fig 1(b): frequent words in TRUE articles ==\n  ");
+  for (const auto& [word, count] : stats.TopWordsForClass(1, 12)) {
+    std::printf("%s(%lld) ", word.c_str(), static_cast<long long>(count));
+  }
+  std::printf("\n== Fig 1(c): frequent words in FALSE articles ==\n  ");
+  for (const auto& [word, count] : stats.TopWordsForClass(0, 12)) {
+    std::printf("%s(%lld) ", word.c_str(), static_cast<long long>(count));
+  }
+  std::printf("\n\n");
+
+  // ---- Fig 1(d): subject credibility distribution -------------------------
+  std::printf("== Fig 1(d): top subjects, true vs false article counts ==\n");
+  std::vector<std::pair<size_t, int32_t>> subject_sizes;
+  std::vector<std::pair<int64_t, int64_t>> subject_counts(
+      dataset.subjects.size(), {0, 0});
+  for (const auto& article : dataset.articles) {
+    for (int32_t s : article.subjects) {
+      if (fkd::data::IsPositive(article.label)) {
+        ++subject_counts[s].first;
+      } else {
+        ++subject_counts[s].second;
+      }
+    }
+  }
+  for (const auto& subject : dataset.subjects) {
+    subject_sizes.emplace_back(
+        subject_counts[subject.id].first + subject_counts[subject.id].second,
+        subject.id);
+  }
+  std::sort(subject_sizes.rbegin(), subject_sizes.rend());
+  for (size_t i = 0; i < std::min<size_t>(10, subject_sizes.size()); ++i) {
+    const int32_t id = subject_sizes[i].second;
+    const auto [true_count, false_count] = subject_counts[id];
+    std::printf("  %-12s true %5lld (%4.1f%%)  false %5lld (%4.1f%%)\n",
+                dataset.subjects[id].name.c_str(),
+                static_cast<long long>(true_count),
+                100.0 * true_count / std::max<int64_t>(1, true_count + false_count),
+                static_cast<long long>(false_count),
+                100.0 * false_count / std::max<int64_t>(1, true_count + false_count));
+  }
+  std::printf("\n");
+
+  // ---- Fig 1(e)/(f): persona case studies ---------------------------------
+  std::printf("== Fig 1(e)/(f): persona creators, 6-class histograms ==\n");
+  for (const auto& name : fkd::data::PersonaNames()) {
+    const auto it = std::find_if(
+        dataset.creators.begin(), dataset.creators.end(),
+        [&](const fkd::data::Creator& c) { return c.name == name; });
+    if (it == dataset.creators.end()) continue;
+    std::vector<int64_t> histogram(fkd::data::kNumCredibilityClasses, 0);
+    int64_t total = 0;
+    for (const auto& article : dataset.articles) {
+      if (article.creator == it->id) {
+        ++histogram[fkd::data::MultiClassOf(article.label)];
+        ++total;
+      }
+    }
+    std::printf("  %-16s (%4lld articles, derived label '%s'):\n",
+                name.c_str(), static_cast<long long>(total),
+                std::string(fkd::data::LabelName(it->label)).c_str());
+    for (size_t c = fkd::data::kNumCredibilityClasses; c-- > 0;) {
+      std::printf("    %-14s %4lld (%4.1f%%)\n",
+                  std::string(fkd::data::LabelName(
+                                  static_cast<CredibilityLabel>(c)))
+                      .c_str(),
+                  static_cast<long long>(histogram[c]),
+                  100.0 * histogram[c] / std::max<int64_t>(1, total));
+    }
+  }
+
+  const std::string save_prefix = flags.GetString("save_prefix");
+  if (!save_prefix.empty()) {
+    FKD_CHECK_OK(fkd::data::SaveDataset(dataset, save_prefix));
+    std::printf("\nsaved TSV tables with prefix %s\n", save_prefix.c_str());
+  }
+  return 0;
+}

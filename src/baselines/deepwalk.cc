@@ -1,0 +1,42 @@
+#include "baselines/deepwalk.h"
+
+#include "baselines/embedding_util.h"
+
+namespace fkd {
+namespace baselines {
+
+DeepWalkClassifier::DeepWalkClassifier() : DeepWalkClassifier(Options{}) {}
+
+DeepWalkClassifier::DeepWalkClassifier(Options options)
+    : options_(std::move(options)) {}
+
+Status DeepWalkClassifier::Train(const eval::TrainContext& context) {
+  if (trained_) return Status::FailedPrecondition("already trained");
+  if (context.graph == nullptr) {
+    return Status::InvalidArgument("TrainContext missing graph");
+  }
+  Rng rng(context.seed ^ 0xDEE9'0A1CULL);
+
+  const auto walks =
+      graph::GenerateRandomWalks(*context.graph, options_.walks, &rng);
+  SkipGramOptions skipgram = options_.skipgram;
+  skipgram.seed = context.seed + 1;
+  embeddings_ =
+      TrainSkipGram(walks, context.graph->TotalNodes(), skipgram, &rng);
+  NormalizeRows(&embeddings_);
+
+  SvmOptions svm = options_.svm;
+  svm.seed = context.seed + 2;
+  FKD_RETURN_NOT_OK(
+      ClassifyByEmbeddings(embeddings_, context, svm, &predictions_));
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<eval::Predictions> DeepWalkClassifier::Predict() {
+  if (!trained_) return Status::FailedPrecondition("Train() first");
+  return predictions_;
+}
+
+}  // namespace baselines
+}  // namespace fkd

@@ -1,0 +1,43 @@
+#ifndef FKD_BASELINES_DEEPWALK_H_
+#define FKD_BASELINES_DEEPWALK_H_
+
+#include "baselines/skipgram.h"
+#include "baselines/svm.h"
+#include "eval/classifier.h"
+#include "graph/random_walk.h"
+
+namespace fkd {
+namespace baselines {
+
+/// DeepWalk (Perozzi et al., KDD 2014) over the homogeneous view of the
+/// News-HSN: truncated random walks + skip-gram embeddings, then an SVM on
+/// the embeddings (§5.1.2). Structure-only — node texts are never read.
+class DeepWalkClassifier : public eval::CredibilityClassifier {
+ public:
+  struct Options {
+    graph::RandomWalkOptions walks;
+    SkipGramOptions skipgram;
+    SvmOptions svm;
+  };
+
+  DeepWalkClassifier();
+  explicit DeepWalkClassifier(Options options);
+
+  std::string Name() const override { return "deepwalk"; }
+  Status Train(const eval::TrainContext& context) override;
+  Result<eval::Predictions> Predict() override;
+
+  /// The learned node embeddings (valid after Train()).
+  const Tensor& embeddings() const { return embeddings_; }
+
+ private:
+  Options options_;
+  Tensor embeddings_;
+  eval::Predictions predictions_;
+  bool trained_ = false;
+};
+
+}  // namespace baselines
+}  // namespace fkd
+
+#endif  // FKD_BASELINES_DEEPWALK_H_

@@ -1,0 +1,100 @@
+#include "baselines/embedding_util.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fkd {
+namespace baselines {
+
+namespace {
+
+Status FitOneType(const Tensor& embeddings,
+                  const graph::HeterogeneousGraph& graph,
+                  graph::NodeType type, const std::vector<int32_t>& train_ids,
+                  const std::vector<int32_t>& targets, size_t num_classes,
+                  const SvmOptions& svm_options,
+                  std::vector<int32_t>* predictions) {
+  const size_t n = graph.NumNodes(type);
+  const size_t dim = embeddings.cols();
+
+  Tensor train_features(train_ids.size(), dim);
+  std::vector<int32_t> train_targets;
+  train_targets.reserve(train_ids.size());
+  for (size_t i = 0; i < train_ids.size(); ++i) {
+    const int32_t global = graph.GlobalId(type, train_ids[i]);
+    std::copy(embeddings.Row(global), embeddings.Row(global) + dim,
+              train_features.Row(i));
+    train_targets.push_back(targets[train_ids[i]]);
+  }
+
+  OneVsRestSvm svm(num_classes, svm_options);
+  FKD_RETURN_NOT_OK(svm.Train(train_features, train_targets));
+
+  predictions->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t global = graph.GlobalId(type, static_cast<int32_t>(i));
+    (*predictions)[i] = svm.Predict(embeddings.Row(global), dim);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void NormalizeRows(Tensor* embeddings) {
+  FKD_CHECK(embeddings != nullptr);
+  for (size_t r = 0; r < embeddings->rows(); ++r) {
+    float* row = embeddings->Row(r);
+    double norm_sq = 0.0;
+    for (size_t c = 0; c < embeddings->cols(); ++c) {
+      norm_sq += static_cast<double>(row[c]) * row[c];
+    }
+    if (norm_sq <= 0.0) continue;
+    const float inv = static_cast<float>(1.0 / std::sqrt(norm_sq));
+    for (size_t c = 0; c < embeddings->cols(); ++c) row[c] *= inv;
+  }
+}
+
+Status ClassifyByEmbeddings(const Tensor& embeddings,
+                            const eval::TrainContext& context,
+                            const SvmOptions& svm_options,
+                            eval::Predictions* predictions) {
+  FKD_CHECK(predictions != nullptr);
+  if (context.dataset == nullptr || context.graph == nullptr) {
+    return Status::InvalidArgument("TrainContext missing dataset or graph");
+  }
+  const data::Dataset& dataset = *context.dataset;
+  const graph::HeterogeneousGraph& graph = *context.graph;
+  if (embeddings.rows() != graph.TotalNodes()) {
+    return Status::InvalidArgument("embeddings row count != total nodes");
+  }
+  const size_t num_classes = eval::NumClasses(context.granularity);
+
+  std::vector<int32_t> targets(dataset.articles.size());
+  for (const auto& a : dataset.articles) {
+    targets[a.id] = eval::TargetOf(a.label, context.granularity);
+  }
+  FKD_RETURN_NOT_OK(FitOneType(embeddings, graph, graph::NodeType::kArticle,
+                               context.train_articles, targets, num_classes,
+                               svm_options, &predictions->articles));
+
+  targets.assign(dataset.creators.size(), 0);
+  for (const auto& c : dataset.creators) {
+    targets[c.id] = eval::TargetOf(c.label, context.granularity);
+  }
+  FKD_RETURN_NOT_OK(FitOneType(embeddings, graph, graph::NodeType::kCreator,
+                               context.train_creators, targets, num_classes,
+                               svm_options, &predictions->creators));
+
+  targets.assign(dataset.subjects.size(), 0);
+  for (const auto& s : dataset.subjects) {
+    targets[s.id] = eval::TargetOf(s.label, context.granularity);
+  }
+  FKD_RETURN_NOT_OK(FitOneType(embeddings, graph, graph::NodeType::kSubject,
+                               context.train_subjects, targets, num_classes,
+                               svm_options, &predictions->subjects));
+  return Status::OK();
+}
+
+}  // namespace baselines
+}  // namespace fkd

@@ -1,0 +1,30 @@
+#ifndef FKD_BASELINES_EMBEDDING_UTIL_H_
+#define FKD_BASELINES_EMBEDDING_UTIL_H_
+
+#include "baselines/svm.h"
+#include "eval/classifier.h"
+#include "tensor/tensor.h"
+
+namespace fkd {
+namespace baselines {
+
+/// Shared back end of the network-embedding baselines (DeepWalk, LINE):
+/// given embeddings for every node of the homogeneous view (row = global
+/// id), fits one one-vs-rest linear SVM per node type on the training
+/// nodes' embeddings and predicts every node — the paper: "based on the
+/// learned embedding results, we can further build a SVM model to
+/// determine the class labels".
+Status ClassifyByEmbeddings(const Tensor& embeddings,
+                            const eval::TrainContext& context,
+                            const SvmOptions& svm_options,
+                            eval::Predictions* predictions);
+
+/// L2-normalises every row in place (zero rows stay zero). Embedding
+/// methods call this before classification so SVM margins are
+/// scale-comparable.
+void NormalizeRows(Tensor* embeddings);
+
+}  // namespace baselines
+}  // namespace fkd
+
+#endif  // FKD_BASELINES_EMBEDDING_UTIL_H_

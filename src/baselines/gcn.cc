@@ -1,0 +1,180 @@
+#include "baselines/gcn.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "text/features.h"
+
+namespace fkd {
+namespace baselines {
+
+namespace ag = ::fkd::autograd;
+
+GcnClassifier::GcnClassifier() : GcnClassifier(Options{}) {}
+
+GcnClassifier::GcnClassifier(Options options) : options_(std::move(options)) {}
+
+namespace {
+
+std::vector<int32_t> ArgmaxRows(const Tensor& logits) {
+  std::vector<int32_t> out(logits.rows());
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    const float* row = logits.Row(r);
+    size_t best = 0;
+    for (size_t c = 1; c < logits.cols(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = static_cast<int32_t>(best);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status GcnClassifier::Train(const eval::TrainContext& context) {
+  if (trained_) return Status::FailedPrecondition("already trained");
+  if (context.dataset == nullptr || context.graph == nullptr) {
+    return Status::InvalidArgument("TrainContext missing dataset or graph");
+  }
+  if (options_.layers == 0) {
+    return Status::InvalidArgument("gcn needs at least one layer");
+  }
+  const data::Dataset& dataset = *context.dataset;
+  const graph::HeterogeneousGraph& graph = *context.graph;
+  const size_t num_classes = eval::NumClasses(context.granularity);
+  const size_t total = graph.TotalNodes();
+
+  // --- Node features: [type one-hot | shared-vocabulary BoW] ---------------
+  std::vector<std::string> texts(total);
+  for (const auto& a : dataset.articles) {
+    texts[graph.GlobalId(graph::NodeType::kArticle, a.id)] = a.text;
+  }
+  for (const auto& c : dataset.creators) {
+    texts[graph.GlobalId(graph::NodeType::kCreator, c.id)] = c.profile;
+  }
+  for (const auto& s : dataset.subjects) {
+    texts[graph.GlobalId(graph::NodeType::kSubject, s.id)] = s.description;
+  }
+  const auto documents = text::TokenizeDocuments(texts);
+  const text::Vocabulary vocabulary =
+      text::BuildFrequencyVocabulary(documents, options_.vocabulary);
+  text::BowFeaturizer featurizer(vocabulary);
+
+  const size_t feature_dim = graph::kNumNodeTypes + featurizer.dim();
+  Tensor features(total, feature_dim);
+  for (size_t node = 0; node < total; ++node) {
+    features.At(node, static_cast<size_t>(
+                          graph.TypeOfGlobal(static_cast<int32_t>(node)))) =
+        1.0f;
+    const auto bow = featurizer.Featurize(documents[node]);
+    std::copy(bow.begin(), bow.end(),
+              features.Row(node) + graph::kNumNodeTypes);
+  }
+  const ag::Variable x(features, /*requires_grad=*/false, "gcn/features");
+
+  // Mean-aggregation neighbourhoods of the homogeneous view.
+  std::vector<std::vector<int32_t>> neighborhoods(total);
+  for (size_t node = 0; node < total; ++node) {
+    const auto neighbors = graph.GlobalNeighbors(static_cast<int32_t>(node));
+    neighborhoods[node].assign(neighbors.begin(), neighbors.end());
+  }
+
+  // --- Model -----------------------------------------------------------------
+  Rng rng(context.seed ^ 0x6C4ULL);
+  std::vector<nn::Linear> layer_maps;
+  size_t in_dim = feature_dim;
+  for (size_t layer = 0; layer < options_.layers; ++layer) {
+    // Each layer consumes [self, mean-neighbour] concatenation.
+    layer_maps.emplace_back(2 * in_dim, options_.hidden_dim, &rng);
+    in_dim = options_.hidden_dim;
+  }
+  nn::Linear head(options_.hidden_dim, num_classes, &rng);
+
+  std::vector<ag::Variable> parameters;
+  {
+    std::vector<nn::NamedParameter> named;
+    for (size_t layer = 0; layer < layer_maps.size(); ++layer) {
+      layer_maps[layer].CollectParameters(StrFormat("gcn/layer%zu", layer),
+                                          &named);
+    }
+    head.CollectParameters("gcn/head", &named);
+    for (auto& p : named) parameters.push_back(p.variable);
+  }
+  nn::Adam optimizer(parameters, options_.learning_rate);
+
+  auto forward = [&]() {
+    ag::Variable h = x;
+    for (const auto& layer : layer_maps) {
+      const ag::Variable aggregated = ag::GroupMeanRows(h, neighborhoods);
+      h = ag::Relu(layer.Forward(ag::ConcatCols({h, aggregated})));
+    }
+    return head.Forward(h);
+  };
+
+  // --- Joint training set across node types ----------------------------------
+  std::vector<int32_t> train_rows;
+  std::vector<int32_t> train_targets;
+  for (int32_t id : context.train_articles) {
+    train_rows.push_back(graph.GlobalId(graph::NodeType::kArticle, id));
+    train_targets.push_back(context.ArticleTarget(id));
+  }
+  for (int32_t id : context.train_creators) {
+    train_rows.push_back(graph.GlobalId(graph::NodeType::kCreator, id));
+    train_targets.push_back(context.CreatorTarget(id));
+  }
+  for (int32_t id : context.train_subjects) {
+    train_rows.push_back(graph.GlobalId(graph::NodeType::kSubject, id));
+    train_targets.push_back(context.SubjectTarget(id));
+  }
+  if (train_rows.empty()) {
+    return Status::InvalidArgument("gcn needs training labels");
+  }
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    std::vector<ag::Variable> loss_terms;
+    loss_terms.push_back(ag::SoftmaxCrossEntropy(
+        ag::GatherRows(forward(), train_rows), train_targets));
+    if (options_.l2_weight > 0.0f) {
+      std::vector<ag::Variable> penalties;
+      for (const auto& p : parameters) penalties.push_back(ag::SumSquares(p));
+      loss_terms.push_back(ag::Scale(ag::AddN(penalties), options_.l2_weight));
+    }
+    const ag::Variable loss = ag::AddN(loss_terms);
+    ag::Backward(loss);
+    nn::ClipGradNorm(parameters, options_.grad_clip);
+    optimizer.Step();
+    final_loss_ = loss.scalar();
+  }
+
+  const Tensor logits = forward().value();
+  const auto all = ArgmaxRows(logits);
+  predictions_.articles.resize(dataset.articles.size());
+  predictions_.creators.resize(dataset.creators.size());
+  predictions_.subjects.resize(dataset.subjects.size());
+  for (const auto& a : dataset.articles) {
+    predictions_.articles[a.id] =
+        all[graph.GlobalId(graph::NodeType::kArticle, a.id)];
+  }
+  for (const auto& c : dataset.creators) {
+    predictions_.creators[c.id] =
+        all[graph.GlobalId(graph::NodeType::kCreator, c.id)];
+  }
+  for (const auto& s : dataset.subjects) {
+    predictions_.subjects[s.id] =
+        all[graph.GlobalId(graph::NodeType::kSubject, s.id)];
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<eval::Predictions> GcnClassifier::Predict() {
+  if (!trained_) return Status::FailedPrecondition("Train() first");
+  return predictions_;
+}
+
+}  // namespace baselines
+}  // namespace fkd

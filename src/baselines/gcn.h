@@ -1,0 +1,50 @@
+#ifndef FKD_BASELINES_GCN_H_
+#define FKD_BASELINES_GCN_H_
+
+#include "eval/classifier.h"
+
+namespace fkd {
+namespace baselines {
+
+/// Graph convolutional network (Kipf & Welling 2017) over the homogeneous
+/// view of the News-HSN — an extension baseline from the GNN generation
+/// that followed the paper. Node features are a type one-hot concatenated
+/// with bag-of-words counts over a shared frequency vocabulary; each layer
+/// computes ReLU([X, mean-neighbour-agg(X)] W); a shared softmax head
+/// classifies all nodes, trained on the union of the three labelled sets.
+///
+/// Differences from FakeDetector it is designed to probe: no per-type
+/// parameters, no gating, no latent sequence features.
+class GcnClassifier : public eval::CredibilityClassifier {
+ public:
+  struct Options {
+    size_t vocabulary = 300;
+    size_t hidden_dim = 48;
+    size_t layers = 2;
+    size_t epochs = 120;
+    float learning_rate = 0.01f;
+    float l2_weight = 5e-4f;
+    float grad_clip = 5.0f;
+  };
+
+  GcnClassifier();
+  explicit GcnClassifier(Options options);
+
+  std::string Name() const override { return "gcn"; }
+  Status Train(const eval::TrainContext& context) override;
+  Result<eval::Predictions> Predict() override;
+
+  /// Final training loss (diagnostics; valid after Train()).
+  float final_loss() const { return final_loss_; }
+
+ private:
+  Options options_;
+  eval::Predictions predictions_;
+  float final_loss_ = 0.0f;
+  bool trained_ = false;
+};
+
+}  // namespace baselines
+}  // namespace fkd
+
+#endif  // FKD_BASELINES_GCN_H_

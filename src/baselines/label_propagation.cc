@@ -1,0 +1,193 @@
+#include "baselines/label_propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fkd {
+namespace baselines {
+
+namespace {
+
+/// Score of a training node in the propagation space: the paper's numeric
+/// credibility (1..6) for multi-class, the bi-class indicator for binary.
+double ScoreOf(data::CredibilityLabel label,
+               eval::LabelGranularity granularity) {
+  return granularity == eval::LabelGranularity::kBinary
+             ? static_cast<double>(data::BiClassOf(label))
+             : static_cast<double>(data::NumericScore(label));
+}
+
+/// Rounds a propagated score back to a class id.
+int32_t ClassOfScore(double score, eval::LabelGranularity granularity) {
+  if (granularity == eval::LabelGranularity::kBinary) {
+    return score >= 0.5 ? 1 : 0;
+  }
+  return data::MultiClassOf(data::LabelFromScore(score));
+}
+
+}  // namespace
+
+LabelPropagation::LabelPropagation() : LabelPropagation(Options{}) {}
+
+LabelPropagation::LabelPropagation(Options options)
+    : options_(std::move(options)) {}
+
+Status LabelPropagation::Train(const eval::TrainContext& context) {
+  if (trained_) return Status::FailedPrecondition("already trained");
+  if (context.dataset == nullptr || context.graph == nullptr) {
+    return Status::InvalidArgument("TrainContext missing dataset or graph");
+  }
+  const data::Dataset& dataset = *context.dataset;
+  const graph::HeterogeneousGraph& graph = *context.graph;
+
+  const size_t num_articles = dataset.articles.size();
+  const size_t num_creators = dataset.creators.size();
+  const size_t num_subjects = dataset.subjects.size();
+
+  // Clamped known scores and the global mean for unlabelled initialisation.
+  std::vector<double> article_clamp(num_articles, -1.0);
+  std::vector<double> creator_clamp(num_creators, -1.0);
+  std::vector<double> subject_clamp(num_subjects, -1.0);
+  double known_total = 0.0;
+  size_t known_count = 0;
+  for (int32_t id : context.train_articles) {
+    article_clamp[id] = ScoreOf(dataset.articles[id].label, context.granularity);
+    known_total += article_clamp[id];
+    ++known_count;
+  }
+  for (int32_t id : context.train_creators) {
+    creator_clamp[id] = ScoreOf(dataset.creators[id].label, context.granularity);
+    known_total += creator_clamp[id];
+    ++known_count;
+  }
+  for (int32_t id : context.train_subjects) {
+    subject_clamp[id] = ScoreOf(dataset.subjects[id].label, context.granularity);
+    known_total += subject_clamp[id];
+    ++known_count;
+  }
+  if (known_count == 0) {
+    return Status::InvalidArgument("label propagation needs training labels");
+  }
+  const double mean_score = known_total / static_cast<double>(known_count);
+
+  std::vector<double> articles(num_articles, mean_score);
+  std::vector<double> creators(num_creators, mean_score);
+  std::vector<double> subjects(num_subjects, mean_score);
+  auto clamp_all = [&]() {
+    for (size_t i = 0; i < num_articles; ++i) {
+      if (article_clamp[i] >= 0.0) articles[i] = article_clamp[i];
+    }
+    for (size_t i = 0; i < num_creators; ++i) {
+      if (creator_clamp[i] >= 0.0) creators[i] = creator_clamp[i];
+    }
+    for (size_t i = 0; i < num_subjects; ++i) {
+      if (subject_clamp[i] >= 0.0) subjects[i] = subject_clamp[i];
+    }
+  };
+  clamp_all();
+
+  const double w_author = options_.authorship_weight;
+  const double w_subject = options_.subject_weight;
+
+  iterations_run_ = 0;
+  for (size_t iteration = 0; iteration < options_.max_iterations;
+       ++iteration) {
+    ++iterations_run_;
+    double max_delta = 0.0;
+
+    // Articles: typed-weighted mean of creator and subject neighbours.
+    // Clamped (labelled) nodes are never updated, so max_delta measures
+    // only the free nodes and convergence is well defined.
+    std::vector<double> next_articles = articles;
+    for (size_t a = 0; a < num_articles; ++a) {
+      if (article_clamp[a] >= 0.0) continue;
+      const auto creators_of =
+          graph.ArticleNeighbors(graph::EdgeType::kAuthorship,
+                                 static_cast<int32_t>(a));
+      const auto subjects_of =
+          graph.ArticleNeighbors(graph::EdgeType::kSubjectIndication,
+                                 static_cast<int32_t>(a));
+      double total = 0.0;
+      double weight = 0.0;
+      if (!creators_of.empty()) {
+        double sum = 0.0;
+        for (int32_t u : creators_of) sum += creators[u];
+        total += w_author * sum / static_cast<double>(creators_of.size());
+        weight += w_author;
+      }
+      if (!subjects_of.empty()) {
+        double sum = 0.0;
+        for (int32_t s : subjects_of) sum += subjects[s];
+        total += w_subject * sum / static_cast<double>(subjects_of.size());
+        weight += w_subject;
+      }
+      if (weight > 0.0) next_articles[a] = total / weight;
+    }
+
+    // Gauss-Seidel sweep: commit the article update first so creators and
+    // subjects read the *new* article scores. Pure Jacobi oscillates with
+    // period two on this bipartite-like structure and never converges.
+    for (size_t i = 0; i < num_articles; ++i) {
+      max_delta = std::max(max_delta, std::fabs(next_articles[i] - articles[i]));
+    }
+    articles = std::move(next_articles);
+
+    std::vector<double> next_creators = creators;
+    for (size_t u = 0; u < num_creators; ++u) {
+      if (creator_clamp[u] >= 0.0) continue;
+      const auto articles_of = graph.ReverseNeighbors(
+          graph::EdgeType::kAuthorship, static_cast<int32_t>(u));
+      if (articles_of.empty()) continue;
+      double sum = 0.0;
+      for (int32_t a : articles_of) sum += articles[a];
+      next_creators[u] = sum / static_cast<double>(articles_of.size());
+    }
+    std::vector<double> next_subjects = subjects;
+    for (size_t s = 0; s < num_subjects; ++s) {
+      if (subject_clamp[s] >= 0.0) continue;
+      const auto articles_of = graph.ReverseNeighbors(
+          graph::EdgeType::kSubjectIndication, static_cast<int32_t>(s));
+      if (articles_of.empty()) continue;
+      double sum = 0.0;
+      for (int32_t a : articles_of) sum += articles[a];
+      next_subjects[s] = sum / static_cast<double>(articles_of.size());
+    }
+
+    for (size_t i = 0; i < num_creators; ++i) {
+      max_delta = std::max(max_delta, std::fabs(next_creators[i] - creators[i]));
+    }
+    for (size_t i = 0; i < num_subjects; ++i) {
+      max_delta = std::max(max_delta, std::fabs(next_subjects[i] - subjects[i]));
+    }
+
+    creators = std::move(next_creators);
+    subjects = std::move(next_subjects);
+
+    if (max_delta < options_.tolerance) break;
+  }
+
+  predictions_.articles.resize(num_articles);
+  predictions_.creators.resize(num_creators);
+  predictions_.subjects.resize(num_subjects);
+  for (size_t i = 0; i < num_articles; ++i) {
+    predictions_.articles[i] = ClassOfScore(articles[i], context.granularity);
+  }
+  for (size_t i = 0; i < num_creators; ++i) {
+    predictions_.creators[i] = ClassOfScore(creators[i], context.granularity);
+  }
+  for (size_t i = 0; i < num_subjects; ++i) {
+    predictions_.subjects[i] = ClassOfScore(subjects[i], context.granularity);
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<eval::Predictions> LabelPropagation::Predict() {
+  if (!trained_) return Status::FailedPrecondition("Train() first");
+  return predictions_;
+}
+
+}  // namespace baselines
+}  // namespace fkd

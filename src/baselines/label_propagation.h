@@ -1,0 +1,46 @@
+#ifndef FKD_BASELINES_LABEL_PROPAGATION_H_
+#define FKD_BASELINES_LABEL_PROPAGATION_H_
+
+#include "eval/classifier.h"
+
+namespace fkd {
+namespace baselines {
+
+/// The paper's "Propagation" / "lp" baseline [29]: numeric credibility
+/// scores propagate over the heterogeneous network with per-link-type
+/// weights; labelled training nodes stay clamped to their known scores and
+/// the final scores are rounded back to class labels (§5.1.2: "the
+/// prediction score will be rounded and cast into labels").
+class LabelPropagation : public eval::CredibilityClassifier {
+ public:
+  struct Options {
+    size_t max_iterations = 300;
+    /// Scores are rounded to labels at the end, so convergence far below
+    /// half a label step is unnecessary.
+    double tolerance = 1e-4;
+    /// Relative influence of the two link types during propagation.
+    double authorship_weight = 1.0;
+    double subject_weight = 1.0;
+  };
+
+  LabelPropagation();
+  explicit LabelPropagation(Options options);
+
+  std::string Name() const override { return "lp"; }
+  Status Train(const eval::TrainContext& context) override;
+  Result<eval::Predictions> Predict() override;
+
+  /// Iterations until convergence in the last Train() (diagnostics).
+  size_t iterations_run() const { return iterations_run_; }
+
+ private:
+  Options options_;
+  eval::Predictions predictions_;
+  size_t iterations_run_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace baselines
+}  // namespace fkd
+
+#endif  // FKD_BASELINES_LABEL_PROPAGATION_H_

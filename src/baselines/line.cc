@@ -1,0 +1,139 @@
+#include "baselines/line.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/embedding_util.h"
+#include "common/logging.h"
+#include "graph/alias_table.h"
+
+namespace fkd {
+namespace baselines {
+
+namespace {
+
+inline double StableSigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+/// One SGD phase of LINE. For first-order proximity the "context" table is
+/// the vertex table itself (symmetric objective); for second-order it is a
+/// separate context table.
+void RunPhase(const std::vector<std::pair<int32_t, int32_t>>& edges,
+              const graph::AliasTable& edge_sampler,
+              const graph::AliasTable& noise, Tensor* vertex, Tensor* context,
+              const LineOptions& options, Rng* rng) {
+  const size_t dim = vertex->cols();
+  const size_t total_samples = options.samples_per_edge * edges.size();
+  std::vector<float> gradient(dim);
+
+  for (size_t sample = 0; sample < total_samples; ++sample) {
+    const double progress =
+        static_cast<double>(sample) / static_cast<double>(total_samples);
+    const double lr =
+        std::max(options.min_learning_rate,
+                 options.learning_rate * (1.0 - progress));
+
+    const auto& [source, target] = edges[edge_sampler.Sample(rng)];
+    float* v_source = vertex->Row(source);
+    std::fill(gradient.begin(), gradient.end(), 0.0f);
+
+    for (size_t k = 0; k <= options.negatives; ++k) {
+      int32_t other;
+      double label;
+      if (k == 0) {
+        other = target;
+        label = 1.0;
+      } else {
+        other = static_cast<int32_t>(noise.Sample(rng));
+        if (other == target || other == source) continue;
+        label = 0.0;
+      }
+      float* v_other = context->Row(other);
+      double dot = 0.0;
+      for (size_t j = 0; j < dim; ++j) dot += v_source[j] * v_other[j];
+      const double g = (label - StableSigmoid(dot)) * lr;
+      for (size_t j = 0; j < dim; ++j) {
+        gradient[j] += static_cast<float>(g) * v_other[j];
+        v_other[j] += static_cast<float>(g) * v_source[j];
+      }
+    }
+    for (size_t j = 0; j < dim; ++j) v_source[j] += gradient[j];
+  }
+}
+
+}  // namespace
+
+Tensor TrainLine(const graph::HeterogeneousGraph& graph,
+                 const LineOptions& options, Rng* rng) {
+  FKD_CHECK(rng != nullptr);
+  FKD_CHECK(graph.finalized());
+  FKD_CHECK_GE(options.dim, 2u);
+  const size_t n = graph.TotalNodes();
+  const size_t half = options.dim / 2;
+
+  const auto& edges = graph.GlobalEdges();
+  Tensor result(n, 2 * half);
+  if (edges.empty()) return result;
+
+  // Uniform edge weights (the News-HSN is unweighted) and degree^0.75
+  // noise, as in the LINE paper.
+  graph::AliasTable edge_sampler(std::vector<double>(edges.size(), 1.0));
+  std::vector<double> degrees(n, 0.0);
+  for (const auto& [source, target] : edges) {
+    (void)target;
+    degrees[source] += 1.0;
+  }
+  for (double& d : degrees) d = std::pow(std::max(d, 1e-9), 0.75);
+  graph::AliasTable noise(degrees);
+
+  // First order: symmetric vertex-vertex objective.
+  Tensor first = Tensor::Rand(n, half, rng, -0.5f / half, 0.5f / half);
+  RunPhase(edges, edge_sampler, noise, &first, &first, options, rng);
+
+  // Second order: vertex-context objective.
+  Tensor second = Tensor::Rand(n, half, rng, -0.5f / half, 0.5f / half);
+  Tensor context(n, half);
+  RunPhase(edges, edge_sampler, noise, &second, &context, options, rng);
+
+  NormalizeRows(&first);
+  NormalizeRows(&second);
+  for (size_t r = 0; r < n; ++r) {
+    std::copy(first.Row(r), first.Row(r) + half, result.Row(r));
+    std::copy(second.Row(r), second.Row(r) + half, result.Row(r) + half);
+  }
+  return result;
+}
+
+LineClassifier::LineClassifier() : LineClassifier(Options{}) {}
+
+LineClassifier::LineClassifier(Options options) : options_(std::move(options)) {}
+
+Status LineClassifier::Train(const eval::TrainContext& context) {
+  if (trained_) return Status::FailedPrecondition("already trained");
+  if (context.graph == nullptr) {
+    return Status::InvalidArgument("TrainContext missing graph");
+  }
+  Rng rng(context.seed ^ 0x11E'ED6EULL);
+  embeddings_ = TrainLine(*context.graph, options_.line, &rng);
+
+  SvmOptions svm = options_.svm;
+  svm.seed = context.seed + 3;
+  FKD_RETURN_NOT_OK(
+      ClassifyByEmbeddings(embeddings_, context, svm, &predictions_));
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<eval::Predictions> LineClassifier::Predict() {
+  if (!trained_) return Status::FailedPrecondition("Train() first");
+  return predictions_;
+}
+
+}  // namespace baselines
+}  // namespace fkd

@@ -1,0 +1,59 @@
+#ifndef FKD_BASELINES_LINE_H_
+#define FKD_BASELINES_LINE_H_
+
+#include "baselines/svm.h"
+#include "common/rng.h"
+#include "eval/classifier.h"
+#include "graph/hetero_graph.h"
+#include "tensor/tensor.h"
+
+namespace fkd {
+namespace baselines {
+
+/// Hyper-parameters of the LINE embedding trainer.
+struct LineOptions {
+  /// Total embedding width; split evenly between the first-order and
+  /// second-order components (Tang et al. concatenate both).
+  size_t dim = 64;
+  size_t negatives = 5;
+  double learning_rate = 0.025;
+  double min_learning_rate = 0.0001;
+  /// Edge samples drawn per direction-edge of the graph.
+  size_t samples_per_edge = 20;
+};
+
+/// Trains LINE embeddings (first-order + second-order proximity, alias-
+/// method edge sampling, negative sampling) over the homogeneous view.
+/// Returns [total_nodes x dim] with rows L2-normalised per half.
+Tensor TrainLine(const graph::HeterogeneousGraph& graph,
+                 const LineOptions& options, Rng* rng);
+
+/// The paper's "line" baseline: LINE embeddings + SVM per node type.
+/// Structure-only.
+class LineClassifier : public eval::CredibilityClassifier {
+ public:
+  struct Options {
+    LineOptions line;
+    SvmOptions svm;
+  };
+
+  LineClassifier();
+  explicit LineClassifier(Options options);
+
+  std::string Name() const override { return "line"; }
+  Status Train(const eval::TrainContext& context) override;
+  Result<eval::Predictions> Predict() override;
+
+  const Tensor& embeddings() const { return embeddings_; }
+
+ private:
+  Options options_;
+  Tensor embeddings_;
+  eval::Predictions predictions_;
+  bool trained_ = false;
+};
+
+}  // namespace baselines
+}  // namespace fkd
+
+#endif  // FKD_BASELINES_LINE_H_

@@ -1,0 +1,43 @@
+#include "baselines/node2vec.h"
+
+#include "baselines/embedding_util.h"
+
+namespace fkd {
+namespace baselines {
+
+Node2VecClassifier::Node2VecClassifier()
+    : Node2VecClassifier(Options{}) {}
+
+Node2VecClassifier::Node2VecClassifier(Options options)
+    : options_(std::move(options)) {}
+
+Status Node2VecClassifier::Train(const eval::TrainContext& context) {
+  if (trained_) return Status::FailedPrecondition("already trained");
+  if (context.graph == nullptr) {
+    return Status::InvalidArgument("TrainContext missing graph");
+  }
+  Rng rng(context.seed ^ 0x0DE2'7ECULL);
+
+  const auto walks =
+      graph::GenerateNode2VecWalks(*context.graph, options_.walks, &rng);
+  SkipGramOptions skipgram = options_.skipgram;
+  skipgram.seed = context.seed + 4;
+  embeddings_ =
+      TrainSkipGram(walks, context.graph->TotalNodes(), skipgram, &rng);
+  NormalizeRows(&embeddings_);
+
+  SvmOptions svm = options_.svm;
+  svm.seed = context.seed + 5;
+  FKD_RETURN_NOT_OK(
+      ClassifyByEmbeddings(embeddings_, context, svm, &predictions_));
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<eval::Predictions> Node2VecClassifier::Predict() {
+  if (!trained_) return Status::FailedPrecondition("Train() first");
+  return predictions_;
+}
+
+}  // namespace baselines
+}  // namespace fkd

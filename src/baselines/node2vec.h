@@ -1,0 +1,44 @@
+#ifndef FKD_BASELINES_NODE2VEC_H_
+#define FKD_BASELINES_NODE2VEC_H_
+
+#include "baselines/skipgram.h"
+#include "baselines/svm.h"
+#include "eval/classifier.h"
+#include "graph/random_walk.h"
+
+namespace fkd {
+namespace baselines {
+
+/// node2vec (Grover & Leskovec, KDD 2016): second-order biased random walks
+/// + skip-gram embeddings + SVM — an extension baseline generalising
+/// DeepWalk (which it reduces to at p = q = 1). Not in the paper's
+/// comparison set; included to probe whether walk bias matters on the
+/// News-HSN.
+class Node2VecClassifier : public eval::CredibilityClassifier {
+ public:
+  struct Options {
+    graph::Node2VecOptions walks;
+    SkipGramOptions skipgram;
+    SvmOptions svm;
+  };
+
+  Node2VecClassifier();
+  explicit Node2VecClassifier(Options options);
+
+  std::string Name() const override { return "node2vec"; }
+  Status Train(const eval::TrainContext& context) override;
+  Result<eval::Predictions> Predict() override;
+
+  const Tensor& embeddings() const { return embeddings_; }
+
+ private:
+  Options options_;
+  Tensor embeddings_;
+  eval::Predictions predictions_;
+  bool trained_ = false;
+};
+
+}  // namespace baselines
+}  // namespace fkd
+
+#endif  // FKD_BASELINES_NODE2VEC_H_

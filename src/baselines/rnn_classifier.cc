@@ -1,0 +1,149 @@
+#include "baselines/rnn_classifier.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "text/features.h"
+#include "text/vocabulary.h"
+
+namespace fkd {
+namespace baselines {
+
+namespace ag = ::fkd::autograd;
+
+RnnClassifier::RnnClassifier() : RnnClassifier(Options{}) {}
+
+RnnClassifier::RnnClassifier(Options options) : options_(std::move(options)) {}
+
+namespace {
+
+std::vector<int32_t> ArgmaxRows(const Tensor& logits) {
+  std::vector<int32_t> out(logits.rows());
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    const float* row = logits.Row(r);
+    size_t best = 0;
+    for (size_t c = 1; c < logits.cols(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = static_cast<int32_t>(best);
+  }
+  return out;
+}
+
+/// Trains one GRU-classifier for one node type and predicts all its nodes.
+Status FitNodeType(const std::vector<std::string>& texts,
+                   const std::vector<int32_t>& train_ids,
+                   const std::vector<int32_t>& targets, size_t num_classes,
+                   const RnnClassifier::Options& options, uint64_t seed,
+                   std::vector<int32_t>* predictions) {
+  const auto documents = text::TokenizeDocuments(texts);
+  const text::Vocabulary vocabulary =
+      text::BuildFrequencyVocabulary(documents, options.vocabulary);
+
+  std::vector<std::vector<int32_t>> sequences;
+  sequences.reserve(documents.size());
+  for (const auto& tokens : documents) {
+    sequences.push_back(
+        vocabulary.EncodePadded(tokens, options.max_sequence_length));
+  }
+
+  std::vector<std::vector<int32_t>> train_sequences;
+  std::vector<int32_t> train_targets;
+  train_sequences.reserve(train_ids.size());
+  for (int32_t id : train_ids) {
+    train_sequences.push_back(sequences[id]);
+    train_targets.push_back(targets[id]);
+  }
+
+  Rng rng(seed);
+  nn::RecurrentEncoder encoder(std::max<size_t>(1, vocabulary.size()),
+                               options.embed_dim, options.hidden_dim, &rng,
+                               nn::SequencePooling::kLastState, options.cell);
+  nn::Linear head(options.hidden_dim, num_classes, &rng);
+
+  std::vector<ag::Variable> parameters;
+  {
+    std::vector<nn::NamedParameter> named;
+    encoder.CollectParameters("encoder", &named);
+    head.CollectParameters("head", &named);
+    for (auto& p : named) parameters.push_back(p.variable);
+  }
+  nn::Adam optimizer(parameters, options.learning_rate);
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    const ag::Variable hidden =
+        encoder.Forward(train_sequences, options.max_sequence_length);
+    const ag::Variable loss =
+        ag::SoftmaxCrossEntropy(head.Forward(hidden), train_targets);
+    ag::Backward(loss);
+    nn::ClipGradNorm(parameters, options.grad_clip);
+    optimizer.Step();
+  }
+
+  const ag::Variable hidden =
+      encoder.Forward(sequences, options.max_sequence_length);
+  *predictions = ArgmaxRows(head.Forward(hidden).value());
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RnnClassifier::Train(const eval::TrainContext& context) {
+  if (trained_) return Status::FailedPrecondition("already trained");
+  if (context.dataset == nullptr) {
+    return Status::InvalidArgument("TrainContext missing dataset");
+  }
+  if (context.train_articles.empty() || context.train_creators.empty() ||
+      context.train_subjects.empty()) {
+    return Status::InvalidArgument("empty training set for some node type");
+  }
+  const data::Dataset& dataset = *context.dataset;
+  const size_t num_classes = eval::NumClasses(context.granularity);
+
+  std::vector<std::string> texts;
+  std::vector<int32_t> targets;
+
+  texts.clear();
+  targets.assign(dataset.articles.size(), 0);
+  for (const auto& a : dataset.articles) {
+    texts.push_back(a.text);
+    targets[a.id] = eval::TargetOf(a.label, context.granularity);
+  }
+  FKD_RETURN_NOT_OK(FitNodeType(texts, context.train_articles, targets,
+                                num_classes, options_, context.seed + 101,
+                                &predictions_.articles));
+
+  texts.clear();
+  targets.assign(dataset.creators.size(), 0);
+  for (const auto& c : dataset.creators) {
+    texts.push_back(c.profile);
+    targets[c.id] = eval::TargetOf(c.label, context.granularity);
+  }
+  FKD_RETURN_NOT_OK(FitNodeType(texts, context.train_creators, targets,
+                                num_classes, options_, context.seed + 202,
+                                &predictions_.creators));
+
+  texts.clear();
+  targets.assign(dataset.subjects.size(), 0);
+  for (const auto& s : dataset.subjects) {
+    texts.push_back(s.description);
+    targets[s.id] = eval::TargetOf(s.label, context.granularity);
+  }
+  FKD_RETURN_NOT_OK(FitNodeType(texts, context.train_subjects, targets,
+                                num_classes, options_, context.seed + 303,
+                                &predictions_.subjects));
+
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<eval::Predictions> RnnClassifier::Predict() {
+  if (!trained_) return Status::FailedPrecondition("Train() first");
+  return predictions_;
+}
+
+}  // namespace baselines
+}  // namespace fkd

@@ -1,0 +1,44 @@
+#ifndef FKD_BASELINES_RNN_CLASSIFIER_H_
+#define FKD_BASELINES_RNN_CLASSIFIER_H_
+
+#include "eval/classifier.h"
+#include "nn/layers.h"
+
+namespace fkd {
+namespace baselines {
+
+/// The paper's "rnn" baseline [42]: a GRU sequence classifier over the raw
+/// token sequence of each entity's text (latent features only — no explicit
+/// word-set features, no graph). One independent model per node type.
+class RnnClassifier : public eval::CredibilityClassifier {
+ public:
+  struct Options {
+    /// Recurrent cell; [42] describes an Elman-style network but GRU is
+    /// the stronger modern reading — both are available.
+    nn::RnnCellKind cell = nn::RnnCellKind::kGru;
+    size_t vocabulary = 1000;
+    size_t embed_dim = 24;
+    size_t hidden_dim = 32;
+    size_t max_sequence_length = 24;
+    size_t epochs = 50;
+    float learning_rate = 0.01f;
+    float grad_clip = 5.0f;
+  };
+
+  RnnClassifier();
+  explicit RnnClassifier(Options options);
+
+  std::string Name() const override { return "rnn"; }
+  Status Train(const eval::TrainContext& context) override;
+  Result<eval::Predictions> Predict() override;
+
+ private:
+  Options options_;
+  eval::Predictions predictions_;
+  bool trained_ = false;
+};
+
+}  // namespace baselines
+}  // namespace fkd
+
+#endif  // FKD_BASELINES_RNN_CLASSIFIER_H_

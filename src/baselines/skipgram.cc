@@ -1,0 +1,106 @@
+#include "baselines/skipgram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "graph/alias_table.h"
+
+namespace fkd {
+namespace baselines {
+
+namespace {
+
+inline double StableSigmoid(double x) {
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+}  // namespace
+
+Tensor TrainSkipGram(const std::vector<std::vector<int32_t>>& sentences,
+                     size_t vocab_size, const SkipGramOptions& options,
+                     Rng* rng) {
+  FKD_CHECK(rng != nullptr);
+  FKD_CHECK_GT(vocab_size, 0u);
+  FKD_CHECK_GT(options.dim, 0u);
+  FKD_CHECK_GT(options.window, 0u);
+
+  const size_t dim = options.dim;
+  // word2vec init: inputs U(-0.5/dim, 0.5/dim), outputs zero.
+  Tensor input = Tensor::Rand(vocab_size, dim, rng, -0.5f / dim, 0.5f / dim);
+  Tensor output(vocab_size, dim);
+
+  // Unigram^0.75 noise distribution over observed tokens.
+  std::vector<double> counts(vocab_size, 0.0);
+  size_t total_tokens = 0;
+  for (const auto& sentence : sentences) {
+    for (int32_t token : sentence) {
+      FKD_CHECK_GE(token, 0);
+      FKD_CHECK_LT(static_cast<size_t>(token), vocab_size);
+      counts[token] += 1.0;
+      ++total_tokens;
+    }
+  }
+  if (total_tokens == 0) return input;
+  for (double& c : counts) c = std::pow(c, 0.75);
+  graph::AliasTable noise(counts);
+
+  const size_t total_work = options.epochs * total_tokens;
+  size_t work_done = 0;
+  std::vector<float> gradient(dim);
+
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    for (const auto& sentence : sentences) {
+      for (size_t position = 0; position < sentence.size(); ++position) {
+        const double progress =
+            static_cast<double>(work_done++) / static_cast<double>(total_work);
+        const double lr = std::max(
+            options.min_learning_rate,
+            options.learning_rate * (1.0 - progress));
+
+        const int32_t center = sentence[position];
+        const size_t b = 1 + rng->UniformInt(options.window);
+        const size_t lo = position >= b ? position - b : 0;
+        const size_t hi = std::min(sentence.size() - 1, position + b);
+        for (size_t context_pos = lo; context_pos <= hi; ++context_pos) {
+          if (context_pos == position) continue;
+          const int32_t context = sentence[context_pos];
+          float* v_center = input.Row(center);
+          std::fill(gradient.begin(), gradient.end(), 0.0f);
+
+          // One positive plus `negatives` noise samples.
+          for (size_t sample = 0; sample <= options.negatives; ++sample) {
+            int32_t target;
+            double label;
+            if (sample == 0) {
+              target = context;
+              label = 1.0;
+            } else {
+              target = static_cast<int32_t>(noise.Sample(rng));
+              if (target == context) continue;
+              label = 0.0;
+            }
+            float* v_target = output.Row(target);
+            double dot = 0.0;
+            for (size_t j = 0; j < dim; ++j) dot += v_center[j] * v_target[j];
+            const double g = (label - StableSigmoid(dot)) * lr;
+            for (size_t j = 0; j < dim; ++j) {
+              gradient[j] += static_cast<float>(g) * v_target[j];
+              v_target[j] += static_cast<float>(g) * v_center[j];
+            }
+          }
+          for (size_t j = 0; j < dim; ++j) v_center[j] += gradient[j];
+        }
+      }
+    }
+  }
+  return input;
+}
+
+}  // namespace baselines
+}  // namespace fkd

@@ -1,0 +1,39 @@
+#ifndef FKD_BASELINES_SKIPGRAM_H_
+#define FKD_BASELINES_SKIPGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace fkd {
+namespace baselines {
+
+/// Hyper-parameters of the skip-gram-with-negative-sampling trainer.
+struct SkipGramOptions {
+  size_t dim = 64;
+  /// Maximum one-sided context window (sampled uniformly per centre, as
+  /// word2vec does).
+  size_t window = 5;
+  size_t negatives = 5;
+  double learning_rate = 0.025;
+  /// Linear LR decay floor.
+  double min_learning_rate = 0.0001;
+  size_t epochs = 2;
+  uint64_t seed = 1;
+};
+
+/// Trains skip-gram embeddings with negative sampling (Mikolov et al. 2013)
+/// over token sequences — DeepWalk's learning component, with walks as the
+/// corpus and node ids as the vocabulary. Negative samples follow the
+/// unigram^0.75 distribution. Returns the input-embedding matrix
+/// [vocab_size x dim]; tokens never observed keep their random init.
+Tensor TrainSkipGram(const std::vector<std::vector<int32_t>>& sentences,
+                     size_t vocab_size, const SkipGramOptions& options,
+                     Rng* rng);
+
+}  // namespace baselines
+}  // namespace fkd
+
+#endif  // FKD_BASELINES_SKIPGRAM_H_

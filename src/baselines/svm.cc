@@ -1,0 +1,255 @@
+#include "baselines/svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "text/features.h"
+
+namespace fkd {
+namespace baselines {
+
+LinearSvm::LinearSvm(SvmOptions options) : options_(std::move(options)) {}
+
+Status LinearSvm::Train(const Tensor& features,
+                        const std::vector<int32_t>& labels) {
+  const size_t n = features.rows();
+  const size_t d = features.cols();
+  if (labels.size() != n) {
+    return Status::InvalidArgument("labels/features row mismatch");
+  }
+  if (n == 0) return Status::InvalidArgument("empty training set");
+  for (int32_t y : labels) {
+    if (y != 1 && y != -1) {
+      return Status::InvalidArgument("binary SVM labels must be +1/-1");
+    }
+  }
+
+  // Dual coordinate descent for the L1-loss L2-regularised SVM
+  // (Hsieh et al. 2008, the LIBLINEAR solver). The bias is folded in as a
+  // constant feature of value 1.
+  const size_t dim = d + 1;
+  weights_.assign(dim, 0.0);
+  std::vector<double> alpha(n, 0.0);
+  // Q_ii = x_i . x_i (including bias feature).
+  std::vector<double> q_diagonal(n, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    const float* x = features.Row(i);
+    for (size_t j = 0; j < d; ++j) {
+      q_diagonal[i] += static_cast<double>(x[j]) * x[j];
+    }
+  }
+
+  Rng rng(options_.seed);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (size_t iteration = 0; iteration < options_.max_iterations;
+       ++iteration) {
+    rng.Shuffle(&order);
+    double max_violation = 0.0;
+    for (size_t i : order) {
+      const float* x = features.Row(i);
+      const double y = static_cast<double>(labels[i]);
+      // G = y * (w . x) - 1
+      double wx = weights_[d];  // bias feature.
+      for (size_t j = 0; j < d; ++j) wx += weights_[j] * x[j];
+      const double gradient = y * wx - 1.0;
+
+      // Projected gradient for the box constraint 0 <= alpha <= C.
+      double projected = gradient;
+      if (alpha[i] <= 0.0) projected = std::min(gradient, 0.0);
+      if (alpha[i] >= options_.c) projected = std::max(gradient, 0.0);
+      max_violation = std::max(max_violation, std::fabs(projected));
+      if (std::fabs(projected) < 1e-12) continue;
+
+      const double old_alpha = alpha[i];
+      alpha[i] = std::clamp(old_alpha - gradient / q_diagonal[i], 0.0,
+                            options_.c);
+      const double delta = (alpha[i] - old_alpha) * y;
+      if (delta != 0.0) {
+        for (size_t j = 0; j < d; ++j) weights_[j] += delta * x[j];
+        weights_[d] += delta;
+      }
+    }
+    if (max_violation < options_.tolerance) break;
+  }
+  return Status::OK();
+}
+
+double LinearSvm::Decision(const float* x, size_t d) const {
+  FKD_CHECK_EQ(d + 1, weights_.size());
+  double value = weights_[d];
+  for (size_t j = 0; j < d; ++j) value += weights_[j] * x[j];
+  return value;
+}
+
+OneVsRestSvm::OneVsRestSvm(size_t num_classes, SvmOptions options) {
+  FKD_CHECK_GE(num_classes, 2u);
+  machines_.reserve(num_classes);
+  for (size_t c = 0; c < num_classes; ++c) {
+    SvmOptions machine_options = options;
+    machine_options.seed = options.seed + c * 7919;
+    machines_.emplace_back(machine_options);
+  }
+}
+
+Status OneVsRestSvm::Train(const Tensor& features,
+                           const std::vector<int32_t>& labels) {
+  for (int32_t y : labels) {
+    if (y < 0 || static_cast<size_t>(y) >= machines_.size()) {
+      return Status::InvalidArgument("class id out of range");
+    }
+  }
+  for (size_t c = 0; c < machines_.size(); ++c) {
+    std::vector<int32_t> binary(labels.size());
+    for (size_t i = 0; i < labels.size(); ++i) {
+      binary[i] = labels[i] == static_cast<int32_t>(c) ? 1 : -1;
+    }
+    FKD_RETURN_NOT_OK(machines_[c].Train(features, binary));
+  }
+  return Status::OK();
+}
+
+int32_t OneVsRestSvm::Predict(const float* x, size_t d) const {
+  int32_t best = 0;
+  double best_value = machines_[0].Decision(x, d);
+  for (size_t c = 1; c < machines_.size(); ++c) {
+    const double value = machines_[c].Decision(x, d);
+    if (value > best_value) {
+      best_value = value;
+      best = static_cast<int32_t>(c);
+    }
+  }
+  return best;
+}
+
+std::vector<int32_t> OneVsRestSvm::PredictBatch(const Tensor& features) const {
+  std::vector<int32_t> out(features.rows());
+  for (size_t i = 0; i < features.rows(); ++i) {
+    out[i] = Predict(features.Row(i), features.cols());
+  }
+  return out;
+}
+
+SvmClassifier::SvmClassifier() : SvmClassifier(Options{}) {}
+
+SvmClassifier::SvmClassifier(Options options) : options_(std::move(options)) {}
+
+namespace {
+
+/// Fits one node type: word-set selection from training docs, feature
+/// weighting, OVR SVM, predictions for all nodes.
+Status FitNodeType(const std::vector<std::string>& texts,
+                   const std::vector<int32_t>& train_ids,
+                   const std::vector<int32_t>& targets, size_t num_classes,
+                   const SvmClassifier::Options& classifier_options,
+                   const SvmOptions& svm_options,
+                   std::vector<int32_t>* predictions) {
+  const size_t explicit_words = classifier_options.explicit_words;
+  const auto documents = text::TokenizeDocuments(texts);
+  text::Vocabulary word_set;
+  if (classifier_options.selector == FeatureSelector::kChiSquare) {
+    word_set = text::SelectChiSquareWordSet(documents, train_ids, targets,
+                                            num_classes, explicit_words);
+  } else {
+    text::ClassWordStats stats(num_classes);
+    for (int32_t id : train_ids) stats.AddDocument(documents[id], targets[id]);
+    word_set = stats.SelectTopMutualInformation(explicit_words);
+  }
+  text::BowFeaturizer featurizer(word_set);
+  if (featurizer.dim() == 0) {
+    // Degenerate corpus (e.g. all-identical training docs): fall back to
+    // majority class.
+    std::vector<int64_t> votes(num_classes, 0);
+    for (int32_t id : train_ids) ++votes[targets[id]];
+    const int32_t majority = static_cast<int32_t>(
+        std::max_element(votes.begin(), votes.end()) - votes.begin());
+    predictions->assign(texts.size(), majority);
+    return Status::OK();
+  }
+
+  std::vector<std::vector<std::string>> train_docs;
+  std::vector<int32_t> train_targets;
+  train_docs.reserve(train_ids.size());
+  for (int32_t id : train_ids) {
+    train_docs.push_back(documents[id]);
+    train_targets.push_back(targets[id]);
+  }
+  OneVsRestSvm svm(num_classes, svm_options);
+  if (classifier_options.weighting == FeatureWeighting::kTfIdf) {
+    text::TfIdfFeaturizer tfidf(word_set, documents);
+    FKD_RETURN_NOT_OK(
+        svm.Train(tfidf.FeaturizeBatch(train_docs), train_targets));
+    *predictions = svm.PredictBatch(tfidf.FeaturizeBatch(documents));
+  } else {
+    FKD_RETURN_NOT_OK(
+        svm.Train(featurizer.FeaturizeBatch(train_docs), train_targets));
+    *predictions = svm.PredictBatch(featurizer.FeaturizeBatch(documents));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SvmClassifier::Train(const eval::TrainContext& context) {
+  if (trained_) return Status::FailedPrecondition("already trained");
+  if (context.dataset == nullptr) {
+    return Status::InvalidArgument("TrainContext missing dataset");
+  }
+  if (context.train_articles.empty() || context.train_creators.empty() ||
+      context.train_subjects.empty()) {
+    return Status::InvalidArgument("empty training set for some node type");
+  }
+  const data::Dataset& dataset = *context.dataset;
+  const size_t num_classes = eval::NumClasses(context.granularity);
+
+  std::vector<std::string> texts;
+  std::vector<int32_t> targets;
+
+  texts.clear();
+  targets.assign(dataset.articles.size(), 0);
+  for (const auto& a : dataset.articles) {
+    texts.push_back(a.text);
+    targets[a.id] = eval::TargetOf(a.label, context.granularity);
+  }
+  SvmOptions svm_options = options_.svm;
+  svm_options.seed = context.seed + 11;
+  FKD_RETURN_NOT_OK(FitNodeType(texts, context.train_articles, targets,
+                                num_classes, options_, svm_options,
+                                &predictions_.articles));
+
+  texts.clear();
+  targets.assign(dataset.creators.size(), 0);
+  for (const auto& c : dataset.creators) {
+    texts.push_back(c.profile);
+    targets[c.id] = eval::TargetOf(c.label, context.granularity);
+  }
+  svm_options.seed = context.seed + 22;
+  FKD_RETURN_NOT_OK(FitNodeType(texts, context.train_creators, targets,
+                                num_classes, options_, svm_options,
+                                &predictions_.creators));
+
+  texts.clear();
+  targets.assign(dataset.subjects.size(), 0);
+  for (const auto& s : dataset.subjects) {
+    texts.push_back(s.description);
+    targets[s.id] = eval::TargetOf(s.label, context.granularity);
+  }
+  svm_options.seed = context.seed + 33;
+  FKD_RETURN_NOT_OK(FitNodeType(texts, context.train_subjects, targets,
+                                num_classes, options_, svm_options,
+                                &predictions_.subjects));
+
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<eval::Predictions> SvmClassifier::Predict() {
+  if (!trained_) return Status::FailedPrecondition("Train() first");
+  return predictions_;
+}
+
+}  // namespace baselines
+}  // namespace fkd

@@ -1,0 +1,172 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fkd {
+
+void FlagParser::AddInt(const std::string& name, int64_t default_value,
+                        const std::string& help) {
+  Flag flag;
+  flag.type = Type::kInt;
+  flag.help = help;
+  flag.int_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddDouble(const std::string& name, double default_value,
+                           const std::string& help) {
+  Flag flag;
+  flag.type = Type::kDouble;
+  flag.help = help;
+  flag.double_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddBool(const std::string& name, bool default_value,
+                         const std::string& help) {
+  Flag flag;
+  flag.type = Type::kBool;
+  flag.help = help;
+  flag.bool_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+void FlagParser::AddString(const std::string& name,
+                           const std::string& default_value,
+                           const std::string& help) {
+  Flag flag;
+  flag.type = Type::kString;
+  flag.help = help;
+  flag.string_value = default_value;
+  flags_[name] = std::move(flag);
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg(argv[i]);
+    if (!StartsWith(arg, "--")) {
+      return Status::InvalidArgument(
+          StrFormat("unexpected positional argument '%s'", argv[i]));
+    }
+    arg.remove_prefix(2);
+    if (arg == "help") {
+      std::fputs(Usage(argv[0]).c_str(), stderr);
+      return Status::FailedPrecondition("--help requested");
+    }
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    const size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      name = std::string(arg);
+    } else {
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument(StrFormat("unknown flag --%s", name.c_str()));
+    }
+    Flag& flag = it->second;
+    switch (flag.type) {
+      case Type::kBool: {
+        if (!has_value) {
+          flag.bool_value = true;
+        } else if (value == "true" || value == "1") {
+          flag.bool_value = true;
+        } else if (value == "false" || value == "0") {
+          flag.bool_value = false;
+        } else {
+          return Status::InvalidArgument(
+              StrFormat("bad boolean for --%s: '%s'", name.c_str(), value.c_str()));
+        }
+        break;
+      }
+      case Type::kInt: {
+        if (!has_value) {
+          return Status::InvalidArgument(StrFormat("--%s needs a value", name.c_str()));
+        }
+        bool negative = !value.empty() && value[0] == '-';
+        uint64_t magnitude = 0;
+        if (!ParseUint64(negative ? value.substr(1) : value, &magnitude)) {
+          return Status::InvalidArgument(
+              StrFormat("bad integer for --%s: '%s'", name.c_str(), value.c_str()));
+        }
+        flag.int_value = negative ? -static_cast<int64_t>(magnitude)
+                                  : static_cast<int64_t>(magnitude);
+        break;
+      }
+      case Type::kDouble: {
+        double parsed = 0.0;
+        if (!has_value || !ParseDouble(value, &parsed)) {
+          return Status::InvalidArgument(
+              StrFormat("bad double for --%s: '%s'", name.c_str(), value.c_str()));
+        }
+        flag.double_value = parsed;
+        break;
+      }
+      case Type::kString: {
+        if (!has_value) {
+          return Status::InvalidArgument(StrFormat("--%s needs a value", name.c_str()));
+        }
+        flag.string_value = value;
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+const FlagParser::Flag& FlagParser::Lookup(const std::string& name,
+                                           Type type) const {
+  auto it = flags_.find(name);
+  FKD_CHECK(it != flags_.end()) << "flag --" << name << " not registered";
+  FKD_CHECK(it->second.type == type) << "flag --" << name << " type mismatch";
+  return it->second;
+}
+
+int64_t FlagParser::GetInt(const std::string& name) const {
+  return Lookup(name, Type::kInt).int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return Lookup(name, Type::kDouble).double_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return Lookup(name, Type::kBool).bool_value;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return Lookup(name, Type::kString).string_value;
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::string out = "usage: " + program + " [--flag=value ...]\n";
+  for (const auto& [name, flag] : flags_) {
+    std::string default_text;
+    switch (flag.type) {
+      case Type::kInt:
+        default_text = StrFormat("%lld", static_cast<long long>(flag.int_value));
+        break;
+      case Type::kDouble:
+        default_text = StrFormat("%g", flag.double_value);
+        break;
+      case Type::kBool:
+        default_text = flag.bool_value ? "true" : "false";
+        break;
+      case Type::kString:
+        default_text = "'" + flag.string_value + "'";
+        break;
+    }
+    out += StrFormat("  --%-24s %s (default %s)\n", name.c_str(),
+                     flag.help.c_str(), default_text.c_str());
+  }
+  return out;
+}
+
+}  // namespace fkd

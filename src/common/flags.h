@@ -1,0 +1,63 @@
+#ifndef FKD_COMMON_FLAGS_H_
+#define FKD_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fkd {
+
+/// Minimal `--name=value` command-line flag parser for the bench and
+/// example binaries. Flags are registered with defaults, then `Parse`
+/// validates that every `--flag` on the command line was registered.
+///
+///   FlagParser flags;
+///   flags.AddInt("articles", 2000, "number of synthetic articles");
+///   flags.AddString("out", "", "optional CSV output path");
+///   FKD_CHECK_OK(flags.Parse(argc, argv));
+///   int n = flags.GetInt("articles");
+class FlagParser {
+ public:
+  void AddInt(const std::string& name, int64_t default_value,
+              const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+
+  /// Parses argv; accepts `--name=value` and bare `--name` for bools.
+  /// `--help` prints usage and reports kFailedPrecondition so callers can
+  /// exit cleanly.
+  Status Parse(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  /// Usage text listing all registered flags with defaults.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Type { kInt, kDouble, kBool, kString };
+  struct Flag {
+    Type type;
+    std::string help;
+    int64_t int_value = 0;
+    double double_value = 0.0;
+    bool bool_value = false;
+    std::string string_value;
+  };
+  const Flag& Lookup(const std::string& name, Type type) const;
+
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace fkd
+
+#endif  // FKD_COMMON_FLAGS_H_

@@ -1,0 +1,88 @@
+#ifndef FKD_COMMON_LOGGING_H_
+#define FKD_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fkd {
+
+/// Severity levels for the lightweight logger. kFatal aborts the process
+/// after emitting the message.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal {
+
+/// Minimum severity that is actually emitted; configurable at runtime.
+LogLevel GetMinLogLevel();
+void SetMinLogLevel(LogLevel level);
+
+/// Stream-style log message. Emits on destruction; aborts for kFatal.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Sink that swallows everything (for disabled debug logging).
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+/// Runtime-configurable global log verbosity.
+inline void SetLogLevel(LogLevel level) { internal::SetMinLogLevel(level); }
+
+#define FKD_LOG(level)                                                      \
+  ::fkd::internal::LogMessage(::fkd::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Invariant check: aborts with a diagnostic when `condition` is false.
+/// Use for programmer errors only; recoverable failures return Status.
+#define FKD_CHECK(condition)                                              \
+  if (!(condition))                                                       \
+  ::fkd::internal::LogMessage(::fkd::LogLevel::kFatal, __FILE__, __LINE__) \
+      << "Check failed: " #condition " "
+
+#define FKD_CHECK_OK(expr)                                                 \
+  do {                                                                     \
+    ::fkd::Status _fkd_check_status = (expr);                              \
+    FKD_CHECK(_fkd_check_status.ok()) << _fkd_check_status.ToString();     \
+  } while (false)
+
+#define FKD_CHECK_EQ(a, b) FKD_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FKD_CHECK_NE(a, b) FKD_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FKD_CHECK_LT(a, b) FKD_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FKD_CHECK_LE(a, b) FKD_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FKD_CHECK_GT(a, b) FKD_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define FKD_CHECK_GE(a, b) FKD_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#ifndef NDEBUG
+#define FKD_DCHECK(condition) FKD_CHECK(condition)
+#else
+#define FKD_DCHECK(condition) \
+  while (false) ::fkd::internal::NullLog()
+#endif
+
+}  // namespace fkd
+
+#endif  // FKD_COMMON_LOGGING_H_

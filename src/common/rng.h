@@ -1,0 +1,81 @@
+#ifndef FKD_COMMON_RNG_H_
+#define FKD_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fkd {
+
+/// Deterministic pseudo-random number generator (xoshiro256**) with
+/// convenience distributions used across the library.
+///
+/// Every stochastic component in the library (initialisers, samplers,
+/// generators, SGD shuffles) takes an explicit `Rng&` or seed so that runs
+/// are reproducible bit-for-bit. The engine is seeded through SplitMix64 so
+/// that small consecutive seeds give well-decorrelated streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the engine deterministically.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, 1).
+  double Uniform();
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double Normal();
+
+  /// Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Bernoulli trial with probability p of true.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Samples an index from an (unnormalised, non-negative) weight vector.
+  /// Requires at least one strictly positive weight. O(n); for repeated
+  /// sampling from the same weights use `AliasTable` (graph module).
+  size_t Discrete(const std::vector<double>& weights);
+
+  /// Geometric-like sample from a discrete power law P(k) ~ k^-alpha on
+  /// {1, ..., max_value} via inverse transform on the continuous Pareto,
+  /// clamped. Used to plant Zipf/power-law degree distributions.
+  uint64_t PowerLaw(double alpha, uint64_t max_value);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    FKD_CHECK(values != nullptr);
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = UniformInt(i);
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) in uniformly random order.
+  /// Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace fkd
+
+#endif  // FKD_COMMON_RNG_H_

@@ -1,0 +1,43 @@
+#include "common/status.h"
+
+namespace fkd {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace fkd

@@ -1,0 +1,151 @@
+#ifndef FKD_COMMON_STATUS_H_
+#define FKD_COMMON_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace fkd {
+
+/// Machine-readable category of a `Status`.
+///
+/// The set is deliberately small (Arrow/RocksDB idiom): callers branch on
+/// ok() / code(), humans read message().
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,  ///< Caller passed a value violating the contract.
+  kNotFound = 2,         ///< Lookup failed (file, key, node id, ...).
+  kOutOfRange = 3,       ///< Index or numeric value outside the valid range.
+  kFailedPrecondition = 4,  ///< Object not in the required state.
+  kAlreadyExists = 5,    ///< Insertion collided with an existing entry.
+  kIoError = 6,          ///< Filesystem / stream failure.
+  kCorruption = 7,       ///< Persisted data failed validation while loading.
+  kUnimplemented = 8,    ///< Feature intentionally not available.
+  kInternal = 9,         ///< Invariant violation that is a library bug.
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail without a value to return.
+///
+/// `Status` is cheap to copy in the OK case (empty message string) and is
+/// used on every fallible public API in this library instead of exceptions.
+/// Typical use:
+///
+///   Status s = LoadDataset(path, &dataset);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type `T` or a non-OK `Status` explaining its absence.
+///
+/// Mirrors `arrow::Result` / `absl::StatusOr`. Accessing the value of a
+/// failed result aborts via FKD_CHECK semantics (it is a programmer error;
+/// callers must test ok() first).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return std::move(v);`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error (OK iff ok()).
+  const Status& status() const { return status_; }
+
+  /// Value accessors; valid only when ok().
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  /// Moves the value out, or returns `fallback` on error.
+  T value_or(T fallback) && {
+    return ok() ? std::move(value_).value() : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Propagates a non-OK Status to the caller: `FKD_RETURN_NOT_OK(DoThing());`
+#define FKD_RETURN_NOT_OK(expr)             \
+  do {                                      \
+    ::fkd::Status _fkd_status = (expr);     \
+    if (!_fkd_status.ok()) return _fkd_status; \
+  } while (false)
+
+/// Unwraps a Result<T> into `lhs`, propagating the error on failure:
+///   FKD_ASSIGN_OR_RETURN(auto graph, BuildGraph(dataset));
+#define FKD_ASSIGN_OR_RETURN(lhs, rexpr)                 \
+  FKD_ASSIGN_OR_RETURN_IMPL(                             \
+      FKD_STATUS_CONCAT(_fkd_result_, __LINE__), lhs, rexpr)
+
+#define FKD_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                              \
+  if (!result_name.ok()) return result_name.status();      \
+  lhs = std::move(result_name).value()
+
+#define FKD_STATUS_CONCAT(a, b) FKD_STATUS_CONCAT_IMPL(a, b)
+#define FKD_STATUS_CONCAT_IMPL(a, b) a##b
+
+}  // namespace fkd
+
+#endif  // FKD_COMMON_STATUS_H_

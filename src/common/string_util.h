@@ -1,0 +1,42 @@
+#ifndef FKD_COMMON_STRING_UTIL_H_
+#define FKD_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fkd {
+
+/// Splits `text` on the single character `sep`. Adjacent separators yield
+/// empty fields (TSV semantics). An empty input yields one empty field.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on any run of ASCII whitespace; never yields empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Parses a non-negative decimal integer; returns false on any non-digit,
+/// empty input, or overflow.
+bool ParseUint64(std::string_view text, uint64_t* out);
+
+/// Parses a double via strtod over the full token; returns false on
+/// trailing garbage or empty input.
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace fkd
+
+#endif  // FKD_COMMON_STRING_UTIL_H_

@@ -1,0 +1,31 @@
+#ifndef FKD_COMMON_TIMER_H_
+#define FKD_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace fkd {
+
+/// Monotonic wall-clock stopwatch for coarse experiment timing.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace fkd
+
+#endif  // FKD_COMMON_TIMER_H_

@@ -1,0 +1,371 @@
+#include "core/fake_detector.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+#include "text/features.h"
+
+namespace fkd {
+namespace core {
+
+namespace ag = ::fkd::autograd;
+
+namespace {
+
+std::vector<int32_t> ArgmaxRows(const Tensor& logits) {
+  std::vector<int32_t> out(logits.rows());
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    const float* row = logits.Row(r);
+    size_t best = 0;
+    for (size_t c = 1; c < logits.cols(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = static_cast<int32_t>(best);
+  }
+  return out;
+}
+
+}  // namespace
+
+/// Everything built per-Train: the three HFLUs, three GDUs, three heads,
+/// the prepared inputs and the neighbour groups of the diffusion.
+struct FakeDetector::Model : nn::Module {
+  Model(const FakeDetectorConfig& config, size_t num_classes,
+        text::Vocabulary article_words, text::Vocabulary creator_words,
+        text::Vocabulary subject_words, text::Vocabulary article_vocab,
+        text::Vocabulary creator_vocab, text::Vocabulary subject_vocab,
+        Rng* rng)
+      : article_hflu(config.hflu, std::move(article_words),
+                     std::move(article_vocab), rng),
+        creator_hflu(config.hflu, std::move(creator_words),
+                     std::move(creator_vocab), rng),
+        subject_hflu(config.hflu, std::move(subject_words),
+                     std::move(subject_vocab), rng),
+        article_gdu(article_hflu.output_dim(), config.gdu_hidden, rng,
+                    config.gdu),
+        creator_gdu(creator_hflu.output_dim(), config.gdu_hidden, rng,
+                    config.gdu),
+        subject_gdu(subject_hflu.output_dim(), config.gdu_hidden, rng,
+                    config.gdu),
+        article_head(config.gdu_hidden, num_classes, rng),
+        creator_head(config.gdu_hidden, num_classes, rng),
+        subject_head(config.gdu_hidden, num_classes, rng),
+        diffusion_steps(config.diffusion_steps) {}
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParameter>* out) const override {
+    article_hflu.CollectParameters(nn::JoinName(prefix, "article_hflu"), out);
+    creator_hflu.CollectParameters(nn::JoinName(prefix, "creator_hflu"), out);
+    subject_hflu.CollectParameters(nn::JoinName(prefix, "subject_hflu"), out);
+    article_gdu.CollectParameters(nn::JoinName(prefix, "article_gdu"), out);
+    creator_gdu.CollectParameters(nn::JoinName(prefix, "creator_gdu"), out);
+    subject_gdu.CollectParameters(nn::JoinName(prefix, "subject_gdu"), out);
+    article_head.CollectParameters(nn::JoinName(prefix, "article_head"), out);
+    creator_head.CollectParameters(nn::JoinName(prefix, "creator_head"), out);
+    subject_head.CollectParameters(nn::JoinName(prefix, "subject_head"), out);
+  }
+
+  /// One full forward pass: HFLU features, K diffusion steps, logits.
+  struct Logits {
+    ag::Variable articles;
+    ag::Variable creators;
+    ag::Variable subjects;
+  };
+
+  /// `dropout_rng` non-null enables training-time feature dropout.
+  Logits Forward(float feature_dropout = 0.0f,
+                 Rng* dropout_rng = nullptr) const {
+    const size_t h = article_gdu.hidden_dim();
+    const bool training = dropout_rng != nullptr && feature_dropout > 0.0f;
+    ag::Variable xa = article_hflu.Forward(article_input);
+    ag::Variable xu = creator_hflu.Forward(creator_input);
+    ag::Variable xs = subject_hflu.Forward(subject_input);
+    if (training) {
+      xa = ag::Dropout(xa, feature_dropout, dropout_rng, true);
+      xu = ag::Dropout(xu, feature_dropout, dropout_rng, true);
+      xs = ag::Dropout(xs, feature_dropout, dropout_rng, true);
+    }
+
+    // All hidden states start at 0; missing GDU ports stay 0 throughout.
+    ag::Variable ha(Tensor(article_input.sequences.size(), h), false, "ha0");
+    ag::Variable hu(Tensor(creator_input.sequences.size(), h), false, "hu0");
+    ag::Variable hs(Tensor(subject_input.sequences.size(), h), false, "hs0");
+    const ag::Variable zero_u(Tensor(creator_input.sequences.size(), h),
+                              false, "zero_u");
+    const ag::Variable zero_s(Tensor(subject_input.sequences.size(), h),
+                              false, "zero_s");
+
+    for (size_t step = 0; step < diffusion_steps; ++step) {
+      // Synchronous update: all reads use the previous step's states.
+      const ag::Variable za = ag::GroupMeanRows(hs, article_subject_groups);
+      const ag::Variable ta = ag::GroupMeanRows(hu, article_creator_groups);
+      const ag::Variable zu = ag::GroupMeanRows(ha, creator_article_groups);
+      const ag::Variable zs = ag::GroupMeanRows(ha, subject_article_groups);
+      const ag::Variable ha_next = article_gdu.Step(xa, za, ta);
+      const ag::Variable hu_next = creator_gdu.Step(xu, zu, zero_u);
+      const ag::Variable hs_next = subject_gdu.Step(xs, zs, zero_s);
+      ha = ha_next;
+      hu = hu_next;
+      hs = hs_next;
+    }
+
+    return {article_head.Forward(ha), creator_head.Forward(hu),
+            subject_head.Forward(hs)};
+  }
+
+  Hflu article_hflu;
+  Hflu creator_hflu;
+  Hflu subject_hflu;
+  GduCell article_gdu;
+  GduCell creator_gdu;
+  GduCell subject_gdu;
+  nn::Linear article_head;
+  nn::Linear creator_head;
+  nn::Linear subject_head;
+  size_t diffusion_steps;
+
+  HfluInput article_input;
+  HfluInput creator_input;
+  HfluInput subject_input;
+  std::vector<std::vector<int32_t>> article_subject_groups;
+  std::vector<std::vector<int32_t>> article_creator_groups;
+  std::vector<std::vector<int32_t>> creator_article_groups;
+  std::vector<std::vector<int32_t>> subject_article_groups;
+};
+
+FakeDetector::FakeDetector(FakeDetectorConfig config)
+    : config_(std::move(config)) {}
+
+FakeDetector::~FakeDetector() = default;
+
+Status FakeDetector::Train(const eval::TrainContext& context) {
+  if (trained_) return Status::FailedPrecondition("already trained");
+  if (context.dataset == nullptr || context.graph == nullptr) {
+    return Status::InvalidArgument("TrainContext missing dataset or graph");
+  }
+  if (context.train_articles.empty() || context.train_creators.empty() ||
+      context.train_subjects.empty()) {
+    return Status::InvalidArgument("empty training set for some node type");
+  }
+  if (config_.diffusion_steps == 0) {
+    return Status::InvalidArgument("diffusion_steps must be >= 1");
+  }
+  const data::Dataset& dataset = *context.dataset;
+  const size_t num_classes = eval::NumClasses(context.granularity);
+
+  // --- Text preparation ----------------------------------------------------
+  std::vector<std::string> article_texts;
+  std::vector<std::string> creator_texts;
+  std::vector<std::string> subject_texts;
+  for (const auto& a : dataset.articles) article_texts.push_back(a.text);
+  for (const auto& c : dataset.creators) creator_texts.push_back(c.profile);
+  for (const auto& s : dataset.subjects) subject_texts.push_back(s.description);
+  const auto article_docs = text::TokenizeDocuments(article_texts);
+  const auto creator_docs = text::TokenizeDocuments(creator_texts);
+  const auto subject_docs = text::TokenizeDocuments(subject_texts);
+
+  std::vector<int32_t> article_targets(dataset.articles.size());
+  std::vector<int32_t> creator_targets(dataset.creators.size());
+  std::vector<int32_t> subject_targets(dataset.subjects.size());
+  for (const auto& a : dataset.articles) {
+    article_targets[a.id] = eval::TargetOf(a.label, context.granularity);
+  }
+  for (const auto& c : dataset.creators) {
+    creator_targets[c.id] = eval::TargetOf(c.label, context.granularity);
+  }
+  for (const auto& s : dataset.subjects) {
+    subject_targets[s.id] = eval::TargetOf(s.label, context.granularity);
+  }
+
+  Rng rng(context.seed ^ 0xFAFEDE7EC70ULL);
+  model_ = std::make_unique<Model>(
+      config_, num_classes,
+      text::SelectChiSquareWordSet(article_docs, context.train_articles,
+                                   article_targets, num_classes,
+                                   config_.explicit_words),
+      text::SelectChiSquareWordSet(creator_docs, context.train_creators,
+                                   creator_targets, num_classes,
+                                   config_.explicit_words),
+      text::SelectChiSquareWordSet(subject_docs, context.train_subjects,
+                                   subject_targets, num_classes,
+                                   config_.explicit_words),
+      text::BuildFrequencyVocabulary(article_docs, config_.latent_vocabulary),
+      text::BuildFrequencyVocabulary(creator_docs, config_.latent_vocabulary),
+      text::BuildFrequencyVocabulary(subject_docs, config_.latent_vocabulary),
+      &rng);
+
+  model_->article_input = model_->article_hflu.PrepareBatch(article_docs);
+  model_->creator_input = model_->creator_hflu.PrepareBatch(creator_docs);
+  model_->subject_input = model_->subject_hflu.PrepareBatch(subject_docs);
+
+  // --- Neighbour groups of the diffusive architecture ----------------------
+  const graph::HeterogeneousGraph& graph = *context.graph;
+  model_->article_subject_groups.resize(dataset.articles.size());
+  model_->article_creator_groups.resize(dataset.articles.size());
+  for (const auto& a : dataset.articles) {
+    const auto subjects =
+        graph.ArticleNeighbors(graph::EdgeType::kSubjectIndication, a.id);
+    model_->article_subject_groups[a.id].assign(subjects.begin(),
+                                                subjects.end());
+    const auto creators =
+        graph.ArticleNeighbors(graph::EdgeType::kAuthorship, a.id);
+    model_->article_creator_groups[a.id].assign(creators.begin(),
+                                                creators.end());
+  }
+  model_->creator_article_groups.resize(dataset.creators.size());
+  for (const auto& c : dataset.creators) {
+    const auto articles =
+        graph.ReverseNeighbors(graph::EdgeType::kAuthorship, c.id);
+    model_->creator_article_groups[c.id].assign(articles.begin(),
+                                                articles.end());
+  }
+  model_->subject_article_groups.resize(dataset.subjects.size());
+  for (const auto& s : dataset.subjects) {
+    const auto articles =
+        graph.ReverseNeighbors(graph::EdgeType::kSubjectIndication, s.id);
+    model_->subject_article_groups[s.id].assign(articles.begin(),
+                                                articles.end());
+  }
+
+  // --- Training loop: full-batch Adam on the joint objective ---------------
+  // Optional validation holdout for early stopping.
+  std::vector<int32_t> fit_articles = context.train_articles;
+  std::vector<int32_t> fit_creators = context.train_creators;
+  std::vector<int32_t> fit_subjects = context.train_subjects;
+  std::vector<int32_t> val_articles;
+  std::vector<int32_t> val_creators;
+  std::vector<int32_t> val_subjects;
+  const bool early_stopping = config_.validation_fraction > 0.0f;
+  if (early_stopping) {
+    if (config_.validation_fraction >= 1.0f) {
+      return Status::InvalidArgument("validation_fraction must be < 1");
+    }
+    Rng split_rng(context.seed ^ 0xE591ULL);
+    auto hold_out = [&split_rng, this](std::vector<int32_t>* fit,
+                                       std::vector<int32_t>* val) {
+      split_rng.Shuffle(fit);
+      const size_t keep = std::max<size_t>(
+          1, static_cast<size_t>(static_cast<float>(fit->size()) *
+                                 (1.0f - config_.validation_fraction)));
+      val->assign(fit->begin() + keep, fit->end());
+      fit->resize(keep);
+    };
+    hold_out(&fit_articles, &val_articles);
+    hold_out(&fit_creators, &val_creators);
+    hold_out(&fit_subjects, &val_subjects);
+  }
+  auto targets_of = [](const std::vector<int32_t>& ids,
+                       const std::vector<int32_t>& all) {
+    std::vector<int32_t> out;
+    out.reserve(ids.size());
+    for (int32_t id : ids) out.push_back(all[id]);
+    return out;
+  };
+  const auto fit_article_targets = targets_of(fit_articles, article_targets);
+  const auto fit_creator_targets = targets_of(fit_creators, creator_targets);
+  const auto fit_subject_targets = targets_of(fit_subjects, subject_targets);
+  const auto val_article_targets = targets_of(val_articles, article_targets);
+  const auto val_creator_targets = targets_of(val_creators, creator_targets);
+  const auto val_subject_targets = targets_of(val_subjects, subject_targets);
+
+  auto parameters = model_->Parameters();
+  nn::Adam optimizer(parameters, config_.learning_rate);
+  train_stats_ = TrainStats{};
+  train_stats_.epoch_losses.reserve(config_.epochs);
+
+  float best_validation_loss = std::numeric_limits<float>::max();
+  size_t epochs_since_best = 0;
+  std::vector<Tensor> best_weights;
+
+  Rng dropout_rng(context.seed ^ 0xD409u);
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    const Model::Logits logits =
+        model_->Forward(config_.feature_dropout, &dropout_rng);
+    std::vector<ag::Variable> loss_terms;
+    loss_terms.push_back(ag::SoftmaxCrossEntropy(
+        ag::GatherRows(logits.articles, fit_articles), fit_article_targets));
+    loss_terms.push_back(ag::SoftmaxCrossEntropy(
+        ag::GatherRows(logits.creators, fit_creators), fit_creator_targets));
+    loss_terms.push_back(ag::SoftmaxCrossEntropy(
+        ag::GatherRows(logits.subjects, fit_subjects), fit_subject_targets));
+    if (config_.l2_weight > 0.0f) {
+      std::vector<ag::Variable> penalties;
+      for (const auto& p : parameters) penalties.push_back(ag::SumSquares(p));
+      loss_terms.push_back(
+          ag::Scale(ag::AddN(penalties), config_.l2_weight));
+    }
+    const ag::Variable loss = ag::AddN(loss_terms);
+    ag::Backward(loss);
+    nn::ClipGradNorm(parameters, config_.grad_clip);
+    optimizer.Step();
+    train_stats_.epoch_losses.push_back(loss.scalar());
+    if (!early_stopping) train_stats_.best_epoch = epoch;
+    if (config_.verbose && (epoch % 10 == 0 || epoch + 1 == config_.epochs)) {
+      FKD_LOG(Info) << "FakeDetector epoch " << epoch << " loss "
+                    << loss.scalar();
+    }
+
+    if (early_stopping) {
+      // Validation loss on a clean (dropout-free) forward pass.
+      const Model::Logits val_logits = model_->Forward();
+      float validation_loss = 0.0f;
+      if (!val_articles.empty()) {
+        validation_loss += ag::SoftmaxCrossEntropy(
+                               ag::GatherRows(val_logits.articles, val_articles),
+                               val_article_targets)
+                               .scalar();
+      }
+      if (!val_creators.empty()) {
+        validation_loss += ag::SoftmaxCrossEntropy(
+                               ag::GatherRows(val_logits.creators, val_creators),
+                               val_creator_targets)
+                               .scalar();
+      }
+      if (!val_subjects.empty()) {
+        validation_loss += ag::SoftmaxCrossEntropy(
+                               ag::GatherRows(val_logits.subjects, val_subjects),
+                               val_subject_targets)
+                               .scalar();
+      }
+      train_stats_.validation_losses.push_back(validation_loss);
+      if (validation_loss < best_validation_loss) {
+        best_validation_loss = validation_loss;
+        epochs_since_best = 0;
+        train_stats_.best_epoch = epoch;
+        best_weights.clear();
+        for (const auto& p : parameters) best_weights.push_back(p.value());
+      } else if (++epochs_since_best >= config_.early_stopping_patience) {
+        break;
+      }
+    }
+  }
+  if (early_stopping && !best_weights.empty()) {
+    for (size_t i = 0; i < parameters.size(); ++i) {
+      parameters[i].mutable_value() = best_weights[i];
+    }
+  }
+
+  // Cache final predictions (inference pass, no gradients needed but the
+  // graph construction is the same).
+  const Model::Logits logits = model_->Forward();
+  predictions_.articles = ArgmaxRows(logits.articles.value());
+  predictions_.creators = ArgmaxRows(logits.creators.value());
+  predictions_.subjects = ArgmaxRows(logits.subjects.value());
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<eval::Predictions> FakeDetector::Predict() {
+  if (!trained_) return Status::FailedPrecondition("Train() first");
+  return predictions_;
+}
+
+size_t FakeDetector::ParameterCount() const {
+  return model_ == nullptr ? 0 : model_->ParameterCount();
+}
+
+}  // namespace core
+}  // namespace fkd

@@ -1,0 +1,79 @@
+#include "core/gdu.h"
+
+namespace fkd {
+namespace core {
+
+namespace ag = ::fkd::autograd;
+
+GduCell::GduCell(size_t input_dim, size_t hidden_dim, Rng* rng,
+                 const GduOptions& options)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      options_(options),
+      forget_gate_(input_dim + 2 * hidden_dim, hidden_dim, rng),
+      adjust_gate_(input_dim + 2 * hidden_dim, hidden_dim, rng),
+      select_g_(input_dim + 2 * hidden_dim, hidden_dim, rng),
+      select_r_(input_dim + 2 * hidden_dim, hidden_dim, rng),
+      fuse_(input_dim + 2 * hidden_dim, hidden_dim, rng) {}
+
+ag::Variable GduCell::Step(const ag::Variable& x, const ag::Variable& z,
+                           const ag::Variable& t) const {
+  FKD_CHECK_EQ(x.value().cols(), input_dim_);
+  FKD_CHECK_EQ(z.value().cols(), hidden_dim_);
+  FKD_CHECK_EQ(t.value().cols(), hidden_dim_);
+
+  const ag::Variable all = ag::ConcatCols({x, z, t});
+  if (options_.plain_unit) {
+    return ag::Tanh(fuse_.Forward(all));
+  }
+
+  // Gated neighbour-input rewrites.
+  ag::Variable z_tilde = z;
+  if (!options_.disable_forget_gate) {
+    const ag::Variable f = ag::Sigmoid(forget_gate_.Forward(all));
+    z_tilde = ag::Mul(f, z);
+  }
+  ag::Variable t_tilde = t;
+  if (!options_.disable_adjust_gate) {
+    const ag::Variable e = ag::Sigmoid(adjust_gate_.Forward(all));
+    t_tilde = ag::Mul(e, t);
+  }
+
+  const ag::Variable g = ag::Sigmoid(select_g_.Forward(all));
+  const ag::Variable r = ag::Sigmoid(select_r_.Forward(all));
+  const ag::Variable not_g = ag::OneMinus(g);
+  const ag::Variable not_r = ag::OneMinus(r);
+
+  const ag::Variable branch_tt =
+      ag::Tanh(fuse_.Forward(ag::ConcatCols({x, z_tilde, t_tilde})));
+  const ag::Variable branch_zt =
+      ag::Tanh(fuse_.Forward(ag::ConcatCols({x, z, t_tilde})));
+  const ag::Variable branch_tz =
+      ag::Tanh(fuse_.Forward(ag::ConcatCols({x, z_tilde, t})));
+  const ag::Variable branch_zz =
+      ag::Tanh(fuse_.Forward(ag::ConcatCols({x, z, t})));
+
+  ag::Variable h = ag::Mul(ag::Mul(g, r), branch_tt);
+  h = ag::Add(h, ag::Mul(ag::Mul(not_g, r), branch_zt));
+  h = ag::Add(h, ag::Mul(ag::Mul(g, not_r), branch_tz));
+  h = ag::Add(h, ag::Mul(ag::Mul(not_g, not_r), branch_zz));
+  return h;
+}
+
+void GduCell::CollectParameters(const std::string& prefix,
+                                std::vector<nn::NamedParameter>* out) const {
+  if (!options_.plain_unit) {
+    if (!options_.disable_forget_gate) {
+      forget_gate_.CollectParameters(nn::JoinName(prefix, "forget"), out);
+    }
+    if (!options_.disable_adjust_gate) {
+      adjust_gate_.CollectParameters(nn::JoinName(prefix, "adjust"), out);
+    }
+    select_g_.CollectParameters(nn::JoinName(prefix, "select_g"), out);
+    select_r_.CollectParameters(nn::JoinName(prefix, "select_r"), out);
+  }
+  fuse_.CollectParameters(nn::JoinName(prefix, "fuse"), out);
+}
+
+}  // namespace core
+}  // namespace fkd

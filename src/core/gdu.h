@@ -1,0 +1,73 @@
+#ifndef FKD_CORE_GDU_H_
+#define FKD_CORE_GDU_H_
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/autograd.h"
+
+namespace fkd {
+namespace core {
+
+/// Ablation / variant switches for the gated diffusive unit, exercising the
+/// design choices of §4.2.
+struct GduOptions {
+  /// Pass z through unchanged (drop the "forget" gate f).
+  bool disable_forget_gate = false;
+  /// Pass t through unchanged (drop the "adjust" gate e).
+  bool disable_adjust_gate = false;
+  /// Replace the whole gated 4-way combination with a plain
+  /// h = tanh(W [x, z, t]) fusion (no gates at all).
+  bool plain_unit = false;
+};
+
+/// Gated Diffusive Unit (the paper's GDU, Fig 3b).
+///
+/// Inputs per node: its own feature vector x, the aggregated state z of one
+/// neighbour category, and the aggregated state t of the other. With gate
+/// vectors
+///   f = sigmoid(W_f [x, z, t])   (forget gate, applied to z)
+///   e = sigmoid(W_e [x, z, t])   (adjust gate, applied to t)
+///   g = sigmoid(W_g [x, z, t])   (selection gate 1)
+///   r = sigmoid(W_r [x, z, t])   (selection gate 2)
+/// and z~ = f (*) z, t~ = e (*) t, the output state is the gate-weighted
+/// mixture of the four input combinations:
+///   h =     g (*)     r (*) tanh(W_u [x, z~, t~])
+///     + (1-g) (*)     r (*) tanh(W_u [x, z,  t~])
+///     +     g (*) (1-r) (*) tanh(W_u [x, z~, t ])
+///     + (1-g) (*) (1-r) (*) tanh(W_u [x, z,  t ])
+/// All four combinations share W_u, exactly as in the paper.
+///
+/// A missing input port is represented by all-zero rows (the paper:
+/// "the remaining input port can be assigned ... usually vector 0").
+class GduCell : public nn::Module {
+ public:
+  /// x is [n x input_dim]; z and t are [n x hidden_dim].
+  GduCell(size_t input_dim, size_t hidden_dim, Rng* rng,
+          const GduOptions& options = {});
+
+  autograd::Variable Step(const autograd::Variable& x,
+                          const autograd::Variable& z,
+                          const autograd::Variable& t) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParameter>* out) const override;
+
+  size_t input_dim() const { return input_dim_; }
+  size_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  size_t input_dim_;
+  size_t hidden_dim_;
+  GduOptions options_;
+  nn::Linear forget_gate_;
+  nn::Linear adjust_gate_;
+  nn::Linear select_g_;
+  nn::Linear select_r_;
+  nn::Linear fuse_;  // W_u, shared by all four combinations.
+};
+
+}  // namespace core
+}  // namespace fkd
+
+#endif  // FKD_CORE_GDU_H_

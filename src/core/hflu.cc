@@ -1,0 +1,65 @@
+#include "core/hflu.h"
+
+namespace fkd {
+namespace core {
+
+namespace ag = ::fkd::autograd;
+
+Hflu::Hflu(const HfluConfig& config, text::Vocabulary word_set,
+           text::Vocabulary latent_vocabulary, Rng* rng)
+    : config_(config),
+      featurizer_(std::move(word_set)),
+      latent_vocabulary_(std::move(latent_vocabulary)),
+      encoder_(std::max<size_t>(1, latent_vocabulary_.size()),
+               config.embed_dim, config.gru_hidden, rng,
+               nn::SequencePooling::kSumStates, config.cell),
+      fusion_(config.gru_hidden, config.latent_dim, rng) {
+  FKD_CHECK(config.use_explicit || config.use_latent)
+      << "HFLU needs at least one feature family";
+  FKD_CHECK_GT(config.max_sequence_length, 0u);
+}
+
+HfluInput Hflu::PrepareBatch(
+    const std::vector<std::vector<std::string>>& documents) const {
+  HfluInput input;
+  input.explicit_features = featurizer_.FeaturizeBatch(documents);
+  input.sequences.reserve(documents.size());
+  for (const auto& tokens : documents) {
+    input.sequences.push_back(
+        latent_vocabulary_.EncodePadded(tokens, config_.max_sequence_length));
+  }
+  return input;
+}
+
+ag::Variable Hflu::Forward(const HfluInput& input) const {
+  FKD_CHECK_EQ(input.explicit_features.rows(), input.sequences.size());
+  std::vector<ag::Variable> parts;
+  if (config_.use_explicit) {
+    parts.emplace_back(input.explicit_features, /*requires_grad=*/false,
+                       "hflu/explicit");
+  }
+  if (config_.use_latent) {
+    const ag::Variable pooled =
+        encoder_.Forward(input.sequences, config_.max_sequence_length);
+    parts.push_back(ag::Sigmoid(fusion_.Forward(pooled)));
+  }
+  return parts.size() == 1 ? parts[0] : ag::ConcatCols(parts);
+}
+
+size_t Hflu::output_dim() const {
+  size_t dim = 0;
+  if (config_.use_explicit) dim += featurizer_.dim();
+  if (config_.use_latent) dim += config_.latent_dim;
+  return dim;
+}
+
+void Hflu::CollectParameters(const std::string& prefix,
+                             std::vector<nn::NamedParameter>* out) const {
+  if (config_.use_latent) {
+    encoder_.CollectParameters(nn::JoinName(prefix, "encoder"), out);
+    fusion_.CollectParameters(nn::JoinName(prefix, "fusion"), out);
+  }
+}
+
+}  // namespace core
+}  // namespace fkd

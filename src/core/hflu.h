@@ -1,0 +1,83 @@
+#ifndef FKD_CORE_HFLU_H_
+#define FKD_CORE_HFLU_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/autograd.h"
+#include "text/features.h"
+#include "text/vocabulary.h"
+
+namespace fkd {
+namespace core {
+
+/// Configuration of one Hybrid Feature Learning Unit.
+struct HfluConfig {
+  /// Embedding width of the latent GRU input tokens.
+  size_t embed_dim = 24;
+  /// GRU hidden width.
+  size_t gru_hidden = 32;
+  /// Width of the latent output x^l (after the fusion layer).
+  size_t latent_dim = 32;
+  /// Maximum sequence length q; longer documents are truncated, shorter
+  /// ones padded (§4.1.2).
+  size_t max_sequence_length = 24;
+  /// Recurrent cell of the latent extractor (paper: GRU; basic/LSTM are
+  /// ablation variants).
+  nn::RnnCellKind cell = nn::RnnCellKind::kGru;
+  /// Feature-ablation switches: at least one must stay enabled.
+  bool use_explicit = true;
+  bool use_latent = true;
+};
+
+/// Pre-tokenised, pre-encoded inputs for a batch of documents; compute once
+/// per node type, reuse every training epoch.
+struct HfluInput {
+  /// [n x explicit_dim] bag-of-words counts over the pre-extracted word set.
+  Tensor explicit_features;
+  /// Padded token-id sequences for the latent GRU (-1 = padding).
+  std::vector<std::vector<int32_t>> sequences;
+};
+
+/// Hybrid Feature Learning Unit (the paper's HFLU, Fig 3a).
+///
+/// Produces x = [x^e, x^l]: the explicit bag-of-words vector over the
+/// pre-extracted word set (W_n / W_u / W_s, §4.1.1) concatenated with the
+/// latent representation x^l = sigmoid(W_i * sum_t h_t) of a GRU run over
+/// the token sequence (§4.1.2).
+class Hflu : public nn::Module {
+ public:
+  /// `word_set` is the entity type's explicit feature word set;
+  /// `latent_vocabulary` maps tokens to GRU input ids.
+  Hflu(const HfluConfig& config, text::Vocabulary word_set,
+       text::Vocabulary latent_vocabulary, Rng* rng);
+
+  /// Tokenises/encodes a document batch once (no autograd work).
+  HfluInput PrepareBatch(
+      const std::vector<std::vector<std::string>>& documents) const;
+
+  /// Builds the differentiable feature matrix [n x output_dim] for a
+  /// prepared batch.
+  autograd::Variable Forward(const HfluInput& input) const;
+
+  size_t output_dim() const;
+  size_t explicit_dim() const { return featurizer_.dim(); }
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParameter>* out) const override;
+
+ private:
+  HfluConfig config_;
+  text::BowFeaturizer featurizer_;
+  text::Vocabulary latent_vocabulary_;
+  nn::GruEncoder encoder_;
+  nn::Linear fusion_;  // W_i of the fusion layer.
+};
+
+}  // namespace core
+}  // namespace fkd
+
+#endif  // FKD_CORE_HFLU_H_

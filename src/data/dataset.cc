@@ -1,0 +1,113 @@
+#include "data/dataset.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace fkd {
+namespace data {
+
+Status Dataset::Validate() const {
+  for (size_t i = 0; i < articles.size(); ++i) {
+    const Article& article = articles[i];
+    if (article.id != static_cast<int32_t>(i)) {
+      return Status::Corruption(
+          StrFormat("article %zu has id %d", i, article.id));
+    }
+    if (article.creator < 0 ||
+        static_cast<size_t>(article.creator) >= creators.size()) {
+      return Status::Corruption(
+          StrFormat("article %zu: creator %d out of range", i,
+                    article.creator));
+    }
+    if (article.subjects.empty()) {
+      return Status::Corruption(StrFormat("article %zu has no subjects", i));
+    }
+    std::unordered_set<int32_t> seen;
+    for (int32_t subject : article.subjects) {
+      if (subject < 0 || static_cast<size_t>(subject) >= subjects.size()) {
+        return Status::Corruption(
+            StrFormat("article %zu: subject %d out of range", i, subject));
+      }
+      if (!seen.insert(subject).second) {
+        return Status::Corruption(
+            StrFormat("article %zu: duplicate subject %d", i, subject));
+      }
+    }
+  }
+  for (size_t i = 0; i < creators.size(); ++i) {
+    if (creators[i].id != static_cast<int32_t>(i)) {
+      return Status::Corruption(
+          StrFormat("creator %zu has id %d", i, creators[i].id));
+    }
+  }
+  for (size_t i = 0; i < subjects.size(); ++i) {
+    if (subjects[i].id != static_cast<int32_t>(i)) {
+      return Status::Corruption(
+          StrFormat("subject %zu has id %d", i, subjects[i].id));
+    }
+  }
+  return Status::OK();
+}
+
+Result<graph::HeterogeneousGraph> Dataset::BuildGraph() const {
+  FKD_RETURN_NOT_OK(Validate());
+  graph::HeterogeneousGraph graph(articles.size(), creators.size(),
+                                  subjects.size());
+  for (const Article& article : articles) {
+    FKD_RETURN_NOT_OK(graph.AddEdge(graph::EdgeType::kAuthorship, article.id,
+                                    article.creator));
+    for (int32_t subject : article.subjects) {
+      FKD_RETURN_NOT_OK(graph.AddEdge(graph::EdgeType::kSubjectIndication,
+                                      article.id, subject));
+    }
+  }
+  FKD_RETURN_NOT_OK(graph.Finalize());
+  return graph;
+}
+
+void Dataset::DeriveEntityLabels() {
+  std::vector<double> creator_score(creators.size(), 0.0);
+  std::vector<size_t> creator_count(creators.size(), 0);
+  std::vector<double> subject_score(subjects.size(), 0.0);
+  std::vector<size_t> subject_count(subjects.size(), 0);
+  for (const Article& article : articles) {
+    const double score = static_cast<double>(NumericScore(article.label));
+    creator_score[article.creator] += score;
+    ++creator_count[article.creator];
+    for (int32_t subject : article.subjects) {
+      subject_score[subject] += score;
+      ++subject_count[subject];
+    }
+  }
+  for (size_t i = 0; i < creators.size(); ++i) {
+    if (creator_count[i] > 0) {
+      creators[i].label =
+          LabelFromScore(creator_score[i] / static_cast<double>(creator_count[i]));
+    }
+  }
+  for (size_t i = 0; i < subjects.size(); ++i) {
+    if (subject_count[i] > 0) {
+      subjects[i].label =
+          LabelFromScore(subject_score[i] / static_cast<double>(subject_count[i]));
+    }
+  }
+}
+
+size_t Dataset::NumSubjectLinks() const {
+  size_t total = 0;
+  for (const Article& article : articles) total += article.subjects.size();
+  return total;
+}
+
+std::string DescribeDataset(const Dataset& dataset) {
+  return StrFormat(
+      "articles=%zu creators=%zu subjects=%zu creator-article links=%zu "
+      "article-subject links=%zu",
+      dataset.articles.size(), dataset.creators.size(),
+      dataset.subjects.size(), dataset.articles.size(),
+      dataset.NumSubjectLinks());
+}
+
+}  // namespace data
+}  // namespace fkd

@@ -1,0 +1,452 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace fkd {
+namespace data {
+
+namespace {
+
+// Credibility-correlated vocabulary (Fig 1b/1c: distinctive frequent words
+// of true vs. false articles).
+const std::vector<std::string>& TruePool() {
+  static const auto& kWords = *new std::vector<std::string>{
+      "president", "income",   "tax",      "american", "economy",
+      "percent",   "jobs",     "education", "wage",    "budget",
+      "workers",   "senate",   "bill",     "law",      "average",
+      "million",   "spending", "report",   "rate",     "growth"};
+  return kWords;
+}
+
+const std::vector<std::string>& FalsePool() {
+  static const auto& kWords = *new std::vector<std::string>{
+      "obama",     "republican", "clinton",  "obamacare", "gun",
+      "immigrants", "voter",     "fraud",    "terrorists", "socialist",
+      "scandal",   "conspiracy", "secret",   "illegal",   "refugees",
+      "banned",    "shocking",   "hoax",     "muslims",   "communist"};
+  return kWords;
+}
+
+// Profile vocabulary correlated with creator reliability.
+const std::vector<std::string>& HonestProfilePool() {
+  static const auto& kWords = *new std::vector<std::string>{
+      "senator",  "governor",  "representative", "economist", "professor",
+      "journalist", "analyst", "official",       "spokesman", "director"};
+  return kWords;
+}
+
+const std::vector<std::string>& DubiousProfilePool() {
+  static const auto& kWords = *new std::vector<std::string>{
+      "blogger", "chain",     "email", "viral", "facebook",
+      "post",    "anonymous", "pundit", "radio", "host"};
+  return kWords;
+}
+
+// The 20 most popular subjects of Fig 1d, most popular first, with the
+// fraction of true articles the paper reports or implies. "health" is
+// false-leaning (46.5% true), "economy" true-leaning (63.2% true).
+struct NamedSubject {
+  const char* name;
+  double true_fraction;
+};
+
+constexpr std::array<NamedSubject, 20> kTopSubjects = {{
+    {"health", 0.44},      {"economy", 0.64},    {"taxes", 0.58},
+    {"federal", 0.54},     {"jobs", 0.61},       {"state", 0.53},
+    {"candidates", 0.44},  {"elections", 0.41},  {"immigration", 0.37},
+    {"foreign", 0.52},     {"crime", 0.43},      {"history", 0.48},
+    {"energy", 0.57},      {"legal", 0.51},      {"environment", 0.56},
+    {"guns", 0.34},        {"military", 0.50},   {"terrorism", 0.32},
+    {"education", 0.63},   {"job", 0.60},
+}};
+
+// Persona creators of Fig 1e/1f. Histograms are per-class article counts
+// in figure order True, Mostly True, Half True, Mostly False, False,
+// Pants on Fire!.
+struct Persona {
+  const char* name;
+  std::array<int, 6> counts_true_to_pof;
+};
+
+constexpr std::array<Persona, 4> kPersonas = {{
+    {"Barack Obama", {123, 165, 161, 70, 71, 9}},      // 599 articles.
+    {"Donald Trump", {23, 60, 77, 112, 167, 75}},      // 514 articles.
+    {"Hillary Clinton", {72, 76, 69, 41, 31, 7}},      // 296 articles.
+    {"Mike Pence", {4, 5, 14, 8, 13, 0}},              // 44 articles.
+}};
+
+// Beta(a, b) with small integer parameters via order statistics: the a-th
+// smallest of a+b-1 i.i.d. uniforms. Exact and allocation-light for the
+// parameter sizes used here.
+double BetaInt(int a, int b, Rng* rng) {
+  const int n = a + b - 1;
+  std::array<double, 16> u{};
+  FKD_CHECK_LE(n, 16);
+  for (int i = 0; i < n; ++i) u[i] = rng->Uniform();
+  std::sort(u.begin(), u.begin() + n);
+  return u[a - 1];
+}
+
+// Latent creator reliability: a mixture giving a bimodal population
+// (mostly-honest and mostly-dishonest creators) plus a uniform middle.
+double SampleReliability(Rng* rng) {
+  const double which = rng->Uniform();
+  if (which < 0.45) return BetaInt(7, 3, rng);  // Honest mode, mean 0.7.
+  if (which < 0.80) return BetaInt(3, 7, rng);  // Dishonest mode, mean 0.3.
+  return rng->Uniform(0.2, 0.8);
+}
+
+// Zipf-weighted index into a pool of the given size (rank-1 most likely).
+size_t ZipfIndex(size_t pool_size, Rng* rng) {
+  // Inverse-CDF on a continuous 1/x density over [1, pool_size + 1).
+  const double u = rng->Uniform();
+  const double x = std::pow(static_cast<double>(pool_size) + 1.0, u);
+  size_t index = static_cast<size_t>(x) - 1;
+  if (index >= pool_size) index = pool_size - 1;
+  return index;
+}
+
+class CorpusBuilder {
+ public:
+  CorpusBuilder(const GeneratorOptions& options, Rng* rng)
+      : options_(options), rng_(rng) {
+    filler_.reserve(options.num_filler_words);
+    for (size_t i = 0; i < options.num_filler_words; ++i) {
+      filler_.push_back(StrFormat("filler%04zu", i));
+    }
+  }
+
+  std::string FillerWord() { return filler_[ZipfIndex(filler_.size(), rng_)]; }
+
+  // Draws one credibility-correlated word for an article whose numeric
+  // score is `score` in [1, 6]: the truer the article, the likelier a
+  // true-pool word.
+  std::string ClassWord(int score) {
+    const double p_true = static_cast<double>(score - 1) / 5.0;
+    const auto& pool = rng_->Bernoulli(p_true) ? TruePool() : FalsePool();
+    return pool[ZipfIndex(pool.size(), rng_)];
+  }
+
+  std::string ProfileWord(double reliability) {
+    const auto& pool =
+        rng_->Bernoulli(reliability) ? HonestProfilePool() : DubiousProfilePool();
+    return pool[ZipfIndex(pool.size(), rng_)];
+  }
+
+ private:
+  const GeneratorOptions& options_;
+  Rng* rng_;
+  std::vector<std::string> filler_;
+};
+
+std::string JoinWords(const std::vector<std::string>& words) {
+  return Join(words, " ");
+}
+
+}  // namespace
+
+const std::vector<std::string>& TrueLeaningWords() { return TruePool(); }
+const std::vector<std::string>& FalseLeaningWords() { return FalsePool(); }
+
+const std::vector<std::string>& TopSubjectNames() {
+  static const auto& kNames = [] {
+    auto* names = new std::vector<std::string>();
+    for (const auto& subject : kTopSubjects) names->push_back(subject.name);
+    return names;
+  }();
+  return *kNames;
+}
+
+const std::vector<std::string>& PersonaNames() {
+  static const auto& kNames = [] {
+    auto* names = new std::vector<std::string>();
+    for (const auto& persona : kPersonas) names->push_back(persona.name);
+    return names;
+  }();
+  return *kNames;
+}
+
+GeneratorOptions GeneratorOptions::Scaled(size_t num_articles, uint64_t seed) {
+  GeneratorOptions options;
+  const double ratio =
+      static_cast<double>(num_articles) / static_cast<double>(options.num_articles);
+  options.num_articles = num_articles;
+  options.num_creators = std::max<size_t>(
+      8, static_cast<size_t>(std::lround(3634.0 * ratio)));
+  options.num_subjects = std::max<size_t>(
+      12, static_cast<size_t>(std::lround(152.0 * std::sqrt(ratio))));
+  options.seed = seed;
+  return options;
+}
+
+Result<Dataset> GeneratePolitiFact(const GeneratorOptions& options) {
+  if (options.num_articles == 0 || options.num_creators == 0 ||
+      options.num_subjects == 0) {
+    return Status::InvalidArgument("node counts must be positive");
+  }
+  if (options.num_creators > options.num_articles) {
+    return Status::InvalidArgument(
+        "need num_creators <= num_articles (every creator publishes)");
+  }
+  if (options.mean_subjects_per_article < 1.0) {
+    return Status::InvalidArgument("mean_subjects_per_article must be >= 1");
+  }
+  if (options.power_law_alpha <= 1.0) {
+    return Status::InvalidArgument("power_law_alpha must exceed 1");
+  }
+  if (options.min_article_words == 0 ||
+      options.min_article_words > options.max_article_words) {
+    return Status::InvalidArgument("bad article word-length range");
+  }
+
+  Rng rng(options.seed);
+  CorpusBuilder builder(options, &rng);
+  Dataset dataset;
+
+  // --- Subjects -----------------------------------------------------------
+  // Popularity is Zipf over rank; the first 20 carry the names and truth
+  // biases of Fig 1d, the tail is synthetic with mild random bias.
+  std::vector<double> subject_popularity(options.num_subjects);
+  std::vector<double> subject_bias(options.num_subjects);
+  dataset.subjects.resize(options.num_subjects);
+  for (size_t s = 0; s < options.num_subjects; ++s) {
+    Subject& subject = dataset.subjects[s];
+    subject.id = static_cast<int32_t>(s);
+    subject_popularity[s] = 1.0 / std::pow(static_cast<double>(s + 1), 0.85);
+    if (s < kTopSubjects.size()) {
+      subject.name = kTopSubjects[s].name;
+      subject_bias[s] = kTopSubjects[s].true_fraction;
+    } else {
+      subject.name = StrFormat("subject%03zu", s);
+      subject_bias[s] = rng.Uniform(0.32, 0.68);
+    }
+  }
+
+  // --- Creators -----------------------------------------------------------
+  const bool with_personas =
+      options.include_personas && options.num_creators > kPersonas.size() * 2;
+  const size_t num_personas = with_personas ? kPersonas.size() : 0;
+
+  std::vector<double> reliability(options.num_creators);
+  std::vector<size_t> quota(options.num_creators, 0);
+  dataset.creators.resize(options.num_creators);
+
+  // Persona quotas scale with corpus size relative to the paper's 14,055.
+  const double persona_scale =
+      static_cast<double>(options.num_articles) / 14055.0;
+  size_t persona_total = 0;
+  std::vector<std::array<size_t, 6>> persona_histograms(num_personas);
+  for (size_t p = 0; p < num_personas; ++p) {
+    size_t total = 0;
+    for (size_t c = 0; c < 6; ++c) {
+      // Figure order is True..PoF; our class ids run PoF..True.
+      const int figure_count = kPersonas[p].counts_true_to_pof[c];
+      const size_t scaled = static_cast<size_t>(
+          std::lround(figure_count * persona_scale));
+      persona_histograms[p][5 - c] = scaled;
+      total += scaled;
+    }
+    if (total == 0) {  // Tiny corpora: keep at least one article.
+      persona_histograms[p][5] = 1;
+      total = 1;
+    }
+    quota[p] = total;
+    persona_total += total;
+    dataset.creators[p].name = kPersonas[p].name;
+    // Persona reliability consistent with their histogram (used for
+    // profile text only; labels come from the histogram).
+    double score_mass = 0.0;
+    for (size_t c = 0; c < 6; ++c) {
+      score_mass += static_cast<double>(persona_histograms[p][c]) *
+                    static_cast<double>(c) / 5.0;
+    }
+    reliability[p] = score_mass / static_cast<double>(total);
+  }
+  if (persona_total >= options.num_articles) {
+    return Status::InvalidArgument(
+        "corpus too small for persona histograms; disable include_personas");
+  }
+
+  // Remaining creators: one guaranteed article plus a power-law surplus,
+  // rescaled so totals match exactly.
+  const size_t regular_creators = options.num_creators - num_personas;
+  const size_t regular_articles = options.num_articles - persona_total;
+  if (regular_articles < regular_creators) {
+    return Status::InvalidArgument("not enough articles for all creators");
+  }
+  // The Obama persona must remain the most prolific creator (Fig 1a /
+  // §3.2.1), so cap the power-law head of regular creators below it.
+  size_t creator_cap = options.max_articles_per_creator;
+  if (num_personas > 0) {
+    creator_cap = std::min(creator_cap, std::max<size_t>(2, quota[0] * 4 / 5));
+  }
+  for (size_t u = num_personas; u < options.num_creators; ++u) {
+    dataset.creators[u].name = StrFormat("creator%05zu", u);
+    reliability[u] = SampleReliability(&rng);
+    quota[u] = rng.PowerLaw(options.power_law_alpha, creator_cap);
+  }
+  // Adjust the non-persona quotas to sum exactly to regular_articles.
+  size_t current_total = 0;
+  for (size_t u = num_personas; u < options.num_creators; ++u) {
+    current_total += quota[u];
+  }
+  while (current_total > regular_articles) {
+    const size_t u =
+        num_personas + rng.UniformInt(regular_creators);
+    if (quota[u] > 1) {
+      --quota[u];
+      --current_total;
+    }
+  }
+  // Respect the cap when total capacity allows it, so the persona head of
+  // the distribution is preserved; otherwise the cap must spill over.
+  const bool cap_is_feasible =
+      regular_creators * creator_cap >= regular_articles;
+  while (current_total < regular_articles) {
+    const size_t u =
+        num_personas + rng.UniformInt(regular_creators);
+    if (cap_is_feasible && quota[u] >= creator_cap) continue;
+    ++quota[u];
+    ++current_total;
+  }
+
+  for (size_t u = 0; u < options.num_creators; ++u) {
+    Creator& creator = dataset.creators[u];
+    creator.id = static_cast<int32_t>(u);
+    // Profile text: name tokens + reliability-correlated role words +
+    // filler.
+    std::vector<std::string> words;
+    const size_t profile_length = rng.UniformInt(10, 18);
+    for (size_t i = 0; i < profile_length; ++i) {
+      const double which = rng.Uniform();
+      if (which < 0.45) {
+        words.push_back(builder.ProfileWord(reliability[u]));
+      } else {
+        words.push_back(builder.FillerWord());
+      }
+    }
+    creator.profile = JoinWords(words);
+  }
+
+  // --- Articles -----------------------------------------------------------
+  dataset.articles.reserve(options.num_articles);
+  for (size_t u = 0; u < options.num_creators; ++u) {
+    // Persona class schedule: emit exactly the scaled histogram.
+    std::vector<int32_t> persona_schedule;
+    if (u < num_personas) {
+      for (size_t c = 0; c < 6; ++c) {
+        persona_schedule.insert(persona_schedule.end(), persona_histograms[u][c],
+                                static_cast<int32_t>(c));
+      }
+      rng.Shuffle(&persona_schedule);
+    }
+
+    for (size_t a = 0; a < quota[u]; ++a) {
+      Article article;
+      article.id = static_cast<int32_t>(dataset.articles.size());
+      article.creator = static_cast<int32_t>(u);
+
+      // Primary subject first: its truth bias co-determines the label, so
+      // per-subject credibility skews (Fig 1d) are planted in the data.
+      const int32_t primary_subject =
+          static_cast<int32_t>(rng.Discrete(subject_popularity));
+
+      // Label.
+      if (u < num_personas) {
+        article.label = static_cast<CredibilityLabel>(persona_schedule[a]);
+      } else if (rng.Bernoulli(options.label_noise)) {
+        article.label = static_cast<CredibilityLabel>(rng.UniformInt(6u));
+      } else {
+        const double p = options.creator_influence * reliability[u] +
+                         (1.0 - options.creator_influence) *
+                             subject_bias[primary_subject];
+        int successes = 0;
+        for (int trial = 0; trial < 5; ++trial) {
+          if (rng.Bernoulli(p)) ++successes;
+        }
+        article.label = static_cast<CredibilityLabel>(successes);
+      }
+
+      // Secondary subjects: popularity-weighted but biased toward subjects
+      // whose lean matches the article's label, so every article-subject
+      // link (not just the primary one) carries credibility signal.
+      const double extra_mean = options.mean_subjects_per_article - 1.0;
+      size_t num_subject_links = 1;
+      for (int trial = 0; trial < 6; ++trial) {
+        if (rng.Bernoulli(extra_mean / 6.0)) ++num_subject_links;
+      }
+      num_subject_links = std::min(num_subject_links, options.num_subjects);
+      const bool is_true_leaning = IsPositive(article.label);
+      std::vector<double> compatibility(options.num_subjects);
+      for (size_t s = 0; s < options.num_subjects; ++s) {
+        const double match =
+            is_true_leaning ? subject_bias[s] : 1.0 - subject_bias[s];
+        compatibility[s] = subject_popularity[s] * match;
+      }
+      std::unordered_set<int32_t> chosen = {primary_subject};
+      while (chosen.size() < num_subject_links) {
+        chosen.insert(static_cast<int32_t>(rng.Discrete(compatibility)));
+      }
+      article.subjects.assign(chosen.begin(), chosen.end());
+      std::sort(article.subjects.begin(), article.subjects.end());
+
+      // Statement text.
+      const int score = NumericScore(article.label);
+      const size_t length = rng.UniformInt(
+          static_cast<int64_t>(options.min_article_words),
+          static_cast<int64_t>(options.max_article_words));
+      std::vector<std::string> words;
+      words.reserve(length);
+      for (size_t i = 0; i < length; ++i) {
+        const double which = rng.Uniform();
+        if (which < options.class_word_probability) {
+          words.push_back(builder.ClassWord(score));
+        } else if (which < options.class_word_probability +
+                               options.subject_word_probability) {
+          const int32_t s = article.subjects[rng.UniformInt(
+              article.subjects.size())];
+          words.push_back(dataset.subjects[s].name);
+        } else {
+          words.push_back(builder.FillerWord());
+        }
+      }
+      article.text = JoinWords(words);
+      dataset.articles.push_back(std::move(article));
+    }
+  }
+
+  // --- Subject descriptions (need the subjects' article mix; write a
+  // bias-correlated description) --------------------------------------------
+  for (size_t s = 0; s < options.num_subjects; ++s) {
+    Subject& subject = dataset.subjects[s];
+    std::vector<std::string> words;
+    const size_t length = rng.UniformInt(8, 15);
+    for (size_t i = 0; i < length; ++i) {
+      const double which = rng.Uniform();
+      if (which < 0.30) {
+        words.push_back(subject.name);
+      } else if (which < 0.55) {
+        const auto& pool = rng.Bernoulli(subject_bias[s]) ? TruePool()
+                                                          : FalsePool();
+        words.push_back(pool[ZipfIndex(pool.size(), &rng)]);
+      } else {
+        words.push_back(builder.FillerWord());
+      }
+    }
+    subject.description = JoinWords(words);
+  }
+
+  dataset.DeriveEntityLabels();
+  FKD_RETURN_NOT_OK(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace fkd

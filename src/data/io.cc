@@ -1,0 +1,163 @@
+#include "data/io.h"
+
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace fkd {
+namespace data {
+
+namespace {
+
+Status CheckWritable(std::ofstream& out, const std::string& path) {
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  return Status::OK();
+}
+
+Result<int32_t> ParseId(const std::string& field, const std::string& context) {
+  uint64_t value = 0;
+  if (!ParseUint64(field, &value) || value > INT32_MAX) {
+    return Status::Corruption(context + ": bad id '" + field + "'");
+  }
+  return static_cast<int32_t>(value);
+}
+
+Result<CredibilityLabel> ParseLabelField(const std::string& field,
+                                         const std::string& context) {
+  uint64_t value = 0;
+  if (!ParseUint64(field, &value)) {
+    return Status::Corruption(context + ": bad class id '" + field + "'");
+  }
+  auto label = LabelFromClassId(static_cast<int32_t>(value));
+  if (!label.ok()) return Status::Corruption(context + ": " + label.status().message());
+  return label;
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& prefix) {
+  FKD_RETURN_NOT_OK(dataset.Validate());
+  {
+    const std::string path = prefix + ".articles.tsv";
+    std::ofstream out(path, std::ios::trunc);
+    FKD_RETURN_NOT_OK(CheckWritable(out, path));
+    for (const Article& article : dataset.articles) {
+      std::vector<std::string> subject_ids;
+      subject_ids.reserve(article.subjects.size());
+      for (int32_t s : article.subjects) {
+        subject_ids.push_back(StrFormat("%d", s));
+      }
+      out << article.id << '\t' << article.creator << '\t'
+          << MultiClassOf(article.label) << '\t' << Join(subject_ids, ",")
+          << '\t' << article.text << '\n';
+    }
+    out.flush();
+    if (!out) return Status::IoError("write failed: " + path);
+  }
+  {
+    const std::string path = prefix + ".creators.tsv";
+    std::ofstream out(path, std::ios::trunc);
+    FKD_RETURN_NOT_OK(CheckWritable(out, path));
+    for (const Creator& creator : dataset.creators) {
+      out << creator.id << '\t' << MultiClassOf(creator.label) << '\t'
+          << creator.name << '\t' << creator.profile << '\n';
+    }
+    out.flush();
+    if (!out) return Status::IoError("write failed: " + path);
+  }
+  {
+    const std::string path = prefix + ".subjects.tsv";
+    std::ofstream out(path, std::ios::trunc);
+    FKD_RETURN_NOT_OK(CheckWritable(out, path));
+    for (const Subject& subject : dataset.subjects) {
+      out << subject.id << '\t' << MultiClassOf(subject.label) << '\t'
+          << subject.name << '\t' << subject.description << '\n';
+    }
+    out.flush();
+    if (!out) return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<Dataset> LoadDataset(const std::string& prefix) {
+  Dataset dataset;
+  {
+    const std::string path = prefix + ".articles.tsv";
+    std::ifstream in(path);
+    if (!in) return Status::IoError("cannot open: " + path);
+    std::string line;
+    size_t line_number = 0;
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (line.empty()) continue;
+      const std::string context = StrFormat("%s:%zu", path.c_str(), line_number);
+      const auto fields = Split(line, '\t');
+      if (fields.size() != 5) {
+        return Status::Corruption(context + ": expected 5 fields");
+      }
+      Article article;
+      FKD_ASSIGN_OR_RETURN(article.id, ParseId(fields[0], context));
+      FKD_ASSIGN_OR_RETURN(article.creator, ParseId(fields[1], context));
+      FKD_ASSIGN_OR_RETURN(article.label, ParseLabelField(fields[2], context));
+      for (const std::string& subject_field : Split(fields[3], ',')) {
+        if (subject_field.empty()) continue;
+        FKD_ASSIGN_OR_RETURN(int32_t subject, ParseId(subject_field, context));
+        article.subjects.push_back(subject);
+      }
+      article.text = fields[4];
+      dataset.articles.push_back(std::move(article));
+    }
+  }
+  {
+    const std::string path = prefix + ".creators.tsv";
+    std::ifstream in(path);
+    if (!in) return Status::IoError("cannot open: " + path);
+    std::string line;
+    size_t line_number = 0;
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (line.empty()) continue;
+      const std::string context = StrFormat("%s:%zu", path.c_str(), line_number);
+      const auto fields = Split(line, '\t');
+      if (fields.size() != 4) {
+        return Status::Corruption(context + ": expected 4 fields");
+      }
+      Creator creator;
+      FKD_ASSIGN_OR_RETURN(creator.id, ParseId(fields[0], context));
+      FKD_ASSIGN_OR_RETURN(creator.label, ParseLabelField(fields[1], context));
+      creator.name = fields[2];
+      creator.profile = fields[3];
+      dataset.creators.push_back(std::move(creator));
+    }
+  }
+  {
+    const std::string path = prefix + ".subjects.tsv";
+    std::ifstream in(path);
+    if (!in) return Status::IoError("cannot open: " + path);
+    std::string line;
+    size_t line_number = 0;
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (line.empty()) continue;
+      const std::string context = StrFormat("%s:%zu", path.c_str(), line_number);
+      const auto fields = Split(line, '\t');
+      if (fields.size() != 4) {
+        return Status::Corruption(context + ": expected 4 fields");
+      }
+      Subject subject;
+      FKD_ASSIGN_OR_RETURN(subject.id, ParseId(fields[0], context));
+      FKD_ASSIGN_OR_RETURN(subject.label, ParseLabelField(fields[1], context));
+      subject.name = fields[2];
+      subject.description = fields[3];
+      dataset.subjects.push_back(std::move(subject));
+    }
+  }
+  Status valid = dataset.Validate();
+  if (!valid.ok()) {
+    return Status::Corruption("loaded dataset invalid: " + valid.message());
+  }
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace fkd

@@ -1,0 +1,29 @@
+#ifndef FKD_DATA_IO_H_
+#define FKD_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace fkd {
+namespace data {
+
+/// Writes the three entity tables to `<prefix>.articles.tsv`,
+/// `<prefix>.creators.tsv`, `<prefix>.subjects.tsv`.
+///
+/// Article rows: id, creator, class id, comma-separated subject ids, text.
+/// Creator rows: id, class id, name, profile.
+/// Subject rows: id, class id, name, description.
+/// Free text is the last field so it may contain anything except tab and
+/// newline.
+Status SaveDataset(const Dataset& dataset, const std::string& prefix);
+
+/// Loads and validates a dataset written by SaveDataset. Malformed rows
+/// produce Corruption with file/line context.
+Result<Dataset> LoadDataset(const std::string& prefix);
+
+}  // namespace data
+}  // namespace fkd
+
+#endif  // FKD_DATA_IO_H_

@@ -1,0 +1,54 @@
+#include "data/labels.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace fkd {
+namespace data {
+
+std::string_view LabelName(CredibilityLabel label) {
+  switch (label) {
+    case CredibilityLabel::kPantsOnFire:
+      return "Pants on Fire!";
+    case CredibilityLabel::kFalse:
+      return "False";
+    case CredibilityLabel::kMostlyFalse:
+      return "Mostly False";
+    case CredibilityLabel::kHalfTrue:
+      return "Half True";
+    case CredibilityLabel::kMostlyTrue:
+      return "Mostly True";
+    case CredibilityLabel::kTrue:
+      return "True";
+  }
+  return "?";
+}
+
+Result<CredibilityLabel> LabelFromName(std::string_view name) {
+  for (size_t id = 0; id < kNumCredibilityClasses; ++id) {
+    const auto label = static_cast<CredibilityLabel>(id);
+    if (LabelName(label) == name) return label;
+  }
+  return Status::InvalidArgument(
+      StrFormat("unknown credibility label '%.*s'",
+                static_cast<int>(name.size()), name.data()));
+}
+
+CredibilityLabel LabelFromScore(double score) {
+  const double rounded = std::round(score);
+  double clamped = rounded;
+  if (clamped < 1.0) clamped = 1.0;
+  if (clamped > 6.0) clamped = 6.0;
+  return static_cast<CredibilityLabel>(static_cast<int>(clamped) - 1);
+}
+
+Result<CredibilityLabel> LabelFromClassId(int32_t class_id) {
+  if (class_id < 0 || class_id >= static_cast<int32_t>(kNumCredibilityClasses)) {
+    return Status::OutOfRange(StrFormat("class id %d not in [0, 6)", class_id));
+  }
+  return static_cast<CredibilityLabel>(class_id);
+}
+
+}  // namespace data
+}  // namespace fkd

@@ -1,0 +1,64 @@
+#ifndef FKD_DATA_LABELS_H_
+#define FKD_DATA_LABELS_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace fkd {
+namespace data {
+
+/// PolitiFact "Truth-O-Meter" credibility classes, ordered from least to
+/// most credible. The class id doubles as the 0-based ordinal; the paper's
+/// numeric score (§5.1.1: "Pants on Fire!": 1 ... "True": 6) is id + 1.
+enum class CredibilityLabel : int8_t {
+  kPantsOnFire = 0,
+  kFalse = 1,
+  kMostlyFalse = 2,
+  kHalfTrue = 3,
+  kMostlyTrue = 4,
+  kTrue = 5,
+};
+
+inline constexpr size_t kNumCredibilityClasses = 6;
+inline constexpr size_t kNumBiClasses = 2;
+
+/// Display name, e.g. "Pants on Fire!".
+std::string_view LabelName(CredibilityLabel label);
+
+/// Parses a display name back to a label.
+Result<CredibilityLabel> LabelFromName(std::string_view name);
+
+/// The paper's numeric credibility score in [1, 6].
+inline int NumericScore(CredibilityLabel label) {
+  return static_cast<int>(label) + 1;
+}
+
+/// Inverse of NumericScore with rounding and clamping; used to derive
+/// creator/subject ground truth from the weighted mean of their articles'
+/// scores (§5.1.1).
+CredibilityLabel LabelFromScore(double score);
+
+/// Bi-class grouping (§5.1.3): {Half True, Mostly True, True} => positive.
+inline bool IsPositive(CredibilityLabel label) {
+  return static_cast<int>(label) >= static_cast<int>(CredibilityLabel::kHalfTrue);
+}
+
+/// 1 for the positive (credible) group, 0 for the negative group.
+inline int32_t BiClassOf(CredibilityLabel label) {
+  return IsPositive(label) ? 1 : 0;
+}
+
+/// The 0-based multi-class id.
+inline int32_t MultiClassOf(CredibilityLabel label) {
+  return static_cast<int32_t>(label);
+}
+
+/// Validated conversion from a class id in [0, 6).
+Result<CredibilityLabel> LabelFromClassId(int32_t class_id);
+
+}  // namespace data
+}  // namespace fkd
+
+#endif  // FKD_DATA_LABELS_H_

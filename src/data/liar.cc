@@ -1,0 +1,141 @@
+#include "data/liar.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace fkd {
+namespace data {
+
+Result<CredibilityLabel> LiarLabelFromToken(std::string_view token) {
+  // LIAR's "barely-true" sits where the paper's "Mostly False" rung does.
+  if (token == "pants-fire") return CredibilityLabel::kPantsOnFire;
+  if (token == "false") return CredibilityLabel::kFalse;
+  if (token == "barely-true") return CredibilityLabel::kMostlyFalse;
+  if (token == "half-true") return CredibilityLabel::kHalfTrue;
+  if (token == "mostly-true") return CredibilityLabel::kMostlyTrue;
+  if (token == "true") return CredibilityLabel::kTrue;
+  return Status::InvalidArgument(
+      StrFormat("unknown LIAR label '%.*s'", static_cast<int>(token.size()),
+                token.data()));
+}
+
+Result<Dataset> LoadLiarDataset(const std::string& path,
+                                const LiarImportOptions& options) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+
+  Dataset dataset;
+  std::map<std::string, int32_t> creator_ids;
+  std::map<std::string, int32_t> subject_ids;
+
+  std::string line;
+  size_t line_number = 0;
+  size_t skipped = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (Trim(line).empty()) continue;
+    const std::string context = StrFormat("%s:%zu", path.c_str(), line_number);
+    const auto fields = Split(line, '\t');
+
+    auto reject = [&](const std::string& reason) -> Status {
+      if (options.skip_bad_rows) {
+        ++skipped;
+        return Status::OK();
+      }
+      return Status::Corruption(context + ": " + reason);
+    };
+
+    if (fields.size() < 8) {
+      FKD_RETURN_NOT_OK(reject(StrFormat("expected >= 8 tab-separated "
+                                         "columns, found %zu",
+                                         fields.size())));
+      continue;
+    }
+    const std::string statement(Trim(fields[2]));
+    if (statement.empty()) {
+      FKD_RETURN_NOT_OK(reject("empty statement"));
+      continue;
+    }
+    auto label = LiarLabelFromToken(std::string(Trim(fields[1])));
+    if (!label.ok()) {
+      FKD_RETURN_NOT_OK(reject(label.status().message()));
+      continue;
+    }
+
+    // Subjects: distinct non-empty names.
+    std::vector<std::string> subject_names;
+    for (const auto& raw : Split(fields[3], ',')) {
+      const std::string name = ToLower(Trim(raw));
+      if (!name.empty()) subject_names.push_back(name);
+    }
+    std::sort(subject_names.begin(), subject_names.end());
+    subject_names.erase(
+        std::unique(subject_names.begin(), subject_names.end()),
+        subject_names.end());
+    if (subject_names.empty()) {
+      FKD_RETURN_NOT_OK(reject("no subjects"));
+      continue;
+    }
+
+    const std::string speaker = ToLower(Trim(fields[4]));
+    if (speaker.empty()) {
+      FKD_RETURN_NOT_OK(reject("no speaker"));
+      continue;
+    }
+
+    // Intern the creator.
+    auto [creator_it, creator_inserted] =
+        creator_ids.try_emplace(speaker, static_cast<int32_t>(dataset.creators.size()));
+    if (creator_inserted) {
+      Creator creator;
+      creator.id = creator_it->second;
+      creator.name = speaker;
+      std::vector<std::string> profile_parts;
+      for (size_t column : {5u, 6u, 7u}) {
+        if (column < fields.size()) {
+          const std::string part(Trim(fields[column]));
+          if (!part.empty()) profile_parts.push_back(ToLower(part));
+        }
+      }
+      creator.profile =
+          profile_parts.empty() ? speaker : Join(profile_parts, " ");
+      dataset.creators.push_back(std::move(creator));
+    }
+
+    Article article;
+    article.id = static_cast<int32_t>(dataset.articles.size());
+    article.text = statement;
+    article.label = label.value();
+    article.creator = creator_it->second;
+    for (const auto& name : subject_names) {
+      auto [subject_it, subject_inserted] = subject_ids.try_emplace(
+          name, static_cast<int32_t>(dataset.subjects.size()));
+      if (subject_inserted) {
+        Subject subject;
+        subject.id = subject_it->second;
+        subject.name = name;
+        subject.description = name;
+        dataset.subjects.push_back(std::move(subject));
+      }
+      article.subjects.push_back(subject_it->second);
+    }
+    std::sort(article.subjects.begin(), article.subjects.end());
+    dataset.articles.push_back(std::move(article));
+  }
+
+  if (dataset.articles.empty()) {
+    return Status::Corruption(path + ": no usable rows" +
+                              (skipped > 0
+                                   ? StrFormat(" (%zu skipped)", skipped)
+                                   : ""));
+  }
+  dataset.DeriveEntityLabels();
+  FKD_RETURN_NOT_OK(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace fkd

@@ -1,0 +1,52 @@
+#ifndef FKD_DATA_LIAR_H_
+#define FKD_DATA_LIAR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace fkd {
+namespace data {
+
+/// Importer for the public LIAR benchmark (Wang, ACL 2017), the standard
+/// redistributable PolitiFact-derived corpus. Users with the real data can
+/// load it straight into this library's `Dataset` and run every model and
+/// bench unchanged.
+///
+/// LIAR rows are tab-separated with 14 columns:
+///   0 id            ("2635.json")
+///   1 label         (pants-fire | false | barely-true | half-true |
+///                    mostly-true | true)
+///   2 statement     (the article text)
+///   3 subjects      (comma-separated subject names)
+///   4 speaker       (the creator)
+///   5 speaker job title
+///   6 state
+///   7 party
+///   8..12 credit-history counts (ignored)
+///   13 context      (ignored)
+///
+/// Mapping into the News-HSN: each distinct speaker becomes a creator
+/// (profile = "<job> <state> <party>"), each distinct subject name becomes
+/// a subject node (description = its name), LIAR's "barely-true" maps to
+/// this library's "Mostly False" rung, and creator/subject ground truth is
+/// derived with the paper's weighted-mean rule (§5.1.1).
+///
+/// Rows with a missing statement, unknown label, or no subjects are
+/// rejected as Corruption (pass `skip_bad_rows` to drop them instead).
+struct LiarImportOptions {
+  /// Drop malformed rows instead of failing the import.
+  bool skip_bad_rows = false;
+};
+
+Result<Dataset> LoadLiarDataset(const std::string& path,
+                                const LiarImportOptions& options = {});
+
+/// Parses one LIAR label token ("pants-fire", "barely-true", ...).
+Result<CredibilityLabel> LiarLabelFromToken(std::string_view token);
+
+}  // namespace data
+}  // namespace fkd
+
+#endif  // FKD_DATA_LIAR_H_

@@ -1,0 +1,75 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/string_util.h"
+
+namespace fkd {
+namespace data {
+
+Result<std::vector<CvSplit>> KFoldSplits(size_t n, size_t k, Rng* rng) {
+  if (k < 2) return Status::InvalidArgument("k-fold needs k >= 2");
+  if (k > n) {
+    return Status::InvalidArgument(
+        StrFormat("k-fold needs k <= n (k=%zu, n=%zu)", k, n));
+  }
+  FKD_CHECK(rng != nullptr);
+
+  std::vector<int32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  // Fold f takes the contiguous chunk [bounds[f], bounds[f+1]) of the
+  // shuffled order as its test set.
+  std::vector<size_t> bounds(k + 1, 0);
+  for (size_t f = 0; f <= k; ++f) bounds[f] = f * n / k;
+
+  std::vector<CvSplit> splits(k);
+  for (size_t f = 0; f < k; ++f) {
+    CvSplit& split = splits[f];
+    split.test.assign(order.begin() + bounds[f], order.begin() + bounds[f + 1]);
+    split.train.reserve(n - split.test.size());
+    split.train.insert(split.train.end(), order.begin(),
+                       order.begin() + bounds[f]);
+    split.train.insert(split.train.end(), order.begin() + bounds[f + 1],
+                       order.end());
+  }
+  return splits;
+}
+
+std::vector<int32_t> SubsampleTraining(const std::vector<int32_t>& train,
+                                       double theta, Rng* rng) {
+  FKD_CHECK(rng != nullptr);
+  FKD_CHECK_GT(theta, 0.0);
+  FKD_CHECK_LE(theta, 1.0);
+  if (train.empty()) return {};
+  size_t keep = static_cast<size_t>(
+      std::lround(theta * static_cast<double>(train.size())));
+  keep = std::max<size_t>(1, std::min(keep, train.size()));
+  std::vector<size_t> picks = rng->SampleWithoutReplacement(train.size(), keep);
+  std::vector<int32_t> sampled;
+  sampled.reserve(keep);
+  for (size_t index : picks) sampled.push_back(train[index]);
+  return sampled;
+}
+
+Result<std::vector<TriSplit>> KFoldTriSplits(size_t num_articles,
+                                             size_t num_creators,
+                                             size_t num_subjects, size_t k,
+                                             Rng* rng) {
+  FKD_ASSIGN_OR_RETURN(auto article_splits, KFoldSplits(num_articles, k, rng));
+  FKD_ASSIGN_OR_RETURN(auto creator_splits, KFoldSplits(num_creators, k, rng));
+  FKD_ASSIGN_OR_RETURN(auto subject_splits, KFoldSplits(num_subjects, k, rng));
+  std::vector<TriSplit> splits(k);
+  for (size_t f = 0; f < k; ++f) {
+    splits[f].articles = std::move(article_splits[f]);
+    splits[f].creators = std::move(creator_splits[f]);
+    splits[f].subjects = std::move(subject_splits[f]);
+  }
+  return splits;
+}
+
+}  // namespace data
+}  // namespace fkd

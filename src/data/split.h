@@ -1,0 +1,49 @@
+#ifndef FKD_DATA_SPLIT_H_
+#define FKD_DATA_SPLIT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace fkd {
+namespace data {
+
+/// One cross-validation fold: disjoint train/test index sets over [0, n).
+struct CvSplit {
+  std::vector<int32_t> train;
+  std::vector<int32_t> test;
+};
+
+/// Shuffled k-fold cross-validation over n instances (§5.1.1 uses k = 10,
+/// i.e. a 9:1 train:test ratio per fold). Every index appears in exactly
+/// one fold's test set; fold sizes differ by at most one. Requires
+/// 2 <= k <= n.
+Result<std::vector<CvSplit>> KFoldSplits(size_t n, size_t k, Rng* rng);
+
+/// The paper's sample-ratio protocol (§5.1.1): keeps a uniformly random
+/// theta-fraction of the training indices (theta in (0, 1]; theta = 1
+/// returns all, order shuffled). At least one index is kept when train is
+/// non-empty.
+std::vector<int32_t> SubsampleTraining(const std::vector<int32_t>& train,
+                                       double theta, Rng* rng);
+
+/// Per-node-type splits for the three entity sets of one experiment run.
+struct TriSplit {
+  CvSplit articles;
+  CvSplit creators;
+  CvSplit subjects;
+};
+
+/// Builds aligned k-fold splits for articles/creators/subjects (each set
+/// is split independently, as the paper partitions all three sets 9:1).
+Result<std::vector<TriSplit>> KFoldTriSplits(size_t num_articles,
+                                             size_t num_creators,
+                                             size_t num_subjects, size_t k,
+                                             Rng* rng);
+
+}  // namespace data
+}  // namespace fkd
+
+#endif  // FKD_DATA_SPLIT_H_

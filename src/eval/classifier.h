@@ -1,0 +1,91 @@
+#ifndef FKD_EVAL_CLASSIFIER_H_
+#define FKD_EVAL_CLASSIFIER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "graph/hetero_graph.h"
+
+namespace fkd {
+namespace eval {
+
+/// Whether an experiment runs the bi-class grouping (Fig 4) or the raw
+/// 6-class problem (Fig 5).
+enum class LabelGranularity { kBinary = 0, kMulti = 1 };
+
+inline size_t NumClasses(LabelGranularity granularity) {
+  return granularity == LabelGranularity::kBinary
+             ? data::kNumBiClasses
+             : data::kNumCredibilityClasses;
+}
+
+/// Maps a ground-truth label to the experiment's target class id.
+inline int32_t TargetOf(data::CredibilityLabel label,
+                        LabelGranularity granularity) {
+  return granularity == LabelGranularity::kBinary ? data::BiClassOf(label)
+                                                  : data::MultiClassOf(label);
+}
+
+/// Everything a method may use for training one run: the full dataset and
+/// graph (the setting is transductive — texts and structure of every node
+/// are visible) plus the indices whose labels are revealed.
+struct TrainContext {
+  const data::Dataset* dataset = nullptr;
+  const graph::HeterogeneousGraph* graph = nullptr;
+  std::vector<int32_t> train_articles;
+  std::vector<int32_t> train_creators;
+  std::vector<int32_t> train_subjects;
+  LabelGranularity granularity = LabelGranularity::kBinary;
+  uint64_t seed = 0;
+
+  /// Revealed target of a training node.
+  int32_t ArticleTarget(int32_t id) const {
+    return TargetOf(dataset->articles[id].label, granularity);
+  }
+  int32_t CreatorTarget(int32_t id) const {
+    return TargetOf(dataset->creators[id].label, granularity);
+  }
+  int32_t SubjectTarget(int32_t id) const {
+    return TargetOf(dataset->subjects[id].label, granularity);
+  }
+};
+
+/// Predicted class ids for every node of each type (indexed by node id).
+struct Predictions {
+  std::vector<int32_t> articles;
+  std::vector<int32_t> creators;
+  std::vector<int32_t> subjects;
+};
+
+/// Common interface of FakeDetector and every baseline, so the experiment
+/// harness can sweep methods x sample-ratios x folds uniformly.
+///
+/// Protocol: one Train() per instance, then Predict(). Instances are
+/// single-use (the harness constructs a fresh one per run via a factory).
+class CredibilityClassifier {
+ public:
+  virtual ~CredibilityClassifier() = default;
+
+  /// Short method name as it appears in the paper's legends
+  /// ("FakeDetector", "deepwalk", "line", "lp", "rnn", "svm").
+  virtual std::string Name() const = 0;
+
+  virtual Status Train(const TrainContext& context) = 0;
+
+  /// Predicts all nodes (the harness evaluates the test subset).
+  virtual Result<Predictions> Predict() = 0;
+};
+
+/// Constructs a fresh classifier for one (fold, theta) run.
+using ClassifierFactory =
+    std::function<std::unique_ptr<CredibilityClassifier>()>;
+
+}  // namespace eval
+}  // namespace fkd
+
+#endif  // FKD_EVAL_CLASSIFIER_H_

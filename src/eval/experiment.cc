@@ -1,0 +1,158 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace fkd {
+namespace eval {
+
+namespace {
+
+/// Evaluates the test subset of one node type against predictions and
+/// returns the four figure metrics.
+MetricsRow EvaluateNodeType(const std::vector<int32_t>& test_ids,
+                            const std::vector<int32_t>& actual_targets,
+                            const std::vector<int32_t>& predicted,
+                            LabelGranularity granularity) {
+  ConfusionMatrix matrix(NumClasses(granularity));
+  for (int32_t id : test_ids) {
+    matrix.Add(actual_targets[id], predicted[id]);
+  }
+  MetricsRow row;
+  if (granularity == LabelGranularity::kBinary) {
+    const BinaryMetrics m = ComputeBinaryMetrics(matrix);
+    row = {m.accuracy, m.precision, m.recall, m.f1};
+  } else {
+    const MultiClassMetrics m = ComputeMultiClassMetrics(matrix);
+    row = {m.accuracy, m.macro_precision, m.macro_recall, m.macro_f1};
+  }
+  return row;
+}
+
+void Accumulate(MetricsRow* total, const MetricsRow& row) {
+  total->accuracy += row.accuracy;
+  total->precision += row.precision;
+  total->recall += row.recall;
+  total->f1 += row.f1;
+}
+
+void Scale(MetricsRow* total, double factor) {
+  total->accuracy *= factor;
+  total->precision *= factor;
+  total->recall *= factor;
+  total->f1 *= factor;
+}
+
+}  // namespace
+
+ExperimentRunner::ExperimentRunner(const data::Dataset& dataset,
+                                   ExperimentOptions options)
+    : dataset_(dataset), options_(std::move(options)) {}
+
+void ExperimentRunner::RegisterMethod(ClassifierFactory factory) {
+  factories_.push_back(std::move(factory));
+}
+
+Result<std::vector<SweepResult>> ExperimentRunner::Run() {
+  if (factories_.empty()) {
+    return Status::FailedPrecondition("no methods registered");
+  }
+  FKD_RETURN_NOT_OK(dataset_.Validate());
+  FKD_ASSIGN_OR_RETURN(auto graph, dataset_.BuildGraph());
+
+  // Ground-truth targets, precomputed per granularity.
+  std::vector<int32_t> article_targets(dataset_.articles.size());
+  std::vector<int32_t> creator_targets(dataset_.creators.size());
+  std::vector<int32_t> subject_targets(dataset_.subjects.size());
+  for (const auto& a : dataset_.articles) {
+    article_targets[a.id] = TargetOf(a.label, options_.granularity);
+  }
+  for (const auto& c : dataset_.creators) {
+    creator_targets[c.id] = TargetOf(c.label, options_.granularity);
+  }
+  for (const auto& s : dataset_.subjects) {
+    subject_targets[s.id] = TargetOf(s.label, options_.granularity);
+  }
+
+  Rng split_rng(options_.seed);
+  FKD_ASSIGN_OR_RETURN(
+      auto splits,
+      data::KFoldTriSplits(dataset_.articles.size(), dataset_.creators.size(),
+                           dataset_.subjects.size(), options_.k_folds,
+                           &split_rng));
+  size_t folds_to_run = options_.folds_to_run == 0
+                            ? splits.size()
+                            : std::min(options_.folds_to_run, splits.size());
+
+  std::vector<SweepResult> results;
+  for (size_t m = 0; m < factories_.size(); ++m) {
+    for (double theta : options_.sample_ratios) {
+      SweepResult cell;
+      cell.theta = theta;
+      cell.folds = folds_to_run;
+      for (size_t fold = 0; fold < folds_to_run; ++fold) {
+        const data::TriSplit& split = splits[fold];
+        // Deterministic per-(method, theta, fold) randomness.
+        const uint64_t run_seed =
+            options_.seed * 1000003ULL + m * 10007ULL + fold * 101ULL +
+            static_cast<uint64_t>(theta * 100.0);
+        Rng run_rng(run_seed);
+
+        TrainContext context;
+        context.dataset = &dataset_;
+        context.graph = &graph;
+        context.granularity = options_.granularity;
+        context.seed = run_seed;
+        context.train_articles =
+            data::SubsampleTraining(split.articles.train, theta, &run_rng);
+        context.train_creators =
+            data::SubsampleTraining(split.creators.train, theta, &run_rng);
+        context.train_subjects =
+            data::SubsampleTraining(split.subjects.train, theta, &run_rng);
+
+        std::unique_ptr<CredibilityClassifier> classifier = factories_[m]();
+        FKD_CHECK(classifier != nullptr);
+        if (cell.method.empty()) cell.method = classifier->Name();
+
+        WallTimer timer;
+        FKD_RETURN_NOT_OK(classifier->Train(context));
+        FKD_ASSIGN_OR_RETURN(Predictions predictions, classifier->Predict());
+        if (predictions.articles.size() != dataset_.articles.size() ||
+            predictions.creators.size() != dataset_.creators.size() ||
+            predictions.subjects.size() != dataset_.subjects.size()) {
+          return Status::Internal(classifier->Name() +
+                                  ": prediction vector size mismatch");
+        }
+
+        Accumulate(&cell.articles,
+                   EvaluateNodeType(split.articles.test, article_targets,
+                                    predictions.articles,
+                                    options_.granularity));
+        Accumulate(&cell.creators,
+                   EvaluateNodeType(split.creators.test, creator_targets,
+                                    predictions.creators,
+                                    options_.granularity));
+        Accumulate(&cell.subjects,
+                   EvaluateNodeType(split.subjects.test, subject_targets,
+                                    predictions.subjects,
+                                    options_.granularity));
+        if (options_.verbose) {
+          FKD_LOG(Info) << cell.method << " theta=" << theta
+                        << " fold=" << fold << " done in "
+                        << timer.ElapsedSeconds() << "s";
+        }
+      }
+      const double inverse_folds = 1.0 / static_cast<double>(folds_to_run);
+      Scale(&cell.articles, inverse_folds);
+      Scale(&cell.creators, inverse_folds);
+      Scale(&cell.subjects, inverse_folds);
+      results.push_back(std::move(cell));
+    }
+  }
+  return results;
+}
+
+}  // namespace eval
+}  // namespace fkd

@@ -1,0 +1,76 @@
+#ifndef FKD_EVAL_EXPERIMENT_H_
+#define FKD_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "data/split.h"
+#include "eval/classifier.h"
+#include "eval/metrics.h"
+
+namespace fkd {
+namespace eval {
+
+/// Configuration of one figure-style sweep (methods x sample ratios x CV
+/// folds), mirroring §5.1.1.
+struct ExperimentOptions {
+  /// Cross-validation folds (paper: 10).
+  size_t k_folds = 10;
+  /// How many of the k folds to actually run (0 = all); benches run fewer
+  /// folds at default scale to stay fast.
+  size_t folds_to_run = 0;
+  /// Training sample ratios theta (paper: 0.1 .. 1.0).
+  std::vector<double> sample_ratios = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                       0.6, 0.7, 0.8, 0.9, 1.0};
+  LabelGranularity granularity = LabelGranularity::kBinary;
+  uint64_t seed = 7;
+  /// Emit one INFO log line per completed (method, theta, fold) run.
+  bool verbose = false;
+};
+
+/// The four figure metrics for one node type. For binary granularity these
+/// are Accuracy/Precision/Recall/F1 on the positive class (Fig 4); for
+/// multi granularity they are Accuracy/Macro-Precision/Macro-Recall/
+/// Macro-F1 (Fig 5).
+struct MetricsRow {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Fold-averaged result of one (method, theta) cell of a figure.
+struct SweepResult {
+  std::string method;
+  double theta = 0.0;
+  MetricsRow articles;
+  MetricsRow creators;
+  MetricsRow subjects;
+  size_t folds = 0;
+};
+
+/// Runs registered methods through the paper's evaluation protocol on one
+/// dataset: k-fold CV per node type, theta-subsampled training sets, test
+/// evaluation of articles/creators/subjects separately.
+class ExperimentRunner {
+ public:
+  /// The dataset must outlive the runner.
+  ExperimentRunner(const data::Dataset& dataset, ExperimentOptions options);
+
+  /// Registers a method; `factory` is invoked once per (theta, fold) run.
+  void RegisterMethod(ClassifierFactory factory);
+
+  /// Executes the full sweep. Results are ordered method-major, theta
+  /// ascending within a method.
+  Result<std::vector<SweepResult>> Run();
+
+ private:
+  const data::Dataset& dataset_;
+  ExperimentOptions options_;
+  std::vector<ClassifierFactory> factories_;
+};
+
+}  // namespace eval
+}  // namespace fkd
+
+#endif  // FKD_EVAL_EXPERIMENT_H_

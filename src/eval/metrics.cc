@@ -1,0 +1,149 @@
+#include "eval/metrics.h"
+
+#include <sstream>
+
+namespace fkd {
+namespace eval {
+
+ConfusionMatrix::ConfusionMatrix(size_t num_classes)
+    : num_classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  FKD_CHECK_GE(num_classes, 2u);
+}
+
+void ConfusionMatrix::Add(int32_t actual, int32_t predicted) {
+  FKD_CHECK_GE(actual, 0);
+  FKD_CHECK_LT(static_cast<size_t>(actual), num_classes_);
+  FKD_CHECK_GE(predicted, 0);
+  FKD_CHECK_LT(static_cast<size_t>(predicted), num_classes_);
+  ++counts_[static_cast<size_t>(actual) * num_classes_ +
+            static_cast<size_t>(predicted)];
+  ++total_;
+}
+
+void ConfusionMatrix::AddAll(const std::vector<int32_t>& actual,
+                             const std::vector<int32_t>& predicted) {
+  FKD_CHECK_EQ(actual.size(), predicted.size());
+  for (size_t i = 0; i < actual.size(); ++i) Add(actual[i], predicted[i]);
+}
+
+int64_t ConfusionMatrix::Count(int32_t actual, int32_t predicted) const {
+  FKD_CHECK_GE(actual, 0);
+  FKD_CHECK_LT(static_cast<size_t>(actual), num_classes_);
+  FKD_CHECK_GE(predicted, 0);
+  FKD_CHECK_LT(static_cast<size_t>(predicted), num_classes_);
+  return counts_[static_cast<size_t>(actual) * num_classes_ +
+                 static_cast<size_t>(predicted)];
+}
+
+int64_t ConfusionMatrix::TruePositives(int32_t cls) const {
+  return Count(cls, cls);
+}
+
+int64_t ConfusionMatrix::FalsePositives(int32_t cls) const {
+  int64_t fp = 0;
+  for (size_t actual = 0; actual < num_classes_; ++actual) {
+    if (actual != static_cast<size_t>(cls)) {
+      fp += Count(static_cast<int32_t>(actual), cls);
+    }
+  }
+  return fp;
+}
+
+int64_t ConfusionMatrix::FalseNegatives(int32_t cls) const {
+  int64_t fn = 0;
+  for (size_t predicted = 0; predicted < num_classes_; ++predicted) {
+    if (predicted != static_cast<size_t>(cls)) {
+      fn += Count(cls, static_cast<int32_t>(predicted));
+    }
+  }
+  return fn;
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  int64_t correct = 0;
+  for (size_t c = 0; c < num_classes_; ++c) {
+    correct += Count(static_cast<int32_t>(c), static_cast<int32_t>(c));
+  }
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Precision(int32_t cls) const {
+  const int64_t tp = TruePositives(cls);
+  const int64_t denominator = tp + FalsePositives(cls);
+  return denominator == 0 ? 0.0
+                          : static_cast<double>(tp) /
+                                static_cast<double>(denominator);
+}
+
+double ConfusionMatrix::Recall(int32_t cls) const {
+  const int64_t tp = TruePositives(cls);
+  const int64_t denominator = tp + FalseNegatives(cls);
+  return denominator == 0 ? 0.0
+                          : static_cast<double>(tp) /
+                                static_cast<double>(denominator);
+}
+
+double ConfusionMatrix::F1(int32_t cls) const {
+  const double p = Precision(cls);
+  const double r = Recall(cls);
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::MacroPrecision() const {
+  double total = 0.0;
+  for (size_t c = 0; c < num_classes_; ++c) {
+    total += Precision(static_cast<int32_t>(c));
+  }
+  return total / static_cast<double>(num_classes_);
+}
+
+double ConfusionMatrix::MacroRecall() const {
+  double total = 0.0;
+  for (size_t c = 0; c < num_classes_; ++c) {
+    total += Recall(static_cast<int32_t>(c));
+  }
+  return total / static_cast<double>(num_classes_);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  double total = 0.0;
+  for (size_t c = 0; c < num_classes_; ++c) {
+    total += F1(static_cast<int32_t>(c));
+  }
+  return total / static_cast<double>(num_classes_);
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream os;
+  os << "confusion (rows=actual, cols=predicted):\n";
+  for (size_t a = 0; a < num_classes_; ++a) {
+    for (size_t p = 0; p < num_classes_; ++p) {
+      os << Count(static_cast<int32_t>(a), static_cast<int32_t>(p))
+         << (p + 1 == num_classes_ ? "\n" : "\t");
+    }
+  }
+  return os.str();
+}
+
+BinaryMetrics ComputeBinaryMetrics(const ConfusionMatrix& matrix) {
+  FKD_CHECK_EQ(matrix.num_classes(), 2u);
+  BinaryMetrics metrics;
+  metrics.accuracy = matrix.Accuracy();
+  metrics.precision = matrix.Precision(1);
+  metrics.recall = matrix.Recall(1);
+  metrics.f1 = matrix.F1(1);
+  return metrics;
+}
+
+MultiClassMetrics ComputeMultiClassMetrics(const ConfusionMatrix& matrix) {
+  MultiClassMetrics metrics;
+  metrics.accuracy = matrix.Accuracy();
+  metrics.macro_precision = matrix.MacroPrecision();
+  metrics.macro_recall = matrix.MacroRecall();
+  metrics.macro_f1 = matrix.MacroF1();
+  return metrics;
+}
+
+}  // namespace eval
+}  // namespace fkd

@@ -1,0 +1,82 @@
+#ifndef FKD_EVAL_METRICS_H_
+#define FKD_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fkd {
+namespace eval {
+
+/// K x K confusion matrix accumulated one (actual, predicted) pair at a
+/// time; the source of every metric the paper reports.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(size_t num_classes);
+
+  void Add(int32_t actual, int32_t predicted);
+
+  /// Adds a whole batch (vectors must be the same length).
+  void AddAll(const std::vector<int32_t>& actual,
+              const std::vector<int32_t>& predicted);
+
+  size_t num_classes() const { return num_classes_; }
+  size_t total() const { return total_; }
+  int64_t Count(int32_t actual, int32_t predicted) const;
+
+  int64_t TruePositives(int32_t cls) const;
+  int64_t FalsePositives(int32_t cls) const;
+  int64_t FalseNegatives(int32_t cls) const;
+
+  /// Fraction of correct predictions (0 when empty).
+  double Accuracy() const;
+
+  /// Per-class precision/recall/F1. A class never predicted has precision
+  /// 0; a class never occurring has recall 0 (sklearn's zero_division=0
+  /// convention, which also yields the paper's near-zero macro scores for
+  /// weak baselines).
+  double Precision(int32_t cls) const;
+  double Recall(int32_t cls) const;
+  double F1(int32_t cls) const;
+
+  /// Unweighted means over all classes.
+  double MacroPrecision() const;
+  double MacroRecall() const;
+  double MacroF1() const;
+
+  std::string ToString() const;
+
+ private:
+  size_t num_classes_;
+  size_t total_ = 0;
+  std::vector<int64_t> counts_;  // counts_[actual * k + predicted]
+};
+
+/// The four binary-classification numbers of Fig 4 (positive class = 1).
+struct BinaryMetrics {
+  double accuracy = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Computes Fig 4's metrics from a 2-class confusion matrix.
+BinaryMetrics ComputeBinaryMetrics(const ConfusionMatrix& matrix);
+
+/// The four multi-class numbers of Fig 5.
+struct MultiClassMetrics {
+  double accuracy = 0.0;
+  double macro_precision = 0.0;
+  double macro_recall = 0.0;
+  double macro_f1 = 0.0;
+};
+
+/// Computes Fig 5's metrics from a K-class confusion matrix.
+MultiClassMetrics ComputeMultiClassMetrics(const ConfusionMatrix& matrix);
+
+}  // namespace eval
+}  // namespace fkd
+
+#endif  // FKD_EVAL_METRICS_H_

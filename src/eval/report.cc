@@ -1,0 +1,173 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fkd {
+namespace eval {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  FKD_CHECK(!headers_.empty());
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  FKD_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c];
+      if (c + 1 < cells.size()) {
+        os << std::string(widths[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  size_t underline_width = 0;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    underline_width += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  os << std::string(underline_width, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::ToCsv() const {
+  std::ostringstream os;
+  os << Join(headers_, ",") << "\n";
+  for (const auto& row : rows_) os << Join(row, ",") << "\n";
+  return os.str();
+}
+
+const char* EntityKindName(EntityKind kind) {
+  switch (kind) {
+    case EntityKind::kArticle:
+      return "article";
+    case EntityKind::kCreator:
+      return "creator";
+    case EntityKind::kSubject:
+      return "subject";
+  }
+  return "?";
+}
+
+namespace {
+
+const MetricsRow& RowFor(const SweepResult& result, EntityKind kind) {
+  switch (kind) {
+    case EntityKind::kArticle:
+      return result.articles;
+    case EntityKind::kCreator:
+      return result.creators;
+    case EntityKind::kSubject:
+      return result.subjects;
+  }
+  FKD_CHECK(false);
+  return result.articles;
+}
+
+double MetricValue(const MetricsRow& row, size_t metric) {
+  switch (metric) {
+    case 0:
+      return row.accuracy;
+    case 1:
+      return row.f1;
+    case 2:
+      return row.precision;
+    default:
+      return row.recall;
+  }
+}
+
+}  // namespace
+
+std::string FormatFigureSeries(const std::vector<SweepResult>& results,
+                               EntityKind kind,
+                               LabelGranularity granularity) {
+  // Group by method, theta ascending.
+  std::vector<std::string> method_order;
+  std::map<std::string, std::vector<const SweepResult*>> by_method;
+  std::set<double> thetas;
+  for (const auto& result : results) {
+    if (by_method.find(result.method) == by_method.end()) {
+      method_order.push_back(result.method);
+    }
+    by_method[result.method].push_back(&result);
+    thetas.insert(result.theta);
+  }
+
+  const bool binary = granularity == LabelGranularity::kBinary;
+  const char* metric_names[4] = {
+      "Accuracy", binary ? "F1" : "Macro-F1",
+      binary ? "Precision" : "Macro-Precision",
+      binary ? "Recall" : "Macro-Recall"};
+
+  std::ostringstream os;
+  for (size_t metric = 0; metric < 4; ++metric) {
+    os << EntityKindName(kind) << " " << metric_names[metric]
+       << " vs sample ratio\n";
+    std::vector<std::string> headers = {"method"};
+    for (double theta : thetas) headers.push_back(StrFormat("%g", theta));
+    TextTable table(std::move(headers));
+    for (const auto& method : method_order) {
+      std::map<double, const SweepResult*> by_theta;
+      for (const SweepResult* result : by_method[method]) {
+        by_theta[result->theta] = result;
+      }
+      std::vector<std::string> cells = {method};
+      for (double theta : thetas) {
+        const auto it = by_theta.find(theta);
+        cells.push_back(it == by_theta.end()
+                            ? "-"
+                            : StrFormat("%.3f", MetricValue(
+                                                    RowFor(*it->second, kind),
+                                                    metric)));
+      }
+      table.AddRow(std::move(cells));
+    }
+    os << table.Render() << "\n";
+  }
+  return os.str();
+}
+
+Status WriteSweepCsv(const std::vector<SweepResult>& results,
+                     const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << "method,theta,entity,accuracy,precision,recall,f1\n";
+  for (const auto& result : results) {
+    for (EntityKind kind : {EntityKind::kArticle, EntityKind::kCreator,
+                            EntityKind::kSubject}) {
+      const MetricsRow& row = RowFor(result, kind);
+      out << result.method << ',' << StrFormat("%.2f", result.theta) << ','
+          << EntityKindName(kind) << ',' << StrFormat("%.6f", row.accuracy)
+          << ',' << StrFormat("%.6f", row.precision) << ','
+          << StrFormat("%.6f", row.recall) << ','
+          << StrFormat("%.6f", row.f1) << '\n';
+    }
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace eval
+}  // namespace fkd

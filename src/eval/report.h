@@ -1,0 +1,51 @@
+#ifndef FKD_EVAL_REPORT_H_
+#define FKD_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/experiment.h"
+
+namespace fkd {
+namespace eval {
+
+/// Column-aligned plain-text table builder for bench output.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with a header underline and right-padded columns.
+  std::string Render() const;
+
+  /// RFC-4180-ish CSV (no quoting; callers keep cells comma-free).
+  std::string ToCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// The node type a figure row group refers to.
+enum class EntityKind { kArticle = 0, kCreator = 1, kSubject = 2 };
+const char* EntityKindName(EntityKind kind);
+
+/// Renders one figure panel group (e.g. Fig 4(a)-(d): articles) as four
+/// metric series — one row per method, one column per theta — matching the
+/// paper's plot layout. `granularity` picks the metric names.
+std::string FormatFigureSeries(const std::vector<SweepResult>& results,
+                               EntityKind kind, LabelGranularity granularity);
+
+/// Writes the full sweep to CSV at `path`
+/// (method,theta,entity,accuracy,precision,recall,f1).
+Status WriteSweepCsv(const std::vector<SweepResult>& results,
+                     const std::string& path);
+
+}  // namespace eval
+}  // namespace fkd
+
+#endif  // FKD_EVAL_REPORT_H_

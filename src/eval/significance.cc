@@ -1,0 +1,49 @@
+#include "eval/significance.h"
+
+#include <cmath>
+
+namespace fkd {
+namespace eval {
+
+double ChiSquare1SurvivalFunction(double x) {
+  if (x <= 0.0) return 1.0;
+  return std::erfc(std::sqrt(x / 2.0));
+}
+
+Result<McNemarResult> McNemarTest(const std::vector<int32_t>& actual,
+                                  const std::vector<int32_t>& predictions_a,
+                                  const std::vector<int32_t>& predictions_b) {
+  if (actual.size() != predictions_a.size() ||
+      actual.size() != predictions_b.size()) {
+    return Status::InvalidArgument("prediction vectors must align");
+  }
+  if (actual.empty()) {
+    return Status::InvalidArgument("empty evaluation set");
+  }
+
+  McNemarResult result;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    const bool a_correct = predictions_a[i] == actual[i];
+    const bool b_correct = predictions_b[i] == actual[i];
+    if (a_correct && !b_correct) ++result.only_a_correct;
+    if (b_correct && !a_correct) ++result.only_b_correct;
+  }
+
+  const double discordant =
+      static_cast<double>(result.only_a_correct + result.only_b_correct);
+  if (discordant < 1.0) {
+    // No disagreement: methods are indistinguishable on this fold.
+    result.statistic = 0.0;
+    result.p_value = 1.0;
+    return result;
+  }
+  const double difference = std::fabs(
+      static_cast<double>(result.only_a_correct - result.only_b_correct));
+  const double corrected = std::max(0.0, difference - 1.0);
+  result.statistic = corrected * corrected / discordant;
+  result.p_value = ChiSquare1SurvivalFunction(result.statistic);
+  return result;
+}
+
+}  // namespace eval
+}  // namespace fkd

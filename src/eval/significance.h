@@ -1,0 +1,41 @@
+#ifndef FKD_EVAL_SIGNIFICANCE_H_
+#define FKD_EVAL_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fkd {
+namespace eval {
+
+/// Result of McNemar's paired test between two classifiers evaluated on
+/// the same instances.
+struct McNemarResult {
+  /// Instances only classifier A got right / only B got right.
+  int64_t only_a_correct = 0;
+  int64_t only_b_correct = 0;
+  /// Continuity-corrected chi-square statistic (0 when the discordant
+  /// count is too small to test).
+  double statistic = 0.0;
+  /// Two-sided p-value under the chi-square(1) null (1.0 when untestable).
+  double p_value = 1.0;
+};
+
+/// McNemar's test with continuity correction:
+///   chi^2 = (|b - c| - 1)^2 / (b + c)
+/// where b and c count the discordant pairs. Use to check whether the
+/// accuracy difference between two methods on one test fold is
+/// statistically meaningful rather than split luck.
+Result<McNemarResult> McNemarTest(const std::vector<int32_t>& actual,
+                                  const std::vector<int32_t>& predictions_a,
+                                  const std::vector<int32_t>& predictions_b);
+
+/// Survival function of the chi-square distribution with one degree of
+/// freedom: P(X >= x) = erfc(sqrt(x / 2)).
+double ChiSquare1SurvivalFunction(double x);
+
+}  // namespace eval
+}  // namespace fkd
+
+#endif  // FKD_EVAL_SIGNIFICANCE_H_

@@ -1,0 +1,51 @@
+#include "graph/alias_table.h"
+
+#include "common/logging.h"
+
+namespace fkd {
+namespace graph {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  FKD_CHECK_GT(n, 0u);
+  double total = 0.0;
+  for (double w : weights) {
+    FKD_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  FKD_CHECK_GT(total, 0.0);
+
+  probability_.resize(n);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+  }
+
+  std::vector<size_t> small;
+  std::vector<size_t> large;
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    large.pop_back();
+    probability_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (size_t i : large) probability_[i] = 1.0;
+  for (size_t i : small) probability_[i] = 1.0;  // Numerical residue.
+}
+
+size_t AliasTable::Sample(Rng* rng) const {
+  FKD_CHECK(rng != nullptr);
+  const size_t bucket = rng->UniformInt(probability_.size());
+  return rng->Uniform() < probability_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace graph
+}  // namespace fkd

@@ -1,0 +1,33 @@
+#ifndef FKD_GRAPH_ALIAS_TABLE_H_
+#define FKD_GRAPH_ALIAS_TABLE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fkd {
+namespace graph {
+
+/// Walker's alias method: O(n) preprocessing, O(1) sampling from a fixed
+/// discrete distribution. Used for LINE's edge sampling and for unigram^0.75
+/// negative sampling in skip-gram.
+class AliasTable {
+ public:
+  /// `weights` are unnormalised and non-negative with a positive sum.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Samples an index in [0, size()) with probability proportional to its
+  /// weight.
+  size_t Sample(Rng* rng) const;
+
+  size_t size() const { return probability_.size(); }
+
+ private:
+  std::vector<double> probability_;
+  std::vector<size_t> alias_;
+};
+
+}  // namespace graph
+}  // namespace fkd
+
+#endif  // FKD_GRAPH_ALIAS_TABLE_H_

@@ -1,0 +1,196 @@
+#include "graph/hetero_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fkd {
+namespace graph {
+
+const char* NodeTypeName(NodeType type) {
+  switch (type) {
+    case NodeType::kArticle:
+      return "article";
+    case NodeType::kCreator:
+      return "creator";
+    case NodeType::kSubject:
+      return "subject";
+  }
+  return "?";
+}
+
+const char* EdgeTypeName(EdgeType type) {
+  switch (type) {
+    case EdgeType::kAuthorship:
+      return "authorship";
+    case EdgeType::kSubjectIndication:
+      return "subject_indication";
+  }
+  return "?";
+}
+
+HeterogeneousGraph::HeterogeneousGraph(size_t num_articles,
+                                       size_t num_creators,
+                                       size_t num_subjects) {
+  node_counts_[AsIndex(NodeType::kArticle)] = num_articles;
+  node_counts_[AsIndex(NodeType::kCreator)] = num_creators;
+  node_counts_[AsIndex(NodeType::kSubject)] = num_subjects;
+}
+
+Status HeterogeneousGraph::AddEdge(EdgeType type, int32_t article,
+                                   int32_t other) {
+  if (finalized_) {
+    return Status::FailedPrecondition("graph already finalized");
+  }
+  const size_t other_count =
+      type == EdgeType::kAuthorship ? NumNodes(NodeType::kCreator)
+                                    : NumNodes(NodeType::kSubject);
+  if (article < 0 ||
+      static_cast<size_t>(article) >= NumNodes(NodeType::kArticle)) {
+    return Status::OutOfRange(StrFormat("article %d out of range", article));
+  }
+  if (other < 0 || static_cast<size_t>(other) >= other_count) {
+    return Status::OutOfRange(StrFormat("%s endpoint %d out of range",
+                                        EdgeTypeName(type), other));
+  }
+  raw_edges_[AsIndex(type)].emplace_back(article, other);
+  return Status::OK();
+}
+
+HeterogeneousGraph::Csr HeterogeneousGraph::BuildCsr(
+    size_t num_nodes, const std::vector<std::pair<int32_t, int32_t>>& edges,
+    bool* has_duplicates) {
+  Csr csr;
+  csr.offsets.assign(num_nodes + 1, 0);
+  for (const auto& [src, dst] : edges) ++csr.offsets[src + 1];
+  for (size_t i = 1; i <= num_nodes; ++i) csr.offsets[i] += csr.offsets[i - 1];
+  csr.targets.resize(edges.size());
+  std::vector<int64_t> cursor(csr.offsets.begin(), csr.offsets.end() - 1);
+  for (const auto& [src, dst] : edges) csr.targets[cursor[src]++] = dst;
+  for (size_t node = 0; node < num_nodes; ++node) {
+    auto begin = csr.targets.begin() + csr.offsets[node];
+    auto end = csr.targets.begin() + csr.offsets[node + 1];
+    std::sort(begin, end);
+    if (has_duplicates != nullptr && std::adjacent_find(begin, end) != end) {
+      *has_duplicates = true;
+    }
+  }
+  return csr;
+}
+
+Status HeterogeneousGraph::Finalize() {
+  if (finalized_) return Status::FailedPrecondition("already finalized");
+  for (size_t e = 0; e < kNumEdgeTypes; ++e) {
+    const size_t other_count = e == AsIndex(EdgeType::kAuthorship)
+                                   ? NumNodes(NodeType::kCreator)
+                                   : NumNodes(NodeType::kSubject);
+    bool duplicates = false;
+    forward_[e] =
+        BuildCsr(NumNodes(NodeType::kArticle), raw_edges_[e], &duplicates);
+    if (duplicates) {
+      return Status::Corruption(StrFormat("duplicate %s edge",
+                                          EdgeTypeName(static_cast<EdgeType>(e))));
+    }
+    std::vector<std::pair<int32_t, int32_t>> reversed;
+    reversed.reserve(raw_edges_[e].size());
+    for (const auto& [article, other] : raw_edges_[e]) {
+      reversed.emplace_back(other, article);
+    }
+    reverse_[e] = BuildCsr(other_count, reversed, nullptr);
+  }
+
+  // Homogeneous view: both directions of every edge.
+  global_edges_.clear();
+  global_edges_.reserve(2 * (raw_edges_[0].size() + raw_edges_[1].size()));
+  for (size_t e = 0; e < kNumEdgeTypes; ++e) {
+    const NodeType other_type = e == AsIndex(EdgeType::kAuthorship)
+                                    ? NodeType::kCreator
+                                    : NodeType::kSubject;
+    for (const auto& [article, other] : raw_edges_[e]) {
+      const int32_t ga = GlobalId(NodeType::kArticle, article);
+      const int32_t go = GlobalId(other_type, other);
+      global_edges_.emplace_back(ga, go);
+      global_edges_.emplace_back(go, ga);
+    }
+  }
+  global_ = BuildCsr(TotalNodes(), global_edges_, nullptr);
+  finalized_ = true;
+  return Status::OK();
+}
+
+size_t HeterogeneousGraph::TotalNodes() const {
+  return node_counts_[0] + node_counts_[1] + node_counts_[2];
+}
+
+size_t HeterogeneousGraph::NumEdges(EdgeType type) const {
+  return raw_edges_[AsIndex(type)].size();
+}
+
+std::span<const int32_t> HeterogeneousGraph::ArticleNeighbors(
+    EdgeType type, int32_t article) const {
+  FKD_CHECK(finalized_);
+  FKD_CHECK_GE(article, 0);
+  FKD_CHECK_LT(static_cast<size_t>(article), NumNodes(NodeType::kArticle));
+  return forward_[AsIndex(type)].Neighbors(article);
+}
+
+std::span<const int32_t> HeterogeneousGraph::ReverseNeighbors(
+    EdgeType type, int32_t other) const {
+  FKD_CHECK(finalized_);
+  const size_t other_count = type == EdgeType::kAuthorship
+                                 ? NumNodes(NodeType::kCreator)
+                                 : NumNodes(NodeType::kSubject);
+  FKD_CHECK_GE(other, 0);
+  FKD_CHECK_LT(static_cast<size_t>(other), other_count);
+  return reverse_[AsIndex(type)].Neighbors(other);
+}
+
+int32_t HeterogeneousGraph::GlobalId(NodeType type, int32_t index) const {
+  FKD_CHECK_GE(index, 0);
+  FKD_CHECK_LT(static_cast<size_t>(index), NumNodes(type));
+  int32_t offset = 0;
+  for (size_t t = 0; t < AsIndex(type); ++t) {
+    offset += static_cast<int32_t>(node_counts_[t]);
+  }
+  return offset + index;
+}
+
+NodeType HeterogeneousGraph::TypeOfGlobal(int32_t global_id) const {
+  FKD_CHECK_GE(global_id, 0);
+  size_t remaining = static_cast<size_t>(global_id);
+  for (size_t t = 0; t < kNumNodeTypes; ++t) {
+    if (remaining < node_counts_[t]) return static_cast<NodeType>(t);
+    remaining -= node_counts_[t];
+  }
+  FKD_CHECK(false) << "global id " << global_id << " out of range";
+  return NodeType::kArticle;
+}
+
+int32_t HeterogeneousGraph::LocalIndexOfGlobal(int32_t global_id) const {
+  FKD_CHECK_GE(global_id, 0);
+  size_t remaining = static_cast<size_t>(global_id);
+  for (size_t t = 0; t < kNumNodeTypes; ++t) {
+    if (remaining < node_counts_[t]) return static_cast<int32_t>(remaining);
+    remaining -= node_counts_[t];
+  }
+  FKD_CHECK(false) << "global id " << global_id << " out of range";
+  return -1;
+}
+
+std::span<const int32_t> HeterogeneousGraph::GlobalNeighbors(
+    int32_t global_id) const {
+  FKD_CHECK(finalized_);
+  FKD_CHECK_GE(global_id, 0);
+  FKD_CHECK_LT(static_cast<size_t>(global_id), TotalNodes());
+  return global_.Neighbors(global_id);
+}
+
+const std::vector<std::pair<int32_t, int32_t>>&
+HeterogeneousGraph::GlobalEdges() const {
+  FKD_CHECK(finalized_);
+  return global_edges_;
+}
+
+}  // namespace graph
+}  // namespace fkd

@@ -1,0 +1,119 @@
+#ifndef FKD_GRAPH_HETERO_GRAPH_H_
+#define FKD_GRAPH_HETERO_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fkd {
+namespace graph {
+
+/// Node categories of the news-augmented heterogeneous social network
+/// (News-HSN, Definition 2.4): articles N, creators U, subjects S.
+enum class NodeType : uint8_t { kArticle = 0, kCreator = 1, kSubject = 2 };
+inline constexpr size_t kNumNodeTypes = 3;
+
+/// Edge categories: authorship E_{u,n} (article–creator) and topic
+/// indication E_{n,s} (article–subject).
+enum class EdgeType : uint8_t { kAuthorship = 0, kSubjectIndication = 1 };
+inline constexpr size_t kNumEdgeTypes = 2;
+
+const char* NodeTypeName(NodeType type);
+const char* EdgeTypeName(EdgeType type);
+
+/// The news-augmented heterogeneous social network G = (V, E).
+///
+/// Nodes are addressed by (NodeType, dense per-type index); a "global id"
+/// linearisation (articles, then creators, then subjects) serves homogeneous
+/// consumers (DeepWalk/LINE walks and embeddings).
+///
+/// Build protocol: construct with node counts, AddEdge() repeatedly, then
+/// Finalize() to produce CSR adjacency. Queries FKD_CHECK that Finalize()
+/// ran.
+class HeterogeneousGraph {
+ public:
+  HeterogeneousGraph(size_t num_articles, size_t num_creators,
+                     size_t num_subjects);
+
+  /// Adds an authorship (article–creator) or subject-indication
+  /// (article–subject) edge. Duplicate edges are rejected at Finalize().
+  Status AddEdge(EdgeType type, int32_t article, int32_t other);
+
+  /// Sorts, validates (duplicates are Corruption) and freezes adjacency.
+  Status Finalize();
+
+  bool finalized() const { return finalized_; }
+
+  /// Counts ------------------------------------------------------------
+
+  size_t NumNodes(NodeType type) const { return node_counts_[AsIndex(type)]; }
+  size_t TotalNodes() const;
+  size_t NumEdges(EdgeType type) const;
+
+  /// Typed adjacency (requires Finalize()) -----------------------------
+
+  /// Creators of an article under kAuthorship (the paper: exactly one), or
+  /// subjects of an article under kSubjectIndication.
+  std::span<const int32_t> ArticleNeighbors(EdgeType type,
+                                            int32_t article) const;
+
+  /// Articles adjacent to a creator (kAuthorship) or to a subject
+  /// (kSubjectIndication).
+  std::span<const int32_t> ReverseNeighbors(EdgeType type,
+                                            int32_t other) const;
+
+  /// Homogeneous view ----------------------------------------------------
+
+  /// Global id of (type, index): articles first, then creators, subjects.
+  int32_t GlobalId(NodeType type, int32_t index) const;
+  NodeType TypeOfGlobal(int32_t global_id) const;
+  int32_t LocalIndexOfGlobal(int32_t global_id) const;
+
+  /// All neighbours of a node across both edge types, as global ids
+  /// (requires Finalize()).
+  std::span<const int32_t> GlobalNeighbors(int32_t global_id) const;
+
+  /// Degree of a node in the homogeneous view.
+  size_t GlobalDegree(int32_t global_id) const {
+    return GlobalNeighbors(global_id).size();
+  }
+
+  /// Edge list of the homogeneous view: (source, target) global-id pairs,
+  /// both directions (used by LINE's edge sampler).
+  const std::vector<std::pair<int32_t, int32_t>>& GlobalEdges() const;
+
+ private:
+  static size_t AsIndex(NodeType type) { return static_cast<size_t>(type); }
+  static size_t AsIndex(EdgeType type) { return static_cast<size_t>(type); }
+
+  /// Simple CSR container.
+  struct Csr {
+    std::vector<int64_t> offsets;  // size n+1
+    std::vector<int32_t> targets;
+    std::span<const int32_t> Neighbors(int32_t node) const {
+      return {targets.data() + offsets[node],
+              static_cast<size_t>(offsets[node + 1] - offsets[node])};
+    }
+  };
+  static Csr BuildCsr(size_t num_nodes,
+                      const std::vector<std::pair<int32_t, int32_t>>& edges,
+                      bool* has_duplicates);
+
+  size_t node_counts_[kNumNodeTypes];
+  bool finalized_ = false;
+  /// Raw edges per type, as (article, other) pairs.
+  std::vector<std::pair<int32_t, int32_t>> raw_edges_[kNumEdgeTypes];
+
+  /// Forward CSR: article -> others; reverse CSR: other -> articles.
+  Csr forward_[kNumEdgeTypes];
+  Csr reverse_[kNumEdgeTypes];
+  Csr global_;
+  std::vector<std::pair<int32_t, int32_t>> global_edges_;
+};
+
+}  // namespace graph
+}  // namespace fkd
+
+#endif  // FKD_GRAPH_HETERO_GRAPH_H_

@@ -1,0 +1,101 @@
+#include "graph/random_walk.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace fkd {
+namespace graph {
+
+std::vector<std::vector<int32_t>> GenerateRandomWalks(
+    const HeterogeneousGraph& graph, const RandomWalkOptions& options,
+    Rng* rng) {
+  FKD_CHECK(graph.finalized());
+  FKD_CHECK(rng != nullptr);
+  const size_t n = graph.TotalNodes();
+  std::vector<std::vector<int32_t>> walks;
+  walks.reserve(n * options.walks_per_node);
+
+  std::vector<int32_t> start_order(n);
+  std::iota(start_order.begin(), start_order.end(), 0);
+
+  for (size_t pass = 0; pass < options.walks_per_node; ++pass) {
+    rng->Shuffle(&start_order);
+    for (int32_t start : start_order) {
+      std::vector<int32_t> walk;
+      walk.reserve(options.walk_length);
+      walk.push_back(start);
+      int32_t current = start;
+      for (size_t step = 1; step < options.walk_length; ++step) {
+        const auto neighbors = graph.GlobalNeighbors(current);
+        if (neighbors.empty()) break;
+        current = neighbors[rng->UniformInt(neighbors.size())];
+        walk.push_back(current);
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+std::vector<std::vector<int32_t>> GenerateNode2VecWalks(
+    const HeterogeneousGraph& graph, const Node2VecOptions& options,
+    Rng* rng) {
+  FKD_CHECK(graph.finalized());
+  FKD_CHECK(rng != nullptr);
+  FKD_CHECK_GT(options.return_p, 0.0);
+  FKD_CHECK_GT(options.inout_q, 0.0);
+  const size_t n = graph.TotalNodes();
+  std::vector<std::vector<int32_t>> walks;
+  walks.reserve(n * options.walks_per_node);
+
+  std::vector<int32_t> start_order(n);
+  std::iota(start_order.begin(), start_order.end(), 0);
+  std::vector<double> weights;
+
+  // Neighbour lists are sorted (CSR construction), so adjacency tests are
+  // binary searches.
+  auto adjacent = [&graph](int32_t a, int32_t b) {
+    const auto neighbors = graph.GlobalNeighbors(a);
+    return std::binary_search(neighbors.begin(), neighbors.end(), b);
+  };
+
+  for (size_t pass = 0; pass < options.walks_per_node; ++pass) {
+    rng->Shuffle(&start_order);
+    for (int32_t start : start_order) {
+      std::vector<int32_t> walk;
+      walk.reserve(options.walk_length);
+      walk.push_back(start);
+      int32_t previous = -1;
+      int32_t current = start;
+      for (size_t step = 1; step < options.walk_length; ++step) {
+        const auto neighbors = graph.GlobalNeighbors(current);
+        if (neighbors.empty()) break;
+        int32_t next;
+        if (previous < 0) {
+          next = neighbors[rng->UniformInt(neighbors.size())];
+        } else {
+          weights.assign(neighbors.size(), 0.0);
+          for (size_t i = 0; i < neighbors.size(); ++i) {
+            const int32_t candidate = neighbors[i];
+            if (candidate == previous) {
+              weights[i] = 1.0 / options.return_p;
+            } else if (adjacent(candidate, previous)) {
+              weights[i] = 1.0;
+            } else {
+              weights[i] = 1.0 / options.inout_q;
+            }
+          }
+          next = neighbors[rng->Discrete(weights)];
+        }
+        walk.push_back(next);
+        previous = current;
+        current = next;
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+}  // namespace graph
+}  // namespace fkd

@@ -1,0 +1,50 @@
+#ifndef FKD_GRAPH_RANDOM_WALK_H_
+#define FKD_GRAPH_RANDOM_WALK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/hetero_graph.h"
+
+namespace fkd {
+namespace graph {
+
+/// Configuration for truncated uniform random walks (DeepWalk §3).
+struct RandomWalkOptions {
+  /// Walks started from every node per epoch (DeepWalk's gamma).
+  size_t walks_per_node = 10;
+  /// Maximum walk length (DeepWalk's t).
+  size_t walk_length = 40;
+};
+
+/// Generates truncated random walks over the homogeneous view of the
+/// heterogeneous graph. Nodes without neighbours yield length-1 walks.
+/// The start-node order is shuffled per pass, as in the DeepWalk paper.
+std::vector<std::vector<int32_t>> GenerateRandomWalks(
+    const HeterogeneousGraph& graph, const RandomWalkOptions& options,
+    Rng* rng);
+
+/// Configuration for node2vec's second-order biased walks (Grover &
+/// Leskovec 2016). With return_p = inout_q = 1 this degenerates to the
+/// uniform DeepWalk walk.
+struct Node2VecOptions {
+  size_t walks_per_node = 10;
+  size_t walk_length = 40;
+  /// Return parameter p: weight 1/p for stepping back to the previous node.
+  double return_p = 1.0;
+  /// In-out parameter q: weight 1/q for nodes not adjacent to the previous
+  /// node (exploration); weight 1 for common neighbours.
+  double inout_q = 1.0;
+};
+
+/// Generates node2vec walks via rejection-free weighted sampling of the
+/// unnormalised second-order transition weights.
+std::vector<std::vector<int32_t>> GenerateNode2VecWalks(
+    const HeterogeneousGraph& graph, const Node2VecOptions& options,
+    Rng* rng);
+
+}  // namespace graph
+}  // namespace fkd
+
+#endif  // FKD_GRAPH_RANDOM_WALK_H_

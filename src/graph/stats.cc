@@ -1,0 +1,63 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fkd {
+namespace graph {
+
+std::map<size_t, size_t> DegreeHistogram(const std::vector<size_t>& degrees) {
+  std::map<size_t, size_t> histogram;
+  for (size_t d : degrees) ++histogram[d];
+  return histogram;
+}
+
+std::map<size_t, double> DegreeFractionDistribution(
+    const std::vector<size_t>& degrees) {
+  std::map<size_t, double> fractions;
+  if (degrees.empty()) return fractions;
+  const double n = static_cast<double>(degrees.size());
+  for (const auto& [degree, count] : DegreeHistogram(degrees)) {
+    fractions[degree] = static_cast<double>(count) / n;
+  }
+  return fractions;
+}
+
+PowerLawFit FitPowerLaw(const std::vector<size_t>& degrees, size_t k_min) {
+  FKD_CHECK_GE(k_min, 1u);
+  PowerLawFit fit;
+  fit.k_min = k_min;
+  double log_sum = 0.0;
+  for (size_t d : degrees) {
+    if (d < k_min) continue;
+    log_sum += std::log(static_cast<double>(d) /
+                        (static_cast<double>(k_min) - 0.5));
+    ++fit.num_samples;
+  }
+  if (fit.num_samples >= 2 && log_sum > 0.0) {
+    fit.alpha = 1.0 + static_cast<double>(fit.num_samples) / log_sum;
+  }
+  return fit;
+}
+
+DegreeSummary SummarizeDegrees(const std::vector<size_t>& degrees) {
+  DegreeSummary summary;
+  if (degrees.empty()) return summary;
+  std::vector<size_t> sorted = degrees;
+  std::sort(sorted.begin(), sorted.end());
+  summary.min = sorted.front();
+  summary.max = sorted.back();
+  double total = 0.0;
+  for (size_t d : sorted) total += static_cast<double>(d);
+  summary.mean = total / static_cast<double>(sorted.size());
+  const size_t mid = sorted.size() / 2;
+  summary.median = sorted.size() % 2 == 1
+                       ? static_cast<double>(sorted[mid])
+                       : 0.5 * static_cast<double>(sorted[mid - 1] + sorted[mid]);
+  return summary;
+}
+
+}  // namespace graph
+}  // namespace fkd

@@ -1,0 +1,46 @@
+#ifndef FKD_GRAPH_STATS_H_
+#define FKD_GRAPH_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace fkd {
+namespace graph {
+
+/// Histogram of a degree sequence: degree -> number of nodes with that
+/// degree (zero-degree nodes included). Fig 1(a) is this histogram with
+/// counts normalised to fractions.
+std::map<size_t, size_t> DegreeHistogram(const std::vector<size_t>& degrees);
+
+/// Fraction-of-nodes view of a degree histogram (Fig 1(a)'s y-axis).
+std::map<size_t, double> DegreeFractionDistribution(
+    const std::vector<size_t>& degrees);
+
+/// Result of a discrete power-law fit P(k) ~ k^-alpha for k >= k_min.
+struct PowerLawFit {
+  double alpha = 0.0;       ///< Estimated exponent.
+  size_t k_min = 1;         ///< Lower cutoff used in the fit.
+  size_t num_samples = 0;   ///< Degrees >= k_min that entered the fit.
+};
+
+/// Maximum-likelihood exponent for a (zeta-approximated) discrete power
+/// law, alpha = 1 + n / sum(ln(x_i / (k_min - 0.5))) (Clauset et al. 2009).
+/// Degrees below k_min are ignored; requires at least two usable samples.
+PowerLawFit FitPowerLaw(const std::vector<size_t>& degrees, size_t k_min = 1);
+
+/// Basic moments of a degree sequence.
+struct DegreeSummary {
+  double mean = 0.0;
+  size_t min = 0;
+  size_t max = 0;
+  double median = 0.0;
+};
+
+DegreeSummary SummarizeDegrees(const std::vector<size_t>& degrees);
+
+}  // namespace graph
+}  // namespace fkd
+
+#endif  // FKD_GRAPH_STATS_H_

@@ -1,0 +1,24 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace fkd {
+namespace nn {
+
+Tensor XavierUniform(size_t fan_in, size_t fan_out, Rng* rng) {
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Rand(fan_in, fan_out, rng, -bound, bound);
+}
+
+Tensor HeNormal(size_t fan_in, size_t fan_out, Rng* rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  return Tensor::Randn(fan_in, fan_out, rng, 0.0f, stddev);
+}
+
+Tensor UniformInit(size_t rows, size_t cols, float scale, Rng* rng) {
+  return Tensor::Rand(rows, cols, rng, -scale, scale);
+}
+
+}  // namespace nn
+}  // namespace fkd

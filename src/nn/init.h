@@ -1,0 +1,25 @@
+#ifndef FKD_NN_INIT_H_
+#define FKD_NN_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace fkd {
+namespace nn {
+
+/// Xavier/Glorot uniform initialisation for a [fan_in x fan_out] weight:
+/// U(-a, a) with a = sqrt(6 / (fan_in + fan_out)). The default for
+/// sigmoid/tanh-gated layers (GRU, GDU).
+Tensor XavierUniform(size_t fan_in, size_t fan_out, Rng* rng);
+
+/// He/Kaiming normal initialisation: N(0, sqrt(2 / fan_in)). The default
+/// for ReLU layers.
+Tensor HeNormal(size_t fan_in, size_t fan_out, Rng* rng);
+
+/// Small uniform noise U(-scale, scale); used for embedding tables.
+Tensor UniformInit(size_t rows, size_t cols, float scale, Rng* rng);
+
+}  // namespace nn
+}  // namespace fkd
+
+#endif  // FKD_NN_INIT_H_

@@ -1,0 +1,238 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+
+#include "nn/init.h"
+
+namespace fkd {
+namespace nn {
+
+namespace ag = ::fkd::autograd;
+
+Linear::Linear(size_t in_dim, size_t out_dim, Rng* rng, bool with_bias)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weight_(XavierUniform(in_dim, out_dim, rng), /*requires_grad=*/true,
+              "linear/weight") {
+  if (with_bias) {
+    bias_ = ag::Variable(Tensor(1, out_dim), /*requires_grad=*/true,
+                         "linear/bias");
+  }
+}
+
+ag::Variable Linear::Forward(const ag::Variable& x) const {
+  ag::Variable out = ag::MatMul(x, weight_);
+  if (bias_.defined()) out = ag::AddRowBroadcast(out, bias_);
+  return out;
+}
+
+void Linear::CollectParameters(const std::string& prefix,
+                               std::vector<NamedParameter>* out) const {
+  out->push_back({JoinName(prefix, "weight"), weight_});
+  if (bias_.defined()) out->push_back({JoinName(prefix, "bias"), bias_});
+}
+
+Embedding::Embedding(size_t vocab_size, size_t dim, Rng* rng)
+    : vocab_size_(vocab_size),
+      dim_(dim),
+      table_(UniformInit(vocab_size, dim, 0.1f, rng), /*requires_grad=*/true,
+             "embedding/table") {}
+
+ag::Variable Embedding::Forward(const std::vector<int32_t>& ids) const {
+  return ag::GatherRows(table_, ids);
+}
+
+void Embedding::CollectParameters(const std::string& prefix,
+                                  std::vector<NamedParameter>* out) const {
+  out->push_back({JoinName(prefix, "table"), table_});
+}
+
+const char* RnnCellKindName(RnnCellKind kind) {
+  switch (kind) {
+    case RnnCellKind::kBasic:
+      return "basic";
+    case RnnCellKind::kGru:
+      return "gru";
+    case RnnCellKind::kLstm:
+      return "lstm";
+  }
+  return "?";
+}
+
+BasicRnnCell::BasicRnnCell(size_t input_dim, size_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      input_map_(input_dim, hidden_dim, rng, /*with_bias=*/true),
+      hidden_map_(hidden_dim, hidden_dim, rng, /*with_bias=*/false) {}
+
+ag::Variable BasicRnnCell::Step(const ag::Variable& x,
+                                const ag::Variable& state) const {
+  return ag::Tanh(ag::Add(input_map_.Forward(x), hidden_map_.Forward(state)));
+}
+
+void BasicRnnCell::CollectParameters(const std::string& prefix,
+                                     std::vector<NamedParameter>* out) const {
+  input_map_.CollectParameters(JoinName(prefix, "input"), out);
+  hidden_map_.CollectParameters(JoinName(prefix, "hidden"), out);
+}
+
+GruCell::GruCell(size_t input_dim, size_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      update_x_(input_dim, hidden_dim, rng, /*with_bias=*/true),
+      update_h_(hidden_dim, hidden_dim, rng, /*with_bias=*/false),
+      reset_x_(input_dim, hidden_dim, rng, /*with_bias=*/true),
+      reset_h_(hidden_dim, hidden_dim, rng, /*with_bias=*/false),
+      cand_x_(input_dim, hidden_dim, rng, /*with_bias=*/true),
+      cand_h_(hidden_dim, hidden_dim, rng, /*with_bias=*/false) {}
+
+ag::Variable GruCell::Step(const ag::Variable& x,
+                           const ag::Variable& h) const {
+  ag::Variable z = ag::Sigmoid(ag::Add(update_x_.Forward(x), update_h_.Forward(h)));
+  ag::Variable r = ag::Sigmoid(ag::Add(reset_x_.Forward(x), reset_h_.Forward(h)));
+  ag::Variable candidate =
+      ag::Tanh(ag::Add(cand_x_.Forward(x), cand_h_.Forward(ag::Mul(r, h))));
+  // h' = (1 - z) (*) h + z (*) c
+  return ag::Add(ag::Mul(ag::OneMinus(z), h), ag::Mul(z, candidate));
+}
+
+void GruCell::CollectParameters(const std::string& prefix,
+                                std::vector<NamedParameter>* out) const {
+  update_x_.CollectParameters(JoinName(prefix, "update_x"), out);
+  update_h_.CollectParameters(JoinName(prefix, "update_h"), out);
+  reset_x_.CollectParameters(JoinName(prefix, "reset_x"), out);
+  reset_h_.CollectParameters(JoinName(prefix, "reset_h"), out);
+  cand_x_.CollectParameters(JoinName(prefix, "cand_x"), out);
+  cand_h_.CollectParameters(JoinName(prefix, "cand_h"), out);
+}
+
+LstmCell::LstmCell(size_t input_dim, size_t hidden_dim, Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      in_x_(input_dim, hidden_dim, rng, /*with_bias=*/true),
+      in_h_(hidden_dim, hidden_dim, rng, /*with_bias=*/false),
+      forget_x_(input_dim, hidden_dim, rng, /*with_bias=*/true),
+      forget_h_(hidden_dim, hidden_dim, rng, /*with_bias=*/false),
+      out_x_(input_dim, hidden_dim, rng, /*with_bias=*/true),
+      out_h_(hidden_dim, hidden_dim, rng, /*with_bias=*/false),
+      cand_x_(input_dim, hidden_dim, rng, /*with_bias=*/true),
+      cand_h_(hidden_dim, hidden_dim, rng, /*with_bias=*/false) {
+  // Standard trick: initialise the forget-gate bias to +1 so early training
+  // retains cell state.
+  std::vector<NamedParameter> params;
+  forget_x_.CollectParameters("f", &params);
+  params[1].variable.mutable_value().Fill(1.0f);
+}
+
+ag::Variable LstmCell::Step(const ag::Variable& x,
+                            const ag::Variable& state) const {
+  const ag::Variable h = ag::SliceCols(state, 0, hidden_dim_);
+  const ag::Variable c = ag::SliceCols(state, hidden_dim_, hidden_dim_);
+  const ag::Variable i =
+      ag::Sigmoid(ag::Add(in_x_.Forward(x), in_h_.Forward(h)));
+  const ag::Variable f =
+      ag::Sigmoid(ag::Add(forget_x_.Forward(x), forget_h_.Forward(h)));
+  const ag::Variable o =
+      ag::Sigmoid(ag::Add(out_x_.Forward(x), out_h_.Forward(h)));
+  const ag::Variable g =
+      ag::Tanh(ag::Add(cand_x_.Forward(x), cand_h_.Forward(h)));
+  const ag::Variable c_next = ag::Add(ag::Mul(f, c), ag::Mul(i, g));
+  const ag::Variable h_next = ag::Mul(o, ag::Tanh(c_next));
+  return ag::ConcatCols({h_next, c_next});
+}
+
+ag::Variable LstmCell::Output(const ag::Variable& state) const {
+  return ag::SliceCols(state, 0, hidden_dim_);
+}
+
+void LstmCell::CollectParameters(const std::string& prefix,
+                                 std::vector<NamedParameter>* out) const {
+  in_x_.CollectParameters(JoinName(prefix, "in_x"), out);
+  in_h_.CollectParameters(JoinName(prefix, "in_h"), out);
+  forget_x_.CollectParameters(JoinName(prefix, "forget_x"), out);
+  forget_h_.CollectParameters(JoinName(prefix, "forget_h"), out);
+  out_x_.CollectParameters(JoinName(prefix, "out_x"), out);
+  out_h_.CollectParameters(JoinName(prefix, "out_h"), out);
+  cand_x_.CollectParameters(JoinName(prefix, "cand_x"), out);
+  cand_h_.CollectParameters(JoinName(prefix, "cand_h"), out);
+}
+
+std::unique_ptr<RecurrentCell> MakeRecurrentCell(RnnCellKind kind,
+                                                 size_t input_dim,
+                                                 size_t hidden_dim, Rng* rng) {
+  switch (kind) {
+    case RnnCellKind::kBasic:
+      return std::make_unique<BasicRnnCell>(input_dim, hidden_dim, rng);
+    case RnnCellKind::kGru:
+      return std::make_unique<GruCell>(input_dim, hidden_dim, rng);
+    case RnnCellKind::kLstm:
+      return std::make_unique<LstmCell>(input_dim, hidden_dim, rng);
+  }
+  FKD_CHECK(false) << "unknown cell kind";
+  return nullptr;
+}
+
+RecurrentEncoder::RecurrentEncoder(size_t vocab_size, size_t embed_dim,
+                                   size_t hidden_dim, Rng* rng,
+                                   SequencePooling pooling,
+                                   RnnCellKind cell_kind)
+    : embedding_(vocab_size, embed_dim, rng),
+      cell_kind_(cell_kind),
+      cell_(MakeRecurrentCell(cell_kind, embed_dim, hidden_dim, rng)),
+      pooling_(pooling) {}
+
+ag::Variable RecurrentEncoder::Forward(
+    const std::vector<std::vector<int32_t>>& sequences,
+    size_t max_steps) const {
+  const size_t n = sequences.size();
+  FKD_CHECK_GT(n, 0u);
+  size_t steps = max_steps;
+  if (steps == 0) {
+    for (const auto& seq : sequences) steps = std::max(steps, seq.size());
+  }
+  FKD_CHECK_GT(steps, 0u) << "all sequences empty";
+
+  ag::Variable state = cell_->InitialState(n);
+  ag::Variable pooled;  // For kSumStates.
+  for (size_t t = 0; t < steps; ++t) {
+    // Build step-t token batch; padding gets id 0 but a zero mask so the
+    // looked-up embedding never influences the state.
+    std::vector<int32_t> step_ids(n, 0);
+    std::vector<float> mask(n, 0.0f);
+    std::vector<float> inverse_mask(n, 1.0f);
+    bool any_live = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (t < sequences[i].size() && sequences[i][t] >= 0) {
+        step_ids[i] = sequences[i][t];
+        mask[i] = 1.0f;
+        inverse_mask[i] = 0.0f;
+        any_live = true;
+      }
+    }
+    if (!any_live) break;  // All remaining steps are padding.
+
+    ag::Variable x = ag::ScaleRows(embedding_.Forward(step_ids), mask);
+    ag::Variable state_new = cell_->Step(x, state);
+    // Padded rows keep their previous state (both h and any cell state).
+    state = ag::Add(ag::ScaleRows(state_new, mask),
+                    ag::ScaleRows(state, inverse_mask));
+    if (pooling_ == SequencePooling::kSumStates) {
+      ag::Variable contribution = ag::ScaleRows(cell_->Output(state), mask);
+      pooled = pooled.defined() ? ag::Add(pooled, contribution) : contribution;
+    }
+  }
+  if (pooling_ == SequencePooling::kSumStates) {
+    return pooled.defined() ? pooled : cell_->Output(state);
+  }
+  return cell_->Output(state);
+}
+
+void RecurrentEncoder::CollectParameters(
+    const std::string& prefix, std::vector<NamedParameter>* out) const {
+  embedding_.CollectParameters(JoinName(prefix, "embedding"), out);
+  cell_->CollectParameters(
+      JoinName(prefix, RnnCellKindName(cell_kind_)), out);
+}
+
+}  // namespace nn
+}  // namespace fkd

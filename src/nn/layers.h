@@ -1,0 +1,226 @@
+#ifndef FKD_NN_LAYERS_H_
+#define FKD_NN_LAYERS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/autograd.h"
+
+namespace fkd {
+namespace nn {
+
+/// Affine map y = x W + b for [n x in] inputs. W is [in x out];
+/// the bias (optional) is [1 x out], broadcast over rows.
+class Linear : public Module {
+ public:
+  Linear(size_t in_dim, size_t out_dim, Rng* rng, bool with_bias = true);
+
+  /// x: [n x in] -> [n x out].
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParameter>* out) const override;
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+  const autograd::Variable& weight() const { return weight_; }
+
+ private:
+  size_t in_dim_;
+  size_t out_dim_;
+  autograd::Variable weight_;
+  autograd::Variable bias_;  // Undefined when constructed without bias.
+};
+
+/// Trainable token-embedding table [vocab x dim]; lookup by integer id.
+class Embedding : public Module {
+ public:
+  Embedding(size_t vocab_size, size_t dim, Rng* rng);
+
+  /// ids: n token ids in [0, vocab) -> [n x dim].
+  autograd::Variable Forward(const std::vector<int32_t>& ids) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParameter>* out) const override;
+
+  size_t vocab_size() const { return vocab_size_; }
+  size_t dim() const { return dim_; }
+  const autograd::Variable& table() const { return table_; }
+
+ private:
+  size_t vocab_size_;
+  size_t dim_;
+  autograd::Variable table_;
+};
+
+/// Recurrent cell families available to sequence encoders.
+enum class RnnCellKind {
+  kBasic,  ///< Elman RNN: h' = tanh(x W + h U + b) — the "basic neuron
+           ///< cells" of the paper's RNN baseline [42].
+  kGru,    ///< Gated recurrent unit (the paper's HFLU hidden layer).
+  kLstm,   ///< Long short-term memory (extension / ablation).
+};
+
+const char* RnnCellKindName(RnnCellKind kind);
+
+/// One recurrent step over a packed per-sequence state matrix.
+///
+/// The packed state is [n x state_dim()]; for cells with auxiliary state
+/// (LSTM's cell vector) state_dim() > hidden_dim() and Output() extracts
+/// the exposed hidden part [n x hidden_dim()].
+class RecurrentCell : public Module {
+ public:
+  /// x [n x input_dim], state [n x state_dim] -> new state.
+  virtual autograd::Variable Step(const autograd::Variable& x,
+                                  const autograd::Variable& state) const = 0;
+
+  /// Fresh all-zero packed state for n sequences (not trainable).
+  autograd::Variable InitialState(size_t n) const {
+    return autograd::Variable(Tensor(n, state_dim()), /*requires_grad=*/false,
+                              "rnn/state0");
+  }
+
+  /// Exposed hidden part of a packed state (identity by default).
+  virtual autograd::Variable Output(const autograd::Variable& state) const {
+    return state;
+  }
+
+  virtual size_t input_dim() const = 0;
+  virtual size_t hidden_dim() const = 0;
+  virtual size_t state_dim() const { return hidden_dim(); }
+};
+
+/// Elman RNN cell: h' = tanh(x W + h U + b).
+class BasicRnnCell : public RecurrentCell {
+ public:
+  BasicRnnCell(size_t input_dim, size_t hidden_dim, Rng* rng);
+
+  autograd::Variable Step(const autograd::Variable& x,
+                          const autograd::Variable& state) const override;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParameter>* out) const override;
+
+  size_t input_dim() const override { return input_dim_; }
+  size_t hidden_dim() const override { return hidden_dim_; }
+
+ private:
+  size_t input_dim_;
+  size_t hidden_dim_;
+  Linear input_map_;
+  Linear hidden_map_;
+};
+
+/// Gated recurrent unit cell (Cho et al. 2014), the hidden-layer unit of
+/// the paper's latent feature extractor (HFLU, Fig 3a):
+///
+///   z_t = sigmoid(x W_z + h U_z + b_z)        (update gate)
+///   r_t = sigmoid(x W_r + h U_r + b_r)        (reset gate)
+///   c_t = tanh  (x W_c + (r_t (*) h) U_c + b_c)
+///   h_t = (1 - z_t) (*) h + z_t (*) c_t
+class GruCell : public RecurrentCell {
+ public:
+  GruCell(size_t input_dim, size_t hidden_dim, Rng* rng);
+
+  autograd::Variable Step(const autograd::Variable& x,
+                          const autograd::Variable& state) const override;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParameter>* out) const override;
+
+  size_t input_dim() const override { return input_dim_; }
+  size_t hidden_dim() const override { return hidden_dim_; }
+
+ private:
+  size_t input_dim_;
+  size_t hidden_dim_;
+  Linear update_x_, update_h_;
+  Linear reset_x_, reset_h_;
+  Linear cand_x_, cand_h_;
+};
+
+/// LSTM cell (Hochreiter & Schmidhuber 1997) with packed state [h, c]:
+///
+///   i = sigmoid(x W_i + h U_i + b_i)
+///   f = sigmoid(x W_f + h U_f + b_f)       (bias initialised to +1)
+///   o = sigmoid(x W_o + h U_o + b_o)
+///   g = tanh  (x W_g + h U_g + b_g)
+///   c' = f (*) c + i (*) g;    h' = o (*) tanh(c')
+class LstmCell : public RecurrentCell {
+ public:
+  LstmCell(size_t input_dim, size_t hidden_dim, Rng* rng);
+
+  autograd::Variable Step(const autograd::Variable& x,
+                          const autograd::Variable& state) const override;
+
+  autograd::Variable Output(const autograd::Variable& state) const override;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParameter>* out) const override;
+
+  size_t input_dim() const override { return input_dim_; }
+  size_t hidden_dim() const override { return hidden_dim_; }
+  size_t state_dim() const override { return 2 * hidden_dim_; }
+
+ private:
+  size_t input_dim_;
+  size_t hidden_dim_;
+  Linear in_x_, in_h_;
+  Linear forget_x_, forget_h_;
+  Linear out_x_, out_h_;
+  Linear cand_x_, cand_h_;
+};
+
+/// Factory over the cell kinds.
+std::unique_ptr<RecurrentCell> MakeRecurrentCell(RnnCellKind kind,
+                                                 size_t input_dim,
+                                                 size_t hidden_dim, Rng* rng);
+
+/// How `RecurrentEncoder` pools per-step hidden states into one vector.
+enum class SequencePooling {
+  kLastState,  ///< Final hidden state h_q (classic RNN classifier).
+  kSumStates,  ///< sum_t h_t — the paper's HFLU fusion-layer input.
+};
+
+/// Recurrent text encoder: embeds a padded batch of token sequences and
+/// runs the chosen cell over time with padding masks, producing one
+/// [n x hidden] matrix.
+///
+/// Padding convention: id < 0 marks padding; padded steps leave the state
+/// unchanged and contribute nothing to kSumStates pooling.
+class RecurrentEncoder : public Module {
+ public:
+  RecurrentEncoder(size_t vocab_size, size_t embed_dim, size_t hidden_dim,
+                   Rng* rng,
+                   SequencePooling pooling = SequencePooling::kLastState,
+                   RnnCellKind cell_kind = RnnCellKind::kGru);
+
+  /// sequences: n rows, each a (possibly ragged) token-id sequence;
+  /// internally processed up to `max_steps` (0 = longest row).
+  autograd::Variable Forward(const std::vector<std::vector<int32_t>>& sequences,
+                             size_t max_steps = 0) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParameter>* out) const override;
+
+  size_t hidden_dim() const { return cell_->hidden_dim(); }
+  RnnCellKind cell_kind() const { return cell_kind_; }
+
+ private:
+  Embedding embedding_;
+  RnnCellKind cell_kind_;
+  std::unique_ptr<RecurrentCell> cell_;
+  SequencePooling pooling_;
+};
+
+/// Historical name; the default cell is a GRU.
+using GruEncoder = RecurrentEncoder;
+
+}  // namespace nn
+}  // namespace fkd
+
+#endif  // FKD_NN_LAYERS_H_

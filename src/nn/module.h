@@ -1,0 +1,56 @@
+#ifndef FKD_NN_MODULE_H_
+#define FKD_NN_MODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace fkd {
+namespace nn {
+
+/// A trainable parameter with a hierarchical name (for serialization and
+/// diagnostics), e.g. "fakedetector/article_gdu/w_forget".
+struct NamedParameter {
+  std::string name;
+  autograd::Variable variable;
+};
+
+/// Base interface for anything that owns trainable parameters. Layers and
+/// whole models implement this so optimisers and (de)serialization can walk
+/// the parameter tree uniformly.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Appends all parameters with names prefixed by `prefix` + "/".
+  virtual void CollectParameters(const std::string& prefix,
+                                 std::vector<NamedParameter>* out) const = 0;
+
+  /// Flat parameter list (unnamed convenience).
+  std::vector<autograd::Variable> Parameters() const {
+    std::vector<NamedParameter> named;
+    CollectParameters("", &named);
+    std::vector<autograd::Variable> params;
+    params.reserve(named.size());
+    for (auto& p : named) params.push_back(p.variable);
+    return params;
+  }
+
+  /// Total number of scalar parameters.
+  size_t ParameterCount() const {
+    size_t total = 0;
+    for (const auto& p : Parameters()) total += p.value().size();
+    return total;
+  }
+};
+
+/// Joins a parameter path component onto a prefix.
+inline std::string JoinName(const std::string& prefix, const std::string& leaf) {
+  return prefix.empty() ? leaf : prefix + "/" + leaf;
+}
+
+}  // namespace nn
+}  // namespace fkd
+
+#endif  // FKD_NN_MODULE_H_

@@ -1,0 +1,131 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace fkd {
+namespace nn {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : parameters_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<autograd::Variable> parameters, float learning_rate,
+         float momentum, float weight_decay)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(parameters_.size());
+    for (const auto& p : parameters_) velocity_.emplace_back(p.value().shape());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    autograd::Variable& p = parameters_[i];
+    const Tensor& g = p.grad();
+    if (g.size() == 0) continue;  // Parameter unused in this graph.
+    Tensor& value = p.mutable_value();
+    if (momentum_ > 0.0f) {
+      Tensor& v = velocity_[i];
+      for (size_t j = 0; j < value.size(); ++j) {
+        const float grad_j = g[j] + weight_decay_ * value[j];
+        v[j] = momentum_ * v[j] + grad_j;
+        value[j] -= learning_rate_ * v[j];
+      }
+    } else {
+      for (size_t j = 0; j < value.size(); ++j) {
+        const float grad_j = g[j] + weight_decay_ * value[j];
+        value[j] -= learning_rate_ * grad_j;
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<autograd::Variable> parameters, float learning_rate,
+           float beta1, float beta2, float epsilon, float weight_decay)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  first_moment_.reserve(parameters_.size());
+  second_moment_.reserve(parameters_.size());
+  for (const auto& p : parameters_) {
+    first_moment_.emplace_back(p.value().shape());
+    second_moment_.emplace_back(p.value().shape());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    autograd::Variable& p = parameters_[i];
+    const Tensor& g = p.grad();
+    if (g.size() == 0) continue;
+    Tensor& value = p.mutable_value();
+    Tensor& m = first_moment_[i];
+    Tensor& v = second_moment_[i];
+    for (size_t j = 0; j < value.size(); ++j) {
+      const float grad_j = g[j] + weight_decay_ * value[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * grad_j;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * grad_j * grad_j;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      value[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+AdaGrad::AdaGrad(std::vector<autograd::Variable> parameters,
+                 float learning_rate, float epsilon)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      epsilon_(epsilon) {
+  accumulated_.reserve(parameters_.size());
+  for (const auto& p : parameters_) accumulated_.emplace_back(p.value().shape());
+}
+
+void AdaGrad::Step() {
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    autograd::Variable& p = parameters_[i];
+    const Tensor& g = p.grad();
+    if (g.size() == 0) continue;
+    Tensor& value = p.mutable_value();
+    Tensor& acc = accumulated_[i];
+    for (size_t j = 0; j < value.size(); ++j) {
+      acc[j] += g[j] * g[j];
+      value[j] -= learning_rate_ * g[j] / (std::sqrt(acc[j]) + epsilon_);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<autograd::Variable>& parameters,
+                   float max_norm) {
+  FKD_CHECK_GT(max_norm, 0.0f);
+  double total_sq = 0.0;
+  for (const auto& p : parameters) {
+    const Tensor& g = p.grad();
+    for (size_t j = 0; j < g.size(); ++j) {
+      total_sq += static_cast<double>(g[j]) * g[j];
+    }
+  }
+  const float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (const auto& p : parameters) {
+      Tensor* g = p.node()->mutable_grad();
+      ScaleInPlace(scale, g);
+    }
+  }
+  return norm;
+}
+
+}  // namespace nn
+}  // namespace fkd

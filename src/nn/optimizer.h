@@ -1,0 +1,103 @@
+#ifndef FKD_NN_OPTIMIZER_H_
+#define FKD_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace fkd {
+namespace nn {
+
+/// Base class for first-order optimisers over a fixed parameter list.
+///
+/// Training loop contract:
+///   optimizer.ZeroGrad();
+///   auto loss = model.Loss(batch);
+///   autograd::Backward(loss);
+///   optimizer.Step();
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> parameters)
+      : parameters_(std::move(parameters)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears accumulated gradients on every parameter.
+  void ZeroGrad();
+
+  const std::vector<autograd::Variable>& parameters() const {
+    return parameters_;
+  }
+
+ protected:
+  std::vector<autograd::Variable> parameters_;
+};
+
+/// Stochastic gradient descent with optional classical momentum and
+/// decoupled L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Variable> parameters, float learning_rate,
+      float momentum = 0.0f, float weight_decay = 0.0f);
+
+  void Step() override;
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+ private:
+  float learning_rate_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Variable> parameters, float learning_rate = 1e-3f,
+       float beta1 = 0.9f, float beta2 = 0.999f, float epsilon = 1e-8f,
+       float weight_decay = 0.0f);
+
+  void Step() override;
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<Tensor> first_moment_;
+  std::vector<Tensor> second_moment_;
+};
+
+/// AdaGrad (Duchi et al. 2011); the optimiser DeepWalk/LINE-era embedding
+/// models typically used.
+class AdaGrad : public Optimizer {
+ public:
+  AdaGrad(std::vector<autograd::Variable> parameters, float learning_rate,
+          float epsilon = 1e-8f);
+
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float epsilon_;
+  std::vector<Tensor> accumulated_;
+};
+
+/// Rescales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clipping norm. Call between Backward() and Step().
+float ClipGradNorm(const std::vector<autograd::Variable>& parameters,
+                   float max_norm);
+
+}  // namespace nn
+}  // namespace fkd
+
+#endif  // FKD_NN_OPTIMIZER_H_

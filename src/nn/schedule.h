@@ -1,0 +1,115 @@
+#ifndef FKD_NN_SCHEDULE_H_
+#define FKD_NN_SCHEDULE_H_
+
+#include <cstddef>
+
+#include "common/logging.h"
+
+namespace fkd {
+namespace nn {
+
+/// Learning-rate schedules. Stateless: callers ask for the rate at a step
+/// and pass it to Optimizer::set_learning_rate (Sgd/Adam expose it).
+///
+///   LinearDecaySchedule schedule(0.005f, 0.0005f, config.epochs);
+///   for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+///     optimizer.set_learning_rate(schedule.LearningRateAt(epoch));
+///     ...
+///   }
+class LearningRateSchedule {
+ public:
+  virtual ~LearningRateSchedule() = default;
+  virtual float LearningRateAt(size_t step) const = 0;
+};
+
+/// Always the same rate (the paper's fixed-LR protocol).
+class ConstantSchedule : public LearningRateSchedule {
+ public:
+  explicit ConstantSchedule(float rate) : rate_(rate) {
+    FKD_CHECK_GT(rate, 0.0f);
+  }
+  float LearningRateAt(size_t) const override { return rate_; }
+
+ private:
+  float rate_;
+};
+
+/// Linear interpolation from `initial` to `final` over `total_steps`
+/// (clamped to `final` afterwards) — word2vec/LINE's decay.
+class LinearDecaySchedule : public LearningRateSchedule {
+ public:
+  LinearDecaySchedule(float initial, float final_rate, size_t total_steps)
+      : initial_(initial), final_(final_rate), total_steps_(total_steps) {
+    FKD_CHECK_GT(initial, 0.0f);
+    FKD_CHECK_GT(final_rate, 0.0f);
+    FKD_CHECK_LE(final_rate, initial);
+    FKD_CHECK_GT(total_steps, 0u);
+  }
+  float LearningRateAt(size_t step) const override {
+    if (step >= total_steps_) return final_;
+    const float progress =
+        static_cast<float>(step) / static_cast<float>(total_steps_);
+    return initial_ + (final_ - initial_) * progress;
+  }
+
+ private:
+  float initial_;
+  float final_;
+  size_t total_steps_;
+};
+
+/// Multiplies the rate by `factor` every `period` steps (staircase decay).
+class StepDecaySchedule : public LearningRateSchedule {
+ public:
+  StepDecaySchedule(float initial, float factor, size_t period)
+      : initial_(initial), factor_(factor), period_(period) {
+    FKD_CHECK_GT(initial, 0.0f);
+    FKD_CHECK_GT(factor, 0.0f);
+    FKD_CHECK_LE(factor, 1.0f);
+    FKD_CHECK_GT(period, 0u);
+  }
+  float LearningRateAt(size_t step) const override {
+    float rate = initial_;
+    for (size_t k = 0; k < step / period_; ++k) rate *= factor_;
+    return rate;
+  }
+
+ private:
+  float initial_;
+  float factor_;
+  size_t period_;
+};
+
+/// Linear warmup to `peak` over `warmup_steps`, then linear decay to 0+
+/// at `total_steps` (transformer-style trapezoid, floor at `peak` / 100).
+class WarmupLinearSchedule : public LearningRateSchedule {
+ public:
+  WarmupLinearSchedule(float peak, size_t warmup_steps, size_t total_steps)
+      : peak_(peak), warmup_steps_(warmup_steps), total_steps_(total_steps) {
+    FKD_CHECK_GT(peak, 0.0f);
+    FKD_CHECK_GT(warmup_steps, 0u);
+    FKD_CHECK_GT(total_steps, warmup_steps);
+  }
+  float LearningRateAt(size_t step) const override {
+    const float floor = peak_ / 100.0f;
+    if (step < warmup_steps_) {
+      return peak_ * static_cast<float>(step + 1) /
+             static_cast<float>(warmup_steps_);
+    }
+    if (step >= total_steps_) return floor;
+    const float progress = static_cast<float>(step - warmup_steps_) /
+                           static_cast<float>(total_steps_ - warmup_steps_);
+    const float rate = peak_ * (1.0f - progress);
+    return rate < floor ? floor : rate;
+  }
+
+ private:
+  float peak_;
+  size_t warmup_steps_;
+  size_t total_steps_;
+};
+
+}  // namespace nn
+}  // namespace fkd
+
+#endif  // FKD_NN_SCHEDULE_H_

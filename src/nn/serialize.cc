@@ -1,0 +1,123 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace fkd {
+namespace nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x464B4457;  // "FKDW"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+Status SaveParameters(const Module& module, const std::string& path) {
+  std::vector<NamedParameter> params;
+  module.CollectParameters("", &params);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+
+  WritePod(out, kMagic);
+  WritePod(out, kVersion);
+  WritePod(out, static_cast<uint32_t>(params.size()));
+  for (const auto& p : params) {
+    WritePod(out, static_cast<uint32_t>(p.name.size()));
+    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    const Tensor& t = p.variable.value();
+    WritePod(out, static_cast<uint32_t>(t.rank()));
+    for (size_t dim : t.shape()) WritePod(out, static_cast<uint64_t>(dim));
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.size() * sizeof(float)));
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  FKD_CHECK(module != nullptr);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint32_t count = 0;
+  if (!ReadPod(in, &magic) || magic != kMagic) {
+    return Status::Corruption("bad magic in " + path);
+  }
+  if (!ReadPod(in, &version) || version != kVersion) {
+    return Status::Corruption(StrFormat("unsupported version %u", version));
+  }
+  if (!ReadPod(in, &count)) return Status::Corruption("truncated header");
+
+  std::map<std::string, Tensor> loaded;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadPod(in, &name_len) || name_len > (1u << 20)) {
+      return Status::Corruption("bad parameter name length");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    uint32_t rank = 0;
+    if (!in || !ReadPod(in, &rank) || rank > 8) {
+      return Status::Corruption("bad parameter rank for " + name);
+    }
+    std::vector<size_t> shape(rank);
+    size_t total = rank == 0 ? 0 : 1;
+    for (uint32_t d = 0; d < rank; ++d) {
+      uint64_t dim = 0;
+      if (!ReadPod(in, &dim) || dim > (1ull << 32)) {
+        return Status::Corruption("bad dimension for " + name);
+      }
+      shape[d] = static_cast<size_t>(dim);
+      total *= shape[d];
+    }
+    Tensor t(shape);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(total * sizeof(float)));
+    if (!in) return Status::Corruption("truncated data for " + name);
+    if (loaded.count(name) != 0) {
+      return Status::Corruption("duplicate parameter " + name);
+    }
+    loaded.emplace(std::move(name), std::move(t));
+  }
+
+  std::vector<NamedParameter> params;
+  module->CollectParameters("", &params);
+  if (params.size() != loaded.size()) {
+    return Status::InvalidArgument(
+        StrFormat("parameter count mismatch: module has %zu, file has %zu",
+                  params.size(), loaded.size()));
+  }
+  for (auto& p : params) {
+    auto it = loaded.find(p.name);
+    if (it == loaded.end()) {
+      return Status::InvalidArgument("file missing parameter " + p.name);
+    }
+    if (it->second.shape() != p.variable.value().shape()) {
+      return Status::InvalidArgument("shape mismatch for " + p.name);
+    }
+    p.variable.mutable_value() = it->second;
+  }
+  return Status::OK();
+}
+
+}  // namespace nn
+}  // namespace fkd

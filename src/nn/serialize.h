@@ -1,0 +1,25 @@
+#ifndef FKD_NN_SERIALIZE_H_
+#define FKD_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace fkd {
+namespace nn {
+
+/// Writes all parameters of `module` to `path` in the FKDW binary format
+/// (magic, version, then name/shape/float32-data records).
+Status SaveParameters(const Module& module, const std::string& path);
+
+/// Restores parameters saved by SaveParameters into `module` (matched by
+/// name; shapes must agree exactly). Missing or extra names are errors so
+/// that silent architecture drift is caught.
+Status LoadParameters(Module* module, const std::string& path);
+
+}  // namespace nn
+}  // namespace fkd
+
+#endif  // FKD_NN_SERIALIZE_H_

@@ -1,0 +1,433 @@
+#include "tensor/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "tensor/ops.h"
+
+namespace fkd {
+namespace autograd {
+
+void Node::AccumulateGrad(const Tensor& g) {
+  FKD_CHECK(g.shape() == value_.shape());
+  if (grad_.size() == 0) grad_ = Tensor(value_.shape());
+  AxpyInPlace(1.0f, g, &grad_);
+}
+
+void Node::ZeroGrad() {
+  if (grad_.size() != 0) grad_.SetZero();
+}
+
+/// Internal factory: wires inputs and the backward closure into a new node.
+class GraphBuilder {
+ public:
+  static Variable MakeOp(Tensor value, const std::vector<Variable>& inputs,
+                         std::string op_name,
+                         std::function<void(Node&)> backward_fn) {
+    bool requires_grad = false;
+    for (const Variable& input : inputs) {
+      FKD_CHECK(input.defined()) << "undefined input to op " << op_name;
+      requires_grad = requires_grad || input.requires_grad();
+    }
+    auto node = std::make_shared<Node>(std::move(value), requires_grad,
+                                       std::move(op_name));
+    for (const Variable& input : inputs) node->inputs_.push_back(input.node());
+    if (requires_grad) node->backward_fn_ = std::move(backward_fn);
+    return Variable(std::move(node));
+  }
+};
+
+namespace {
+
+Variable MakeOp(Tensor value, const std::vector<Variable>& inputs,
+                std::string op_name, std::function<void(Node&)> backward_fn) {
+  return GraphBuilder::MakeOp(std::move(value), inputs, std::move(op_name),
+                              std::move(backward_fn));
+}
+
+}  // namespace
+
+void Backward(const Variable& root) {
+  FKD_CHECK(root.defined());
+  FKD_CHECK_EQ(root.value().size(), 1u) << "Backward() needs a scalar root";
+  FKD_CHECK(root.requires_grad())
+      << "Backward() on a graph with no trainable parameters";
+
+  // Iterative post-order DFS to get a topological order of the subgraph
+  // that requires gradients.
+  std::vector<Node*> topo_order;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_input;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root.node().get(), 0});
+  visited.insert(root.node().get());
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_input < frame.node->inputs().size()) {
+      Node* input = frame.node->inputs()[frame.next_input++].get();
+      if (input->requires_grad() && visited.insert(input).second) {
+        stack.push_back({input, 0});
+      }
+    } else {
+      topo_order.push_back(frame.node);
+      stack.pop_back();
+    }
+  }
+
+  Tensor seed(root.value().shape());
+  seed.Fill(1.0f);
+  root.node()->AccumulateGrad(seed);
+
+  for (auto it = topo_order.rbegin(); it != topo_order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn_) node->backward_fn_(*node);
+  }
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  Tensor out = fkd::MatMul(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOp(std::move(out), {a, b}, "matmul", [an, bn](Node& node) {
+    const Tensor& dc = node.grad();
+    if (an->requires_grad()) {
+      Tensor da(an->value().shape());
+      Gemm(false, true, 1.0f, dc, bn->value(), 0.0f, &da);
+      an->AccumulateGrad(da);
+    }
+    if (bn->requires_grad()) {
+      Tensor db(bn->value().shape());
+      Gemm(true, false, 1.0f, an->value(), dc, 0.0f, &db);
+      bn->AccumulateGrad(db);
+    }
+  });
+}
+
+Variable Add(const Variable& a, const Variable& b) {
+  Tensor out = fkd::Add(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOp(std::move(out), {a, b}, "add", [an, bn](Node& node) {
+    if (an->requires_grad()) an->AccumulateGrad(node.grad());
+    if (bn->requires_grad()) bn->AccumulateGrad(node.grad());
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  Tensor out = fkd::Sub(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOp(std::move(out), {a, b}, "sub", [an, bn](Node& node) {
+    if (an->requires_grad()) an->AccumulateGrad(node.grad());
+    if (bn->requires_grad()) {
+      Tensor neg = node.grad();
+      ScaleInPlace(-1.0f, &neg);
+      bn->AccumulateGrad(neg);
+    }
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  Tensor out = fkd::Mul(a.value(), b.value());
+  auto an = a.node();
+  auto bn = b.node();
+  return MakeOp(std::move(out), {a, b}, "mul", [an, bn](Node& node) {
+    if (an->requires_grad()) an->AccumulateGrad(fkd::Mul(node.grad(), bn->value()));
+    if (bn->requires_grad()) bn->AccumulateGrad(fkd::Mul(node.grad(), an->value()));
+  });
+}
+
+Variable Scale(const Variable& a, float scale) {
+  Tensor out = a.value();
+  ScaleInPlace(scale, &out);
+  auto an = a.node();
+  return MakeOp(std::move(out), {a}, "scale", [an, scale](Node& node) {
+    Tensor da = node.grad();
+    ScaleInPlace(scale, &da);
+    an->AccumulateGrad(da);
+  });
+}
+
+Variable OneMinus(const Variable& a) {
+  Tensor out = Map(a.value(), [](float x) { return 1.0f - x; });
+  auto an = a.node();
+  return MakeOp(std::move(out), {a}, "one_minus", [an](Node& node) {
+    Tensor da = node.grad();
+    ScaleInPlace(-1.0f, &da);
+    an->AccumulateGrad(da);
+  });
+}
+
+Variable AddRowBroadcast(const Variable& matrix, const Variable& row) {
+  FKD_CHECK_EQ(row.value().rows(), 1u);
+  Tensor out = fkd::AddRowBroadcast(matrix.value(), row.value());
+  auto mn = matrix.node();
+  auto rn = row.node();
+  return MakeOp(std::move(out), {matrix, row}, "add_row", [mn, rn](Node& node) {
+    if (mn->requires_grad()) mn->AccumulateGrad(node.grad());
+    if (rn->requires_grad()) rn->AccumulateGrad(SumRowsTo(node.grad()));
+  });
+}
+
+Variable Sigmoid(const Variable& a) {
+  Tensor out = fkd::Sigmoid(a.value());
+  auto an = a.node();
+  return MakeOp(std::move(out), {a}, "sigmoid", [an](Node& node) {
+    const Tensor& y = node.value();
+    Tensor da = ZipMap(node.grad(), y,
+                       [](float g, float s) { return g * s * (1.0f - s); });
+    an->AccumulateGrad(da);
+  });
+}
+
+Variable Tanh(const Variable& a) {
+  Tensor out = TanhT(a.value());
+  auto an = a.node();
+  return MakeOp(std::move(out), {a}, "tanh", [an](Node& node) {
+    const Tensor& y = node.value();
+    Tensor da = ZipMap(node.grad(), y,
+                       [](float g, float t) { return g * (1.0f - t * t); });
+    an->AccumulateGrad(da);
+  });
+}
+
+Variable Relu(const Variable& a) {
+  Tensor out = fkd::Relu(a.value());
+  auto an = a.node();
+  return MakeOp(std::move(out), {a}, "relu", [an](Node& node) {
+    Tensor da = ZipMap(node.grad(), an->value(),
+                       [](float g, float x) { return x > 0.0f ? g : 0.0f; });
+    an->AccumulateGrad(da);
+  });
+}
+
+Variable Dropout(const Variable& a, float p, Rng* rng, bool training) {
+  if (!training || p <= 0.0f) return a;
+  FKD_CHECK(rng != nullptr);
+  FKD_CHECK_LT(p, 1.0f);
+  // Inverted dropout: the mask carries the 1/(1-p) keep scale.
+  Tensor mask(a.value().shape());
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
+  }
+  Tensor out = fkd::Mul(a.value(), mask);
+  auto an = a.node();
+  return MakeOp(std::move(out), {a}, "dropout",
+                [an, mask = std::move(mask)](Node& node) {
+                  an->AccumulateGrad(fkd::Mul(node.grad(), mask));
+                });
+}
+
+Variable ConcatCols(const std::vector<Variable>& parts) {
+  FKD_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  std::vector<std::shared_ptr<Node>> nodes;
+  for (const Variable& part : parts) {
+    values.push_back(part.value());
+    nodes.push_back(part.node());
+  }
+  Tensor out = fkd::ConcatCols(values);
+  return MakeOp(std::move(out), parts, "concat_cols",
+                [nodes = std::move(nodes)](Node& node) {
+                  const Tensor& dc = node.grad();
+                  size_t offset = 0;
+                  for (const auto& input : nodes) {
+                    const size_t width = input->value().cols();
+                    if (input->requires_grad()) {
+                      Tensor slice(input->value().rows(), width);
+                      for (size_t r = 0; r < slice.rows(); ++r) {
+                        const float* src = dc.Row(r) + offset;
+                        std::copy(src, src + width, slice.Row(r));
+                      }
+                      input->AccumulateGrad(slice);
+                    }
+                    offset += width;
+                  }
+                });
+}
+
+Variable SliceCols(const Variable& a, size_t start, size_t width) {
+  const Tensor& av = a.value();
+  FKD_CHECK_LE(start + width, av.cols());
+  Tensor out(av.rows(), width);
+  for (size_t r = 0; r < av.rows(); ++r) {
+    const float* src = av.Row(r) + start;
+    std::copy(src, src + width, out.Row(r));
+  }
+  auto an = a.node();
+  return MakeOp(std::move(out), {a}, "slice_cols",
+                [an, start, width](Node& node) {
+                  const Tensor& dc = node.grad();
+                  Tensor da(an->value().shape());
+                  for (size_t r = 0; r < da.rows(); ++r) {
+                    float* dst = da.Row(r) + start;
+                    const float* src = dc.Row(r);
+                    for (size_t c = 0; c < width; ++c) dst[c] += src[c];
+                  }
+                  an->AccumulateGrad(da);
+                });
+}
+
+Variable GatherRows(const Variable& a, const std::vector<int32_t>& indices) {
+  const Tensor& av = a.value();
+  const size_t d = av.cols();
+  Tensor out(indices.size(), d);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    FKD_CHECK_GE(indices[i], 0);
+    FKD_CHECK_LT(static_cast<size_t>(indices[i]), av.rows());
+    std::copy(av.Row(indices[i]), av.Row(indices[i]) + d, out.Row(i));
+  }
+  auto an = a.node();
+  return MakeOp(std::move(out), {a}, "gather_rows",
+                [an, indices](Node& node) {
+                  const Tensor& dc = node.grad();
+                  Tensor da(an->value().shape());
+                  const size_t d = da.cols();
+                  for (size_t i = 0; i < indices.size(); ++i) {
+                    float* dst = da.Row(indices[i]);
+                    const float* src = dc.Row(i);
+                    for (size_t c = 0; c < d; ++c) dst[c] += src[c];
+                  }
+                  an->AccumulateGrad(da);
+                });
+}
+
+Variable GroupMeanRows(const Variable& a,
+                       const std::vector<std::vector<int32_t>>& groups) {
+  const Tensor& av = a.value();
+  const size_t d = av.cols();
+  Tensor out(groups.size(), d);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].empty()) continue;  // Missing port: stays zero.
+    float* dst = out.Row(g);
+    for (int32_t r : groups[g]) {
+      FKD_CHECK_GE(r, 0);
+      FKD_CHECK_LT(static_cast<size_t>(r), av.rows());
+      const float* src = av.Row(r);
+      for (size_t c = 0; c < d; ++c) dst[c] += src[c];
+    }
+    const float inv = 1.0f / static_cast<float>(groups[g].size());
+    for (size_t c = 0; c < d; ++c) dst[c] *= inv;
+  }
+  auto an = a.node();
+  return MakeOp(std::move(out), {a}, "group_mean_rows",
+                [an, groups](Node& node) {
+                  const Tensor& dc = node.grad();
+                  Tensor da(an->value().shape());
+                  const size_t d = da.cols();
+                  for (size_t g = 0; g < groups.size(); ++g) {
+                    if (groups[g].empty()) continue;
+                    const float inv = 1.0f / static_cast<float>(groups[g].size());
+                    const float* src = dc.Row(g);
+                    for (int32_t r : groups[g]) {
+                      float* dst = da.Row(r);
+                      for (size_t c = 0; c < d; ++c) dst[c] += inv * src[c];
+                    }
+                  }
+                  an->AccumulateGrad(da);
+                });
+}
+
+Variable ScaleRows(const Variable& a, const std::vector<float>& row_scales) {
+  const Tensor& av = a.value();
+  FKD_CHECK_EQ(row_scales.size(), av.rows());
+  Tensor out = av;
+  for (size_t r = 0; r < out.rows(); ++r) {
+    float* row = out.Row(r);
+    for (size_t c = 0; c < out.cols(); ++c) row[c] *= row_scales[r];
+  }
+  auto an = a.node();
+  return MakeOp(std::move(out), {a}, "scale_rows",
+                [an, row_scales](Node& node) {
+                  Tensor da = node.grad();
+                  for (size_t r = 0; r < da.rows(); ++r) {
+                    float* row = da.Row(r);
+                    for (size_t c = 0; c < da.cols(); ++c) {
+                      row[c] *= row_scales[r];
+                    }
+                  }
+                  an->AccumulateGrad(da);
+                });
+}
+
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int32_t>& labels,
+                             Tensor* probs_out) {
+  const Tensor& lv = logits.value();
+  FKD_CHECK_EQ(labels.size(), lv.rows());
+  FKD_CHECK_GT(labels.size(), 0u);
+  Tensor probs = SoftmaxRows(lv);
+  if (probs_out != nullptr) *probs_out = probs;
+  double total_nll = 0.0;
+  for (size_t r = 0; r < lv.rows(); ++r) {
+    const int32_t label = labels[r];
+    FKD_CHECK_GE(label, 0);
+    FKD_CHECK_LT(static_cast<size_t>(label), lv.cols());
+    total_nll += -std::log(std::max(probs.At(r, label), 1e-12f));
+  }
+  Tensor out(1, 1);
+  out[0] = static_cast<float>(total_nll / static_cast<double>(lv.rows()));
+  auto ln = logits.node();
+  return MakeOp(std::move(out), {logits}, "softmax_xent",
+                [ln, labels, probs = std::move(probs)](Node& node) {
+                  const float upstream = node.grad()[0];
+                  const float inv_n =
+                      upstream / static_cast<float>(probs.rows());
+                  Tensor da = probs;
+                  for (size_t r = 0; r < da.rows(); ++r) {
+                    da.At(r, labels[r]) -= 1.0f;
+                  }
+                  ScaleInPlace(inv_n, &da);
+                  ln->AccumulateGrad(da);
+                });
+}
+
+Variable SumSquares(const Variable& a) {
+  double total = 0.0;
+  const Tensor& av = a.value();
+  for (size_t i = 0; i < av.size(); ++i) {
+    total += static_cast<double>(av[i]) * av[i];
+  }
+  Tensor out(1, 1);
+  out[0] = static_cast<float>(total);
+  auto an = a.node();
+  return MakeOp(std::move(out), {a}, "sum_squares", [an](Node& node) {
+    const float upstream = node.grad()[0];
+    Tensor da = an->value();
+    ScaleInPlace(2.0f * upstream, &da);
+    an->AccumulateGrad(da);
+  });
+}
+
+Variable AddN(const std::vector<Variable>& scalars) {
+  FKD_CHECK(!scalars.empty());
+  Tensor out(1, 1);
+  std::vector<std::shared_ptr<Node>> nodes;
+  for (const Variable& s : scalars) {
+    FKD_CHECK_EQ(s.value().size(), 1u);
+    out[0] += s.value()[0];
+    nodes.push_back(s.node());
+  }
+  return MakeOp(std::move(out), scalars, "add_n",
+                [nodes = std::move(nodes)](Node& node) {
+                  for (const auto& input : nodes) {
+                    if (input->requires_grad()) input->AccumulateGrad(node.grad());
+                  }
+                });
+}
+
+Variable MakeCustomOp(Tensor value, const std::vector<Variable>& inputs,
+                      std::string op_name,
+                      std::function<void(Node&)> backward) {
+  return GraphBuilder::MakeOp(std::move(value), inputs, std::move(op_name),
+                              std::move(backward));
+}
+
+}  // namespace autograd
+}  // namespace fkd

@@ -1,0 +1,198 @@
+#ifndef FKD_TENSOR_AUTOGRAD_H_
+#define FKD_TENSOR_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace fkd {
+namespace autograd {
+
+/// A node in the dynamic computation graph. Holds the forward value, the
+/// accumulated gradient, edges to the input nodes and the closure that
+/// back-propagates this node's gradient into its inputs.
+///
+/// Users interact through `Variable` (a shared handle); nodes are created by
+/// the op functions below and freed when the last Variable referencing the
+/// (sub)graph is dropped.
+class Node {
+ public:
+  Node(Tensor value, bool requires_grad, std::string op_name)
+      : value_(std::move(value)),
+        requires_grad_(requires_grad),
+        op_name_(std::move(op_name)) {}
+
+  const Tensor& value() const { return value_; }
+  Tensor& mutable_value() { return value_; }
+
+  bool requires_grad() const { return requires_grad_; }
+  const std::string& op_name() const { return op_name_; }
+
+  /// The accumulated gradient; zero-shaped until the first accumulation.
+  const Tensor& grad() const { return grad_; }
+
+  /// Mutable gradient access (optimisers scale/clip in place).
+  Tensor* mutable_grad() { return &grad_; }
+
+  /// Adds `g` (same shape as value) into the gradient buffer.
+  void AccumulateGrad(const Tensor& g);
+
+  /// Clears the gradient buffer (used between optimisation steps for
+  /// persistent parameter nodes).
+  void ZeroGrad();
+
+  const std::vector<std::shared_ptr<Node>>& inputs() const { return inputs_; }
+
+ private:
+  friend class GraphBuilder;
+  friend void Backward(const class Variable& root);
+
+  Tensor value_;
+  Tensor grad_;
+  bool requires_grad_;
+  std::string op_name_;
+  std::vector<std::shared_ptr<Node>> inputs_;
+  /// Propagates grad_ into inputs' grads. Null for leaves.
+  std::function<void(Node&)> backward_fn_;
+};
+
+/// Shared handle to a graph node; the public currency of the autograd API.
+///
+/// A default-constructed Variable is "empty" (no node); ops FKD_CHECK
+/// non-emptiness. Variables are cheap to copy (shared_ptr).
+class Variable {
+ public:
+  Variable() = default;
+
+  /// Wraps a tensor as a leaf. `requires_grad = true` marks a trainable
+  /// parameter whose gradient survives Backward().
+  explicit Variable(Tensor value, bool requires_grad = false,
+                    std::string name = "leaf")
+      : node_(std::make_shared<Node>(std::move(value), requires_grad,
+                                     std::move(name))) {}
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const {
+    FKD_CHECK(defined());
+    return node_->value();
+  }
+  Tensor& mutable_value() {
+    FKD_CHECK(defined());
+    return node_->mutable_value();
+  }
+  const Tensor& grad() const {
+    FKD_CHECK(defined());
+    return node_->grad();
+  }
+  bool requires_grad() const { return defined() && node_->requires_grad(); }
+
+  void ZeroGrad() {
+    FKD_CHECK(defined());
+    node_->ZeroGrad();
+  }
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+  /// Scalar convenience: value of a [1x1] (or single-element) variable.
+  float scalar() const {
+    FKD_CHECK(defined());
+    FKD_CHECK_EQ(node_->value().size(), 1u);
+    return node_->value()[0];
+  }
+
+ private:
+  explicit Variable(std::shared_ptr<Node> node) : node_(std::move(node)) {}
+  friend class GraphBuilder;
+
+  std::shared_ptr<Node> node_;
+};
+
+/// Runs reverse-mode differentiation from `root`, which must hold exactly
+/// one element (a scalar loss). Gradients accumulate into every node with
+/// requires_grad() on a path to `root`; parameter leaves keep their grads
+/// until ZeroGrad().
+void Backward(const Variable& root);
+
+/// ---- Differentiable operations -------------------------------------------
+///
+/// All operate on rank-2 tensors unless noted. Shapes are FKD_CHECKed.
+
+/// C = A x B ([m,k] x [k,n] -> [m,n]).
+Variable MatMul(const Variable& a, const Variable& b);
+
+/// Element-wise sum / difference / Hadamard product (same shape).
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+
+/// out = scale * a.
+Variable Scale(const Variable& a, float scale);
+
+/// out = 1 - a (the GDU "1 ⊖ g" construct).
+Variable OneMinus(const Variable& a);
+
+/// Adds a [1 x d] bias row to each row of a [n x d] matrix.
+Variable AddRowBroadcast(const Variable& matrix, const Variable& row);
+
+/// Point-wise nonlinearities.
+Variable Sigmoid(const Variable& a);
+Variable Tanh(const Variable& a);
+Variable Relu(const Variable& a);
+
+/// Inverted dropout; identity when `training` is false or p == 0.
+Variable Dropout(const Variable& a, float p, Rng* rng, bool training);
+
+/// Concatenates along columns; all parts share the row count.
+Variable ConcatCols(const std::vector<Variable>& parts);
+
+/// out = a[:, start : start + width]. Gradient scatters back into the
+/// sliced column range. Used to unpack packed recurrent state (e.g. the
+/// LSTM's [h, c]).
+Variable SliceCols(const Variable& a, size_t start, size_t width);
+
+/// out[i, :] = a[indices[i], :]. Gradient scatters (accumulates) back, so
+/// repeated indices are fine. Used for embedding lookup and selecting the
+/// labelled training rows of a hidden-state matrix.
+Variable GatherRows(const Variable& a, const std::vector<int32_t>& indices);
+
+/// out[g, :] = mean over r in groups[g] of a[r, :]; an empty group yields a
+/// zero row (the paper's "default value 0" for missing GDU input ports).
+/// This is the neighbour-aggregation primitive of the diffusive network.
+Variable GroupMeanRows(const Variable& a,
+                       const std::vector<std::vector<int32_t>>& groups);
+
+/// out[i, :] = row_scales[i] * a[i, :], with constant (non-differentiated)
+/// scales. Used for padding masks in sequence models.
+Variable ScaleRows(const Variable& a, const std::vector<float>& row_scales);
+
+/// Mean softmax cross-entropy of [n x k] logits against integer labels in
+/// [0, k). Returns a [1 x 1] scalar. When `probs_out` is non-null it
+/// receives the row-wise softmax probabilities (for metrics).
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int32_t>& labels,
+                             Tensor* probs_out = nullptr);
+
+/// Sum of squared entries, as a [1 x 1] scalar (L2 regularisation term).
+Variable SumSquares(const Variable& a);
+
+/// Sum of a list of [1 x 1] scalars.
+Variable AddN(const std::vector<Variable>& scalars);
+
+/// Extension point: builds a differentiable node with an arbitrary forward
+/// value and backward closure. `backward` receives the output node (read
+/// node.grad(), node.inputs()) and must AccumulateGrad into every input
+/// that requires it. Used by ops living outside this translation unit
+/// (e.g. the sparse-dense product in tensor/sparse.h).
+Variable MakeCustomOp(Tensor value, const std::vector<Variable>& inputs,
+                      std::string op_name,
+                      std::function<void(Node&)> backward);
+
+}  // namespace autograd
+}  // namespace fkd
+
+#endif  // FKD_TENSOR_AUTOGRAD_H_

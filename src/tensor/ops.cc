@@ -1,0 +1,238 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fkd {
+
+namespace {
+
+// Dimensions of op(X) for the GEMM contract.
+struct OpDims {
+  size_t rows;
+  size_t cols;
+};
+
+OpDims DimsOf(const Tensor& t, bool transposed) {
+  if (transposed) return {t.cols(), t.rows()};
+  return {t.rows(), t.cols()};
+}
+
+}  // namespace
+
+void Gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor* c) {
+  FKD_CHECK(c != nullptr);
+  const OpDims da = DimsOf(a, trans_a);
+  const OpDims db = DimsOf(b, trans_b);
+  FKD_CHECK_EQ(da.cols, db.rows);
+  FKD_CHECK_EQ(c->rows(), da.rows);
+  FKD_CHECK_EQ(c->cols(), db.cols);
+
+  const size_t m = da.rows;
+  const size_t k = da.cols;
+  const size_t n = db.cols;
+
+  if (beta == 0.0f) {
+    c->SetZero();
+  } else if (beta != 1.0f) {
+    ScaleInPlace(beta, c);
+  }
+
+  // The four transpose layouts share an ikj ordering so that the innermost
+  // loop streams over contiguous memory of C (and of B when not transposed).
+  float* cd = c->data();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  const size_t lda = a.cols();
+  const size_t ldb = b.cols();
+
+  for (size_t i = 0; i < m; ++i) {
+    float* c_row = cd + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const float a_ip = trans_a ? ad[p * lda + i] : ad[i * lda + p];
+      if (a_ip == 0.0f) continue;
+      const float scaled = alpha * a_ip;
+      if (!trans_b) {
+        const float* b_row = bd + p * ldb;
+        for (size_t j = 0; j < n; ++j) c_row[j] += scaled * b_row[j];
+      } else {
+        // op(B)[p, j] = B[j, p]: strided column walk.
+        for (size_t j = 0; j < n; ++j) c_row[j] += scaled * bd[j * ldb + p];
+      }
+    }
+  }
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.cols());
+  Gemm(false, false, 1.0f, a, b, 0.0f, &c);
+  return c;
+}
+
+void Gemv(bool trans_a, float alpha, const Tensor& a, const Tensor& x,
+          float beta, Tensor* y) {
+  FKD_CHECK(y != nullptr);
+  FKD_CHECK_EQ(x.rank(), 1u);
+  FKD_CHECK_EQ(y->rank(), 1u);
+  const size_t m = trans_a ? a.cols() : a.rows();
+  const size_t k = trans_a ? a.rows() : a.cols();
+  FKD_CHECK_EQ(x.size(), k);
+  FKD_CHECK_EQ(y->size(), m);
+
+  if (beta == 0.0f) {
+    y->SetZero();
+  } else if (beta != 1.0f) {
+    ScaleInPlace(beta, y);
+  }
+  float* yd = y->data();
+  const float* xd = x.data();
+  if (!trans_a) {
+    for (size_t i = 0; i < m; ++i) {
+      const float* row = a.Row(i);
+      double total = 0.0;
+      for (size_t j = 0; j < k; ++j) total += row[j] * xd[j];
+      yd[i] += alpha * static_cast<float>(total);
+    }
+  } else {
+    // y += alpha * A^T x: stream over A's rows, scatter into y.
+    for (size_t r = 0; r < k; ++r) {
+      const float* row = a.Row(r);
+      const float scaled = alpha * xd[r];
+      if (scaled == 0.0f) continue;
+      for (size_t i = 0; i < m; ++i) yd[i] += scaled * row[i];
+    }
+  }
+}
+
+void AxpyInPlace(float alpha, const Tensor& x, Tensor* y) {
+  FKD_CHECK(y != nullptr);
+  FKD_CHECK(x.shape() == y->shape());
+  float* yd = y->data();
+  const float* xd = x.data();
+  for (size_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+}
+
+void ScaleInPlace(float scale, Tensor* y) {
+  FKD_CHECK(y != nullptr);
+  float* yd = y->data();
+  for (size_t i = 0; i < y->size(); ++i) yd[i] *= scale;
+}
+
+Tensor Map(const Tensor& a, const std::function<float(float)>& f) {
+  Tensor out(a.shape());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = f(a[i]);
+  return out;
+}
+
+Tensor ZipMap(const Tensor& a, const Tensor& b,
+              const std::function<float(float, float)>& f) {
+  FKD_CHECK(a.shape() == b.shape());
+  Tensor out(a.shape());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = f(a[i], b[i]);
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  FKD_CHECK(a.shape() == b.shape());
+  Tensor out(a.shape());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  FKD_CHECK(a.shape() == b.shape());
+  Tensor out(a.shape());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  FKD_CHECK(a.shape() == b.shape());
+  Tensor out(a.shape());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row) {
+  const size_t d = matrix.cols();
+  FKD_CHECK_EQ(row.size(), d);
+  Tensor out = matrix;
+  const float* rd = row.data();
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    float* out_row = out.Row(r);
+    for (size_t c = 0; c < d; ++c) out_row[c] += rd[c];
+  }
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return Map(a, [](float x) {
+    if (x >= 0.0f) {
+      const float z = std::exp(-x);
+      return 1.0f / (1.0f + z);
+    }
+    const float z = std::exp(x);
+    return z / (1.0f + z);
+  });
+}
+
+Tensor TanhT(const Tensor& a) {
+  return Map(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return Map(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  Tensor out(logits.rows(), logits.cols());
+  const size_t k = logits.cols();
+  for (size_t r = 0; r < logits.rows(); ++r) {
+    const float* in_row = logits.Row(r);
+    float* out_row = out.Row(r);
+    float max_logit = in_row[0];
+    for (size_t c = 1; c < k; ++c) max_logit = std::max(max_logit, in_row[c]);
+    double total = 0.0;
+    for (size_t c = 0; c < k; ++c) {
+      out_row[c] = std::exp(in_row[c] - max_logit);
+      total += out_row[c];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (size_t c = 0; c < k; ++c) out_row[c] *= inv;
+  }
+  return out;
+}
+
+Tensor SumRowsTo(const Tensor& matrix) {
+  Tensor out(1, matrix.cols());
+  float* od = out.data();
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    const float* row = matrix.Row(r);
+    for (size_t c = 0; c < matrix.cols(); ++c) od[c] += row[c];
+  }
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  FKD_CHECK(!parts.empty());
+  const size_t n = parts[0].rows();
+  size_t total_cols = 0;
+  for (const Tensor& part : parts) {
+    FKD_CHECK_EQ(part.rows(), n);
+    total_cols += part.cols();
+  }
+  Tensor out(n, total_cols);
+  for (size_t r = 0; r < n; ++r) {
+    float* out_row = out.Row(r);
+    size_t offset = 0;
+    for (const Tensor& part : parts) {
+      const float* in_row = part.Row(r);
+      std::copy(in_row, in_row + part.cols(), out_row + offset);
+      offset += part.cols();
+    }
+  }
+  return out;
+}
+
+}  // namespace fkd

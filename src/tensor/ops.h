@@ -1,0 +1,67 @@
+#ifndef FKD_TENSOR_OPS_H_
+#define FKD_TENSOR_OPS_H_
+
+#include <functional>
+
+#include "tensor/tensor.h"
+
+namespace fkd {
+
+/// Raw (non-differentiable) numeric kernels on rank-2 tensors. These are the
+/// primitives the autograd layer (`tensor/autograd.h`) builds its
+/// forward/backward passes from. All functions FKD_CHECK dimension
+/// agreement; outputs must be pre-shaped by the caller (GEMM style) or are
+/// returned by value where cheap.
+
+/// General matrix multiply: C = alpha * op(A) * op(B) + beta * C where
+/// op(X) = X or X^T. Implemented as a cache-friendly ikj loop.
+void Gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
+          const Tensor& b, float beta, Tensor* c);
+
+/// C = A * B convenience wrapper (no transposes, overwrite).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// y = alpha * op(A) * x + beta * y for a rank-1 x and y (matrix-vector
+/// product; op(A) = A or A^T).
+void Gemv(bool trans_a, float alpha, const Tensor& a, const Tensor& x,
+          float beta, Tensor* y);
+
+/// y += alpha * x (same shape).
+void AxpyInPlace(float alpha, const Tensor& x, Tensor* y);
+
+/// y = y * scale.
+void ScaleInPlace(float scale, Tensor* y);
+
+/// Element-wise out[i] = f(a[i]).
+Tensor Map(const Tensor& a, const std::function<float(float)>& f);
+
+/// Element-wise out[i] = f(a[i], b[i]) (same shape).
+Tensor ZipMap(const Tensor& a, const Tensor& b,
+              const std::function<float(float, float)>& f);
+
+/// Element-wise sum / difference / Hadamard product.
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// Adds a [1 x d] (or rank-1 length-d) bias row to every row of a [n x d]
+/// matrix.
+Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row);
+
+/// Stable sigmoid / tanh applied element-wise.
+Tensor Sigmoid(const Tensor& a);
+Tensor TanhT(const Tensor& a);
+Tensor Relu(const Tensor& a);
+
+/// Row-wise softmax of a [n x k] matrix (numerically stable).
+Tensor SoftmaxRows(const Tensor& logits);
+
+/// Column-wise sum of a [n x d] matrix -> [1 x d].
+Tensor SumRowsTo(const Tensor& matrix);
+
+/// Concatenates rank-2 tensors with equal row counts along columns.
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+
+}  // namespace fkd
+
+#endif  // FKD_TENSOR_OPS_H_

@@ -1,0 +1,133 @@
+#include "tensor/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/autograd.h"
+
+namespace fkd {
+
+CsrMatrix CsrMatrix::FromTriplets(size_t rows, size_t cols,
+                                  std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    FKD_CHECK_GE(t.row, 0);
+    FKD_CHECK_LT(static_cast<size_t>(t.row), rows);
+    FKD_CHECK_GE(t.col, 0);
+    FKD_CHECK_LT(static_cast<size_t>(t.col), cols);
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  CsrMatrix csr;
+  csr.rows_ = rows;
+  csr.cols_ = cols;
+  csr.offsets_.assign(rows + 1, 0);
+  csr.indices_.reserve(triplets.size());
+  csr.values_.reserve(triplets.size());
+
+  size_t i = 0;
+  while (i < triplets.size()) {
+    // Sum duplicates.
+    const int32_t row = triplets[i].row;
+    const int32_t col = triplets[i].col;
+    float value = 0.0f;
+    while (i < triplets.size() && triplets[i].row == row &&
+           triplets[i].col == col) {
+      value += triplets[i].value;
+      ++i;
+    }
+    if (value != 0.0f) {
+      csr.indices_.push_back(col);
+      csr.values_.push_back(value);
+      ++csr.offsets_[row + 1];
+    }
+  }
+  for (size_t r = 1; r <= rows; ++r) csr.offsets_[r] += csr.offsets_[r - 1];
+  return csr;
+}
+
+CsrMatrix CsrMatrix::FromDense(const Tensor& dense, float epsilon) {
+  CsrMatrix csr;
+  csr.rows_ = dense.rows();
+  csr.cols_ = dense.cols();
+  csr.offsets_.assign(csr.rows_ + 1, 0);
+  for (size_t r = 0; r < csr.rows_; ++r) {
+    const float* row = dense.Row(r);
+    for (size_t c = 0; c < csr.cols_; ++c) {
+      if (std::fabs(row[c]) > epsilon) {
+        csr.indices_.push_back(static_cast<int32_t>(c));
+        csr.values_.push_back(row[c]);
+        ++csr.offsets_[r + 1];
+      }
+    }
+  }
+  for (size_t r = 1; r <= csr.rows_; ++r) {
+    csr.offsets_[r] += csr.offsets_[r - 1];
+  }
+  return csr;
+}
+
+Tensor CsrMatrix::ToDense() const {
+  Tensor dense(rows_, cols_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const auto indices = RowIndices(r);
+    const auto values = RowValues(r);
+    float* row = dense.Row(r);
+    for (size_t k = 0; k < indices.size(); ++k) row[indices[k]] = values[k];
+  }
+  return dense;
+}
+
+Tensor CsrMatrix::MatMul(const Tensor& dense) const {
+  FKD_CHECK_EQ(dense.rows(), cols_);
+  const size_t n = dense.cols();
+  Tensor out(rows_, n);
+  for (size_t r = 0; r < rows_; ++r) {
+    const auto indices = RowIndices(r);
+    const auto values = RowValues(r);
+    float* out_row = out.Row(r);
+    for (size_t k = 0; k < indices.size(); ++k) {
+      const float* dense_row = dense.Row(indices[k]);
+      const float v = values[k];
+      for (size_t j = 0; j < n; ++j) out_row[j] += v * dense_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor CsrMatrix::TransposedMatMul(const Tensor& dense) const {
+  FKD_CHECK_EQ(dense.rows(), rows_);
+  const size_t n = dense.cols();
+  Tensor out(cols_, n);
+  for (size_t r = 0; r < rows_; ++r) {
+    const auto indices = RowIndices(r);
+    const auto values = RowValues(r);
+    const float* dense_row = dense.Row(r);
+    for (size_t k = 0; k < indices.size(); ++k) {
+      float* out_row = out.Row(indices[k]);
+      const float v = values[k];
+      for (size_t j = 0; j < n; ++j) out_row[j] += v * dense_row[j];
+    }
+  }
+  return out;
+}
+
+autograd::Variable SparseMatMul(const CsrMatrix& sparse,
+                                const autograd::Variable& dense) {
+  Tensor out = sparse.MatMul(dense.value());
+  auto dense_node = dense.node();
+  // The sparse operand is constant; only the dense side receives gradient:
+  // dL/dx = S^T * dL/dy.
+  return autograd::MakeCustomOp(
+      std::move(out), {dense}, "sparse_matmul",
+      [sparse, dense_node](autograd::Node& node) {
+        if (dense_node->requires_grad()) {
+          dense_node->AccumulateGrad(sparse.TransposedMatMul(node.grad()));
+        }
+      });
+}
+
+}  // namespace fkd

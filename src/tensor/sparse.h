@@ -1,0 +1,87 @@
+#ifndef FKD_TENSOR_SPARSE_H_
+#define FKD_TENSOR_SPARSE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fkd {
+
+/// Compressed-sparse-row float32 matrix.
+///
+/// Bag-of-words feature matrices are extremely sparse (a 20-word statement
+/// touches at most 20 of the explicit dimensions); CSR storage plus SpMM
+/// keeps the explicit-feature path proportional to the number of nonzeros
+/// rather than n x d. Immutable after construction.
+class CsrMatrix {
+ public:
+  /// Empty 0 x 0 matrix.
+  CsrMatrix() = default;
+
+  /// From triplets (row, col, value). Duplicate coordinates are summed;
+  /// explicit zeros are dropped. Coordinates are FKD_CHECKed against the
+  /// shape.
+  struct Triplet {
+    int32_t row;
+    int32_t col;
+    float value;
+  };
+  static CsrMatrix FromTriplets(size_t rows, size_t cols,
+                                std::vector<Triplet> triplets);
+
+  /// Compresses a dense matrix (entries with |v| <= epsilon dropped).
+  static CsrMatrix FromDense(const Tensor& dense, float epsilon = 0.0f);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return values_.size(); }
+
+  /// Density in [0, 1].
+  double Density() const {
+    return rows_ * cols_ == 0
+               ? 0.0
+               : static_cast<double>(nnz()) / static_cast<double>(rows_ * cols_);
+  }
+
+  /// Row r's column indices / values (parallel spans).
+  std::span<const int32_t> RowIndices(size_t r) const {
+    return {indices_.data() + offsets_[r],
+            static_cast<size_t>(offsets_[r + 1] - offsets_[r])};
+  }
+  std::span<const float> RowValues(size_t r) const {
+    return {values_.data() + offsets_[r],
+            static_cast<size_t>(offsets_[r + 1] - offsets_[r])};
+  }
+
+  /// Materialises the dense equivalent.
+  Tensor ToDense() const;
+
+  /// C = this [m x k] * B [k x n], dense output. O(nnz * n).
+  Tensor MatMul(const Tensor& dense) const;
+
+  /// C = this^T [k x m] * B [m x n], dense output (scatter formulation).
+  Tensor TransposedMatMul(const Tensor& dense) const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<int64_t> offsets_ = {0};
+  std::vector<int32_t> indices_;
+  std::vector<float> values_;
+};
+
+namespace autograd {
+class Variable;
+}  // namespace autograd
+
+/// Differentiable y = S * x for a constant sparse matrix S and a dense
+/// Variable x (the explicit-feature projection path): the gradient
+/// dL/dx = S^T * dL/dy uses TransposedMatMul, never densifying S.
+autograd::Variable SparseMatMul(const CsrMatrix& sparse,
+                                const autograd::Variable& dense);
+
+}  // namespace fkd
+
+#endif  // FKD_TENSOR_SPARSE_H_

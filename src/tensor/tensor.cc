@@ -1,0 +1,150 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace fkd {
+
+namespace {
+
+size_t ShapeSize(const std::vector<size_t>& shape) {
+  size_t total = 1;
+  for (size_t dim : shape) total *= dim;
+  return shape.empty() ? 0 : total;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<size_t> shape)
+    : shape_(std::move(shape)), data_(ShapeSize(shape_), 0.0f) {}
+
+Tensor Tensor::Full(size_t rows, size_t cols, float value) {
+  Tensor t(rows, cols);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& values) {
+  Tensor t(std::vector<size_t>{values.size()});
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::FromRows(
+    std::initializer_list<std::initializer_list<float>> rows) {
+  const size_t n_rows = rows.size();
+  FKD_CHECK_GT(n_rows, 0u);
+  const size_t n_cols = rows.begin()->size();
+  Tensor t(n_rows, n_cols);
+  size_t r = 0;
+  for (const auto& row : rows) {
+    FKD_CHECK_EQ(row.size(), n_cols);
+    std::copy(row.begin(), row.end(), t.Row(r));
+    ++r;
+  }
+  return t;
+}
+
+Tensor Tensor::Randn(size_t rows, size_t cols, Rng* rng, float mean,
+                     float stddev) {
+  FKD_CHECK(rng != nullptr);
+  Tensor t(rows, cols);
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::Rand(size_t rows, size_t cols, Rng* rng, float lo, float hi) {
+  FKD_CHECK(rng != nullptr);
+  Tensor t(rows, cols);
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return t;
+}
+
+size_t Tensor::rows() const {
+  FKD_CHECK_EQ(rank(), 2u);
+  return shape_[0];
+}
+
+size_t Tensor::cols() const {
+  FKD_CHECK_EQ(rank(), 2u);
+  return shape_[1];
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor Tensor::Reshape(std::vector<size_t> new_shape) const {
+  FKD_CHECK_EQ(ShapeSize(new_shape), size());
+  Tensor t(std::move(new_shape));
+  std::copy(data_.begin(), data_.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::Transposed() const {
+  FKD_CHECK_EQ(rank(), 2u);
+  Tensor t(cols(), rows());
+  for (size_t r = 0; r < rows(); ++r) {
+    for (size_t c = 0; c < cols(); ++c) {
+      t.At(c, r) = At(r, c);
+    }
+  }
+  return t;
+}
+
+float Tensor::Sum() const {
+  double total = 0.0;
+  for (float v : data_) total += v;
+  return static_cast<float>(total);
+}
+
+float Tensor::Mean() const {
+  FKD_CHECK_GT(size(), 0u);
+  return Sum() / static_cast<float>(size());
+}
+
+float Tensor::MaxAbs() const {
+  float max_abs = 0.0f;
+  for (float v : data_) max_abs = std::max(max_abs, std::fabs(v));
+  return max_abs;
+}
+
+float Tensor::Norm() const {
+  double total = 0.0;
+  for (float v : data_) total += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(total));
+}
+
+bool Tensor::AllClose(const Tensor& other, float tolerance) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ToString(size_t max_entries) const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) os << "x";
+    os << shape_[i];
+  }
+  os << "]{";
+  const size_t shown = std::min(max_entries, size());
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) os << ((rank() == 2 && i % cols() == 0) ? "; " : ", ");
+    os << data_[i];
+  }
+  if (shown < size()) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+}  // namespace fkd

@@ -1,0 +1,123 @@
+#ifndef FKD_TENSOR_TENSOR_H_
+#define FKD_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace fkd {
+
+/// Dense row-major float32 tensor.
+///
+/// The library uses rank-1 (vectors) and rank-2 (matrices) tensors
+/// exclusively; rank-2 is the hot path (all neural-network math is batched
+/// matrix algebra, see `tensor/ops.h`). `Tensor` is a value type: copyable,
+/// movable, equality-comparable; all shape violations are programmer errors
+/// and abort via FKD_CHECK.
+class Tensor {
+ public:
+  /// Empty scalar-less tensor (rank 0, zero elements).
+  Tensor() = default;
+
+  /// Uninitialised-to-zero tensor of the given shape.
+  explicit Tensor(std::vector<size_t> shape);
+
+  /// Convenience rank-2 constructor.
+  Tensor(size_t rows, size_t cols) : Tensor(std::vector<size_t>{rows, cols}) {}
+
+  /// Factory helpers -----------------------------------------------------
+
+  static Tensor Zeros(size_t rows, size_t cols) { return Tensor(rows, cols); }
+  static Tensor Full(size_t rows, size_t cols, float value);
+  static Tensor Ones(size_t rows, size_t cols) { return Full(rows, cols, 1.0f); }
+  /// Rank-1 tensor from explicit values.
+  static Tensor FromVector(const std::vector<float>& values);
+  /// Rank-2 tensor from a row-major initializer, e.g. {{1,2},{3,4}}.
+  static Tensor FromRows(std::initializer_list<std::initializer_list<float>> rows);
+  /// I.i.d. N(mean, stddev) entries.
+  static Tensor Randn(size_t rows, size_t cols, Rng* rng, float mean = 0.0f,
+                      float stddev = 1.0f);
+  /// I.i.d. U[lo, hi) entries.
+  static Tensor Rand(size_t rows, size_t cols, Rng* rng, float lo, float hi);
+
+  /// Shape ----------------------------------------------------------------
+
+  const std::vector<size_t>& shape() const { return shape_; }
+  size_t rank() const { return shape_.size(); }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Rank-2 accessors (FKD_CHECK rank).
+  size_t rows() const;
+  size_t cols() const;
+
+  /// Element access --------------------------------------------------------
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](size_t i) {
+    FKD_DCHECK(i < data_.size());
+    return data_[i];
+  }
+  float operator[](size_t i) const {
+    FKD_DCHECK(i < data_.size());
+    return data_[i];
+  }
+
+  /// Rank-2 element access.
+  float& At(size_t r, size_t c) {
+    FKD_DCHECK(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+  float At(size_t r, size_t c) const {
+    FKD_DCHECK(rank() == 2 && r < shape_[0] && c < shape_[1]);
+    return data_[r * shape_[1] + c];
+  }
+
+  /// Pointer to the start of row `r` (rank-2).
+  float* Row(size_t r) { return data_.data() + r * cols(); }
+  const float* Row(size_t r) const { return data_.data() + r * cols(); }
+
+  /// Mutators ---------------------------------------------------------------
+
+  void Fill(float value);
+  void SetZero() { Fill(0.0f); }
+
+  /// Returns a reshaped copy sharing no storage; total size must match.
+  Tensor Reshape(std::vector<size_t> new_shape) const;
+
+  /// Materialised transpose of a rank-2 tensor.
+  Tensor Transposed() const;
+
+  /// Reductions --------------------------------------------------------------
+
+  float Sum() const;
+  float Mean() const;
+  float MaxAbs() const;
+  /// Frobenius / L2 norm of all entries.
+  float Norm() const;
+
+  /// True when shapes match and all entries are within `tolerance`.
+  bool AllClose(const Tensor& other, float tolerance = 1e-5f) const;
+
+  bool operator==(const Tensor& other) const {
+    return shape_ == other.shape_ && data_ == other.data_;
+  }
+
+  /// Compact debug rendering, e.g. "[2x3]{1, 2, 3; 4, 5, 6}" (elided when
+  /// large).
+  std::string ToString(size_t max_entries = 24) const;
+
+ private:
+  std::vector<size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace fkd
+
+#endif  // FKD_TENSOR_TENSOR_H_

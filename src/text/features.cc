@@ -1,0 +1,277 @@
+#include "text/features.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "text/tokenizer.h"
+
+namespace fkd {
+namespace text {
+
+std::vector<float> BowFeaturizer::Featurize(
+    const std::vector<std::string>& tokens) const {
+  std::vector<float> features(word_set_.size(), 0.0f);
+  for (const auto& token : tokens) {
+    const int32_t id = word_set_.IdOf(token);
+    if (id != Vocabulary::kUnknownId) features[id] += 1.0f;
+  }
+  return features;
+}
+
+Tensor BowFeaturizer::FeaturizeBatch(
+    const std::vector<std::vector<std::string>>& documents) const {
+  Tensor out(documents.size(), word_set_.size());
+  for (size_t r = 0; r < documents.size(); ++r) {
+    const std::vector<float> row = Featurize(documents[r]);
+    std::copy(row.begin(), row.end(), out.Row(r));
+  }
+  return out;
+}
+
+ClassWordStats::ClassWordStats(size_t num_classes)
+    : num_classes_(num_classes), class_documents_(num_classes, 0) {
+  FKD_CHECK_GT(num_classes, 0u);
+}
+
+void ClassWordStats::AddDocument(const std::vector<std::string>& tokens,
+                                 int32_t label) {
+  FKD_CHECK_GE(label, 0);
+  FKD_CHECK_LT(static_cast<size_t>(label), num_classes_);
+  ++total_documents_;
+  ++class_documents_[label];
+  std::unordered_set<std::string> unique(tokens.begin(), tokens.end());
+  for (const auto& word : unique) {
+    const int32_t id = vocabulary_.Add(word);
+    const size_t needed = (static_cast<size_t>(id) + 1) * num_classes_;
+    if (counts_.size() < needed) counts_.resize(needed, 0);
+    ++counts_[static_cast<size_t>(id) * num_classes_ +
+              static_cast<size_t>(label)];
+  }
+}
+
+int64_t ClassWordStats::DocumentCount(const std::string& word,
+                                      int32_t label) const {
+  FKD_CHECK_GE(label, 0);
+  FKD_CHECK_LT(static_cast<size_t>(label), num_classes_);
+  const int32_t id = vocabulary_.IdOf(word);
+  if (id == Vocabulary::kUnknownId) return 0;
+  return counts_[static_cast<size_t>(id) * num_classes_ +
+                 static_cast<size_t>(label)];
+}
+
+int64_t ClassWordStats::ClassDocumentCount(int32_t label) const {
+  FKD_CHECK_GE(label, 0);
+  FKD_CHECK_LT(static_cast<size_t>(label), num_classes_);
+  return class_documents_[label];
+}
+
+double ClassWordStats::ChiSquare(const std::string& word) const {
+  const int32_t id = vocabulary_.IdOf(word);
+  if (id == Vocabulary::kUnknownId || total_documents_ == 0) return 0.0;
+  const double n = static_cast<double>(total_documents_);
+  int64_t word_documents = 0;
+  for (size_t c = 0; c < num_classes_; ++c) {
+    word_documents += counts_[static_cast<size_t>(id) * num_classes_ + c];
+  }
+  double chi = 0.0;
+  // One-vs-rest 2x2 contingency per class, summed.
+  for (size_t c = 0; c < num_classes_; ++c) {
+    const double a = static_cast<double>(
+        counts_[static_cast<size_t>(id) * num_classes_ + c]);  // word & class
+    const double b = static_cast<double>(word_documents) - a;  // word & !class
+    const double cc = static_cast<double>(class_documents_[c]) - a;
+    const double d = n - a - b - cc;
+    const double denominator =
+        (a + cc) * (b + d) * (a + b) * (cc + d);
+    if (denominator <= 0.0) continue;
+    const double numerator = n * (a * d - cc * b) * (a * d - cc * b);
+    chi += numerator / denominator;
+  }
+  return chi;
+}
+
+Vocabulary ClassWordStats::SelectTopChiSquare(
+    size_t k, int64_t min_document_frequency) const {
+  struct Scored {
+    int32_t id;
+    double score;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(vocabulary_.size());
+  for (size_t id = 0; id < vocabulary_.size(); ++id) {
+    int64_t document_frequency = 0;
+    for (size_t c = 0; c < num_classes_; ++c) {
+      document_frequency += counts_[id * num_classes_ + c];
+    }
+    if (document_frequency < min_document_frequency) continue;
+    scored.push_back({static_cast<int32_t>(id),
+                      ChiSquare(vocabulary_.TokenOf(static_cast<int32_t>(id)))});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score > b.score;
+                   });
+  Vocabulary selected;
+  for (size_t i = 0; i < std::min(k, scored.size()); ++i) {
+    selected.Add(vocabulary_.TokenOf(scored[i].id));
+  }
+  return selected;
+}
+
+double ClassWordStats::MutualInformation(const std::string& word) const {
+  const int32_t id = vocabulary_.IdOf(word);
+  if (id == Vocabulary::kUnknownId || total_documents_ == 0) return 0.0;
+  const double n = static_cast<double>(total_documents_);
+  int64_t word_documents = 0;
+  for (size_t c = 0; c < num_classes_; ++c) {
+    word_documents += counts_[static_cast<size_t>(id) * num_classes_ + c];
+  }
+  const double p_word = static_cast<double>(word_documents) / n;
+  double mi = 0.0;
+  for (size_t c = 0; c < num_classes_; ++c) {
+    const double p_class = static_cast<double>(class_documents_[c]) / n;
+    if (p_class <= 0.0) continue;
+    const double joint_present =
+        static_cast<double>(counts_[static_cast<size_t>(id) * num_classes_ + c]) / n;
+    const double joint_absent = p_class - joint_present;
+    if (joint_present > 0.0 && p_word > 0.0) {
+      mi += joint_present * std::log(joint_present / (p_word * p_class));
+    }
+    if (joint_absent > 0.0 && p_word < 1.0) {
+      mi += joint_absent * std::log(joint_absent / ((1.0 - p_word) * p_class));
+    }
+  }
+  return mi;
+}
+
+Vocabulary ClassWordStats::SelectTopMutualInformation(
+    size_t k, int64_t min_document_frequency) const {
+  struct Scored {
+    int32_t id;
+    double score;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(vocabulary_.size());
+  for (size_t id = 0; id < vocabulary_.size(); ++id) {
+    int64_t document_frequency = 0;
+    for (size_t c = 0; c < num_classes_; ++c) {
+      document_frequency += counts_[id * num_classes_ + c];
+    }
+    if (document_frequency < min_document_frequency) continue;
+    scored.push_back(
+        {static_cast<int32_t>(id),
+         MutualInformation(vocabulary_.TokenOf(static_cast<int32_t>(id)))});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     return a.score > b.score;
+                   });
+  Vocabulary selected;
+  for (size_t i = 0; i < std::min(k, scored.size()); ++i) {
+    selected.Add(vocabulary_.TokenOf(scored[i].id));
+  }
+  return selected;
+}
+
+std::vector<std::pair<std::string, int64_t>> ClassWordStats::TopWordsForClass(
+    int32_t label, size_t k) const {
+  FKD_CHECK_GE(label, 0);
+  FKD_CHECK_LT(static_cast<size_t>(label), num_classes_);
+  std::vector<std::pair<std::string, int64_t>> words;
+  words.reserve(vocabulary_.size());
+  for (size_t id = 0; id < vocabulary_.size(); ++id) {
+    const int64_t count =
+        counts_[id * num_classes_ + static_cast<size_t>(label)];
+    if (count > 0) {
+      words.emplace_back(vocabulary_.TokenOf(static_cast<int32_t>(id)), count);
+    }
+  }
+  std::stable_sort(words.begin(), words.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  if (words.size() > k) words.resize(k);
+  return words;
+}
+
+TfIdfFeaturizer::TfIdfFeaturizer(
+    Vocabulary word_set, const std::vector<std::vector<std::string>>& corpus)
+    : word_set_(std::move(word_set)), idf_(word_set_.size(), 0.0f) {
+  std::vector<int64_t> document_frequency(word_set_.size(), 0);
+  for (const auto& tokens : corpus) {
+    std::unordered_set<int32_t> seen;
+    for (const auto& token : tokens) {
+      const int32_t id = word_set_.IdOf(token);
+      if (id != Vocabulary::kUnknownId) seen.insert(id);
+    }
+    for (int32_t id : seen) ++document_frequency[id];
+  }
+  const double n = static_cast<double>(corpus.size());
+  for (size_t k = 0; k < idf_.size(); ++k) {
+    idf_[k] = static_cast<float>(
+        std::log((1.0 + n) / (1.0 + static_cast<double>(document_frequency[k]))) +
+        1.0);
+  }
+}
+
+double TfIdfFeaturizer::IdfOf(int32_t word_id) const {
+  FKD_CHECK_GE(word_id, 0);
+  FKD_CHECK_LT(static_cast<size_t>(word_id), idf_.size());
+  return idf_[word_id];
+}
+
+std::vector<float> TfIdfFeaturizer::Featurize(
+    const std::vector<std::string>& tokens) const {
+  std::vector<float> features(word_set_.size(), 0.0f);
+  for (const auto& token : tokens) {
+    const int32_t id = word_set_.IdOf(token);
+    if (id != Vocabulary::kUnknownId) features[id] += 1.0f;
+  }
+  for (size_t k = 0; k < features.size(); ++k) features[k] *= idf_[k];
+  return features;
+}
+
+Tensor TfIdfFeaturizer::FeaturizeBatch(
+    const std::vector<std::vector<std::string>>& documents) const {
+  Tensor out(documents.size(), word_set_.size());
+  for (size_t r = 0; r < documents.size(); ++r) {
+    const std::vector<float> row = Featurize(documents[r]);
+    std::copy(row.begin(), row.end(), out.Row(r));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::string>> TokenizeDocuments(
+    const std::vector<std::string>& texts, bool remove_stopwords) {
+  TokenizerOptions options;
+  options.remove_stopwords = remove_stopwords;
+  std::vector<std::vector<std::string>> documents;
+  documents.reserve(texts.size());
+  for (const auto& t : texts) documents.push_back(Tokenize(t, options));
+  return documents;
+}
+
+Vocabulary SelectChiSquareWordSet(
+    const std::vector<std::vector<std::string>>& documents,
+    const std::vector<int32_t>& train_ids, const std::vector<int32_t>& targets,
+    size_t num_classes, size_t k) {
+  ClassWordStats stats(num_classes);
+  for (int32_t id : train_ids) {
+    FKD_CHECK_GE(id, 0);
+    FKD_CHECK_LT(static_cast<size_t>(id), documents.size());
+    stats.AddDocument(documents[id], targets[id]);
+  }
+  return stats.SelectTopChiSquare(k);
+}
+
+Vocabulary BuildFrequencyVocabulary(
+    const std::vector<std::vector<std::string>>& documents, size_t k) {
+  Vocabulary vocabulary;
+  for (const auto& tokens : documents) vocabulary.AddAll(tokens);
+  return vocabulary.TopK(k);
+}
+
+}  // namespace text
+}  // namespace fkd

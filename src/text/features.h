@@ -1,0 +1,135 @@
+#ifndef FKD_TEXT_FEATURES_H_
+#define FKD_TEXT_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "text/vocabulary.h"
+
+namespace fkd {
+namespace text {
+
+/// Explicit bag-of-words feature extraction over a fixed word set (the
+/// paper's W_n / W_u / W_s: "entry x(k) denotes the number of appearance
+/// times of word w_k", §4.1.1).
+class BowFeaturizer {
+ public:
+  /// `word_set` defines the feature dimensions (one per token, in id
+  /// order).
+  explicit BowFeaturizer(Vocabulary word_set)
+      : word_set_(std::move(word_set)) {}
+
+  size_t dim() const { return word_set_.size(); }
+  const Vocabulary& word_set() const { return word_set_; }
+
+  /// Count vector for one tokenised document: out[k] = #occurrences of
+  /// word k.
+  std::vector<float> Featurize(const std::vector<std::string>& tokens) const;
+
+  /// [n x dim] count matrix for a batch of documents.
+  Tensor FeaturizeBatch(
+      const std::vector<std::vector<std::string>>& documents) const;
+
+ private:
+  Vocabulary word_set_;
+};
+
+/// Per-class word-occurrence statistics used both for the paper's frequent-
+/// word analysis (Fig 1b/1c) and for chi-square feature selection.
+class ClassWordStats {
+ public:
+  /// `num_classes` label values in [0, num_classes).
+  explicit ClassWordStats(size_t num_classes);
+
+  /// Records a tokenised document of class `label`. Each word is counted at
+  /// most once per document (document frequency), the convention chi-square
+  /// selection expects.
+  void AddDocument(const std::vector<std::string>& tokens, int32_t label);
+
+  size_t num_classes() const { return num_classes_; }
+  size_t num_documents() const { return total_documents_; }
+  const Vocabulary& vocabulary() const { return vocabulary_; }
+
+  /// Documents of class `label` containing `word`.
+  int64_t DocumentCount(const std::string& word, int32_t label) const;
+
+  /// Documents of class `label`.
+  int64_t ClassDocumentCount(int32_t label) const;
+
+  /// Chi-square statistic of `word` vs. the class variable (summed over
+  /// classes; standard one-vs-rest 2x2 formulation).
+  double ChiSquare(const std::string& word) const;
+
+  /// The `k` highest-chi-square words with document frequency >=
+  /// `min_document_frequency`, as a Vocabulary (feature word set).
+  Vocabulary SelectTopChiSquare(size_t k,
+                                int64_t min_document_frequency = 2) const;
+
+  /// Mutual information I(word presence; class) in nats, from the
+  /// document-level contingency table.
+  double MutualInformation(const std::string& word) const;
+
+  /// The `k` highest-mutual-information words with document frequency >=
+  /// `min_document_frequency` (alternative selector to chi-square).
+  Vocabulary SelectTopMutualInformation(
+      size_t k, int64_t min_document_frequency = 2) const;
+
+  /// The `k` most frequent words of class `label` (Fig 1b/1c word lists).
+  std::vector<std::pair<std::string, int64_t>> TopWordsForClass(
+      int32_t label, size_t k) const;
+
+ private:
+  size_t num_classes_;
+  size_t total_documents_ = 0;
+  Vocabulary vocabulary_;
+  /// counts_[word_id * num_classes_ + label] = document frequency.
+  std::vector<int64_t> counts_;
+  std::vector<int64_t> class_documents_;
+};
+
+/// TF-IDF variant of the explicit features: term frequency scaled by
+/// smoothed inverse document frequency, fitted on a corpus. An extension
+/// over the paper's raw counts for the feature-pipeline ablation.
+class TfIdfFeaturizer {
+ public:
+  /// `word_set` defines the dimensions; `corpus` supplies the document
+  /// frequencies (idf = ln((1 + N) / (1 + df)) + 1, sklearn's smoothing).
+  TfIdfFeaturizer(Vocabulary word_set,
+                  const std::vector<std::vector<std::string>>& corpus);
+
+  size_t dim() const { return word_set_.size(); }
+  const Vocabulary& word_set() const { return word_set_; }
+
+  /// Smoothed idf of feature `k`.
+  double IdfOf(int32_t word_id) const;
+
+  std::vector<float> Featurize(const std::vector<std::string>& tokens) const;
+  Tensor FeaturizeBatch(
+      const std::vector<std::vector<std::string>>& documents) const;
+
+ private:
+  Vocabulary word_set_;
+  std::vector<float> idf_;
+};
+
+/// Tokenises one text column with the modelling conventions shared by
+/// FakeDetector and the text baselines (lowercase, stop words removed).
+std::vector<std::vector<std::string>> TokenizeDocuments(
+    const std::vector<std::string>& texts, bool remove_stopwords = true);
+
+/// Chi-square-selects a word set of size `k` using only the labelled
+/// training documents (`targets` is indexed by document id).
+Vocabulary SelectChiSquareWordSet(
+    const std::vector<std::vector<std::string>>& documents,
+    const std::vector<int32_t>& train_ids, const std::vector<int32_t>& targets,
+    size_t num_classes, size_t k);
+
+/// The `k` most frequent tokens over all documents (unsupervised).
+Vocabulary BuildFrequencyVocabulary(
+    const std::vector<std::vector<std::string>>& documents, size_t k);
+
+}  // namespace text
+}  // namespace fkd
+
+#endif  // FKD_TEXT_FEATURES_H_

@@ -1,0 +1,83 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+namespace fkd {
+namespace text {
+
+namespace {
+
+const std::unordered_set<std::string>& StopWordSet() {
+  // Standard English stop-word list (SMART subset), never destroyed
+  // (function-local static reference idiom).
+  static const auto& kStopWords = *new std::unordered_set<std::string>{
+      "a",      "about",  "above", "after",  "again",   "against", "all",
+      "am",     "an",     "and",   "any",    "are",     "aren't",  "as",
+      "at",     "be",     "because", "been", "before",  "being",   "below",
+      "between", "both",  "but",   "by",     "can",     "can't",   "cannot",
+      "could",  "couldn't", "did", "didn't", "do",      "does",    "doesn't",
+      "doing",  "don't",  "down",  "during", "each",    "few",     "for",
+      "from",   "further", "had",  "hadn't", "has",     "hasn't",  "have",
+      "haven't", "having", "he",   "he'd",   "he'll",   "he's",    "her",
+      "here",   "here's", "hers",  "herself", "him",    "himself", "his",
+      "how",    "how's",  "i",     "i'd",    "i'll",    "i'm",     "i've",
+      "if",     "in",     "into",  "is",     "isn't",   "it",      "it's",
+      "its",    "itself", "let's", "me",     "more",    "most",    "mustn't",
+      "my",     "myself", "no",    "nor",    "not",     "of",      "off",
+      "on",     "once",   "only",  "or",     "other",   "ought",   "our",
+      "ours",   "ourselves", "out", "over",  "own",     "same",    "shan't",
+      "she",    "she'd",  "she'll", "she's", "should",  "shouldn't", "so",
+      "some",   "such",   "than",  "that",   "that's",  "the",     "their",
+      "theirs", "them",   "themselves", "then", "there", "there's", "these",
+      "they",   "they'd", "they'll", "they're", "they've", "this",  "those",
+      "through", "to",    "too",   "under",  "until",   "up",      "very",
+      "was",    "wasn't", "we",    "we'd",   "we'll",   "we're",   "we've",
+      "were",   "weren't", "what", "what's", "when",    "when's",  "where",
+      "where's", "which", "while", "who",    "who's",   "whom",    "why",
+      "why's",  "with",   "won't", "would",  "wouldn't", "you",    "you'd",
+      "you'll", "you're", "you've", "your",  "yours",   "yourself",
+      "yourselves"};
+  return kStopWords;
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '\'';
+}
+
+}  // namespace
+
+bool IsStopWord(std::string_view word) {
+  return StopWordSet().count(std::string(word)) != 0;
+}
+
+std::vector<std::string> Tokenize(std::string_view input,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < input.size()) {
+    while (i < input.size() && !IsWordChar(input[i])) ++i;
+    size_t start = i;
+    while (i < input.size() && IsWordChar(input[i])) ++i;
+    if (i == start) continue;
+    std::string token(input.substr(start, i - start));
+    // Strip leading/trailing apostrophes ("'tis'" -> "tis").
+    size_t begin = 0;
+    size_t end = token.size();
+    while (begin < end && token[begin] == '\'') ++begin;
+    while (end > begin && token[end - 1] == '\'') --end;
+    token = token.substr(begin, end - begin);
+    if (token.size() < options.min_token_length) continue;
+    if (options.lowercase) {
+      for (char& c : token) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+      }
+    }
+    if (options.remove_stopwords && IsStopWord(token)) continue;
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+}  // namespace text
+}  // namespace fkd

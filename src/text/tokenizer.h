@@ -1,0 +1,32 @@
+#ifndef FKD_TEXT_TOKENIZER_H_
+#define FKD_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fkd {
+namespace text {
+
+/// Options for `Tokenize`.
+struct TokenizerOptions {
+  /// Lowercase all tokens (the paper's analysis is case-insensitive).
+  bool lowercase = true;
+  /// Drop tokens shorter than this many characters.
+  size_t min_token_length = 2;
+  /// Drop English stop words ("the", "of", ... — Fig 1b/1c remove them).
+  bool remove_stopwords = false;
+};
+
+/// Splits `text` into word tokens on any non-alphanumeric character
+/// (apostrophes inside words are kept: "don't" -> "don't").
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options = {});
+
+/// True for words on the built-in English stop-word list (lowercase input).
+bool IsStopWord(std::string_view word);
+
+}  // namespace text
+}  // namespace fkd
+
+#endif  // FKD_TEXT_TOKENIZER_H_

@@ -1,0 +1,133 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fkd {
+namespace text {
+
+int32_t Vocabulary::Add(const std::string& token) {
+  auto [it, inserted] =
+      token_to_id_.try_emplace(token, static_cast<int32_t>(tokens_.size()));
+  if (inserted) {
+    tokens_.push_back(token);
+    frequencies_.push_back(0);
+  }
+  ++frequencies_[it->second];
+  return it->second;
+}
+
+void Vocabulary::AddAll(const std::vector<std::string>& tokens) {
+  for (const auto& token : tokens) Add(token);
+}
+
+int32_t Vocabulary::IdOf(const std::string& token) const {
+  auto it = token_to_id_.find(token);
+  return it == token_to_id_.end() ? kUnknownId : it->second;
+}
+
+const std::string& Vocabulary::TokenOf(int32_t id) const {
+  FKD_CHECK_GE(id, 0);
+  FKD_CHECK_LT(static_cast<size_t>(id), tokens_.size());
+  return tokens_[id];
+}
+
+int64_t Vocabulary::FrequencyOf(const std::string& token) const {
+  auto it = token_to_id_.find(token);
+  return it == token_to_id_.end() ? 0 : frequencies_[it->second];
+}
+
+Vocabulary Vocabulary::Pruned(int64_t min_frequency) const {
+  Vocabulary out;
+  for (size_t id = 0; id < tokens_.size(); ++id) {
+    if (frequencies_[id] >= min_frequency) {
+      const int32_t new_id = out.Add(tokens_[id]);
+      out.frequencies_[new_id] = frequencies_[id];
+    }
+  }
+  return out;
+}
+
+Vocabulary Vocabulary::TopK(size_t max_size) const {
+  std::vector<size_t> order(tokens_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    return frequencies_[a] > frequencies_[b];
+  });
+  Vocabulary out;
+  for (size_t i = 0; i < std::min(max_size, order.size()); ++i) {
+    const size_t id = order[i];
+    const int32_t new_id = out.Add(tokens_[id]);
+    out.frequencies_[new_id] = frequencies_[id];
+  }
+  return out;
+}
+
+std::vector<int32_t> Vocabulary::Encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<int32_t> ids;
+  ids.reserve(tokens.size());
+  for (const auto& token : tokens) {
+    const int32_t id = IdOf(token);
+    if (id != kUnknownId) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<int32_t> Vocabulary::EncodePadded(
+    const std::vector<std::string>& tokens, size_t max_length) const {
+  std::vector<int32_t> ids = Encode(tokens);
+  if (ids.size() > max_length) ids.resize(max_length);
+  ids.resize(max_length, kUnknownId);  // -1 padding.
+  return ids;
+}
+
+Status Vocabulary::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  for (size_t id = 0; id < tokens_.size(); ++id) {
+    out << tokens_[id] << '\t' << frequencies_[id] << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Vocabulary> Vocabulary::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  Vocabulary vocab;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = Split(line, '\t');
+    if (fields.size() != 2 || fields[0].empty()) {
+      return Status::Corruption(
+          StrFormat("%s:%zu: expected 'token<TAB>frequency'", path.c_str(),
+                    line_number));
+    }
+    uint64_t frequency = 0;
+    if (!ParseUint64(fields[1], &frequency)) {
+      return Status::Corruption(
+          StrFormat("%s:%zu: bad frequency '%s'", path.c_str(), line_number,
+                    fields[1].c_str()));
+    }
+    if (vocab.IdOf(fields[0]) != kUnknownId) {
+      return Status::Corruption(
+          StrFormat("%s:%zu: duplicate token '%s'", path.c_str(), line_number,
+                    fields[0].c_str()));
+    }
+    const int32_t id = vocab.Add(fields[0]);
+    vocab.frequencies_[id] = static_cast<int64_t>(frequency);
+  }
+  return vocab;
+}
+
+}  // namespace text
+}  // namespace fkd

@@ -1,0 +1,73 @@
+#ifndef FKD_TEXT_VOCABULARY_H_
+#define FKD_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fkd {
+namespace text {
+
+/// Bidirectional token <-> contiguous-id map with frequency counts.
+///
+/// Ids are dense in [0, size()); `kUnknownId` (-1) marks out-of-vocabulary
+/// tokens. Frequencies accumulate through `Add`, enabling min-frequency
+/// pruning when building the modelling vocabulary from a corpus.
+class Vocabulary {
+ public:
+  static constexpr int32_t kUnknownId = -1;
+
+  /// Adds one occurrence of `token`, creating an id on first sight.
+  /// Returns the token's id.
+  int32_t Add(const std::string& token);
+
+  /// Adds every token of a document.
+  void AddAll(const std::vector<std::string>& tokens);
+
+  /// Id of `token`, or kUnknownId.
+  int32_t IdOf(const std::string& token) const;
+
+  /// Token for a valid id.
+  const std::string& TokenOf(int32_t id) const;
+
+  /// Total occurrences recorded for `token` (0 when absent).
+  int64_t FrequencyOf(const std::string& token) const;
+
+  size_t size() const { return tokens_.size(); }
+
+  /// All tokens, indexed by id.
+  const std::vector<std::string>& tokens() const { return tokens_; }
+
+  /// New vocabulary keeping only tokens with frequency >= min_frequency
+  /// (ids are re-assigned densely in original id order).
+  Vocabulary Pruned(int64_t min_frequency) const;
+
+  /// The `max_size` most frequent tokens (ties broken by first-seen order).
+  Vocabulary TopK(size_t max_size) const;
+
+  /// Converts tokens to ids, dropping OOV tokens.
+  std::vector<int32_t> Encode(const std::vector<std::string>& tokens) const;
+
+  /// Converts tokens to ids, truncating to `max_length` and padding with
+  /// -1 up to `max_length` (the paper pads articles to length q). OOV
+  /// tokens are dropped before padding.
+  std::vector<int32_t> EncodePadded(const std::vector<std::string>& tokens,
+                                    size_t max_length) const;
+
+  /// Text serialization: one "token<TAB>frequency" line per id.
+  Status Save(const std::string& path) const;
+  static Result<Vocabulary> Load(const std::string& path);
+
+ private:
+  std::unordered_map<std::string, int32_t> token_to_id_;
+  std::vector<std::string> tokens_;
+  std::vector<int64_t> frequencies_;
+};
+
+}  // namespace text
+}  // namespace fkd
+
+#endif  // FKD_TEXT_VOCABULARY_H_

@@ -1,0 +1,274 @@
+#include "tensor/autograd.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace fkd {
+namespace {
+
+namespace ag = ::fkd::autograd;
+using ::fkd::testing::ExpectGradientsMatch;
+using ::fkd::testing::RandomTensor;
+using ::fkd::testing::WeightedSum;
+
+TEST(VariableTest, DefinedAndScalar) {
+  ag::Variable empty;
+  EXPECT_FALSE(empty.defined());
+  ag::Variable v(Tensor::FromRows({{2.5f}}));
+  EXPECT_TRUE(v.defined());
+  EXPECT_FLOAT_EQ(v.scalar(), 2.5f);
+  EXPECT_FALSE(v.requires_grad());
+}
+
+TEST(BackwardTest, SimpleChainGradient) {
+  ag::Variable x(Tensor::FromRows({{3.0f}}), true);
+  // loss = (2x)^2 = 4x^2; dloss/dx = 8x = 24.
+  ag::Variable loss = ag::SumSquares(ag::Scale(x, 2.0f));
+  ag::Backward(loss);
+  EXPECT_FLOAT_EQ(loss.scalar(), 36.0f);
+  EXPECT_FLOAT_EQ(x.grad()[0], 24.0f);
+}
+
+TEST(BackwardTest, GradAccumulatesAcrossBackwards) {
+  ag::Variable x(Tensor::FromRows({{1.0f}}), true);
+  ag::Backward(ag::SumSquares(x));
+  ag::Backward(ag::SumSquares(x));
+  EXPECT_FLOAT_EQ(x.grad()[0], 4.0f);  // 2x twice.
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(BackwardTest, DiamondGraphAccumulates) {
+  // loss = sum((x + x)^2) -> d/dx = 8x.
+  ag::Variable x(Tensor::FromRows({{1.5f}}), true);
+  ag::Variable y = ag::Add(x, x);
+  ag::Backward(ag::SumSquares(y));
+  EXPECT_FLOAT_EQ(x.grad()[0], 8.0f * 1.5f);
+}
+
+TEST(BackwardTest, StopsAtNonGradLeaves) {
+  ag::Variable x(Tensor::FromRows({{1.0f, 2.0f}}), true);
+  ag::Variable c(Tensor::FromRows({{3.0f, 4.0f}}), false);
+  ag::Backward(ag::SumSquares(ag::Mul(x, c)));
+  EXPECT_EQ(c.grad().size(), 0u);
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f * 3.0f * 3.0f);  // 2*c^2*x
+}
+
+// ---- gradcheck per op -------------------------------------------------------
+
+TEST(GradCheck, MatMul) {
+  ExpectGradientsMatch(
+      [](const std::vector<ag::Variable>& leaves) {
+        return WeightedSum(ag::MatMul(leaves[0], leaves[1]));
+      },
+      {RandomTensor(3, 4, 1, 0.5f), RandomTensor(4, 2, 2, 0.5f)});
+}
+
+TEST(GradCheck, AddSubMul) {
+  ExpectGradientsMatch(
+      [](const std::vector<ag::Variable>& leaves) {
+        const auto sum = ag::Add(leaves[0], leaves[1]);
+        const auto diff = ag::Sub(sum, leaves[2]);
+        return WeightedSum(ag::Mul(diff, leaves[0]));
+      },
+      {RandomTensor(2, 3, 3, 0.5f), RandomTensor(2, 3, 4, 0.5f),
+       RandomTensor(2, 3, 5, 0.5f)});
+}
+
+TEST(GradCheck, ScaleAndOneMinus) {
+  ExpectGradientsMatch(
+      [](const std::vector<ag::Variable>& leaves) {
+        return WeightedSum(ag::OneMinus(ag::Scale(leaves[0], -1.7f)));
+      },
+      {RandomTensor(3, 3, 6, 0.5f)});
+}
+
+TEST(GradCheck, AddRowBroadcast) {
+  ExpectGradientsMatch(
+      [](const std::vector<ag::Variable>& leaves) {
+        return WeightedSum(ag::AddRowBroadcast(leaves[0], leaves[1]));
+      },
+      {RandomTensor(4, 3, 7, 0.5f), RandomTensor(1, 3, 8, 0.5f)});
+}
+
+TEST(GradCheck, Sigmoid) {
+  ExpectGradientsMatch(
+      [](const std::vector<ag::Variable>& leaves) {
+        return WeightedSum(ag::Sigmoid(leaves[0]));
+      },
+      {RandomTensor(3, 4, 9, 1.0f)});
+}
+
+TEST(GradCheck, Tanh) {
+  ExpectGradientsMatch(
+      [](const std::vector<ag::Variable>& leaves) {
+        return WeightedSum(ag::Tanh(leaves[0]));
+      },
+      {RandomTensor(3, 4, 10, 1.0f)});
+}
+
+TEST(GradCheck, Relu) {
+  // Keep values away from the kink at 0.
+  Tensor x = RandomTensor(3, 4, 11, 1.0f);
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x[i]) < 0.05f) x[i] = 0.2f;
+  }
+  ExpectGradientsMatch(
+      [](const std::vector<ag::Variable>& leaves) {
+        return WeightedSum(ag::Relu(leaves[0]));
+      },
+      {x});
+}
+
+TEST(GradCheck, ConcatCols) {
+  ExpectGradientsMatch(
+      [](const std::vector<ag::Variable>& leaves) {
+        return WeightedSum(ag::ConcatCols({leaves[0], leaves[1], leaves[2]}));
+      },
+      {RandomTensor(2, 2, 12, 0.5f), RandomTensor(2, 3, 13, 0.5f),
+       RandomTensor(2, 1, 14, 0.5f)});
+}
+
+TEST(GradCheck, GatherRowsWithRepeats) {
+  const std::vector<int32_t> indices = {0, 2, 2, 1};
+  ExpectGradientsMatch(
+      [&indices](const std::vector<ag::Variable>& leaves) {
+        return WeightedSum(ag::GatherRows(leaves[0], indices));
+      },
+      {RandomTensor(3, 3, 15, 0.5f)});
+}
+
+TEST(GradCheck, GroupMeanRowsIncludingEmptyGroup) {
+  const std::vector<std::vector<int32_t>> groups = {{0, 1}, {}, {2}, {0, 2, 3}};
+  ExpectGradientsMatch(
+      [&groups](const std::vector<ag::Variable>& leaves) {
+        return WeightedSum(ag::GroupMeanRows(leaves[0], groups));
+      },
+      {RandomTensor(4, 3, 16, 0.5f)});
+}
+
+TEST(GradCheck, ScaleRows) {
+  const std::vector<float> scales = {0.0f, 1.0f, 0.5f};
+  ExpectGradientsMatch(
+      [&scales](const std::vector<ag::Variable>& leaves) {
+        return WeightedSum(ag::ScaleRows(leaves[0], scales));
+      },
+      {RandomTensor(3, 4, 17, 0.5f)});
+}
+
+TEST(GradCheck, SoftmaxCrossEntropy) {
+  const std::vector<int32_t> labels = {0, 2, 1, 2};
+  ExpectGradientsMatch(
+      [&labels](const std::vector<ag::Variable>& leaves) {
+        return ag::SoftmaxCrossEntropy(leaves[0], labels);
+      },
+      {RandomTensor(4, 3, 18, 1.0f)});
+}
+
+TEST(GradCheck, SumSquares) {
+  ExpectGradientsMatch(
+      [](const std::vector<ag::Variable>& leaves) {
+        return ag::SumSquares(leaves[0]);
+      },
+      {RandomTensor(3, 3, 19, 0.5f)});
+}
+
+TEST(GradCheck, AddN) {
+  ExpectGradientsMatch(
+      [](const std::vector<ag::Variable>& leaves) {
+        return ag::AddN({ag::SumSquares(leaves[0]), ag::SumSquares(leaves[1]),
+                         ag::Scale(ag::SumSquares(leaves[0]), 0.5f)});
+      },
+      {RandomTensor(2, 2, 20, 0.5f), RandomTensor(2, 2, 21, 0.5f)});
+}
+
+TEST(GradCheck, DeepComposite) {
+  // A GDU-like composite: gates, Hadamard mixing, shared weights.
+  ExpectGradientsMatch(
+      [](const std::vector<ag::Variable>& leaves) {
+        const auto& x = leaves[0];
+        const auto& w = leaves[1];
+        const auto gate = ag::Sigmoid(ag::MatMul(x, w));
+        const auto candidate = ag::Tanh(ag::MatMul(x, w));
+        const auto mixed =
+            ag::Add(ag::Mul(gate, candidate),
+                    ag::Mul(ag::OneMinus(gate), ag::Scale(candidate, 0.5f)));
+        return WeightedSum(mixed);
+      },
+      {RandomTensor(3, 4, 22, 0.5f), RandomTensor(4, 4, 23, 0.5f)});
+}
+
+// Parameterized shape sweep for the workhorse ops.
+class ShapeSweep : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(ShapeSweep, MatMulChainGradients) {
+  const auto [m, k] = GetParam();
+  ExpectGradientsMatch(
+      [](const std::vector<ag::Variable>& leaves) {
+        return WeightedSum(
+            ag::Tanh(ag::MatMul(leaves[0], leaves[1])));
+      },
+      {RandomTensor(m, k, 31 + m, 0.4f), RandomTensor(k, 3, 41 + k, 0.4f)});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeSweep,
+    ::testing::Values(std::make_pair<size_t, size_t>(1, 1),
+                      std::make_pair<size_t, size_t>(1, 5),
+                      std::make_pair<size_t, size_t>(4, 1),
+                      std::make_pair<size_t, size_t>(5, 7),
+                      std::make_pair<size_t, size_t>(8, 3)));
+
+// ---- semantics beyond gradients --------------------------------------------
+
+TEST(AutogradTest, DropoutIdentityWhenNotTraining) {
+  Rng rng(1);
+  ag::Variable x(RandomTensor(4, 4, 50), true);
+  ag::Variable y = ag::Dropout(x, 0.5f, &rng, /*training=*/false);
+  EXPECT_TRUE(y.value() == x.value());
+}
+
+TEST(AutogradTest, DropoutMaskScalesSurvivors) {
+  Rng rng(2);
+  ag::Variable x(Tensor::Full(20, 20, 1.0f), true);
+  ag::Variable y = ag::Dropout(x, 0.25f, &rng, /*training=*/true);
+  size_t zeros = 0;
+  for (size_t i = 0; i < y.value().size(); ++i) {
+    const float v = y.value()[i];
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / 0.75f, 1e-5f);
+    }
+  }
+  EXPECT_GT(zeros, 40u);   // ~100 expected.
+  EXPECT_LT(zeros, 180u);
+}
+
+TEST(AutogradTest, GroupMeanEmptyGroupYieldsZeros) {
+  ag::Variable x(Tensor::FromRows({{1, 2}, {3, 4}}), false);
+  ag::Variable y = ag::GroupMeanRows(x, {{}, {0, 1}});
+  EXPECT_EQ(y.value().At(0, 0), 0.0f);
+  EXPECT_EQ(y.value().At(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(y.value().At(1, 0), 2.0f);
+  EXPECT_FLOAT_EQ(y.value().At(1, 1), 3.0f);
+}
+
+TEST(AutogradTest, SoftmaxCrossEntropyValueMatchesHand) {
+  // Uniform logits over 4 classes -> loss = log(4).
+  ag::Variable logits(Tensor(3, 4), true);
+  Tensor probs;
+  ag::Variable loss = ag::SoftmaxCrossEntropy(logits, {0, 1, 2}, &probs);
+  EXPECT_NEAR(loss.scalar(), std::log(4.0f), 1e-5f);
+  EXPECT_NEAR(probs.At(0, 0), 0.25f, 1e-6f);
+}
+
+TEST(AutogradTest, GatherRowsValues) {
+  ag::Variable x(Tensor::FromRows({{1, 2}, {3, 4}, {5, 6}}), false);
+  ag::Variable y = ag::GatherRows(x, {2, 0, 2});
+  EXPECT_TRUE(y.value().AllClose(Tensor::FromRows({{5, 6}, {1, 2}, {5, 6}})));
+}
+
+}  // namespace
+}  // namespace fkd

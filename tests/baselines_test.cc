@@ -1,0 +1,337 @@
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/deepwalk.h"
+#include "baselines/embedding_util.h"
+#include "baselines/label_propagation.h"
+#include "baselines/line.h"
+#include "baselines/rnn_classifier.h"
+#include "baselines/skipgram.h"
+#include "baselines/svm.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+
+namespace fkd {
+namespace baselines {
+namespace {
+
+// ---- LinearSvm -----------------------------------------------------------------
+
+TEST(LinearSvmTest, SeparatesLinearlySeparableData) {
+  // y = sign(x0 - x1).
+  Tensor features = Tensor::FromRows({{2, 0}, {3, 1}, {1, 0}, {4, 2},
+                                      {0, 2}, {1, 3}, {0, 1}, {2, 4}});
+  std::vector<int32_t> labels = {1, 1, 1, 1, -1, -1, -1, -1};
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Train(features, labels).ok());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const double decision = svm.Decision(features.Row(i), 2);
+    EXPECT_GT(decision * labels[i], 0.0) << "row " << i;
+  }
+  // Margin direction: w0 > 0 > w1.
+  EXPECT_GT(svm.weights()[0], 0.0);
+  EXPECT_LT(svm.weights()[1], 0.0);
+}
+
+TEST(LinearSvmTest, BiasShiftsDecision) {
+  // All-positive labels with identical features: bias must dominate.
+  Tensor features = Tensor::FromRows({{1.0f}, {1.0f}});
+  LinearSvm svm;
+  ASSERT_TRUE(svm.Train(features, {1, 1}).ok());
+  const float x = 1.0f;
+  EXPECT_GT(svm.Decision(&x, 1), 0.0);
+}
+
+TEST(LinearSvmTest, RejectsBadInputs) {
+  LinearSvm svm;
+  Tensor features(2, 2);
+  EXPECT_FALSE(svm.Train(features, {1}).ok());         // Size mismatch.
+  EXPECT_FALSE(svm.Train(features, {1, 2}).ok());      // Bad label value.
+  Tensor empty(std::vector<size_t>{0, 2});
+  EXPECT_FALSE(svm.Train(empty, {}).ok());             // Empty.
+}
+
+TEST(OneVsRestSvmTest, ThreeClassSeparation) {
+  // Three clusters at simplex corners (every class OVR-separable).
+  Tensor features = Tensor::FromRows({{5, 0}, {5.2, 0.1}, {0, 5}, {0.1, 5.2},
+                                      {-5, -5}, {-5.2, -4.9}});
+  std::vector<int32_t> labels = {0, 0, 1, 1, 2, 2};
+  OneVsRestSvm svm(3);
+  ASSERT_TRUE(svm.Train(features, labels).ok());
+  const auto predictions = svm.PredictBatch(features);
+  EXPECT_EQ(predictions, labels);
+}
+
+TEST(OneVsRestSvmTest, RejectsOutOfRangeClass) {
+  OneVsRestSvm svm(2);
+  Tensor features(1, 1);
+  EXPECT_FALSE(svm.Train(features, {5}).ok());
+}
+
+// ---- shared fixtures -------------------------------------------------------------
+
+struct Fixture {
+  data::Dataset dataset;
+  graph::HeterogeneousGraph graph;
+  eval::TrainContext context;
+};
+
+Fixture MakeFixture(size_t articles,
+                    eval::LabelGranularity granularity =
+                        eval::LabelGranularity::kBinary) {
+  auto dataset_result =
+      data::GeneratePolitiFact(data::GeneratorOptions::Scaled(articles, 99));
+  FKD_CHECK_OK(dataset_result.status());
+  auto dataset = std::move(dataset_result).value();
+  auto graph_result = dataset.BuildGraph();
+  FKD_CHECK_OK(graph_result.status());
+  Fixture fixture{std::move(dataset), std::move(graph_result).value(), {}};
+  Rng rng(13);
+  auto splits = data::KFoldTriSplits(
+      fixture.dataset.articles.size(), fixture.dataset.creators.size(),
+      fixture.dataset.subjects.size(), 5, &rng);
+  FKD_CHECK_OK(splits.status());
+  const auto& split = splits.value()[0];
+  fixture.context.dataset = &fixture.dataset;
+  fixture.context.graph = &fixture.graph;
+  fixture.context.train_articles = split.articles.train;
+  fixture.context.train_creators = split.creators.train;
+  fixture.context.train_subjects = split.subjects.train;
+  fixture.context.granularity = granularity;
+  fixture.context.seed = 3;
+  return fixture;
+}
+
+double ArticleTrainAccuracy(const Fixture& fixture,
+                            const eval::Predictions& predictions) {
+  eval::ConfusionMatrix matrix(
+      eval::NumClasses(fixture.context.granularity));
+  for (int32_t id : fixture.context.train_articles) {
+    matrix.Add(eval::TargetOf(fixture.dataset.articles[id].label,
+                              fixture.context.granularity),
+               predictions.articles[id]);
+  }
+  return matrix.Accuracy();
+}
+
+// ---- SvmClassifier ------------------------------------------------------------------
+
+TEST(SvmClassifierTest, LearnsTextSignal) {
+  auto fixture = MakeFixture(300);
+  SvmClassifier classifier;
+  ASSERT_TRUE(classifier.Train(fixture.context).ok());
+  auto predictions = classifier.Predict();
+  ASSERT_TRUE(predictions.ok());
+  EXPECT_EQ(predictions.value().articles.size(), 300u);
+  EXPECT_GT(ArticleTrainAccuracy(fixture, predictions.value()), 0.65);
+}
+
+TEST(SvmClassifierTest, PredictBeforeTrainFails) {
+  SvmClassifier classifier;
+  EXPECT_EQ(classifier.Predict().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SvmClassifierTest, EmptyTrainingRejected) {
+  auto fixture = MakeFixture(100);
+  fixture.context.train_articles.clear();
+  SvmClassifier classifier;
+  EXPECT_FALSE(classifier.Train(fixture.context).ok());
+}
+
+// ---- LabelPropagation -----------------------------------------------------------------
+
+TEST(LabelPropagationTest, ConvergesAndClampsTrainingNodes) {
+  auto fixture = MakeFixture(300);
+  LabelPropagation propagation;
+  ASSERT_TRUE(propagation.Train(fixture.context).ok());
+  EXPECT_GT(propagation.iterations_run(), 1u);
+  EXPECT_LT(propagation.iterations_run(), 300u);  // Converged before cap.
+  auto predictions = propagation.Predict();
+  ASSERT_TRUE(predictions.ok());
+  // Training articles keep their clamped label.
+  for (int32_t id : fixture.context.train_articles) {
+    EXPECT_EQ(predictions.value().articles[id],
+              data::BiClassOf(fixture.dataset.articles[id].label));
+  }
+}
+
+TEST(LabelPropagationTest, BeatsChanceOnGraphSignal) {
+  auto fixture = MakeFixture(400);
+  LabelPropagation propagation;
+  ASSERT_TRUE(propagation.Train(fixture.context).ok());
+  auto predictions = propagation.Predict();
+  ASSERT_TRUE(predictions.ok());
+  // Held-out articles: creator-driven labels make LP informative.
+  eval::ConfusionMatrix matrix(2);
+  std::set<int32_t> train(fixture.context.train_articles.begin(),
+                          fixture.context.train_articles.end());
+  for (const auto& article : fixture.dataset.articles) {
+    if (train.count(article.id)) continue;
+    matrix.Add(data::BiClassOf(article.label),
+               predictions.value().articles[article.id]);
+  }
+  EXPECT_GT(matrix.Accuracy(), 0.55);
+}
+
+TEST(LabelPropagationTest, MultiClassScoresRoundToLabels) {
+  auto fixture = MakeFixture(200, eval::LabelGranularity::kMulti);
+  LabelPropagation propagation;
+  ASSERT_TRUE(propagation.Train(fixture.context).ok());
+  auto predictions = propagation.Predict();
+  ASSERT_TRUE(predictions.ok());
+  for (int32_t p : predictions.value().articles) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 6);
+  }
+}
+
+TEST(LabelPropagationTest, NeedsLabels) {
+  auto fixture = MakeFixture(100);
+  fixture.context.train_articles.clear();
+  fixture.context.train_creators.clear();
+  fixture.context.train_subjects.clear();
+  LabelPropagation propagation;
+  EXPECT_FALSE(propagation.Train(fixture.context).ok());
+}
+
+// ---- skip-gram ---------------------------------------------------------------------
+
+TEST(SkipGramTest, CliqueTokensClusterTogether) {
+  // Two disjoint "topics": sentences alternate tokens within each group.
+  std::vector<std::vector<int32_t>> sentences;
+  Rng data_rng(17);
+  for (int s = 0; s < 200; ++s) {
+    std::vector<int32_t> sentence;
+    const int32_t base = (s % 2 == 0) ? 0 : 4;
+    for (int t = 0; t < 12; ++t) {
+      sentence.push_back(base + static_cast<int32_t>(data_rng.UniformInt(4u)));
+    }
+    sentences.push_back(std::move(sentence));
+  }
+  SkipGramOptions options;
+  options.dim = 16;
+  options.epochs = 4;
+  Rng rng(18);
+  const Tensor embeddings = TrainSkipGram(sentences, 8, options, &rng);
+
+  auto cosine = [&](int32_t a, int32_t b) {
+    double dot = 0, na = 0, nb = 0;
+    for (size_t j = 0; j < 16; ++j) {
+      dot += embeddings.At(a, j) * embeddings.At(b, j);
+      na += embeddings.At(a, j) * embeddings.At(a, j);
+      nb += embeddings.At(b, j) * embeddings.At(b, j);
+    }
+    return dot / std::sqrt(na * nb);
+  };
+  // Within-topic similarity above cross-topic similarity.
+  const double within = (cosine(0, 1) + cosine(2, 3) + cosine(4, 5)) / 3.0;
+  const double across = (cosine(0, 4) + cosine(1, 5) + cosine(2, 6)) / 3.0;
+  EXPECT_GT(within, across + 0.2);
+}
+
+TEST(SkipGramTest, EmptyCorpusReturnsInit) {
+  Rng rng(19);
+  const Tensor embeddings = TrainSkipGram({}, 5, SkipGramOptions{}, &rng);
+  EXPECT_EQ(embeddings.rows(), 5u);
+}
+
+// ---- embedding util -----------------------------------------------------------------
+
+TEST(EmbeddingUtilTest, NormalizeRows) {
+  Tensor t = Tensor::FromRows({{3, 4}, {0, 0}});
+  NormalizeRows(&t);
+  EXPECT_NEAR(t.At(0, 0), 0.6f, 1e-5f);
+  EXPECT_NEAR(t.At(0, 1), 0.8f, 1e-5f);
+  EXPECT_EQ(t.At(1, 0), 0.0f);  // Zero row untouched.
+}
+
+TEST(EmbeddingUtilTest, RejectsWrongRowCount) {
+  auto fixture = MakeFixture(60);
+  Tensor embeddings(3, 4);  // Wrong size.
+  eval::Predictions predictions;
+  EXPECT_FALSE(ClassifyByEmbeddings(embeddings, fixture.context, SvmOptions{},
+                                    &predictions)
+                   .ok());
+}
+
+// ---- DeepWalk / LINE ---------------------------------------------------------------
+
+TEST(DeepWalkTest, EndToEndProducesFullPredictions) {
+  auto fixture = MakeFixture(200);
+  DeepWalkClassifier::Options options;
+  options.walks.walks_per_node = 4;
+  options.walks.walk_length = 12;
+  options.skipgram.dim = 16;
+  options.skipgram.epochs = 1;
+  DeepWalkClassifier classifier(options);
+  ASSERT_TRUE(classifier.Train(fixture.context).ok());
+  auto predictions = classifier.Predict();
+  ASSERT_TRUE(predictions.ok());
+  EXPECT_EQ(predictions.value().articles.size(), 200u);
+  EXPECT_EQ(predictions.value().creators.size(),
+            fixture.dataset.creators.size());
+  EXPECT_EQ(classifier.embeddings().rows(), fixture.graph.TotalNodes());
+}
+
+TEST(LineTest, EmbeddingsHaveUnitHalves) {
+  auto fixture = MakeFixture(120);
+  LineOptions options;
+  options.dim = 8;
+  options.samples_per_edge = 5;
+  Rng rng(20);
+  const Tensor embeddings = TrainLine(fixture.graph, options, &rng);
+  EXPECT_EQ(embeddings.rows(), fixture.graph.TotalNodes());
+  EXPECT_EQ(embeddings.cols(), 8u);
+  // Each half is L2-normalised for connected nodes.
+  double first_half = 0.0;
+  for (size_t j = 0; j < 4; ++j) {
+    first_half += embeddings.At(0, j) * embeddings.At(0, j);
+  }
+  EXPECT_NEAR(first_half, 1.0, 1e-4);
+}
+
+TEST(LineTest, EndToEnd) {
+  auto fixture = MakeFixture(150);
+  LineClassifier::Options options;
+  options.line.dim = 16;
+  options.line.samples_per_edge = 8;
+  LineClassifier classifier(options);
+  ASSERT_TRUE(classifier.Train(fixture.context).ok());
+  auto predictions = classifier.Predict();
+  ASSERT_TRUE(predictions.ok());
+  EXPECT_EQ(predictions.value().subjects.size(),
+            fixture.dataset.subjects.size());
+}
+
+// ---- RNN ----------------------------------------------------------------------------
+
+TEST(RnnClassifierTest, LearnsTrainingSignal) {
+  auto fixture = MakeFixture(150);
+  RnnClassifier::Options options;
+  options.epochs = 30;
+  options.vocabulary = 200;
+  options.max_sequence_length = 12;
+  options.hidden_dim = 16;
+  options.embed_dim = 12;
+  RnnClassifier classifier(options);
+  ASSERT_TRUE(classifier.Train(fixture.context).ok());
+  auto predictions = classifier.Predict();
+  ASSERT_TRUE(predictions.ok());
+  EXPECT_GT(ArticleTrainAccuracy(fixture, predictions.value()), 0.6);
+}
+
+TEST(RnnClassifierTest, NameIsPaperLegend) {
+  EXPECT_EQ(RnnClassifier().Name(), "rnn");
+  EXPECT_EQ(SvmClassifier().Name(), "svm");
+  EXPECT_EQ(LabelPropagation().Name(), "lp");
+  EXPECT_EQ(DeepWalkClassifier().Name(), "deepwalk");
+  EXPECT_EQ(LineClassifier().Name(), "line");
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace fkd

@@ -1,0 +1,93 @@
+// Death tests: programmer errors (contract violations) must abort loudly
+// via FKD_CHECK rather than corrupt memory or limp on.
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "graph/alias_table.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace fkd {
+namespace {
+
+namespace ag = ::fkd::autograd;
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, CheckMacroAborts) {
+  EXPECT_DEATH(FKD_CHECK(false) << "boom", "Check failed");
+  EXPECT_DEATH(FKD_CHECK_EQ(1, 2), "Check failed");
+  EXPECT_DEATH(FKD_CHECK_LT(5, 3), "Check failed");
+}
+
+TEST(CheckDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH(FKD_CHECK_OK(Status::NotFound("gone")), "NotFound");
+}
+
+TEST(CheckDeathTest, TensorRankViolations) {
+  Tensor rank1 = Tensor::FromVector({1, 2, 3});
+  EXPECT_DEATH(rank1.rows(), "Check failed");
+  EXPECT_DEATH(Tensor(2, 2).Reshape({3, 3}), "Check failed");
+}
+
+TEST(CheckDeathTest, GemmShapeMismatch) {
+  Tensor a(2, 3);
+  Tensor b(4, 2);  // Inner dims disagree.
+  Tensor c(2, 2);
+  EXPECT_DEATH(Gemm(false, false, 1.0f, a, b, 0.0f, &c), "Check failed");
+}
+
+TEST(CheckDeathTest, ElementwiseShapeMismatch) {
+  Tensor a(2, 2);
+  Tensor b(2, 3);
+  EXPECT_DEATH(Add(a, b), "Check failed");
+  EXPECT_DEATH(Mul(a, b), "Check failed");
+}
+
+TEST(CheckDeathTest, BackwardNeedsScalar) {
+  ag::Variable x(Tensor(2, 2), true);
+  EXPECT_DEATH(ag::Backward(x), "scalar");
+}
+
+TEST(CheckDeathTest, BackwardNeedsTrainableGraph) {
+  ag::Variable constant(Tensor(1, 1), false);
+  EXPECT_DEATH(ag::Backward(constant), "no trainable parameters");
+}
+
+TEST(CheckDeathTest, UndefinedVariableUse) {
+  ag::Variable empty;
+  EXPECT_DEATH(empty.value(), "Check failed");
+  ag::Variable ok(Tensor(1, 1), false);
+  EXPECT_DEATH(ag::Add(ok, empty), "Check failed");
+}
+
+TEST(CheckDeathTest, GatherRowsOutOfRange) {
+  ag::Variable x(Tensor(2, 2), false);
+  EXPECT_DEATH(ag::GatherRows(x, {5}), "Check failed");
+}
+
+TEST(CheckDeathTest, RngContracts) {
+  Rng rng(1);
+  EXPECT_DEATH(rng.UniformInt(static_cast<uint64_t>(0)), "Check failed");
+  EXPECT_DEATH(rng.Discrete({0.0, 0.0}), "Check failed");
+  EXPECT_DEATH(rng.Discrete({-1.0, 2.0}), "Check failed");
+}
+
+TEST(CheckDeathTest, AliasTableRejectsEmptyAndNegative) {
+  EXPECT_DEATH(graph::AliasTable({}), "Check failed");
+  EXPECT_DEATH(graph::AliasTable({-1.0}), "Check failed");
+}
+
+TEST(CheckDeathTest, ConfusionMatrixLabelRange) {
+  eval::ConfusionMatrix matrix(2);
+  EXPECT_DEATH(matrix.Add(0, 2), "Check failed");
+  EXPECT_DEATH(matrix.Add(-1, 0), "Check failed");
+}
+
+}  // namespace
+}  // namespace fkd

@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include "core/fake_detector.h"
+#include "core/gdu.h"
+#include "core/hflu.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "tests/test_util.h"
+
+namespace fkd {
+namespace core {
+namespace {
+
+namespace ag = ::fkd::autograd;
+using ::fkd::testing::ExpectGradientsMatch;
+using ::fkd::testing::RandomTensor;
+using ::fkd::testing::WeightedSum;
+
+// ---- GduCell ------------------------------------------------------------------
+
+TEST(GduCellTest, OutputShapeAndBound) {
+  Rng rng(1);
+  GduCell cell(5, 3, &rng);
+  ag::Variable x(RandomTensor(4, 5, 2), false);
+  ag::Variable z(RandomTensor(4, 3, 3, 0.3f), false);
+  ag::Variable t(RandomTensor(4, 3, 4, 0.3f), false);
+  const Tensor h = cell.Step(x, z, t).value();
+  EXPECT_EQ(h.rows(), 4u);
+  EXPECT_EQ(h.cols(), 3u);
+  // Convex mixture of tanh branches stays in (-1, 1).
+  EXPECT_LE(h.MaxAbs(), 1.0f);
+}
+
+TEST(GduCellTest, ZeroPortsAreValidInputs) {
+  Rng rng(5);
+  GduCell cell(4, 3, &rng);
+  ag::Variable x(RandomTensor(2, 4, 6), false);
+  ag::Variable zero(Tensor(2, 3), false);
+  const Tensor h = cell.Step(x, zero, zero).value();
+  EXPECT_EQ(h.rows(), 2u);
+  EXPECT_FALSE(std::isnan(h[0]));
+}
+
+TEST(GduCellTest, GradCheckThroughStep) {
+  Rng rng(7);
+  GduCell cell(3, 2, &rng);
+  ExpectGradientsMatch(
+      [&cell](const std::vector<ag::Variable>& leaves) {
+        return WeightedSum(cell.Step(leaves[0], leaves[1], leaves[2]));
+      },
+      {RandomTensor(3, 3, 8, 0.4f), RandomTensor(3, 2, 9, 0.4f),
+       RandomTensor(3, 2, 10, 0.4f)});
+}
+
+TEST(GduCellTest, ParameterSetsMatchVariant) {
+  Rng rng(11);
+  std::vector<nn::NamedParameter> params;
+
+  GduCell full(4, 3, &rng);
+  full.CollectParameters("g", &params);
+  const size_t full_count = params.size();  // 5 linears x (w, b) = 10.
+  EXPECT_EQ(full_count, 10u);
+
+  params.clear();
+  GduOptions no_forget;
+  no_forget.disable_forget_gate = true;
+  GduCell without_forget(4, 3, &rng, no_forget);
+  without_forget.CollectParameters("g", &params);
+  EXPECT_EQ(params.size(), 8u);
+
+  params.clear();
+  GduOptions plain;
+  plain.plain_unit = true;
+  GduCell plain_cell(4, 3, &rng, plain);
+  plain_cell.CollectParameters("g", &params);
+  EXPECT_EQ(params.size(), 2u);  // Only W_u.
+}
+
+TEST(GduCellTest, VariantsProduceDifferentOutputs) {
+  ag::Variable x(RandomTensor(3, 4, 12), false);
+  ag::Variable z(RandomTensor(3, 3, 13, 0.4f), false);
+  ag::Variable t(RandomTensor(3, 3, 14, 0.4f), false);
+
+  Rng rng_a(20);
+  GduCell full(4, 3, &rng_a);
+  Rng rng_b(20);  // Same init stream.
+  GduOptions plain_options;
+  plain_options.plain_unit = true;
+  GduCell plain(4, 3, &rng_b, plain_options);
+
+  const Tensor h_full = full.Step(x, z, t).value();
+  const Tensor h_plain = plain.Step(x, z, t).value();
+  EXPECT_FALSE(h_full.AllClose(h_plain, 1e-4f));
+}
+
+TEST(GduCellTest, ForgetGateChangesZSensitivity) {
+  // With the forget gate disabled, z passes straight through: doubling z
+  // must move the output differently than in the gated cell.
+  Rng rng_a(21);
+  GduCell gated(2, 2, &rng_a);
+  Rng rng_b(21);
+  GduOptions options;
+  options.disable_forget_gate = true;
+  GduCell ungated(2, 2, &rng_b, options);
+
+  ag::Variable x(RandomTensor(2, 2, 22), false);
+  ag::Variable z(RandomTensor(2, 2, 23, 0.4f), false);
+  ag::Variable t(RandomTensor(2, 2, 24, 0.4f), false);
+  EXPECT_FALSE(
+      gated.Step(x, z, t).value().AllClose(ungated.Step(x, z, t).value(),
+                                           1e-5f));
+}
+
+// ---- Hflu ---------------------------------------------------------------------
+
+text::Vocabulary WordsOf(std::initializer_list<std::string> words) {
+  text::Vocabulary vocab;
+  for (const auto& w : words) vocab.Add(w);
+  return vocab;
+}
+
+TEST(HfluTest, OutputDimCombinesFamilies) {
+  Rng rng(30);
+  HfluConfig config;
+  config.latent_dim = 5;
+  Hflu hflu(config, WordsOf({"a", "b", "c"}), WordsOf({"a", "b", "c", "d"}),
+            &rng);
+  EXPECT_EQ(hflu.output_dim(), 3u + 5u);
+  EXPECT_EQ(hflu.explicit_dim(), 3u);
+}
+
+TEST(HfluTest, ExplicitOnlyAblation) {
+  Rng rng(31);
+  HfluConfig config;
+  config.use_latent = false;
+  Hflu hflu(config, WordsOf({"a", "b"}), WordsOf({"a"}), &rng);
+  EXPECT_EQ(hflu.output_dim(), 2u);
+  const auto input = hflu.PrepareBatch({{"a", "a", "zzz"}});
+  const Tensor out = hflu.Forward(input).value();
+  EXPECT_EQ(out.cols(), 2u);
+  EXPECT_EQ(out.At(0, 0), 2.0f);  // Raw BoW counts.
+  EXPECT_EQ(out.At(0, 1), 0.0f);
+  // No trainable parameters in explicit-only mode.
+  EXPECT_EQ(hflu.ParameterCount(), 0u);
+}
+
+TEST(HfluTest, LatentOnlyAblation) {
+  Rng rng(32);
+  HfluConfig config;
+  config.use_explicit = false;
+  config.latent_dim = 4;
+  Hflu hflu(config, WordsOf({"a"}), WordsOf({"a", "b"}), &rng);
+  EXPECT_EQ(hflu.output_dim(), 4u);
+  const auto input = hflu.PrepareBatch({{"a", "b"}, {"b"}});
+  const Tensor out = hflu.Forward(input).value();
+  EXPECT_EQ(out.rows(), 2u);
+  EXPECT_EQ(out.cols(), 4u);
+  // Latent features are sigmoid outputs in (0, 1).
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_GT(out[i], 0.0f);
+    EXPECT_LT(out[i], 1.0f);
+  }
+}
+
+TEST(HfluTest, PreparePadsAndTruncates) {
+  Rng rng(33);
+  HfluConfig config;
+  config.max_sequence_length = 3;
+  Hflu hflu(config, WordsOf({"a"}), WordsOf({"a", "b"}), &rng);
+  const auto input = hflu.PrepareBatch({{"a"}, {"a", "b", "a", "b", "a"}});
+  ASSERT_EQ(input.sequences[0].size(), 3u);
+  EXPECT_EQ(input.sequences[0][1], -1);  // Padded.
+  EXPECT_EQ(input.sequences[1].size(), 3u);  // Truncated.
+}
+
+TEST(HfluTest, OovOnlyDocumentYieldsDefinedFeatures) {
+  Rng rng(34);
+  HfluConfig config;
+  Hflu hflu(config, WordsOf({"known"}), WordsOf({"known"}), &rng);
+  const auto input = hflu.PrepareBatch({{"unknown", "words"}});
+  const Tensor out = hflu.Forward(input).value();
+  for (size_t i = 0; i < out.size(); ++i) EXPECT_FALSE(std::isnan(out[i]));
+}
+
+// ---- FakeDetector end-to-end ------------------------------------------------------
+
+struct Fixture {
+  data::Dataset dataset;
+  graph::HeterogeneousGraph graph;
+  eval::TrainContext context;
+};
+
+Fixture MakeFixture(size_t articles, eval::LabelGranularity granularity,
+                    double theta = 1.0) {
+  auto dataset_result =
+      data::GeneratePolitiFact(data::GeneratorOptions::Scaled(articles, 55));
+  FKD_CHECK_OK(dataset_result.status());
+  auto dataset = std::move(dataset_result).value();
+  auto graph_result = dataset.BuildGraph();
+  FKD_CHECK_OK(graph_result.status());
+
+  Fixture fixture{std::move(dataset), std::move(graph_result).value(), {}};
+  Rng rng(77);
+  auto splits =
+      data::KFoldTriSplits(fixture.dataset.articles.size(),
+                           fixture.dataset.creators.size(),
+                           fixture.dataset.subjects.size(), 5, &rng);
+  FKD_CHECK_OK(splits.status());
+  const auto& split = splits.value()[0];
+  fixture.context.dataset = &fixture.dataset;
+  fixture.context.graph = &fixture.graph;
+  fixture.context.train_articles =
+      data::SubsampleTraining(split.articles.train, theta, &rng);
+  fixture.context.train_creators =
+      data::SubsampleTraining(split.creators.train, theta, &rng);
+  fixture.context.train_subjects =
+      data::SubsampleTraining(split.subjects.train, theta, &rng);
+  fixture.context.granularity = granularity;
+  fixture.context.seed = 7;
+  return fixture;
+}
+
+FakeDetectorConfig FastConfig() {
+  FakeDetectorConfig config;
+  config.epochs = 25;
+  config.explicit_words = 60;
+  config.latent_vocabulary = 200;
+  config.hflu.max_sequence_length = 12;
+  config.hflu.gru_hidden = 16;
+  config.hflu.latent_dim = 12;
+  config.hflu.embed_dim = 12;
+  config.gdu_hidden = 24;
+  return config;
+}
+
+TEST(FakeDetectorTest, TrainReducesLossAndBeatsChance) {
+  auto fixture = MakeFixture(250, eval::LabelGranularity::kBinary);
+  FakeDetector detector(FastConfig());
+  ASSERT_TRUE(detector.Train(fixture.context).ok());
+
+  const auto& losses = detector.train_stats().epoch_losses;
+  ASSERT_FALSE(losses.empty());
+  EXPECT_LT(losses.back(), losses.front() * 0.7f);
+
+  auto predictions = detector.Predict();
+  ASSERT_TRUE(predictions.ok());
+  EXPECT_EQ(predictions.value().articles.size(), 250u);
+
+  // Training accuracy well above chance.
+  eval::ConfusionMatrix matrix(2);
+  for (int32_t id : fixture.context.train_articles) {
+    matrix.Add(data::BiClassOf(fixture.dataset.articles[id].label),
+               predictions.value().articles[id]);
+  }
+  EXPECT_GT(matrix.Accuracy(), 0.7);
+}
+
+TEST(FakeDetectorTest, MultiClassPredictionsInRange) {
+  auto fixture = MakeFixture(150, eval::LabelGranularity::kMulti);
+  FakeDetectorConfig config = FastConfig();
+  config.epochs = 10;
+  FakeDetector detector(config);
+  ASSERT_TRUE(detector.Train(fixture.context).ok());
+  auto predictions = detector.Predict();
+  ASSERT_TRUE(predictions.ok());
+  for (int32_t p : predictions.value().articles) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 6);
+  }
+}
+
+TEST(FakeDetectorTest, PredictBeforeTrainFails) {
+  FakeDetector detector;
+  EXPECT_EQ(detector.Predict().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FakeDetectorTest, DoubleTrainRejected) {
+  auto fixture = MakeFixture(120, eval::LabelGranularity::kBinary);
+  FakeDetectorConfig config = FastConfig();
+  config.epochs = 2;
+  FakeDetector detector(config);
+  ASSERT_TRUE(detector.Train(fixture.context).ok());
+  EXPECT_EQ(detector.Train(fixture.context).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FakeDetectorTest, EmptyTrainingSetRejected) {
+  auto fixture = MakeFixture(120, eval::LabelGranularity::kBinary);
+  fixture.context.train_creators.clear();
+  FakeDetector detector(FastConfig());
+  EXPECT_EQ(detector.Train(fixture.context).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FakeDetectorTest, MissingGraphRejected) {
+  auto fixture = MakeFixture(120, eval::LabelGranularity::kBinary);
+  fixture.context.graph = nullptr;
+  FakeDetector detector(FastConfig());
+  EXPECT_EQ(detector.Train(fixture.context).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FakeDetectorTest, ZeroDiffusionStepsRejected) {
+  auto fixture = MakeFixture(120, eval::LabelGranularity::kBinary);
+  FakeDetectorConfig config = FastConfig();
+  config.diffusion_steps = 0;
+  FakeDetector detector(config);
+  EXPECT_EQ(detector.Train(fixture.context).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FakeDetectorTest, AblationsTrainToDifferentModels) {
+  auto fixture = MakeFixture(150, eval::LabelGranularity::kBinary);
+  FakeDetectorConfig config = FastConfig();
+  config.epochs = 5;
+
+  FakeDetector full(config);
+  ASSERT_TRUE(full.Train(fixture.context).ok());
+
+  FakeDetectorConfig plain_config = config;
+  plain_config.gdu.plain_unit = true;
+  FakeDetector plain(plain_config);
+  ASSERT_TRUE(plain.Train(fixture.context).ok());
+  EXPECT_LT(plain.ParameterCount(), full.ParameterCount());
+
+  FakeDetectorConfig explicit_only = config;
+  explicit_only.hflu.use_latent = false;
+  FakeDetector no_latent(explicit_only);
+  ASSERT_TRUE(no_latent.Train(fixture.context).ok());
+  EXPECT_LT(no_latent.ParameterCount(), full.ParameterCount());
+
+  FakeDetectorConfig latent_only = config;
+  latent_only.hflu.use_explicit = false;
+  FakeDetector no_explicit(latent_only);
+  EXPECT_TRUE(no_explicit.Train(fixture.context).ok());
+}
+
+TEST(FakeDetectorTest, DeterministicGivenSeed) {
+  auto fixture = MakeFixture(120, eval::LabelGranularity::kBinary);
+  FakeDetectorConfig config = FastConfig();
+  config.epochs = 4;
+  FakeDetector a(config);
+  ASSERT_TRUE(a.Train(fixture.context).ok());
+  FakeDetector b(config);
+  ASSERT_TRUE(b.Train(fixture.context).ok());
+  EXPECT_EQ(a.Predict().value().articles, b.Predict().value().articles);
+  EXPECT_EQ(a.train_stats().epoch_losses, b.train_stats().epoch_losses);
+}
+
+TEST(FakeDetectorTest, DeeperDiffusionStillTrains) {
+  auto fixture = MakeFixture(120, eval::LabelGranularity::kBinary);
+  FakeDetectorConfig config = FastConfig();
+  config.epochs = 4;
+  config.diffusion_steps = 3;
+  FakeDetector detector(config);
+  ASSERT_TRUE(detector.Train(fixture.context).ok());
+  for (float loss : detector.train_stats().epoch_losses) {
+    EXPECT_FALSE(std::isnan(loss));
+  }
+}
+
+TEST(FakeDetectorTest, EarlyStoppingStopsAndRestoresBestWeights) {
+  auto fixture = MakeFixture(200, eval::LabelGranularity::kBinary);
+  FakeDetectorConfig config = FastConfig();
+  config.epochs = 60;
+  config.validation_fraction = 0.3f;
+  config.early_stopping_patience = 5;
+  FakeDetector detector(config);
+  ASSERT_TRUE(detector.Train(fixture.context).ok());
+  const TrainStats& stats = detector.train_stats();
+  ASSERT_FALSE(stats.validation_losses.empty());
+  EXPECT_EQ(stats.validation_losses.size(), stats.epoch_losses.size());
+  EXPECT_LE(stats.best_epoch, stats.epoch_losses.size() - 1);
+  // If stopping triggered, it did so `patience` epochs after the best one.
+  if (stats.epoch_losses.size() < config.epochs) {
+    EXPECT_EQ(stats.epoch_losses.size(),
+              stats.best_epoch + config.early_stopping_patience + 1);
+  }
+  auto predictions = detector.Predict();
+  ASSERT_TRUE(predictions.ok());
+  EXPECT_EQ(predictions.value().articles.size(), 200u);
+}
+
+TEST(FakeDetectorTest, BadValidationFractionRejected) {
+  auto fixture = MakeFixture(120, eval::LabelGranularity::kBinary);
+  FakeDetectorConfig config = FastConfig();
+  config.validation_fraction = 1.5f;
+  FakeDetector detector(config);
+  EXPECT_EQ(detector.Train(fixture.context).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FakeDetectorTest, NameMatchesPaper) {
+  FakeDetector detector;
+  EXPECT_EQ(detector.Name(), "FakeDetector");
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace fkd

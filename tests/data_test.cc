@@ -1,0 +1,478 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "data/labels.h"
+#include "data/split.h"
+#include "graph/stats.h"
+
+namespace fkd {
+namespace data {
+namespace {
+
+// ---- labels ----------------------------------------------------------------
+
+TEST(LabelsTest, NumericScoreMapping) {
+  EXPECT_EQ(NumericScore(CredibilityLabel::kPantsOnFire), 1);
+  EXPECT_EQ(NumericScore(CredibilityLabel::kTrue), 6);
+  EXPECT_EQ(NumericScore(CredibilityLabel::kHalfTrue), 4);
+}
+
+TEST(LabelsTest, LabelFromScoreRoundsAndClamps) {
+  EXPECT_EQ(LabelFromScore(1.0), CredibilityLabel::kPantsOnFire);
+  EXPECT_EQ(LabelFromScore(5.6), CredibilityLabel::kTrue);
+  EXPECT_EQ(LabelFromScore(3.4), CredibilityLabel::kMostlyFalse);
+  EXPECT_EQ(LabelFromScore(3.5), CredibilityLabel::kHalfTrue);
+  EXPECT_EQ(LabelFromScore(-5.0), CredibilityLabel::kPantsOnFire);
+  EXPECT_EQ(LabelFromScore(99.0), CredibilityLabel::kTrue);
+}
+
+TEST(LabelsTest, RoundTripAllScores) {
+  for (size_t c = 0; c < kNumCredibilityClasses; ++c) {
+    const auto label = static_cast<CredibilityLabel>(c);
+    EXPECT_EQ(LabelFromScore(NumericScore(label)), label);
+  }
+}
+
+TEST(LabelsTest, BiClassGrouping) {
+  // Positive group: {Half True, Mostly True, True} (§5.1.3).
+  EXPECT_TRUE(IsPositive(CredibilityLabel::kHalfTrue));
+  EXPECT_TRUE(IsPositive(CredibilityLabel::kTrue));
+  EXPECT_FALSE(IsPositive(CredibilityLabel::kMostlyFalse));
+  EXPECT_FALSE(IsPositive(CredibilityLabel::kPantsOnFire));
+  EXPECT_EQ(BiClassOf(CredibilityLabel::kTrue), 1);
+  EXPECT_EQ(BiClassOf(CredibilityLabel::kFalse), 0);
+}
+
+TEST(LabelsTest, NamesRoundTrip) {
+  for (size_t c = 0; c < kNumCredibilityClasses; ++c) {
+    const auto label = static_cast<CredibilityLabel>(c);
+    auto parsed = LabelFromName(LabelName(label));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), label);
+  }
+  EXPECT_FALSE(LabelFromName("Entirely Bogus").ok());
+}
+
+TEST(LabelsTest, LabelFromClassIdValidates) {
+  EXPECT_TRUE(LabelFromClassId(0).ok());
+  EXPECT_TRUE(LabelFromClassId(5).ok());
+  EXPECT_FALSE(LabelFromClassId(6).ok());
+  EXPECT_FALSE(LabelFromClassId(-1).ok());
+}
+
+// ---- Dataset ----------------------------------------------------------------
+
+Dataset TinyDataset() {
+  Dataset dataset;
+  dataset.creators = {{0, "c0", "profile zero", CredibilityLabel::kHalfTrue},
+                      {1, "c1", "profile one", CredibilityLabel::kHalfTrue}};
+  dataset.subjects = {{0, "s0", "subject zero", CredibilityLabel::kHalfTrue}};
+  Article a0;
+  a0.id = 0;
+  a0.text = "text zero";
+  a0.label = CredibilityLabel::kTrue;
+  a0.creator = 0;
+  a0.subjects = {0};
+  Article a1 = a0;
+  a1.id = 1;
+  a1.label = CredibilityLabel::kFalse;
+  a1.creator = 1;
+  dataset.articles = {a0, a1};
+  return dataset;
+}
+
+TEST(DatasetTest, ValidatesGoodData) {
+  EXPECT_TRUE(TinyDataset().Validate().ok());
+}
+
+TEST(DatasetTest, RejectsBadIds) {
+  auto dataset = TinyDataset();
+  dataset.articles[1].id = 5;
+  EXPECT_EQ(dataset.Validate().code(), StatusCode::kCorruption);
+}
+
+TEST(DatasetTest, RejectsDanglingCreator) {
+  auto dataset = TinyDataset();
+  dataset.articles[0].creator = 9;
+  EXPECT_FALSE(dataset.Validate().ok());
+}
+
+TEST(DatasetTest, RejectsArticleWithoutSubjects) {
+  auto dataset = TinyDataset();
+  dataset.articles[0].subjects.clear();
+  EXPECT_FALSE(dataset.Validate().ok());
+}
+
+TEST(DatasetTest, RejectsDuplicateSubjectLinks) {
+  auto dataset = TinyDataset();
+  dataset.articles[0].subjects = {0, 0};
+  EXPECT_FALSE(dataset.Validate().ok());
+}
+
+TEST(DatasetTest, BuildGraphMatchesLinks) {
+  auto dataset = TinyDataset();
+  auto graph = dataset.BuildGraph();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value().NumEdges(graph::EdgeType::kAuthorship), 2u);
+  EXPECT_EQ(graph.value().NumEdges(graph::EdgeType::kSubjectIndication), 2u);
+  EXPECT_EQ(
+      graph.value().ReverseNeighbors(graph::EdgeType::kSubjectIndication, 0)
+          .size(),
+      2u);
+}
+
+TEST(DatasetTest, DeriveEntityLabelsWeightedMean) {
+  auto dataset = TinyDataset();
+  dataset.DeriveEntityLabels();
+  // Creator 0 wrote one True (6) article -> "True".
+  EXPECT_EQ(dataset.creators[0].label, CredibilityLabel::kTrue);
+  EXPECT_EQ(dataset.creators[1].label, CredibilityLabel::kFalse);
+  // Subject 0 has True (6) + False (2) -> mean 4 -> Half True.
+  EXPECT_EQ(dataset.subjects[0].label, CredibilityLabel::kHalfTrue);
+}
+
+TEST(DatasetTest, DeriveKeepsLabelForEntityWithoutArticles) {
+  auto dataset = TinyDataset();
+  dataset.creators.push_back(
+      {2, "lonely", "no articles", CredibilityLabel::kMostlyTrue});
+  dataset.DeriveEntityLabels();
+  EXPECT_EQ(dataset.creators[2].label, CredibilityLabel::kMostlyTrue);
+}
+
+// ---- generator ----------------------------------------------------------------
+
+TEST(GeneratorTest, ProducesExactCounts) {
+  GeneratorOptions options = GeneratorOptions::Scaled(800, 1);
+  auto result = GeneratePolitiFact(options);
+  ASSERT_TRUE(result.ok());
+  const Dataset& dataset = result.value();
+  EXPECT_EQ(dataset.articles.size(), options.num_articles);
+  EXPECT_EQ(dataset.creators.size(), options.num_creators);
+  EXPECT_EQ(dataset.subjects.size(), options.num_subjects);
+  EXPECT_TRUE(dataset.Validate().ok());
+}
+
+TEST(GeneratorTest, DeterministicPerSeed) {
+  auto a = GeneratePolitiFact(GeneratorOptions::Scaled(300, 9));
+  auto b = GeneratePolitiFact(GeneratorOptions::Scaled(300, 9));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().articles.size(), b.value().articles.size());
+  for (size_t i = 0; i < a.value().articles.size(); ++i) {
+    EXPECT_EQ(a.value().articles[i].text, b.value().articles[i].text);
+    EXPECT_EQ(a.value().articles[i].label, b.value().articles[i].label);
+  }
+  auto c = GeneratePolitiFact(GeneratorOptions::Scaled(300, 10));
+  ASSERT_TRUE(c.ok());
+  bool any_different = false;
+  for (size_t i = 0; i < a.value().articles.size(); ++i) {
+    any_different |= a.value().articles[i].text != c.value().articles[i].text;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(GeneratorTest, EveryCreatorPublishes) {
+  auto result = GeneratePolitiFact(GeneratorOptions::Scaled(500, 2));
+  ASSERT_TRUE(result.ok());
+  std::vector<size_t> counts(result.value().creators.size(), 0);
+  for (const auto& article : result.value().articles) {
+    ++counts[article.creator];
+  }
+  for (size_t count : counts) EXPECT_GE(count, 1u);
+}
+
+TEST(GeneratorTest, PersonasPresentWithScaledHistograms) {
+  auto result = GeneratePolitiFact(GeneratorOptions::Scaled(2000, 3));
+  ASSERT_TRUE(result.ok());
+  const Dataset& dataset = result.value();
+  for (const auto& name : PersonaNames()) {
+    const auto it = std::find_if(
+        dataset.creators.begin(), dataset.creators.end(),
+        [&](const Creator& c) { return c.name == name; });
+    ASSERT_NE(it, dataset.creators.end()) << name;
+  }
+  // Obama-like persona is the most prolific creator, as in Fig 1a.
+  std::vector<size_t> counts(dataset.creators.size(), 0);
+  for (const auto& article : dataset.articles) ++counts[article.creator];
+  const auto obama = std::find_if(
+      dataset.creators.begin(), dataset.creators.end(),
+      [](const Creator& c) { return c.name == "Barack Obama"; });
+  const size_t max_count = *std::max_element(counts.begin(), counts.end());
+  EXPECT_EQ(counts[obama->id], max_count);
+  // Obama leans true, Trump leans false (Fig 1e/1f).
+  const auto trump = std::find_if(
+      dataset.creators.begin(), dataset.creators.end(),
+      [](const Creator& c) { return c.name == "Donald Trump"; });
+  EXPECT_TRUE(IsPositive(obama->label));
+  EXPECT_FALSE(IsPositive(trump->label));
+}
+
+TEST(GeneratorTest, MeanSubjectsPerArticleNearTarget) {
+  GeneratorOptions options = GeneratorOptions::Scaled(2000, 4);
+  auto result = GeneratePolitiFact(options);
+  ASSERT_TRUE(result.ok());
+  const double mean =
+      static_cast<double>(result.value().NumSubjectLinks()) /
+      static_cast<double>(result.value().articles.size());
+  EXPECT_NEAR(mean, options.mean_subjects_per_article, 0.4);
+}
+
+TEST(GeneratorTest, CreatorDistributionIsHeavyTailed) {
+  auto result = GeneratePolitiFact(GeneratorOptions::Scaled(3000, 5));
+  ASSERT_TRUE(result.ok());
+  std::vector<size_t> counts(result.value().creators.size(), 0);
+  for (const auto& article : result.value().articles) ++counts[article.creator];
+  const auto summary = graph::SummarizeDegrees(counts);
+  // Mean ~3.87 like the paper; max far above mean (power-law head).
+  EXPECT_NEAR(summary.mean, 3.87, 0.5);
+  EXPECT_GT(summary.max, 20u * static_cast<size_t>(summary.median));
+}
+
+TEST(GeneratorTest, TextCarriesClassSignal) {
+  auto result = GeneratePolitiFact(GeneratorOptions::Scaled(2000, 6));
+  ASSERT_TRUE(result.ok());
+  // True articles use true-pool words more often than false articles do.
+  size_t true_hits = 0, true_words = 0, false_hits = 0, false_words = 0;
+  const std::set<std::string> true_pool(TrueLeaningWords().begin(),
+                                        TrueLeaningWords().end());
+  for (const auto& article : result.value().articles) {
+    std::istringstream stream(article.text);
+    std::string word;
+    while (stream >> word) {
+      const bool hit = true_pool.count(word) != 0;
+      if (IsPositive(article.label)) {
+        ++true_words;
+        true_hits += hit;
+      } else {
+        ++false_words;
+        false_hits += hit;
+      }
+    }
+  }
+  const double true_rate = static_cast<double>(true_hits) / true_words;
+  const double false_rate = static_cast<double>(false_hits) / false_words;
+  EXPECT_GT(true_rate, false_rate * 1.5);
+}
+
+TEST(GeneratorTest, EntityLabelsAreDerivedConsistently) {
+  auto result = GeneratePolitiFact(GeneratorOptions::Scaled(600, 7));
+  ASSERT_TRUE(result.ok());
+  Dataset dataset = result.value();
+  const auto creators_before = dataset.creators;
+  dataset.DeriveEntityLabels();  // Idempotent: already derived.
+  for (size_t i = 0; i < dataset.creators.size(); ++i) {
+    EXPECT_EQ(dataset.creators[i].label, creators_before[i].label);
+  }
+}
+
+TEST(GeneratorTest, RejectsInvalidOptions) {
+  GeneratorOptions options;
+  options.num_articles = 10;
+  options.num_creators = 20;  // More creators than articles.
+  options.include_personas = false;
+  EXPECT_FALSE(GeneratePolitiFact(options).ok());
+
+  options = GeneratorOptions::Scaled(100, 1);
+  options.power_law_alpha = 0.5;
+  EXPECT_FALSE(GeneratePolitiFact(options).ok());
+
+  options = GeneratorOptions::Scaled(100, 1);
+  options.min_article_words = 30;
+  options.max_article_words = 10;
+  EXPECT_FALSE(GeneratePolitiFact(options).ok());
+
+  options = GeneratorOptions::Scaled(100, 1);
+  options.mean_subjects_per_article = 0.2;
+  EXPECT_FALSE(GeneratePolitiFact(options).ok());
+
+  options = GeneratorOptions::Scaled(100, 1);
+  options.num_articles = 0;
+  EXPECT_FALSE(GeneratePolitiFact(options).ok());
+}
+
+class GeneratorScaleSweep
+    : public ::testing::TestWithParam<std::pair<size_t, uint64_t>> {};
+
+TEST_P(GeneratorScaleSweep, InvariantsHoldAcrossScalesAndSeeds) {
+  const auto [articles, seed] = GetParam();
+  auto result = GeneratePolitiFact(GeneratorOptions::Scaled(articles, seed));
+  ASSERT_TRUE(result.ok());
+  const Dataset& dataset = result.value();
+  EXPECT_TRUE(dataset.Validate().ok());
+  EXPECT_EQ(dataset.articles.size(), articles);
+  // Labels of creators match the weighted-mean derivation.
+  std::vector<double> score(dataset.creators.size(), 0.0);
+  std::vector<size_t> count(dataset.creators.size(), 0);
+  for (const auto& article : dataset.articles) {
+    score[article.creator] += NumericScore(article.label);
+    ++count[article.creator];
+  }
+  for (const auto& creator : dataset.creators) {
+    if (count[creator.id] == 0) continue;
+    EXPECT_EQ(creator.label,
+              LabelFromScore(score[creator.id] / count[creator.id]));
+  }
+  // Graph builds.
+  EXPECT_TRUE(dataset.BuildGraph().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScalesAndSeeds, GeneratorScaleSweep,
+    ::testing::Values(std::make_pair<size_t, uint64_t>(60, 1),
+                      std::make_pair<size_t, uint64_t>(200, 2),
+                      std::make_pair<size_t, uint64_t>(200, 77),
+                      std::make_pair<size_t, uint64_t>(1000, 3),
+                      std::make_pair<size_t, uint64_t>(2500, 4)));
+
+// ---- io ---------------------------------------------------------------------
+
+TEST(IoTest, SaveLoadRoundTrip) {
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "fkd_io_test").string();
+  auto original = GeneratePolitiFact(GeneratorOptions::Scaled(150, 8));
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(SaveDataset(original.value(), prefix).ok());
+
+  auto loaded = LoadDataset(prefix);
+  ASSERT_TRUE(loaded.ok());
+  const Dataset& a = original.value();
+  const Dataset& b = loaded.value();
+  ASSERT_EQ(a.articles.size(), b.articles.size());
+  ASSERT_EQ(a.creators.size(), b.creators.size());
+  ASSERT_EQ(a.subjects.size(), b.subjects.size());
+  for (size_t i = 0; i < a.articles.size(); ++i) {
+    EXPECT_EQ(a.articles[i].text, b.articles[i].text);
+    EXPECT_EQ(a.articles[i].label, b.articles[i].label);
+    EXPECT_EQ(a.articles[i].creator, b.articles[i].creator);
+    EXPECT_EQ(a.articles[i].subjects, b.articles[i].subjects);
+  }
+  for (size_t i = 0; i < a.creators.size(); ++i) {
+    EXPECT_EQ(a.creators[i].name, b.creators[i].name);
+    EXPECT_EQ(a.creators[i].profile, b.creators[i].profile);
+  }
+  for (const char* suffix : {".articles.tsv", ".creators.tsv", ".subjects.tsv"}) {
+    std::filesystem::remove(prefix + suffix);
+  }
+}
+
+TEST(IoTest, LoadMissingFilesIsIoError) {
+  EXPECT_EQ(LoadDataset("/no/such/prefix").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(IoTest, MalformedRowsAreCorruption) {
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "fkd_io_bad").string();
+  std::ofstream(prefix + ".articles.tsv") << "0\t0\tnot_a_class\t0\ttext\n";
+  std::ofstream(prefix + ".creators.tsv") << "0\t3\tname\tprofile\n";
+  std::ofstream(prefix + ".subjects.tsv") << "0\t3\tname\tdescription\n";
+  EXPECT_EQ(LoadDataset(prefix).status().code(), StatusCode::kCorruption);
+
+  std::ofstream(prefix + ".articles.tsv") << "0\t0\t3\n";  // Too few fields.
+  EXPECT_EQ(LoadDataset(prefix).status().code(), StatusCode::kCorruption);
+
+  // Structurally invalid (creator id out of range) is also corruption.
+  std::ofstream(prefix + ".articles.tsv") << "0\t7\t3\t0\ttext\n";
+  EXPECT_EQ(LoadDataset(prefix).status().code(), StatusCode::kCorruption);
+
+  for (const char* suffix : {".articles.tsv", ".creators.tsv", ".subjects.tsv"}) {
+    std::filesystem::remove(prefix + suffix);
+  }
+}
+
+// ---- splits ---------------------------------------------------------------------
+
+TEST(SplitTest, KFoldPartitionsTestSets) {
+  Rng rng(1);
+  auto splits = KFoldSplits(103, 10, &rng);
+  ASSERT_TRUE(splits.ok());
+  ASSERT_EQ(splits.value().size(), 10u);
+  std::set<int32_t> all_test;
+  for (const auto& split : splits.value()) {
+    EXPECT_EQ(split.train.size() + split.test.size(), 103u);
+    for (int32_t id : split.test) {
+      EXPECT_TRUE(all_test.insert(id).second) << "duplicate test id " << id;
+    }
+    // Train and test disjoint.
+    std::set<int32_t> train(split.train.begin(), split.train.end());
+    for (int32_t id : split.test) EXPECT_EQ(train.count(id), 0u);
+  }
+  EXPECT_EQ(all_test.size(), 103u);
+}
+
+TEST(SplitTest, FoldSizesBalanced) {
+  Rng rng(2);
+  auto splits = KFoldSplits(10, 3, &rng);
+  ASSERT_TRUE(splits.ok());
+  for (const auto& split : splits.value()) {
+    EXPECT_GE(split.test.size(), 3u);
+    EXPECT_LE(split.test.size(), 4u);
+  }
+}
+
+TEST(SplitTest, RejectsBadK) {
+  Rng rng(3);
+  EXPECT_FALSE(KFoldSplits(10, 1, &rng).ok());
+  EXPECT_FALSE(KFoldSplits(5, 6, &rng).ok());
+  EXPECT_TRUE(KFoldSplits(5, 5, &rng).ok());
+}
+
+TEST(SplitTest, SubsampleProportions) {
+  Rng rng(4);
+  std::vector<int32_t> train(200);
+  std::iota(train.begin(), train.end(), 0);
+  const auto half = SubsampleTraining(train, 0.5, &rng);
+  EXPECT_EQ(half.size(), 100u);
+  std::set<int32_t> unique(half.begin(), half.end());
+  EXPECT_EQ(unique.size(), 100u);
+
+  const auto all = SubsampleTraining(train, 1.0, &rng);
+  EXPECT_EQ(all.size(), 200u);
+
+  const auto tiny = SubsampleTraining({42}, 0.1, &rng);
+  ASSERT_EQ(tiny.size(), 1u);  // Never empty for non-empty input.
+  EXPECT_EQ(tiny[0], 42);
+
+  EXPECT_TRUE(SubsampleTraining({}, 0.5, &rng).empty());
+}
+
+class ThetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ThetaSweep, SubsampleSizeMatchesTheta) {
+  Rng rng(5);
+  std::vector<int32_t> train(1000);
+  std::iota(train.begin(), train.end(), 0);
+  const auto sampled = SubsampleTraining(train, GetParam(), &rng);
+  EXPECT_NEAR(static_cast<double>(sampled.size()), GetParam() * 1000.0, 1.0);
+  std::set<int32_t> unique(sampled.begin(), sampled.end());
+  EXPECT_EQ(unique.size(), sampled.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, ThetaSweep,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0));
+
+TEST(SplitTest, TriSplitsCoverAllTypes) {
+  Rng rng(6);
+  auto splits = KFoldTriSplits(50, 20, 10, 5, &rng);
+  ASSERT_TRUE(splits.ok());
+  ASSERT_EQ(splits.value().size(), 5u);
+  size_t article_test_total = 0;
+  for (const auto& split : splits.value()) {
+    article_test_total += split.articles.test.size();
+    EXPECT_EQ(split.creators.train.size() + split.creators.test.size(), 20u);
+    EXPECT_EQ(split.subjects.train.size() + split.subjects.test.size(), 10u);
+  }
+  EXPECT_EQ(article_test_total, 50u);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace fkd

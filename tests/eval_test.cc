@@ -1,0 +1,372 @@
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/generator.h"
+#include "eval/classifier.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/report.h"
+
+namespace fkd {
+namespace eval {
+namespace {
+
+// ---- ConfusionMatrix ----------------------------------------------------------
+
+TEST(ConfusionMatrixTest, CountsAndAccuracy) {
+  ConfusionMatrix matrix(2);
+  matrix.AddAll({1, 1, 0, 0, 1}, {1, 0, 0, 1, 1});
+  EXPECT_EQ(matrix.total(), 5u);
+  EXPECT_EQ(matrix.Count(1, 1), 2);
+  EXPECT_EQ(matrix.Count(1, 0), 1);
+  EXPECT_EQ(matrix.Count(0, 1), 1);
+  EXPECT_EQ(matrix.Count(0, 0), 1);
+  EXPECT_DOUBLE_EQ(matrix.Accuracy(), 3.0 / 5.0);
+}
+
+TEST(ConfusionMatrixTest, PrecisionRecallF1HandChecked) {
+  ConfusionMatrix matrix(2);
+  // tp=3, fp=1, fn=2, tn=4.
+  for (int i = 0; i < 3; ++i) matrix.Add(1, 1);
+  matrix.Add(0, 1);
+  for (int i = 0; i < 2; ++i) matrix.Add(1, 0);
+  for (int i = 0; i < 4; ++i) matrix.Add(0, 0);
+  EXPECT_DOUBLE_EQ(matrix.Precision(1), 3.0 / 4.0);
+  EXPECT_DOUBLE_EQ(matrix.Recall(1), 3.0 / 5.0);
+  const double p = 0.75, r = 0.6;
+  EXPECT_DOUBLE_EQ(matrix.F1(1), 2 * p * r / (p + r));
+}
+
+TEST(ConfusionMatrixTest, ZeroDivisionConventions) {
+  ConfusionMatrix matrix(3);
+  matrix.Add(0, 0);
+  matrix.Add(1, 0);
+  // Class 2 never occurs nor is predicted.
+  EXPECT_DOUBLE_EQ(matrix.Precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.Recall(2), 0.0);
+  EXPECT_DOUBLE_EQ(matrix.F1(2), 0.0);
+  // Class 1 occurs but never predicted correctly.
+  EXPECT_DOUBLE_EQ(matrix.Recall(1), 0.0);
+}
+
+TEST(ConfusionMatrixTest, EmptyMatrixAccuracyZero) {
+  ConfusionMatrix matrix(2);
+  EXPECT_DOUBLE_EQ(matrix.Accuracy(), 0.0);
+}
+
+TEST(ConfusionMatrixTest, MacroAverages) {
+  ConfusionMatrix matrix(2);
+  // Perfect on class 0 (2 instances), total miss on class 1 (2 instances).
+  matrix.Add(0, 0);
+  matrix.Add(0, 0);
+  matrix.Add(1, 0);
+  matrix.Add(1, 0);
+  EXPECT_DOUBLE_EQ(matrix.MacroRecall(), 0.5);   // (1 + 0) / 2
+  EXPECT_DOUBLE_EQ(matrix.MacroPrecision(), 0.25);  // (0.5 + 0) / 2
+}
+
+TEST(ConfusionMatrixTest, BinaryAndMultiWrappers) {
+  ConfusionMatrix binary(2);
+  binary.AddAll({1, 0, 1, 0}, {1, 0, 0, 1});
+  const BinaryMetrics bm = ComputeBinaryMetrics(binary);
+  EXPECT_DOUBLE_EQ(bm.accuracy, 0.5);
+  EXPECT_DOUBLE_EQ(bm.precision, 0.5);
+  EXPECT_DOUBLE_EQ(bm.recall, 0.5);
+
+  ConfusionMatrix multi(6);
+  for (int c = 0; c < 6; ++c) multi.Add(c, c);
+  const MultiClassMetrics mm = ComputeMultiClassMetrics(multi);
+  EXPECT_DOUBLE_EQ(mm.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(mm.macro_f1, 1.0);
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsCounts) {
+  ConfusionMatrix matrix(2);
+  matrix.Add(0, 1);
+  EXPECT_NE(matrix.ToString().find("1"), std::string::npos);
+}
+
+// Property sweep: metrics bounded, F1 is the harmonic mean, permutation
+// invariance of Add order.
+class MetricsProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsProperty, InvariantsOnRandomMatrices) {
+  Rng rng(GetParam());
+  const size_t k = 2 + rng.UniformInt(5u);
+  ConfusionMatrix matrix(k);
+  const size_t n = 50 + rng.UniformInt(200u);
+  std::vector<int32_t> actual, predicted;
+  for (size_t i = 0; i < n; ++i) {
+    actual.push_back(static_cast<int32_t>(rng.UniformInt(k)));
+    predicted.push_back(static_cast<int32_t>(rng.UniformInt(k)));
+  }
+  matrix.AddAll(actual, predicted);
+
+  EXPECT_GE(matrix.Accuracy(), 0.0);
+  EXPECT_LE(matrix.Accuracy(), 1.0);
+  for (size_t c = 0; c < k; ++c) {
+    const double p = matrix.Precision(static_cast<int32_t>(c));
+    const double r = matrix.Recall(static_cast<int32_t>(c));
+    const double f1 = matrix.F1(static_cast<int32_t>(c));
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+    if (p + r > 0) {
+      EXPECT_NEAR(f1, 2 * p * r / (p + r), 1e-12);
+    } else {
+      EXPECT_DOUBLE_EQ(f1, 0.0);
+    }
+    // F1 lies between min and max of p and r.
+    EXPECT_LE(f1, std::max(p, r) + 1e-12);
+  }
+  EXPECT_LE(matrix.MacroF1(), 1.0);
+
+  // Order invariance.
+  ConfusionMatrix reversed(k);
+  for (size_t i = n; i-- > 0;) reversed.Add(actual[i], predicted[i]);
+  EXPECT_DOUBLE_EQ(matrix.Accuracy(), reversed.Accuracy());
+  EXPECT_DOUBLE_EQ(matrix.MacroF1(), reversed.MacroF1());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---- TextTable -------------------------------------------------------------------
+
+TEST(TextTableTest, RenderAlignsColumns) {
+  TextTable table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer_name", "2"});
+  const std::string rendered = table.Render();
+  EXPECT_NE(rendered.find("longer_name"), std::string::npos);
+  EXPECT_NE(rendered.find("----"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TextTableTest, CsvOutput) {
+  TextTable table({"a", "b"});
+  table.AddRow({"1", "2"});
+  EXPECT_EQ(table.ToCsv(), "a,b\n1,2\n");
+}
+
+// ---- experiment runner --------------------------------------------------------------
+
+/// Predicts the majority training class everywhere — the canonical dumb
+/// baseline to exercise the harness.
+class MajorityClassifier : public CredibilityClassifier {
+ public:
+  std::string Name() const override { return "majority"; }
+
+  Status Train(const TrainContext& context) override {
+    context_ = context;
+    std::vector<int64_t> votes(NumClasses(context.granularity), 0);
+    for (int32_t id : context.train_articles) {
+      ++votes[context.ArticleTarget(id)];
+    }
+    majority_ = static_cast<int32_t>(
+        std::max_element(votes.begin(), votes.end()) - votes.begin());
+    return Status::OK();
+  }
+
+  Result<Predictions> Predict() override {
+    Predictions predictions;
+    predictions.articles.assign(context_.dataset->articles.size(), majority_);
+    predictions.creators.assign(context_.dataset->creators.size(), majority_);
+    predictions.subjects.assign(context_.dataset->subjects.size(), majority_);
+    return predictions;
+  }
+
+ private:
+  TrainContext context_;
+  int32_t majority_ = 0;
+};
+
+/// Cheats by reading ground truth — must score 1.0 on everything.
+class OracleClassifier : public CredibilityClassifier {
+ public:
+  std::string Name() const override { return "oracle"; }
+  Status Train(const TrainContext& context) override {
+    context_ = context;
+    return Status::OK();
+  }
+  Result<Predictions> Predict() override {
+    Predictions predictions;
+    for (const auto& a : context_.dataset->articles) {
+      predictions.articles.push_back(TargetOf(a.label, context_.granularity));
+    }
+    for (const auto& c : context_.dataset->creators) {
+      predictions.creators.push_back(TargetOf(c.label, context_.granularity));
+    }
+    for (const auto& s : context_.dataset->subjects) {
+      predictions.subjects.push_back(TargetOf(s.label, context_.granularity));
+    }
+    return predictions;
+  }
+
+ private:
+  TrainContext context_;
+};
+
+class BrokenClassifier : public CredibilityClassifier {
+ public:
+  std::string Name() const override { return "broken"; }
+  Status Train(const TrainContext&) override {
+    return Status::Internal("deliberate failure");
+  }
+  Result<Predictions> Predict() override { return Predictions{}; }
+};
+
+data::Dataset TestDataset() {
+  auto result =
+      data::GeneratePolitiFact(data::GeneratorOptions::Scaled(200, 11));
+  FKD_CHECK_OK(result.status());
+  return std::move(result).value();
+}
+
+TEST(ExperimentRunnerTest, OracleScoresPerfectly) {
+  const auto dataset = TestDataset();
+  ExperimentOptions options;
+  options.k_folds = 4;
+  options.folds_to_run = 2;
+  options.sample_ratios = {0.5};
+  ExperimentRunner runner(dataset, options);
+  runner.RegisterMethod([] { return std::make_unique<OracleClassifier>(); });
+  auto results = runner.Run();
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results.value().size(), 1u);
+  const SweepResult& cell = results.value()[0];
+  EXPECT_EQ(cell.method, "oracle");
+  EXPECT_DOUBLE_EQ(cell.articles.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(cell.creators.f1, 1.0);
+  EXPECT_DOUBLE_EQ(cell.subjects.recall, 1.0);
+  EXPECT_EQ(cell.folds, 2u);
+}
+
+TEST(ExperimentRunnerTest, ProducesMethodMajorThetaOrderedResults) {
+  const auto dataset = TestDataset();
+  ExperimentOptions options;
+  options.k_folds = 4;
+  options.folds_to_run = 1;
+  options.sample_ratios = {0.2, 0.8};
+  ExperimentRunner runner(dataset, options);
+  runner.RegisterMethod([] { return std::make_unique<MajorityClassifier>(); });
+  runner.RegisterMethod([] { return std::make_unique<OracleClassifier>(); });
+  auto results = runner.Run();
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results.value().size(), 4u);
+  EXPECT_EQ(results.value()[0].method, "majority");
+  EXPECT_DOUBLE_EQ(results.value()[0].theta, 0.2);
+  EXPECT_EQ(results.value()[1].method, "majority");
+  EXPECT_DOUBLE_EQ(results.value()[1].theta, 0.8);
+  EXPECT_EQ(results.value()[2].method, "oracle");
+}
+
+TEST(ExperimentRunnerTest, MajorityRecallIsDegenerate) {
+  const auto dataset = TestDataset();
+  ExperimentOptions options;
+  options.k_folds = 4;
+  options.folds_to_run = 1;
+  options.sample_ratios = {1.0};
+  ExperimentRunner runner(dataset, options);
+  runner.RegisterMethod([] { return std::make_unique<MajorityClassifier>(); });
+  auto results = runner.Run();
+  ASSERT_TRUE(results.ok());
+  const MetricsRow& row = results.value()[0].articles;
+  // Majority predicts one class: recall of that class is 1 or 0.
+  EXPECT_TRUE(row.recall == 1.0 || row.recall == 0.0);
+}
+
+TEST(ExperimentRunnerTest, PropagatesTrainFailures) {
+  const auto dataset = TestDataset();
+  ExperimentOptions options;
+  options.k_folds = 4;
+  options.folds_to_run = 1;
+  options.sample_ratios = {0.5};
+  ExperimentRunner runner(dataset, options);
+  runner.RegisterMethod([] { return std::make_unique<BrokenClassifier>(); });
+  EXPECT_EQ(runner.Run().status().code(), StatusCode::kInternal);
+}
+
+TEST(ExperimentRunnerTest, NoMethodsIsFailedPrecondition) {
+  const auto dataset = TestDataset();
+  ExperimentRunner runner(dataset, ExperimentOptions{});
+  EXPECT_EQ(runner.Run().status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ExperimentRunnerTest, MultiGranularityUsesMacroMetrics) {
+  const auto dataset = TestDataset();
+  ExperimentOptions options;
+  options.k_folds = 4;
+  options.folds_to_run = 1;
+  options.sample_ratios = {1.0};
+  options.granularity = LabelGranularity::kMulti;
+  ExperimentRunner runner(dataset, options);
+  runner.RegisterMethod([] { return std::make_unique<OracleClassifier>(); });
+  auto results = runner.Run();
+  ASSERT_TRUE(results.ok());
+  EXPECT_DOUBLE_EQ(results.value()[0].articles.accuracy, 1.0);
+}
+
+// ---- report -----------------------------------------------------------------------
+
+std::vector<SweepResult> FakeResults() {
+  SweepResult a;
+  a.method = "FakeDetector";
+  a.theta = 0.1;
+  a.articles = {0.63, 0.6, 0.5, 0.55};
+  a.creators = {0.6, 0.5, 0.5, 0.5};
+  a.subjects = {0.7, 0.7, 0.7, 0.7};
+  SweepResult b = a;
+  b.theta = 0.5;
+  b.articles.accuracy = 0.66;
+  SweepResult c = a;
+  c.method = "svm";
+  c.articles.accuracy = 0.55;
+  return {a, b, c};
+}
+
+TEST(ReportTest, FormatFigureSeriesContainsMethodsAndThetas) {
+  const std::string text = FormatFigureSeries(
+      FakeResults(), EntityKind::kArticle, LabelGranularity::kBinary);
+  EXPECT_NE(text.find("FakeDetector"), std::string::npos);
+  EXPECT_NE(text.find("svm"), std::string::npos);
+  EXPECT_NE(text.find("0.630"), std::string::npos);
+  EXPECT_NE(text.find("0.660"), std::string::npos);
+  EXPECT_NE(text.find("article Accuracy"), std::string::npos);
+  EXPECT_NE(text.find("Precision"), std::string::npos);
+}
+
+TEST(ReportTest, MultiGranularityUsesMacroNames) {
+  const std::string text = FormatFigureSeries(
+      FakeResults(), EntityKind::kCreator, LabelGranularity::kMulti);
+  EXPECT_NE(text.find("Macro-F1"), std::string::npos);
+  EXPECT_NE(text.find("creator"), std::string::npos);
+}
+
+TEST(ReportTest, WriteSweepCsv) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "fkd_sweep.csv").string();
+  ASSERT_TRUE(WriteSweepCsv(FakeResults(), path).ok());
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "method,theta,entity,accuracy,precision,recall,f1");
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 9u);  // 3 results x 3 entities.
+  std::filesystem::remove(path);
+}
+
+TEST(ReportTest, EntityKindNames) {
+  EXPECT_STREQ(EntityKindName(EntityKind::kArticle), "article");
+  EXPECT_STREQ(EntityKindName(EntityKind::kSubject), "subject");
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace fkd

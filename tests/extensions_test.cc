@@ -1,0 +1,459 @@
+// Tests for the extension components: SliceCols, basic-RNN and LSTM cells,
+// cell-configurable encoders, node2vec, TF-IDF features, mutual-information
+// selection and McNemar significance.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/gcn.h"
+#include "baselines/node2vec.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "eval/significance.h"
+#include "graph/random_walk.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "text/features.h"
+#include "tests/test_util.h"
+
+namespace fkd {
+namespace {
+
+namespace ag = ::fkd::autograd;
+using ::fkd::testing::ExpectGradientsMatch;
+using ::fkd::testing::RandomTensor;
+using ::fkd::testing::WeightedSum;
+
+// ---- SliceCols -----------------------------------------------------------------
+
+TEST(SliceColsTest, ValuesAndShape) {
+  ag::Variable x(Tensor::FromRows({{1, 2, 3, 4}, {5, 6, 7, 8}}), false);
+  const Tensor middle = ag::SliceCols(x, 1, 2).value();
+  EXPECT_TRUE(middle.AllClose(Tensor::FromRows({{2, 3}, {6, 7}})));
+  EXPECT_TRUE(ag::SliceCols(x, 0, 4).value() == x.value());
+}
+
+TEST(SliceColsTest, GradCheck) {
+  ExpectGradientsMatch(
+      [](const std::vector<ag::Variable>& leaves) {
+        const auto left = ag::SliceCols(leaves[0], 0, 2);
+        const auto right = ag::SliceCols(leaves[0], 2, 3);
+        return ag::AddN({WeightedSum(left, 1), WeightedSum(ag::Tanh(right), 2)});
+      },
+      {RandomTensor(3, 5, 70, 0.5f)});
+}
+
+// ---- BasicRnnCell / LstmCell ------------------------------------------------------
+
+TEST(BasicRnnCellTest, StepMatchesManualFormula) {
+  Rng rng(71);
+  nn::BasicRnnCell cell(2, 2, &rng);
+  std::vector<nn::NamedParameter> params;
+  cell.CollectParameters("", &params);
+  ASSERT_EQ(params.size(), 3u);  // input w+b, hidden w.
+  params[0].variable.mutable_value() = Tensor::FromRows({{1, 0}, {0, 1}});
+  params[1].variable.mutable_value() = Tensor::FromRows({{0, 0}});
+  params[2].variable.mutable_value() = Tensor::FromRows({{0.5, 0}, {0, 0.5}});
+
+  ag::Variable x(Tensor::FromRows({{0.3f, -0.2f}}), false);
+  ag::Variable h(Tensor::FromRows({{0.4f, 0.8f}}), false);
+  const Tensor next = cell.Step(x, h).value();
+  EXPECT_NEAR(next.At(0, 0), std::tanh(0.3f + 0.2f), 1e-5f);
+  EXPECT_NEAR(next.At(0, 1), std::tanh(-0.2f + 0.4f), 1e-5f);
+}
+
+TEST(BasicRnnCellTest, GradCheck) {
+  Rng rng(72);
+  nn::BasicRnnCell cell(2, 3, &rng);
+  ExpectGradientsMatch(
+      [&cell](const std::vector<ag::Variable>& leaves) {
+        ag::Variable h = cell.InitialState(2);
+        h = cell.Step(leaves[0], h);
+        h = cell.Step(leaves[1], h);
+        return WeightedSum(h);
+      },
+      {RandomTensor(2, 2, 73, 0.5f), RandomTensor(2, 2, 74, 0.5f)});
+}
+
+TEST(LstmCellTest, StateShapeAndOutput) {
+  Rng rng(75);
+  nn::LstmCell cell(3, 4, &rng);
+  EXPECT_EQ(cell.state_dim(), 8u);
+  ag::Variable x(RandomTensor(5, 3, 76), false);
+  ag::Variable state = cell.InitialState(5);
+  EXPECT_EQ(state.value().cols(), 8u);
+  const ag::Variable next = cell.Step(x, state);
+  EXPECT_EQ(next.value().cols(), 8u);
+  const ag::Variable output = cell.Output(next);
+  EXPECT_EQ(output.value().cols(), 4u);
+  // h = o * tanh(c): bounded.
+  EXPECT_LE(output.value().MaxAbs(), 1.0f);
+}
+
+TEST(LstmCellTest, ForgetBiasInitialisedToOne) {
+  Rng rng(77);
+  nn::LstmCell cell(2, 3, &rng);
+  std::vector<nn::NamedParameter> params;
+  cell.CollectParameters("lstm", &params);
+  bool found = false;
+  for (const auto& p : params) {
+    if (p.name == "lstm/forget_x/bias") {
+      found = true;
+      for (size_t i = 0; i < p.variable.value().size(); ++i) {
+        EXPECT_EQ(p.variable.value()[i], 1.0f);
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(LstmCellTest, GradCheckTwoSteps) {
+  Rng rng(78);
+  nn::LstmCell cell(2, 2, &rng);
+  ExpectGradientsMatch(
+      [&cell](const std::vector<ag::Variable>& leaves) {
+        ag::Variable state = cell.InitialState(2);
+        state = cell.Step(leaves[0], state);
+        state = cell.Step(leaves[1], state);
+        return WeightedSum(cell.Output(state));
+      },
+      {RandomTensor(2, 2, 79, 0.5f), RandomTensor(2, 2, 80, 0.5f)});
+}
+
+class CellKindSweep : public ::testing::TestWithParam<nn::RnnCellKind> {};
+
+TEST_P(CellKindSweep, EncoderLearnsSeparableSequences) {
+  Rng rng(81);
+  nn::RecurrentEncoder encoder(4, 4, 4, &rng, nn::SequencePooling::kLastState,
+                               GetParam());
+  nn::Linear head(4, 2, &rng);
+  std::vector<ag::Variable> params;
+  {
+    std::vector<nn::NamedParameter> named;
+    encoder.CollectParameters("e", &named);
+    head.CollectParameters("h", &named);
+    for (auto& p : named) params.push_back(p.variable);
+  }
+  nn::Adam optimizer(params, 0.05f);
+  const std::vector<std::vector<int32_t>> sequences = {
+      {0, 1, 0}, {1, 0, 1}, {2, 3, 2}, {3, 2, 3}};
+  const std::vector<int32_t> labels = {0, 0, 1, 1};
+  float first = 0.0f, last = 0.0f;
+  for (int epoch = 0; epoch < 80; ++epoch) {
+    optimizer.ZeroGrad();
+    ag::Variable loss = ag::SoftmaxCrossEntropy(
+        head.Forward(encoder.Forward(sequences, 3)), labels);
+    ag::Backward(loss);
+    optimizer.Step();
+    if (epoch == 0) first = loss.scalar();
+    last = loss.scalar();
+  }
+  EXPECT_LT(last, first * 0.5f) << nn::RnnCellKindName(GetParam());
+}
+
+TEST_P(CellKindSweep, PaddingLeavesStateUnchanged) {
+  Rng rng(82);
+  nn::RecurrentEncoder encoder(10, 4, 3, &rng, nn::SequencePooling::kLastState,
+                               GetParam());
+  const Tensor with_pad = encoder.Forward({{1, 2, -1, -1}}, 4).value();
+  const Tensor exact = encoder.Forward({{1, 2}}, 2).value();
+  EXPECT_TRUE(with_pad.AllClose(exact, 1e-6f));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCells, CellKindSweep,
+                         ::testing::Values(nn::RnnCellKind::kBasic,
+                                           nn::RnnCellKind::kGru,
+                                           nn::RnnCellKind::kLstm));
+
+// ---- node2vec ------------------------------------------------------------------
+
+graph::HeterogeneousGraph SmallGraph() {
+  graph::HeterogeneousGraph graph(4, 2, 2);
+  FKD_CHECK_OK(graph.AddEdge(graph::EdgeType::kAuthorship, 0, 0));
+  FKD_CHECK_OK(graph.AddEdge(graph::EdgeType::kAuthorship, 1, 0));
+  FKD_CHECK_OK(graph.AddEdge(graph::EdgeType::kAuthorship, 2, 1));
+  FKD_CHECK_OK(graph.AddEdge(graph::EdgeType::kAuthorship, 3, 1));
+  FKD_CHECK_OK(graph.AddEdge(graph::EdgeType::kSubjectIndication, 0, 0));
+  FKD_CHECK_OK(graph.AddEdge(graph::EdgeType::kSubjectIndication, 1, 0));
+  FKD_CHECK_OK(graph.AddEdge(graph::EdgeType::kSubjectIndication, 2, 1));
+  FKD_CHECK_OK(graph.AddEdge(graph::EdgeType::kSubjectIndication, 3, 1));
+  FKD_CHECK_OK(graph.Finalize());
+  return graph;
+}
+
+TEST(Node2VecWalkTest, StepsFollowEdges) {
+  const auto graph = SmallGraph();
+  Rng rng(83);
+  graph::Node2VecOptions options;
+  options.walks_per_node = 3;
+  options.walk_length = 8;
+  options.return_p = 0.5;
+  options.inout_q = 2.0;
+  for (const auto& walk : GenerateNode2VecWalks(graph, options, &rng)) {
+    for (size_t i = 1; i < walk.size(); ++i) {
+      const auto neighbors = graph.GlobalNeighbors(walk[i - 1]);
+      EXPECT_NE(std::find(neighbors.begin(), neighbors.end(), walk[i]),
+                neighbors.end());
+    }
+  }
+}
+
+TEST(Node2VecWalkTest, LowReturnPRevisitsMore) {
+  // p << 1 makes returning to the previous node much more likely.
+  const auto graph = SmallGraph();
+  auto count_backtracks = [&graph](double p, uint64_t seed) {
+    Rng rng(seed);
+    graph::Node2VecOptions options;
+    options.walks_per_node = 30;
+    options.walk_length = 12;
+    options.return_p = p;
+    size_t backtracks = 0, steps = 0;
+    for (const auto& walk : GenerateNode2VecWalks(graph, options, &rng)) {
+      for (size_t i = 2; i < walk.size(); ++i) {
+        ++steps;
+        backtracks += walk[i] == walk[i - 2];
+      }
+    }
+    return static_cast<double>(backtracks) / static_cast<double>(steps);
+  };
+  EXPECT_GT(count_backtracks(0.1, 84), count_backtracks(10.0, 84) + 0.15);
+}
+
+TEST(Node2VecWalkTest, UnitPQMatchesWalkStatistics) {
+  const auto graph = SmallGraph();
+  Rng rng(85);
+  graph::Node2VecOptions options;
+  options.walks_per_node = 2;
+  options.walk_length = 6;
+  const auto walks = GenerateNode2VecWalks(graph, options, &rng);
+  EXPECT_EQ(walks.size(), 2u * graph.TotalNodes());
+}
+
+TEST(Node2VecClassifierTest, EndToEnd) {
+  auto dataset =
+      data::GeneratePolitiFact(data::GeneratorOptions::Scaled(150, 86)).value();
+  auto graph = dataset.BuildGraph().value();
+  Rng rng(87);
+  auto splits = data::KFoldTriSplits(dataset.articles.size(),
+                                     dataset.creators.size(),
+                                     dataset.subjects.size(), 5, &rng)
+                    .value();
+  eval::TrainContext context;
+  context.dataset = &dataset;
+  context.graph = &graph;
+  context.train_articles = splits[0].articles.train;
+  context.train_creators = splits[0].creators.train;
+  context.train_subjects = splits[0].subjects.train;
+  context.seed = 88;
+
+  baselines::Node2VecClassifier::Options options;
+  options.walks.walks_per_node = 3;
+  options.walks.walk_length = 10;
+  options.walks.return_p = 0.5;
+  options.walks.inout_q = 2.0;
+  options.skipgram.dim = 16;
+  options.skipgram.epochs = 1;
+  baselines::Node2VecClassifier classifier(options);
+  EXPECT_EQ(classifier.Name(), "node2vec");
+  ASSERT_TRUE(classifier.Train(context).ok());
+  auto predictions = classifier.Predict();
+  ASSERT_TRUE(predictions.ok());
+  EXPECT_EQ(predictions.value().articles.size(), 150u);
+}
+
+// ---- GCN ------------------------------------------------------------------------
+
+TEST(GcnClassifierTest, EndToEndLearnsTrainingSignal) {
+  auto dataset =
+      data::GeneratePolitiFact(data::GeneratorOptions::Scaled(200, 90)).value();
+  auto graph = dataset.BuildGraph().value();
+  Rng rng(91);
+  auto splits = data::KFoldTriSplits(dataset.articles.size(),
+                                     dataset.creators.size(),
+                                     dataset.subjects.size(), 5, &rng)
+                    .value();
+  eval::TrainContext context;
+  context.dataset = &dataset;
+  context.graph = &graph;
+  context.train_articles = splits[0].articles.train;
+  context.train_creators = splits[0].creators.train;
+  context.train_subjects = splits[0].subjects.train;
+  context.seed = 92;
+
+  baselines::GcnClassifier::Options options;
+  options.epochs = 60;
+  options.vocabulary = 150;
+  options.hidden_dim = 24;
+  baselines::GcnClassifier classifier(options);
+  EXPECT_EQ(classifier.Name(), "gcn");
+  ASSERT_TRUE(classifier.Train(context).ok());
+  auto predictions = classifier.Predict();
+  ASSERT_TRUE(predictions.ok());
+  ASSERT_EQ(predictions.value().articles.size(), 200u);
+
+  // Beats majority on the training articles.
+  eval::ConfusionMatrix matrix(2);
+  for (int32_t id : context.train_articles) {
+    matrix.Add(data::BiClassOf(dataset.articles[id].label),
+               predictions.value().articles[id]);
+  }
+  EXPECT_GT(matrix.Accuracy(), 0.6);
+}
+
+TEST(GcnClassifierTest, RejectsZeroLayersAndEmptyLabels) {
+  auto dataset =
+      data::GeneratePolitiFact(data::GeneratorOptions::Scaled(60, 93)).value();
+  auto graph = dataset.BuildGraph().value();
+  eval::TrainContext context;
+  context.dataset = &dataset;
+  context.graph = &graph;
+
+  baselines::GcnClassifier::Options zero_layers;
+  zero_layers.layers = 0;
+  baselines::GcnClassifier bad(zero_layers);
+  EXPECT_EQ(bad.Train(context).code(), StatusCode::kInvalidArgument);
+
+  baselines::GcnClassifier no_labels;
+  EXPECT_EQ(no_labels.Train(context).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(no_labels.Predict().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---- TfIdfFeaturizer ----------------------------------------------------------------
+
+TEST(TfIdfTest, IdfOrdersRareAboveCommon) {
+  text::Vocabulary words;
+  words.AddAll({"common", "rare"});
+  const std::vector<std::vector<std::string>> corpus = {
+      {"common"}, {"common"}, {"common", "rare"}, {"common"}};
+  text::TfIdfFeaturizer featurizer(words, corpus);
+  EXPECT_GT(featurizer.IdfOf(words.IdOf("rare")),
+            featurizer.IdfOf(words.IdOf("common")));
+}
+
+TEST(TfIdfTest, FeaturizeScalesCountsByIdf) {
+  text::Vocabulary words;
+  words.AddAll({"a", "b"});
+  const std::vector<std::vector<std::string>> corpus = {{"a"}, {"a", "b"}};
+  text::TfIdfFeaturizer featurizer(words, corpus);
+  const auto features = featurizer.Featurize({"a", "a", "b"});
+  EXPECT_NEAR(features[0], 2.0f * featurizer.IdfOf(0), 1e-5f);
+  EXPECT_NEAR(features[1], 1.0f * featurizer.IdfOf(1), 1e-5f);
+}
+
+TEST(TfIdfTest, UnseenWordGetsMaxIdf) {
+  text::Vocabulary words;
+  words.AddAll({"seen", "never"});
+  const std::vector<std::vector<std::string>> corpus = {{"seen"}, {"seen"}};
+  text::TfIdfFeaturizer featurizer(words, corpus);
+  // df = 0 -> idf = ln(3/1) + 1, strictly larger than "seen"'s.
+  EXPECT_NEAR(featurizer.IdfOf(words.IdOf("never")), std::log(3.0) + 1.0, 1e-6);
+  EXPECT_GT(featurizer.IdfOf(words.IdOf("never")),
+            featurizer.IdfOf(words.IdOf("seen")));
+}
+
+TEST(TfIdfTest, BatchShape) {
+  text::Vocabulary words;
+  words.AddAll({"x"});
+  text::TfIdfFeaturizer featurizer(words, {{"x"}});
+  const Tensor batch = featurizer.FeaturizeBatch({{"x"}, {}});
+  EXPECT_EQ(batch.rows(), 2u);
+  EXPECT_GT(batch.At(0, 0), 0.0f);
+  EXPECT_EQ(batch.At(1, 0), 0.0f);
+}
+
+// ---- Mutual information ---------------------------------------------------------------
+
+TEST(MutualInformationTest, DiscriminativeWordScoresHigher) {
+  text::ClassWordStats stats(2);
+  for (int i = 0; i < 20; ++i) {
+    stats.AddDocument({"signal", "shared"}, 1);
+    stats.AddDocument({"noise_word", "shared"}, 0);
+  }
+  EXPECT_GT(stats.MutualInformation("signal"),
+            stats.MutualInformation("shared") + 0.1);
+  EXPECT_NEAR(stats.MutualInformation("shared"), 0.0, 1e-9);
+  EXPECT_EQ(stats.MutualInformation("absent"), 0.0);
+}
+
+TEST(MutualInformationTest, PerfectPredictorReachesClassEntropy) {
+  text::ClassWordStats stats(2);
+  for (int i = 0; i < 10; ++i) {
+    stats.AddDocument({"w"}, 1);
+    stats.AddDocument({"other"}, 0);
+  }
+  // I(word; class) = H(class) = ln 2 for a perfect binary predictor.
+  EXPECT_NEAR(stats.MutualInformation("w"), std::log(2.0), 1e-9);
+}
+
+TEST(MutualInformationTest, SelectionPrefersSignalWords) {
+  text::ClassWordStats stats(2);
+  for (int i = 0; i < 30; ++i) {
+    stats.AddDocument({"mi_signal1", "mi_noise"}, 1);
+    stats.AddDocument({"mi_signal0", "mi_noise"}, 0);
+  }
+  const text::Vocabulary selected = stats.SelectTopMutualInformation(2);
+  EXPECT_NE(selected.IdOf("mi_signal1"), text::Vocabulary::kUnknownId);
+  EXPECT_NE(selected.IdOf("mi_signal0"), text::Vocabulary::kUnknownId);
+  EXPECT_EQ(selected.IdOf("mi_noise"), text::Vocabulary::kUnknownId);
+}
+
+// ---- McNemar --------------------------------------------------------------------------
+
+TEST(McNemarTest, IdenticalPredictionsNotSignificant) {
+  const std::vector<int32_t> actual = {0, 1, 0, 1};
+  const std::vector<int32_t> predictions = {0, 1, 1, 1};
+  auto result = eval::McNemarTest(actual, predictions, predictions);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().only_a_correct, 0);
+  EXPECT_DOUBLE_EQ(result.value().p_value, 1.0);
+}
+
+TEST(McNemarTest, StrongAsymmetryIsSignificant) {
+  // A correct on 30 instances where B is wrong; B never uniquely correct.
+  std::vector<int32_t> actual(40, 1);
+  std::vector<int32_t> a(40, 1);
+  std::vector<int32_t> b(40, 1);
+  for (int i = 0; i < 30; ++i) b[i] = 0;
+  auto result = eval::McNemarTest(actual, a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().only_a_correct, 30);
+  EXPECT_EQ(result.value().only_b_correct, 0);
+  EXPECT_LT(result.value().p_value, 0.001);
+}
+
+TEST(McNemarTest, HandComputedStatistic) {
+  // b = 8, c = 2: chi2 = (|8-2|-1)^2 / 10 = 2.5.
+  std::vector<int32_t> actual(10, 1);
+  std::vector<int32_t> a(10, 1);
+  std::vector<int32_t> b(10, 1);
+  for (int i = 0; i < 8; ++i) b[i] = 0;       // A-only correct: 8.
+  std::vector<int32_t> actual2 = actual;
+  // Make 2 B-only-correct rows by flipping A.
+  a[8] = 0;
+  a[9] = 0;
+  auto result = eval::McNemarTest(actual, a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().only_a_correct, 8);
+  EXPECT_EQ(result.value().only_b_correct, 2);
+  EXPECT_NEAR(result.value().statistic, 2.5, 1e-12);
+  EXPECT_NEAR(result.value().p_value,
+              eval::ChiSquare1SurvivalFunction(2.5), 1e-12);
+}
+
+TEST(McNemarTest, RejectsMisalignedInputs) {
+  EXPECT_FALSE(eval::McNemarTest({0, 1}, {0}, {0, 1}).ok());
+  EXPECT_FALSE(eval::McNemarTest({}, {}, {}).ok());
+}
+
+TEST(ChiSquareSurvivalTest, KnownQuantiles) {
+  EXPECT_NEAR(eval::ChiSquare1SurvivalFunction(3.841), 0.05, 2e-3);
+  EXPECT_NEAR(eval::ChiSquare1SurvivalFunction(6.635), 0.01, 1e-3);
+  EXPECT_DOUBLE_EQ(eval::ChiSquare1SurvivalFunction(0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace fkd

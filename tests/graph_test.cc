@@ -1,0 +1,299 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/alias_table.h"
+#include "graph/hetero_graph.h"
+#include "graph/random_walk.h"
+#include "graph/stats.h"
+
+namespace fkd {
+namespace graph {
+namespace {
+
+HeterogeneousGraph MakeSmallGraph() {
+  // 3 articles, 2 creators, 2 subjects.
+  HeterogeneousGraph graph(3, 2, 2);
+  FKD_CHECK_OK(graph.AddEdge(EdgeType::kAuthorship, 0, 0));
+  FKD_CHECK_OK(graph.AddEdge(EdgeType::kAuthorship, 1, 0));
+  FKD_CHECK_OK(graph.AddEdge(EdgeType::kAuthorship, 2, 1));
+  FKD_CHECK_OK(graph.AddEdge(EdgeType::kSubjectIndication, 0, 0));
+  FKD_CHECK_OK(graph.AddEdge(EdgeType::kSubjectIndication, 0, 1));
+  FKD_CHECK_OK(graph.AddEdge(EdgeType::kSubjectIndication, 1, 1));
+  FKD_CHECK_OK(graph.AddEdge(EdgeType::kSubjectIndication, 2, 1));
+  FKD_CHECK_OK(graph.Finalize());
+  return graph;
+}
+
+TEST(HeteroGraphTest, NodeCounts) {
+  const auto graph = MakeSmallGraph();
+  EXPECT_EQ(graph.NumNodes(NodeType::kArticle), 3u);
+  EXPECT_EQ(graph.NumNodes(NodeType::kCreator), 2u);
+  EXPECT_EQ(graph.NumNodes(NodeType::kSubject), 2u);
+  EXPECT_EQ(graph.TotalNodes(), 7u);
+  EXPECT_EQ(graph.NumEdges(EdgeType::kAuthorship), 3u);
+  EXPECT_EQ(graph.NumEdges(EdgeType::kSubjectIndication), 4u);
+}
+
+TEST(HeteroGraphTest, ForwardNeighbors) {
+  const auto graph = MakeSmallGraph();
+  const auto creators = graph.ArticleNeighbors(EdgeType::kAuthorship, 0);
+  ASSERT_EQ(creators.size(), 1u);
+  EXPECT_EQ(creators[0], 0);
+  const auto subjects = graph.ArticleNeighbors(EdgeType::kSubjectIndication, 0);
+  ASSERT_EQ(subjects.size(), 2u);
+  EXPECT_EQ(subjects[0], 0);
+  EXPECT_EQ(subjects[1], 1);
+}
+
+TEST(HeteroGraphTest, ReverseNeighbors) {
+  const auto graph = MakeSmallGraph();
+  const auto articles_of_creator0 =
+      graph.ReverseNeighbors(EdgeType::kAuthorship, 0);
+  ASSERT_EQ(articles_of_creator0.size(), 2u);
+  EXPECT_EQ(articles_of_creator0[0], 0);
+  EXPECT_EQ(articles_of_creator0[1], 1);
+  const auto articles_of_subject1 =
+      graph.ReverseNeighbors(EdgeType::kSubjectIndication, 1);
+  EXPECT_EQ(articles_of_subject1.size(), 3u);
+}
+
+TEST(HeteroGraphTest, GlobalIdRoundTrip) {
+  const auto graph = MakeSmallGraph();
+  EXPECT_EQ(graph.GlobalId(NodeType::kArticle, 2), 2);
+  EXPECT_EQ(graph.GlobalId(NodeType::kCreator, 0), 3);
+  EXPECT_EQ(graph.GlobalId(NodeType::kSubject, 1), 6);
+  for (int32_t g = 0; g < 7; ++g) {
+    const NodeType type = graph.TypeOfGlobal(g);
+    const int32_t local = graph.LocalIndexOfGlobal(g);
+    EXPECT_EQ(graph.GlobalId(type, local), g);
+  }
+}
+
+TEST(HeteroGraphTest, GlobalNeighborsAreSymmetric) {
+  const auto graph = MakeSmallGraph();
+  for (int32_t g = 0; g < 7; ++g) {
+    for (int32_t neighbor : graph.GlobalNeighbors(g)) {
+      const auto back = graph.GlobalNeighbors(neighbor);
+      EXPECT_NE(std::find(back.begin(), back.end(), g), back.end())
+          << g << " <-> " << neighbor;
+    }
+  }
+}
+
+TEST(HeteroGraphTest, GlobalEdgesBothDirections) {
+  const auto graph = MakeSmallGraph();
+  EXPECT_EQ(graph.GlobalEdges().size(), 2u * (3u + 4u));
+}
+
+TEST(HeteroGraphTest, AddEdgeRangeChecks) {
+  HeterogeneousGraph graph(2, 1, 1);
+  EXPECT_EQ(graph.AddEdge(EdgeType::kAuthorship, 5, 0).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(graph.AddEdge(EdgeType::kAuthorship, 0, 3).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(graph.AddEdge(EdgeType::kSubjectIndication, -1, 0).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(HeteroGraphTest, DuplicateEdgeDetectedAtFinalize) {
+  HeterogeneousGraph graph(2, 1, 1);
+  ASSERT_TRUE(graph.AddEdge(EdgeType::kAuthorship, 0, 0).ok());
+  ASSERT_TRUE(graph.AddEdge(EdgeType::kAuthorship, 0, 0).ok());
+  EXPECT_EQ(graph.Finalize().code(), StatusCode::kCorruption);
+}
+
+TEST(HeteroGraphTest, FinalizeTwiceRejected) {
+  HeterogeneousGraph graph(1, 1, 1);
+  ASSERT_TRUE(graph.AddEdge(EdgeType::kAuthorship, 0, 0).ok());
+  ASSERT_TRUE(graph.Finalize().ok());
+  EXPECT_EQ(graph.Finalize().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(graph.AddEdge(EdgeType::kSubjectIndication, 0, 0).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(HeteroGraphTest, IsolatedNodesHaveNoNeighbors) {
+  HeterogeneousGraph graph(2, 2, 2);
+  ASSERT_TRUE(graph.AddEdge(EdgeType::kAuthorship, 0, 0).ok());
+  ASSERT_TRUE(graph.Finalize().ok());
+  EXPECT_TRUE(graph.ArticleNeighbors(EdgeType::kSubjectIndication, 0).empty());
+  EXPECT_TRUE(graph.ReverseNeighbors(EdgeType::kAuthorship, 1).empty());
+  EXPECT_EQ(graph.GlobalDegree(graph.GlobalId(NodeType::kSubject, 0)), 0u);
+}
+
+TEST(NodeTypeTest, Names) {
+  EXPECT_STREQ(NodeTypeName(NodeType::kArticle), "article");
+  EXPECT_STREQ(EdgeTypeName(EdgeType::kSubjectIndication),
+               "subject_indication");
+}
+
+// ---- AliasTable ------------------------------------------------------------------
+
+TEST(AliasTableTest, UniformWeights) {
+  Rng rng(1);
+  AliasTable table({1.0, 1.0, 1.0, 1.0});
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[table.Sample(&rng)];
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(AliasTableTest, SkewedWeights) {
+  Rng rng(2);
+  AliasTable table({8.0, 1.0, 1.0});
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[table.Sample(&rng)];
+  EXPECT_NEAR(counts[0] / 50000.0, 0.8, 0.02);
+  EXPECT_NEAR(counts[1] / 50000.0, 0.1, 0.02);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  Rng rng(3);
+  AliasTable table({0.0, 1.0, 0.0});
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.Sample(&rng), 1u);
+}
+
+TEST(AliasTableTest, SingleEntry) {
+  Rng rng(4);
+  AliasTable table({42.0});
+  EXPECT_EQ(table.Sample(&rng), 0u);
+}
+
+class AliasDistribution : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(AliasDistribution, EmpiricalMatchesTheoretical) {
+  const auto weights = GetParam();
+  double total = 0.0;
+  for (double w : weights) total += w;
+  Rng rng(5);
+  AliasTable table(weights);
+  std::vector<int> counts(weights.size(), 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[table.Sample(&rng)];
+  for (size_t k = 0; k < weights.size(); ++k) {
+    EXPECT_NEAR(counts[k] / static_cast<double>(n), weights[k] / total, 0.015)
+        << "bucket " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, AliasDistribution,
+    ::testing::Values(std::vector<double>{1, 2, 3, 4},
+                      std::vector<double>{100, 1},
+                      std::vector<double>{0.1, 0.1, 0.1, 5.0},
+                      std::vector<double>{1, 1, 1, 1, 1, 1, 1, 1, 1, 1}));
+
+// ---- Random walks ------------------------------------------------------------------
+
+TEST(RandomWalkTest, WalkCountAndLength) {
+  const auto graph = MakeSmallGraph();
+  Rng rng(6);
+  RandomWalkOptions options;
+  options.walks_per_node = 3;
+  options.walk_length = 5;
+  const auto walks = GenerateRandomWalks(graph, options, &rng);
+  EXPECT_EQ(walks.size(), 3u * graph.TotalNodes());
+  for (const auto& walk : walks) {
+    EXPECT_GE(walk.size(), 1u);
+    EXPECT_LE(walk.size(), 5u);
+  }
+}
+
+TEST(RandomWalkTest, StepsFollowEdges) {
+  const auto graph = MakeSmallGraph();
+  Rng rng(7);
+  RandomWalkOptions options;
+  options.walks_per_node = 2;
+  options.walk_length = 6;
+  for (const auto& walk : GenerateRandomWalks(graph, options, &rng)) {
+    for (size_t i = 1; i < walk.size(); ++i) {
+      const auto neighbors = graph.GlobalNeighbors(walk[i - 1]);
+      EXPECT_NE(std::find(neighbors.begin(), neighbors.end(), walk[i]),
+                neighbors.end());
+    }
+  }
+}
+
+TEST(RandomWalkTest, IsolatedNodeGivesSingletonWalk) {
+  HeterogeneousGraph graph(1, 1, 1);
+  FKD_CHECK_OK(graph.AddEdge(EdgeType::kAuthorship, 0, 0));
+  FKD_CHECK_OK(graph.Finalize());
+  Rng rng(8);
+  RandomWalkOptions options;
+  options.walks_per_node = 1;
+  options.walk_length = 4;
+  const auto walks = GenerateRandomWalks(graph, options, &rng);
+  const int32_t isolated = graph.GlobalId(NodeType::kSubject, 0);
+  bool found = false;
+  for (const auto& walk : walks) {
+    if (walk[0] == isolated) {
+      EXPECT_EQ(walk.size(), 1u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(RandomWalkTest, EveryNodeStartsWalks) {
+  const auto graph = MakeSmallGraph();
+  Rng rng(9);
+  RandomWalkOptions options;
+  options.walks_per_node = 1;
+  options.walk_length = 3;
+  const auto walks = GenerateRandomWalks(graph, options, &rng);
+  std::set<int32_t> starts;
+  for (const auto& walk : walks) starts.insert(walk[0]);
+  EXPECT_EQ(starts.size(), graph.TotalNodes());
+}
+
+// ---- stats ------------------------------------------------------------------------
+
+TEST(StatsTest, DegreeHistogramAndFractions) {
+  const std::vector<size_t> degrees = {1, 1, 1, 2, 5};
+  const auto histogram = DegreeHistogram(degrees);
+  EXPECT_EQ(histogram.at(1), 3u);
+  EXPECT_EQ(histogram.at(2), 1u);
+  const auto fractions = DegreeFractionDistribution(degrees);
+  EXPECT_DOUBLE_EQ(fractions.at(1), 0.6);
+}
+
+TEST(StatsTest, PowerLawFitRecoversExponent) {
+  // Sample from a known power law and check MLE recovery. The discrete
+  // (k_min - 0.5) approximation of Clauset et al. is accurate only for
+  // k_min >~ 6, so the fit runs on the tail.
+  Rng rng(10);
+  std::vector<size_t> degrees;
+  for (int i = 0; i < 60000; ++i) {
+    degrees.push_back(rng.PowerLaw(2.5, 1000000));
+  }
+  const auto fit = FitPowerLaw(degrees, /*k_min=*/6);
+  EXPECT_NEAR(fit.alpha, 2.5, 0.15);
+  EXPECT_GT(fit.num_samples, 1000u);
+  EXPECT_LT(fit.num_samples, degrees.size());
+}
+
+TEST(StatsTest, PowerLawFitDegenerate) {
+  EXPECT_EQ(FitPowerLaw({}).num_samples, 0u);
+  EXPECT_EQ(FitPowerLaw({1}).num_samples, 1u);
+  EXPECT_EQ(FitPowerLaw({1}).alpha, 0.0);
+}
+
+TEST(StatsTest, SummarizeDegrees) {
+  const auto summary = SummarizeDegrees({4, 1, 3, 2});
+  EXPECT_EQ(summary.min, 1u);
+  EXPECT_EQ(summary.max, 4u);
+  EXPECT_DOUBLE_EQ(summary.mean, 2.5);
+  EXPECT_DOUBLE_EQ(summary.median, 2.5);
+  const auto odd = SummarizeDegrees({5, 1, 3});
+  EXPECT_DOUBLE_EQ(odd.median, 3.0);
+}
+
+TEST(StatsTest, SummarizeEmpty) {
+  const auto summary = SummarizeDegrees({});
+  EXPECT_EQ(summary.max, 0u);
+  EXPECT_DOUBLE_EQ(summary.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace fkd

@@ -1,0 +1,131 @@
+#include "data/liar.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace fkd {
+namespace data {
+namespace {
+
+std::string WriteFixture(const std::string& name, const std::string& body) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / name).string();
+  std::ofstream(path) << body;
+  return path;
+}
+
+constexpr char kGoodRows[] =
+    "1.json\ttrue\tIncome tax revenue grew last year\teconomy,taxes\t"
+    "alice\tsenator\tohio\tdemocrat\t1\t2\t3\t4\t5\ta speech\n"
+    "2.json\tfalse\tSecret gun hoax spreads online\tguns\tbob\tblogger\t"
+    "texas\trepublican\t0\t0\t0\t0\t0\tfacebook post\n"
+    "3.json\tbarely-true\tTaxes doubled overnight they said\ttaxes\t"
+    "alice\tsenator\tohio\tdemocrat\t1\t2\t3\t4\t5\tdebate\n";
+
+TEST(LiarLabelTest, AllSixTokens) {
+  EXPECT_EQ(LiarLabelFromToken("pants-fire").value(),
+            CredibilityLabel::kPantsOnFire);
+  EXPECT_EQ(LiarLabelFromToken("false").value(), CredibilityLabel::kFalse);
+  EXPECT_EQ(LiarLabelFromToken("barely-true").value(),
+            CredibilityLabel::kMostlyFalse);
+  EXPECT_EQ(LiarLabelFromToken("half-true").value(),
+            CredibilityLabel::kHalfTrue);
+  EXPECT_EQ(LiarLabelFromToken("mostly-true").value(),
+            CredibilityLabel::kMostlyTrue);
+  EXPECT_EQ(LiarLabelFromToken("true").value(), CredibilityLabel::kTrue);
+  EXPECT_FALSE(LiarLabelFromToken("sorta-true").ok());
+}
+
+TEST(LiarImportTest, ParsesEntitiesAndLinks) {
+  const std::string path = WriteFixture("fkd_liar_good.tsv", kGoodRows);
+  auto result = LoadLiarDataset(path);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const Dataset& dataset = result.value();
+
+  ASSERT_EQ(dataset.articles.size(), 3u);
+  ASSERT_EQ(dataset.creators.size(), 2u);  // alice, bob interned once.
+  ASSERT_EQ(dataset.subjects.size(), 3u);  // economy, taxes, guns.
+
+  EXPECT_EQ(dataset.articles[0].label, CredibilityLabel::kTrue);
+  EXPECT_EQ(dataset.articles[0].text, "Income tax revenue grew last year");
+  EXPECT_EQ(dataset.articles[0].subjects.size(), 2u);
+  EXPECT_EQ(dataset.articles[2].label, CredibilityLabel::kMostlyFalse);
+  // Articles 0 and 2 share creator alice.
+  EXPECT_EQ(dataset.articles[0].creator, dataset.articles[2].creator);
+  EXPECT_EQ(dataset.creators[dataset.articles[0].creator].name, "alice");
+  EXPECT_EQ(dataset.creators[dataset.articles[0].creator].profile,
+            "senator ohio democrat");
+
+  // Creator labels derived via the weighted-mean rule: alice wrote
+  // True (6) + Mostly False (3) -> mean 4.5 -> rounds via 4 or 5?
+  // std::round(4.5) = 5 -> Mostly True.
+  EXPECT_EQ(dataset.creators[dataset.articles[0].creator].label,
+            CredibilityLabel::kMostlyTrue);
+  EXPECT_EQ(dataset.creators[dataset.articles[1].creator].label,
+            CredibilityLabel::kFalse);
+
+  // The dataset is graph-ready.
+  EXPECT_TRUE(dataset.BuildGraph().ok());
+  std::filesystem::remove(path);
+}
+
+TEST(LiarImportTest, DeduplicatesSubjectsWithinRow) {
+  const std::string path = WriteFixture(
+      "fkd_liar_dup.tsv",
+      "1.json\ttrue\tsome words here\tTaxes, taxes ,ECONOMY\tcara\tjob\t"
+      "state\tparty\t0\t0\t0\t0\t0\tctx\n");
+  auto result = LoadLiarDataset(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().subjects.size(), 2u);
+  EXPECT_EQ(result.value().articles[0].subjects.size(), 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(LiarImportTest, MalformedRowsAreCorruption) {
+  const std::string path = WriteFixture(
+      "fkd_liar_bad.tsv",
+      "1.json\tkinda-true\ttext\tsubj\twho\tj\ts\tp\t0\t0\t0\t0\t0\tctx\n");
+  EXPECT_EQ(LoadLiarDataset(path).status().code(), StatusCode::kCorruption);
+
+  std::ofstream(path) << "1.json\ttrue\t\tsubj\twho\tj\ts\tp\n";  // No text.
+  EXPECT_EQ(LoadLiarDataset(path).status().code(), StatusCode::kCorruption);
+
+  std::ofstream(path) << "only\tthree\tcolumns\n";
+  EXPECT_EQ(LoadLiarDataset(path).status().code(), StatusCode::kCorruption);
+  std::filesystem::remove(path);
+}
+
+TEST(LiarImportTest, SkipBadRowsDropsInsteadOfFailing) {
+  const std::string path = WriteFixture(
+      "fkd_liar_mixed.tsv",
+      std::string("bad\tnot-a-label\ttext\tsubj\twho\tj\ts\tp\t0\t0\t0\t0\t0\tc\n") +
+          kGoodRows);
+  LiarImportOptions options;
+  options.skip_bad_rows = true;
+  auto result = LoadLiarDataset(path, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().articles.size(), 3u);
+  std::filesystem::remove(path);
+}
+
+TEST(LiarImportTest, MissingFileIsIoError) {
+  EXPECT_EQ(LoadLiarDataset("/no/such/liar.tsv").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(LiarImportTest, AllBadRowsIsCorruptionEvenWhenSkipping) {
+  const std::string path = WriteFixture(
+      "fkd_liar_allbad.tsv",
+      "x\tnope\ttext\tsubj\twho\tj\ts\tp\t0\t0\t0\t0\t0\tc\n");
+  LiarImportOptions options;
+  options.skip_bad_rows = true;
+  EXPECT_EQ(LoadLiarDataset(path, options).status().code(),
+            StatusCode::kCorruption);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace fkd

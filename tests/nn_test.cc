@@ -1,0 +1,388 @@
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "nn/init.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "tests/test_util.h"
+
+namespace fkd {
+namespace {
+
+namespace ag = ::fkd::autograd;
+using ::fkd::testing::ExpectGradientsMatch;
+using ::fkd::testing::RandomTensor;
+using ::fkd::testing::WeightedSum;
+
+// ---- init --------------------------------------------------------------------
+
+TEST(InitTest, XavierBounds) {
+  Rng rng(1);
+  const Tensor w = nn::XavierUniform(100, 50, &rng);
+  const float bound = std::sqrt(6.0f / 150.0f);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_GE(w[i], -bound);
+    EXPECT_LE(w[i], bound);
+  }
+}
+
+TEST(InitTest, HeNormalVariance) {
+  Rng rng(2);
+  const Tensor w = nn::HeNormal(200, 100, &rng);
+  double sum_sq = 0.0;
+  for (size_t i = 0; i < w.size(); ++i) sum_sq += w[i] * w[i];
+  EXPECT_NEAR(sum_sq / w.size(), 2.0 / 200.0, 2e-3);
+}
+
+// ---- Linear ------------------------------------------------------------------
+
+TEST(LinearTest, ForwardMatchesManual) {
+  Rng rng(3);
+  nn::Linear linear(2, 2, &rng);
+  // Overwrite weights deterministically.
+  std::vector<nn::NamedParameter> params;
+  linear.CollectParameters("lin", &params);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].name, "lin/weight");
+  EXPECT_EQ(params[1].name, "lin/bias");
+  params[0].variable.mutable_value() = Tensor::FromRows({{1, 2}, {3, 4}});
+  params[1].variable.mutable_value() = Tensor::FromRows({{10, 20}});
+
+  ag::Variable x(Tensor::FromRows({{1, 1}}), false);
+  const Tensor y = linear.Forward(x).value();
+  EXPECT_TRUE(y.AllClose(Tensor::FromRows({{14, 26}})));
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(4);
+  nn::Linear linear(3, 2, &rng, /*with_bias=*/false);
+  std::vector<nn::NamedParameter> params;
+  linear.CollectParameters("", &params);
+  EXPECT_EQ(params.size(), 1u);
+  EXPECT_EQ(params[0].name, "weight");
+}
+
+TEST(LinearTest, GradCheckThroughLayer) {
+  Rng rng(5);
+  nn::Linear linear(3, 2, &rng);
+  ExpectGradientsMatch(
+      [&linear](const std::vector<ag::Variable>& leaves) {
+        return WeightedSum(ag::Tanh(linear.Forward(leaves[0])));
+      },
+      {RandomTensor(4, 3, 6, 0.5f)});
+}
+
+// ---- Embedding ----------------------------------------------------------------
+
+TEST(EmbeddingTest, LookupRowsMatchTable) {
+  Rng rng(7);
+  nn::Embedding embedding(5, 3, &rng);
+  const Tensor& table = embedding.table().value();
+  const Tensor out = embedding.Forward({4, 0, 4}).value();
+  EXPECT_EQ(out.rows(), 3u);
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(out.At(0, c), table.At(4, c));
+    EXPECT_EQ(out.At(1, c), table.At(0, c));
+    EXPECT_EQ(out.At(2, c), table.At(4, c));
+  }
+}
+
+// ---- GruCell ------------------------------------------------------------------
+
+TEST(GruCellTest, StepShapesAndRange) {
+  Rng rng(8);
+  nn::GruCell cell(4, 3, &rng);
+  ag::Variable x(RandomTensor(5, 4, 9), false);
+  ag::Variable h = cell.InitialState(5);
+  const ag::Variable h1 = cell.Step(x, h);
+  EXPECT_EQ(h1.value().rows(), 5u);
+  EXPECT_EQ(h1.value().cols(), 3u);
+  // GRU state is a convex-ish mix of tanh values: bounded by 1.
+  EXPECT_LE(h1.value().MaxAbs(), 1.0f);
+}
+
+TEST(GruCellTest, ParameterCount) {
+  Rng rng(10);
+  nn::GruCell cell(4, 3, &rng);
+  std::vector<nn::NamedParameter> params;
+  cell.CollectParameters("gru", &params);
+  // 3 input linears (weight+bias) + 3 hidden linears (weight only).
+  EXPECT_EQ(params.size(), 9u);
+}
+
+TEST(GruCellTest, GradCheckTwoSteps) {
+  Rng rng(11);
+  nn::GruCell cell(2, 3, &rng);
+  ExpectGradientsMatch(
+      [&cell](const std::vector<ag::Variable>& leaves) {
+        ag::Variable h = cell.InitialState(2);
+        h = cell.Step(leaves[0], h);
+        h = cell.Step(leaves[1], h);
+        return WeightedSum(h);
+      },
+      {RandomTensor(2, 2, 12, 0.5f), RandomTensor(2, 2, 13, 0.5f)});
+}
+
+// ---- GruEncoder ----------------------------------------------------------------
+
+TEST(GruEncoderTest, PaddingLeavesStateUnchanged) {
+  Rng rng(14);
+  nn::GruEncoder encoder(10, 4, 3, &rng, nn::SequencePooling::kLastState);
+  // Sequence B is a prefix of sequence A; after A's extra step B's state
+  // must equal its own final state (padding no-ops).
+  const std::vector<std::vector<int32_t>> both = {{1, 2, 3}, {1, 2, -1}};
+  const std::vector<std::vector<int32_t>> prefix = {{1, 2}};
+  const Tensor with_pad = encoder.Forward(both, 3).value();
+  const Tensor alone = encoder.Forward(prefix, 2).value();
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(with_pad.At(1, c), alone.At(0, c), 1e-6f);
+  }
+}
+
+TEST(GruEncoderTest, SumPoolingSkipsPaddedSteps) {
+  Rng rng(15);
+  nn::GruEncoder encoder(10, 4, 3, &rng, nn::SequencePooling::kSumStates);
+  const Tensor padded = encoder.Forward({{5, -1, -1}}, 3).value();
+  const Tensor exact = encoder.Forward({{5}}, 1).value();
+  EXPECT_TRUE(padded.AllClose(exact, 1e-6f));
+}
+
+TEST(GruEncoderTest, AllEmptySequencesYieldZeroState) {
+  Rng rng(16);
+  nn::GruEncoder encoder(10, 4, 3, &rng, nn::SequencePooling::kLastState);
+  const Tensor out = encoder.Forward({{-1, -1}, {-1, -1}}, 2).value();
+  EXPECT_EQ(out.MaxAbs(), 0.0f);
+}
+
+TEST(GruEncoderTest, NumericGradientOfEmbeddingTable) {
+  // Gradcheck through the whole encoder w.r.t. its internal embedding
+  // table: perturb the parameter in place and compare finite differences
+  // against the analytic gradient from Backward().
+  Rng rng(17);
+  nn::GruEncoder encoder(6, 3, 2, &rng, nn::SequencePooling::kSumStates);
+  std::vector<nn::NamedParameter> params;
+  encoder.CollectParameters("", &params);
+  ASSERT_EQ(params[0].name, "embedding/table");
+  ag::Variable table = params[0].variable;
+  const std::vector<std::vector<int32_t>> sequences = {{0, 1, 2}, {3, -1, -1}};
+
+  auto loss_value = [&]() {
+    return WeightedSum(encoder.Forward(sequences, 3)).scalar();
+  };
+  table.ZeroGrad();
+  ag::Backward(WeightedSum(encoder.Forward(sequences, 3)));
+  const Tensor analytic = table.grad();
+
+  const float eps = 5e-3f;
+  for (size_t i = 0; i < 8; ++i) {  // Spot-check the first rows.
+    const float saved = table.value()[i];
+    table.mutable_value()[i] = saved + eps;
+    const float up = loss_value();
+    table.mutable_value()[i] = saved - eps;
+    const float down = loss_value();
+    table.mutable_value()[i] = saved;
+    const float numeric = (up - down) / (2.0f * eps);
+    const float scale = std::max({1.0f, std::fabs(numeric)});
+    EXPECT_NEAR(analytic[i], numeric, 5e-2f * scale) << "entry " << i;
+  }
+}
+
+TEST(GruEncoderTest, LossDecreasesWhenTrained) {
+  // Sanity: a GRU classifier separates two token patterns.
+  Rng rng(18);
+  nn::GruEncoder encoder(4, 4, 4, &rng, nn::SequencePooling::kLastState);
+  nn::Linear head(4, 2, &rng);
+  std::vector<ag::Variable> params;
+  {
+    std::vector<nn::NamedParameter> named;
+    encoder.CollectParameters("e", &named);
+    head.CollectParameters("h", &named);
+    for (auto& p : named) params.push_back(p.variable);
+  }
+  nn::Adam optimizer(params, 0.05f);
+  const std::vector<std::vector<int32_t>> sequences = {
+      {0, 1, 0}, {1, 0, 1}, {2, 3, 2}, {3, 2, 3}};
+  const std::vector<int32_t> labels = {0, 0, 1, 1};
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    optimizer.ZeroGrad();
+    ag::Variable loss = ag::SoftmaxCrossEntropy(
+        head.Forward(encoder.Forward(sequences, 3)), labels);
+    ag::Backward(loss);
+    optimizer.Step();
+    if (epoch == 0) first_loss = loss.scalar();
+    last_loss = loss.scalar();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5f);
+}
+
+// ---- optimizers -----------------------------------------------------------------
+
+class OptimizerConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerConvergence, MinimisesQuadratic) {
+  // loss = sum((x - 3)^2); optimum x = 3.
+  ag::Variable x(Tensor::Full(2, 2, 10.0f), true);
+  ag::Variable target(Tensor::Full(2, 2, 3.0f), false);
+  std::unique_ptr<nn::Optimizer> optimizer;
+  switch (GetParam()) {
+    case 0:
+      optimizer = std::make_unique<nn::Sgd>(
+          std::vector<ag::Variable>{x}, 0.05f);
+      break;
+    case 1:
+      optimizer = std::make_unique<nn::Sgd>(
+          std::vector<ag::Variable>{x}, 0.02f, 0.9f);
+      break;
+    case 2:
+      optimizer = std::make_unique<nn::Adam>(
+          std::vector<ag::Variable>{x}, 0.3f);
+      break;
+    default:
+      optimizer = std::make_unique<nn::AdaGrad>(
+          std::vector<ag::Variable>{x}, 2.0f);
+      break;
+  }
+  for (int step = 0; step < 200; ++step) {
+    optimizer->ZeroGrad();
+    ag::Backward(ag::SumSquares(ag::Sub(x, target)));
+    optimizer->Step();
+  }
+  for (size_t i = 0; i < x.value().size(); ++i) {
+    EXPECT_NEAR(x.value()[i], 3.0f, 0.05f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOptimizers, OptimizerConvergence,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(OptimizerTest, WeightDecayShrinksWeights) {
+  ag::Variable x(Tensor::Full(1, 4, 1.0f), true);
+  nn::Sgd sgd({x}, 0.1f, 0.0f, /*weight_decay=*/0.5f);
+  // Zero gradient: only decay acts.
+  sgd.ZeroGrad();
+  ag::Backward(ag::Scale(ag::SumSquares(ag::Scale(x, 0.0f)), 1.0f));
+  sgd.Step();
+  EXPECT_NEAR(x.value()[0], 1.0f - 0.1f * 0.5f, 1e-5f);
+}
+
+TEST(OptimizerTest, SkipsNeverUsedParameters) {
+  ag::Variable used(Tensor::Full(1, 1, 1.0f), true);
+  ag::Variable unused(Tensor::Full(1, 1, 5.0f), true);
+  nn::Adam adam({used, unused}, 0.1f);
+  adam.ZeroGrad();
+  ag::Backward(ag::SumSquares(used));
+  adam.Step();
+  EXPECT_EQ(unused.value()[0], 5.0f);
+  EXPECT_NE(used.value()[0], 1.0f);
+}
+
+TEST(ClipGradTest, ScalesDownLargeGradients) {
+  ag::Variable x(Tensor::Full(1, 4, 10.0f), true);
+  ag::Backward(ag::SumSquares(x));  // grad = 20 each; norm = 40.
+  const float before = nn::ClipGradNorm({x}, 1.0f);
+  EXPECT_NEAR(before, 40.0f, 1e-3f);
+  double norm_sq = 0.0;
+  for (size_t i = 0; i < 4; ++i) norm_sq += x.grad()[i] * x.grad()[i];
+  EXPECT_NEAR(std::sqrt(norm_sq), 1.0f, 1e-4f);
+}
+
+TEST(ClipGradTest, LeavesSmallGradientsAlone) {
+  ag::Variable x(Tensor::Full(1, 2, 0.01f), true);
+  ag::Backward(ag::SumSquares(x));
+  const Tensor grad_before = x.grad();
+  nn::ClipGradNorm({x}, 10.0f);
+  EXPECT_TRUE(x.grad().AllClose(grad_before));
+}
+
+// ---- serialization ----------------------------------------------------------------
+
+class TwoLayer : public nn::Module {
+ public:
+  explicit TwoLayer(Rng* rng) : a_(3, 4, rng), b_(4, 2, rng) {}
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParameter>* out) const override {
+    a_.CollectParameters(nn::JoinName(prefix, "a"), out);
+    b_.CollectParameters(nn::JoinName(prefix, "b"), out);
+  }
+  nn::Linear a_;
+  nn::Linear b_;
+};
+
+TEST(SerializeTest, RoundTripRestoresValues) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "fkd_weights_test.bin";
+  Rng rng1(20);
+  TwoLayer original(&rng1);
+  ASSERT_TRUE(nn::SaveParameters(original, path).ok());
+
+  Rng rng2(999);
+  TwoLayer restored(&rng2);
+  ASSERT_FALSE(
+      restored.Parameters()[0].value().AllClose(original.Parameters()[0].value()));
+  ASSERT_TRUE(nn::LoadParameters(&restored, path).ok());
+  const auto original_params = original.Parameters();
+  const auto restored_params = restored.Parameters();
+  ASSERT_EQ(original_params.size(), restored_params.size());
+  for (size_t i = 0; i < original_params.size(); ++i) {
+    EXPECT_TRUE(restored_params[i].value() == original_params[i].value());
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, MissingFileIsIoError) {
+  Rng rng(21);
+  TwoLayer module(&rng);
+  EXPECT_EQ(nn::LoadParameters(&module, "/nonexistent/dir/w.bin").code(),
+            StatusCode::kIoError);
+}
+
+TEST(SerializeTest, CorruptMagicDetected) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "fkd_corrupt_test.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    const char junk[16] = "not a weights f";
+    std::fwrite(junk, 1, sizeof(junk), f);
+    std::fclose(f);
+  }
+  Rng rng(22);
+  TwoLayer module(&rng);
+  EXPECT_EQ(nn::LoadParameters(&module, path).code(), StatusCode::kCorruption);
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, ParameterCountMismatchRejected) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "fkd_mismatch_test.bin";
+  Rng rng(23);
+  TwoLayer big(&rng);
+  ASSERT_TRUE(nn::SaveParameters(big, path).ok());
+
+  class OneLayer : public nn::Module {
+   public:
+    explicit OneLayer(Rng* rng) : a_(3, 4, rng) {}
+    void CollectParameters(const std::string& prefix,
+                           std::vector<nn::NamedParameter>* out) const override {
+      a_.CollectParameters(nn::JoinName(prefix, "a"), out);
+    }
+    nn::Linear a_;
+  };
+  OneLayer small(&rng);
+  EXPECT_EQ(nn::LoadParameters(&small, path).code(),
+            StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(ModuleTest, ParameterCountSumsSizes) {
+  Rng rng(24);
+  TwoLayer module(&rng);
+  // a: 3*4 + 4; b: 4*2 + 2.
+  EXPECT_EQ(module.ParameterCount(), 12u + 4u + 8u + 2u);
+}
+
+}  // namespace
+}  // namespace fkd

@@ -1,0 +1,113 @@
+#include "nn/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "nn/optimizer.h"
+
+namespace fkd {
+namespace nn {
+namespace {
+
+TEST(ConstantScheduleTest, AlwaysSameRate) {
+  ConstantSchedule schedule(0.01f);
+  EXPECT_FLOAT_EQ(schedule.LearningRateAt(0), 0.01f);
+  EXPECT_FLOAT_EQ(schedule.LearningRateAt(10000), 0.01f);
+}
+
+TEST(LinearDecayScheduleTest, InterpolatesAndClamps) {
+  LinearDecaySchedule schedule(1.0f, 0.1f, 10);
+  EXPECT_FLOAT_EQ(schedule.LearningRateAt(0), 1.0f);
+  EXPECT_NEAR(schedule.LearningRateAt(5), 0.55f, 1e-6f);
+  EXPECT_FLOAT_EQ(schedule.LearningRateAt(10), 0.1f);
+  EXPECT_FLOAT_EQ(schedule.LearningRateAt(999), 0.1f);
+}
+
+TEST(LinearDecayScheduleTest, MonotoneNonIncreasing) {
+  LinearDecaySchedule schedule(0.025f, 0.0001f, 100);
+  float previous = schedule.LearningRateAt(0);
+  for (size_t step = 1; step <= 120; ++step) {
+    const float rate = schedule.LearningRateAt(step);
+    EXPECT_LE(rate, previous + 1e-9f);
+    previous = rate;
+  }
+}
+
+TEST(StepDecayScheduleTest, Staircase) {
+  StepDecaySchedule schedule(1.0f, 0.5f, 10);
+  EXPECT_FLOAT_EQ(schedule.LearningRateAt(0), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.LearningRateAt(9), 1.0f);
+  EXPECT_FLOAT_EQ(schedule.LearningRateAt(10), 0.5f);
+  EXPECT_FLOAT_EQ(schedule.LearningRateAt(25), 0.25f);
+}
+
+TEST(WarmupLinearScheduleTest, WarmsUpThenDecays) {
+  WarmupLinearSchedule schedule(1.0f, 10, 110);
+  EXPECT_LT(schedule.LearningRateAt(0), schedule.LearningRateAt(5));
+  EXPECT_NEAR(schedule.LearningRateAt(9), 1.0f, 1e-6f);
+  EXPECT_GT(schedule.LearningRateAt(10), schedule.LearningRateAt(60));
+  // Floor at peak / 100.
+  EXPECT_FLOAT_EQ(schedule.LearningRateAt(100000), 0.01f);
+}
+
+TEST(ScheduleWithOptimizerTest, DecayedSgdStillConverges) {
+  autograd::Variable x(Tensor::Full(1, 2, 10.0f), true);
+  autograd::Variable target(Tensor::Full(1, 2, 3.0f), false);
+  Sgd sgd({x}, 0.1f);
+  LinearDecaySchedule schedule(0.1f, 0.001f, 200);
+  for (size_t step = 0; step < 200; ++step) {
+    sgd.set_learning_rate(schedule.LearningRateAt(step));
+    sgd.ZeroGrad();
+    autograd::Backward(autograd::SumSquares(autograd::Sub(x, target)));
+    sgd.Step();
+  }
+  EXPECT_NEAR(x.value()[0], 3.0f, 0.05f);
+}
+
+// ---- Gemv -------------------------------------------------------------------
+
+TEST(GemvTest, PlainMatVec) {
+  const Tensor a = Tensor::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  const Tensor x = Tensor::FromVector({1.0f, -1.0f});
+  Tensor y = Tensor::FromVector({0.0f, 0.0f, 0.0f});
+  Gemv(false, 1.0f, a, x, 0.0f, &y);
+  EXPECT_FLOAT_EQ(y[0], -1.0f);
+  EXPECT_FLOAT_EQ(y[1], -1.0f);
+  EXPECT_FLOAT_EQ(y[2], -1.0f);
+}
+
+TEST(GemvTest, TransposedMatVec) {
+  const Tensor a = Tensor::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  const Tensor x = Tensor::FromVector({1.0f, 1.0f, 1.0f});
+  Tensor y = Tensor::FromVector({0.0f, 0.0f});
+  Gemv(true, 1.0f, a, x, 0.0f, &y);
+  EXPECT_FLOAT_EQ(y[0], 9.0f);
+  EXPECT_FLOAT_EQ(y[1], 12.0f);
+}
+
+TEST(GemvTest, AlphaBetaAccumulate) {
+  const Tensor a = Tensor::FromRows({{2}});
+  const Tensor x = Tensor::FromVector({3.0f});
+  Tensor y = Tensor::FromVector({10.0f});
+  Gemv(false, 2.0f, a, x, 0.5f, &y);
+  EXPECT_FLOAT_EQ(y[0], 0.5f * 10.0f + 2.0f * 6.0f);
+}
+
+TEST(GemvTest, MatchesGemmOnColumnVector) {
+  Rng rng(1);
+  const Tensor a = Tensor::Randn(7, 5, &rng);
+  const Tensor x_column = Tensor::Randn(5, 1, &rng);
+  const Tensor x = x_column.Reshape({5});
+  Tensor y(std::vector<size_t>{7});
+  Gemv(false, 1.0f, a, x, 0.0f, &y);
+  const Tensor expected = MatMul(a, x_column);
+  for (size_t i = 0; i < 7; ++i) {
+    EXPECT_NEAR(y[i], expected.At(i, 0), 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace fkd

@@ -1,0 +1,133 @@
+#include "tensor/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace fkd {
+namespace {
+
+namespace ag = ::fkd::autograd;
+
+TEST(CsrMatrixTest, EmptyMatrix) {
+  CsrMatrix csr;
+  EXPECT_EQ(csr.rows(), 0u);
+  EXPECT_EQ(csr.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(csr.Density(), 0.0);
+}
+
+TEST(CsrMatrixTest, FromTripletsBasic) {
+  auto csr = CsrMatrix::FromTriplets(
+      3, 4, {{0, 1, 2.0f}, {2, 3, -1.0f}, {0, 0, 1.0f}});
+  EXPECT_EQ(csr.nnz(), 3u);
+  const Tensor dense = csr.ToDense();
+  EXPECT_EQ(dense.At(0, 0), 1.0f);
+  EXPECT_EQ(dense.At(0, 1), 2.0f);
+  EXPECT_EQ(dense.At(2, 3), -1.0f);
+  EXPECT_EQ(dense.At(1, 2), 0.0f);
+}
+
+TEST(CsrMatrixTest, DuplicateTripletsSum) {
+  auto csr = CsrMatrix::FromTriplets(2, 2, {{0, 0, 1.0f}, {0, 0, 2.5f}});
+  EXPECT_EQ(csr.nnz(), 1u);
+  EXPECT_EQ(csr.ToDense().At(0, 0), 3.5f);
+}
+
+TEST(CsrMatrixTest, CancellingDuplicatesDropped) {
+  auto csr = CsrMatrix::FromTriplets(2, 2, {{1, 1, 2.0f}, {1, 1, -2.0f}});
+  EXPECT_EQ(csr.nnz(), 0u);
+}
+
+TEST(CsrMatrixTest, FromDenseRoundTrip) {
+  const Tensor dense = Tensor::FromRows({{0, 1, 0}, {2, 0, 3}, {0, 0, 0}});
+  const CsrMatrix csr = CsrMatrix::FromDense(dense);
+  EXPECT_EQ(csr.nnz(), 3u);
+  EXPECT_TRUE(csr.ToDense() == dense);
+  EXPECT_NEAR(csr.Density(), 3.0 / 9.0, 1e-12);
+}
+
+TEST(CsrMatrixTest, FromDenseEpsilonThreshold) {
+  const Tensor dense = Tensor::FromRows({{0.001f, 1.0f}});
+  EXPECT_EQ(CsrMatrix::FromDense(dense, 0.01f).nnz(), 1u);
+}
+
+TEST(CsrMatrixTest, RowAccessors) {
+  auto csr = CsrMatrix::FromTriplets(2, 5, {{0, 4, 9.0f}, {0, 1, 7.0f}});
+  const auto indices = csr.RowIndices(0);
+  ASSERT_EQ(indices.size(), 2u);
+  EXPECT_EQ(indices[0], 1);  // Sorted within the row.
+  EXPECT_EQ(indices[1], 4);
+  EXPECT_EQ(csr.RowValues(0)[0], 7.0f);
+  EXPECT_TRUE(csr.RowIndices(1).empty());
+}
+
+TEST(CsrMatrixTest, MatMulMatchesDense) {
+  Rng rng(1);
+  Tensor dense_a = Tensor::Randn(6, 8, &rng);
+  // Sparsify ~70%.
+  for (size_t i = 0; i < dense_a.size(); ++i) {
+    if (rng.Uniform() < 0.7) dense_a[i] = 0.0f;
+  }
+  const CsrMatrix sparse_a = CsrMatrix::FromDense(dense_a);
+  const Tensor b = Tensor::Randn(8, 5, &rng);
+  EXPECT_TRUE(sparse_a.MatMul(b).AllClose(MatMul(dense_a, b), 1e-4f));
+}
+
+TEST(CsrMatrixTest, TransposedMatMulMatchesDense) {
+  Rng rng(2);
+  Tensor dense_a = Tensor::Randn(6, 4, &rng);
+  for (size_t i = 0; i < dense_a.size(); ++i) {
+    if (rng.Uniform() < 0.6) dense_a[i] = 0.0f;
+  }
+  const CsrMatrix sparse_a = CsrMatrix::FromDense(dense_a);
+  const Tensor b = Tensor::Randn(6, 3, &rng);
+  Tensor expected(4, 3);
+  Gemm(true, false, 1.0f, dense_a, b, 0.0f, &expected);
+  EXPECT_TRUE(sparse_a.TransposedMatMul(b).AllClose(expected, 1e-4f));
+}
+
+TEST(SparseMatMulOpTest, ForwardMatchesDense) {
+  const Tensor dense_s = Tensor::FromRows({{1, 0}, {0, 2}, {3, 0}});
+  const CsrMatrix sparse = CsrMatrix::FromDense(dense_s);
+  ag::Variable x(Tensor::FromRows({{1, 1}, {2, 2}}), false);
+  EXPECT_TRUE(SparseMatMul(sparse, x).value().AllClose(
+      MatMul(dense_s, x.value())));
+}
+
+TEST(SparseMatMulOpTest, GradCheck) {
+  Rng rng(3);
+  Tensor dense_s = Tensor::Randn(5, 4, &rng);
+  for (size_t i = 0; i < dense_s.size(); ++i) {
+    if (rng.Uniform() < 0.5) dense_s[i] = 0.0f;
+  }
+  const CsrMatrix sparse = CsrMatrix::FromDense(dense_s);
+  testing::ExpectGradientsMatch(
+      [&sparse](const std::vector<ag::Variable>& leaves) {
+        return testing::WeightedSum(ag::Tanh(SparseMatMul(sparse, leaves[0])));
+      },
+      {testing::RandomTensor(4, 3, 4, 0.5f)});
+}
+
+TEST(SparseMatMulOpTest, NoGradLeafStaysGradless) {
+  const CsrMatrix sparse =
+      CsrMatrix::FromDense(Tensor::FromRows({{1.0f}}));
+  ag::Variable x(Tensor::FromRows({{2.0f}}), false);
+  ag::Variable y = SparseMatMul(sparse, x);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(CustomOpTest, BackwardClosureRuns) {
+  // MakeCustomOp is the public extension point; verify a trivial identity
+  // op propagates gradient through the custom closure.
+  ag::Variable x(Tensor::FromRows({{3.0f}}), true);
+  auto xn = x.node();
+  ag::Variable y = ag::MakeCustomOp(
+      x.value(), {x}, "identity",
+      [xn](ag::Node& node) { xn->AccumulateGrad(node.grad()); });
+  ag::Backward(ag::SumSquares(y));
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+}
+
+}  // namespace
+}  // namespace fkd

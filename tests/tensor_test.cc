@@ -1,0 +1,270 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+#include "tests/test_util.h"
+
+namespace fkd {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0u);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TensorTest, Rank2ConstructionZeroInitialises) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FullAndOnes) {
+  Tensor full = Tensor::Full(2, 2, 3.5f);
+  EXPECT_EQ(full.At(1, 1), 3.5f);
+  Tensor ones = Tensor::Ones(2, 3);
+  EXPECT_EQ(ones.Sum(), 6.0f);
+}
+
+TEST(TensorTest, FromVectorIsRank1) {
+  Tensor t = Tensor::FromVector({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.rank(), 1u);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[2], 3.0f);
+}
+
+TEST(TensorTest, FromRowsLaysOutRowMajor) {
+  Tensor t = Tensor::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.At(0, 2), 3.0f);
+  EXPECT_EQ(t.At(1, 0), 4.0f);
+  EXPECT_EQ(t[4], 5.0f);
+}
+
+TEST(TensorTest, AtReadWrite) {
+  Tensor t(2, 2);
+  t.At(0, 1) = 7.0f;
+  EXPECT_EQ(t.At(0, 1), 7.0f);
+  EXPECT_EQ(t[1], 7.0f);
+}
+
+TEST(TensorTest, RowPointerIsContiguous) {
+  Tensor t = Tensor::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(t.Row(1)[0], 3.0f);
+  EXPECT_EQ(t.Row(1)[1], 4.0f);
+}
+
+TEST(TensorTest, FillAndSetZero) {
+  Tensor t(2, 2);
+  t.Fill(2.0f);
+  EXPECT_EQ(t.Sum(), 8.0f);
+  t.SetZero();
+  EXPECT_EQ(t.Sum(), 0.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromRows({{1, 2, 3, 4}});
+  Tensor r = t.Reshape({2, 2});
+  EXPECT_EQ(r.At(1, 0), 3.0f);
+}
+
+TEST(TensorTest, TransposedSwapsIndices) {
+  Tensor t = Tensor::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Tensor tt = t.Transposed();
+  EXPECT_EQ(tt.rows(), 3u);
+  EXPECT_EQ(tt.cols(), 2u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_EQ(t.At(r, c), tt.At(c, r));
+  }
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor t = Tensor::FromRows({{-1, 2}, {3, -4}});
+  EXPECT_FLOAT_EQ(t.Sum(), 0.0f);
+  EXPECT_FLOAT_EQ(t.Mean(), 0.0f);
+  EXPECT_FLOAT_EQ(t.MaxAbs(), 4.0f);
+  EXPECT_FLOAT_EQ(t.Norm(), std::sqrt(30.0f));
+}
+
+TEST(TensorTest, AllCloseRespectsTolerance) {
+  Tensor a = Tensor::FromRows({{1.0f, 2.0f}});
+  Tensor b = Tensor::FromRows({{1.0005f, 2.0f}});
+  EXPECT_TRUE(a.AllClose(b, 1e-3f));
+  EXPECT_FALSE(a.AllClose(b, 1e-5f));
+  Tensor c(2, 1);
+  EXPECT_FALSE(a.AllClose(c));  // Shape mismatch.
+}
+
+TEST(TensorTest, RandnIsDeterministicPerSeed) {
+  Rng rng1(7);
+  Rng rng2(7);
+  Tensor a = Tensor::Randn(4, 4, &rng1);
+  Tensor b = Tensor::Randn(4, 4, &rng2);
+  EXPECT_TRUE(a == b);
+}
+
+TEST(TensorTest, RandRespectsBounds) {
+  Rng rng(11);
+  Tensor t = Tensor::Rand(10, 10, &rng, -0.25f, 0.25f);
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t[i], -0.25f);
+    EXPECT_LT(t[i], 0.25f);
+  }
+}
+
+TEST(TensorTest, ToStringElides) {
+  Tensor t = Tensor::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(t.ToString(), "[2x2]{1, 2; 3, 4}");
+  EXPECT_NE(t.ToString(2).find("..."), std::string::npos);
+}
+
+// ---- ops ------------------------------------------------------------------
+
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b, bool ta, bool tb) {
+  const Tensor aa = ta ? a.Transposed() : a;
+  const Tensor bb = tb ? b.Transposed() : b;
+  Tensor c(aa.rows(), bb.cols());
+  for (size_t i = 0; i < aa.rows(); ++i) {
+    for (size_t j = 0; j < bb.cols(); ++j) {
+      double total = 0.0;
+      for (size_t k = 0; k < aa.cols(); ++k) total += aa.At(i, k) * bb.At(k, j);
+      c.At(i, j) = static_cast<float>(total);
+    }
+  }
+  return c;
+}
+
+struct GemmCase {
+  bool trans_a;
+  bool trans_b;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTest, MatchesNaive) {
+  const auto [ta, tb] = GetParam();
+  const size_t m = 5, k = 7, n = 3;
+  Tensor a = testing::RandomTensor(ta ? k : m, ta ? m : k, 1);
+  Tensor b = testing::RandomTensor(tb ? n : k, tb ? k : n, 2);
+  Tensor c(m, n);
+  Gemm(ta, tb, 1.0f, a, b, 0.0f, &c);
+  EXPECT_TRUE(c.AllClose(NaiveMatMul(a, b, ta, tb), 1e-4f));
+}
+
+TEST_P(GemmTest, AlphaBetaAccumulate) {
+  const auto [ta, tb] = GetParam();
+  const size_t m = 4, k = 4, n = 4;
+  Tensor a = testing::RandomTensor(ta ? k : m, ta ? m : k, 3);
+  Tensor b = testing::RandomTensor(tb ? n : k, tb ? k : n, 4);
+  Tensor c = testing::RandomTensor(m, n, 5);
+  Tensor expected = c;
+  const Tensor product = NaiveMatMul(a, b, ta, tb);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    expected[i] = 0.5f * expected[i] + 2.0f * product[i];
+  }
+  Gemm(ta, tb, 2.0f, a, b, 0.5f, &c);
+  EXPECT_TRUE(c.AllClose(expected, 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransposes, GemmTest,
+                         ::testing::Values(GemmCase{false, false},
+                                           GemmCase{true, false},
+                                           GemmCase{false, true},
+                                           GemmCase{true, true}));
+
+TEST(OpsTest, MatMulIdentity) {
+  Tensor a = Tensor::FromRows({{1, 2}, {3, 4}});
+  Tensor identity = Tensor::FromRows({{1, 0}, {0, 1}});
+  EXPECT_TRUE(MatMul(a, identity).AllClose(a));
+}
+
+TEST(OpsTest, AxpyInPlace) {
+  Tensor x = Tensor::FromRows({{1, 2}});
+  Tensor y = Tensor::FromRows({{10, 20}});
+  AxpyInPlace(2.0f, x, &y);
+  EXPECT_TRUE(y.AllClose(Tensor::FromRows({{12, 24}})));
+}
+
+TEST(OpsTest, ScaleInPlace) {
+  Tensor y = Tensor::FromRows({{1, -2}});
+  ScaleInPlace(-3.0f, &y);
+  EXPECT_TRUE(y.AllClose(Tensor::FromRows({{-3, 6}})));
+}
+
+TEST(OpsTest, MapAndZipMap) {
+  Tensor a = Tensor::FromRows({{1, 4}});
+  Tensor b = Tensor::FromRows({{2, 3}});
+  EXPECT_TRUE(Map(a, [](float x) { return x * x; })
+                  .AllClose(Tensor::FromRows({{1, 16}})));
+  EXPECT_TRUE(ZipMap(a, b, [](float x, float y) { return x * y; })
+                  .AllClose(Tensor::FromRows({{2, 12}})));
+}
+
+TEST(OpsTest, AddSubMul) {
+  Tensor a = Tensor::FromRows({{1, 2}});
+  Tensor b = Tensor::FromRows({{3, 5}});
+  EXPECT_TRUE(Add(a, b).AllClose(Tensor::FromRows({{4, 7}})));
+  EXPECT_TRUE(Sub(a, b).AllClose(Tensor::FromRows({{-2, -3}})));
+  EXPECT_TRUE(Mul(a, b).AllClose(Tensor::FromRows({{3, 10}})));
+}
+
+TEST(OpsTest, AddRowBroadcast) {
+  Tensor m = Tensor::FromRows({{1, 2}, {3, 4}});
+  Tensor row = Tensor::FromRows({{10, 20}});
+  EXPECT_TRUE(AddRowBroadcast(m, row).AllClose(
+      Tensor::FromRows({{11, 22}, {13, 24}})));
+}
+
+TEST(OpsTest, SigmoidKnownValues) {
+  Tensor x = Tensor::FromRows({{0.0f, 100.0f, -100.0f}});
+  Tensor y = Sigmoid(x);
+  EXPECT_NEAR(y[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(y[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(y[2], 0.0f, 1e-6f);
+}
+
+TEST(OpsTest, TanhAndRelu) {
+  Tensor x = Tensor::FromRows({{-1.0f, 0.0f, 2.0f}});
+  Tensor t = TanhT(x);
+  EXPECT_NEAR(t[0], std::tanh(-1.0f), 1e-6f);
+  Tensor r = Relu(x);
+  EXPECT_EQ(r[0], 0.0f);
+  EXPECT_EQ(r[2], 2.0f);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOneAndOrder) {
+  Tensor logits = Tensor::FromRows({{1.0f, 2.0f, 3.0f}, {1000.0f, 999.0f, 0.0f}});
+  Tensor probs = SoftmaxRows(logits);
+  for (size_t r = 0; r < 2; ++r) {
+    float total = 0.0f;
+    for (size_t c = 0; c < 3; ++c) total += probs.At(r, c);
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(probs.At(0, 2), probs.At(0, 1));
+  // Numerically stable for huge logits.
+  EXPECT_GT(probs.At(1, 0), probs.At(1, 1));
+  EXPECT_FALSE(std::isnan(probs.At(1, 2)));
+}
+
+TEST(OpsTest, SumRowsTo) {
+  Tensor m = Tensor::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_TRUE(SumRowsTo(m).AllClose(Tensor::FromRows({{9, 12}})));
+}
+
+TEST(OpsTest, ConcatCols) {
+  Tensor a = Tensor::FromRows({{1}, {2}});
+  Tensor b = Tensor::FromRows({{3, 4}, {5, 6}});
+  EXPECT_TRUE(ConcatCols({a, b}).AllClose(
+      Tensor::FromRows({{1, 3, 4}, {2, 5, 6}})));
+}
+
+}  // namespace
+}  // namespace fkd

@@ -1,0 +1,283 @@
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "text/features.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace fkd {
+namespace text {
+namespace {
+
+// ---- Tokenizer ----------------------------------------------------------------
+
+TEST(TokenizerTest, SplitsOnNonWordCharacters) {
+  const auto tokens = Tokenize("Hello, world! 42 foo-bar");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "42");
+  EXPECT_EQ(tokens[3], "foo");
+  EXPECT_EQ(tokens[4], "bar");
+}
+
+TEST(TokenizerTest, KeepsInnerApostrophes) {
+  const auto tokens = Tokenize("don't 'quoted'");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "don't");
+  EXPECT_EQ(tokens[1], "quoted");
+}
+
+TEST(TokenizerTest, MinLengthFilters) {
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  const auto tokens = Tokenize("a an the cat", options);
+  ASSERT_EQ(tokens.size(), 2u);  // "the", "cat"
+}
+
+TEST(TokenizerTest, LowercaseCanBeDisabled) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  const auto tokens = Tokenize("Hello World", options);
+  EXPECT_EQ(tokens[0], "Hello");
+}
+
+TEST(TokenizerTest, StopwordRemoval) {
+  TokenizerOptions options;
+  options.remove_stopwords = true;
+  const auto tokens = Tokenize("the quick brown fox is over there", options);
+  for (const auto& token : tokens) {
+    EXPECT_FALSE(IsStopWord(token)) << token;
+  }
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "quick"), tokens.end());
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("  ,,, !!").empty());
+}
+
+TEST(StopWordsTest, KnownMembers) {
+  EXPECT_TRUE(IsStopWord("the"));
+  EXPECT_TRUE(IsStopWord("doesn't"));
+  EXPECT_FALSE(IsStopWord("president"));
+}
+
+// ---- Vocabulary ----------------------------------------------------------------
+
+TEST(VocabularyTest, AddAssignsDenseIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Add("a"), 0);
+  EXPECT_EQ(vocab.Add("b"), 1);
+  EXPECT_EQ(vocab.Add("a"), 0);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.FrequencyOf("a"), 2);
+  EXPECT_EQ(vocab.FrequencyOf("missing"), 0);
+}
+
+TEST(VocabularyTest, IdOfUnknown) {
+  Vocabulary vocab;
+  vocab.Add("x");
+  EXPECT_EQ(vocab.IdOf("y"), Vocabulary::kUnknownId);
+  EXPECT_EQ(vocab.TokenOf(0), "x");
+}
+
+TEST(VocabularyTest, PrunedKeepsFrequentInOrder) {
+  Vocabulary vocab;
+  vocab.AddAll({"a", "b", "b", "c", "c", "c"});
+  Vocabulary pruned = vocab.Pruned(2);
+  EXPECT_EQ(pruned.size(), 2u);
+  EXPECT_EQ(pruned.IdOf("b"), 0);
+  EXPECT_EQ(pruned.IdOf("c"), 1);
+  EXPECT_EQ(pruned.FrequencyOf("c"), 3);
+}
+
+TEST(VocabularyTest, TopKOrdersByFrequency) {
+  Vocabulary vocab;
+  vocab.AddAll({"x", "y", "y", "z", "z", "z"});
+  Vocabulary top = vocab.TopK(2);
+  EXPECT_EQ(top.size(), 2u);
+  EXPECT_EQ(top.IdOf("z"), 0);
+  EXPECT_EQ(top.IdOf("y"), 1);
+  EXPECT_EQ(top.IdOf("x"), Vocabulary::kUnknownId);
+}
+
+TEST(VocabularyTest, EncodeDropsOov) {
+  Vocabulary vocab;
+  vocab.AddAll({"a", "b"});
+  const auto ids = vocab.Encode({"a", "zzz", "b"});
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 0);
+  EXPECT_EQ(ids[1], 1);
+}
+
+TEST(VocabularyTest, EncodePaddedTruncatesAndPads) {
+  Vocabulary vocab;
+  vocab.AddAll({"a", "b", "c"});
+  auto padded = vocab.EncodePadded({"a"}, 3);
+  ASSERT_EQ(padded.size(), 3u);
+  EXPECT_EQ(padded[0], 0);
+  EXPECT_EQ(padded[1], -1);
+  EXPECT_EQ(padded[2], -1);
+  auto truncated = vocab.EncodePadded({"a", "b", "c", "a"}, 2);
+  ASSERT_EQ(truncated.size(), 2u);
+  EXPECT_EQ(truncated[1], 1);
+}
+
+TEST(VocabularyTest, SaveLoadRoundTrip) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "fkd_vocab_test.tsv";
+  Vocabulary vocab;
+  vocab.AddAll({"alpha", "beta", "beta"});
+  ASSERT_TRUE(vocab.Save(path).ok());
+  auto loaded = Vocabulary::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value().IdOf("beta"), 1);
+  EXPECT_EQ(loaded.value().FrequencyOf("beta"), 2);
+  std::filesystem::remove(path);
+}
+
+TEST(VocabularyTest, LoadRejectsMalformedLines) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "fkd_vocab_bad.tsv";
+  std::ofstream(path) << "word_without_frequency\n";
+  EXPECT_EQ(Vocabulary::Load(path).status().code(), StatusCode::kCorruption);
+  std::ofstream(path) << "word\tnot_a_number\n";
+  EXPECT_EQ(Vocabulary::Load(path).status().code(), StatusCode::kCorruption);
+  std::ofstream(path) << "dup\t1\ndup\t2\n";
+  EXPECT_EQ(Vocabulary::Load(path).status().code(), StatusCode::kCorruption);
+  std::filesystem::remove(path);
+}
+
+TEST(VocabularyTest, LoadMissingFileIsIoError) {
+  EXPECT_EQ(Vocabulary::Load("/no/such/file.tsv").status().code(),
+            StatusCode::kIoError);
+}
+
+// ---- BowFeaturizer ----------------------------------------------------------------
+
+TEST(BowFeaturizerTest, CountsOccurrences) {
+  Vocabulary words;
+  words.AddAll({"tax", "gun"});
+  BowFeaturizer featurizer(words);
+  const auto features = featurizer.Featurize({"tax", "tax", "gun", "other"});
+  ASSERT_EQ(features.size(), 2u);
+  EXPECT_EQ(features[0], 2.0f);
+  EXPECT_EQ(features[1], 1.0f);
+}
+
+TEST(BowFeaturizerTest, BatchShape) {
+  Vocabulary words;
+  words.AddAll({"a", "b", "c"});
+  BowFeaturizer featurizer(words);
+  const Tensor batch = featurizer.FeaturizeBatch({{"a"}, {"b", "b"}, {}});
+  EXPECT_EQ(batch.rows(), 3u);
+  EXPECT_EQ(batch.cols(), 3u);
+  EXPECT_EQ(batch.At(1, 1), 2.0f);
+  EXPECT_EQ(batch.At(2, 0), 0.0f);
+}
+
+// ---- ClassWordStats ----------------------------------------------------------------
+
+TEST(ClassWordStatsTest, DocumentFrequencySemantics) {
+  ClassWordStats stats(2);
+  stats.AddDocument({"tax", "tax", "economy"}, 1);  // "tax" counted once.
+  stats.AddDocument({"gun", "tax"}, 0);
+  EXPECT_EQ(stats.num_documents(), 2u);
+  EXPECT_EQ(stats.DocumentCount("tax", 1), 1);
+  EXPECT_EQ(stats.DocumentCount("tax", 0), 1);
+  EXPECT_EQ(stats.DocumentCount("gun", 1), 0);
+  EXPECT_EQ(stats.ClassDocumentCount(0), 1);
+}
+
+TEST(ClassWordStatsTest, ChiSquareDiscriminativeWordScoresHigher) {
+  ClassWordStats stats(2);
+  for (int i = 0; i < 20; ++i) {
+    stats.AddDocument({"tax", "common"}, 1);
+    stats.AddDocument({"gun", "common"}, 0);
+  }
+  EXPECT_GT(stats.ChiSquare("tax"), stats.ChiSquare("common") + 1.0);
+  EXPECT_GT(stats.ChiSquare("gun"), stats.ChiSquare("common") + 1.0);
+  EXPECT_EQ(stats.ChiSquare("never_seen"), 0.0);
+}
+
+TEST(ClassWordStatsTest, ChiSquareMatchesHandComputation) {
+  // 2x2 table: word present in 8/10 class-1 docs, 2/10 class-0 docs.
+  ClassWordStats stats(2);
+  for (int i = 0; i < 8; ++i) stats.AddDocument({"w"}, 1);
+  for (int i = 0; i < 2; ++i) stats.AddDocument({"other"}, 1);
+  for (int i = 0; i < 2; ++i) stats.AddDocument({"w"}, 0);
+  for (int i = 0; i < 8; ++i) stats.AddDocument({"blank"}, 0);
+  // chi2 for one class: n(ad-bc)^2 / ((a+c)(b+d)(a+b)(c+d))
+  // a=8, b=2, c=2, d=8, n=20 -> 20*(64-4)^2/(10*10*10*10) = 7.2;
+  // summed over both one-vs-rest classes (symmetric) -> 14.4.
+  EXPECT_NEAR(stats.ChiSquare("w"), 14.4, 1e-9);
+}
+
+TEST(ClassWordStatsTest, SelectTopChiSquarePicksSignalWords) {
+  ClassWordStats stats(2);
+  for (int i = 0; i < 30; ++i) {
+    stats.AddDocument({"signal1", "noise"}, 1);
+    stats.AddDocument({"signal0", "noise"}, 0);
+  }
+  const Vocabulary selected = stats.SelectTopChiSquare(2);
+  EXPECT_EQ(selected.size(), 2u);
+  EXPECT_NE(selected.IdOf("signal1"), Vocabulary::kUnknownId);
+  EXPECT_NE(selected.IdOf("signal0"), Vocabulary::kUnknownId);
+  EXPECT_EQ(selected.IdOf("noise"), Vocabulary::kUnknownId);
+}
+
+TEST(ClassWordStatsTest, MinDocumentFrequencyFilters) {
+  ClassWordStats stats(2);
+  stats.AddDocument({"rare"}, 1);
+  for (int i = 0; i < 10; ++i) stats.AddDocument({"frequent"}, i % 2);
+  const Vocabulary selected = stats.SelectTopChiSquare(5, 2);
+  EXPECT_EQ(selected.IdOf("rare"), Vocabulary::kUnknownId);
+}
+
+TEST(ClassWordStatsTest, TopWordsForClass) {
+  ClassWordStats stats(2);
+  for (int i = 0; i < 5; ++i) stats.AddDocument({"big", "small"}, 1);
+  for (int i = 0; i < 3; ++i) stats.AddDocument({"big"}, 1);
+  const auto top = stats.TopWordsForClass(1, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, "big");
+  EXPECT_EQ(top[0].second, 8);
+  EXPECT_EQ(top[1].first, "small");
+}
+
+// ---- shared helpers ----------------------------------------------------------------
+
+TEST(TextHelpersTest, TokenizeDocuments) {
+  const auto docs = TokenizeDocuments({"The Tax Plan", "guns and GUNS"});
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_EQ(docs[0].size(), 2u);  // "the" removed as stopword.
+  EXPECT_EQ(docs[1][0], "guns");
+  EXPECT_EQ(docs[1][1], "guns");
+}
+
+TEST(TextHelpersTest, SelectChiSquareWordSetUsesOnlyTrainingDocs) {
+  const std::vector<std::vector<std::string>> docs = {
+      {"train_signal"}, {"test_only_word"}, {"train_signal"}, {"other"}};
+  const std::vector<int32_t> train_ids = {0, 2, 3};
+  const std::vector<int32_t> targets = {1, 0, 1, 0};
+  const Vocabulary selected =
+      SelectChiSquareWordSet(docs, train_ids, targets, 2, 10);
+  EXPECT_EQ(selected.IdOf("test_only_word"), Vocabulary::kUnknownId);
+  EXPECT_NE(selected.IdOf("train_signal"), Vocabulary::kUnknownId);
+}
+
+TEST(TextHelpersTest, BuildFrequencyVocabulary) {
+  const std::vector<std::vector<std::string>> docs = {
+      {"a", "b"}, {"b", "c"}, {"b"}};
+  const Vocabulary vocab = BuildFrequencyVocabulary(docs, 2);
+  EXPECT_EQ(vocab.size(), 2u);
+  EXPECT_EQ(vocab.IdOf("b"), 0);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace fkd
