@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_dataset_analysis.dir/bench_fig1_dataset_analysis.cpp.o"
+  "CMakeFiles/bench_fig1_dataset_analysis.dir/bench_fig1_dataset_analysis.cpp.o.d"
+  "bench_fig1_dataset_analysis"
+  "bench_fig1_dataset_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_dataset_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_biclass.dir/bench_fig4_biclass.cpp.o"
+  "CMakeFiles/bench_fig4_biclass.dir/bench_fig4_biclass.cpp.o.d"
+  "bench_fig4_biclass"
+  "bench_fig4_biclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_biclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_multiclass.cpp" "bench/CMakeFiles/bench_fig5_multiclass.dir/bench_fig5_multiclass.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_multiclass.dir/bench_fig5_multiclass.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fkd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fkd_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/fkd_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fkd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fkd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/fkd_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/fkd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fkd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fkd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_multiclass.dir/bench_fig5_multiclass.cpp.o"
+  "CMakeFiles/bench_fig5_multiclass.dir/bench_fig5_multiclass.cpp.o.d"
+  "bench_fig5_multiclass"
+  "bench_fig5_multiclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_multiclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_data.dir/bench_micro_data.cpp.o"
+  "CMakeFiles/bench_micro_data.dir/bench_micro_data.cpp.o.d"
+  "bench_micro_data"
+  "bench_micro_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

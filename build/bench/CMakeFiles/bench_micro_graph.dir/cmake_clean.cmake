@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_graph.dir/bench_micro_graph.cpp.o"
+  "CMakeFiles/bench_micro_graph.dir/bench_micro_graph.cpp.o.d"
+  "bench_micro_graph"
+  "bench_micro_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_network.dir/bench_table1_network.cpp.o"
+  "CMakeFiles/bench_table1_network.dir/bench_table1_network.cpp.o.d"
+  "bench_table1_network"
+  "bench_table1_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_network.dir/custom_network.cpp.o"
+  "CMakeFiles/custom_network.dir/custom_network.cpp.o.d"
+  "custom_network"
+  "custom_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_analysis.dir/dataset_analysis.cpp.o"
+  "CMakeFiles/dataset_analysis.dir/dataset_analysis.cpp.o.d"
+  "dataset_analysis"
+  "dataset_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistence_pipeline.dir/persistence_pipeline.cpp.o"
+  "CMakeFiles/persistence_pipeline.dir/persistence_pipeline.cpp.o.d"
+  "persistence_pipeline"
+  "persistence_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistence_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

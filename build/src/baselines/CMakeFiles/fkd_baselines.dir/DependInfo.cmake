@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/deepwalk.cc" "src/baselines/CMakeFiles/fkd_baselines.dir/deepwalk.cc.o" "gcc" "src/baselines/CMakeFiles/fkd_baselines.dir/deepwalk.cc.o.d"
+  "/root/repo/src/baselines/embedding_util.cc" "src/baselines/CMakeFiles/fkd_baselines.dir/embedding_util.cc.o" "gcc" "src/baselines/CMakeFiles/fkd_baselines.dir/embedding_util.cc.o.d"
+  "/root/repo/src/baselines/gcn.cc" "src/baselines/CMakeFiles/fkd_baselines.dir/gcn.cc.o" "gcc" "src/baselines/CMakeFiles/fkd_baselines.dir/gcn.cc.o.d"
+  "/root/repo/src/baselines/label_propagation.cc" "src/baselines/CMakeFiles/fkd_baselines.dir/label_propagation.cc.o" "gcc" "src/baselines/CMakeFiles/fkd_baselines.dir/label_propagation.cc.o.d"
+  "/root/repo/src/baselines/line.cc" "src/baselines/CMakeFiles/fkd_baselines.dir/line.cc.o" "gcc" "src/baselines/CMakeFiles/fkd_baselines.dir/line.cc.o.d"
+  "/root/repo/src/baselines/node2vec.cc" "src/baselines/CMakeFiles/fkd_baselines.dir/node2vec.cc.o" "gcc" "src/baselines/CMakeFiles/fkd_baselines.dir/node2vec.cc.o.d"
+  "/root/repo/src/baselines/rnn_classifier.cc" "src/baselines/CMakeFiles/fkd_baselines.dir/rnn_classifier.cc.o" "gcc" "src/baselines/CMakeFiles/fkd_baselines.dir/rnn_classifier.cc.o.d"
+  "/root/repo/src/baselines/skipgram.cc" "src/baselines/CMakeFiles/fkd_baselines.dir/skipgram.cc.o" "gcc" "src/baselines/CMakeFiles/fkd_baselines.dir/skipgram.cc.o.d"
+  "/root/repo/src/baselines/svm.cc" "src/baselines/CMakeFiles/fkd_baselines.dir/svm.cc.o" "gcc" "src/baselines/CMakeFiles/fkd_baselines.dir/svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/fkd_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/fkd_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/fkd_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/fkd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fkd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/fkd_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fkd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

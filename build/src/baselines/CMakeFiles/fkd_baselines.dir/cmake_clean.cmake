@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fkd_baselines.dir/deepwalk.cc.o"
+  "CMakeFiles/fkd_baselines.dir/deepwalk.cc.o.d"
+  "CMakeFiles/fkd_baselines.dir/embedding_util.cc.o"
+  "CMakeFiles/fkd_baselines.dir/embedding_util.cc.o.d"
+  "CMakeFiles/fkd_baselines.dir/gcn.cc.o"
+  "CMakeFiles/fkd_baselines.dir/gcn.cc.o.d"
+  "CMakeFiles/fkd_baselines.dir/label_propagation.cc.o"
+  "CMakeFiles/fkd_baselines.dir/label_propagation.cc.o.d"
+  "CMakeFiles/fkd_baselines.dir/line.cc.o"
+  "CMakeFiles/fkd_baselines.dir/line.cc.o.d"
+  "CMakeFiles/fkd_baselines.dir/node2vec.cc.o"
+  "CMakeFiles/fkd_baselines.dir/node2vec.cc.o.d"
+  "CMakeFiles/fkd_baselines.dir/rnn_classifier.cc.o"
+  "CMakeFiles/fkd_baselines.dir/rnn_classifier.cc.o.d"
+  "CMakeFiles/fkd_baselines.dir/skipgram.cc.o"
+  "CMakeFiles/fkd_baselines.dir/skipgram.cc.o.d"
+  "CMakeFiles/fkd_baselines.dir/svm.cc.o"
+  "CMakeFiles/fkd_baselines.dir/svm.cc.o.d"
+  "libfkd_baselines.a"
+  "libfkd_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fkd_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfkd_baselines.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fkd_common.dir/flags.cc.o"
+  "CMakeFiles/fkd_common.dir/flags.cc.o.d"
+  "CMakeFiles/fkd_common.dir/logging.cc.o"
+  "CMakeFiles/fkd_common.dir/logging.cc.o.d"
+  "CMakeFiles/fkd_common.dir/rng.cc.o"
+  "CMakeFiles/fkd_common.dir/rng.cc.o.d"
+  "CMakeFiles/fkd_common.dir/status.cc.o"
+  "CMakeFiles/fkd_common.dir/status.cc.o.d"
+  "CMakeFiles/fkd_common.dir/string_util.cc.o"
+  "CMakeFiles/fkd_common.dir/string_util.cc.o.d"
+  "libfkd_common.a"
+  "libfkd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fkd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fkd_core.dir/fake_detector.cc.o"
+  "CMakeFiles/fkd_core.dir/fake_detector.cc.o.d"
+  "CMakeFiles/fkd_core.dir/gdu.cc.o"
+  "CMakeFiles/fkd_core.dir/gdu.cc.o.d"
+  "CMakeFiles/fkd_core.dir/hflu.cc.o"
+  "CMakeFiles/fkd_core.dir/hflu.cc.o.d"
+  "libfkd_core.a"
+  "libfkd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fkd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/fkd_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/fkd_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/fkd_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/fkd_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/fkd_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/fkd_data.dir/io.cc.o.d"
+  "/root/repo/src/data/labels.cc" "src/data/CMakeFiles/fkd_data.dir/labels.cc.o" "gcc" "src/data/CMakeFiles/fkd_data.dir/labels.cc.o.d"
+  "/root/repo/src/data/liar.cc" "src/data/CMakeFiles/fkd_data.dir/liar.cc.o" "gcc" "src/data/CMakeFiles/fkd_data.dir/liar.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/data/CMakeFiles/fkd_data.dir/split.cc.o" "gcc" "src/data/CMakeFiles/fkd_data.dir/split.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/fkd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fkd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

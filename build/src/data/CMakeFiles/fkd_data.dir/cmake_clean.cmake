@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fkd_data.dir/dataset.cc.o"
+  "CMakeFiles/fkd_data.dir/dataset.cc.o.d"
+  "CMakeFiles/fkd_data.dir/generator.cc.o"
+  "CMakeFiles/fkd_data.dir/generator.cc.o.d"
+  "CMakeFiles/fkd_data.dir/io.cc.o"
+  "CMakeFiles/fkd_data.dir/io.cc.o.d"
+  "CMakeFiles/fkd_data.dir/labels.cc.o"
+  "CMakeFiles/fkd_data.dir/labels.cc.o.d"
+  "CMakeFiles/fkd_data.dir/liar.cc.o"
+  "CMakeFiles/fkd_data.dir/liar.cc.o.d"
+  "CMakeFiles/fkd_data.dir/split.cc.o"
+  "CMakeFiles/fkd_data.dir/split.cc.o.d"
+  "libfkd_data.a"
+  "libfkd_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fkd_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/experiment.cc" "src/eval/CMakeFiles/fkd_eval.dir/experiment.cc.o" "gcc" "src/eval/CMakeFiles/fkd_eval.dir/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/fkd_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/fkd_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/report.cc" "src/eval/CMakeFiles/fkd_eval.dir/report.cc.o" "gcc" "src/eval/CMakeFiles/fkd_eval.dir/report.cc.o.d"
+  "/root/repo/src/eval/significance.cc" "src/eval/CMakeFiles/fkd_eval.dir/significance.cc.o" "gcc" "src/eval/CMakeFiles/fkd_eval.dir/significance.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/fkd_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/fkd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fkd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

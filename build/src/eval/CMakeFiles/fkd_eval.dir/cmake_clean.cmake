@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fkd_eval.dir/experiment.cc.o"
+  "CMakeFiles/fkd_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/fkd_eval.dir/metrics.cc.o"
+  "CMakeFiles/fkd_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/fkd_eval.dir/report.cc.o"
+  "CMakeFiles/fkd_eval.dir/report.cc.o.d"
+  "CMakeFiles/fkd_eval.dir/significance.cc.o"
+  "CMakeFiles/fkd_eval.dir/significance.cc.o.d"
+  "libfkd_eval.a"
+  "libfkd_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fkd_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

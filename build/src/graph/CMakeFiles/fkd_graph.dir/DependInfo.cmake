@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/alias_table.cc" "src/graph/CMakeFiles/fkd_graph.dir/alias_table.cc.o" "gcc" "src/graph/CMakeFiles/fkd_graph.dir/alias_table.cc.o.d"
+  "/root/repo/src/graph/hetero_graph.cc" "src/graph/CMakeFiles/fkd_graph.dir/hetero_graph.cc.o" "gcc" "src/graph/CMakeFiles/fkd_graph.dir/hetero_graph.cc.o.d"
+  "/root/repo/src/graph/random_walk.cc" "src/graph/CMakeFiles/fkd_graph.dir/random_walk.cc.o" "gcc" "src/graph/CMakeFiles/fkd_graph.dir/random_walk.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/graph/CMakeFiles/fkd_graph.dir/stats.cc.o" "gcc" "src/graph/CMakeFiles/fkd_graph.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fkd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

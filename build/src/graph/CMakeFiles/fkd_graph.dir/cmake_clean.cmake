@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fkd_graph.dir/alias_table.cc.o"
+  "CMakeFiles/fkd_graph.dir/alias_table.cc.o.d"
+  "CMakeFiles/fkd_graph.dir/hetero_graph.cc.o"
+  "CMakeFiles/fkd_graph.dir/hetero_graph.cc.o.d"
+  "CMakeFiles/fkd_graph.dir/random_walk.cc.o"
+  "CMakeFiles/fkd_graph.dir/random_walk.cc.o.d"
+  "CMakeFiles/fkd_graph.dir/stats.cc.o"
+  "CMakeFiles/fkd_graph.dir/stats.cc.o.d"
+  "libfkd_graph.a"
+  "libfkd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fkd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fkd_nn.dir/init.cc.o"
+  "CMakeFiles/fkd_nn.dir/init.cc.o.d"
+  "CMakeFiles/fkd_nn.dir/layers.cc.o"
+  "CMakeFiles/fkd_nn.dir/layers.cc.o.d"
+  "CMakeFiles/fkd_nn.dir/optimizer.cc.o"
+  "CMakeFiles/fkd_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/fkd_nn.dir/serialize.cc.o"
+  "CMakeFiles/fkd_nn.dir/serialize.cc.o.d"
+  "libfkd_nn.a"
+  "libfkd_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fkd_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

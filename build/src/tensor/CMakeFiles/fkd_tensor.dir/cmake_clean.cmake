@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fkd_tensor.dir/autograd.cc.o"
+  "CMakeFiles/fkd_tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/fkd_tensor.dir/ops.cc.o"
+  "CMakeFiles/fkd_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/fkd_tensor.dir/sparse.cc.o"
+  "CMakeFiles/fkd_tensor.dir/sparse.cc.o.d"
+  "CMakeFiles/fkd_tensor.dir/tensor.cc.o"
+  "CMakeFiles/fkd_tensor.dir/tensor.cc.o.d"
+  "libfkd_tensor.a"
+  "libfkd_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fkd_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

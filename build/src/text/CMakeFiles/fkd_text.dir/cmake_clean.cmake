@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fkd_text.dir/features.cc.o"
+  "CMakeFiles/fkd_text.dir/features.cc.o.d"
+  "CMakeFiles/fkd_text.dir/tokenizer.cc.o"
+  "CMakeFiles/fkd_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/fkd_text.dir/vocabulary.cc.o"
+  "CMakeFiles/fkd_text.dir/vocabulary.cc.o.d"
+  "libfkd_text.a"
+  "libfkd_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fkd_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checks_test.dir/checks_test.cc.o"
+  "CMakeFiles/checks_test.dir/checks_test.cc.o.d"
+  "checks_test"
+  "checks_test.pdb"
+  "checks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

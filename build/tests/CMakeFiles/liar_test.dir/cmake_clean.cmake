@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liar_test.dir/liar_test.cc.o"
+  "CMakeFiles/liar_test.dir/liar_test.cc.o.d"
+  "liar_test"
+  "liar_test.pdb"
+  "liar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
