@@ -25,7 +25,9 @@ int main(int argc, char** argv) {
   flags.AddInt("folds", 0, "override folds to run (0 = scale default)");
   flags.AddInt("seed", 7, "random seed");
   flags.AddString("csv", "", "optional CSV output path");
+  flags.AddString("jsonl", "", "optional metrics JSONL output path");
   flags.AddBool("verbose", false, "log each completed run");
+  flags.AddBool("progress", false, "log each completed (method, theta) cell");
   fkd::Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
@@ -53,11 +55,13 @@ int main(int argc, char** argv) {
   options.granularity = fkd::eval::LabelGranularity::kMulti;
   options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
   options.verbose = flags.GetBool("verbose");
+  options.progress = flags.GetBool("progress");
+  options.metrics_jsonl_path = flags.GetString("jsonl");
 
   fkd::eval::ExperimentRunner runner(dataset, options);
   fkd::bench::RegisterAllMethods(&runner, scale);
 
-  fkd::WallTimer timer;
+  fkd::bench::SweepTimer timer("fig5_multiclass");
   auto results = runner.Run();
   FKD_CHECK_OK(results.status());
   std::printf("sweep finished in %.1fs\n\n", timer.ElapsedSeconds());
@@ -78,5 +82,7 @@ int main(int argc, char** argv) {
     FKD_CHECK_OK(fkd::eval::WriteSweepCsv(results.value(), csv));
     std::printf("wrote %s\n", csv.c_str());
   }
+  const std::string jsonl = flags.GetString("jsonl");
+  if (!jsonl.empty()) std::printf("wrote %s\n", jsonl.c_str());
   return 0;
 }

@@ -10,11 +10,28 @@
 #include "baselines/line.h"
 #include "baselines/rnn_classifier.h"
 #include "baselines/svm.h"
+#include "common/timer.h"
 #include "core/fake_detector.h"
 #include "eval/experiment.h"
+#include "obs/metrics.h"
 
 namespace fkd {
 namespace bench {
+
+/// RAII sweep timer for bench mains: wall time flows into the
+/// `fkd.bench.sweep_us` histogram (labelled by bench name) when the timer
+/// is destroyed, and is also readable mid-flight for progress output.
+class SweepTimer {
+ public:
+  explicit SweepTimer(const std::string& bench)
+      : timer_(obs::MetricsRegistry::Default().GetHistogram(
+            "fkd.bench.sweep_us", {{"bench", bench}})) {}
+
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+
+ private:
+  ScopedTimer<obs::Histogram> timer_;
+};
 
 /// Scale profile of a figure bench. Default runs finish in minutes on a
 /// laptop; `FKD_BENCH_SCALE=full` (or --full) reproduces the paper's

@@ -3,6 +3,11 @@
 // articles, creators and subjects.
 //
 //   ./quickstart [--articles=600] [--epochs=40] [--seed=42]
+//               [--metrics=metrics.jsonl] [--trace=trace.json]
+//
+// Training progress is reported per epoch through an obs::LoggingObserver;
+// --metrics dumps the process metrics registry as JSONL and --trace writes
+// a chrome://tracing file of the run's spans.
 
 #include <cstdio>
 
@@ -13,6 +18,9 @@
 #include "data/generator.h"
 #include "data/split.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -34,12 +42,22 @@ int main(int argc, char** argv) {
   flags.AddInt("articles", 600, "synthetic corpus size");
   flags.AddInt("epochs", 40, "training epochs");
   flags.AddInt("seed", 42, "random seed");
+  flags.AddString("metrics", "", "optional metrics registry JSONL output path");
+  flags.AddString("trace", "", "optional chrome://tracing JSON output path");
   fkd::Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
     return parsed.code() == fkd::StatusCode::kFailedPrecondition ? 0 : 1;
   }
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const std::string trace_path = flags.GetString("trace");
+  if (!trace_path.empty()) {
+    fkd::obs::Tracer::Get().Enable(true);
+    if (!FKD_TRACING_ENABLED) {
+      FKD_LOG(Warning) << "--trace requested but spans are compiled out; "
+                          "reconfigure with -DFKD_ENABLE_TRACING=ON";
+    }
+  }
 
   // 1. Data: a synthetic corpus matching the PolitiFact statistics.
   auto dataset_result = fkd::data::GeneratePolitiFact(
@@ -59,11 +77,15 @@ int main(int argc, char** argv) {
   FKD_CHECK_OK(splits_result.status());
   const fkd::data::TriSplit& split = splits_result.value()[0];
 
-  // 3. Train FakeDetector.
+  // 3. Train FakeDetector, with per-epoch progress through the observer
+  // stack (log lines + fkd.train.* metrics).
   FakeDetectorConfig config;
   config.epochs = static_cast<size_t>(flags.GetInt("epochs"));
-  config.verbose = true;
   FakeDetector detector(config);
+
+  fkd::obs::LoggingObserver logging_observer(/*log_every=*/5);
+  fkd::obs::MetricsObserver metrics_observer;
+  fkd::obs::TeeObserver observer(&logging_observer, &metrics_observer);
 
   fkd::eval::TrainContext context;
   context.dataset = &dataset;
@@ -73,6 +95,7 @@ int main(int argc, char** argv) {
   context.train_subjects = split.subjects.train;
   context.granularity = fkd::eval::LabelGranularity::kBinary;
   context.seed = seed;
+  context.observer = &observer;
 
   fkd::WallTimer timer;
   FKD_CHECK_OK(detector.Train(context));
@@ -116,5 +139,17 @@ int main(int argc, char** argv) {
   std::printf("%-9s %9.3f %9.3f %9.3f %9.3f\n", "subjects",
               subject_metrics.accuracy, subject_metrics.precision,
               subject_metrics.recall, subject_metrics.f1);
+
+  // 5. Optional observability artifacts.
+  const std::string metrics_path = flags.GetString("metrics");
+  if (!metrics_path.empty()) {
+    FKD_CHECK_OK(fkd::obs::MetricsRegistry::Default().WriteJsonl(metrics_path));
+    std::printf("\nmetrics written to %s\n", metrics_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    FKD_CHECK_OK(fkd::obs::Tracer::Get().WriteChromeJson(trace_path));
+    std::printf("trace written to %s (open in chrome://tracing)\n",
+                trace_path.c_str());
+  }
   return 0;
 }

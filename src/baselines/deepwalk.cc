@@ -21,6 +21,8 @@ Status DeepWalkClassifier::Train(const eval::TrainContext& context) {
       graph::GenerateRandomWalks(*context.graph, options_.walks, &rng);
   SkipGramOptions skipgram = options_.skipgram;
   skipgram.seed = context.seed + 1;
+  skipgram.observer = context.observer;
+  skipgram.observer_tag = Name() + "/skipgram";
   embeddings_ =
       TrainSkipGram(walks, context.graph->TotalNodes(), skipgram, &rng);
   NormalizeRows(&embeddings_);

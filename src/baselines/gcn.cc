@@ -4,8 +4,10 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
+#include "obs/trace.h"
 #include "text/features.h"
 
 namespace fkd {
@@ -133,7 +135,13 @@ Status GcnClassifier::Train(const eval::TrainContext& context) {
     return Status::InvalidArgument("gcn needs training labels");
   }
 
+  obs::TrainObserver* observer = context.observer;
+  obs::NotifyTrainBegin(observer, Name(), options_.epochs);
+  WallTimer train_timer;
+  WallTimer epoch_timer;
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    FKD_TRACE_SCOPE("gcn/epoch");
+    epoch_timer.Restart();
     optimizer.ZeroGrad();
     std::vector<ag::Variable> loss_terms;
     loss_terms.push_back(ag::SoftmaxCrossEntropy(
@@ -145,10 +153,20 @@ Status GcnClassifier::Train(const eval::TrainContext& context) {
     }
     const ag::Variable loss = ag::AddN(loss_terms);
     ag::Backward(loss);
-    nn::ClipGradNorm(parameters, options_.grad_clip);
+    const float grad_norm = nn::ClipGradNorm(parameters, options_.grad_clip);
     optimizer.Step();
     final_loss_ = loss.scalar();
+
+    obs::EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = final_loss_;
+    stats.grad_norm = grad_norm;
+    stats.seconds = epoch_timer.ElapsedSeconds();
+    stats.total_seconds = train_timer.ElapsedSeconds();
+    obs::NotifyEpochEnd(observer, Name(), stats);
   }
+  obs::NotifyTrainEnd(observer, Name(), options_.epochs,
+                      train_timer.ElapsedSeconds());
 
   const Tensor logits = forward().value();
   const auto all = ArgmaxRows(logits);

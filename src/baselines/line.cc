@@ -5,7 +5,9 @@
 
 #include "baselines/embedding_util.h"
 #include "common/logging.h"
+#include "common/timer.h"
 #include "graph/alias_table.h"
+#include "obs/trace.h"
 
 namespace fkd {
 namespace baselines {
@@ -23,14 +25,19 @@ inline double StableSigmoid(double x) {
 
 /// One SGD phase of LINE. For first-order proximity the "context" table is
 /// the vertex table itself (symmetric objective); for second-order it is a
-/// separate context table.
+/// separate context table. When `mean_loss` is non-null the mean NCE loss
+/// over all samples is accumulated into it (costs a log() per sample, so
+/// only requested when an observer is attached).
 void RunPhase(const std::vector<std::pair<int32_t, int32_t>>& edges,
               const graph::AliasTable& edge_sampler,
               const graph::AliasTable& noise, Tensor* vertex, Tensor* context,
-              const LineOptions& options, Rng* rng) {
+              const LineOptions& options, Rng* rng, double* mean_loss) {
+  FKD_TRACE_SCOPE("line/phase");
   const size_t dim = vertex->cols();
   const size_t total_samples = options.samples_per_edge * edges.size();
   std::vector<float> gradient(dim);
+  double loss_sum = 0.0;
+  size_t loss_samples = 0;
 
   for (size_t sample = 0; sample < total_samples; ++sample) {
     const double progress =
@@ -57,13 +64,22 @@ void RunPhase(const std::vector<std::pair<int32_t, int32_t>>& edges,
       float* v_other = context->Row(other);
       double dot = 0.0;
       for (size_t j = 0; j < dim; ++j) dot += v_source[j] * v_other[j];
-      const double g = (label - StableSigmoid(dot)) * lr;
+      const double prediction = StableSigmoid(dot);
+      const double g = (label - prediction) * lr;
       for (size_t j = 0; j < dim; ++j) {
         gradient[j] += static_cast<float>(g) * v_other[j];
         v_other[j] += static_cast<float>(g) * v_source[j];
       }
+      if (mean_loss != nullptr) {
+        const double p = label > 0.5 ? prediction : 1.0 - prediction;
+        loss_sum += -std::log(std::max(p, 1e-12));
+        ++loss_samples;
+      }
     }
     for (size_t j = 0; j < dim; ++j) v_source[j] += gradient[j];
+  }
+  if (mean_loss != nullptr && loss_samples > 0) {
+    *mean_loss = loss_sum / static_cast<double>(loss_samples);
   }
 }
 
@@ -92,14 +108,33 @@ Tensor TrainLine(const graph::HeterogeneousGraph& graph,
   for (double& d : degrees) d = std::pow(std::max(d, 1e-9), 0.75);
   graph::AliasTable noise(degrees);
 
+  obs::TrainObserver* observer = options.observer;
+  obs::NotifyTrainBegin(observer, options.observer_tag, /*planned_epochs=*/2);
+  WallTimer train_timer;
+  WallTimer phase_timer;
+  double phase_loss = 0.0;
+  auto notify_phase = [&](size_t phase) {
+    obs::EpochStats stats;
+    stats.epoch = phase;
+    stats.loss = static_cast<float>(phase_loss);
+    stats.seconds = phase_timer.ElapsedSeconds();
+    stats.total_seconds = train_timer.ElapsedSeconds();
+    obs::NotifyEpochEnd(observer, options.observer_tag, stats);
+  };
+
   // First order: symmetric vertex-vertex objective.
   Tensor first = Tensor::Rand(n, half, rng, -0.5f / half, 0.5f / half);
-  RunPhase(edges, edge_sampler, noise, &first, &first, options, rng);
+  RunPhase(edges, edge_sampler, noise, &first, &first, options, rng,
+           observer != nullptr ? &phase_loss : nullptr);
+  if (observer != nullptr) notify_phase(0);
 
   // Second order: vertex-context objective.
+  phase_timer.Restart();
   Tensor second = Tensor::Rand(n, half, rng, -0.5f / half, 0.5f / half);
   Tensor context(n, half);
-  RunPhase(edges, edge_sampler, noise, &second, &context, options, rng);
+  RunPhase(edges, edge_sampler, noise, &second, &context, options, rng,
+           observer != nullptr ? &phase_loss : nullptr);
+  if (observer != nullptr) notify_phase(1);
 
   NormalizeRows(&first);
   NormalizeRows(&second);
@@ -107,6 +142,8 @@ Tensor TrainLine(const graph::HeterogeneousGraph& graph,
     std::copy(first.Row(r), first.Row(r) + half, result.Row(r));
     std::copy(second.Row(r), second.Row(r) + half, result.Row(r) + half);
   }
+  obs::NotifyTrainEnd(observer, options.observer_tag, /*epochs_run=*/2,
+                      train_timer.ElapsedSeconds());
   return result;
 }
 
@@ -120,7 +157,10 @@ Status LineClassifier::Train(const eval::TrainContext& context) {
     return Status::InvalidArgument("TrainContext missing graph");
   }
   Rng rng(context.seed ^ 0x11E'ED6EULL);
-  embeddings_ = TrainLine(*context.graph, options_.line, &rng);
+  LineOptions line = options_.line;
+  line.observer = context.observer;
+  line.observer_tag = Name();
+  embeddings_ = TrainLine(*context.graph, line, &rng);
 
   SvmOptions svm = options_.svm;
   svm.seed = context.seed + 3;

@@ -20,6 +20,13 @@ struct LineOptions {
   double min_learning_rate = 0.0001;
   /// Edge samples drawn per direction-edge of the graph.
   size_t samples_per_edge = 20;
+
+  /// Optional telemetry: one OnEpochEnd per SGD phase (first-order then
+  /// second-order) with the phase's mean NCE loss and wall time. Not owned;
+  /// may be null.
+  obs::TrainObserver* observer = nullptr;
+  /// Method tag for observer callbacks.
+  std::string observer_tag = "line";
 };
 
 /// Trains LINE embeddings (first-order + second-order proximity, alias-

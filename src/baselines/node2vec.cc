@@ -22,6 +22,8 @@ Status Node2VecClassifier::Train(const eval::TrainContext& context) {
       graph::GenerateNode2VecWalks(*context.graph, options_.walks, &rng);
   SkipGramOptions skipgram = options_.skipgram;
   skipgram.seed = context.seed + 4;
+  skipgram.observer = context.observer;
+  skipgram.observer_tag = Name() + "/skipgram";
   embeddings_ =
       TrainSkipGram(walks, context.graph->TotalNodes(), skipgram, &rng);
   NormalizeRows(&embeddings_);

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/timer.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
+#include "obs/trace.h"
 #include "text/features.h"
 #include "text/vocabulary.h"
 
@@ -33,11 +35,15 @@ std::vector<int32_t> ArgmaxRows(const Tensor& logits) {
 }
 
 /// Trains one GRU-classifier for one node type and predicts all its nodes.
+/// `method_tag` labels observer callbacks ("rnn/articles", ...).
 Status FitNodeType(const std::vector<std::string>& texts,
                    const std::vector<int32_t>& train_ids,
                    const std::vector<int32_t>& targets, size_t num_classes,
                    const RnnClassifier::Options& options, uint64_t seed,
+                   const std::string& method_tag,
+                   obs::TrainObserver* observer,
                    std::vector<int32_t>* predictions) {
+  FKD_TRACE_SCOPE("rnn/fit");
   const auto documents = text::TokenizeDocuments(texts);
   const text::Vocabulary vocabulary =
       text::BuildFrequencyVocabulary(documents, options.vocabulary);
@@ -72,16 +78,30 @@ Status FitNodeType(const std::vector<std::string>& texts,
   }
   nn::Adam optimizer(parameters, options.learning_rate);
 
+  obs::NotifyTrainBegin(observer, method_tag, options.epochs);
+  WallTimer train_timer;
+  WallTimer epoch_timer;
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    epoch_timer.Restart();
     optimizer.ZeroGrad();
     const ag::Variable hidden =
         encoder.Forward(train_sequences, options.max_sequence_length);
     const ag::Variable loss =
         ag::SoftmaxCrossEntropy(head.Forward(hidden), train_targets);
     ag::Backward(loss);
-    nn::ClipGradNorm(parameters, options.grad_clip);
+    const float grad_norm = nn::ClipGradNorm(parameters, options.grad_clip);
     optimizer.Step();
+
+    obs::EpochStats stats;
+    stats.epoch = epoch;
+    stats.loss = loss.scalar();
+    stats.grad_norm = grad_norm;
+    stats.seconds = epoch_timer.ElapsedSeconds();
+    stats.total_seconds = train_timer.ElapsedSeconds();
+    obs::NotifyEpochEnd(observer, method_tag, stats);
   }
+  obs::NotifyTrainEnd(observer, method_tag, options.epochs,
+                      train_timer.ElapsedSeconds());
 
   const ag::Variable hidden =
       encoder.Forward(sequences, options.max_sequence_length);
@@ -114,6 +134,7 @@ Status RnnClassifier::Train(const eval::TrainContext& context) {
   }
   FKD_RETURN_NOT_OK(FitNodeType(texts, context.train_articles, targets,
                                 num_classes, options_, context.seed + 101,
+                                "rnn/articles", context.observer,
                                 &predictions_.articles));
 
   texts.clear();
@@ -124,6 +145,7 @@ Status RnnClassifier::Train(const eval::TrainContext& context) {
   }
   FKD_RETURN_NOT_OK(FitNodeType(texts, context.train_creators, targets,
                                 num_classes, options_, context.seed + 202,
+                                "rnn/creators", context.observer,
                                 &predictions_.creators));
 
   texts.clear();
@@ -134,6 +156,7 @@ Status RnnClassifier::Train(const eval::TrainContext& context) {
   }
   FKD_RETURN_NOT_OK(FitNodeType(texts, context.train_subjects, targets,
                                 num_classes, options_, context.seed + 303,
+                                "rnn/subjects", context.observer,
                                 &predictions_.subjects));
 
   trained_ = true;

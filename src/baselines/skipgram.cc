@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/timer.h"
 #include "graph/alias_table.h"
+#include "obs/trace.h"
 
 namespace fkd {
 namespace baselines {
@@ -54,7 +56,16 @@ Tensor TrainSkipGram(const std::vector<std::vector<int32_t>>& sentences,
   size_t work_done = 0;
   std::vector<float> gradient(dim);
 
+  obs::TrainObserver* observer = options.observer;
+  obs::NotifyTrainBegin(observer, options.observer_tag, options.epochs);
+  WallTimer train_timer;
+  WallTimer epoch_timer;
+
   for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    FKD_TRACE_SCOPE("skipgram/epoch");
+    epoch_timer.Restart();
+    double epoch_loss = 0.0;
+    size_t epoch_samples = 0;
     for (const auto& sentence : sentences) {
       for (size_t position = 0; position < sentence.size(); ++position) {
         const double progress =
@@ -88,17 +99,37 @@ Tensor TrainSkipGram(const std::vector<std::vector<int32_t>>& sentences,
             float* v_target = output.Row(target);
             double dot = 0.0;
             for (size_t j = 0; j < dim; ++j) dot += v_center[j] * v_target[j];
-            const double g = (label - StableSigmoid(dot)) * lr;
+            const double prediction = StableSigmoid(dot);
+            const double g = (label - prediction) * lr;
             for (size_t j = 0; j < dim; ++j) {
               gradient[j] += static_cast<float>(g) * v_target[j];
               v_target[j] += static_cast<float>(g) * v_center[j];
+            }
+            if (observer != nullptr) {
+              const double p =
+                  label > 0.5 ? prediction : 1.0 - prediction;
+              epoch_loss += -std::log(std::max(p, 1e-12));
+              ++epoch_samples;
             }
           }
           for (size_t j = 0; j < dim; ++j) v_center[j] += gradient[j];
         }
       }
     }
+    if (observer != nullptr) {
+      obs::EpochStats stats;
+      stats.epoch = epoch;
+      if (epoch_samples > 0) {
+        stats.loss =
+            static_cast<float>(epoch_loss / static_cast<double>(epoch_samples));
+      }
+      stats.seconds = epoch_timer.ElapsedSeconds();
+      stats.total_seconds = train_timer.ElapsedSeconds();
+      obs::NotifyEpochEnd(observer, options.observer_tag, stats);
+    }
   }
+  obs::NotifyTrainEnd(observer, options.observer_tag, options.epochs,
+                      train_timer.ElapsedSeconds());
   return input;
 }
 

@@ -2,9 +2,11 @@
 #define FKD_BASELINES_SKIPGRAM_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "obs/observer.h"
 #include "tensor/tensor.h"
 
 namespace fkd {
@@ -22,6 +24,13 @@ struct SkipGramOptions {
   double min_learning_rate = 0.0001;
   size_t epochs = 2;
   uint64_t seed = 1;
+
+  /// Optional per-epoch telemetry (mean NCE loss + wall time). The loss is
+  /// only accumulated when an observer is attached, keeping the hot loop
+  /// free of log() calls otherwise. Not owned; may be null.
+  obs::TrainObserver* observer = nullptr;
+  /// Method tag for observer callbacks ("deepwalk/skipgram", ...).
+  std::string observer_tag = "skipgram";
 };
 
 /// Trains skip-gram embeddings with negative sampling (Mikolov et al. 2013)

@@ -1,7 +1,12 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <ctime>
+#include <mutex>
 
 namespace fkd {
 namespace internal {
@@ -9,6 +14,12 @@ namespace internal {
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+/// Serialises writes to stderr so concurrent threads stay line-atomic.
+std::mutex& SinkMutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -31,26 +42,86 @@ const char* Basename(const char* path) {
   return slash ? slash + 1 : path;
 }
 
+/// One-time FKD_LOG_LEVEL environment override of the minimum level.
+void InitFromEnvironmentOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* env = std::getenv("FKD_LOG_LEVEL");
+    LogLevel level;
+    if (env != nullptr && ParseLogLevel(env, &level)) {
+      g_min_level.store(static_cast<int>(level));
+    }
+  });
+}
+
+/// "2026-08-06T12:34:56.789Z" (UTC).
+void FormatTimestamp(char* buffer, size_t size) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char date[32];
+  std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S", &utc);
+  std::snprintf(buffer, size, "%s.%03dZ", date, static_cast<int>(millis));
+}
+
 }  // namespace
 
-LogLevel GetMinLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+bool ParseLogLevel(const char* text, LogLevel* level) {
+  if (text == nullptr || level == nullptr) return false;
+  std::string lower;
+  for (const char* c = text; *c != '\0'; ++c) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(*c)));
+  }
+  if (lower == "debug" || lower == "0") {
+    *level = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *level = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning" || lower == "2") {
+    *level = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "3") {
+    *level = LogLevel::kError;
+  } else if (lower == "fatal" || lower == "4") {
+    *level = LogLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
 
-void SetMinLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+LogLevel GetMinLogLevel() {
+  InitFromEnvironmentOnce();
+  return static_cast<LogLevel>(g_min_level.load());
+}
+
+void SetMinLogLevel(LogLevel level) {
+  InitFromEnvironmentOnce();  // An explicit call always wins over the env.
+  g_min_level.store(static_cast<int>(level));
+}
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level),
-      enabled_(static_cast<int>(level) >= g_min_level.load() ||
-               level == LogLevel::kFatal) {
+    : level_(level) {
+  InitFromEnvironmentOnce();
+  enabled_ = static_cast<int>(level) >= g_min_level.load() ||
+             level == LogLevel::kFatal;
   if (enabled_) {
-    stream_ << "[" << LevelName(level) << " " << Basename(file) << ":" << line
-            << "] ";
+    char timestamp[40];
+    FormatTimestamp(timestamp, sizeof(timestamp));
+    stream_ << "[" << timestamp << " " << LevelName(level) << " "
+            << Basename(file) << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
     stream_ << "\n";
-    std::cerr << stream_.str();
+    const std::string message = stream_.str();
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    std::cerr << message;
     std::cerr.flush();
   }
   if (level_ == LogLevel::kFatal) std::abort();

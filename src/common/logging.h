@@ -14,11 +14,20 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFa
 
 namespace internal {
 
-/// Minimum severity that is actually emitted; configurable at runtime.
+/// Minimum severity that is actually emitted; configurable at runtime and
+/// initialised once from the FKD_LOG_LEVEL environment variable (a name
+/// like "debug"/"warning" or a digit 0-4) before the first message.
 LogLevel GetMinLogLevel();
 void SetMinLogLevel(LogLevel level);
 
+/// Parses a level name ("debug", "info", "warn"/"warning", "error",
+/// "fatal", case-insensitive) or digit; false on unrecognised input.
+bool ParseLogLevel(const char* text, LogLevel* level);
+
 /// Stream-style log message. Emits on destruction; aborts for kFatal.
+/// Each line carries an ISO-8601 UTC timestamp + severity prefix and is
+/// written under a process-wide mutex, so concurrent threads never
+/// interleave within a line.
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

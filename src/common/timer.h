@@ -21,9 +21,41 @@ class WallTimer {
   /// Milliseconds elapsed since construction or the last Restart().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
+  /// Microseconds elapsed since construction or the last Restart().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// RAII timer that reports its lifetime in microseconds into a sink with an
+/// `Observe(double)` method — in practice an obs::Histogram:
+///
+///   {
+///     ScopedTimer timer(registry.GetHistogram("fkd.gdu.forward_us"));
+///     ...hot path...
+///   }  // histogram records elapsed microseconds here
+///
+/// Templated on the sink so common/ does not depend on obs/. A null sink
+/// disables reporting (the elapsed accessors keep working).
+template <typename Sink>
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Sink* sink) : sink_(sink) {}
+  ~ScopedTimer() {
+    if (sink_ != nullptr) sink_->Observe(timer_.ElapsedMicros());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
+  double ElapsedMicros() const { return timer_.ElapsedMicros(); }
+
+ private:
+  Sink* sink_;
+  WallTimer timer_;
 };
 
 }  // namespace fkd

@@ -4,7 +4,10 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/timer.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/features.h"
 
 namespace fkd {
@@ -77,6 +80,10 @@ struct FakeDetector::Model : nn::Module {
   /// `dropout_rng` non-null enables training-time feature dropout.
   Logits Forward(float feature_dropout = 0.0f,
                  Rng* dropout_rng = nullptr) const {
+    FKD_TRACE_SCOPE("fkd/forward");
+    static obs::Histogram* forward_us =
+        obs::MetricsRegistry::Default().GetHistogram("fkd.model.forward_us");
+    ScopedTimer<obs::Histogram> forward_timer(forward_us);
     const size_t h = article_gdu.hidden_dim();
     const bool training = dropout_rng != nullptr && feature_dropout > 0.0f;
     ag::Variable xa = article_hflu.Forward(article_input);
@@ -141,6 +148,7 @@ FakeDetector::FakeDetector(FakeDetectorConfig config)
 FakeDetector::~FakeDetector() = default;
 
 Status FakeDetector::Train(const eval::TrainContext& context) {
+  FKD_TRACE_SCOPE("fkd/train");
   if (trained_) return Status::FailedPrecondition("already trained");
   if (context.dataset == nullptr || context.graph == nullptr) {
     return Status::InvalidArgument("TrainContext missing dataset or graph");
@@ -279,8 +287,16 @@ Status FakeDetector::Train(const eval::TrainContext& context) {
   size_t epochs_since_best = 0;
   std::vector<Tensor> best_weights;
 
+  obs::TrainObserver* observer = context.observer;
+  obs::NotifyTrainBegin(observer, Name(), config_.epochs);
+  WallTimer train_timer;
+  WallTimer epoch_timer;
+  size_t epochs_run = 0;
+
   Rng dropout_rng(context.seed ^ 0xD409u);
   for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    FKD_TRACE_SCOPE("fkd/epoch");
+    epoch_timer.Restart();
     optimizer.ZeroGrad();
     const Model::Logits logits =
         model_->Forward(config_.feature_dropout, &dropout_rng);
@@ -298,15 +314,24 @@ Status FakeDetector::Train(const eval::TrainContext& context) {
           ag::Scale(ag::AddN(penalties), config_.l2_weight));
     }
     const ag::Variable loss = ag::AddN(loss_terms);
-    ag::Backward(loss);
-    nn::ClipGradNorm(parameters, config_.grad_clip);
+    {
+      FKD_TRACE_SCOPE("fkd/backward");
+      ag::Backward(loss);
+    }
+    const float grad_norm = nn::ClipGradNorm(parameters, config_.grad_clip);
     optimizer.Step();
     train_stats_.epoch_losses.push_back(loss.scalar());
+    ++epochs_run;
     if (!early_stopping) train_stats_.best_epoch = epoch;
     if (config_.verbose && (epoch % 10 == 0 || epoch + 1 == config_.epochs)) {
       FKD_LOG(Info) << "FakeDetector epoch " << epoch << " loss "
                     << loss.scalar();
     }
+
+    obs::EpochStats epoch_stats;
+    epoch_stats.epoch = epoch;
+    epoch_stats.loss = loss.scalar();
+    epoch_stats.grad_norm = grad_norm;
 
     if (early_stopping) {
       // Validation loss on a clean (dropout-free) forward pass.
@@ -331,6 +356,7 @@ Status FakeDetector::Train(const eval::TrainContext& context) {
                                .scalar();
       }
       train_stats_.validation_losses.push_back(validation_loss);
+      epoch_stats.validation_loss = validation_loss;
       if (validation_loss < best_validation_loss) {
         best_validation_loss = validation_loss;
         epochs_since_best = 0;
@@ -338,10 +364,18 @@ Status FakeDetector::Train(const eval::TrainContext& context) {
         best_weights.clear();
         for (const auto& p : parameters) best_weights.push_back(p.value());
       } else if (++epochs_since_best >= config_.early_stopping_patience) {
+        epoch_stats.seconds = epoch_timer.ElapsedSeconds();
+        epoch_stats.total_seconds = train_timer.ElapsedSeconds();
+        obs::NotifyEpochEnd(observer, Name(), epoch_stats);
         break;
       }
     }
+    epoch_stats.seconds = epoch_timer.ElapsedSeconds();
+    epoch_stats.total_seconds = train_timer.ElapsedSeconds();
+    obs::NotifyEpochEnd(observer, Name(), epoch_stats);
   }
+  obs::NotifyTrainEnd(observer, Name(), epochs_run,
+                      train_timer.ElapsedSeconds());
   if (early_stopping && !best_weights.empty()) {
     for (size_t i = 0; i < parameters.size(); ++i) {
       parameters[i].mutable_value() = best_weights[i];

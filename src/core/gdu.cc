@@ -1,5 +1,9 @@
 #include "core/gdu.h"
 
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace fkd {
 namespace core {
 
@@ -18,6 +22,10 @@ GduCell::GduCell(size_t input_dim, size_t hidden_dim, Rng* rng,
 
 ag::Variable GduCell::Step(const ag::Variable& x, const ag::Variable& z,
                            const ag::Variable& t) const {
+  FKD_TRACE_SCOPE("gdu/forward");
+  static obs::Histogram* forward_us =
+      obs::MetricsRegistry::Default().GetHistogram("fkd.gdu.forward_us");
+  ScopedTimer<obs::Histogram> step_timer(forward_us);
   FKD_CHECK_EQ(x.value().cols(), input_dim_);
   FKD_CHECK_EQ(z.value().cols(), hidden_dim_);
   FKD_CHECK_EQ(t.value().cols(), hidden_dim_);

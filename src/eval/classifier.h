@@ -10,6 +10,7 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "graph/hetero_graph.h"
+#include "obs/observer.h"
 
 namespace fkd {
 namespace eval {
@@ -42,6 +43,11 @@ struct TrainContext {
   std::vector<int32_t> train_subjects;
   LabelGranularity granularity = LabelGranularity::kBinary;
   uint64_t seed = 0;
+
+  /// Optional training telemetry sink (per-epoch loss/timing callbacks).
+  /// Not owned; may be null. Trainers report through
+  /// obs::NotifyTrainBegin/NotifyEpochEnd/NotifyTrainEnd.
+  obs::TrainObserver* observer = nullptr;
 
   /// Revealed target of a training node.
   int32_t ArticleTarget(int32_t id) const {

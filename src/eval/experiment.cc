@@ -3,7 +3,10 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "common/timer.h"
+#include "eval/report.h"
+#include "obs/trace.h"
 
 namespace fkd {
 namespace eval {
@@ -56,9 +59,13 @@ void ExperimentRunner::RegisterMethod(ClassifierFactory factory) {
 }
 
 Result<std::vector<SweepResult>> ExperimentRunner::Run() {
+  FKD_TRACE_SCOPE("experiment/run");
   if (factories_.empty()) {
     return Status::FailedPrecondition("no methods registered");
   }
+  obs::MetricsRegistry& registry = options_.registry != nullptr
+                                       ? *options_.registry
+                                       : obs::MetricsRegistry::Default();
   FKD_RETURN_NOT_OK(dataset_.Validate());
   FKD_ASSIGN_OR_RETURN(auto graph, dataset_.BuildGraph());
 
@@ -92,7 +99,9 @@ Result<std::vector<SweepResult>> ExperimentRunner::Run() {
       SweepResult cell;
       cell.theta = theta;
       cell.folds = folds_to_run;
+      WallTimer cell_timer;
       for (size_t fold = 0; fold < folds_to_run; ++fold) {
+        FKD_TRACE_SCOPE("experiment/fold");
         const data::TriSplit& split = splits[fold];
         // Deterministic per-(method, theta, fold) randomness.
         const uint64_t run_seed =
@@ -111,6 +120,7 @@ Result<std::vector<SweepResult>> ExperimentRunner::Run() {
             data::SubsampleTraining(split.creators.train, theta, &run_rng);
         context.train_subjects =
             data::SubsampleTraining(split.subjects.train, theta, &run_rng);
+        context.observer = options_.observer;
 
         std::unique_ptr<CredibilityClassifier> classifier = factories_[m]();
         FKD_CHECK(classifier != nullptr);
@@ -138,18 +148,39 @@ Result<std::vector<SweepResult>> ExperimentRunner::Run() {
                    EvaluateNodeType(split.subjects.test, subject_targets,
                                     predictions.subjects,
                                     options_.granularity));
+        const double run_seconds = timer.ElapsedSeconds();
+        registry.GetCounter("fkd.experiment.runs", {{"method", cell.method}})
+            ->Increment();
+        registry
+            .GetHistogram("fkd.experiment.run_seconds",
+                          {{"method", cell.method}})
+            ->Observe(run_seconds);
         if (options_.verbose) {
           FKD_LOG(Info) << cell.method << " theta=" << theta
-                        << " fold=" << fold << " done in "
-                        << timer.ElapsedSeconds() << "s";
+                        << " fold=" << fold << " done in " << run_seconds
+                        << "s";
         }
       }
+      cell.seconds = cell_timer.ElapsedSeconds();
       const double inverse_folds = 1.0 / static_cast<double>(folds_to_run);
       Scale(&cell.articles, inverse_folds);
       Scale(&cell.creators, inverse_folds);
       Scale(&cell.subjects, inverse_folds);
+      if (options_.progress) {
+        FKD_LOG(Info) << StrFormat(
+            "[%zu/%zu] %s theta=%.2f: article_acc=%.3f (%zu folds, %.2fs)",
+            results.size() + 1,
+            factories_.size() * options_.sample_ratios.size(),
+            cell.method.c_str(), theta, cell.articles.accuracy, cell.folds,
+            cell.seconds);
+      }
       results.push_back(std::move(cell));
     }
+  }
+  if (!options_.metrics_jsonl_path.empty()) {
+    FKD_RETURN_NOT_OK(WriteSweepJsonl(results, options_.metrics_jsonl_path));
+    FKD_LOG(Info) << "sweep metrics written to "
+                  << options_.metrics_jsonl_path;
   }
   return results;
 }

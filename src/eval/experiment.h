@@ -7,6 +7,8 @@
 #include "data/split.h"
 #include "eval/classifier.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
 
 namespace fkd {
 namespace eval {
@@ -26,6 +28,20 @@ struct ExperimentOptions {
   uint64_t seed = 7;
   /// Emit one INFO log line per completed (method, theta, fold) run.
   bool verbose = false;
+
+  /// Emit one INFO progress line per completed (method, theta) cell with
+  /// fold-averaged accuracy and wall time (coarser than `verbose`).
+  bool progress = false;
+  /// Forwarded to every classifier's TrainContext for per-epoch telemetry.
+  /// Not owned; may be null.
+  obs::TrainObserver* observer = nullptr;
+  /// Registry receiving sweep counters and run-time histograms
+  /// (fkd.experiment.runs, fkd.experiment.run_seconds, per method). Null
+  /// means obs::MetricsRegistry::Default().
+  obs::MetricsRegistry* registry = nullptr;
+  /// When non-empty, Run() writes the sweep results as JSONL to this path
+  /// (one row per method x theta x entity; see WriteSweepJsonl).
+  std::string metrics_jsonl_path;
 };
 
 /// The four figure metrics for one node type. For binary granularity these
@@ -47,6 +63,8 @@ struct SweepResult {
   MetricsRow creators;
   MetricsRow subjects;
   size_t folds = 0;
+  /// Total train+eval wall time across the cell's folds, seconds.
+  double seconds = 0.0;
 };
 
 /// Runs registered methods through the paper's evaluation protocol on one

@@ -169,5 +169,27 @@ Status WriteSweepCsv(const std::vector<SweepResult>& results,
   return Status::OK();
 }
 
+Status WriteSweepJsonl(const std::vector<SweepResult>& results,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  for (const auto& result : results) {
+    for (EntityKind kind : {EntityKind::kArticle, EntityKind::kCreator,
+                            EntityKind::kSubject}) {
+      const MetricsRow& row = RowFor(result, kind);
+      out << StrFormat(
+          "{\"method\":\"%s\",\"theta\":%.4g,\"entity\":\"%s\","
+          "\"accuracy\":%.6f,\"precision\":%.6f,\"recall\":%.6f,"
+          "\"f1\":%.6f,\"folds\":%zu,\"seconds\":%.6f}\n",
+          result.method.c_str(), result.theta, EntityKindName(kind),
+          row.accuracy, row.precision, row.recall, row.f1, result.folds,
+          result.seconds);
+    }
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
 }  // namespace eval
 }  // namespace fkd

@@ -45,6 +45,13 @@ std::string FormatFigureSeries(const std::vector<SweepResult>& results,
 Status WriteSweepCsv(const std::vector<SweepResult>& results,
                      const std::string& path);
 
+/// Writes the full sweep as JSONL at `path`: one object per
+/// (method, theta, entity) with accuracy/precision/recall/f1 plus the
+/// cell's fold count and total wall time in seconds. This is the metrics
+/// artifact ExperimentRunner emits when `metrics_jsonl_path` is set.
+Status WriteSweepJsonl(const std::vector<SweepResult>& results,
+                       const std::string& path);
+
 }  // namespace eval
 }  // namespace fkd
 

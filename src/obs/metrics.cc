@@ -1,0 +1,433 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fkd {
+namespace obs {
+
+namespace {
+
+/// Minimal JSON string escaping: instrument names and label values are
+/// plain identifiers in practice, but quotes/backslashes must not break
+/// the exporter output.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatNumber(double v) {
+  if (std::isnan(v)) return "null";
+  // %.17g round-trips doubles; trim the common integer case for readability.
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.9g", v);
+}
+
+Labels Canonicalize(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string Identity(const std::string& name, const Labels& canonical) {
+  std::string key = name;
+  key += '{';
+  for (size_t i = 0; i < canonical.size(); ++i) {
+    if (i > 0) key += ',';
+    key += canonical[i].first;
+    key += '=';
+    key += canonical[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+std::string LabelsJson(const Labels& labels) {
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += JsonEscape(labels[i].first);
+    out += "\":\"";
+    out += JsonEscape(labels[i].second);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+// ---- Counter / Gauge --------------------------------------------------------
+
+void Counter::Increment(double delta) {
+  FKD_DCHECK(delta >= 0.0);
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::Add(double delta) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (!value_.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+// ---- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(HistogramOptions options) : options_(options) {
+  FKD_CHECK_GT(options_.first_bound, 0.0);
+  FKD_CHECK_GT(options_.growth, 1.0);
+  FKD_CHECK_GT(options_.num_buckets, 0u);
+  counts_.assign(options_.num_buckets + 1, 0);
+}
+
+void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t bucket = 0;
+  double bound = options_.first_bound;
+  while (bucket < options_.num_buckets && value > bound) {
+    bound *= options_.growth;
+    ++bucket;
+  }
+  ++counts_[bucket];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+}
+
+uint64_t Histogram::Count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double Histogram::Sum() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sum_;
+}
+
+double Histogram::Min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_;
+}
+
+double Histogram::Max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_;
+}
+
+double Histogram::Mean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(count_);
+  uint64_t seen = 0;
+  double lower = 0.0;
+  double bound = options_.first_bound;
+  for (size_t bucket = 0; bucket < counts_.size(); ++bucket) {
+    const bool overflow = bucket == counts_.size() - 1;
+    const double upper =
+        overflow ? std::max(max_, bound / options_.growth) : bound;
+    if (counts_[bucket] > 0) {
+      if (static_cast<double>(seen + counts_[bucket]) >= rank) {
+        // Clamp interpolation to the observed range.
+        const double lo = std::max(lower, min_);
+        const double hi = std::min(upper, max_);
+        if (hi <= lo) return lo;
+        const double within =
+            (rank - static_cast<double>(seen)) /
+            static_cast<double>(counts_[bucket]);
+        return lo + within * (hi - lo);
+      }
+      seen += counts_[bucket];
+    }
+    lower = bound;
+    bound *= options_.growth;
+  }
+  return max_;
+}
+
+std::vector<double> Histogram::BucketBounds() const {
+  std::vector<double> bounds;
+  bounds.reserve(options_.num_buckets + 1);
+  double bound = options_.first_bound;
+  for (size_t i = 0; i < options_.num_buckets; ++i) {
+    bounds.push_back(bound);
+    bound *= options_.growth;
+  }
+  bounds.push_back(std::numeric_limits<double>::infinity());
+  return bounds;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counts_;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+}
+
+// ---- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+MetricsRegistry::Instrument* MetricsRegistry::FindOrCreate(
+    const std::string& name, const Labels& labels) {
+  Labels canonical = Canonicalize(labels);
+  std::string key = Identity(name, canonical);
+  auto it = instruments_.find(key);
+  if (it == instruments_.end()) {
+    Instrument instrument;
+    instrument.name = name;
+    instrument.labels = std::move(canonical);
+    it = instruments_.emplace(std::move(key), std::move(instrument)).first;
+  }
+  return &it->second;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instrument* instrument = FindOrCreate(name, labels);
+  FKD_CHECK(instrument->gauge == nullptr && instrument->histogram == nullptr)
+      << name << " already registered as a different instrument kind";
+  if (instrument->counter == nullptr) {
+    instrument->counter = std::make_unique<Counter>();
+  }
+  return instrument->counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instrument* instrument = FindOrCreate(name, labels);
+  FKD_CHECK(instrument->counter == nullptr && instrument->histogram == nullptr)
+      << name << " already registered as a different instrument kind";
+  if (instrument->gauge == nullptr) {
+    instrument->gauge = std::make_unique<Gauge>();
+  }
+  return instrument->gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const Labels& labels,
+                                         const HistogramOptions& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Instrument* instrument = FindOrCreate(name, labels);
+  FKD_CHECK(instrument->counter == nullptr && instrument->gauge == nullptr)
+      << name << " already registered as a different instrument kind";
+  if (instrument->histogram == nullptr) {
+    instrument->histogram = std::make_unique<Histogram>(options);
+  }
+  return instrument->histogram.get();
+}
+
+std::string MetricsRegistry::ExportText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [key, instrument] : instruments_) {
+    out << key << " ";
+    if (instrument.counter != nullptr) {
+      out << "counter " << FormatNumber(instrument.counter->Value());
+    } else if (instrument.gauge != nullptr) {
+      out << "gauge " << FormatNumber(instrument.gauge->Value());
+    } else if (instrument.histogram != nullptr) {
+      const Histogram& h = *instrument.histogram;
+      out << "histogram count=" << h.Count() << " sum=" << FormatNumber(h.Sum())
+          << " min=" << FormatNumber(h.Min()) << " max=" << FormatNumber(h.Max())
+          << " mean=" << FormatNumber(h.Mean())
+          << " p50=" << FormatNumber(h.Percentile(0.5))
+          << " p95=" << FormatNumber(h.Percentile(0.95));
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsRegistry::ExportJsonl() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [key, instrument] : instruments_) {
+    out << "{\"name\":\"" << JsonEscape(instrument.name) << "\",\"labels\":"
+        << LabelsJson(instrument.labels) << ",";
+    if (instrument.counter != nullptr) {
+      out << "\"type\":\"counter\",\"value\":"
+          << FormatNumber(instrument.counter->Value());
+    } else if (instrument.gauge != nullptr) {
+      out << "\"type\":\"gauge\",\"value\":"
+          << FormatNumber(instrument.gauge->Value());
+    } else if (instrument.histogram != nullptr) {
+      const Histogram& h = *instrument.histogram;
+      out << "\"type\":\"histogram\",\"count\":" << h.Count()
+          << ",\"sum\":" << FormatNumber(h.Sum())
+          << ",\"min\":" << FormatNumber(h.Min())
+          << ",\"max\":" << FormatNumber(h.Max())
+          << ",\"mean\":" << FormatNumber(h.Mean())
+          << ",\"p50\":" << FormatNumber(h.Percentile(0.5))
+          << ",\"p95\":" << FormatNumber(h.Percentile(0.95))
+          << ",\"buckets\":[";
+      const auto bounds = h.BucketBounds();
+      const auto counts = h.BucketCounts();
+      bool first = true;
+      for (size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0) continue;  // Sparse: empty buckets are implicit.
+        if (!first) out << ",";
+        first = false;
+        out << "[" << (std::isinf(bounds[i]) ? std::string("\"inf\"")
+                                             : FormatNumber(bounds[i]))
+            << "," << counts[i] << "]";
+      }
+      out << "]";
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+Status MetricsRegistry::WriteJsonl(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  file << ExportJsonl();
+  if (!file.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, instrument] : instruments_) {
+    if (instrument.counter != nullptr) instrument.counter->Reset();
+    if (instrument.gauge != nullptr) instrument.gauge->Set(0.0);
+    if (instrument.histogram != nullptr) instrument.histogram->Reset();
+  }
+}
+
+size_t MetricsRegistry::NumInstruments() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return instruments_.size();
+}
+
+// ---- JSONL re-parse ---------------------------------------------------------
+
+namespace {
+
+/// Extracts the raw token after "key": in a flat JSON object line.
+bool ExtractField(const std::string& line, const std::string& key,
+                  std::string* out) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = line.find(needle);
+  if (pos == std::string::npos) return false;
+  size_t start = pos + needle.size();
+  if (start >= line.size()) return false;
+  if (line[start] == '"') {
+    const size_t end = line.find('"', start + 1);
+    if (end == std::string::npos) return false;
+    *out = line.substr(start + 1, end - start - 1);
+    return true;
+  }
+  size_t end = start;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  *out = line.substr(start, end - start);
+  return true;
+}
+
+}  // namespace
+
+Result<MetricRecord> ParseMetricJsonl(const std::string& line) {
+  MetricRecord record;
+  if (!ExtractField(line, "name", &record.name)) {
+    return Status::Corruption("metric line missing name: " + line);
+  }
+  if (!ExtractField(line, "type", &record.type)) {
+    return Status::Corruption("metric line missing type: " + line);
+  }
+  // Labels object: parse "k":"v" pairs between the braces after "labels":.
+  const size_t labels_pos = line.find("\"labels\":{");
+  if (labels_pos != std::string::npos) {
+    size_t cursor = labels_pos + 10;
+    const size_t close = line.find('}', cursor);
+    while (cursor < close) {
+      const size_t k0 = line.find('"', cursor);
+      if (k0 == std::string::npos || k0 >= close) break;
+      const size_t k1 = line.find('"', k0 + 1);
+      const size_t v0 = line.find('"', k1 + 1);
+      const size_t v1 = line.find('"', v0 + 1);
+      if (k1 == std::string::npos || v0 == std::string::npos ||
+          v1 == std::string::npos || v1 > close) {
+        break;
+      }
+      record.labels.emplace_back(line.substr(k0 + 1, k1 - k0 - 1),
+                                 line.substr(v0 + 1, v1 - v0 - 1));
+      cursor = v1 + 1;
+    }
+  }
+  std::string token;
+  if (record.type == "histogram") {
+    uint64_t count = 0;
+    if (!ExtractField(line, "count", &token) || !ParseUint64(token, &count)) {
+      return Status::Corruption("histogram line missing count: " + line);
+    }
+    record.count = count;
+    double sum = 0.0;
+    if (!ExtractField(line, "sum", &token) || !ParseDouble(token, &sum)) {
+      return Status::Corruption("histogram line missing sum: " + line);
+    }
+    record.sum = sum;
+  } else {
+    double value = 0.0;
+    if (!ExtractField(line, "value", &token) || !ParseDouble(token, &value)) {
+      return Status::Corruption("metric line missing value: " + line);
+    }
+    record.value = value;
+  }
+  return record;
+}
+
+}  // namespace obs
+}  // namespace fkd

@@ -1,0 +1,176 @@
+#ifndef FKD_OBS_METRICS_H_
+#define FKD_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fkd {
+namespace obs {
+
+/// Metric labels as key=value pairs. Order does not matter: the registry
+/// canonicalises (sorts by key) before building the instrument identity.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing counter. Thread-safe; increments from multiple
+/// threads never lose updates.
+class Counter {
+ public:
+  Counter() : value_(0.0) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Increment(double delta = 1.0);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Back to zero; only MetricsRegistry::Reset() and tests should call this
+  /// (a counter is otherwise monotone).
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_;
+};
+
+/// Last-write-wins instantaneous value. Thread-safe.
+class Gauge {
+ public:
+  Gauge() : value_(0.0) {}
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_;
+};
+
+/// Bucket layout of a Histogram: fixed exponential bounds
+/// first_bound * growth^i for i in [0, num_buckets), plus an overflow
+/// bucket. The defaults cover 1us .. ~10^9us, the range of every duration
+/// metric in this codebase.
+struct HistogramOptions {
+  double first_bound = 1.0;
+  double growth = 4.0;
+  size_t num_buckets = 16;
+};
+
+/// Distribution of observed values: exponential buckets plus exact
+/// count/sum/min/max summary stats. Thread-safe.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+
+  uint64_t Count() const;
+  double Sum() const;
+  double Min() const;  ///< 0 when empty.
+  double Max() const;  ///< 0 when empty.
+  double Mean() const;
+
+  /// Approximate percentile (0 < p < 1) by linear interpolation within the
+  /// owning bucket. Exact for min/max queries at p=0/1 boundaries.
+  double Percentile(double p) const;
+
+  /// Upper bounds, one per bucket (the overflow bucket has bound +inf).
+  std::vector<double> BucketBounds() const;
+  std::vector<uint64_t> BucketCounts() const;
+
+  /// Resets every count and summary stat (bucket layout is kept).
+  void Reset();
+
+ private:
+  HistogramOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<uint64_t> counts_;  // num_buckets + 1 (overflow)
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Thread-safe registry of named instruments. Instruments are identified by
+/// name + labels and are created on first access; the returned pointers
+/// stay valid for the lifetime of the registry (Reset() zeroes values but
+/// never destroys instruments, so cached pointers survive).
+///
+/// Naming scheme: dot-separated lowercase, unit suffix where applicable —
+/// e.g. "fkd.train.loss", "fkd.gdu.forward_us", "fkd.experiment.run_seconds".
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Process-wide default registry (what FKD-internal instrumentation and
+  /// MetricsObserver use unless given an explicit registry).
+  static MetricsRegistry& Default();
+
+  /// Fetch-or-create. Aborts (FKD_CHECK) if the same name+labels was
+  /// previously registered as a different instrument kind.
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {},
+                          const HistogramOptions& options = {});
+
+  /// Human-readable dump, one instrument per line, sorted by identity.
+  std::string ExportText() const;
+
+  /// Machine-readable dump: one JSON object per line, e.g.
+  ///   {"name":"fkd.train.loss","labels":{"method":"rnn"},
+  ///    "type":"gauge","value":0.693}
+  /// Histogram lines carry count/sum/min/max/mean/p50/p95 and the bucket
+  /// arrays.
+  std::string ExportJsonl() const;
+  Status WriteJsonl(const std::string& path) const;
+
+  /// Zeroes every instrument without destroying it (cached pointers stay
+  /// valid). Intended for tests and between bench repetitions.
+  void Reset();
+
+  size_t NumInstruments() const;
+
+ private:
+  struct Instrument {
+    std::string name;
+    Labels labels;  // canonical (sorted by key)
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Instrument* FindOrCreate(const std::string& name, const Labels& labels);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Instrument> instruments_;  // key = identity string
+};
+
+/// One record parsed back from a line of MetricsRegistry::ExportJsonl —
+/// enough for round-trip tests and for bench scripts that aggregate runs.
+/// Only understands the exporter's own output format.
+struct MetricRecord {
+  std::string name;
+  Labels labels;
+  std::string type;      // "counter" | "gauge" | "histogram"
+  double value = 0.0;    // counter/gauge
+  uint64_t count = 0;    // histogram
+  double sum = 0.0;      // histogram
+};
+
+Result<MetricRecord> ParseMetricJsonl(const std::string& line);
+
+}  // namespace obs
+}  // namespace fkd
+
+#endif  // FKD_OBS_METRICS_H_

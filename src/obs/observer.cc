@@ -1,0 +1,73 @@
+#include "obs/observer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fkd {
+namespace obs {
+
+void LoggingObserver::OnTrainBegin(const std::string& method,
+                                   size_t planned_epochs) {
+  planned_epochs_ = planned_epochs;
+  FKD_LOG(Info) << method << ": training for " << planned_epochs << " epochs";
+}
+
+void LoggingObserver::OnEpochEnd(const std::string& method,
+                                 const EpochStats& stats) {
+  if (log_every_ == 0) return;
+  const bool last = planned_epochs_ > 0 && stats.epoch + 1 == planned_epochs_;
+  if (stats.epoch % log_every_ != 0 && !last) return;
+  std::string line = StrFormat("%s epoch %zu", method.c_str(), stats.epoch);
+  if (!std::isnan(stats.loss)) {
+    line += StrFormat(" loss %.4f", static_cast<double>(stats.loss));
+  }
+  if (!std::isnan(stats.validation_loss)) {
+    line += StrFormat(" val_loss %.4f",
+                      static_cast<double>(stats.validation_loss));
+  }
+  if (!std::isnan(stats.grad_norm)) {
+    line += StrFormat(" grad_norm %.3f", static_cast<double>(stats.grad_norm));
+  }
+  line += StrFormat(" (%.1f ms)", stats.seconds * 1e3);
+  FKD_LOG(Info) << line;
+}
+
+void LoggingObserver::OnTrainEnd(const std::string& method, size_t epochs_run,
+                                 double seconds) {
+  FKD_LOG(Info) << method << ": " << epochs_run << " epochs in "
+                << StrFormat("%.2f", seconds) << "s";
+}
+
+MetricsObserver::MetricsObserver(MetricsRegistry* registry)
+    : registry_(registry != nullptr ? registry : &MetricsRegistry::Default()) {}
+
+void MetricsObserver::OnEpochEnd(const std::string& method,
+                                 const EpochStats& stats) {
+  const Labels labels = {{"method", method}};
+  registry_->GetCounter("fkd.train.epochs", labels)->Increment();
+  registry_->GetHistogram("fkd.train.epoch_us", labels)
+      ->Observe(stats.seconds * 1e6);
+  if (!std::isnan(stats.loss)) {
+    registry_->GetGauge("fkd.train.loss", labels)->Set(stats.loss);
+  }
+  if (!std::isnan(stats.validation_loss)) {
+    registry_->GetGauge("fkd.train.validation_loss", labels)
+        ->Set(stats.validation_loss);
+  }
+  if (!std::isnan(stats.grad_norm)) {
+    registry_->GetGauge("fkd.train.grad_norm", labels)->Set(stats.grad_norm);
+  }
+}
+
+void MetricsObserver::OnTrainEnd(const std::string& method, size_t epochs_run,
+                                 double seconds) {
+  (void)epochs_run;
+  const Labels labels = {{"method", method}};
+  registry_->GetCounter("fkd.train.runs", labels)->Increment();
+  registry_->GetGauge("fkd.train.wall_s", labels)->Set(seconds);
+}
+
+}  // namespace obs
+}  // namespace fkd

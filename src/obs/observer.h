@@ -1,0 +1,136 @@
+#ifndef FKD_OBS_OBSERVER_H_
+#define FKD_OBS_OBSERVER_H_
+
+#include <cstddef>
+#include <limits>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace fkd {
+namespace obs {
+
+/// Per-epoch snapshot delivered to TrainObserver::OnEpochEnd. Fields a
+/// trainer cannot provide stay NaN (e.g. validation loss without a holdout,
+/// grad norm for SGD-free methods).
+struct EpochStats {
+  size_t epoch = 0;  ///< 0-based epoch index.
+  float loss = std::numeric_limits<float>::quiet_NaN();
+  float validation_loss = std::numeric_limits<float>::quiet_NaN();
+  /// Pre-clipping global gradient L2 norm.
+  float grad_norm = std::numeric_limits<float>::quiet_NaN();
+  double seconds = 0.0;        ///< Wall time of this epoch.
+  double total_seconds = 0.0;  ///< Wall time since OnTrainBegin (monotone).
+};
+
+/// Callback interface observing one training run. `method` names the
+/// training phase — "FakeDetector", "gcn", "rnn/articles",
+/// "deepwalk/skipgram", "line" — so one observer can watch a whole sweep.
+/// Trainers invoke callbacks from the training thread, in order:
+/// OnTrainBegin, then one OnEpochEnd per epoch, then OnTrainEnd.
+class TrainObserver {
+ public:
+  virtual ~TrainObserver() = default;
+
+  /// `planned_epochs` is an upper bound when early stopping may fire.
+  virtual void OnTrainBegin(const std::string& method, size_t planned_epochs) {
+    (void)method;
+    (void)planned_epochs;
+  }
+
+  virtual void OnEpochEnd(const std::string& method, const EpochStats& stats) {
+    (void)method;
+    (void)stats;
+  }
+
+  virtual void OnTrainEnd(const std::string& method, size_t epochs_run,
+                          double seconds) {
+    (void)method;
+    (void)epochs_run;
+    (void)seconds;
+  }
+};
+
+/// Null-safe notification helpers: trainers hold a possibly-null observer
+/// pointer and call these unconditionally.
+inline void NotifyTrainBegin(TrainObserver* observer, const std::string& method,
+                             size_t planned_epochs) {
+  if (observer != nullptr) observer->OnTrainBegin(method, planned_epochs);
+}
+inline void NotifyEpochEnd(TrainObserver* observer, const std::string& method,
+                           const EpochStats& stats) {
+  if (observer != nullptr) observer->OnEpochEnd(method, stats);
+}
+inline void NotifyTrainEnd(TrainObserver* observer, const std::string& method,
+                           size_t epochs_run, double seconds) {
+  if (observer != nullptr) observer->OnTrainEnd(method, epochs_run, seconds);
+}
+
+/// Logs one INFO line per `log_every` epochs (plus the final epoch) and a
+/// summary line at train end — the human-readable telemetry quickstart and
+/// the benches attach.
+class LoggingObserver : public TrainObserver {
+ public:
+  explicit LoggingObserver(size_t log_every = 1) : log_every_(log_every) {}
+
+  void OnTrainBegin(const std::string& method, size_t planned_epochs) override;
+  void OnEpochEnd(const std::string& method, const EpochStats& stats) override;
+  void OnTrainEnd(const std::string& method, size_t epochs_run,
+                  double seconds) override;
+
+ private:
+  size_t log_every_;
+  size_t planned_epochs_ = 0;
+};
+
+/// Records every callback into a MetricsRegistry under the method label:
+///   fkd.train.loss / fkd.train.validation_loss / fkd.train.grad_norm  gauge
+///   fkd.train.epochs / fkd.train.runs                                 counter
+///   fkd.train.epoch_us                                                histogram
+///   fkd.train.wall_s                                                  gauge
+class MetricsObserver : public TrainObserver {
+ public:
+  /// `registry` null means MetricsRegistry::Default(). The registry must
+  /// outlive the observer.
+  explicit MetricsObserver(MetricsRegistry* registry = nullptr);
+
+  void OnEpochEnd(const std::string& method, const EpochStats& stats) override;
+  void OnTrainEnd(const std::string& method, size_t epochs_run,
+                  double seconds) override;
+
+  MetricsRegistry* registry() const { return registry_; }
+
+ private:
+  MetricsRegistry* registry_;
+};
+
+/// Fans one training run out to two observers (e.g. logging + metrics).
+/// Either may be null.
+class TeeObserver : public TrainObserver {
+ public:
+  TeeObserver(TrainObserver* first, TrainObserver* second)
+      : first_(first), second_(second) {}
+
+  void OnTrainBegin(const std::string& method, size_t planned_epochs) override {
+    NotifyTrainBegin(first_, method, planned_epochs);
+    NotifyTrainBegin(second_, method, planned_epochs);
+  }
+  void OnEpochEnd(const std::string& method, const EpochStats& stats) override {
+    NotifyEpochEnd(first_, method, stats);
+    NotifyEpochEnd(second_, method, stats);
+  }
+  void OnTrainEnd(const std::string& method, size_t epochs_run,
+                  double seconds) override {
+    NotifyTrainEnd(first_, method, epochs_run, seconds);
+    NotifyTrainEnd(second_, method, epochs_run, seconds);
+  }
+
+ private:
+  TrainObserver* first_;
+  TrainObserver* second_;
+};
+
+}  // namespace obs
+}  // namespace fkd
+
+#endif  // FKD_OBS_OBSERVER_H_

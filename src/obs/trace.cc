@@ -1,0 +1,133 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+namespace fkd {
+namespace obs {
+
+namespace {
+
+/// Per-thread span nesting depth (for the depth field of TraceEvent).
+thread_local int32_t t_span_depth = 0;
+
+uint64_t CurrentThreadId() {
+  return static_cast<uint64_t>(
+      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+}
+
+std::string JsonEscape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    out += *s;
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+void Tracer::Enable(bool enabled) {
+  enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+void Tracer::SetCapacity(size_t max_events) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = max_events;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+size_t Tracer::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+size_t Tracer::NumDropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+int64_t Tracer::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void Tracer::Record(const TraceEvent& event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+std::string Tracer::ExportChromeJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    if (i > 0) out << ",";
+    // Complete events ("ph":"X") need name/cat/ts/dur/pid/tid.
+    out << "\n{\"name\":\"" << JsonEscape(e.name)
+        << "\",\"cat\":\"fkd\",\"ph\":\"X\",\"ts\":" << e.start_us
+        << ",\"dur\":" << e.duration_us << ",\"pid\":1,\"tid\":"
+        << (e.thread_id % 1000000) << ",\"args\":{\"depth\":" << e.depth
+        << "}}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IoError("cannot open " + path + " for writing");
+  }
+  file << ExportChromeJson();
+  if (!file.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+ScopedSpan::ScopedSpan(const char* name)
+    : name_(name), active_(Tracer::Get().enabled()) {
+  if (!active_) return;
+  start_us_ = Tracer::Get().NowMicros();
+  depth_ = t_span_depth++;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  --t_span_depth;
+  TraceEvent event;
+  event.name = name_;
+  event.thread_id = CurrentThreadId();
+  event.start_us = start_us_;
+  event.duration_us = Tracer::Get().NowMicros() - start_us_;
+  event.depth = depth_;
+  Tracer::Get().Record(event);
+}
+
+}  // namespace obs
+}  // namespace fkd

@@ -1,0 +1,114 @@
+#ifndef FKD_OBS_TRACE_H_
+#define FKD_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+// FKD_TRACING_ENABLED is normally injected by CMake (option
+// FKD_ENABLE_TRACING: default ON in Debug builds, OFF in Release). When the
+// flag is 0, FKD_TRACE_SCOPE compiles to nothing; the Tracer/ScopedSpan
+// classes themselves are always available (tests and tools use them
+// directly).
+#ifndef FKD_TRACING_ENABLED
+#define FKD_TRACING_ENABLED 0
+#endif
+
+namespace fkd {
+namespace obs {
+
+/// One completed span in the in-process trace buffer. Times are
+/// microseconds on the steady clock, relative to the tracer epoch (process
+/// start), which is what the Chrome trace format expects.
+struct TraceEvent {
+  const char* name = "";  ///< Static string (span names are literals).
+  uint64_t thread_id = 0;
+  int64_t start_us = 0;
+  int64_t duration_us = 0;
+  int32_t depth = 0;  ///< Nesting depth within the thread at span begin.
+};
+
+/// Process-wide trace collector: a bounded in-memory buffer of completed
+/// spans, exportable as Chrome trace-viewer JSON (load the file in
+/// chrome://tracing or https://ui.perfetto.dev). Collection is off by
+/// default; Enable(true) turns it on. Thread-safe.
+class Tracer {
+ public:
+  static Tracer& Get();
+
+  void Enable(bool enabled);
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Maximum buffered spans; further spans are counted as dropped.
+  void SetCapacity(size_t max_events);
+
+  void Clear();
+
+  std::vector<TraceEvent> Snapshot() const;
+  size_t NumEvents() const;
+  size_t NumDropped() const;
+
+  /// Microseconds since the tracer epoch (steady clock).
+  int64_t NowMicros() const;
+
+  /// {"traceEvents":[...]} with one complete ("ph":"X") event per span.
+  std::string ExportChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+  /// Called by ScopedSpan; records one completed span if enabled.
+  void Record(const TraceEvent& event);
+
+ private:
+  Tracer();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  size_t capacity_ = 1 << 16;
+  size_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: measures from construction to destruction and records into
+/// Tracer::Get() when tracing is runtime-enabled. `name` must outlive the
+/// span — pass a string literal like "gdu/forward".
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  bool active_;
+  int64_t start_us_ = 0;
+  int32_t depth_ = 0;
+};
+
+}  // namespace obs
+}  // namespace fkd
+
+#define FKD_TRACE_CONCAT_INNER(a, b) a##b
+#define FKD_TRACE_CONCAT(a, b) FKD_TRACE_CONCAT_INNER(a, b)
+
+/// Compile-time-gated RAII trace span for hot paths:
+///   FKD_TRACE_SCOPE("gdu/forward");
+/// Costs nothing when FKD_ENABLE_TRACING=OFF (the default in Release), and
+/// a single enabled-flag load when built in but runtime-disabled.
+#if FKD_TRACING_ENABLED
+#define FKD_TRACE_SCOPE(name) \
+  ::fkd::obs::ScopedSpan FKD_TRACE_CONCAT(fkd_trace_span_, __LINE__)(name)
+#else
+#define FKD_TRACE_SCOPE(name) \
+  do {                        \
+  } while (false)
+#endif
+
+#endif  // FKD_OBS_TRACE_H_

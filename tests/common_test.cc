@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/flags.h"
+#include "common/logging.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -302,6 +303,75 @@ TEST(FlagsTest, HelpReturnsFailedPrecondition) {
   EXPECT_EQ(flags.Parse(2, const_cast<char**>(argv)).code(),
             StatusCode::kFailedPrecondition);
   EXPECT_NE(flags.Usage("prog").find("count"), std::string::npos);
+}
+
+// ---- Logging ----------------------------------------------------------------
+
+TEST(LoggingTest, ParseLogLevelNames) {
+  LogLevel level;
+  EXPECT_TRUE(internal::ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(internal::ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(internal::ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(internal::ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(internal::ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(internal::ParseLogLevel("fatal", &level));
+  EXPECT_EQ(level, LogLevel::kFatal);
+}
+
+TEST(LoggingTest, ParseLogLevelDigits) {
+  LogLevel level;
+  EXPECT_TRUE(internal::ParseLogLevel("0", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(internal::ParseLogLevel("3", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(LoggingTest, ParseLogLevelRejectsGarbage) {
+  LogLevel level;
+  EXPECT_FALSE(internal::ParseLogLevel("", &level));
+  EXPECT_FALSE(internal::ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(internal::ParseLogLevel("7", &level));
+  EXPECT_FALSE(internal::ParseLogLevel(nullptr, &level));
+}
+
+TEST(LoggingTest, LinesCarryTimestampAndSeverityPrefix) {
+  const LogLevel saved = internal::GetMinLogLevel();
+  internal::SetMinLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  FKD_LOG(Info) << "timestamp probe";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  internal::SetMinLogLevel(saved);
+
+  // Expect "[2026-08-06T12:34:56.789Z INFO file:line] timestamp probe".
+  ASSERT_FALSE(output.empty());
+  EXPECT_EQ(output[0], '[');
+  ASSERT_GE(output.size(), 25u);
+  const std::string stamp = output.substr(1, 24);
+  EXPECT_EQ(stamp[4], '-');
+  EXPECT_EQ(stamp[7], '-');
+  EXPECT_EQ(stamp[10], 'T');
+  EXPECT_EQ(stamp[13], ':');
+  EXPECT_EQ(stamp[16], ':');
+  EXPECT_EQ(stamp[19], '.');
+  EXPECT_EQ(stamp[23], 'Z');
+  EXPECT_NE(output.find(" INFO "), std::string::npos);
+  EXPECT_NE(output.find("common_test.cc:"), std::string::npos);
+  EXPECT_NE(output.find("] timestamp probe"), std::string::npos);
+}
+
+TEST(LoggingTest, MessagesBelowMinLevelAreSuppressed) {
+  const LogLevel saved = internal::GetMinLogLevel();
+  internal::SetMinLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  FKD_LOG(Info) << "should not appear";
+  const std::string output = ::testing::internal::GetCapturedStderr();
+  internal::SetMinLogLevel(saved);
+  EXPECT_EQ(output.find("should not appear"), std::string::npos);
 }
 
 }  // namespace

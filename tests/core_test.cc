@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/fake_detector.h"
 #include "core/gdu.h"
 #include "core/hflu.h"
 #include "data/generator.h"
 #include "data/split.h"
 #include "eval/metrics.h"
+#include "obs/observer.h"
 #include "tests/test_util.h"
 
 namespace fkd {
@@ -395,6 +398,65 @@ TEST(FakeDetectorTest, BadValidationFractionRejected) {
 TEST(FakeDetectorTest, NameMatchesPaper) {
   FakeDetector detector;
   EXPECT_EQ(detector.Name(), "FakeDetector");
+}
+
+TEST(FakeDetectorTest, TrainObserverSeesEveryEpoch) {
+  struct RecordingObserver : obs::TrainObserver {
+    std::string method;
+    size_t planned_epochs = 0;
+    size_t begins = 0;
+    size_t ends = 0;
+    size_t epochs_run_reported = 0;
+    std::vector<obs::EpochStats> epochs;
+    void OnTrainBegin(const std::string& m, size_t planned) override {
+      method = m;
+      planned_epochs = planned;
+      ++begins;
+    }
+    void OnEpochEnd(const std::string& m, const obs::EpochStats& s) override {
+      EXPECT_EQ(m, method);
+      epochs.push_back(s);
+    }
+    void OnTrainEnd(const std::string& m, size_t epochs_run,
+                    double seconds) override {
+      EXPECT_EQ(m, method);
+      EXPECT_GE(seconds, 0.0);
+      epochs_run_reported = epochs_run;
+      ++ends;
+    }
+  };
+
+  auto fixture = MakeFixture(150, eval::LabelGranularity::kBinary);
+  RecordingObserver observer;
+  fixture.context.observer = &observer;
+  FakeDetectorConfig config = FastConfig();
+  config.epochs = 8;
+  FakeDetector detector(config);
+  ASSERT_TRUE(detector.Train(fixture.context).ok());
+
+  EXPECT_EQ(observer.begins, 1u);
+  EXPECT_EQ(observer.ends, 1u);
+  EXPECT_EQ(observer.method, "FakeDetector");
+  EXPECT_EQ(observer.planned_epochs, config.epochs);
+  // Exactly one callback per epoch, epochs in order, timestamps monotone.
+  ASSERT_EQ(observer.epochs.size(), config.epochs);
+  EXPECT_EQ(observer.epochs_run_reported, config.epochs);
+  double previous_total = 0.0;
+  for (size_t i = 0; i < observer.epochs.size(); ++i) {
+    const obs::EpochStats& stats = observer.epochs[i];
+    EXPECT_EQ(stats.epoch, i);
+    EXPECT_TRUE(std::isfinite(stats.loss));
+    EXPECT_TRUE(std::isfinite(stats.grad_norm));
+    EXPECT_GE(stats.seconds, 0.0);
+    EXPECT_GE(stats.total_seconds, previous_total);
+    previous_total = stats.total_seconds;
+  }
+  // The observed losses are the recorded train stats.
+  const TrainStats& stats = detector.train_stats();
+  ASSERT_EQ(stats.epoch_losses.size(), observer.epochs.size());
+  for (size_t i = 0; i < observer.epochs.size(); ++i) {
+    EXPECT_FLOAT_EQ(stats.epoch_losses[i], observer.epochs[i].loss);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,351 @@
+// Tests for the observability subsystem: metrics registry semantics,
+// JSONL export round-trip, trace span nesting, observer plumbing, and
+// thread-safety of concurrent instrument updates.
+
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/observer.h"
+#include "obs/trace.h"
+
+namespace fkd {
+namespace obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_DOUBLE_EQ(counter.Value(), 0.0);
+  counter.Increment();
+  counter.Increment(2.5);
+  EXPECT_DOUBLE_EQ(counter.Value(), 3.5);
+  counter.Reset();
+  EXPECT_DOUBLE_EQ(counter.Value(), 0.0);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge gauge;
+  gauge.Set(10.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 10.0);
+  gauge.Add(-3.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 7.0);
+  gauge.Set(-1.5);
+  EXPECT_DOUBLE_EQ(gauge.Value(), -1.5);
+}
+
+TEST(HistogramTest, SummaryStats) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 0.0);
+
+  for (double v : {1.0, 2.0, 4.0, 8.0, 100.0}) histogram.Observe(v);
+  EXPECT_EQ(histogram.Count(), 5u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 115.0);
+  EXPECT_DOUBLE_EQ(histogram.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 100.0);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 23.0);
+
+  histogram.Reset();
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.0);
+}
+
+TEST(HistogramTest, BucketLayoutAndOverflow) {
+  HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 3;  // bounds 1, 2, 4, then overflow
+  Histogram histogram(options);
+
+  const auto bounds = histogram.BucketBounds();
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 2.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 4.0);
+  EXPECT_TRUE(std::isinf(bounds[3]));
+
+  histogram.Observe(0.5);   // bucket 0 (<= 1)
+  histogram.Observe(1.0);   // bucket 0 (boundary inclusive)
+  histogram.Observe(3.0);   // bucket 2
+  histogram.Observe(100.0); // overflow
+  const auto counts = histogram.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(HistogramTest, PercentileIsOrderedAndBounded) {
+  Histogram histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.Observe(static_cast<double>(i));
+  const double p50 = histogram.Percentile(0.5);
+  const double p95 = histogram.Percentile(0.95);
+  EXPECT_LE(p50, p95);
+  EXPECT_GE(p50, histogram.Min());
+  EXPECT_LE(p95, histogram.Max());
+}
+
+TEST(RegistryTest, SameNameAndLabelsYieldSamePointer) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("fkd.test.hits", {{"method", "gcn"}});
+  Counter* b = registry.GetCounter("fkd.test.hits", {{"method", "gcn"}});
+  Counter* c = registry.GetCounter("fkd.test.hits", {{"method", "rnn"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(registry.NumInstruments(), 2u);
+}
+
+TEST(RegistryTest, LabelOrderDoesNotMatter) {
+  MetricsRegistry registry;
+  Gauge* a = registry.GetGauge("g", {{"x", "1"}, {"y", "2"}});
+  Gauge* b = registry.GetGauge("g", {{"y", "2"}, {"x", "1"}});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.NumInstruments(), 1u);
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsPointersValid) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("c");
+  Histogram* histogram = registry.GetHistogram("h");
+  counter->Increment(5.0);
+  histogram->Observe(3.0);
+
+  registry.Reset();
+  EXPECT_EQ(registry.NumInstruments(), 2u);
+  EXPECT_DOUBLE_EQ(counter->Value(), 0.0);
+  EXPECT_EQ(histogram->Count(), 0u);
+  // The same pointers are still live and writable after Reset.
+  counter->Increment();
+  EXPECT_DOUBLE_EQ(registry.GetCounter("c")->Value(), 1.0);
+  EXPECT_EQ(registry.GetCounter("c"), counter);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIncrementsPerThread = 10000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      // Every thread resolves the instrument itself: exercises the
+      // registry's fetch-or-create path under contention too.
+      Counter* counter =
+          registry.GetCounter("fkd.test.concurrent", {{"kind", "counter"}});
+      Histogram* histogram =
+          registry.GetHistogram("fkd.test.latency", {{"kind", "histogram"}});
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        counter->Increment();
+        histogram->Observe(1.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_DOUBLE_EQ(
+      registry.GetCounter("fkd.test.concurrent", {{"kind", "counter"}})
+          ->Value(),
+      static_cast<double>(kThreads * kIncrementsPerThread));
+  EXPECT_EQ(
+      registry.GetHistogram("fkd.test.latency", {{"kind", "histogram"}})
+          ->Count(),
+      static_cast<uint64_t>(kThreads * kIncrementsPerThread));
+}
+
+TEST(RegistryTest, ExportTextMentionsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("alpha")->Increment(2.0);
+  registry.GetGauge("beta", {{"m", "x"}})->Set(0.5);
+  registry.GetHistogram("gamma")->Observe(7.0);
+  const std::string text = registry.ExportText();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  EXPECT_NE(text.find("m=x"), std::string::npos);
+  EXPECT_NE(text.find("gamma"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonlRoundTrip) {
+  MetricsRegistry registry;
+  registry.GetCounter("fkd.test.runs", {{"method", "line"}})->Increment(3.0);
+  registry.GetGauge("fkd.test.loss", {{"method", "line"}})->Set(0.25);
+  Histogram* histogram = registry.GetHistogram("fkd.test.us");
+  histogram->Observe(10.0);
+  histogram->Observe(30.0);
+
+  const std::string jsonl = registry.ExportJsonl();
+  std::istringstream lines(jsonl);
+  std::string line;
+  size_t parsed = 0;
+  bool saw_counter = false, saw_gauge = false, saw_histogram = false;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    auto record_result = ParseMetricJsonl(line);
+    ASSERT_TRUE(record_result.ok()) << record_result.status().ToString()
+                                    << " line: " << line;
+    const MetricRecord& record = record_result.value();
+    ++parsed;
+    if (record.name == "fkd.test.runs") {
+      saw_counter = true;
+      EXPECT_EQ(record.type, "counter");
+      EXPECT_DOUBLE_EQ(record.value, 3.0);
+      ASSERT_EQ(record.labels.size(), 1u);
+      EXPECT_EQ(record.labels[0].first, "method");
+      EXPECT_EQ(record.labels[0].second, "line");
+    } else if (record.name == "fkd.test.loss") {
+      saw_gauge = true;
+      EXPECT_EQ(record.type, "gauge");
+      EXPECT_DOUBLE_EQ(record.value, 0.25);
+    } else if (record.name == "fkd.test.us") {
+      saw_histogram = true;
+      EXPECT_EQ(record.type, "histogram");
+      EXPECT_EQ(record.count, 2u);
+      EXPECT_DOUBLE_EQ(record.sum, 40.0);
+    }
+  }
+  EXPECT_EQ(parsed, 3u);
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_histogram);
+}
+
+TEST(RegistryTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseMetricJsonl("not json").ok());
+  EXPECT_FALSE(ParseMetricJsonl("{}").ok());
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Enable(false);
+  tracer.Clear();
+  { ScopedSpan span("test/disabled"); }
+  EXPECT_EQ(tracer.NumEvents(), 0u);
+}
+
+TEST(TracerTest, SpanNestingDepthsAndContainment) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Clear();
+  tracer.Enable(true);
+  {
+    ScopedSpan outer("test/outer");
+    {
+      ScopedSpan inner("test/inner");
+    }
+  }
+  tracer.Enable(false);
+
+  const auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans complete innermost-first.
+  EXPECT_STREQ(events[0].name, "test/inner");
+  EXPECT_STREQ(events[1].name, "test/outer");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_EQ(events[0].thread_id, events[1].thread_id);
+  // The inner span is contained within the outer span.
+  EXPECT_GE(events[0].start_us, events[1].start_us);
+  EXPECT_LE(events[0].start_us + events[0].duration_us,
+            events[1].start_us + events[1].duration_us);
+
+  const std::string json = tracer.ExportChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("test/inner"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  tracer.Clear();
+}
+
+TEST(TracerTest, CapacityBoundsBufferAndCountsDrops) {
+  Tracer& tracer = Tracer::Get();
+  tracer.Clear();
+  tracer.SetCapacity(2);
+  tracer.Enable(true);
+  for (int i = 0; i < 5; ++i) {
+    ScopedSpan span("test/drop");
+  }
+  tracer.Enable(false);
+  EXPECT_EQ(tracer.NumEvents(), 2u);
+  EXPECT_EQ(tracer.NumDropped(), 3u);
+  tracer.SetCapacity(1 << 16);
+  tracer.Clear();
+}
+
+TEST(ObserverTest, NotifyHelpersTolerateNull) {
+  NotifyTrainBegin(nullptr, "m", 3);
+  NotifyEpochEnd(nullptr, "m", EpochStats{});
+  NotifyTrainEnd(nullptr, "m", 3, 0.1);
+}
+
+TEST(ObserverTest, MetricsObserverWritesInstruments) {
+  MetricsRegistry registry;
+  MetricsObserver observer(&registry);
+
+  EpochStats stats;
+  stats.epoch = 0;
+  stats.loss = 0.7f;
+  stats.grad_norm = 2.0f;
+  stats.seconds = 0.01;
+  stats.total_seconds = 0.01;
+  observer.OnEpochEnd("gcn", stats);
+  stats.epoch = 1;
+  stats.loss = 0.5f;
+  stats.validation_loss = 0.6f;
+  observer.OnEpochEnd("gcn", stats);
+  observer.OnTrainEnd("gcn", 2, 0.02);
+
+  const Labels labels = {{"method", "gcn"}};
+  EXPECT_DOUBLE_EQ(registry.GetCounter("fkd.train.epochs", labels)->Value(),
+                   2.0);
+  EXPECT_DOUBLE_EQ(registry.GetCounter("fkd.train.runs", labels)->Value(),
+                   1.0);
+  EXPECT_NEAR(registry.GetGauge("fkd.train.loss", labels)->Value(), 0.5,
+              1e-6);
+  EXPECT_NEAR(registry.GetGauge("fkd.train.validation_loss", labels)->Value(),
+              0.6, 1e-6);
+  EXPECT_EQ(registry.GetHistogram("fkd.train.epoch_us", labels)->Count(), 2u);
+  EXPECT_NEAR(registry.GetGauge("fkd.train.wall_s", labels)->Value(), 0.02,
+              1e-9);
+}
+
+TEST(ObserverTest, TeeFansOutToBoth) {
+  struct CountingObserver : TrainObserver {
+    int begins = 0, epochs = 0, ends = 0;
+    void OnTrainBegin(const std::string&, size_t) override { ++begins; }
+    void OnEpochEnd(const std::string&, const EpochStats&) override {
+      ++epochs;
+    }
+    void OnTrainEnd(const std::string&, size_t, double) override { ++ends; }
+  };
+  CountingObserver first, second;
+  TeeObserver tee(&first, &second);
+  tee.OnTrainBegin("m", 1);
+  tee.OnEpochEnd("m", EpochStats{});
+  tee.OnTrainEnd("m", 1, 0.0);
+  EXPECT_EQ(first.begins, 1);
+  EXPECT_EQ(second.epochs, 1);
+  EXPECT_EQ(first.ends, 1);
+  EXPECT_EQ(second.ends, 1);
+}
+
+TEST(ScopedTimerTest, ReportsIntoHistogramSink) {
+  Histogram histogram;
+  {
+    ScopedTimer<Histogram> timer(&histogram);
+    EXPECT_GE(timer.ElapsedMicros(), 0.0);
+  }
+  EXPECT_EQ(histogram.Count(), 1u);
+  EXPECT_GE(histogram.Sum(), 0.0);
+  // Null sink: timing is disabled, nothing crashes.
+  { ScopedTimer<Histogram> disabled(nullptr); }
+  EXPECT_EQ(histogram.Count(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fkd
