@@ -1,0 +1,203 @@
+// Serving throughput sweep: trains a small detector once, exports and
+// reloads a snapshot, then drives an InferenceEngine with an open-loop load
+// generator across worker-count x batch-size configurations. Each config
+// prints achieved req/s and latency percentiles, and optionally appends a
+// JSONL record per config for offline aggregation.
+//
+//   ./bench_serve_throughput [--articles=120] [--requests=400]
+//                            [--rate=0] [--jsonl=/path/out.jsonl]
+//
+// --rate caps offered load in req/s (0 = as fast as possible). The sweep is
+// the scaling story of the serving engine: with batching enabled, workers
+// amortise one forward over many queued requests, so req/s grows with the
+// pool until the queue (or the core count) is the bottleneck.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct ConfigResult {
+  size_t workers = 0;
+  size_t batch = 0;
+  double wall_seconds = 0.0;
+  double req_per_s = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_batch = 0.0;
+  uint64_t completed = 0;
+  uint64_t rejected = 0;
+};
+
+ConfigResult RunConfig(const std::shared_ptr<const fkd::serve::Snapshot>& snapshot,
+                       const std::vector<std::string>& texts, size_t workers,
+                       size_t batch, double rate) {
+  fkd::serve::EngineOptions options;
+  options.num_workers = workers;
+  options.max_batch_size = batch;
+  options.max_batch_delay_us = batch > 1 ? 500 : 0;
+  options.max_queue_depth = 4096;
+  fkd::serve::InferenceEngine engine(snapshot, options);
+  FKD_CHECK_OK(engine.Start());
+
+  // Open-loop generator: submissions are paced by the offered rate, not by
+  // completions, so queueing behaviour under overload is visible.
+  std::vector<fkd::serve::ClassificationFuture> futures;
+  futures.reserve(texts.size());
+  std::vector<double> latencies;
+  const Clock::time_point start = Clock::now();
+  for (size_t i = 0; i < texts.size(); ++i) {
+    if (rate > 0.0) {
+      const auto due = start + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(i / rate));
+      std::this_thread::sleep_until(due);
+    }
+    fkd::serve::ArticleRequest request;
+    request.text = texts[i];
+    auto submitted = engine.Submit(std::move(request));
+    if (submitted.ok()) futures.push_back(std::move(submitted).value());
+  }
+  double batch_sum = 0.0;
+  for (auto& future : futures) {
+    auto result = future.get();
+    if (!result.ok()) continue;
+    latencies.push_back(result.value().total_us);
+    batch_sum += static_cast<double>(result.value().batch_size);
+  }
+  const double wall = std::chrono::duration<double>(Clock::now() - start).count();
+  engine.Stop();
+
+  ConfigResult out;
+  out.workers = workers;
+  out.batch = batch;
+  out.wall_seconds = wall;
+  out.completed = engine.Stats().completed;
+  out.rejected = engine.Stats().rejected;
+  out.req_per_s = wall > 0.0 ? static_cast<double>(latencies.size()) / wall : 0.0;
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    out.p50_us = latencies[latencies.size() / 2];
+    out.p99_us = latencies[(latencies.size() * 99) / 100];
+    out.mean_batch = batch_sum / static_cast<double>(latencies.size());
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fkd::FlagParser flags;
+  flags.AddInt("articles", 120, "synthetic training corpus size");
+  flags.AddInt("train-epochs", 6, "training epochs before export");
+  flags.AddInt("requests", 400, "requests per configuration");
+  flags.AddDouble("rate", 0.0, "offered load in req/s (0 = unpaced)");
+  flags.AddString("jsonl", "", "append one JSON line per config to this file");
+  fkd::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return parsed.code() == fkd::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+
+  // Train once, snapshot, reload: the bench measures the serving path that a
+  // production restart would take, not the in-memory trained object.
+  auto dataset = fkd::data::GeneratePolitiFact(
+      fkd::data::GeneratorOptions::Scaled(
+          static_cast<size_t>(flags.GetInt("articles")), 55));
+  FKD_CHECK_OK(dataset.status());
+  auto graph = dataset.value().BuildGraph();
+  FKD_CHECK_OK(graph.status());
+
+  fkd::Rng rng(77);
+  auto splits = fkd::data::KFoldTriSplits(dataset.value().articles.size(),
+                                          dataset.value().creators.size(),
+                                          dataset.value().subjects.size(), 5,
+                                          &rng);
+  FKD_CHECK_OK(splits.status());
+
+  fkd::core::FakeDetectorConfig config;
+  config.epochs = static_cast<size_t>(flags.GetInt("train-epochs"));
+  config.explicit_words = 60;
+  config.latent_vocabulary = 200;
+  config.hflu.max_sequence_length = 12;
+  config.hflu.gru_hidden = 16;
+  config.hflu.latent_dim = 12;
+  config.hflu.embed_dim = 12;
+  config.gdu_hidden = 24;
+  config.verbose = false;
+
+  fkd::eval::TrainContext context;
+  context.dataset = &dataset.value();
+  context.graph = &graph.value();
+  context.train_articles = splits.value()[0].articles.train;
+  context.train_creators = splits.value()[0].creators.train;
+  context.train_subjects = splits.value()[0].subjects.train;
+  context.granularity = fkd::eval::LabelGranularity::kBinary;
+  context.seed = 7;
+
+  fkd::core::FakeDetector detector(config);
+  FKD_CHECK_OK(detector.Train(context));
+
+  const std::string snapshot_dir =
+      (std::filesystem::temp_directory_path() / "fkd_bench_serve_snapshot")
+          .string();
+  FKD_CHECK_OK(fkd::serve::ExportSnapshot(detector, snapshot_dir));
+  auto loaded = fkd::serve::LoadSnapshot(snapshot_dir);
+  FKD_CHECK_OK(loaded.status());
+  auto snapshot = std::make_shared<const fkd::serve::Snapshot>(
+      std::move(loaded).value());
+
+  const size_t num_requests = static_cast<size_t>(flags.GetInt("requests"));
+  std::vector<std::string> texts;
+  texts.reserve(num_requests);
+  for (size_t i = 0; i < num_requests; ++i) {
+    texts.push_back(
+        dataset.value().articles[i % dataset.value().articles.size()].text);
+  }
+
+  std::ofstream jsonl;
+  const std::string jsonl_path = flags.GetString("jsonl");
+  if (!jsonl_path.empty()) {
+    jsonl.open(jsonl_path, std::ios::app);
+    FKD_CHECK(jsonl.good()) << "cannot open " << jsonl_path;
+  }
+
+  std::printf("%u hardware threads; %zu requests per config\n\n",
+              std::thread::hardware_concurrency(), num_requests);
+  std::printf("%8s %6s %10s %10s %10s %10s %8s\n", "workers", "batch",
+              "req/s", "p50_us", "p99_us", "mean_bs", "rejected");
+  for (size_t workers : {1u, 2u, 4u, 8u}) {
+    for (size_t batch : {1u, 32u}) {
+      const ConfigResult r =
+          RunConfig(snapshot, texts, workers, batch, flags.GetDouble("rate"));
+      std::printf("%8zu %6zu %10.1f %10.0f %10.0f %10.1f %8llu\n", r.workers,
+                  r.batch, r.req_per_s, r.p50_us, r.p99_us, r.mean_batch,
+                  static_cast<unsigned long long>(r.rejected));
+      if (jsonl.is_open()) {
+        jsonl << "{\"bench\":\"serve_throughput\",\"workers\":" << r.workers
+              << ",\"batch\":" << r.batch << ",\"req_per_s\":" << r.req_per_s
+              << ",\"p50_us\":" << r.p50_us << ",\"p99_us\":" << r.p99_us
+              << ",\"mean_batch\":" << r.mean_batch
+              << ",\"completed\":" << r.completed
+              << ",\"rejected\":" << r.rejected
+              << ",\"wall_seconds\":" << r.wall_seconds << "}\n";
+      }
+    }
+  }
+  return 0;
+}

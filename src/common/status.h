@@ -24,6 +24,8 @@ enum class StatusCode : int {
   kCorruption = 7,       ///< Persisted data failed validation while loading.
   kUnimplemented = 8,    ///< Feature intentionally not available.
   kInternal = 9,         ///< Invariant violation that is a library bug.
+  kUnavailable = 10,     ///< Transient overload/shutdown; retrying may work.
+  kDeadlineExceeded = 11,  ///< Operation missed its caller-set deadline.
 };
 
 /// Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -72,6 +74,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

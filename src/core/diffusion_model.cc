@@ -1,0 +1,129 @@
+#include "core/diffusion_model.h"
+
+#include <utility>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fkd {
+namespace core {
+
+namespace ag = ::fkd::autograd;
+
+DiffusionModel::DiffusionModel(const FakeDetectorConfig& config,
+                               size_t num_classes,
+                               text::Vocabulary article_words,
+                               text::Vocabulary creator_words,
+                               text::Vocabulary subject_words,
+                               text::Vocabulary article_vocab,
+                               text::Vocabulary creator_vocab,
+                               text::Vocabulary subject_vocab, Rng* rng)
+    : article_hflu_(config.hflu, std::move(article_words),
+                    std::move(article_vocab), rng),
+      creator_hflu_(config.hflu, std::move(creator_words),
+                    std::move(creator_vocab), rng),
+      subject_hflu_(config.hflu, std::move(subject_words),
+                    std::move(subject_vocab), rng),
+      article_gdu_(article_hflu_.output_dim(), config.gdu_hidden, rng,
+                   config.gdu),
+      creator_gdu_(creator_hflu_.output_dim(), config.gdu_hidden, rng,
+                   config.gdu),
+      subject_gdu_(subject_hflu_.output_dim(), config.gdu_hidden, rng,
+                   config.gdu),
+      article_head_(config.gdu_hidden, num_classes, rng),
+      creator_head_(config.gdu_hidden, num_classes, rng),
+      subject_head_(config.gdu_hidden, num_classes, rng),
+      diffusion_steps_(config.diffusion_steps),
+      num_classes_(num_classes) {}
+
+void DiffusionModel::CollectParameters(
+    const std::string& prefix, std::vector<nn::NamedParameter>* out) const {
+  article_hflu_.CollectParameters(nn::JoinName(prefix, "article_hflu"), out);
+  creator_hflu_.CollectParameters(nn::JoinName(prefix, "creator_hflu"), out);
+  subject_hflu_.CollectParameters(nn::JoinName(prefix, "subject_hflu"), out);
+  article_gdu_.CollectParameters(nn::JoinName(prefix, "article_gdu"), out);
+  creator_gdu_.CollectParameters(nn::JoinName(prefix, "creator_gdu"), out);
+  subject_gdu_.CollectParameters(nn::JoinName(prefix, "subject_gdu"), out);
+  article_head_.CollectParameters(nn::JoinName(prefix, "article_head"), out);
+  creator_head_.CollectParameters(nn::JoinName(prefix, "creator_head"), out);
+  subject_head_.CollectParameters(nn::JoinName(prefix, "subject_head"), out);
+}
+
+DiffusionModel::Logits DiffusionModel::Forward(const DiffusionBatch& batch,
+                                               float feature_dropout,
+                                               Rng* dropout_rng,
+                                               States* states_out) const {
+  FKD_TRACE_SCOPE("fkd/forward");
+  static obs::Histogram* forward_us =
+      obs::MetricsRegistry::Default().GetHistogram("fkd.model.forward_us");
+  ScopedTimer<obs::Histogram> forward_timer(forward_us);
+  const size_t h = article_gdu_.hidden_dim();
+  const bool training = dropout_rng != nullptr && feature_dropout > 0.0f;
+  ag::Variable xa = article_hflu_.Forward(batch.article_input);
+  ag::Variable xu = creator_hflu_.Forward(batch.creator_input);
+  ag::Variable xs = subject_hflu_.Forward(batch.subject_input);
+  if (training) {
+    xa = ag::Dropout(xa, feature_dropout, dropout_rng, true);
+    xu = ag::Dropout(xu, feature_dropout, dropout_rng, true);
+    xs = ag::Dropout(xs, feature_dropout, dropout_rng, true);
+  }
+
+  // All hidden states start at 0; missing GDU ports stay 0 throughout.
+  ag::Variable ha(Tensor(batch.article_input.sequences.size(), h), false,
+                  "ha0");
+  ag::Variable hu(Tensor(batch.creator_input.sequences.size(), h), false,
+                  "hu0");
+  ag::Variable hs(Tensor(batch.subject_input.sequences.size(), h), false,
+                  "hs0");
+  const ag::Variable zero_u(Tensor(batch.creator_input.sequences.size(), h),
+                            false, "zero_u");
+  const ag::Variable zero_s(Tensor(batch.subject_input.sequences.size(), h),
+                            false, "zero_s");
+
+  for (size_t step = 0; step < diffusion_steps_; ++step) {
+    // Synchronous update: all reads use the previous step's states.
+    const ag::Variable za = ag::GroupMeanRows(hs, batch.article_subject_groups);
+    const ag::Variable ta = ag::GroupMeanRows(hu, batch.article_creator_groups);
+    const ag::Variable zu = ag::GroupMeanRows(ha, batch.creator_article_groups);
+    const ag::Variable zs = ag::GroupMeanRows(ha, batch.subject_article_groups);
+    const ag::Variable ha_next = article_gdu_.Step(xa, za, ta);
+    const ag::Variable hu_next = creator_gdu_.Step(xu, zu, zero_u);
+    const ag::Variable hs_next = subject_gdu_.Step(xs, zs, zero_s);
+    ha = ha_next;
+    hu = hu_next;
+    hs = hs_next;
+  }
+
+  if (states_out != nullptr) *states_out = States{ha, hu, hs};
+  return {article_head_.Forward(ha), creator_head_.Forward(hu),
+          subject_head_.Forward(hs)};
+}
+
+Tensor DiffusionModel::ScoreArticles(
+    const HfluInput& input,
+    const std::vector<std::vector<int32_t>>& subject_groups,
+    const std::vector<std::vector<int32_t>>& creator_groups,
+    const Tensor& creator_states, const Tensor& subject_states) const {
+  FKD_TRACE_SCOPE("fkd/score_articles");
+  static obs::Histogram* score_us =
+      obs::MetricsRegistry::Default().GetHistogram("fkd.model.score_us");
+  ScopedTimer<obs::Histogram> score_timer(score_us);
+  const size_t n = input.sequences.size();
+  FKD_CHECK_EQ(subject_groups.size(), n);
+  FKD_CHECK_EQ(creator_groups.size(), n);
+  FKD_CHECK_EQ(creator_states.cols(), article_gdu_.hidden_dim());
+  FKD_CHECK_EQ(subject_states.cols(), article_gdu_.hidden_dim());
+
+  ag::InferenceModeGuard no_grad;
+  const ag::Variable xa = article_hflu_.Forward(input);
+  const ag::Variable hu(creator_states, false, "frozen_hu");
+  const ag::Variable hs(subject_states, false, "frozen_hs");
+  const ag::Variable za = ag::GroupMeanRows(hs, subject_groups);
+  const ag::Variable ta = ag::GroupMeanRows(hu, creator_groups);
+  const ag::Variable ha = article_gdu_.Step(xa, za, ta);
+  return article_head_.Forward(ha).value();
+}
+
+}  // namespace core
+}  // namespace fkd

@@ -1,0 +1,157 @@
+#ifndef FKD_CORE_DIFFUSION_MODEL_H_
+#define FKD_CORE_DIFFUSION_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/gdu.h"
+#include "core/hflu.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/autograd.h"
+#include "text/vocabulary.h"
+
+namespace fkd {
+namespace core {
+
+/// Full configuration of the FakeDetector framework (§4).
+struct FakeDetectorConfig {
+  /// Shared HFLU sizes for all three node types (feature ablations included:
+  /// hflu.use_explicit / hflu.use_latent).
+  HfluConfig hflu;
+
+  /// Size of each pre-extracted explicit word set (W_n, W_u, W_s),
+  /// chi-square-selected from the *training* labels.
+  size_t explicit_words = 150;
+  /// Latent GRU vocabulary size (most frequent tokens over all texts).
+  size_t latent_vocabulary = 1000;
+
+  /// GDU hidden-state width.
+  size_t gdu_hidden = 48;
+  /// Unrolled synchronous diffusion steps K over the News-HSN.
+  size_t diffusion_steps = 2;
+  /// GDU ablations (disable forget/adjust gates, plain fusion unit).
+  GduOptions gdu;
+
+  /// Training hyper-parameters (full-batch Adam over the joint objective
+  /// L(T_n) + L(T_u) + L(T_s) + alpha * L_reg).
+  size_t epochs = 80;
+  float learning_rate = 0.005f;
+  /// Dropout applied to the HFLU feature matrices during training.
+  float feature_dropout = 0.2f;
+  float l2_weight = 5e-4f;  ///< The paper's regularisation weight alpha.
+  float grad_clip = 5.0f;
+
+  /// Early stopping: when > 0, this fraction of each training set is held
+  /// out for validation; training stops once the validation loss has not
+  /// improved for `early_stopping_patience` epochs, and the best-epoch
+  /// weights are restored. 0 disables it (the paper's fixed-epoch
+  /// protocol).
+  float validation_fraction = 0.0f;
+  size_t early_stopping_patience = 10;
+
+  bool verbose = false;
+};
+
+/// Everything a full diffusion forward pass consumes besides parameters:
+/// the prepared (tokenised, encoded) inputs per node type and the neighbour
+/// groups of the News-HSN. Built once per corpus, reused every epoch.
+struct DiffusionBatch {
+  HfluInput article_input;
+  HfluInput creator_input;
+  HfluInput subject_input;
+  /// groups[n] lists the neighbour ids whose states the diffusion averages
+  /// into node n's GDU input port (empty group => zero port).
+  std::vector<std::vector<int32_t>> article_subject_groups;
+  std::vector<std::vector<int32_t>> article_creator_groups;
+  std::vector<std::vector<int32_t>> creator_article_groups;
+  std::vector<std::vector<int32_t>> subject_article_groups;
+};
+
+/// The paper's deep diffusive network as a standalone parameter tree: one
+/// HFLU + GDU per node type, K synchronous diffusion steps over the
+/// heterogeneous graph, and one softmax credibility head per node type.
+///
+/// `FakeDetector` owns one of these for training; `serve::Snapshot`
+/// rebuilds one from disk for inference. Forward/ScoreArticles are const
+/// and allocate no shared state, so a frozen model may be shared across
+/// serving threads.
+class DiffusionModel : public nn::Module {
+ public:
+  /// Word sets are the explicit feature vocabularies (W_n, W_u, W_s);
+  /// vocabs are the latent GRU vocabularies. Their sizes fix the parameter
+  /// shapes, so a reloaded model must be built from the same vocabularies.
+  DiffusionModel(const FakeDetectorConfig& config, size_t num_classes,
+                 text::Vocabulary article_words, text::Vocabulary creator_words,
+                 text::Vocabulary subject_words, text::Vocabulary article_vocab,
+                 text::Vocabulary creator_vocab, text::Vocabulary subject_vocab,
+                 Rng* rng);
+
+  /// Logits of one full forward pass, one row per node of each type.
+  struct Logits {
+    autograd::Variable articles;
+    autograd::Variable creators;
+    autograd::Variable subjects;
+  };
+
+  /// Final hidden states h after the K diffusion steps — the frozen
+  /// neighbour context a serving snapshot persists.
+  struct States {
+    autograd::Variable articles;
+    autograd::Variable creators;
+    autograd::Variable subjects;
+  };
+
+  /// One full forward pass: HFLU features, K diffusion steps, logits.
+  /// `dropout_rng` non-null enables training-time feature dropout. When
+  /// `states_out` is non-null it receives the final hidden states.
+  Logits Forward(const DiffusionBatch& batch, float feature_dropout = 0.0f,
+                 Rng* dropout_rng = nullptr, States* states_out = nullptr) const;
+
+  /// Batched inference entry point for serving: scores `input` (a prepared
+  /// batch of *new* articles) against the frozen creator/subject hidden
+  /// states of the trained corpus. Runs tape-free (InferenceModeGuard) and
+  /// returns raw logits [n x num_classes].
+  ///
+  /// Per article: x = article_hflu(input), z = mean of frozen subject
+  /// states over subject_groups[i], t = mean of frozen creator states over
+  /// creator_groups[i], h = gdu(x, z, t), logits = head(h). Because the
+  /// GDU has no self-recurrence and the neighbour states are frozen, one
+  /// step is already the fixed point of the K-step unrolled diffusion.
+  /// Group indices must be valid rows of the corresponding state matrix
+  /// (callers validate; out-of-range aborts).
+  Tensor ScoreArticles(const HfluInput& input,
+                       const std::vector<std::vector<int32_t>>& subject_groups,
+                       const std::vector<std::vector<int32_t>>& creator_groups,
+                       const Tensor& creator_states,
+                       const Tensor& subject_states) const;
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParameter>* out) const override;
+
+  const Hflu& article_hflu() const { return article_hflu_; }
+  const Hflu& creator_hflu() const { return creator_hflu_; }
+  const Hflu& subject_hflu() const { return subject_hflu_; }
+  size_t num_classes() const { return num_classes_; }
+  size_t hidden_dim() const { return article_gdu_.hidden_dim(); }
+  size_t diffusion_steps() const { return diffusion_steps_; }
+
+ private:
+  Hflu article_hflu_;
+  Hflu creator_hflu_;
+  Hflu subject_hflu_;
+  GduCell article_gdu_;
+  GduCell creator_gdu_;
+  GduCell subject_gdu_;
+  nn::Linear article_head_;
+  nn::Linear creator_head_;
+  nn::Linear subject_head_;
+  size_t diffusion_steps_;
+  size_t num_classes_;
+};
+
+}  // namespace core
+}  // namespace fkd
+
+#endif  // FKD_CORE_DIFFUSION_MODEL_H_

@@ -32,116 +32,6 @@ std::vector<int32_t> ArgmaxRows(const Tensor& logits) {
 
 }  // namespace
 
-/// Everything built per-Train: the three HFLUs, three GDUs, three heads,
-/// the prepared inputs and the neighbour groups of the diffusion.
-struct FakeDetector::Model : nn::Module {
-  Model(const FakeDetectorConfig& config, size_t num_classes,
-        text::Vocabulary article_words, text::Vocabulary creator_words,
-        text::Vocabulary subject_words, text::Vocabulary article_vocab,
-        text::Vocabulary creator_vocab, text::Vocabulary subject_vocab,
-        Rng* rng)
-      : article_hflu(config.hflu, std::move(article_words),
-                     std::move(article_vocab), rng),
-        creator_hflu(config.hflu, std::move(creator_words),
-                     std::move(creator_vocab), rng),
-        subject_hflu(config.hflu, std::move(subject_words),
-                     std::move(subject_vocab), rng),
-        article_gdu(article_hflu.output_dim(), config.gdu_hidden, rng,
-                    config.gdu),
-        creator_gdu(creator_hflu.output_dim(), config.gdu_hidden, rng,
-                    config.gdu),
-        subject_gdu(subject_hflu.output_dim(), config.gdu_hidden, rng,
-                    config.gdu),
-        article_head(config.gdu_hidden, num_classes, rng),
-        creator_head(config.gdu_hidden, num_classes, rng),
-        subject_head(config.gdu_hidden, num_classes, rng),
-        diffusion_steps(config.diffusion_steps) {}
-
-  void CollectParameters(const std::string& prefix,
-                         std::vector<nn::NamedParameter>* out) const override {
-    article_hflu.CollectParameters(nn::JoinName(prefix, "article_hflu"), out);
-    creator_hflu.CollectParameters(nn::JoinName(prefix, "creator_hflu"), out);
-    subject_hflu.CollectParameters(nn::JoinName(prefix, "subject_hflu"), out);
-    article_gdu.CollectParameters(nn::JoinName(prefix, "article_gdu"), out);
-    creator_gdu.CollectParameters(nn::JoinName(prefix, "creator_gdu"), out);
-    subject_gdu.CollectParameters(nn::JoinName(prefix, "subject_gdu"), out);
-    article_head.CollectParameters(nn::JoinName(prefix, "article_head"), out);
-    creator_head.CollectParameters(nn::JoinName(prefix, "creator_head"), out);
-    subject_head.CollectParameters(nn::JoinName(prefix, "subject_head"), out);
-  }
-
-  /// One full forward pass: HFLU features, K diffusion steps, logits.
-  struct Logits {
-    ag::Variable articles;
-    ag::Variable creators;
-    ag::Variable subjects;
-  };
-
-  /// `dropout_rng` non-null enables training-time feature dropout.
-  Logits Forward(float feature_dropout = 0.0f,
-                 Rng* dropout_rng = nullptr) const {
-    FKD_TRACE_SCOPE("fkd/forward");
-    static obs::Histogram* forward_us =
-        obs::MetricsRegistry::Default().GetHistogram("fkd.model.forward_us");
-    ScopedTimer<obs::Histogram> forward_timer(forward_us);
-    const size_t h = article_gdu.hidden_dim();
-    const bool training = dropout_rng != nullptr && feature_dropout > 0.0f;
-    ag::Variable xa = article_hflu.Forward(article_input);
-    ag::Variable xu = creator_hflu.Forward(creator_input);
-    ag::Variable xs = subject_hflu.Forward(subject_input);
-    if (training) {
-      xa = ag::Dropout(xa, feature_dropout, dropout_rng, true);
-      xu = ag::Dropout(xu, feature_dropout, dropout_rng, true);
-      xs = ag::Dropout(xs, feature_dropout, dropout_rng, true);
-    }
-
-    // All hidden states start at 0; missing GDU ports stay 0 throughout.
-    ag::Variable ha(Tensor(article_input.sequences.size(), h), false, "ha0");
-    ag::Variable hu(Tensor(creator_input.sequences.size(), h), false, "hu0");
-    ag::Variable hs(Tensor(subject_input.sequences.size(), h), false, "hs0");
-    const ag::Variable zero_u(Tensor(creator_input.sequences.size(), h),
-                              false, "zero_u");
-    const ag::Variable zero_s(Tensor(subject_input.sequences.size(), h),
-                              false, "zero_s");
-
-    for (size_t step = 0; step < diffusion_steps; ++step) {
-      // Synchronous update: all reads use the previous step's states.
-      const ag::Variable za = ag::GroupMeanRows(hs, article_subject_groups);
-      const ag::Variable ta = ag::GroupMeanRows(hu, article_creator_groups);
-      const ag::Variable zu = ag::GroupMeanRows(ha, creator_article_groups);
-      const ag::Variable zs = ag::GroupMeanRows(ha, subject_article_groups);
-      const ag::Variable ha_next = article_gdu.Step(xa, za, ta);
-      const ag::Variable hu_next = creator_gdu.Step(xu, zu, zero_u);
-      const ag::Variable hs_next = subject_gdu.Step(xs, zs, zero_s);
-      ha = ha_next;
-      hu = hu_next;
-      hs = hs_next;
-    }
-
-    return {article_head.Forward(ha), creator_head.Forward(hu),
-            subject_head.Forward(hs)};
-  }
-
-  Hflu article_hflu;
-  Hflu creator_hflu;
-  Hflu subject_hflu;
-  GduCell article_gdu;
-  GduCell creator_gdu;
-  GduCell subject_gdu;
-  nn::Linear article_head;
-  nn::Linear creator_head;
-  nn::Linear subject_head;
-  size_t diffusion_steps;
-
-  HfluInput article_input;
-  HfluInput creator_input;
-  HfluInput subject_input;
-  std::vector<std::vector<int32_t>> article_subject_groups;
-  std::vector<std::vector<int32_t>> article_creator_groups;
-  std::vector<std::vector<int32_t>> creator_article_groups;
-  std::vector<std::vector<int32_t>> subject_article_groups;
-};
-
 FakeDetector::FakeDetector(FakeDetectorConfig config)
     : config_(std::move(config)) {}
 
@@ -161,6 +51,7 @@ Status FakeDetector::Train(const eval::TrainContext& context) {
     return Status::InvalidArgument("diffusion_steps must be >= 1");
   }
   const data::Dataset& dataset = *context.dataset;
+  granularity_ = context.granularity;
   const size_t num_classes = eval::NumClasses(context.granularity);
 
   // --- Text preparation ----------------------------------------------------
@@ -188,7 +79,7 @@ Status FakeDetector::Train(const eval::TrainContext& context) {
   }
 
   Rng rng(context.seed ^ 0xFAFEDE7EC70ULL);
-  model_ = std::make_unique<Model>(
+  model_ = std::make_unique<DiffusionModel>(
       config_, num_classes,
       text::SelectChiSquareWordSet(article_docs, context.train_articles,
                                    article_targets, num_classes,
@@ -204,37 +95,37 @@ Status FakeDetector::Train(const eval::TrainContext& context) {
       text::BuildFrequencyVocabulary(subject_docs, config_.latent_vocabulary),
       &rng);
 
-  model_->article_input = model_->article_hflu.PrepareBatch(article_docs);
-  model_->creator_input = model_->creator_hflu.PrepareBatch(creator_docs);
-  model_->subject_input = model_->subject_hflu.PrepareBatch(subject_docs);
+  batch_.article_input = model_->article_hflu().PrepareBatch(article_docs);
+  batch_.creator_input = model_->creator_hflu().PrepareBatch(creator_docs);
+  batch_.subject_input = model_->subject_hflu().PrepareBatch(subject_docs);
 
   // --- Neighbour groups of the diffusive architecture ----------------------
   const graph::HeterogeneousGraph& graph = *context.graph;
-  model_->article_subject_groups.resize(dataset.articles.size());
-  model_->article_creator_groups.resize(dataset.articles.size());
+  batch_.article_subject_groups.resize(dataset.articles.size());
+  batch_.article_creator_groups.resize(dataset.articles.size());
   for (const auto& a : dataset.articles) {
     const auto subjects =
         graph.ArticleNeighbors(graph::EdgeType::kSubjectIndication, a.id);
-    model_->article_subject_groups[a.id].assign(subjects.begin(),
-                                                subjects.end());
+    batch_.article_subject_groups[a.id].assign(subjects.begin(),
+                                               subjects.end());
     const auto creators =
         graph.ArticleNeighbors(graph::EdgeType::kAuthorship, a.id);
-    model_->article_creator_groups[a.id].assign(creators.begin(),
-                                                creators.end());
+    batch_.article_creator_groups[a.id].assign(creators.begin(),
+                                               creators.end());
   }
-  model_->creator_article_groups.resize(dataset.creators.size());
+  batch_.creator_article_groups.resize(dataset.creators.size());
   for (const auto& c : dataset.creators) {
     const auto articles =
         graph.ReverseNeighbors(graph::EdgeType::kAuthorship, c.id);
-    model_->creator_article_groups[c.id].assign(articles.begin(),
-                                                articles.end());
+    batch_.creator_article_groups[c.id].assign(articles.begin(),
+                                               articles.end());
   }
-  model_->subject_article_groups.resize(dataset.subjects.size());
+  batch_.subject_article_groups.resize(dataset.subjects.size());
   for (const auto& s : dataset.subjects) {
     const auto articles =
         graph.ReverseNeighbors(graph::EdgeType::kSubjectIndication, s.id);
-    model_->subject_article_groups[s.id].assign(articles.begin(),
-                                                articles.end());
+    batch_.subject_article_groups[s.id].assign(articles.begin(),
+                                               articles.end());
   }
 
   // --- Training loop: full-batch Adam on the joint objective ---------------
@@ -298,8 +189,8 @@ Status FakeDetector::Train(const eval::TrainContext& context) {
     FKD_TRACE_SCOPE("fkd/epoch");
     epoch_timer.Restart();
     optimizer.ZeroGrad();
-    const Model::Logits logits =
-        model_->Forward(config_.feature_dropout, &dropout_rng);
+    const DiffusionModel::Logits logits =
+        model_->Forward(batch_, config_.feature_dropout, &dropout_rng);
     std::vector<ag::Variable> loss_terms;
     loss_terms.push_back(ag::SoftmaxCrossEntropy(
         ag::GatherRows(logits.articles, fit_articles), fit_article_targets));
@@ -335,7 +226,7 @@ Status FakeDetector::Train(const eval::TrainContext& context) {
 
     if (early_stopping) {
       // Validation loss on a clean (dropout-free) forward pass.
-      const Model::Logits val_logits = model_->Forward();
+      const DiffusionModel::Logits val_logits = model_->Forward(batch_);
       float validation_loss = 0.0f;
       if (!val_articles.empty()) {
         validation_loss += ag::SoftmaxCrossEntropy(
@@ -382,12 +273,17 @@ Status FakeDetector::Train(const eval::TrainContext& context) {
     }
   }
 
-  // Cache final predictions (inference pass, no gradients needed but the
-  // graph construction is the same).
-  const Model::Logits logits = model_->Forward();
+  // Cache final predictions (clean inference pass) and freeze the final
+  // diffusion states — the neighbour context serving scores new articles
+  // against.
+  DiffusionModel::States states;
+  const DiffusionModel::Logits logits =
+      model_->Forward(batch_, 0.0f, nullptr, &states);
   predictions_.articles = ArgmaxRows(logits.articles.value());
   predictions_.creators = ArgmaxRows(logits.creators.value());
   predictions_.subjects = ArgmaxRows(logits.subjects.value());
+  frozen_creator_states_ = states.creators.value();
+  frozen_subject_states_ = states.subjects.value();
   trained_ = true;
   return Status::OK();
 }

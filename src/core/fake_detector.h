@@ -5,51 +5,11 @@
 #include <string>
 #include <vector>
 
-#include "core/gdu.h"
-#include "core/hflu.h"
+#include "core/diffusion_model.h"
 #include "eval/classifier.h"
 
 namespace fkd {
 namespace core {
-
-/// Full configuration of the FakeDetector framework (§4).
-struct FakeDetectorConfig {
-  /// Shared HFLU sizes for all three node types (feature ablations included:
-  /// hflu.use_explicit / hflu.use_latent).
-  HfluConfig hflu;
-
-  /// Size of each pre-extracted explicit word set (W_n, W_u, W_s),
-  /// chi-square-selected from the *training* labels.
-  size_t explicit_words = 150;
-  /// Latent GRU vocabulary size (most frequent tokens over all texts).
-  size_t latent_vocabulary = 1000;
-
-  /// GDU hidden-state width.
-  size_t gdu_hidden = 48;
-  /// Unrolled synchronous diffusion steps K over the News-HSN.
-  size_t diffusion_steps = 2;
-  /// GDU ablations (disable forget/adjust gates, plain fusion unit).
-  GduOptions gdu;
-
-  /// Training hyper-parameters (full-batch Adam over the joint objective
-  /// L(T_n) + L(T_u) + L(T_s) + alpha * L_reg).
-  size_t epochs = 80;
-  float learning_rate = 0.005f;
-  /// Dropout applied to the HFLU feature matrices during training.
-  float feature_dropout = 0.2f;
-  float l2_weight = 5e-4f;  ///< The paper's regularisation weight alpha.
-  float grad_clip = 5.0f;
-
-  /// Early stopping: when > 0, this fraction of each training set is held
-  /// out for validation; training stops once the validation loss has not
-  /// improved for `early_stopping_patience` epochs, and the best-epoch
-  /// weights are restored. 0 disables it (the paper's fixed-epoch
-  /// protocol).
-  float validation_fraction = 0.0f;
-  size_t early_stopping_patience = 10;
-
-  bool verbose = false;
-};
 
 /// Per-epoch training diagnostics.
 struct TrainStats {
@@ -65,7 +25,9 @@ struct TrainStats {
 /// credibility heads, trained jointly on all three node types.
 ///
 /// Implements the common `CredibilityClassifier` protocol (single-use:
-/// Train once, then Predict).
+/// Train once, then Predict). The underlying parameter tree is a
+/// `DiffusionModel`; after Train() the model and its frozen diffusion
+/// states are exposed so `serve::ExportSnapshot` can persist them.
 class FakeDetector : public eval::CredibilityClassifier {
  public:
   explicit FakeDetector(FakeDetectorConfig config = {});
@@ -83,13 +45,31 @@ class FakeDetector : public eval::CredibilityClassifier {
   const TrainStats& train_stats() const { return train_stats_; }
   size_t ParameterCount() const;
 
- private:
-  struct Model;
+  /// ---- Serving-export surface (valid after Train(); null/empty before) --
 
+  const FakeDetectorConfig& config() const { return config_; }
+  /// The trained parameter tree, or nullptr before Train().
+  const DiffusionModel* model() const { return model_.get(); }
+  /// Label granularity the model was trained for.
+  eval::LabelGranularity granularity() const { return granularity_; }
+  /// Final dropout-free creator/subject hidden states after the K diffusion
+  /// steps — the frozen neighbour context new articles are scored against.
+  const Tensor& frozen_creator_states() const {
+    return frozen_creator_states_;
+  }
+  const Tensor& frozen_subject_states() const {
+    return frozen_subject_states_;
+  }
+
+ private:
   FakeDetectorConfig config_;
-  std::unique_ptr<Model> model_;
+  std::unique_ptr<DiffusionModel> model_;
+  DiffusionBatch batch_;
   TrainStats train_stats_;
   eval::Predictions predictions_;
+  eval::LabelGranularity granularity_ = eval::LabelGranularity::kBinary;
+  Tensor frozen_creator_states_;
+  Tensor frozen_subject_states_;
   bool trained_ = false;
 };
 

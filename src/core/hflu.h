@@ -66,6 +66,16 @@ class Hflu : public nn::Module {
   size_t output_dim() const;
   size_t explicit_dim() const { return featurizer_.dim(); }
 
+  /// Serving-export surface: the vocabularies a snapshot must persist to
+  /// rebuild this unit, and the config that shaped it. PrepareBatch and
+  /// Forward are const and cache nothing, so one frozen Hflu can featurize
+  /// and score batches from many threads concurrently.
+  const HfluConfig& config() const { return config_; }
+  const text::Vocabulary& word_set() const { return featurizer_.word_set(); }
+  const text::Vocabulary& latent_vocabulary() const {
+    return latent_vocabulary_;
+  }
+
   void CollectParameters(const std::string& prefix,
                          std::vector<nn::NamedParameter>* out) const override;
 

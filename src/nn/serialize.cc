@@ -14,6 +14,16 @@ namespace {
 constexpr uint32_t kMagic = 0x464B4457;  // "FKDW"
 constexpr uint32_t kVersion = 1;
 
+std::string ShapeString(const std::vector<size_t>& shape) {
+  std::string out = "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out += " x ";
+    out += std::to_string(shape[i]);
+  }
+  out += "]";
+  return out;
+}
+
 template <typename T>
 void WritePod(std::ofstream& out, T value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(T));
@@ -102,17 +112,40 @@ Status LoadParameters(Module* module, const std::string& path) {
   std::vector<NamedParameter> params;
   module->CollectParameters("", &params);
   if (params.size() != loaded.size()) {
+    // Name the first parameter present on only one side so the caller can
+    // see *which* architecture drifted, not just that the counts differ.
+    std::string detail;
+    for (const auto& p : params) {
+      if (loaded.count(p.name) == 0) {
+        detail = "; module parameter '" + p.name + "' is not in the file";
+        break;
+      }
+    }
+    if (detail.empty()) {
+      std::map<std::string, Tensor> extra = loaded;
+      for (const auto& p : params) extra.erase(p.name);
+      if (!extra.empty()) {
+        detail = "; file parameter '" + extra.begin()->first +
+                 "' is not in the module";
+      }
+    }
     return Status::InvalidArgument(
-        StrFormat("parameter count mismatch: module has %zu, file has %zu",
-                  params.size(), loaded.size()));
+        StrFormat("parameter count mismatch loading %s: module has %zu, "
+                  "file has %zu%s",
+                  path.c_str(), params.size(), loaded.size(), detail.c_str()));
   }
   for (auto& p : params) {
     auto it = loaded.find(p.name);
     if (it == loaded.end()) {
-      return Status::InvalidArgument("file missing parameter " + p.name);
+      return Status::InvalidArgument(
+          StrFormat("%s is missing parameter '%s' expected by the module",
+                    path.c_str(), p.name.c_str()));
     }
     if (it->second.shape() != p.variable.value().shape()) {
-      return Status::InvalidArgument("shape mismatch for " + p.name);
+      return Status::InvalidArgument(StrFormat(
+          "shape mismatch for parameter '%s': module expects %s, %s has %s",
+          p.name.c_str(), ShapeString(p.variable.value().shape()).c_str(),
+          path.c_str(), ShapeString(it->second.shape()).c_str()));
     }
     p.variable.mutable_value() = it->second;
   }

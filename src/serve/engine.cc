@@ -1,0 +1,253 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "tensor/ops.h"
+
+namespace fkd {
+namespace serve {
+
+namespace {
+
+/// Latency histograms need finer-grained buckets than the 1us..10^9us
+/// defaults: start at 10us and grow gently so p50/p99 interpolation stays
+/// meaningful around typical sub-millisecond batch times.
+obs::HistogramOptions LatencyBuckets() {
+  obs::HistogramOptions options;
+  options.first_bound = 10.0;
+  options.growth = 2.0;
+  options.num_buckets = 24;
+  return options;
+}
+
+obs::HistogramOptions BatchSizeBuckets() {
+  obs::HistogramOptions options;
+  options.first_bound = 1.0;
+  options.growth = 2.0;
+  options.num_buckets = 12;
+  return options;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(std::shared_ptr<const Snapshot> snapshot,
+                                 EngineOptions options)
+    : snapshot_(std::move(snapshot)), options_(options) {
+  FKD_CHECK(snapshot_ != nullptr && snapshot_->model != nullptr)
+      << "InferenceEngine needs a loaded snapshot";
+  FKD_CHECK_GT(options_.num_workers, 0u);
+  FKD_CHECK_GT(options_.max_batch_size, 0u);
+  FKD_CHECK_GT(options_.max_queue_depth, 0u);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  requests_ok_ =
+      registry.GetCounter("fkd.serve.requests", {{"result", "ok"}});
+  requests_rejected_ =
+      registry.GetCounter("fkd.serve.requests", {{"result", "rejected"}});
+  requests_expired_ =
+      registry.GetCounter("fkd.serve.requests", {{"result", "expired"}});
+  batch_size_ =
+      registry.GetHistogram("fkd.serve.batch_size", {}, BatchSizeBuckets());
+  latency_us_ =
+      registry.GetHistogram("fkd.serve.latency_us", {}, LatencyBuckets());
+  queue_us_ =
+      registry.GetHistogram("fkd.serve.queue_us", {}, LatencyBuckets());
+  queue_depth_ = registry.GetGauge("fkd.serve.queue_depth");
+}
+
+InferenceEngine::~InferenceEngine() { Stop(); }
+
+Status InferenceEngine::Start() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (stopping_) return Status::FailedPrecondition("engine already stopped");
+  if (started_) return Status::FailedPrecondition("engine already started");
+  started_ = true;
+  workers_.reserve(options_.num_workers);
+  for (size_t i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void InferenceEngine::Stop() {
+  std::vector<Pending> orphaned;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    if (!started_) {
+      // Never-started engine: there is no worker to drain the queue, so
+      // fail every pending future instead of leaving callers blocked.
+      while (!queue_.empty()) {
+        orphaned.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      queue_depth_->Set(0.0);
+    }
+  }
+  queue_cv_.notify_all();
+  for (auto& pending : orphaned) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    requests_rejected_->Increment();
+    pending.promise.set_value(
+        Status::Unavailable("engine stopped before serving this request"));
+  }
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+Result<ClassificationFuture> InferenceEngine::Submit(ArticleRequest request) {
+  FKD_RETURN_NOT_OK(
+      snapshot_->ValidateIds(request.creator_id, request.subject_ids));
+
+  Pending pending;
+  pending.submitted_at = Clock::now();
+  const int64_t deadline_us = request.deadline_us > 0
+                                  ? request.deadline_us
+                                  : options_.default_deadline_us;
+  pending.deadline = deadline_us > 0
+                         ? pending.submitted_at +
+                               std::chrono::microseconds(deadline_us)
+                         : Clock::time_point::max();
+  pending.request = std::move(request);
+  ClassificationFuture future = pending.promise.get_future();
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (stopping_) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      requests_rejected_->Increment();
+      return Status::Unavailable("engine is stopped");
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      rejected_.fetch_add(1, std::memory_order_relaxed);
+      requests_rejected_->Increment();
+      return Status::Unavailable(
+          StrFormat("serve queue full (depth %zu)", queue_.size()));
+    }
+    queue_.push_back(std::move(pending));
+    queue_depth_->Set(static_cast<double>(queue_.size()));
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  queue_cv_.notify_one();
+  return future;
+}
+
+void InferenceEngine::WorkerLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      // Micro-batch formation: hold the first request at most
+      // max_batch_delay_us while stragglers accumulate. During shutdown the
+      // delay is waived so the drain finishes promptly.
+      if (queue_.size() < options_.max_batch_size && !stopping_ &&
+          options_.max_batch_delay_us > 0) {
+        const auto batch_deadline =
+            Clock::now() + std::chrono::microseconds(options_.max_batch_delay_us);
+        queue_cv_.wait_until(lock, batch_deadline, [this] {
+          return stopping_ || queue_.size() >= options_.max_batch_size;
+        });
+      }
+      const size_t take = std::min(queue_.size(), options_.max_batch_size);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      queue_depth_->Set(static_cast<double>(queue_.size()));
+    }
+    // Leftover work may remain; let a sibling (or the next loop turn) have
+    // it without waiting for another Submit's notify.
+    queue_cv_.notify_one();
+    ProcessBatch(std::move(batch));
+  }
+}
+
+void InferenceEngine::ProcessBatch(std::vector<Pending> batch) {
+  const Clock::time_point now = Clock::now();
+
+  // Fail lapsed deadlines instead of serving them late.
+  std::vector<Pending> live;
+  live.reserve(batch.size());
+  for (auto& pending : batch) {
+    if (pending.deadline < now) {
+      expired_.fetch_add(1, std::memory_order_relaxed);
+      requests_expired_->Increment();
+      pending.promise.set_value(Status::DeadlineExceeded(StrFormat(
+          "request expired after %.0f us in queue",
+          std::chrono::duration<double, std::micro>(now - pending.submitted_at)
+              .count())));
+    } else {
+      live.push_back(std::move(pending));
+    }
+  }
+  if (live.empty()) return;
+
+  std::vector<std::string> texts;
+  std::vector<int32_t> creator_ids;
+  std::vector<std::vector<int32_t>> subject_ids;
+  texts.reserve(live.size());
+  creator_ids.reserve(live.size());
+  subject_ids.reserve(live.size());
+  for (const auto& pending : live) {
+    texts.push_back(pending.request.text);
+    creator_ids.push_back(pending.request.creator_id);
+    subject_ids.push_back(pending.request.subject_ids);
+  }
+
+  const Tensor logits = snapshot_->Score(texts, creator_ids, subject_ids);
+  const Tensor probabilities = SoftmaxRows(logits);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batch_size_->Observe(static_cast<double>(live.size()));
+
+  const Clock::time_point done = Clock::now();
+  for (size_t r = 0; r < live.size(); ++r) {
+    Classification result;
+    result.probabilities.assign(probabilities.Row(r),
+                                probabilities.Row(r) + probabilities.cols());
+    result.class_id = 0;
+    for (size_t c = 1; c < probabilities.cols(); ++c) {
+      if (probabilities.At(r, c) > probabilities.At(r, result.class_id)) {
+        result.class_id = static_cast<int32_t>(c);
+      }
+    }
+    if (static_cast<size_t>(result.class_id) < snapshot_->class_names.size()) {
+      result.class_name = snapshot_->class_names[result.class_id];
+    }
+    result.batch_size = live.size();
+    result.queue_us = std::chrono::duration<double, std::micro>(
+                          now - live[r].submitted_at)
+                          .count();
+    result.total_us = std::chrono::duration<double, std::micro>(
+                          done - live[r].submitted_at)
+                          .count();
+    queue_us_->Observe(result.queue_us);
+    latency_us_->Observe(result.total_us);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    requests_ok_->Increment();
+    live[r].promise.set_value(std::move(result));
+  }
+}
+
+EngineStats InferenceEngine::Stats() const {
+  EngineStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mutex_);
+  stats.queue_depth = queue_.size();
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace fkd

@@ -1,0 +1,167 @@
+#ifndef FKD_SERVE_ENGINE_H_
+#define FKD_SERVE_ENGINE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "serve/snapshot.h"
+
+namespace fkd {
+namespace serve {
+
+/// One incoming article to classify. `creator_id` / `subject_ids` optionally
+/// anchor the article in the training graph (ids into the snapshot's frozen
+/// state matrices); leaving them unset serves the article text-only with
+/// the paper's all-zero missing GDU ports.
+struct ArticleRequest {
+  std::string text;
+  int32_t creator_id = -1;
+  std::vector<int32_t> subject_ids;
+  /// Per-request deadline in microseconds from Submit(); the future fails
+  /// with DeadlineExceeded instead of blocking forever once it lapses.
+  /// 0 falls back to EngineOptions::default_deadline_us.
+  int64_t deadline_us = 0;
+};
+
+/// A fulfilled classification.
+struct Classification {
+  int32_t class_id = -1;
+  std::string class_name;
+  /// Softmax probabilities, one per class id.
+  std::vector<float> probabilities;
+  /// Size of the micro-batch this request rode in.
+  size_t batch_size = 0;
+  /// Microseconds spent queued before its batch formed.
+  double queue_us = 0.0;
+  /// End-to-end microseconds from Submit() to fulfilment.
+  double total_us = 0.0;
+};
+
+using ClassificationFuture = std::future<Result<Classification>>;
+
+/// Tuning knobs of the serving engine.
+struct EngineOptions {
+  /// Fixed worker thread-pool size.
+  size_t num_workers = 2;
+  /// Upper bound on requests per forward pass.
+  size_t max_batch_size = 16;
+  /// How long a worker holding one request waits for more to batch with.
+  int64_t max_batch_delay_us = 2000;
+  /// Bounded queue: Submit() rejects with Unavailable beyond this depth.
+  size_t max_queue_depth = 256;
+  /// Deadline applied to requests that set none (0 = no deadline).
+  int64_t default_deadline_us = 0;
+};
+
+/// Monotone counters describing an engine's lifetime so far.
+struct EngineStats {
+  uint64_t submitted = 0;  ///< Accepted into the queue.
+  uint64_t completed = 0;  ///< Futures fulfilled with a Classification.
+  uint64_t rejected = 0;   ///< Refused at Submit (queue full / stopped).
+  uint64_t expired = 0;    ///< Futures failed with DeadlineExceeded.
+  uint64_t batches = 0;    ///< Forward passes run.
+  size_t queue_depth = 0;  ///< Requests currently queued.
+};
+
+/// Multi-threaded micro-batching inference server over a frozen Snapshot.
+///
+/// Callers Submit() ArticleRequests and receive futures; a fixed pool of
+/// workers drains the bounded queue into batches of up to `max_batch_size`
+/// (waiting at most `max_batch_delay_us` for stragglers), runs one
+/// tape-free batched forward per batch, and fulfils the futures with class
+/// probabilities. Robustness semantics:
+///
+///  - backpressure: the queue is bounded; Submit() fails fast with
+///    Unavailable when it is full instead of buffering without limit;
+///  - deadlines: a request whose deadline lapses before its batch runs has
+///    its future failed with DeadlineExceeded rather than served late;
+///  - shutdown: Stop() drains — started workers finish every queued
+///    request (batch delay waived) before joining; anything still queued
+///    on a never-started engine fails with Unavailable.
+///
+/// Instrumentation (obs::MetricsRegistry::Default()): fkd.serve.requests
+/// (counter, labelled result=ok|rejected|expired), fkd.serve.batch_size and
+/// fkd.serve.latency_us / fkd.serve.queue_us (histograms; read p50/p99 via
+/// Histogram::Percentile), fkd.serve.queue_depth (gauge).
+class InferenceEngine {
+ public:
+  explicit InferenceEngine(std::shared_ptr<const Snapshot> snapshot,
+                           EngineOptions options = {});
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Launches the worker pool. One Start/Stop cycle per engine.
+  Status Start();
+
+  /// Graceful shutdown: refuses new submissions, drains the queue (see
+  /// class comment), joins the workers. Idempotent.
+  void Stop();
+
+  /// Validates and enqueues one request. On acceptance returns a future
+  /// that is eventually fulfilled with the Classification, a
+  /// DeadlineExceeded error, or an Unavailable error (engine stopped
+  /// before serving it). Returns an error Status directly when the request
+  /// is invalid (bad graph ids), the queue is full, or the engine is
+  /// stopped.
+  Result<ClassificationFuture> Submit(ArticleRequest request);
+
+  EngineStats Stats() const;
+  const EngineOptions& options() const { return options_; }
+  const Snapshot& snapshot() const { return *snapshot_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    ArticleRequest request;
+    std::promise<Result<Classification>> promise;
+    Clock::time_point submitted_at;
+    Clock::time_point deadline;  ///< time_point::max() = none.
+  };
+
+  void WorkerLoop();
+  void ProcessBatch(std::vector<Pending> batch);
+
+  std::shared_ptr<const Snapshot> snapshot_;
+  EngineOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool stopping_ = false;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> batches_{0};
+
+  // Cached instruments (pointer-stable for the registry's lifetime).
+  obs::Counter* requests_ok_;
+  obs::Counter* requests_rejected_;
+  obs::Counter* requests_expired_;
+  obs::Histogram* batch_size_;
+  obs::Histogram* latency_us_;
+  obs::Histogram* queue_us_;
+  obs::Gauge* queue_depth_;
+};
+
+}  // namespace serve
+}  // namespace fkd
+
+#endif  // FKD_SERVE_ENGINE_H_

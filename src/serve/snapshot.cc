@@ -1,0 +1,351 @@
+#include "serve/snapshot.h"
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <map>
+#include <utility>
+
+#include "common/string_util.h"
+#include "data/labels.h"
+#include "nn/serialize.h"
+#include "text/features.h"
+
+namespace fkd {
+namespace serve {
+
+namespace {
+
+constexpr uint64_t kFormatVersion = 1;
+
+constexpr const char* kConfigFile = "config.txt";
+constexpr const char* kLabelsFile = "labels.txt";
+constexpr const char* kWeightsFile = "weights.fkdw";
+constexpr const char* kStatesFile = "states.fkdw";
+
+/// The six vocabulary files, in the DiffusionModel constructor's order.
+const char* const kVocabularyFiles[] = {
+    "article_words.tsv", "creator_words.tsv", "subject_words.tsv",
+    "article_latent.tsv", "creator_latent.tsv", "subject_latent.tsv",
+};
+
+/// Adapter exposing the frozen diffusion states to the FKDW parameter
+/// (de)serialiser — reusing its magic/shape/name validation for free.
+struct FrozenStates : nn::Module {
+  autograd::Variable creators;
+  autograd::Variable subjects;
+
+  FrozenStates(Tensor creator_states, Tensor subject_states)
+      : creators(std::move(creator_states), false, "creator_states"),
+        subjects(std::move(subject_states), false, "subject_states") {}
+
+  void CollectParameters(const std::string& prefix,
+                         std::vector<nn::NamedParameter>* out) const override {
+    out->push_back({nn::JoinName(prefix, "creator_states"), creators});
+    out->push_back({nn::JoinName(prefix, "subject_states"), subjects});
+  }
+};
+
+std::string GranularityName(eval::LabelGranularity granularity) {
+  return granularity == eval::LabelGranularity::kBinary ? "binary" : "multi";
+}
+
+std::vector<std::string> ClassNames(eval::LabelGranularity granularity) {
+  if (granularity == eval::LabelGranularity::kBinary) {
+    return {"not credible", "credible"};  // BiClassOf: 1 = credible group.
+  }
+  std::vector<std::string> names;
+  for (size_t id = 0; id < data::kNumCredibilityClasses; ++id) {
+    names.emplace_back(
+        data::LabelName(static_cast<data::CredibilityLabel>(id)));
+  }
+  return names;
+}
+
+Status WriteConfig(const Snapshot& snapshot, size_t num_creators,
+                   size_t num_subjects, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  const core::FakeDetectorConfig& c = snapshot.config;
+  out << "format_version=" << kFormatVersion << '\n'
+      << "num_classes=" << snapshot.num_classes << '\n'
+      << "granularity=" << GranularityName(snapshot.granularity) << '\n'
+      << "hflu.embed_dim=" << c.hflu.embed_dim << '\n'
+      << "hflu.gru_hidden=" << c.hflu.gru_hidden << '\n'
+      << "hflu.latent_dim=" << c.hflu.latent_dim << '\n'
+      << "hflu.max_sequence_length=" << c.hflu.max_sequence_length << '\n'
+      << "hflu.cell=" << nn::RnnCellKindName(c.hflu.cell) << '\n'
+      << "hflu.use_explicit=" << (c.hflu.use_explicit ? 1 : 0) << '\n'
+      << "hflu.use_latent=" << (c.hflu.use_latent ? 1 : 0) << '\n'
+      << "explicit_words=" << c.explicit_words << '\n'
+      << "latent_vocabulary=" << c.latent_vocabulary << '\n'
+      << "gdu_hidden=" << c.gdu_hidden << '\n'
+      << "diffusion_steps=" << c.diffusion_steps << '\n'
+      << "gdu.disable_forget_gate=" << (c.gdu.disable_forget_gate ? 1 : 0)
+      << '\n'
+      << "gdu.disable_adjust_gate=" << (c.gdu.disable_adjust_gate ? 1 : 0)
+      << '\n'
+      << "gdu.plain_unit=" << (c.gdu.plain_unit ? 1 : 0) << '\n'
+      << "num_creators=" << num_creators << '\n'
+      << "num_subjects=" << num_subjects << '\n';
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+/// Parsed key=value view of config.txt with typed, validated accessors.
+class ConfigReader {
+ public:
+  static Result<ConfigReader> Read(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return Status::IoError("cannot open for reading: " + path);
+    ConfigReader reader;
+    reader.path_ = path;
+    std::string line;
+    size_t line_number = 0;
+    while (std::getline(in, line)) {
+      ++line_number;
+      if (line.empty()) continue;
+      const size_t eq = line.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return Status::Corruption(
+            StrFormat("%s:%zu: expected key=value", path.c_str(), line_number));
+      }
+      reader.values_[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+    return reader;
+  }
+
+  Status GetUint(const std::string& key, size_t* out) const {
+    std::string raw;
+    FKD_RETURN_NOT_OK(GetRaw(key, &raw));
+    uint64_t value = 0;
+    if (!ParseUint64(raw, &value)) {
+      return Status::Corruption(StrFormat("%s: bad value '%s' for key %s",
+                                          path_.c_str(), raw.c_str(),
+                                          key.c_str()));
+    }
+    *out = static_cast<size_t>(value);
+    return Status::OK();
+  }
+
+  Status GetBool(const std::string& key, bool* out) const {
+    size_t value = 0;
+    FKD_RETURN_NOT_OK(GetUint(key, &value));
+    if (value > 1) {
+      return Status::Corruption(
+          StrFormat("%s: key %s must be 0 or 1", path_.c_str(), key.c_str()));
+    }
+    *out = value == 1;
+    return Status::OK();
+  }
+
+  Status GetRaw(const std::string& key, std::string* out) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return Status::Corruption(
+          StrFormat("%s: missing key %s", path_.c_str(), key.c_str()));
+    }
+    *out = it->second;
+    return Status::OK();
+  }
+
+ private:
+  std::string path_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace
+
+Status Snapshot::ValidateIds(int32_t creator_id,
+                             const std::vector<int32_t>& subject_ids) const {
+  if (creator_id >= 0 &&
+      static_cast<size_t>(creator_id) >= creator_states.rows()) {
+    return Status::InvalidArgument(
+        StrFormat("creator id %d outside the snapshot's %zu creators",
+                  creator_id, creator_states.rows()));
+  }
+  for (int32_t id : subject_ids) {
+    if (id < 0 || static_cast<size_t>(id) >= subject_states.rows()) {
+      return Status::InvalidArgument(
+          StrFormat("subject id %d outside the snapshot's %zu subjects", id,
+                    subject_states.rows()));
+    }
+  }
+  return Status::OK();
+}
+
+Tensor Snapshot::Score(
+    const std::vector<std::string>& texts,
+    const std::vector<int32_t>& creator_ids,
+    const std::vector<std::vector<int32_t>>& subject_ids) const {
+  FKD_CHECK(model != nullptr);
+  FKD_CHECK_EQ(creator_ids.size(), texts.size());
+  FKD_CHECK_EQ(subject_ids.size(), texts.size());
+  const auto documents = text::TokenizeDocuments(texts);
+  const core::HfluInput input = model->article_hflu().PrepareBatch(documents);
+  std::vector<std::vector<int32_t>> creator_groups(texts.size());
+  for (size_t i = 0; i < creator_ids.size(); ++i) {
+    if (creator_ids[i] >= 0) creator_groups[i] = {creator_ids[i]};
+  }
+  return model->ScoreArticles(input, subject_ids, creator_groups,
+                              creator_states, subject_states);
+}
+
+Status ExportSnapshot(const core::FakeDetector& detector,
+                      const std::string& directory) {
+  const core::DiffusionModel* model = detector.model();
+  if (model == nullptr) {
+    return Status::FailedPrecondition(
+        "ExportSnapshot needs a trained FakeDetector");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(directory, ec);
+  if (ec) {
+    return Status::IoError("cannot create snapshot directory " + directory +
+                           ": " + ec.message());
+  }
+  const std::filesystem::path dir(directory);
+
+  Snapshot header;
+  header.config = detector.config();
+  header.num_classes = model->num_classes();
+  header.granularity = detector.granularity();
+  FKD_RETURN_NOT_OK(WriteConfig(header,
+                                detector.frozen_creator_states().rows(),
+                                detector.frozen_subject_states().rows(),
+                                (dir / kConfigFile).string()));
+
+  {
+    std::ofstream out(dir / kLabelsFile, std::ios::trunc);
+    if (!out) return Status::IoError("cannot write label map");
+    for (const auto& name : ClassNames(detector.granularity())) {
+      out << name << '\n';
+    }
+    if (!out.flush()) return Status::IoError("label map write failed");
+  }
+
+  const text::Vocabulary* vocabularies[] = {
+      &model->article_hflu().word_set(),
+      &model->creator_hflu().word_set(),
+      &model->subject_hflu().word_set(),
+      &model->article_hflu().latent_vocabulary(),
+      &model->creator_hflu().latent_vocabulary(),
+      &model->subject_hflu().latent_vocabulary(),
+  };
+  for (size_t i = 0; i < std::size(kVocabularyFiles); ++i) {
+    FKD_RETURN_NOT_OK(
+        vocabularies[i]->Save((dir / kVocabularyFiles[i]).string()));
+  }
+
+  FKD_RETURN_NOT_OK(
+      nn::SaveParameters(*model, (dir / kWeightsFile).string()));
+  const FrozenStates states(detector.frozen_creator_states(),
+                            detector.frozen_subject_states());
+  FKD_RETURN_NOT_OK(
+      nn::SaveParameters(states, (dir / kStatesFile).string()));
+  return Status::OK();
+}
+
+Result<Snapshot> LoadSnapshot(const std::string& directory) {
+  const std::filesystem::path dir(directory);
+  FKD_ASSIGN_OR_RETURN(const ConfigReader reader,
+                       ConfigReader::Read((dir / kConfigFile).string()));
+
+  size_t format_version = 0;
+  FKD_RETURN_NOT_OK(reader.GetUint("format_version", &format_version));
+  if (format_version != kFormatVersion) {
+    return Status::Corruption(
+        StrFormat("unsupported snapshot format_version %zu", format_version));
+  }
+
+  Snapshot snapshot;
+  core::FakeDetectorConfig& c = snapshot.config;
+  FKD_RETURN_NOT_OK(reader.GetUint("num_classes", &snapshot.num_classes));
+  std::string granularity;
+  FKD_RETURN_NOT_OK(reader.GetRaw("granularity", &granularity));
+  if (granularity == "binary") {
+    snapshot.granularity = eval::LabelGranularity::kBinary;
+  } else if (granularity == "multi") {
+    snapshot.granularity = eval::LabelGranularity::kMulti;
+  } else {
+    return Status::Corruption("bad granularity '" + granularity + "'");
+  }
+  FKD_RETURN_NOT_OK(reader.GetUint("hflu.embed_dim", &c.hflu.embed_dim));
+  FKD_RETURN_NOT_OK(reader.GetUint("hflu.gru_hidden", &c.hflu.gru_hidden));
+  FKD_RETURN_NOT_OK(reader.GetUint("hflu.latent_dim", &c.hflu.latent_dim));
+  FKD_RETURN_NOT_OK(reader.GetUint("hflu.max_sequence_length",
+                                   &c.hflu.max_sequence_length));
+  std::string cell;
+  FKD_RETURN_NOT_OK(reader.GetRaw("hflu.cell", &cell));
+  if (cell == "gru") {
+    c.hflu.cell = nn::RnnCellKind::kGru;
+  } else if (cell == "basic") {
+    c.hflu.cell = nn::RnnCellKind::kBasic;
+  } else if (cell == "lstm") {
+    c.hflu.cell = nn::RnnCellKind::kLstm;
+  } else {
+    return Status::Corruption("bad hflu.cell '" + cell + "'");
+  }
+  FKD_RETURN_NOT_OK(reader.GetBool("hflu.use_explicit", &c.hflu.use_explicit));
+  FKD_RETURN_NOT_OK(reader.GetBool("hflu.use_latent", &c.hflu.use_latent));
+  FKD_RETURN_NOT_OK(reader.GetUint("explicit_words", &c.explicit_words));
+  FKD_RETURN_NOT_OK(reader.GetUint("latent_vocabulary", &c.latent_vocabulary));
+  FKD_RETURN_NOT_OK(reader.GetUint("gdu_hidden", &c.gdu_hidden));
+  FKD_RETURN_NOT_OK(reader.GetUint("diffusion_steps", &c.diffusion_steps));
+  FKD_RETURN_NOT_OK(
+      reader.GetBool("gdu.disable_forget_gate", &c.gdu.disable_forget_gate));
+  FKD_RETURN_NOT_OK(
+      reader.GetBool("gdu.disable_adjust_gate", &c.gdu.disable_adjust_gate));
+  FKD_RETURN_NOT_OK(reader.GetBool("gdu.plain_unit", &c.gdu.plain_unit));
+  size_t num_creators = 0;
+  size_t num_subjects = 0;
+  FKD_RETURN_NOT_OK(reader.GetUint("num_creators", &num_creators));
+  FKD_RETURN_NOT_OK(reader.GetUint("num_subjects", &num_subjects));
+  if (snapshot.num_classes == 0) {
+    return Status::Corruption("num_classes must be >= 1");
+  }
+
+  {
+    std::ifstream in(dir / kLabelsFile);
+    if (!in) return Status::IoError("cannot read label map");
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) snapshot.class_names.push_back(line);
+    }
+    if (snapshot.class_names.size() != snapshot.num_classes) {
+      return Status::Corruption(
+          StrFormat("label map has %zu names, config says %zu classes",
+                    snapshot.class_names.size(), snapshot.num_classes));
+    }
+  }
+
+  std::vector<text::Vocabulary> vocabularies;
+  for (const char* file : kVocabularyFiles) {
+    FKD_ASSIGN_OR_RETURN(text::Vocabulary vocabulary,
+                         text::Vocabulary::Load((dir / file).string()));
+    vocabularies.push_back(std::move(vocabulary));
+  }
+
+  // The initialiser RNG is irrelevant: every parameter is overwritten from
+  // the weights file (LoadParameters fails loudly on any name/shape drift).
+  Rng rng(0);
+  snapshot.model = std::make_unique<core::DiffusionModel>(
+      c, snapshot.num_classes, std::move(vocabularies[0]),
+      std::move(vocabularies[1]), std::move(vocabularies[2]),
+      std::move(vocabularies[3]), std::move(vocabularies[4]),
+      std::move(vocabularies[5]), &rng);
+  FKD_RETURN_NOT_OK(nn::LoadParameters(snapshot.model.get(),
+                                       (dir / kWeightsFile).string()));
+
+  FrozenStates states(Tensor(num_creators, c.gdu_hidden),
+                      Tensor(num_subjects, c.gdu_hidden));
+  FKD_RETURN_NOT_OK(
+      nn::LoadParameters(&states, (dir / kStatesFile).string()));
+  snapshot.creator_states = states.creators.value();
+  snapshot.subject_states = states.subjects.value();
+  return snapshot;
+}
+
+}  // namespace serve
+}  // namespace fkd

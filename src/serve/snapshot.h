@@ -1,0 +1,71 @@
+#ifndef FKD_SERVE_SNAPSHOT_H_
+#define FKD_SERVE_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/diffusion_model.h"
+#include "core/fake_detector.h"
+#include "eval/classifier.h"
+#include "tensor/tensor.h"
+
+namespace fkd {
+namespace serve {
+
+/// A frozen, servable FakeDetector: everything needed to go from raw
+/// article text to class probabilities, reloaded from one snapshot
+/// directory. Immutable after LoadSnapshot; all scoring members are const
+/// and safe to call concurrently from any number of threads (the model
+/// forward is tape-free and the vocabularies are lookup-only).
+struct Snapshot {
+  /// Architecture configuration the model was rebuilt from (training
+  /// hyper-parameters are carried along but unused at serve time).
+  core::FakeDetectorConfig config;
+  size_t num_classes = 0;
+  eval::LabelGranularity granularity = eval::LabelGranularity::kBinary;
+  /// Display name per class id, e.g. {"not credible", "credible"}.
+  std::vector<std::string> class_names;
+
+  /// The rebuilt parameter tree.
+  std::unique_ptr<core::DiffusionModel> model;
+
+  /// Frozen hidden states of the training corpus after the K diffusion
+  /// steps: [num_creators x gdu_hidden] / [num_subjects x gdu_hidden].
+  /// New articles aggregate these through their creator/subject links.
+  Tensor creator_states;
+  Tensor subject_states;
+
+  /// Checks that the optional graph context of a request points at rows of
+  /// the frozen state matrices. `creator_id` < 0 means "unknown creator".
+  Status ValidateIds(int32_t creator_id,
+                     const std::vector<int32_t>& subject_ids) const;
+
+  /// Scores a batch of raw article texts: tokenises with the modelling
+  /// conventions, featurises against the frozen vocabularies, and runs the
+  /// tape-free batched forward. `creator_ids[i]` < 0 and an empty
+  /// `subject_ids[i]` degrade to the paper's all-zero missing GDU ports.
+  /// Returns raw logits [n x num_classes]. Ids must have been validated.
+  Tensor Score(const std::vector<std::string>& texts,
+               const std::vector<int32_t>& creator_ids,
+               const std::vector<std::vector<int32_t>>& subject_ids) const;
+};
+
+/// Freezes a trained detector into `directory` (created if needed):
+/// architecture config + label map (config.txt, labels.txt), the six
+/// vocabularies (*.tsv), the parameters (weights.fkdw via
+/// nn::SaveParameters) and the frozen diffusion states (states.fkdw).
+/// Fails with FailedPrecondition if the detector was not trained.
+Status ExportSnapshot(const core::FakeDetector& detector,
+                      const std::string& directory);
+
+/// Rebuilds a servable model from an ExportSnapshot directory. The
+/// parameter shapes are re-derived from the persisted config and
+/// vocabularies, so LoadParameters catches any drift by name and shape.
+Result<Snapshot> LoadSnapshot(const std::string& directory);
+
+}  // namespace serve
+}  // namespace fkd
+
+#endif  // FKD_SERVE_SNAPSHOT_H_

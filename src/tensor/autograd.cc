@@ -1,6 +1,7 @@
 #include "tensor/autograd.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <unordered_set>
 
@@ -19,12 +20,41 @@ void Node::ZeroGrad() {
   if (grad_.size() != 0) grad_.SetZero();
 }
 
+namespace {
+
+thread_local bool t_inference_mode = false;
+std::atomic<uint64_t> g_tape_nodes_created{0};
+
+}  // namespace
+
+InferenceModeGuard::InferenceModeGuard() : previous_(t_inference_mode) {
+  t_inference_mode = true;
+}
+
+InferenceModeGuard::~InferenceModeGuard() { t_inference_mode = previous_; }
+
+bool InInferenceMode() { return t_inference_mode; }
+
+uint64_t TapeNodesCreated() {
+  return g_tape_nodes_created.load(std::memory_order_relaxed);
+}
+
 /// Internal factory: wires inputs and the backward closure into a new node.
 class GraphBuilder {
  public:
   static Variable MakeOp(Tensor value, const std::vector<Variable>& inputs,
                          std::string op_name,
                          std::function<void(Node&)> backward_fn) {
+    if (t_inference_mode) {
+      // Tape-free path: the result is a detached leaf. Input edges and the
+      // backward closure are dropped, so upstream intermediates free as
+      // soon as the last Variable referencing them goes out of scope.
+      for (const Variable& input : inputs) {
+        FKD_CHECK(input.defined()) << "undefined input to op " << op_name;
+      }
+      return Variable(std::make_shared<Node>(
+          std::move(value), /*requires_grad=*/false, std::move(op_name)));
+    }
     bool requires_grad = false;
     for (const Variable& input : inputs) {
       FKD_CHECK(input.defined()) << "undefined input to op " << op_name;
@@ -33,7 +63,10 @@ class GraphBuilder {
     auto node = std::make_shared<Node>(std::move(value), requires_grad,
                                        std::move(op_name));
     for (const Variable& input : inputs) node->inputs_.push_back(input.node());
-    if (requires_grad) node->backward_fn_ = std::move(backward_fn);
+    if (requires_grad) {
+      node->backward_fn_ = std::move(backward_fn);
+      g_tape_nodes_created.fetch_add(1, std::memory_order_relaxed);
+    }
     return Variable(std::move(node));
   }
 };

@@ -1,6 +1,7 @@
 #ifndef FKD_TENSOR_AUTOGRAD_H_
 #define FKD_TENSOR_AUTOGRAD_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -111,6 +112,34 @@ class Variable {
 
   std::shared_ptr<Node> node_;
 };
+
+/// RAII switch for tape-free (inference) forward passes on the current
+/// thread. While a guard is alive, every op below produces a plain leaf:
+/// requires_grad() is false, no input edges are retained and no backward
+/// closure is allocated, so intermediates free eagerly and Backward() on the
+/// result is a programmer error. Guards nest; each restores the previous
+/// mode. The flag is thread-local, so serving workers can run tape-free
+/// while a trainer thread keeps building graphs.
+class InferenceModeGuard {
+ public:
+  InferenceModeGuard();
+  ~InferenceModeGuard();
+
+  InferenceModeGuard(const InferenceModeGuard&) = delete;
+  InferenceModeGuard& operator=(const InferenceModeGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// True while an InferenceModeGuard is alive on this thread.
+bool InInferenceMode();
+
+/// Process-wide count of tape nodes built so far (nodes that retained a
+/// backward closure because an input requires gradients). Monotone;
+/// tests diff it around a forward pass to prove the pass allocated no
+/// gradient state.
+uint64_t TapeNodesCreated();
 
 /// Runs reverse-mode differentiation from `root`, which must hold exactly
 /// one element (a scalar loss). Gradients accumulate into every node with

@@ -16,6 +16,13 @@ namespace text {
 /// Ids are dense in [0, size()); `kUnknownId` (-1) marks out-of-vocabulary
 /// tokens. Frequencies accumulate through `Add`, enabling min-frequency
 /// pruning when building the modelling vocabulary from a corpus.
+///
+/// Thread safety follows const-correctness: a `const Vocabulary&` is safe
+/// to use concurrently from any number of threads (every const member is a
+/// pure lookup with no caches or other mutable state — this is what lets
+/// serving workers featurize against one frozen vocabulary in parallel).
+/// The mutating members (`Add`, `AddAll`) must not overlap any other call
+/// on the same instance; build the vocabulary first, then share it const.
 class Vocabulary {
  public:
   static constexpr int32_t kUnknownId = -1;

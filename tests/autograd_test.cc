@@ -270,5 +270,62 @@ TEST(AutogradTest, GatherRowsValues) {
   EXPECT_TRUE(y.value().AllClose(Tensor::FromRows({{5, 6}, {1, 2}, {5, 6}})));
 }
 
+// ---- inference mode ---------------------------------------------------------------
+
+TEST(InferenceModeTest, GuardTogglesAndRestores) {
+  EXPECT_FALSE(ag::InInferenceMode());
+  {
+    ag::InferenceModeGuard guard;
+    EXPECT_TRUE(ag::InInferenceMode());
+    {
+      ag::InferenceModeGuard nested;  // nesting keeps the mode on
+      EXPECT_TRUE(ag::InInferenceMode());
+    }
+    EXPECT_TRUE(ag::InInferenceMode());
+  }
+  EXPECT_FALSE(ag::InInferenceMode());
+}
+
+TEST(InferenceModeTest, OpsProduceDetachedResults) {
+  ag::Variable a(Tensor::FromRows({{1, 2}, {3, 4}}), true);
+  ag::Variable b(Tensor::FromRows({{5, 6}, {7, 8}}), true);
+
+  ag::InferenceModeGuard guard;
+  ag::Variable sum = ag::Add(a, b);
+  // Same forward values, but no tape: the result is a detached leaf.
+  EXPECT_TRUE(sum.value().AllClose(Tensor::FromRows({{6, 8}, {10, 12}})));
+  EXPECT_FALSE(sum.requires_grad());
+}
+
+TEST(InferenceModeTest, NoTapeNodesCountedUnderGuard) {
+  ag::Variable a(RandomTensor(3, 3, 11), true);
+  ag::Variable b(RandomTensor(3, 3, 12), true);
+
+  // Outside the guard the op retains a tape node.
+  const uint64_t before_tape = ag::TapeNodesCreated();
+  ag::Variable tracked = ag::MatMul(a, b);
+  EXPECT_GT(ag::TapeNodesCreated(), before_tape);
+
+  // Under the guard the identical op retains none.
+  ag::InferenceModeGuard guard;
+  const uint64_t before_inference = ag::TapeNodesCreated();
+  ag::Variable untracked = ag::MatMul(a, b);
+  EXPECT_EQ(ag::TapeNodesCreated(), before_inference);
+  EXPECT_TRUE(untracked.value().AllClose(tracked.value()));
+}
+
+TEST(InferenceModeTest, TrainingGraphsUnaffectedAfterGuard) {
+  {
+    ag::InferenceModeGuard guard;
+    ag::Variable warmup =
+        ag::Add(ag::Variable(RandomTensor(2, 2, 13), true),
+                ag::Variable(RandomTensor(2, 2, 14), true));
+  }
+  // Gradients still flow on graphs built after the guard is gone.
+  ag::Variable x(Tensor::FromRows({{2.0f}}), true);
+  ag::Backward(ag::SumSquares(x));
+  EXPECT_FLOAT_EQ(x.grad().At(0, 0), 4.0f);
+}
+
 }  // namespace
 }  // namespace fkd

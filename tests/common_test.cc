@@ -36,7 +36,7 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int code = 0; code <= 9; ++code) {
+  for (int code = 0; code <= 11; ++code) {
     EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(code)), "Unknown");
   }
 }

@@ -377,6 +377,64 @@ TEST(SerializeTest, ParameterCountMismatchRejected) {
   std::filesystem::remove(path);
 }
 
+TEST(SerializeTest, ShapeMismatchErrorNamesParameterAndShapes) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "fkd_shape_mismatch_test.bin";
+  Rng rng(25);
+
+  class WideLayer : public nn::Module {
+   public:
+    explicit WideLayer(Rng* rng) : a_(3, 7, rng), b_(7, 2, rng) {}
+    void CollectParameters(const std::string& prefix,
+                           std::vector<nn::NamedParameter>* out) const override {
+      a_.CollectParameters(nn::JoinName(prefix, "a"), out);
+      b_.CollectParameters(nn::JoinName(prefix, "b"), out);
+    }
+    nn::Linear a_;
+    nn::Linear b_;
+  };
+  WideLayer wide(&rng);
+  ASSERT_TRUE(nn::SaveParameters(wide, path).ok());
+
+  // Same parameter names, different shapes (TwoLayer is 3->4->2).
+  TwoLayer narrow(&rng);
+  const Status status = nn::LoadParameters(&narrow, path);
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // The message must identify the offending parameter and both shapes so
+  // architecture drift is debuggable from the error alone.
+  EXPECT_NE(status.message().find("a/weight"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("[3 x 4]"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("[3 x 7]"), std::string::npos)
+      << status.message();
+  std::filesystem::remove(path);
+}
+
+TEST(SerializeTest, MissingParameterErrorNamesIt) {
+  const std::string path =
+      std::filesystem::temp_directory_path() / "fkd_missing_param_test.bin";
+  Rng rng(26);
+  TwoLayer big(&rng);
+  ASSERT_TRUE(nn::SaveParameters(big, path).ok());
+
+  class OneLayer : public nn::Module {
+   public:
+    explicit OneLayer(Rng* rng) : a_(3, 4, rng) {}
+    void CollectParameters(const std::string& prefix,
+                           std::vector<nn::NamedParameter>* out) const override {
+      a_.CollectParameters(nn::JoinName(prefix, "a"), out);
+    }
+    nn::Linear a_;
+  };
+  OneLayer small(&rng);
+  const Status status = nn::LoadParameters(&small, path);
+  ASSERT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("b/"), std::string::npos)
+      << status.message();
+  std::filesystem::remove(path);
+}
+
 TEST(ModuleTest, ParameterCountSumsSizes) {
   Rng rng(24);
   TwoLayer module(&rng);

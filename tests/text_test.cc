@@ -1,5 +1,6 @@
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -276,6 +277,42 @@ TEST(TextHelpersTest, BuildFrequencyVocabulary) {
   const Vocabulary vocab = BuildFrequencyVocabulary(docs, 2);
   EXPECT_EQ(vocab.size(), 2u);
   EXPECT_EQ(vocab.IdOf("b"), 0);
+}
+
+TEST(VocabularyTest, ConstLookupsAreSafeFromManyThreads) {
+  // Build once, then share const — the documented serving access pattern.
+  Vocabulary vocabulary;
+  constexpr size_t kTokens = 200;
+  for (size_t i = 0; i < kTokens; ++i) {
+    vocabulary.Add("token_" + std::to_string(i));
+    vocabulary.Add("token_" + std::to_string(i));  // frequency 2 each
+  }
+  const Vocabulary& frozen = vocabulary;
+
+  constexpr size_t kThreads = 8;
+  std::vector<std::thread> readers;
+  std::vector<size_t> mismatches(kThreads, 1);  // 1 = did not finish
+  for (size_t t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&frozen, &mismatches, t] {
+      size_t bad = 0;
+      for (size_t round = 0; round < 50; ++round) {
+        for (size_t i = 0; i < kTokens; ++i) {
+          const std::string token = "token_" + std::to_string(i);
+          const int32_t id = frozen.IdOf(token);
+          if (id != static_cast<int32_t>(i)) ++bad;
+          if (frozen.TokenOf(id) != token) ++bad;
+          if (frozen.FrequencyOf(token) != 2) ++bad;
+        }
+        if (frozen.IdOf("never_added") != Vocabulary::kUnknownId) ++bad;
+        if (frozen.Encode({"token_0", "oov", "token_1"}).size() != 2) ++bad;
+      }
+      mismatches[t] = bad;
+    });
+  }
+  for (auto& reader : readers) reader.join();
+  for (size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0u) << "reader thread " << t;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# ThreadSanitizer smoke job for the serving engine.
+#
+# Configures a dedicated build tree with -fsanitize=thread, builds the
+# concurrency-sensitive test binaries, and runs every Serve* suite (plus the
+# vocabulary concurrency test) under TSan via ctest. Any data race aborts
+# the run with a non-zero exit code.
+#
+#   tools/tsan_smoke.sh [build-dir]   (default: build-tsan next to the repo root)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build-tsan}"
+
+cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+  -DFKD_BUILD_BENCHMARKS=OFF \
+  -DFKD_BUILD_EXAMPLES=OFF
+
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target serve_test text_test
+
+# halt_on_error: fail the job on the first race instead of logging past it.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+
+ctest --test-dir "${BUILD_DIR}" --output-on-failure \
+  -R '^(Serve|VocabularyTest\.ConstLookups)'
+
+echo "tsan smoke: OK"
