@@ -1,0 +1,40 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace fkd {
+
+namespace {
+
+/// Byte-at-a-time lookup table for the reflected Castagnoli polynomial,
+/// built once at first use (constexpr-buildable, but a function-local
+/// static keeps the header free of the table).
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    constexpr uint32_t kReflectedPoly = 0x82F63B78u;
+    std::array<uint32_t, 256> t{};
+    for (uint32_t byte = 0; byte < 256; ++byte) {
+      uint32_t crc = byte;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kReflectedPoly : 0u);
+      }
+      t[byte] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  const auto& table = Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace fkd

@@ -1,0 +1,28 @@
+#ifndef FKD_COMMON_CRC32C_H_
+#define FKD_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace fkd {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum RocksDB,
+/// LevelDB and gRPC use for on-disk integrity. Software table
+/// implementation; plenty for the MB-scale artifacts this library writes.
+///
+/// `Crc32cExtend(crc, ...)` continues a running checksum, so large files
+/// can be checksummed in streaming chunks.
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size);
+
+inline uint32_t Crc32c(const void* data, size_t size) {
+  return Crc32cExtend(0, data, size);
+}
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32c(data.data(), data.size());
+}
+
+}  // namespace fkd
+
+#endif  // FKD_COMMON_CRC32C_H_

@@ -1,0 +1,146 @@
+#include "common/fault_injection.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fkd {
+
+namespace {
+
+bool ParseAction(std::string_view token, FaultAction* action) {
+  if (token == "fail") {
+    *action = FaultAction::kFail;
+  } else if (token == "fatal") {
+    *action = FaultAction::kFatal;
+  } else if (token == "torn") {
+    *action = FaultAction::kTorn;
+  } else if (token == "crash") {
+    *action = FaultAction::kCrash;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* created = new FaultInjector();
+    if (const char* spec = std::getenv("FKD_FAULTS")) {
+      FKD_CHECK_OK(created->Configure(spec));
+    }
+    return created;
+  }();
+  return *injector;
+}
+
+Status FaultInjector::Configure(const std::string& spec) {
+  std::map<std::string, Rule> rules;
+  const std::string_view trimmed = Trim(spec);
+  if (!trimmed.empty()) {
+    for (const std::string& part : Split(trimmed, ',')) {
+      const std::string rule_text(Trim(part));
+      const size_t colon = rule_text.find(':');
+      if (colon == std::string::npos || colon == 0) {
+        return Status::InvalidArgument("fault rule '" + rule_text +
+                                       "' is not site:action[@N][*K]");
+      }
+      const std::string site = rule_text.substr(0, colon);
+      std::string action_text = rule_text.substr(colon + 1);
+
+      Rule rule;
+      // Optional suffixes, in either order of appearance after the action.
+      const size_t star = action_text.find('*');
+      if (star != std::string::npos) {
+        if (!ParseUint64(action_text.substr(star + 1), &rule.max_triggers) ||
+            rule.max_triggers == 0) {
+          return Status::InvalidArgument("fault rule '" + rule_text +
+                                         "': bad *K repeat count");
+        }
+        action_text.erase(star);
+      }
+      const size_t at = action_text.find('@');
+      if (at != std::string::npos) {
+        if (!ParseUint64(action_text.substr(at + 1), &rule.first_hit) ||
+            rule.first_hit == 0) {
+          return Status::InvalidArgument("fault rule '" + rule_text +
+                                         "': bad @N ordinal");
+        }
+        action_text.erase(at);
+      }
+      if (!ParseAction(action_text, &rule.action)) {
+        return Status::InvalidArgument(
+            "fault rule '" + rule_text + "': unknown action '" + action_text +
+            "' (want fail|fatal|torn|crash)");
+      }
+      if (rules.count(site) != 0) {
+        return Status::InvalidArgument("duplicate fault site '" + site + "'");
+      }
+      rules.emplace(site, rule);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_ = std::move(rules);
+  hits_.clear();
+  return Status::OK();
+}
+
+void FaultInjector::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  hits_.clear();
+}
+
+bool FaultInjector::enabled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return !rules_.empty();
+}
+
+FaultAction FaultInjector::Hit(const std::string& site) {
+  FaultAction action = FaultAction::kNone;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t ordinal = ++hits_[site];
+    auto it = rules_.find(site);
+    if (it != rules_.end() && ordinal >= it->second.first_hit &&
+        (it->second.max_triggers == 0 ||
+         ordinal < it->second.first_hit + it->second.max_triggers)) {
+      action = it->second.action;
+    }
+  }
+  if (action == FaultAction::kCrash) {
+    // Simulated kill: no stream flushing, no atexit handlers — exactly the
+    // state a SIGKILL mid-write leaves on disk.
+    FKD_LOG(Warning) << "fault injection: crashing at site " << site;
+    ::_exit(kFaultCrashExitCode);
+  }
+  return action;
+}
+
+Status FaultInjector::Inject(const std::string& site) {
+  switch (Hit(site)) {
+    case FaultAction::kNone:
+      return Status::OK();
+    case FaultAction::kFatal:
+      return Status::Internal("injected fatal fault at " + site);
+    case FaultAction::kFail:
+    case FaultAction::kTorn:
+      return Status::IoError("injected fault at " + site);
+    case FaultAction::kCrash:
+      break;  // unreachable: Hit() exited
+  }
+  return Status::Internal("unreachable");
+}
+
+uint64_t FaultInjector::HitCount(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = hits_.find(site);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+}  // namespace fkd

@@ -1,0 +1,98 @@
+#ifndef FKD_COMMON_FAULT_INJECTION_H_
+#define FKD_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace fkd {
+
+/// What an armed fault rule does when its site is hit.
+enum class FaultAction {
+  kNone = 0,   ///< No rule matched this hit; proceed normally.
+  kFail,       ///< Fail the operation with IoError (e.g. simulated ENOSPC).
+  kFatal,      ///< Fail with a non-retryable Internal error.
+  kTorn,       ///< Perform the operation partially, then fail (torn write).
+  kCrash,      ///< _exit(kCrashExitCode) mid-operation (simulated kill -9).
+};
+
+/// Process exit code used by FaultAction::kCrash, so harnesses can tell an
+/// injected crash apart from a genuine abort.
+inline constexpr int kFaultCrashExitCode = 134;
+
+/// Deterministic fault injector for exercising failure paths.
+///
+/// Production code consults named *sites* ("io.write", "io.fsync",
+/// "serve.batch", ...) through `Hit()`/`Inject()`; tests and drills arm
+/// rules against those sites, either programmatically via `Configure()` or
+/// through the `FKD_FAULTS` environment variable. With no rules armed every
+/// hit is a branch-predicted map lookup miss, so the shim is safe to leave
+/// in release builds.
+///
+/// Rule grammar (comma-separated list):
+///
+///   spec   := rule ("," rule)*
+///   rule   := site ":" action ["@" N] ["*" K]
+///   action := "fail" | "fatal" | "torn" | "crash"
+///
+/// `@N` arms the rule starting at the Nth hit of the site (1-based,
+/// default 1); `*K` limits it to K consecutive triggering hits (default:
+/// unbounded). Examples:
+///
+///   FKD_FAULTS=io.write:fail@3        every io.write from the 3rd on fails
+///   FKD_FAULTS=io.fsync:torn*1        the first fsync'd file is torn
+///   FKD_FAULTS=serve.batch:fail@2*3   batches 2-4 fail, then recovery
+///   FKD_FAULTS=io.rename:crash        the process dies at the first rename
+///
+/// Thread-safe: sites may be hit concurrently (serving workers do).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Process-wide injector, pre-configured from FKD_FAULTS (if set) on
+  /// first access. Invalid env specs abort: a drill that silently runs
+  /// without its faults armed would report false confidence.
+  static FaultInjector& Global();
+
+  /// Replaces all rules with the parsed `spec` and resets hit counters.
+  /// An empty spec clears everything.
+  Status Configure(const std::string& spec);
+
+  /// Removes every rule and resets hit counters.
+  void Clear();
+
+  /// True if any rule is armed (cheap pre-check for hot paths).
+  bool enabled() const;
+
+  /// Records one hit of `site` and returns the action the caller must
+  /// simulate. kCrash never returns: the process exits immediately, which
+  /// models a kill mid-operation better than any cooperative unwind.
+  FaultAction Hit(const std::string& site);
+
+  /// Convenience for sites with nothing to tear: maps kFail/kTorn to
+  /// IoError and kFatal to Internal, naming the site.
+  Status Inject(const std::string& site);
+
+  /// Times `site` was hit since the last Configure/Clear (for tests).
+  uint64_t HitCount(const std::string& site) const;
+
+ private:
+  struct Rule {
+    FaultAction action = FaultAction::kNone;
+    uint64_t first_hit = 1;       ///< 1-based ordinal the rule arms at.
+    uint64_t max_triggers = 0;    ///< 0 = unbounded.
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Rule> rules_;
+  std::map<std::string, uint64_t> hits_;
+};
+
+}  // namespace fkd
+
+#endif  // FKD_COMMON_FAULT_INJECTION_H_

@@ -1,0 +1,215 @@
+#include "common/file_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/fault_injection.h"
+
+namespace fkd {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Full write with EINTR/partial-write handling.
+Status WriteAll(int fd, const char* data, size_t size,
+                const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("write failed:", path);
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+std::string ParentOf(const std::string& path) {
+  const std::string parent = std::filesystem::path(path).parent_path().string();
+  return parent.empty() ? std::string(".") : parent;
+}
+
+}  // namespace
+
+FileWriter::~FileWriter() {
+  if (fd_ >= 0) ::close(fd_);  // abandoned: close without durability
+}
+
+FileWriter::FileWriter(FileWriter&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      bytes_written_(other.bytes_written_) {
+  other.fd_ = -1;
+}
+
+FileWriter& FileWriter::operator=(FileWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    bytes_written_ = other.bytes_written_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<FileWriter> FileWriter::Open(const std::string& path) {
+  if (FaultInjector::Global().Hit("io.open") != FaultAction::kNone) {
+    return Status::IoError("injected fault at io.open: " + path);
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("cannot open for writing:", path);
+  FileWriter writer;
+  writer.fd_ = fd;
+  writer.path_ = path;
+  return writer;
+}
+
+Status FileWriter::Append(const void* data, size_t size) {
+  if (fd_ < 0) return Status::FailedPrecondition("writer is closed: " + path_);
+  const FaultAction action = FaultInjector::Global().Hit("io.write");
+  if (action == FaultAction::kFail) {
+    return Status::IoError("injected fault at io.write: " + path_);
+  }
+  if (action == FaultAction::kFatal) {
+    return Status::Internal("injected fatal fault at io.write: " + path_);
+  }
+  if (action == FaultAction::kTorn) {
+    // Torn write: half the payload lands on disk, then the "device" fails —
+    // the on-disk state a crash between sector writes leaves behind.
+    const size_t half = size / 2;
+    (void)WriteAll(fd_, static_cast<const char*>(data), half, path_);
+    bytes_written_ += half;
+    return Status::IoError("injected torn write at io.write: " + path_);
+  }
+  FKD_RETURN_NOT_OK(WriteAll(fd_, static_cast<const char*>(data), size, path_));
+  bytes_written_ += size;
+  return Status::OK();
+}
+
+Status FileWriter::Append(std::string_view data) {
+  return Append(data.data(), data.size());
+}
+
+Status FileWriter::Close() {
+  if (fd_ < 0) return Status::OK();
+  const int fd = fd_;
+  fd_ = -1;  // closed in every branch below
+  if (FaultInjector::Global().Hit("io.fsync") != FaultAction::kNone) {
+    ::close(fd);
+    return Status::IoError("injected fault at io.fsync: " + path_);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return ErrnoStatus("fsync failed:", path_);
+  }
+  if (::close(fd) != 0) return ErrnoStatus("close failed:", path_);
+  return Status::OK();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view data) {
+  FKD_ASSIGN_OR_RETURN(FileWriter writer, FileWriter::Open(path));
+  FKD_RETURN_NOT_OK(writer.Append(data));
+  return writer.Close();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return std::move(buffer).str();
+}
+
+Status AtomicRename(const std::string& from, const std::string& to) {
+  FKD_RETURN_NOT_OK(FaultInjector::Global().Inject("io.rename"));
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoStatus("rename failed: " + from + " ->", to);
+  }
+  return SyncDir(ParentOf(to));
+}
+
+Status SyncDir(const std::string& directory) {
+  const int fd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("cannot open directory:", directory);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync failed on directory:", directory);
+  return Status::OK();
+}
+
+Result<StagedDir> StagedDir::Create(const std::string& final_path) {
+  const std::string staged =
+      final_path + ".tmp-" + std::to_string(::getpid());
+  std::error_code ec;
+  std::filesystem::remove_all(staged, ec);  // leftover of a crashed attempt
+  std::filesystem::create_directories(staged, ec);
+  if (ec) {
+    return Status::IoError("cannot create staging directory " + staged + ": " +
+                           ec.message());
+  }
+  return StagedDir(staged, final_path);
+}
+
+StagedDir::~StagedDir() {
+  if (!committed_ && !staged_path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove_all(staged_path_, ec);  // best-effort cleanup
+  }
+}
+
+StagedDir::StagedDir(StagedDir&& other) noexcept
+    : staged_path_(std::move(other.staged_path_)),
+      final_path_(std::move(other.final_path_)),
+      committed_(other.committed_) {
+  other.staged_path_.clear();
+  other.committed_ = true;
+}
+
+StagedDir& StagedDir::operator=(StagedDir&& other) noexcept {
+  if (this != &other) {
+    if (!committed_ && !staged_path_.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(staged_path_, ec);
+    }
+    staged_path_ = std::move(other.staged_path_);
+    final_path_ = std::move(other.final_path_);
+    committed_ = other.committed_;
+    other.staged_path_.clear();
+    other.committed_ = true;
+  }
+  return *this;
+}
+
+Status StagedDir::Commit() {
+  if (committed_) return Status::FailedPrecondition("already committed");
+  // Replacing an existing directory: remove it first (rename(2) cannot
+  // replace a non-empty directory). The window where neither exists is the
+  // price of replacement; first-time publishes are fully atomic.
+  std::error_code ec;
+  if (std::filesystem::exists(final_path_, ec)) {
+    std::filesystem::remove_all(final_path_, ec);
+    if (ec) {
+      return Status::IoError("cannot remove old " + final_path_ + ": " +
+                             ec.message());
+    }
+  }
+  FKD_RETURN_NOT_OK(AtomicRename(staged_path_, final_path_));
+  committed_ = true;
+  return Status::OK();
+}
+
+}  // namespace fkd

@@ -1,0 +1,118 @@
+#ifndef FKD_COMMON_FILE_IO_H_
+#define FKD_COMMON_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace fkd {
+
+/// Durable, fault-injectable file writing.
+///
+/// Every artifact writer in this library (snapshot, checkpoint, FKDW
+/// serialisation, dataset TSVs) goes through this shim instead of raw
+/// streams, which buys two things at once:
+///
+///  1. durability — `Close()` flushes AND fsyncs, so a committed file
+///     survives power loss, and `AtomicRename` + `SyncDir` give the
+///     write-temp/rename-publish idiom a torn-write-free commit point;
+///  2. testability — each operation consults `FaultInjector::Global()`
+///     (sites "io.open", "io.write", "io.fsync", "io.rename"), so tests
+///     deterministically simulate ENOSPC, torn writes and crashes at any
+///     step without touching the filesystem driver.
+///
+/// POSIX-fd based: `std::ofstream` offers no way to fsync.
+class FileWriter {
+ public:
+  FileWriter() = default;
+  ~FileWriter();
+
+  FileWriter(FileWriter&& other) noexcept;
+  FileWriter& operator=(FileWriter&& other) noexcept;
+  FileWriter(const FileWriter&) = delete;
+  FileWriter& operator=(const FileWriter&) = delete;
+
+  /// Creates/truncates `path` for writing. Site "io.open".
+  static Result<FileWriter> Open(const std::string& path);
+
+  /// Appends `size` bytes. Site "io.write"; an injected torn fault writes
+  /// only the first half of this call's bytes before failing, an injected
+  /// crash kills the process at this call (nothing of it lands).
+  Status Append(const void* data, size_t size);
+  Status Append(std::string_view data);
+
+  /// Flushes to stable storage (fsync, site "io.fsync") and closes. A file
+  /// is durable only after Close() returned OK. Idempotent; the destructor
+  /// closes WITHOUT syncing (abandoned writers need no durability).
+  Status Close();
+
+  const std::string& path() const { return path_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// One-shot durable write: Open + Append + Close.
+Status WriteStringToFile(const std::string& path, std::string_view data);
+
+/// Reads a whole (binary) file. IoError when unreadable.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// rename(2) with the parent directory fsynced afterwards, so the new name
+/// survives a crash. The atomic publish step of every artifact directory.
+/// Site "io.rename".
+Status AtomicRename(const std::string& from, const std::string& to);
+
+/// fsyncs a directory's entry list (needed after create/rename/unlink for
+/// the metadata to be durable).
+Status SyncDir(const std::string& directory);
+
+/// Write-temp/rename-publish for whole directories.
+///
+///   FKD_ASSIGN_OR_RETURN(StagedDir staged, StagedDir::Create(final_path));
+///   ... write files under staged.path() via FileWriter ...
+///   FKD_RETURN_NOT_OK(WriteManifest(staged.path(), files));
+///   FKD_RETURN_NOT_OK(staged.Commit());
+///
+/// Until Commit() renames the staging directory over `final_path`, readers
+/// either see the complete old directory or none at all — a crash at ANY
+/// earlier step leaves only a `.tmp-<pid>` directory that loaders never
+/// look at (and the destructor removes on the error path).
+class StagedDir {
+ public:
+  /// Creates `<final_path>.tmp-<pid>` afresh (removing any leftover from a
+  /// previous crashed attempt with this pid).
+  static Result<StagedDir> Create(const std::string& final_path);
+
+  ~StagedDir();
+  StagedDir(StagedDir&& other) noexcept;
+  StagedDir& operator=(StagedDir&& other) noexcept;
+  StagedDir(const StagedDir&) = delete;
+  StagedDir& operator=(const StagedDir&) = delete;
+
+  /// The staging directory to write into.
+  const std::string& path() const { return staged_path_; }
+
+  /// Atomically publishes the staging directory as `final_path`, replacing
+  /// any existing directory of that name, and fsyncs the parent.
+  Status Commit();
+
+ private:
+  StagedDir(std::string staged_path, std::string final_path)
+      : staged_path_(std::move(staged_path)),
+        final_path_(std::move(final_path)) {}
+
+  std::string staged_path_;
+  std::string final_path_;
+  bool committed_ = false;
+};
+
+}  // namespace fkd
+
+#endif  // FKD_COMMON_FILE_IO_H_

@@ -1,0 +1,135 @@
+#include "common/manifest.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "common/crc32c.h"
+#include "common/file_io.h"
+#include "common/string_util.h"
+
+namespace fkd {
+
+namespace {
+
+constexpr const char* kHeader = "fkd-manifest v1";
+
+std::string ManifestPath(const std::string& directory) {
+  return (std::filesystem::path(directory) / kManifestFileName).string();
+}
+
+}  // namespace
+
+Result<uint32_t> Crc32cOfFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  uint32_t crc = 0;
+  char buffer[1 << 16];
+  while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+    crc = Crc32cExtend(crc, buffer, static_cast<size_t>(in.gcount()));
+  }
+  if (in.bad()) return Status::IoError("read failed: " + path);
+  return crc;
+}
+
+Status WriteManifest(const std::string& directory,
+                     const std::vector<std::string>& files) {
+  const std::filesystem::path dir(directory);
+  std::ostringstream body;
+  body << kHeader << '\n';
+  for (const std::string& file : files) {
+    const std::string path = (dir / file).string();
+    std::error_code ec;
+    const uint64_t size = std::filesystem::file_size(path, ec);
+    if (ec) {
+      return Status::IoError("cannot stat " + path + ": " + ec.message());
+    }
+    FKD_ASSIGN_OR_RETURN(const uint32_t crc, Crc32cOfFile(path));
+    body << size << ' ' << StrFormat("%08x", crc) << ' ' << file << '\n';
+  }
+  return WriteStringToFile(ManifestPath(directory), body.str());
+}
+
+Result<std::vector<ManifestEntry>> ReadManifest(const std::string& directory) {
+  const std::string path = ManifestPath(directory);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) {
+    return Status::NotFound("no MANIFEST in " + directory);
+  }
+  FKD_ASSIGN_OR_RETURN(const std::string contents, ReadFileToString(path));
+
+  std::istringstream in(contents);
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::Corruption(path + ": bad manifest header '" + line + "'");
+  }
+  std::vector<ManifestEntry> entries;
+  std::set<std::string> seen;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const auto fields = Split(line, ' ');
+    if (fields.size() != 3 || fields[2].empty()) {
+      return Status::Corruption(StrFormat(
+          "%s:%zu: expected '<size> <crc> <name>'", path.c_str(), line_number));
+    }
+    ManifestEntry entry;
+    if (!ParseUint64(fields[0], &entry.size)) {
+      return Status::Corruption(StrFormat("%s:%zu: bad size '%s'", path.c_str(),
+                                          line_number, fields[0].c_str()));
+    }
+    uint64_t crc = 0;
+    if (fields[1].size() != 8 ||
+        std::sscanf(fields[1].c_str(), "%8lx", &crc) != 1) {
+      return Status::Corruption(StrFormat("%s:%zu: bad crc '%s'", path.c_str(),
+                                          line_number, fields[1].c_str()));
+    }
+    entry.crc32c = static_cast<uint32_t>(crc);
+    entry.file = fields[2];
+    if (entry.file.find('/') != std::string::npos || entry.file == "..") {
+      return Status::Corruption(StrFormat("%s:%zu: bad file name '%s'",
+                                          path.c_str(), line_number,
+                                          entry.file.c_str()));
+    }
+    if (!seen.insert(entry.file).second) {
+      return Status::Corruption(StrFormat("%s:%zu: duplicate entry '%s'",
+                                          path.c_str(), line_number,
+                                          entry.file.c_str()));
+    }
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Status VerifyManifest(const std::string& directory) {
+  FKD_ASSIGN_OR_RETURN(const std::vector<ManifestEntry> entries,
+                       ReadManifest(directory));
+  const std::filesystem::path dir(directory);
+  for (const ManifestEntry& entry : entries) {
+    const std::string path = (dir / entry.file).string();
+    std::error_code ec;
+    const uint64_t size = std::filesystem::file_size(path, ec);
+    if (ec) {
+      return Status::Corruption("manifest file missing or unreadable: " +
+                                path);
+    }
+    if (size != entry.size) {
+      return Status::Corruption(
+          StrFormat("%s: size %llu does not match manifest (%llu)",
+                    path.c_str(), static_cast<unsigned long long>(size),
+                    static_cast<unsigned long long>(entry.size)));
+    }
+    FKD_ASSIGN_OR_RETURN(const uint32_t crc, Crc32cOfFile(path));
+    if (crc != entry.crc32c) {
+      return Status::Corruption(
+          StrFormat("%s: crc32c %08x does not match manifest (%08x)",
+                    path.c_str(), crc, entry.crc32c));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fkd

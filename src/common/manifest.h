@@ -1,0 +1,52 @@
+#ifndef FKD_COMMON_MANIFEST_H_
+#define FKD_COMMON_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fkd {
+
+/// Name of the per-directory integrity manifest file.
+inline constexpr const char* kManifestFileName = "MANIFEST";
+
+/// One checksummed file of an artifact directory.
+struct ManifestEntry {
+  std::string file;      ///< Name relative to the directory (no slashes).
+  uint64_t size = 0;     ///< Exact byte size.
+  uint32_t crc32c = 0;   ///< CRC-32C of the full contents.
+};
+
+/// Streaming CRC-32C of a file's contents. IoError when unreadable.
+Result<uint32_t> Crc32cOfFile(const std::string& path);
+
+/// Writes `directory/MANIFEST` covering `files` (names relative to
+/// `directory`), recording each file's current size and CRC-32C. Written
+/// through the durable fault-injectable FileWriter, so it participates in
+/// the same crash simulation as the files it covers. Format:
+///
+///   fkd-manifest v1
+///   <size> <crc32c-8hex> <name>
+///   ...
+///
+/// The manifest must be the LAST file written before an atomic publish: its
+/// presence asserts that everything it lists was completely written.
+Status WriteManifest(const std::string& directory,
+                     const std::vector<std::string>& files);
+
+/// Parses `directory/MANIFEST` without touching the listed files.
+/// NotFound when the manifest itself is missing; Corruption on any
+/// syntax error or duplicate entry.
+Result<std::vector<ManifestEntry>> ReadManifest(const std::string& directory);
+
+/// Reads the manifest and verifies every listed file exists with exactly
+/// the recorded size and CRC-32C. The cheap gate a loader runs before
+/// parsing anything: a directory that fails here was torn by a crash or
+/// corrupted at rest, and the error names the first offending file.
+Status VerifyManifest(const std::string& directory);
+
+}  // namespace fkd
+
+#endif  // FKD_COMMON_MANIFEST_H_

@@ -1,6 +1,7 @@
 #include "common/rng.h"
 
 #include <cmath>
+#include <cstring>
 #include <numeric>
 
 namespace fkd {
@@ -115,6 +116,24 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
   }
   indices.resize(k);
   return indices;
+}
+
+std::vector<uint64_t> Rng::DumpState() const {
+  // Layout: 4 engine words, has_cached_normal flag, cached normal bits.
+  uint64_t normal_bits = 0;
+  static_assert(sizeof(normal_bits) == sizeof(cached_normal_));
+  std::memcpy(&normal_bits, &cached_normal_, sizeof(normal_bits));
+  return {state_[0], state_[1],
+          state_[2], state_[3],
+          has_cached_normal_ ? 1ULL : 0ULL, normal_bits};
+}
+
+bool Rng::RestoreState(const std::vector<uint64_t>& words) {
+  if (words.size() != 6 || words[4] > 1) return false;
+  for (size_t i = 0; i < 4; ++i) state_[i] = words[i];
+  has_cached_normal_ = words[4] == 1;
+  std::memcpy(&cached_normal_, &words[5], sizeof(cached_normal_));
+  return true;
 }
 
 }  // namespace fkd

@@ -70,6 +70,15 @@ class Rng {
   /// Requires k <= n.
   std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
 
+  /// Opaque serialisable engine state (the four xoshiro words plus the
+  /// Box-Muller cache). Restoring a dumped state resumes the exact stream,
+  /// which is what makes checkpointed training bit-for-bit reproducible.
+  std::vector<uint64_t> DumpState() const;
+
+  /// Restores a DumpState() snapshot; false (state unchanged) when `words`
+  /// is not a valid dump.
+  bool RestoreState(const std::vector<uint64_t>& words);
+
  private:
   uint64_t state_[4];
   bool has_cached_normal_ = false;

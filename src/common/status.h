@@ -86,6 +86,15 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// True for failures a caller may sensibly retry: transient overload or
+  /// shutdown (kUnavailable) and filesystem/stream hiccups (kIoError).
+  /// Everything else — bad input, corruption, contract violations — will
+  /// fail identically on retry. The serving engine's batch-retry path and
+  /// any backoff loop should gate on this instead of matching codes.
+  bool IsRetryable() const {
+    return code_ == StatusCode::kUnavailable || code_ == StatusCode::kIoError;
+  }
+
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;
 

@@ -1,0 +1,324 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "common/file_io.h"
+#include "common/logging.h"
+#include "common/manifest.h"
+#include "common/string_util.h"
+#include "nn/serialize.h"
+
+namespace fkd {
+namespace core {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMetaFileName[] = "checkpoint.txt";
+constexpr char kModelFileName[] = "model.fkdw";
+constexpr char kOptimizerFileName[] = "optimizer.fkdw";
+constexpr char kBestFileName[] = "best.fkdw";
+constexpr char kCheckpointPrefix[] = "ckpt-";
+
+// Floats are persisted as their raw IEEE-754 bit pattern (8 hex digits) so
+// that a resumed run starts from exactly the checkpointed value — "%g"
+// round-trips would perturb the bit-for-bit resume guarantee.
+std::string FloatHex(float value) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return StrFormat("%08x", bits);
+}
+
+bool HexValue(char c, uint64_t* out) {
+  if (c >= '0' && c <= '9') {
+    *out = static_cast<uint64_t>(c - '0');
+  } else if (c >= 'a' && c <= 'f') {
+    *out = static_cast<uint64_t>(c - 'a' + 10);
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseHex64(const std::string& field, uint64_t* out) {
+  if (field.empty() || field.size() > 16) return false;
+  uint64_t value = 0;
+  for (char c : field) {
+    uint64_t digit = 0;
+    if (!HexValue(c, &digit)) return false;
+    value = (value << 4) | digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseFloatHex(const std::string& field, float* out) {
+  uint64_t bits = 0;
+  if (field.size() != 8 || !ParseHex64(field, &bits)) return false;
+  const uint32_t narrow = static_cast<uint32_t>(bits);
+  std::memcpy(out, &narrow, sizeof(*out));
+  return true;
+}
+
+std::string RenderMeta(const CheckpointState& state) {
+  std::ostringstream out;
+  out << "fkd-checkpoint v1\n";
+  out << "epoch " << state.epoch << "\n";
+  out << "best_epoch " << state.stats.best_epoch << "\n";
+  out << "epochs_since_best " << state.epochs_since_best << "\n";
+  out << "opt_step " << state.optimizer.step_count << "\n";
+  out << "best_validation_loss " << FloatHex(state.best_validation_loss)
+      << "\n";
+  out << "rng";
+  for (uint64_t word : state.rng_state) out << ' ' << StrFormat("%016llx",
+      static_cast<unsigned long long>(word));
+  out << "\n";
+  out << "epoch_losses";
+  for (float loss : state.stats.epoch_losses) out << ' ' << FloatHex(loss);
+  out << "\n";
+  out << "validation_losses";
+  for (float loss : state.stats.validation_losses) out << ' ' << FloatHex(loss);
+  out << "\n";
+  out << "has_best " << (state.best_weights.empty() ? 0 : 1) << "\n";
+  return out.str();
+}
+
+Status ParseMeta(const std::string& path, const std::string& body,
+                 CheckpointState* state, bool* has_best) {
+  const auto lines = Split(body, '\n');
+  if (lines.empty() || lines[0] != "fkd-checkpoint v1") {
+    return Status::Corruption(path + ": bad checkpoint header");
+  }
+  bool saw_epoch = false;
+  bool saw_rng = false;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].empty()) continue;
+    const std::string context = StrFormat("%s:%zu", path.c_str(), i + 1);
+    const auto fields = Split(lines[i], ' ');
+    const std::string& key = fields[0];
+    auto parse_count = [&](size_t* out) -> Status {
+      uint64_t value = 0;
+      if (fields.size() != 2 || !ParseUint64(fields[1], &value)) {
+        return Status::Corruption(context + ": bad " + key);
+      }
+      *out = static_cast<size_t>(value);
+      return Status::OK();
+    };
+    if (key == "epoch") {
+      FKD_RETURN_NOT_OK(parse_count(&state->epoch));
+      saw_epoch = true;
+    } else if (key == "best_epoch") {
+      FKD_RETURN_NOT_OK(parse_count(&state->stats.best_epoch));
+    } else if (key == "epochs_since_best") {
+      FKD_RETURN_NOT_OK(parse_count(&state->epochs_since_best));
+    } else if (key == "opt_step") {
+      size_t step = 0;
+      FKD_RETURN_NOT_OK(parse_count(&step));
+      state->optimizer.step_count = static_cast<int64_t>(step);
+    } else if (key == "best_validation_loss") {
+      if (fields.size() != 2 ||
+          !ParseFloatHex(fields[1], &state->best_validation_loss)) {
+        return Status::Corruption(context + ": bad best_validation_loss");
+      }
+    } else if (key == "rng") {
+      state->rng_state.clear();
+      for (size_t f = 1; f < fields.size(); ++f) {
+        uint64_t word = 0;
+        if (!ParseHex64(fields[f], &word)) {
+          return Status::Corruption(context + ": bad rng word");
+        }
+        state->rng_state.push_back(word);
+      }
+      saw_rng = true;
+    } else if (key == "epoch_losses" || key == "validation_losses") {
+      std::vector<float>& out = key == "epoch_losses"
+                                    ? state->stats.epoch_losses
+                                    : state->stats.validation_losses;
+      out.clear();
+      for (size_t f = 1; f < fields.size(); ++f) {
+        float loss = 0.0f;
+        if (!ParseFloatHex(fields[f], &loss)) {
+          return Status::Corruption(context + ": bad " + key);
+        }
+        out.push_back(loss);
+      }
+    } else if (key == "has_best") {
+      uint64_t value = 0;
+      if (fields.size() != 2 || !ParseUint64(fields[1], &value) || value > 1) {
+        return Status::Corruption(context + ": bad has_best");
+      }
+      *has_best = value == 1;
+    } else {
+      return Status::Corruption(context + ": unknown key '" + key + "'");
+    }
+  }
+  if (!saw_epoch || !saw_rng) {
+    return Status::Corruption(path + ": checkpoint missing epoch or rng");
+  }
+  return Status::OK();
+}
+
+// Reads back an indexed FKDW tensor list written with names `<stem>.<i>`,
+// enforcing the exact count and order so that a record swapped between
+// files is caught rather than silently reinterpreted.
+Result<std::vector<Tensor>> LoadIndexedTensors(const std::string& path,
+                                               const std::string& stem) {
+  FKD_ASSIGN_OR_RETURN(auto records, nn::LoadTensors(path));
+  std::vector<Tensor> out;
+  out.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const std::string expected = stem + "." + std::to_string(i);
+    if (records[i].first != expected) {
+      return Status::Corruption(StrFormat("%s: record %zu is '%s', expected "
+                                          "'%s'",
+                                          path.c_str(), i,
+                                          records[i].first.c_str(),
+                                          expected.c_str()));
+    }
+    out.push_back(std::move(records[i].second));
+  }
+  return out;
+}
+
+Status SaveIndexedTensors(const std::vector<Tensor>& tensors,
+                          const std::string& stem, const std::string& path) {
+  std::vector<std::pair<std::string, const Tensor*>> named;
+  named.reserve(tensors.size());
+  for (size_t i = 0; i < tensors.size(); ++i) {
+    named.emplace_back(stem + "." + std::to_string(i), &tensors[i]);
+  }
+  return nn::SaveTensors(named, path);
+}
+
+// Checkpoint directories are `ckpt-<epoch>`; anything else in the root
+// (staging litter, user files) is ignored by the loader.
+bool ParseCheckpointEpoch(const std::string& name, uint64_t* epoch) {
+  const size_t prefix_len = sizeof(kCheckpointPrefix) - 1;
+  if (name.compare(0, prefix_len, kCheckpointPrefix) != 0) return false;
+  return ParseUint64(name.substr(prefix_len), epoch);
+}
+
+// Newest-first list of (epoch, directory path) under `root`.
+std::vector<std::pair<uint64_t, std::string>> ListCheckpoints(
+    const std::string& root) {
+  std::vector<std::pair<uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    if (!entry.is_directory(ec)) continue;
+    uint64_t epoch = 0;
+    const std::string name = entry.path().filename().string();
+    if (ParseCheckpointEpoch(name, &epoch)) {
+      found.emplace_back(epoch, entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return found;
+}
+
+// Best-effort removal of checkpoints beyond the newest `keep` and of
+// staging litter left by crashed writers (directories loaders never read).
+void Prune(const std::string& root, size_t keep) {
+  const auto checkpoints = ListCheckpoints(root);
+  std::error_code ec;
+  for (size_t i = keep; i < checkpoints.size(); ++i) {
+    fs::remove_all(checkpoints[i].second, ec);
+  }
+  for (const auto& entry : fs::directory_iterator(root, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.compare(0, sizeof(kCheckpointPrefix) - 1, kCheckpointPrefix) ==
+            0 &&
+        name.find(".tmp-") != std::string::npos) {
+      fs::remove_all(entry.path(), ec);
+    }
+  }
+}
+
+Status TryLoadCheckpoint(const std::string& directory, DiffusionModel* model,
+                         CheckpointState* state) {
+  // Integrity gate first: nothing is parsed until every file listed in the
+  // MANIFEST matches its recorded size and CRC-32C.
+  Status verified = VerifyManifest(directory);
+  if (verified.code() == StatusCode::kNotFound) {
+    return Status::Corruption(directory + " has no MANIFEST (torn write?)");
+  }
+  FKD_RETURN_NOT_OK(verified);
+
+  FKD_ASSIGN_OR_RETURN(std::string meta,
+                       ReadFileToString(directory + "/" + kMetaFileName));
+  bool has_best = false;
+  FKD_RETURN_NOT_OK(
+      ParseMeta(directory + "/" + kMetaFileName, meta, state, &has_best));
+  FKD_RETURN_NOT_OK(
+      nn::LoadParameters(model, directory + "/" + kModelFileName));
+  FKD_ASSIGN_OR_RETURN(
+      state->optimizer.slots,
+      LoadIndexedTensors(directory + "/" + kOptimizerFileName, "slot"));
+  if (has_best) {
+    FKD_ASSIGN_OR_RETURN(
+        state->best_weights,
+        LoadIndexedTensors(directory + "/" + kBestFileName, "best"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WriteCheckpoint(const std::string& root, const CheckpointState& state,
+                       const DiffusionModel& model, size_t keep) {
+  {
+    std::error_code ec;
+    fs::create_directories(root, ec);
+    if (ec) {
+      return Status::IoError("cannot create checkpoint root " + root + ": " +
+                             ec.message());
+    }
+  }
+  const std::string final_path =
+      root + "/" + kCheckpointPrefix + std::to_string(state.epoch);
+  FKD_ASSIGN_OR_RETURN(StagedDir staged, StagedDir::Create(final_path));
+
+  FKD_RETURN_NOT_OK(WriteStringToFile(staged.path() + "/" + kMetaFileName,
+                                      RenderMeta(state)));
+  FKD_RETURN_NOT_OK(
+      nn::SaveParameters(model, staged.path() + "/" + kModelFileName));
+  FKD_RETURN_NOT_OK(SaveIndexedTensors(
+      state.optimizer.slots, "slot", staged.path() + "/" + kOptimizerFileName));
+  std::vector<std::string> files = {kMetaFileName, kModelFileName,
+                                    kOptimizerFileName};
+  if (!state.best_weights.empty()) {
+    FKD_RETURN_NOT_OK(SaveIndexedTensors(state.best_weights, "best",
+                                         staged.path() + "/" + kBestFileName));
+    files.push_back(kBestFileName);
+  }
+  FKD_RETURN_NOT_OK(WriteManifest(staged.path(), files));
+  FKD_RETURN_NOT_OK(staged.Commit());
+
+  if (keep > 0) Prune(root, keep);
+  return Status::OK();
+}
+
+Result<CheckpointState> LoadNewestCheckpoint(const std::string& root,
+                                             DiffusionModel* model) {
+  FKD_CHECK(model != nullptr);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    return Status::NotFound("no checkpoint directory at " + root);
+  }
+  for (const auto& [epoch, directory] : ListCheckpoints(root)) {
+    CheckpointState state;
+    Status loaded = TryLoadCheckpoint(directory, model, &state);
+    if (loaded.ok()) return state;
+    FKD_LOG(Warning) << "skipping corrupt checkpoint " << directory << ": "
+                     << loaded.message();
+  }
+  return Status::NotFound("no valid checkpoint under " + root);
+}
+
+}  // namespace core
+}  // namespace fkd

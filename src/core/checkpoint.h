@@ -1,0 +1,62 @@
+#ifndef FKD_CORE_CHECKPOINT_H_
+#define FKD_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/diffusion_model.h"
+#include "core/fake_detector.h"
+#include "nn/optimizer.h"
+#include "tensor/tensor.h"
+
+namespace fkd {
+namespace core {
+
+/// Everything FakeDetector::Train needs — besides the model parameters —
+/// to continue from the end of an epoch exactly as if it had never
+/// stopped: the epoch cursor, the dropout RNG stream, the optimizer
+/// accumulators, the running stats and the early-stopping bookkeeping.
+/// Floats are persisted as raw bit patterns so a resumed run reproduces
+/// the uninterrupted one bit-for-bit.
+struct CheckpointState {
+  /// Next epoch to run (== number of completed epochs).
+  size_t epoch = 0;
+  /// Dropout RNG stream position (Rng::DumpState), captured after the
+  /// checkpointed epoch's forward pass.
+  std::vector<uint64_t> rng_state;
+  /// Optimizer accumulators (Adam moments + step count).
+  nn::OptimizerState optimizer;
+  /// Per-epoch losses so far.
+  TrainStats stats;
+  /// Early-stopping bookkeeping (ignored when early stopping is off).
+  float best_validation_loss = std::numeric_limits<float>::max();
+  size_t epochs_since_best = 0;
+  /// Best-epoch weight copies kept for restore-on-stop; empty when early
+  /// stopping is off or no epoch improved yet.
+  std::vector<Tensor> best_weights;
+};
+
+/// Persists `state` plus the model's current parameters as
+/// `<root>/ckpt-<epoch>` through the crash-safe staged-directory path
+/// (write + fsync into a temp dir, MANIFEST with size + CRC-32C of every
+/// file, atomic rename). A crash at any step leaves no `ckpt-*` directory
+/// behind, only ignorable staging litter. After a successful publish, all
+/// but the newest `keep` checkpoints are pruned best-effort.
+Status WriteCheckpoint(const std::string& root, const CheckpointState& state,
+                       const DiffusionModel& model, size_t keep);
+
+/// Scans `root` for `ckpt-<N>` directories newest-first, returns the first
+/// one that passes MANIFEST verification and parses cleanly, restoring its
+/// weights into `model` (shapes must match — the caller must have rebuilt
+/// the same architecture). Corrupt or torn checkpoints are skipped with a
+/// logged warning. NotFound when no valid checkpoint exists.
+Result<CheckpointState> LoadNewestCheckpoint(const std::string& root,
+                                             DiffusionModel* model);
+
+}  // namespace core
+}  // namespace fkd
+
+#endif  // FKD_CORE_CHECKPOINT_H_

@@ -51,6 +51,16 @@ struct FakeDetectorConfig {
   float validation_fraction = 0.0f;
   size_t early_stopping_patience = 10;
 
+  /// Crash-safe training checkpoints. When `checkpoint_dir` is non-empty,
+  /// Train() writes `ckpt-<epoch>` directories there every
+  /// `checkpoint_every` epochs (weights + optimizer state + RNG cursor,
+  /// manifest-verified, atomically published) and resumes from the newest
+  /// valid one, reproducing the uninterrupted run bit-for-bit. The newest
+  /// `checkpoint_keep` checkpoints are retained.
+  std::string checkpoint_dir;
+  size_t checkpoint_every = 1;
+  size_t checkpoint_keep = 2;
+
   bool verbose = false;
 };
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "core/checkpoint.h"
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -178,14 +179,39 @@ Status FakeDetector::Train(const eval::TrainContext& context) {
   size_t epochs_since_best = 0;
   std::vector<Tensor> best_weights;
 
+  // --- Resume from the newest valid checkpoint ----------------------------
+  // Weights, optimizer accumulators, the dropout RNG cursor and the
+  // early-stopping bookkeeping are all restored, so the continued run is
+  // bit-for-bit the run that never stopped. Corrupt checkpoints were
+  // skipped (with a warning) inside LoadNewestCheckpoint; NotFound simply
+  // means a fresh start.
+  Rng dropout_rng(context.seed ^ 0xD409u);
+  size_t start_epoch = 0;
+  if (!config_.checkpoint_dir.empty()) {
+    auto resumed = LoadNewestCheckpoint(config_.checkpoint_dir, model_.get());
+    if (resumed.ok()) {
+      CheckpointState& ckpt = resumed.value();
+      FKD_RETURN_NOT_OK(optimizer.SetState(ckpt.optimizer));
+      if (!dropout_rng.RestoreState(ckpt.rng_state)) {
+        return Status::Corruption("checkpoint carries an invalid RNG state");
+      }
+      start_epoch = ckpt.epoch;
+      train_stats_ = std::move(ckpt.stats);
+      best_validation_loss = ckpt.best_validation_loss;
+      epochs_since_best = ckpt.epochs_since_best;
+      best_weights = std::move(ckpt.best_weights);
+      FKD_LOG(Info) << "FakeDetector resuming from checkpoint at epoch "
+                    << start_epoch;
+    }
+  }
+
   obs::TrainObserver* observer = context.observer;
   obs::NotifyTrainBegin(observer, Name(), config_.epochs);
   WallTimer train_timer;
   WallTimer epoch_timer;
   size_t epochs_run = 0;
 
-  Rng dropout_rng(context.seed ^ 0xD409u);
-  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+  for (size_t epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     FKD_TRACE_SCOPE("fkd/epoch");
     epoch_timer.Restart();
     optimizer.ZeroGrad();
@@ -264,6 +290,28 @@ Status FakeDetector::Train(const eval::TrainContext& context) {
     epoch_stats.seconds = epoch_timer.ElapsedSeconds();
     epoch_stats.total_seconds = train_timer.ElapsedSeconds();
     obs::NotifyEpochEnd(observer, Name(), epoch_stats);
+
+    // Periodic crash-safe checkpoint through the same atomic-write path as
+    // snapshots. A failed write degrades gracefully: training continues,
+    // only resumability up to this epoch is lost.
+    if (!config_.checkpoint_dir.empty() && config_.checkpoint_every > 0 &&
+        (epoch + 1) % config_.checkpoint_every == 0) {
+      CheckpointState ckpt;
+      ckpt.epoch = epoch + 1;
+      ckpt.rng_state = dropout_rng.DumpState();
+      ckpt.optimizer = optimizer.GetState();
+      ckpt.stats = train_stats_;
+      ckpt.best_validation_loss = best_validation_loss;
+      ckpt.epochs_since_best = epochs_since_best;
+      ckpt.best_weights = best_weights;
+      const Status written = WriteCheckpoint(config_.checkpoint_dir, ckpt,
+                                             *model_, config_.checkpoint_keep);
+      if (!written.ok()) {
+        FKD_LOG(Warning) << "checkpoint at epoch " << epoch
+                         << " failed: " << written.message()
+                         << "; training continues without it";
+      }
+    }
   }
   obs::NotifyTrainEnd(observer, Name(), epochs_run,
                       train_timer.ElapsedSeconds());

@@ -1,18 +1,15 @@
 #include "data/io.h"
 
 #include <fstream>
+#include <sstream>
 
+#include "common/file_io.h"
 #include "common/string_util.h"
 
 namespace fkd {
 namespace data {
 
 namespace {
-
-Status CheckWritable(std::ofstream& out, const std::string& path) {
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-  return Status::OK();
-}
 
 Result<int32_t> ParseId(const std::string& field, const std::string& context) {
   uint64_t value = 0;
@@ -37,10 +34,10 @@ Result<CredibilityLabel> ParseLabelField(const std::string& field,
 
 Status SaveDataset(const Dataset& dataset, const std::string& prefix) {
   FKD_RETURN_NOT_OK(dataset.Validate());
+  // Each table is rendered in memory and written through the durable,
+  // fault-injectable shim — one "io.write" ordinal per table.
   {
-    const std::string path = prefix + ".articles.tsv";
-    std::ofstream out(path, std::ios::trunc);
-    FKD_RETURN_NOT_OK(CheckWritable(out, path));
+    std::ostringstream out;
     for (const Article& article : dataset.articles) {
       std::vector<std::string> subject_ids;
       subject_ids.reserve(article.subjects.size());
@@ -51,30 +48,23 @@ Status SaveDataset(const Dataset& dataset, const std::string& prefix) {
           << MultiClassOf(article.label) << '\t' << Join(subject_ids, ",")
           << '\t' << article.text << '\n';
     }
-    out.flush();
-    if (!out) return Status::IoError("write failed: " + path);
+    FKD_RETURN_NOT_OK(WriteStringToFile(prefix + ".articles.tsv", out.str()));
   }
   {
-    const std::string path = prefix + ".creators.tsv";
-    std::ofstream out(path, std::ios::trunc);
-    FKD_RETURN_NOT_OK(CheckWritable(out, path));
+    std::ostringstream out;
     for (const Creator& creator : dataset.creators) {
       out << creator.id << '\t' << MultiClassOf(creator.label) << '\t'
           << creator.name << '\t' << creator.profile << '\n';
     }
-    out.flush();
-    if (!out) return Status::IoError("write failed: " + path);
+    FKD_RETURN_NOT_OK(WriteStringToFile(prefix + ".creators.tsv", out.str()));
   }
   {
-    const std::string path = prefix + ".subjects.tsv";
-    std::ofstream out(path, std::ios::trunc);
-    FKD_RETURN_NOT_OK(CheckWritable(out, path));
+    std::ostringstream out;
     for (const Subject& subject : dataset.subjects) {
       out << subject.id << '\t' << MultiClassOf(subject.label) << '\t'
           << subject.name << '\t' << subject.description << '\n';
     }
-    out.flush();
-    if (!out) return Status::IoError("write failed: " + path);
+    FKD_RETURN_NOT_OK(WriteStringToFile(prefix + ".subjects.tsv", out.str()));
   }
   return Status::OK();
 }

@@ -2,13 +2,45 @@
 
 #include <cmath>
 
+#include "common/string_util.h"
 #include "tensor/ops.h"
 
 namespace fkd {
 namespace nn {
 
+namespace {
+
+// Copies `state.slots` into `slots` after verifying count and shapes;
+// shared by every concrete optimiser's SetState.
+Status RestoreSlots(const OptimizerState& state, const char* optimizer_name,
+                    std::vector<Tensor>* slots) {
+  if (state.slots.size() != slots->size()) {
+    return Status::InvalidArgument(
+        StrFormat("%s state has %zu slots, optimizer expects %zu",
+                  optimizer_name, state.slots.size(), slots->size()));
+  }
+  for (size_t i = 0; i < slots->size(); ++i) {
+    if (state.slots[i].shape() != (*slots)[i].shape()) {
+      return Status::InvalidArgument(
+          StrFormat("%s state slot %zu has the wrong shape", optimizer_name, i));
+    }
+  }
+  for (size_t i = 0; i < slots->size(); ++i) (*slots)[i] = state.slots[i];
+  return Status::OK();
+}
+
+}  // namespace
+
 void Optimizer::ZeroGrad() {
   for (auto& p : parameters_) p.ZeroGrad();
+}
+
+Status Optimizer::SetState(const OptimizerState& state) {
+  if (state.step_count != 0 || !state.slots.empty()) {
+    return Status::InvalidArgument(
+        "stateless optimizer cannot restore a non-empty state");
+  }
+  return Status::OK();
 }
 
 Sgd::Sgd(std::vector<autograd::Variable> parameters, float learning_rate,
@@ -43,6 +75,19 @@ void Sgd::Step() {
       }
     }
   }
+}
+
+OptimizerState Sgd::GetState() const {
+  OptimizerState state;
+  state.slots = velocity_;
+  return state;
+}
+
+Status Sgd::SetState(const OptimizerState& state) {
+  if (state.step_count != 0) {
+    return Status::InvalidArgument("Sgd state does not carry a step count");
+  }
+  return RestoreSlots(state, "Sgd", &velocity_);
 }
 
 Adam::Adam(std::vector<autograd::Variable> parameters, float learning_rate,
@@ -83,6 +128,36 @@ void Adam::Step() {
   }
 }
 
+OptimizerState Adam::GetState() const {
+  OptimizerState state;
+  state.step_count = step_count_;
+  state.slots.reserve(first_moment_.size() + second_moment_.size());
+  for (const Tensor& m : first_moment_) state.slots.push_back(m);
+  for (const Tensor& v : second_moment_) state.slots.push_back(v);
+  return state;
+}
+
+Status Adam::SetState(const OptimizerState& state) {
+  if (state.slots.size() != first_moment_.size() + second_moment_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("Adam state has %zu slots, optimizer expects %zu",
+                  state.slots.size(),
+                  first_moment_.size() + second_moment_.size()));
+  }
+  OptimizerState first;
+  OptimizerState second;
+  first.slots.assign(state.slots.begin(),
+                     state.slots.begin() +
+                         static_cast<ptrdiff_t>(first_moment_.size()));
+  second.slots.assign(state.slots.begin() +
+                          static_cast<ptrdiff_t>(first_moment_.size()),
+                      state.slots.end());
+  FKD_RETURN_NOT_OK(RestoreSlots(first, "Adam", &first_moment_));
+  FKD_RETURN_NOT_OK(RestoreSlots(second, "Adam", &second_moment_));
+  step_count_ = state.step_count;
+  return Status::OK();
+}
+
 AdaGrad::AdaGrad(std::vector<autograd::Variable> parameters,
                  float learning_rate, float epsilon)
     : Optimizer(std::move(parameters)),
@@ -104,6 +179,19 @@ void AdaGrad::Step() {
       value[j] -= learning_rate_ * g[j] / (std::sqrt(acc[j]) + epsilon_);
     }
   }
+}
+
+OptimizerState AdaGrad::GetState() const {
+  OptimizerState state;
+  state.slots = accumulated_;
+  return state;
+}
+
+Status AdaGrad::SetState(const OptimizerState& state) {
+  if (state.step_count != 0) {
+    return Status::InvalidArgument("AdaGrad state does not carry a step count");
+  }
+  return RestoreSlots(state, "AdaGrad", &accumulated_);
 }
 
 float ClipGradNorm(const std::vector<autograd::Variable>& parameters,

@@ -1,12 +1,26 @@
 #ifndef FKD_NN_OPTIMIZER_H_
 #define FKD_NN_OPTIMIZER_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "tensor/autograd.h"
 
 namespace fkd {
 namespace nn {
+
+/// Serializable optimiser internals for checkpoint/resume. `slots` holds
+/// the per-parameter accumulators in an optimiser-defined order (Adam: all
+/// first moments, then all second moments; Sgd: velocities when momentum
+/// is on; AdaGrad: squared-gradient accumulators). Restoring the state
+/// into an identically constructed optimiser over the same parameter list
+/// makes subsequent Step() calls bit-for-bit identical to a run that never
+/// stopped.
+struct OptimizerState {
+  int64_t step_count = 0;
+  std::vector<Tensor> slots;
+};
 
 /// Base class for first-order optimisers over a fixed parameter list.
 ///
@@ -23,6 +37,15 @@ class Optimizer {
 
   /// Applies one update from the accumulated gradients.
   virtual void Step() = 0;
+
+  /// Copies out the optimiser's internal accumulators for checkpointing.
+  /// The base optimiser is stateless; subclasses append their slots.
+  virtual OptimizerState GetState() const { return OptimizerState{}; }
+
+  /// Restores accumulators captured by GetState() on an identically
+  /// configured optimiser. InvalidArgument if the slot count or any slot
+  /// shape does not match this optimiser's parameters.
+  virtual Status SetState(const OptimizerState& state);
 
   /// Clears accumulated gradients on every parameter.
   void ZeroGrad();
@@ -44,6 +67,9 @@ class Sgd : public Optimizer {
 
   void Step() override;
 
+  OptimizerState GetState() const override;
+  Status SetState(const OptimizerState& state) override;
+
   void set_learning_rate(float lr) { learning_rate_ = lr; }
   float learning_rate() const { return learning_rate_; }
 
@@ -62,6 +88,9 @@ class Adam : public Optimizer {
        float weight_decay = 0.0f);
 
   void Step() override;
+
+  OptimizerState GetState() const override;
+  Status SetState(const OptimizerState& state) override;
 
   void set_learning_rate(float lr) { learning_rate_ = lr; }
   float learning_rate() const { return learning_rate_; }
@@ -85,6 +114,9 @@ class AdaGrad : public Optimizer {
           float epsilon = 1e-8f);
 
   void Step() override;
+
+  OptimizerState GetState() const override;
+  Status SetState(const OptimizerState& state) override;
 
  private:
   float learning_rate_;

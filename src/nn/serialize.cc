@@ -4,6 +4,7 @@
 #include <fstream>
 #include <map>
 
+#include "common/file_io.h"
 #include "common/string_util.h"
 
 namespace fkd {
@@ -25,8 +26,8 @@ std::string ShapeString(const std::vector<size_t>& shape) {
 }
 
 template <typename T>
-void WritePod(std::ofstream& out, T value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
 }
 
 template <typename T>
@@ -37,32 +38,45 @@ bool ReadPod(std::ifstream& in, T* value) {
 
 }  // namespace
 
+Status SaveTensors(
+    const std::vector<std::pair<std::string, const Tensor*>>& tensors,
+    const std::string& path) {
+  // One fault-injectable, fsynced write per record through the durable file
+  // shim: the header first, then each tensor, so crash/ENOSPC tests can
+  // target any point of the weight file.
+  FKD_ASSIGN_OR_RETURN(FileWriter out, FileWriter::Open(path));
+  std::string header;
+  AppendPod(&header, kMagic);
+  AppendPod(&header, kVersion);
+  AppendPod(&header, static_cast<uint32_t>(tensors.size()));
+  FKD_RETURN_NOT_OK(out.Append(header));
+  for (const auto& [name, tensor] : tensors) {
+    FKD_CHECK(tensor != nullptr);
+    std::string record;
+    AppendPod(&record, static_cast<uint32_t>(name.size()));
+    record.append(name);
+    AppendPod(&record, static_cast<uint32_t>(tensor->rank()));
+    for (size_t dim : tensor->shape()) {
+      AppendPod(&record, static_cast<uint64_t>(dim));
+    }
+    record.append(reinterpret_cast<const char*>(tensor->data()),
+                  tensor->size() * sizeof(float));
+    FKD_RETURN_NOT_OK(out.Append(record));
+  }
+  return out.Close();
+}
+
 Status SaveParameters(const Module& module, const std::string& path) {
   std::vector<NamedParameter> params;
   module.CollectParameters("", &params);
-
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
-
-  WritePod(out, kMagic);
-  WritePod(out, kVersion);
-  WritePod(out, static_cast<uint32_t>(params.size()));
-  for (const auto& p : params) {
-    WritePod(out, static_cast<uint32_t>(p.name.size()));
-    out.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
-    const Tensor& t = p.variable.value();
-    WritePod(out, static_cast<uint32_t>(t.rank()));
-    for (size_t dim : t.shape()) WritePod(out, static_cast<uint64_t>(dim));
-    out.write(reinterpret_cast<const char*>(t.data()),
-              static_cast<std::streamsize>(t.size() * sizeof(float)));
-  }
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  std::vector<std::pair<std::string, const Tensor*>> tensors;
+  tensors.reserve(params.size());
+  for (const auto& p : params) tensors.emplace_back(p.name, &p.variable.value());
+  return SaveTensors(tensors, path);
 }
 
-Status LoadParameters(Module* module, const std::string& path) {
-  FKD_CHECK(module != nullptr);
+Result<std::vector<std::pair<std::string, Tensor>>> LoadTensors(
+    const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open for reading: " + path);
 
@@ -77,7 +91,8 @@ Status LoadParameters(Module* module, const std::string& path) {
   }
   if (!ReadPod(in, &count)) return Status::Corruption("truncated header");
 
-  std::map<std::string, Tensor> loaded;
+  std::vector<std::pair<std::string, Tensor>> records;
+  std::map<std::string, size_t> seen;
   for (uint32_t i = 0; i < count; ++i) {
     uint32_t name_len = 0;
     if (!ReadPod(in, &name_len) || name_len > (1u << 20)) {
@@ -103,10 +118,26 @@ Status LoadParameters(Module* module, const std::string& path) {
     in.read(reinterpret_cast<char*>(t.data()),
             static_cast<std::streamsize>(total * sizeof(float)));
     if (!in) return Status::Corruption("truncated data for " + name);
-    if (loaded.count(name) != 0) {
+    if (!seen.emplace(name, i).second) {
       return Status::Corruption("duplicate parameter " + name);
     }
-    loaded.emplace(std::move(name), std::move(t));
+    records.emplace_back(std::move(name), std::move(t));
+  }
+  // Anything after the declared records is not ours: flag the trailing
+  // garbage instead of silently ignoring a half-overwritten file.
+  in.peek();
+  if (!in.eof()) {
+    return Status::Corruption("trailing bytes after last record in " + path);
+  }
+  return records;
+}
+
+Status LoadParameters(Module* module, const std::string& path) {
+  FKD_CHECK(module != nullptr);
+  FKD_ASSIGN_OR_RETURN(auto records, LoadTensors(path));
+  std::map<std::string, Tensor> loaded;
+  for (auto& [name, tensor] : records) {
+    loaded.emplace(std::move(name), std::move(tensor));
   }
 
   std::vector<NamedParameter> params;

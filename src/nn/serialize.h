@@ -2,6 +2,7 @@
 #define FKD_NN_SERIALIZE_H_
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -18,6 +19,19 @@ Status SaveParameters(const Module& module, const std::string& path);
 /// name; shapes must agree exactly). Missing or extra names are errors so
 /// that silent architecture drift is caught.
 Status LoadParameters(Module* module, const std::string& path);
+
+/// Writes an ordered list of named tensors in the same FKDW format —
+/// the raw-tensor flavour checkpoints use for optimizer slots and kept
+/// best-epoch weights, where there is no Module to collect from. Pointers
+/// must be non-null; names should be unique (LoadTensors rejects dupes).
+Status SaveTensors(
+    const std::vector<std::pair<std::string, const Tensor*>>& tensors,
+    const std::string& path);
+
+/// Reads back every record of an FKDW file in file order, shapes taken
+/// from the file itself. Corruption on any malformed or truncated record.
+Result<std::vector<std::pair<std::string, Tensor>>> LoadTensors(
+    const std::string& path);
 
 }  // namespace nn
 }  // namespace fkd

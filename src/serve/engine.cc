@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "tensor/ops.h"
@@ -48,6 +49,13 @@ InferenceEngine::InferenceEngine(std::shared_ptr<const Snapshot> snapshot,
       registry.GetCounter("fkd.serve.requests", {{"result", "rejected"}});
   requests_expired_ =
       registry.GetCounter("fkd.serve.requests", {{"result", "expired"}});
+  requests_failed_ =
+      registry.GetCounter("fkd.serve.requests", {{"result", "failed"}});
+  requests_shed_ =
+      registry.GetCounter("fkd.serve.requests", {{"result", "shed"}});
+  deadline_exceeded_total_ = registry.GetCounter("fkd.serve.deadline_exceeded");
+  retries_total_ = registry.GetCounter("fkd.serve.retries");
+  breaker_open_total_ = registry.GetCounter("fkd.serve.breaker_open");
   batch_size_ =
       registry.GetHistogram("fkd.serve.batch_size", {}, BatchSizeBuckets());
   latency_us_ =
@@ -55,6 +63,8 @@ InferenceEngine::InferenceEngine(std::shared_ptr<const Snapshot> snapshot,
   queue_us_ =
       registry.GetHistogram("fkd.serve.queue_us", {}, LatencyBuckets());
   queue_depth_ = registry.GetGauge("fkd.serve.queue_depth");
+  health_ = registry.GetGauge("fkd.serve.health");
+  health_->Set(static_cast<double>(EngineHealth::kHealthy));
 }
 
 InferenceEngine::~InferenceEngine() { Stop(); }
@@ -77,6 +87,7 @@ void InferenceEngine::Stop() {
     std::unique_lock<std::mutex> lock(mutex_);
     if (stopping_) return;
     stopping_ = true;
+    PublishHealthLocked();
     if (!started_) {
       // Never-started engine: there is no worker to drain the queue, so
       // fail every pending future instead of leaving callers blocked.
@@ -120,6 +131,19 @@ Result<ClassificationFuture> InferenceEngine::Submit(ArticleRequest request) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
       requests_rejected_->Increment();
       return Status::Unavailable("engine is stopped");
+    }
+    // Open breaker: shed immediately instead of queueing work that recent
+    // history says will fail. Once the cool-down lapses, move to half-open
+    // and let requests through as the probe.
+    if (breaker_ == BreakerState::kOpen) {
+      if (Clock::now() >= breaker_open_until_) {
+        breaker_ = BreakerState::kHalfOpen;
+        PublishHealthLocked();
+      } else {
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        requests_shed_->Increment();
+        return Status::Unavailable("circuit breaker open; shedding load");
+      }
     }
     if (queue_.size() >= options_.max_queue_depth) {
       rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -171,24 +195,31 @@ void InferenceEngine::WorkerLoop() {
   }
 }
 
-void InferenceEngine::ProcessBatch(std::vector<Pending> batch) {
-  const Clock::time_point now = Clock::now();
-
-  // Fail lapsed deadlines instead of serving them late.
-  std::vector<Pending> live;
-  live.reserve(batch.size());
-  for (auto& pending : batch) {
+void InferenceEngine::FailExpired(std::vector<Pending>* live,
+                                  Clock::time_point now) {
+  std::vector<Pending> kept;
+  kept.reserve(live->size());
+  for (auto& pending : *live) {
     if (pending.deadline < now) {
       expired_.fetch_add(1, std::memory_order_relaxed);
+      deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
       requests_expired_->Increment();
+      deadline_exceeded_total_->Increment();
       pending.promise.set_value(Status::DeadlineExceeded(StrFormat(
           "request expired after %.0f us in queue",
           std::chrono::duration<double, std::micro>(now - pending.submitted_at)
               .count())));
     } else {
-      live.push_back(std::move(pending));
+      kept.push_back(std::move(pending));
     }
   }
+  *live = std::move(kept);
+}
+
+void InferenceEngine::ProcessBatch(std::vector<Pending> batch) {
+  // Fail lapsed deadlines instead of serving them late.
+  std::vector<Pending> live = std::move(batch);
+  FailExpired(&live, Clock::now());
   if (live.empty()) return;
 
   std::vector<std::string> texts;
@@ -203,11 +234,51 @@ void InferenceEngine::ProcessBatch(std::vector<Pending> batch) {
     subject_ids.push_back(pending.request.subject_ids);
   }
 
-  const Tensor logits = snapshot_->Score(texts, creator_ids, subject_ids);
+  // Run the forward, retrying transient failures (site "serve.batch" lets
+  // tests inject them deterministically) with exponential backoff. A fatal
+  // error or exhausted retries fails every future in the batch.
+  const Clock::time_point formed = Clock::now();
+  Tensor logits;
+  for (size_t attempt = 0;; ++attempt) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    Status batch_status = FaultInjector::Global().Inject("serve.batch");
+    if (batch_status.ok()) {
+      logits = snapshot_->Score(texts, creator_ids, subject_ids);
+      break;
+    }
+    if (batch_status.IsRetryable() && attempt < options_.max_batch_retries) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      retries_total_->Increment();
+      if (options_.retry_backoff_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(
+            options_.retry_backoff_us << attempt));
+      }
+      // Deadlines may have lapsed during the backoff; do not retry those.
+      FailExpired(&live, Clock::now());
+      if (live.empty()) {
+        RecordBatchOutcome(false);
+        return;
+      }
+      continue;
+    }
+    FKD_LOG(Warning) << "serve batch of " << live.size() << " failed after "
+                     << attempt << " retries: " << batch_status.message();
+    // Record the outcome BEFORE fulfilling the futures: a caller that sees
+    // its future fail must also see the breaker's updated state.
+    RecordBatchOutcome(false);
+    for (auto& pending : live) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      requests_failed_->Increment();
+      pending.promise.set_value(batch_status);
+    }
+    return;
+  }
+  RecordBatchOutcome(true);
+
   const Tensor probabilities = SoftmaxRows(logits);
-  batches_.fetch_add(1, std::memory_order_relaxed);
   batch_size_->Observe(static_cast<double>(live.size()));
 
+  const Clock::time_point now = formed;
   const Clock::time_point done = Clock::now();
   for (size_t r = 0; r < live.size(); ++r) {
     Classification result;
@@ -237,13 +308,74 @@ void InferenceEngine::ProcessBatch(std::vector<Pending> batch) {
   }
 }
 
+void InferenceEngine::RecordBatchOutcome(bool ok) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (breaker_ == BreakerState::kHalfOpen) {
+    // The probe batch decides: recovery closes the breaker with a clean
+    // window, another failure re-opens it for a fresh cool-down.
+    if (ok) {
+      breaker_ = BreakerState::kClosed;
+      window_.clear();
+    } else {
+      breaker_ = BreakerState::kOpen;
+      breaker_open_until_ =
+          Clock::now() + std::chrono::microseconds(options_.breaker_open_us);
+      breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+      breaker_open_total_->Increment();
+    }
+    PublishHealthLocked();
+    return;
+  }
+  if (breaker_ != BreakerState::kClosed) return;
+  window_.push_back(ok);
+  while (window_.size() > options_.breaker_window) window_.pop_front();
+  if (window_.size() < options_.breaker_window) return;
+  size_t failures = 0;
+  for (bool outcome : window_) failures += outcome ? 0 : 1;
+  const float failure_rate =
+      static_cast<float>(failures) / static_cast<float>(window_.size());
+  if (failure_rate >= options_.breaker_failure_threshold) {
+    breaker_ = BreakerState::kOpen;
+    breaker_open_until_ =
+        Clock::now() + std::chrono::microseconds(options_.breaker_open_us);
+    window_.clear();
+    breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+    breaker_open_total_->Increment();
+    FKD_LOG(Warning) << "serve circuit breaker opened ("
+                     << failures << "/" << options_.breaker_window
+                     << " recent batches failed); shedding for "
+                     << options_.breaker_open_us << " us";
+    PublishHealthLocked();
+  }
+}
+
+EngineHealth InferenceEngine::HealthLocked() const {
+  if (stopping_) return EngineHealth::kDraining;
+  if (breaker_ != BreakerState::kClosed) return EngineHealth::kDegraded;
+  return EngineHealth::kHealthy;
+}
+
+void InferenceEngine::PublishHealthLocked() {
+  health_->Set(static_cast<double>(HealthLocked()));
+}
+
+EngineHealth InferenceEngine::Health() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return HealthLocked();
+}
+
 EngineStats InferenceEngine::Stats() const {
   EngineStats stats;
   stats.submitted = submitted_.load(std::memory_order_relaxed);
   stats.completed = completed_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.expired = expired_.load(std::memory_order_relaxed);
+  stats.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   stats.batches = batches_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
   std::unique_lock<std::mutex> lock(mutex_);
   stats.queue_depth = queue_.size();
   return stats;

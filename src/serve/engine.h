@@ -62,6 +62,25 @@ struct EngineOptions {
   size_t max_queue_depth = 256;
   /// Deadline applied to requests that set none (0 = no deadline).
   int64_t default_deadline_us = 0;
+  /// Transient (Status::IsRetryable) batch failures are retried up to this
+  /// many times before the batch's futures are failed.
+  size_t max_batch_retries = 2;
+  /// Backoff before retry k is `retry_backoff_us << k` (exponential).
+  int64_t retry_backoff_us = 500;
+  /// Circuit breaker: when `breaker_failure_threshold` of the last
+  /// `breaker_window` batches failed, the engine sheds all submissions
+  /// with Unavailable for `breaker_open_us`, then lets one probe batch
+  /// through (half-open) — success closes the breaker, failure re-opens it.
+  size_t breaker_window = 8;
+  float breaker_failure_threshold = 0.5f;
+  int64_t breaker_open_us = 10000;
+};
+
+/// Coarse liveness summary exposed by InferenceEngine::Health().
+enum class EngineHealth {
+  kHealthy = 0,   ///< Breaker closed; serving normally.
+  kDegraded = 1,  ///< Breaker open or half-open; shedding or probing.
+  kDraining = 2,  ///< Stop() begun; queued work finishes, no new intake.
 };
 
 /// Monotone counters describing an engine's lifetime so far.
@@ -70,8 +89,16 @@ struct EngineStats {
   uint64_t completed = 0;  ///< Futures fulfilled with a Classification.
   uint64_t rejected = 0;   ///< Refused at Submit (queue full / stopped).
   uint64_t expired = 0;    ///< Futures failed with DeadlineExceeded.
-  uint64_t batches = 0;    ///< Forward passes run.
-  size_t queue_depth = 0;  ///< Requests currently queued.
+  /// Futures failed with DeadlineExceeded, including those that lapsed
+  /// while their batch was in retry backoff (superset of `expired`'s
+  /// batch-formation path; today the two advance together).
+  uint64_t deadline_exceeded = 0;
+  uint64_t batches = 0;  ///< Forward passes run (attempts, incl. retries).
+  uint64_t retries = 0;  ///< Batch attempts repeated after transient failure.
+  uint64_t failed = 0;   ///< Futures failed by an exhausted/fatal batch.
+  uint64_t shed = 0;     ///< Submissions refused by the open breaker.
+  uint64_t breaker_trips = 0;  ///< Closed/half-open -> open transitions.
+  size_t queue_depth = 0;      ///< Requests currently queued.
 };
 
 /// Multi-threaded micro-batching inference server over a frozen Snapshot.
@@ -88,11 +115,22 @@ struct EngineStats {
 ///    its future failed with DeadlineExceeded rather than served late;
 ///  - shutdown: Stop() drains — started workers finish every queued
 ///    request (batch delay waived) before joining; anything still queued
-///    on a never-started engine fails with Unavailable.
+///    on a never-started engine fails with Unavailable;
+///  - retries: a batch whose forward fails with a retryable error
+///    (Status::IsRetryable — Unavailable/IoError) is retried with
+///    exponential backoff up to max_batch_retries times; fatal errors and
+///    exhausted retries fail the batch's futures with that error;
+///  - circuit breaker: sustained batch failures trip a per-engine breaker
+///    that sheds new submissions with Unavailable until a cool-down plus
+///    one successful half-open probe batch close it again (graceful
+///    degradation instead of queueing doomed work).
 ///
 /// Instrumentation (obs::MetricsRegistry::Default()): fkd.serve.requests
-/// (counter, labelled result=ok|rejected|expired), fkd.serve.batch_size and
-/// fkd.serve.latency_us / fkd.serve.queue_us (histograms; read p50/p99 via
+/// (counter, labelled result=ok|rejected|expired|failed|shed),
+/// fkd.serve.deadline_exceeded and fkd.serve.retries and
+/// fkd.serve.breaker_open (counters), fkd.serve.health (gauge: 0 healthy,
+/// 1 degraded, 2 draining), fkd.serve.batch_size and fkd.serve.latency_us
+/// / fkd.serve.queue_us (histograms; read p50/p99 via
 /// Histogram::Percentile), fkd.serve.queue_depth (gauge).
 class InferenceEngine {
  public:
@@ -119,11 +157,16 @@ class InferenceEngine {
   Result<ClassificationFuture> Submit(ArticleRequest request);
 
   EngineStats Stats() const;
+  /// Current health: Draining once Stop() begins, Degraded while the
+  /// circuit breaker is open or probing, Healthy otherwise.
+  EngineHealth Health() const;
   const EngineOptions& options() const { return options_; }
   const Snapshot& snapshot() const { return *snapshot_; }
 
  private:
   using Clock = std::chrono::steady_clock;
+
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
 
   struct Pending {
     ArticleRequest request;
@@ -134,6 +177,14 @@ class InferenceEngine {
 
   void WorkerLoop();
   void ProcessBatch(std::vector<Pending> batch);
+  /// Fails every request in `live` whose deadline is before `now` and
+  /// removes it; called at batch formation and again before each retry.
+  void FailExpired(std::vector<Pending>* live, Clock::time_point now);
+  /// Feeds one batch outcome to the circuit breaker (locks mutex_).
+  void RecordBatchOutcome(bool ok);
+  /// Health under mutex_ (for use inside locked sections).
+  EngineHealth HealthLocked() const;
+  void PublishHealthLocked();
 
   std::shared_ptr<const Snapshot> snapshot_;
   EngineOptions options_;
@@ -145,20 +196,37 @@ class InferenceEngine {
   bool started_ = false;
   bool stopping_ = false;
 
+  // Circuit breaker, guarded by mutex_. `window_` holds the most recent
+  // batch outcomes (true = success) while the breaker is closed.
+  BreakerState breaker_ = BreakerState::kClosed;
+  std::deque<bool> window_;
+  Clock::time_point breaker_open_until_{};
+
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> deadline_exceeded_{0};
   std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> failed_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> breaker_trips_{0};
 
   // Cached instruments (pointer-stable for the registry's lifetime).
   obs::Counter* requests_ok_;
   obs::Counter* requests_rejected_;
   obs::Counter* requests_expired_;
+  obs::Counter* requests_failed_;
+  obs::Counter* requests_shed_;
+  obs::Counter* deadline_exceeded_total_;
+  obs::Counter* retries_total_;
+  obs::Counter* breaker_open_total_;
   obs::Histogram* batch_size_;
   obs::Histogram* latency_us_;
   obs::Histogram* queue_us_;
   obs::Gauge* queue_depth_;
+  obs::Gauge* health_;
 };
 
 }  // namespace serve

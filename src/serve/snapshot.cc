@@ -4,8 +4,11 @@
 #include <fstream>
 #include <iterator>
 #include <map>
+#include <sstream>
 #include <utility>
 
+#include "common/file_io.h"
+#include "common/manifest.h"
 #include "common/string_util.h"
 #include "data/labels.h"
 #include "nn/serialize.h"
@@ -64,8 +67,7 @@ std::vector<std::string> ClassNames(eval::LabelGranularity granularity) {
 
 Status WriteConfig(const Snapshot& snapshot, size_t num_creators,
                    size_t num_subjects, const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
+  std::ostringstream out;
   const core::FakeDetectorConfig& c = snapshot.config;
   out << "format_version=" << kFormatVersion << '\n'
       << "num_classes=" << snapshot.num_classes << '\n'
@@ -88,9 +90,7 @@ Status WriteConfig(const Snapshot& snapshot, size_t num_creators,
       << "gdu.plain_unit=" << (c.gdu.plain_unit ? 1 : 0) << '\n'
       << "num_creators=" << num_creators << '\n'
       << "num_subjects=" << num_subjects << '\n';
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return WriteStringToFile(path, out.str());
 }
 
 /// Parsed key=value view of config.txt with typed, validated accessors.
@@ -111,7 +111,15 @@ class ConfigReader {
         return Status::Corruption(
             StrFormat("%s:%zu: expected key=value", path.c_str(), line_number));
       }
-      reader.values_[line.substr(0, eq)] = line.substr(eq + 1);
+      std::string key = line.substr(0, eq);
+      // Duplicate keys would make last-wins pick a value silently; a config
+      // with two opinions about the same knob is corrupt, not ambiguous.
+      if (reader.values_.count(key) != 0) {
+        return Status::Corruption(StrFormat("%s:%zu: duplicate key '%s'",
+                                            path.c_str(), line_number,
+                                            key.c_str()));
+      }
+      reader.values_.emplace(std::move(key), line.substr(eq + 1));
     }
     return reader;
   }
@@ -199,13 +207,16 @@ Status ExportSnapshot(const core::FakeDetector& detector,
     return Status::FailedPrecondition(
         "ExportSnapshot needs a trained FakeDetector");
   }
+  // Crash-safe export: every file is written (and fsynced) into a staging
+  // directory, the MANIFEST covering all of them goes last, and only then
+  // does one atomic rename publish the snapshot. A crash at any earlier
+  // step leaves nothing under `directory` for LoadSnapshot to find.
   std::error_code ec;
-  std::filesystem::create_directories(directory, ec);
-  if (ec) {
-    return Status::IoError("cannot create snapshot directory " + directory +
-                           ": " + ec.message());
-  }
-  const std::filesystem::path dir(directory);
+  const std::string parent =
+      std::filesystem::path(directory).parent_path().string();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  FKD_ASSIGN_OR_RETURN(StagedDir staged, StagedDir::Create(directory));
+  const std::filesystem::path dir(staged.path());
 
   Snapshot header;
   header.config = detector.config();
@@ -217,12 +228,12 @@ Status ExportSnapshot(const core::FakeDetector& detector,
                                 (dir / kConfigFile).string()));
 
   {
-    std::ofstream out(dir / kLabelsFile, std::ios::trunc);
-    if (!out) return Status::IoError("cannot write label map");
+    std::string labels;
     for (const auto& name : ClassNames(detector.granularity())) {
-      out << name << '\n';
+      labels += name;
+      labels += '\n';
     }
-    if (!out.flush()) return Status::IoError("label map write failed");
+    FKD_RETURN_NOT_OK(WriteStringToFile((dir / kLabelsFile).string(), labels));
   }
 
   const text::Vocabulary* vocabularies[] = {
@@ -244,11 +255,34 @@ Status ExportSnapshot(const core::FakeDetector& detector,
                             detector.frozen_subject_states());
   FKD_RETURN_NOT_OK(
       nn::SaveParameters(states, (dir / kStatesFile).string()));
-  return Status::OK();
+
+  std::vector<std::string> files = {kConfigFile, kLabelsFile, kWeightsFile,
+                                    kStatesFile};
+  files.insert(files.end(), std::begin(kVocabularyFiles),
+               std::end(kVocabularyFiles));
+  FKD_RETURN_NOT_OK(WriteManifest(staged.path(), files));
+  return staged.Commit();
 }
 
 Result<Snapshot> LoadSnapshot(const std::string& directory) {
   const std::filesystem::path dir(directory);
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::IoError("snapshot directory does not exist: " + directory);
+  }
+  // Integrity gate before parsing a single byte: the manifest must exist
+  // (its absence means the export never reached its commit point) and every
+  // listed file must match its recorded size and CRC-32C exactly.
+  {
+    const Status verified = VerifyManifest(directory);
+    if (!verified.ok()) {
+      if (verified.code() == StatusCode::kNotFound) {
+        return Status::Corruption("snapshot " + directory +
+                                  " has no MANIFEST (incomplete export?)");
+      }
+      return verified;
+    }
+  }
   FKD_ASSIGN_OR_RETURN(const ConfigReader reader,
                        ConfigReader::Read((dir / kConfigFile).string()));
 

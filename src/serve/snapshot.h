@@ -52,17 +52,24 @@ struct Snapshot {
                const std::vector<std::vector<int32_t>>& subject_ids) const;
 };
 
-/// Freezes a trained detector into `directory` (created if needed):
-/// architecture config + label map (config.txt, labels.txt), the six
-/// vocabularies (*.tsv), the parameters (weights.fkdw via
-/// nn::SaveParameters) and the frozen diffusion states (states.fkdw).
-/// Fails with FailedPrecondition if the detector was not trained.
+/// Freezes a trained detector into `directory`: architecture config +
+/// label map (config.txt, labels.txt), the six vocabularies (*.tsv), the
+/// parameters (weights.fkdw via nn::SaveParameters), the frozen diffusion
+/// states (states.fkdw) and a MANIFEST recording every file's size and
+/// CRC-32C. Crash-safe: everything is written and fsynced in a staging
+/// directory that one atomic rename publishes at the end, so a crash at
+/// any step leaves either the previous snapshot or nothing — never a
+/// half-written directory. Fails with FailedPrecondition if the detector
+/// was not trained.
 Status ExportSnapshot(const core::FakeDetector& detector,
                       const std::string& directory);
 
 /// Rebuilds a servable model from an ExportSnapshot directory. The
-/// parameter shapes are re-derived from the persisted config and
-/// vocabularies, so LoadParameters catches any drift by name and shape.
+/// MANIFEST is verified (existence, size, CRC-32C of every artifact)
+/// before anything is parsed — a torn or bit-rotted snapshot fails with
+/// Corruption up front. The parameter shapes are then re-derived from the
+/// persisted config and vocabularies, so LoadParameters catches any drift
+/// by name and shape.
 Result<Snapshot> LoadSnapshot(const std::string& directory);
 
 }  // namespace serve

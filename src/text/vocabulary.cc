@@ -4,6 +4,7 @@
 #include <fstream>
 #include <numeric>
 
+#include "common/file_io.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -87,14 +88,17 @@ std::vector<int32_t> Vocabulary::EncodePadded(
 }
 
 Status Vocabulary::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for writing: " + path);
+  // Built in memory, then one durable write through the fault-injectable
+  // shim: a vocabulary is one logical artifact, so it lands wholly or not
+  // at all (modulo the torn-write fault tests rely on).
+  std::string body;
   for (size_t id = 0; id < tokens_.size(); ++id) {
-    out << tokens_[id] << '\t' << frequencies_[id] << '\n';
+    body += tokens_[id];
+    body += '\t';
+    body += std::to_string(frequencies_[id]);
+    body += '\n';
   }
-  out.flush();
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::OK();
+  return WriteStringToFile(path, body);
 }
 
 Result<Vocabulary> Vocabulary::Load(const std::string& path) {

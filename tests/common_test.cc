@@ -41,6 +41,20 @@ TEST(StatusTest, AllCodesHaveNames) {
   }
 }
 
+TEST(StatusTest, IsRetryableOnlyForTransientCodes) {
+  // Retryable: the operation might succeed if simply repeated.
+  EXPECT_TRUE(Status::Unavailable("overloaded").IsRetryable());
+  EXPECT_TRUE(Status::IoError("disk hiccup").IsRetryable());
+  // Everything else is either success or a deterministic failure.
+  EXPECT_FALSE(Status::OK().IsRetryable());
+  EXPECT_FALSE(Status::InvalidArgument("bad").IsRetryable());
+  EXPECT_FALSE(Status::NotFound("gone").IsRetryable());
+  EXPECT_FALSE(Status::Corruption("torn").IsRetryable());
+  EXPECT_FALSE(Status::Internal("bug").IsRetryable());
+  EXPECT_FALSE(Status::DeadlineExceeded("late").IsRetryable());
+  EXPECT_FALSE(Status::FailedPrecondition("not ready").IsRetryable());
+}
+
 Result<int> HalveEven(int x) {
   if (x % 2 != 0) return Status::InvalidArgument("odd");
   return x / 2;
@@ -179,6 +193,40 @@ TEST(RngTest, SampleWithoutReplacementFull) {
   const auto sample = rng.SampleWithoutReplacement(5, 5);
   std::set<size_t> unique(sample.begin(), sample.end());
   EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(RngTest, DumpRestoreStateResumesExactStream) {
+  Rng rng(42);
+  // Consume an odd number of Normal() draws so the Box-Muller cache is hot
+  // when the state is captured — the dump must carry it.
+  for (int i = 0; i < 7; ++i) rng.Normal();
+  for (int i = 0; i < 5; ++i) rng.Next();
+  const auto state = rng.DumpState();
+
+  std::vector<double> expected;
+  for (int i = 0; i < 16; ++i) expected.push_back(rng.Normal());
+
+  Rng other(999);  // deliberately different seed and stream position
+  other.Next();
+  ASSERT_TRUE(other.RestoreState(state));
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(other.Normal(), expected[i]) << "stream diverged at draw " << i;
+  }
+}
+
+TEST(RngTest, RestoreStateRejectsInvalidDumps) {
+  Rng rng(1);
+  const uint64_t before = rng.Next();
+  Rng probe(1);
+  probe.Next();
+  EXPECT_FALSE(probe.RestoreState({}));
+  EXPECT_FALSE(probe.RestoreState({1, 2, 3}));
+  EXPECT_FALSE(probe.RestoreState({1, 2, 3, 4, 7 /* bad flag */, 0}));
+  // A rejected restore leaves the stream untouched.
+  Rng fresh(1);
+  fresh.Next();
+  EXPECT_EQ(probe.Next(), fresh.Next());
+  (void)before;
 }
 
 // ---- string_util -------------------------------------------------------------

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# End-to-end crash drill over the durable artifact paths.
+#
+# Repeatedly kills the fault_drill binary mid-write — at the first write,
+# deep into the payload, at an fsync, and at the publishing rename — using
+# FKD_FAULTS crash rules (the process dies with _exit(134), exactly like a
+# SIGKILL: no flushing, no cleanup). After every kill it asserts that no
+# snapshot/checkpoint directory was published and that verification fails
+# CLEANLY. Then it proves the recovery story: a clean export verifies, a
+# byte-flipped file is rejected, and training resumed over a killed
+# checkpoint run completes and publishes its final checkpoint.
+#
+#   tools/crash_smoke.sh <path-to-fault_drill> [workdir]
+#
+# Wired into ctest as the `crash_smoke` label: ctest -L crash_smoke
+
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 <path-to-fault_drill> [workdir]" >&2
+  exit 2
+fi
+DRILL="$1"
+WORK="${2:-}"
+if [[ -z "${WORK}" ]]; then
+  WORK="$(mktemp -d -t fkd_crash_smoke.XXXXXX)"
+  trap 'rm -rf "${WORK}"' EXIT
+fi
+
+CRASH_EXIT=134  # kFaultCrashExitCode
+
+fail() { echo "crash_smoke: FAIL: $*" >&2; exit 1; }
+
+# Runs a command expecting a specific exit code (set -e safe).
+expect_exit() {
+  local want="$1"; shift
+  local got=0
+  "$@" || got=$?
+  [[ "${got}" -eq "${want}" ]] || fail "expected exit ${want}, got ${got}: $*"
+}
+
+# No published ckpt-* directory may exist under $1; abandoned *.tmp-*
+# staging litter from the killed process is expected and fine.
+assert_no_published_checkpoint() {
+  local root="$1"
+  local d
+  for d in "${root}"/ckpt-*; do
+    [[ -e "${d}" ]] || continue
+    case "$(basename "${d}")" in
+      *.tmp-*) ;;
+      *) fail "crash published checkpoint ${d}" ;;
+    esac
+  done
+}
+
+echo "== kill export mid-write at four distinct points =="
+i=0
+for spec in "io.write:crash@1" "io.write:crash@12" "io.fsync:crash@2" \
+            "io.rename:crash"; do
+  i=$((i + 1))
+  snap="${WORK}/snap_killed_${i}"
+  echo "-- FKD_FAULTS=${spec}"
+  FKD_FAULTS="${spec}" expect_exit "${CRASH_EXIT}" \
+    "${DRILL}" --mode=export --dir="${snap}"
+  [[ ! -e "${snap}" ]] || fail "kill at ${spec} still published ${snap}"
+  expect_exit 3 "${DRILL}" --mode=verify --dir="${snap}"
+done
+
+echo "== clean export verifies; a flipped byte is rejected =="
+snap="${WORK}/snap_clean"
+expect_exit 0 "${DRILL}" --mode=export --dir="${snap}"
+expect_exit 0 "${DRILL}" --mode=verify --dir="${snap}"
+
+weights="${snap}/weights.fkdw"
+[[ -f "${weights}" ]] || fail "clean export is missing ${weights}"
+size="$(stat -c%s "${weights}")"
+off=$((size / 2))
+byte="$(od -An -tu1 -j "${off}" -N1 "${weights}" | tr -d ' ')"
+printf "$(printf '\\%03o' $(((byte ^ 32) & 255)))" |
+  dd of="${weights}" bs=1 seek="${off}" conv=notrunc status=none
+expect_exit 3 "${DRILL}" --mode=verify --dir="${snap}"
+
+echo "== kill training at the first checkpoint commit; retrain recovers =="
+ckpt="${WORK}/ckpt_first"
+FKD_FAULTS="io.rename:crash@1" expect_exit "${CRASH_EXIT}" \
+  "${DRILL}" --mode=train --dir="${ckpt}" --epochs=4
+assert_no_published_checkpoint "${ckpt}"
+expect_exit 0 "${DRILL}" --mode=resume --dir="${ckpt}" --epochs=4
+[[ -f "${ckpt}/ckpt-4/MANIFEST" ]] || fail "resume never published ckpt-4"
+
+echo "== kill training at a later checkpoint; resume picks up the survivor =="
+ckpt="${WORK}/ckpt_later"
+FKD_FAULTS="io.rename:crash@3" expect_exit "${CRASH_EXIT}" \
+  "${DRILL}" --mode=train --dir="${ckpt}" --epochs=4
+[[ -f "${ckpt}/ckpt-2/MANIFEST" ]] || fail "ckpt-2 should have survived"
+[[ ! -e "${ckpt}/ckpt-3" ]] || fail "kill mid-commit published ckpt-3"
+expect_exit 0 "${DRILL}" --mode=resume --dir="${ckpt}" --epochs=4
+[[ -f "${ckpt}/ckpt-4/MANIFEST" ]] || fail "resume never published ckpt-4"
+
+echo "crash_smoke: OK"

@@ -1,0 +1,139 @@
+// Fault-injection drill binary for crash_smoke.sh and manual robustness
+// testing. Trains a tiny deterministic detector and exercises the durable
+// artifact paths so a harness can kill it mid-write (via FKD_FAULTS
+// crash rules) and then verify what landed on disk.
+//
+// Modes (--mode=):
+//   export   train, then ExportSnapshot to --dir
+//   verify   LoadSnapshot from --dir; exit 0 when it loads,
+//            exit 3 when it fails CLEANLY (error status, no crash)
+//   train    train with checkpoints under --dir (resumes automatically
+//            from the newest valid checkpoint when one exists)
+//   resume   alias of train, for readable drill scripts
+//
+// Exit codes: 0 success, 1 operation failed, 2 bad usage, 3 clean
+// verification failure. FaultAction::kCrash exits with 134.
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/status.h"
+#include "core/fake_detector.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "serve/snapshot.h"
+
+namespace fkd {
+namespace {
+
+// Mirrors the tiny deterministic setup in tests/crash_test.cc: small enough
+// to train in well under a second, big enough to exercise every artifact.
+core::FakeDetectorConfig DrillConfig(size_t epochs) {
+  core::FakeDetectorConfig config;
+  config.epochs = epochs;
+  config.explicit_words = 20;
+  config.latent_vocabulary = 60;
+  config.hflu.max_sequence_length = 8;
+  config.hflu.gru_hidden = 6;
+  config.hflu.latent_dim = 6;
+  config.hflu.embed_dim = 6;
+  config.gdu_hidden = 8;
+  config.validation_fraction = 0.25f;
+  config.early_stopping_patience = 50;
+  config.verbose = false;
+  return config;
+}
+
+struct DrillData {
+  data::Dataset dataset;
+  graph::HeterogeneousGraph graph;
+  eval::TrainContext context;
+};
+
+Result<DrillData> BuildData() {
+  FKD_ASSIGN_OR_RETURN(
+      auto dataset,
+      data::GeneratePolitiFact(data::GeneratorOptions::Scaled(40, 36)));
+  FKD_ASSIGN_OR_RETURN(auto graph, dataset.BuildGraph());
+  Rng rng(123);
+  FKD_ASSIGN_OR_RETURN(
+      auto splits,
+      data::KFoldTriSplits(dataset.articles.size(), dataset.creators.size(),
+                           dataset.subjects.size(), 4, &rng));
+  DrillData data{std::move(dataset), std::move(graph), {}};
+  data.context.train_articles = splits[0].articles.train;
+  data.context.train_creators = splits[0].creators.train;
+  data.context.train_subjects = splits[0].subjects.train;
+  data.context.granularity = eval::LabelGranularity::kBinary;
+  data.context.seed = 11;
+  return data;
+}
+
+int RunDrill(const std::string& mode, const std::string& dir, size_t epochs) {
+  if (mode == "verify") {
+    auto loaded = serve::LoadSnapshot(dir);
+    if (loaded.ok()) {
+      std::printf("fault_drill: snapshot at %s loads cleanly\n", dir.c_str());
+      return 0;
+    }
+    std::printf("fault_drill: snapshot at %s rejected: %s\n", dir.c_str(),
+                loaded.status().ToString().c_str());
+    return 3;
+  }
+
+  auto data = BuildData();
+  if (!data.ok()) {
+    std::fprintf(stderr, "fault_drill: data setup failed: %s\n",
+                 data.status().ToString().c_str());
+    return 1;
+  }
+  data.value().context.dataset = &data.value().dataset;
+  data.value().context.graph = &data.value().graph;
+
+  core::FakeDetectorConfig config = DrillConfig(epochs);
+  if (mode == "train" || mode == "resume") config.checkpoint_dir = dir;
+  core::FakeDetector detector(config);
+  const Status trained = detector.Train(data.value().context);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "fault_drill: training failed: %s\n",
+                 trained.ToString().c_str());
+    return 1;
+  }
+
+  if (mode == "export") {
+    const Status exported = serve::ExportSnapshot(detector, dir);
+    if (!exported.ok()) {
+      std::fprintf(stderr, "fault_drill: export failed: %s\n",
+                   exported.ToString().c_str());
+      return 1;
+    }
+    std::printf("fault_drill: exported snapshot to %s\n", dir.c_str());
+    return 0;
+  }
+  std::printf("fault_drill: trained %zu epochs with checkpoints under %s\n",
+              epochs, dir.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace fkd
+
+int main(int argc, char** argv) {
+  fkd::FlagParser flags;
+  flags.AddString("mode", "export", "export | verify | train | resume");
+  flags.AddString("dir", "", "snapshot or checkpoint directory");
+  flags.AddInt("epochs", 4, "training epochs (train/resume modes)");
+  const fkd::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) return 2;
+
+  const std::string mode = flags.GetString("mode");
+  const std::string dir = flags.GetString("dir");
+  if (dir.empty() || (mode != "export" && mode != "verify" &&
+                      mode != "train" && mode != "resume")) {
+    std::fprintf(stderr, "%s", flags.Usage(argv[0]).c_str());
+    return 2;
+  }
+  return fkd::RunDrill(mode, dir, static_cast<size_t>(flags.GetInt("epochs")));
+}
