@@ -1,0 +1,263 @@
+// Compute-kernel sweep: MatMul / sparse SpMM / row softmax across sizes and
+// FKD_NUM_THREADS-style pool widths, against the pre-pool serial GEMM as the
+// fixed baseline. This is the perf trajectory anchor for the parallel
+// compute core: rerun it after kernel changes and diff the JSON artifact.
+//
+//   ./bench_compute_kernels [--reps=5] [--jsonl=/path/rows.jsonl]
+//                           [--out=BENCH_compute.json]
+//
+// --jsonl appends one JSON line per (kernel, size, threads) config; --out
+// writes the aggregated summary (including speedup_vs_baseline_at_4, the
+// number the acceptance gate reads). Inputs are seeded, so every run times
+// identical arithmetic.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+
+namespace {
+
+using fkd::Rng;
+using fkd::Tensor;
+using fkd::ThreadPool;
+using fkd::WallTimer;
+
+// The seed repo's single-threaded ikj GEMM, kept verbatim as the fixed
+// serial baseline all speedups are measured against.
+void BaselineGemm(const Tensor& a, const Tensor& b, Tensor* c) {
+  c->SetZero();
+  const size_t m = a.rows();
+  const size_t k = a.cols();
+  const size_t n = b.cols();
+  float* cd = c->data();
+  const float* ad = a.data();
+  const float* bd = b.data();
+  for (size_t i = 0; i < m; ++i) {
+    float* c_row = cd + i * n;
+    for (size_t p = 0; p < k; ++p) {
+      const float a_ip = ad[i * k + p];
+      if (a_ip == 0.0f) continue;
+      const float* b_row = bd + p * n;
+      for (size_t j = 0; j < n; ++j) c_row[j] += a_ip * b_row[j];
+    }
+  }
+}
+
+template <typename Fn>
+double TimeBest(size_t reps, Fn&& fn) {
+  double best = 0.0;
+  for (size_t r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    const double elapsed = timer.ElapsedSeconds();
+    if (r == 0 || elapsed < best) best = elapsed;
+  }
+  return best;
+}
+
+struct ConfigRow {
+  std::string kernel;
+  std::string size;
+  size_t threads = 0;  ///< 0 = the serial baseline row.
+  double seconds = 0.0;
+  double gflops = 0.0;
+  double speedup_vs_baseline = 0.0;
+};
+
+void PrintRow(const ConfigRow& row) {
+  std::printf("%-10s %-16s %8s %12.6f %10.2f %10.2fx\n", row.kernel.c_str(),
+              row.size.c_str(),
+              row.threads == 0 ? "serial" : std::to_string(row.threads).c_str(),
+              row.seconds, row.gflops, row.speedup_vs_baseline);
+}
+
+void AppendJsonl(std::ofstream* jsonl, const ConfigRow& row) {
+  if (jsonl == nullptr || !jsonl->is_open()) return;
+  *jsonl << "{\"bench\":\"compute_kernels\",\"kernel\":\"" << row.kernel
+         << "\",\"size\":\"" << row.size << "\",\"threads\":" << row.threads
+         << ",\"seconds\":" << row.seconds << ",\"gflops\":" << row.gflops
+         << ",\"speedup_vs_serial_baseline\":" << row.speedup_vs_baseline
+         << "}\n";
+}
+
+/// One kernel x size sweep entry of the --out summary.
+struct SweepSummary {
+  std::string kernel;
+  std::string size;
+  double flops = 0.0;
+  double baseline_s = 0.0;
+  std::vector<std::pair<size_t, double>> by_threads;
+
+  double SpeedupAt(size_t threads) const {
+    for (const auto& [t, s] : by_threads) {
+      if (t == threads && s > 0.0) return baseline_s / s;
+    }
+    return 0.0;
+  }
+};
+
+void WriteSummaryJson(const std::string& path,
+                      const std::vector<SweepSummary>& sweeps, size_t reps) {
+  std::ofstream out(path, std::ios::trunc);
+  FKD_CHECK(out.good()) << "cannot open " << path;
+  out << "{\n  \"bench\": \"compute_kernels\",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n  \"reps\": " << reps << ",\n  \"sweeps\": [\n";
+  for (size_t i = 0; i < sweeps.size(); ++i) {
+    const SweepSummary& s = sweeps[i];
+    out << "    {\"kernel\": \"" << s.kernel << "\", \"size\": \"" << s.size
+        << "\", \"serial_baseline_s\": " << s.baseline_s
+        << ", \"by_threads\": {";
+    for (size_t t = 0; t < s.by_threads.size(); ++t) {
+      out << (t > 0 ? ", " : "") << "\"" << s.by_threads[t].first
+          << "\": " << s.by_threads[t].second;
+    }
+    out << "}, \"speedup_vs_baseline_at_4\": " << s.SpeedupAt(4) << "}"
+        << (i + 1 < sweeps.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fkd::FlagParser flags;
+  flags.AddInt("reps", 5, "timed repetitions per config (best-of)");
+  flags.AddString("jsonl", "", "append one JSON line per config to this file");
+  flags.AddString("out", "", "write the aggregated summary JSON to this file");
+  fkd::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return parsed.code() == fkd::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  const size_t reps = static_cast<size_t>(flags.GetInt("reps"));
+  std::ofstream jsonl;
+  if (!flags.GetString("jsonl").empty()) {
+    jsonl.open(flags.GetString("jsonl"), std::ios::app);
+    FKD_CHECK(jsonl.good()) << "cannot open " << flags.GetString("jsonl");
+  }
+
+  const std::vector<size_t> thread_counts = {1, 2, 4, 8};
+  std::vector<SweepSummary> sweeps;
+
+  std::printf("%-10s %-16s %8s %12s %10s %10s\n", "kernel", "size", "threads",
+              "best_s", "gflops", "speedup");
+
+  // ---- dense MatMul ---------------------------------------------------------
+  for (size_t size : {64u, 128u, 256u, 512u}) {
+    Rng rng(17);
+    const Tensor a = Tensor::Randn(size, size, &rng);
+    const Tensor b = Tensor::Randn(size, size, &rng);
+    Tensor baseline_out(size, size);
+    SweepSummary sweep;
+    sweep.kernel = "matmul";
+    sweep.size = std::to_string(size) + "x" + std::to_string(size) + "x" +
+                 std::to_string(size);
+    sweep.flops = 2.0 * size * size * size;
+    sweep.baseline_s =
+        TimeBest(reps, [&] { BaselineGemm(a, b, &baseline_out); });
+    ConfigRow base{"matmul", sweep.size, 0, sweep.baseline_s,
+                   sweep.flops / sweep.baseline_s * 1e-9, 1.0};
+    PrintRow(base);
+    AppendJsonl(&jsonl, base);
+    for (size_t threads : thread_counts) {
+      ThreadPool::ResetGlobal(threads);
+      Tensor out;
+      const double seconds = TimeBest(reps, [&] { out = fkd::MatMul(a, b); });
+      FKD_CHECK(out.AllClose(baseline_out, 1e-2f))
+          << "matmul kernel diverged from the serial baseline";
+      ConfigRow row{"matmul", sweep.size, threads, seconds,
+                    sweep.flops / seconds * 1e-9, sweep.baseline_s / seconds};
+      sweep.by_threads.emplace_back(threads, seconds);
+      PrintRow(row);
+      AppendJsonl(&jsonl, row);
+    }
+    sweeps.push_back(std::move(sweep));
+  }
+
+  // ---- sparse-dense SpMM ----------------------------------------------------
+  {
+    const size_t rows = 4096, cols = 4096, dense_cols = 64;
+    Rng rng(23);
+    std::vector<fkd::CsrMatrix::Triplet> triplets;
+    const size_t nnz = rows * cols / 200;  // ~0.5% density
+    triplets.reserve(nnz);
+    for (size_t i = 0; i < nnz; ++i) {
+      triplets.push_back(
+          {static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(rows))),
+           static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(cols))),
+           static_cast<float>(rng.Normal())});
+    }
+    const fkd::CsrMatrix sparse =
+        fkd::CsrMatrix::FromTriplets(rows, cols, std::move(triplets));
+    const Tensor dense = Tensor::Randn(cols, dense_cols, &rng);
+    SweepSummary sweep;
+    sweep.kernel = "sparse";
+    sweep.size = "4096x4096@0.5%*64";
+    sweep.flops = 2.0 * sparse.nnz() * dense_cols;
+    ThreadPool::ResetGlobal(1);
+    sweep.baseline_s = TimeBest(reps, [&] { (void)sparse.MatMul(dense); });
+    ConfigRow base{"sparse", sweep.size, 0, sweep.baseline_s,
+                   sweep.flops / sweep.baseline_s * 1e-9, 1.0};
+    PrintRow(base);
+    AppendJsonl(&jsonl, base);
+    for (size_t threads : thread_counts) {
+      ThreadPool::ResetGlobal(threads);
+      const double seconds = TimeBest(reps, [&] { (void)sparse.MatMul(dense); });
+      ConfigRow row{"sparse", sweep.size, threads, seconds,
+                    sweep.flops / seconds * 1e-9, sweep.baseline_s / seconds};
+      sweep.by_threads.emplace_back(threads, seconds);
+      PrintRow(row);
+      AppendJsonl(&jsonl, row);
+    }
+    sweeps.push_back(std::move(sweep));
+  }
+
+  // ---- row softmax ----------------------------------------------------------
+  {
+    const size_t rows = 8192, cols = 256;
+    Rng rng(29);
+    const Tensor logits = Tensor::Randn(rows, cols, &rng);
+    SweepSummary sweep;
+    sweep.kernel = "softmax";
+    sweep.size = "8192x256";
+    sweep.flops = 4.0 * rows * cols;  // max + exp + sum + scale passes
+    ThreadPool::ResetGlobal(1);
+    sweep.baseline_s = TimeBest(reps, [&] { (void)fkd::SoftmaxRows(logits); });
+    ConfigRow base{"softmax", sweep.size, 0, sweep.baseline_s,
+                   sweep.flops / sweep.baseline_s * 1e-9, 1.0};
+    PrintRow(base);
+    AppendJsonl(&jsonl, base);
+    for (size_t threads : thread_counts) {
+      ThreadPool::ResetGlobal(threads);
+      const double seconds =
+          TimeBest(reps, [&] { (void)fkd::SoftmaxRows(logits); });
+      ConfigRow row{"softmax", sweep.size, threads, seconds,
+                    sweep.flops / seconds * 1e-9, sweep.baseline_s / seconds};
+      sweep.by_threads.emplace_back(threads, seconds);
+      PrintRow(row);
+      AppendJsonl(&jsonl, row);
+    }
+    sweeps.push_back(std::move(sweep));
+  }
+
+  ThreadPool::ResetGlobal(0);
+
+  if (!flags.GetString("out").empty()) {
+    WriteSummaryJson(flags.GetString("out"), sweeps, reps);
+    std::printf("\nwrote %s\n", flags.GetString("out").c_str());
+  }
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -24,6 +25,7 @@
 
 #include "common/flags.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "data/generator.h"
 #include "data/split.h"
 #include "serve/engine.h"
@@ -43,6 +45,11 @@ struct ConfigResult {
   double mean_batch = 0.0;
   uint64_t completed = 0;
   uint64_t rejected = 0;
+  /// Intra-op pool shape during this config, so serving numbers are
+  /// comparable across kernel-parallelism settings (FKD_NUM_THREADS).
+  size_t pool_threads = 0;
+  uint64_t pool_tasks = 0;    ///< Kernel chunks run by the pool this config.
+  uint64_t pool_regions = 0;  ///< Parallel regions dispatched this config.
 };
 
 ConfigResult RunConfig(const std::shared_ptr<const fkd::serve::Snapshot>& snapshot,
@@ -54,6 +61,9 @@ ConfigResult RunConfig(const std::shared_ptr<const fkd::serve::Snapshot>& snapsh
   options.max_batch_delay_us = batch > 1 ? 500 : 0;
   options.max_queue_depth = 4096;
   fkd::serve::InferenceEngine engine(snapshot, options);
+  const fkd::ThreadPool& pool = fkd::ThreadPool::Global();
+  const uint64_t tasks_before = pool.tasks();
+  const uint64_t regions_before = pool.regions();
   FKD_CHECK_OK(engine.Start());
 
   // Open-loop generator: submissions are paced by the offered rate, not by
@@ -87,6 +97,9 @@ ConfigResult RunConfig(const std::shared_ptr<const fkd::serve::Snapshot>& snapsh
   out.workers = workers;
   out.batch = batch;
   out.wall_seconds = wall;
+  out.pool_threads = pool.num_threads();
+  out.pool_tasks = pool.tasks() - tasks_before;
+  out.pool_regions = pool.regions() - regions_before;
   out.completed = engine.Stats().completed;
   out.rejected = engine.Stats().rejected;
   out.req_per_s = wall > 0.0 ? static_cast<double>(latencies.size()) / wall : 0.0;
@@ -195,7 +208,14 @@ int main(int argc, char** argv) {
               << ",\"mean_batch\":" << r.mean_batch
               << ",\"completed\":" << r.completed
               << ",\"rejected\":" << r.rejected
-              << ",\"wall_seconds\":" << r.wall_seconds << "}\n";
+              << ",\"wall_seconds\":" << r.wall_seconds
+              << ",\"fkd_num_threads\":\""
+              << (std::getenv("FKD_NUM_THREADS") != nullptr
+                      ? std::getenv("FKD_NUM_THREADS")
+                      : "")
+              << "\",\"pool_threads\":" << r.pool_threads
+              << ",\"pool_tasks\":" << r.pool_tasks
+              << ",\"pool_regions\":" << r.pool_regions << "}\n";
       }
     }
   }

@@ -1,0 +1,156 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "common/logging.h"
+
+namespace fkd {
+
+namespace {
+
+thread_local bool t_in_pool_worker = false;
+
+constexpr size_t kMaxThreads = 256;
+
+size_t ThreadsFromEnvironment() {
+  if (const char* env = std::getenv("FKD_NUM_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return std::min(static_cast<size_t>(parsed), kMaxThreads);
+    }
+    FKD_LOG(Warning) << "ignoring invalid FKD_NUM_THREADS=\"" << env << "\"";
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<size_t>(hw) : 1;
+}
+
+// The global pool pointer. Reads on the kernel hot path use the lock-free
+// acquire load; creation and ResetGlobal serialise on the mutex.
+std::atomic<ThreadPool*> g_global_pool{nullptr};
+std::mutex g_global_mutex;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(std::clamp<size_t>(num_threads, 1, kMaxThreads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    FKD_CHECK(queue_.empty()) << "ThreadPool destroyed with regions in flight";
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  ThreadPool* pool = g_global_pool.load(std::memory_order_acquire);
+  if (pool != nullptr) return *pool;
+  std::unique_lock<std::mutex> lock(g_global_mutex);
+  pool = g_global_pool.load(std::memory_order_acquire);
+  if (pool == nullptr) {
+    pool = new ThreadPool(ThreadsFromEnvironment());
+    g_global_pool.store(pool, std::memory_order_release);
+  }
+  return *pool;
+}
+
+void ThreadPool::ResetGlobal(size_t num_threads) {
+  std::unique_lock<std::mutex> lock(g_global_mutex);
+  ThreadPool* fresh = new ThreadPool(
+      num_threads > 0 ? num_threads : ThreadsFromEnvironment());
+  ThreadPool* old = g_global_pool.exchange(fresh, std::memory_order_acq_rel);
+  delete old;
+}
+
+bool ThreadPool::InWorker() { return t_in_pool_worker; }
+
+size_t ThreadPool::NumChunks(size_t range, size_t grain) {
+  if (range == 0) return 0;
+  grain = std::max<size_t>(grain, 1);
+  return (range + grain - 1) / grain;
+}
+
+bool ThreadPool::RunOneChunk(Region* region,
+                             std::unique_lock<std::mutex>* lock) {
+  if (region->next_chunk >= region->num_chunks) return false;
+  const size_t chunk = region->next_chunk++;
+  if (region->next_chunk >= region->num_chunks) {
+    // Last chunk claimed: the region offers no further work, drop it from
+    // the queue so workers stop considering it.
+    auto it = std::find(queue_.begin(), queue_.end(), region);
+    if (it != queue_.end()) queue_.erase(it);
+  }
+  lock->unlock();
+  const size_t chunk_begin = region->begin + chunk * region->grain;
+  const size_t chunk_end =
+      std::min(region->end, chunk_begin + region->grain);
+  (*region->fn)(chunk_begin, chunk_end);
+  lock->lock();
+  ++region->completed;
+  if (region->completed == region->num_chunks) done_cv_.notify_all();
+  return true;
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    Region* region = queue_.front();
+    RunOneChunk(region, &lock);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                             const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<size_t>(grain, 1);
+  const size_t num_chunks = NumChunks(end - begin, grain);
+  // Serial fallbacks (single chunk, no spare threads, or nested inside a
+  // pool worker) run the whole range as one call. The chunking contract in
+  // the header makes this a scheduling-only difference: results are
+  // bitwise-identical either way.
+  if (num_chunks <= 1 || num_threads_ == 1 || t_in_pool_worker) {
+    fn(begin, end);
+    return;
+  }
+
+  Region region;
+  region.fn = &fn;
+  region.begin = begin;
+  region.end = end;
+  region.grain = grain;
+  region.num_chunks = num_chunks;
+
+  regions_.fetch_add(1, std::memory_order_relaxed);
+  tasks_.fetch_add(num_chunks, std::memory_order_relaxed);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  queue_.push_back(&region);
+  if (num_chunks > 2) {
+    work_cv_.notify_all();
+  } else {
+    work_cv_.notify_one();
+  }
+  // The submitter participates until the chunks run out, then waits for the
+  // stragglers claimed by workers.
+  while (RunOneChunk(&region, &lock)) {
+  }
+  done_cv_.wait(lock, [&region] {
+    return region.completed == region.num_chunks;
+  });
+}
+
+}  // namespace fkd

@@ -1,0 +1,115 @@
+#ifndef FKD_COMMON_THREAD_POOL_H_
+#define FKD_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fkd {
+
+/// Process-wide intra-op worker pool for the tensor kernels.
+///
+/// Design constraints, in priority order:
+///
+///  1. **Bitwise determinism.** Chunk boundaries are a pure function of
+///     `(end - begin, grain)` — never of the thread count, the scheduler, or
+///     runtime load. A kernel that writes disjoint outputs per index (or
+///     combines fixed per-chunk partials in chunk order) therefore produces
+///     bitwise-identical results at any `FKD_NUM_THREADS`, which the
+///     checkpoint-resume suites rely on.
+///  2. **Sharing.** One lazily-created global pool serves every caller —
+///     the trainer and all serving workers submit kernel chunks to the same
+///     threads instead of oversubscribing the machine per subsystem.
+///  3. **Simplicity over stealing.** Chunks are claimed from a FIFO region
+///     queue under one mutex; chunks are sized (by the kernels' grain
+///     choices) to amortise that. There is no work stealing and no per-thread
+///     deque, so the scheduler itself cannot introduce ordering effects.
+///
+/// Callers participate: `ParallelFor` runs chunks on the calling thread too,
+/// so a pool of N threads means N-1 background workers. A `ParallelFor`
+/// issued from inside a pool worker (nested parallelism) runs inline
+/// serially — the contract above makes that a scheduling-only difference.
+class ThreadPool {
+ public:
+  /// A pool executing on `num_threads` threads total (the caller plus
+  /// `num_threads - 1` background workers). `num_threads` is clamped to
+  /// [1, 256].
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The shared process-wide pool, created on first use. Sizing:
+  /// `FKD_NUM_THREADS` if set to a positive integer, otherwise
+  /// `std::thread::hardware_concurrency()` (minimum 1).
+  static ThreadPool& Global();
+
+  /// Replaces the global pool with a fresh one of `num_threads` threads
+  /// (0 = re-derive from FKD_NUM_THREADS / hardware_concurrency). Testing
+  /// and bench hook; the caller must guarantee no kernels are in flight.
+  static void ResetGlobal(size_t num_threads);
+
+  /// True on a pool worker thread (used to run nested regions inline).
+  static bool InWorker();
+
+  /// Number of chunks `[begin, end)` is split into at the given grain:
+  /// `ceil(range / max(grain, 1))`. Depends only on the range and grain —
+  /// this is the determinism contract callers build reductions on.
+  static size_t NumChunks(size_t range, size_t grain);
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// Invokes `fn(chunk_begin, chunk_end)` over disjoint subranges covering
+  /// `[begin, end)`, concurrently when the pool has spare threads and the
+  /// range splits into more than one chunk (see NumChunks). `fn` must be
+  /// safe to call concurrently on disjoint ranges and must not depend on
+  /// chunk invocation order. Blocks until every chunk has finished.
+  void ParallelFor(size_t begin, size_t end, size_t grain,
+                   const std::function<void(size_t, size_t)>& fn);
+
+  /// Lifetime counters: parallel regions dispatched and chunks executed
+  /// through them (serial fallbacks are not counted).
+  uint64_t regions() const { return regions_.load(std::memory_order_relaxed); }
+  uint64_t tasks() const { return tasks_.load(std::memory_order_relaxed); }
+
+ private:
+  /// One ParallelFor call in flight. Lives on the submitting thread's
+  /// stack; chunk claiming and completion are guarded by the pool mutex
+  /// (chunks are coarse, so this is not a contention point).
+  struct Region {
+    const std::function<void(size_t, size_t)>* fn = nullptr;
+    size_t begin = 0;
+    size_t end = 0;
+    size_t grain = 1;
+    size_t num_chunks = 0;
+    size_t next_chunk = 0;  ///< Next unclaimed chunk index.
+    size_t completed = 0;   ///< Chunks finished.
+  };
+
+  void WorkerLoop();
+  /// Runs one chunk of `region`; returns false when none were left.
+  /// `lock` must hold mutex_ on entry and holds it again on return.
+  bool RunOneChunk(Region* region, std::unique_lock<std::mutex>* lock);
+
+  const size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  ///< Workers: a region has chunks.
+  std::condition_variable done_cv_;  ///< Submitters: a chunk completed.
+  std::deque<Region*> queue_;        ///< Regions with unclaimed chunks.
+  bool stop_ = false;
+
+  std::atomic<uint64_t> regions_{0};
+  std::atomic<uint64_t> tasks_{0};
+};
+
+}  // namespace fkd
+
+#endif  // FKD_COMMON_THREAD_POOL_H_

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/checkpoint.h"
 #include "nn/optimizer.h"
@@ -207,6 +208,11 @@ Status FakeDetector::Train(const eval::TrainContext& context) {
 
   obs::TrainObserver* observer = context.observer;
   obs::NotifyTrainBegin(observer, Name(), config_.epochs);
+  if (config_.verbose) {
+    FKD_LOG(Info) << "FakeDetector training over a "
+                  << ThreadPool::Global().num_threads()
+                  << "-thread intra-op compute pool";
+  }
   WallTimer train_timer;
   WallTimer epoch_timer;
   size_t epochs_run = 0;

@@ -6,6 +6,7 @@
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace fkd {
@@ -74,6 +75,14 @@ Status InferenceEngine::Start() {
   if (stopping_) return Status::FailedPrecondition("engine already stopped");
   if (started_) return Status::FailedPrecondition("engine already started");
   started_ = true;
+  // Warm the shared intra-op pool before the first batch: engine workers
+  // submit kernel chunks (Gemm, softmax, SpMM) to the same process-wide
+  // pool the trainer uses, so a batch is parallel across rows even when a
+  // single worker formed it.
+  const size_t kernel_threads = ThreadPool::Global().num_threads();
+  FKD_LOG(Info) << "inference engine starting: " << options_.num_workers
+                << " workers over a " << kernel_threads
+                << "-thread intra-op compute pool";
   workers_.reserve(options_.num_workers);
   for (size_t i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });

@@ -107,7 +107,10 @@ struct EngineStats {
 /// workers drains the bounded queue into batches of up to `max_batch_size`
 /// (waiting at most `max_batch_delay_us` for stragglers), runs one
 /// tape-free batched forward per batch, and fulfils the futures with class
-/// probabilities. Robustness semantics:
+/// probabilities. Batch forwards execute their tensor kernels on the shared
+/// process-wide intra-op pool (common/thread_pool.h, FKD_NUM_THREADS), so a
+/// single batch is parallel across rows and trainer + engine never
+/// oversubscribe the machine with private pools. Robustness semantics:
 ///
 ///  - backpressure: the queue is bounded; Submit() fails fast with
 ///    Unavailable when it is full instead of buffering without limit;

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "tensor/compute.h"
 #include "tensor/ops.h"
 
 namespace fkd {
@@ -115,6 +116,11 @@ void Backward(const Variable& root) {
   seed.Fill(1.0f);
   root.node()->AccumulateGrad(seed);
 
+  // Nodes run strictly in reverse topological order: gradient accumulation
+  // into shared inputs happens in a fixed order, which keeps backward
+  // passes bitwise-reproducible. Intra-op parallelism comes from the
+  // kernels each backward closure calls (Gemm, elementwise, ZipMap, ...),
+  // which fan out over the shared compute pool.
   for (auto it = topo_order.rbegin(); it != topo_order.rend(); ++it) {
     Node* node = *it;
     if (node->backward_fn_) node->backward_fn_(*node);
@@ -311,11 +317,17 @@ Variable GatherRows(const Variable& a, const std::vector<int32_t>& indices) {
   const Tensor& av = a.value();
   const size_t d = av.cols();
   Tensor out(indices.size(), d);
-  for (size_t i = 0; i < indices.size(); ++i) {
-    FKD_CHECK_GE(indices[i], 0);
-    FKD_CHECK_LT(static_cast<size_t>(indices[i]), av.rows());
-    std::copy(av.Row(indices[i]), av.Row(indices[i]) + d, out.Row(i));
-  }
+  // Row-parallel gather: output rows are disjoint per index.
+  ParallelKernel("autograd/gather_rows", 0, indices.size(),
+                 std::max<size_t>(1, 4096 / std::max<size_t>(1, d)),
+                 [&](size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     FKD_CHECK_GE(indices[i], 0);
+                     FKD_CHECK_LT(static_cast<size_t>(indices[i]), av.rows());
+                     std::copy(av.Row(indices[i]), av.Row(indices[i]) + d,
+                               out.Row(i));
+                   }
+                 });
   auto an = a.node();
   return MakeOp(std::move(out), {a}, "gather_rows",
                 [an, indices](Node& node) {
@@ -336,18 +348,25 @@ Variable GroupMeanRows(const Variable& a,
   const Tensor& av = a.value();
   const size_t d = av.cols();
   Tensor out(groups.size(), d);
-  for (size_t g = 0; g < groups.size(); ++g) {
-    if (groups[g].empty()) continue;  // Missing port: stays zero.
-    float* dst = out.Row(g);
-    for (int32_t r : groups[g]) {
-      FKD_CHECK_GE(r, 0);
-      FKD_CHECK_LT(static_cast<size_t>(r), av.rows());
-      const float* src = av.Row(r);
-      for (size_t c = 0; c < d; ++c) dst[c] += src[c];
-    }
-    const float inv = 1.0f / static_cast<float>(groups[g].size());
-    for (size_t c = 0; c < d; ++c) dst[c] *= inv;
-  }
+  // Group-parallel: each group owns its output row, and its in-group sum
+  // keeps the member order of `groups[g]`, so chunking never changes bits.
+  ParallelKernel("autograd/group_mean", 0, groups.size(),
+                 std::max<size_t>(1, 4096 / std::max<size_t>(1, d)),
+                 [&](size_t begin, size_t end) {
+                   for (size_t g = begin; g < end; ++g) {
+                     if (groups[g].empty()) continue;  // Missing port: stays zero.
+                     float* dst = out.Row(g);
+                     for (int32_t r : groups[g]) {
+                       FKD_CHECK_GE(r, 0);
+                       FKD_CHECK_LT(static_cast<size_t>(r), av.rows());
+                       const float* src = av.Row(r);
+                       for (size_t c = 0; c < d; ++c) dst[c] += src[c];
+                     }
+                     const float inv =
+                         1.0f / static_cast<float>(groups[g].size());
+                     for (size_t c = 0; c < d; ++c) dst[c] *= inv;
+                   }
+                 });
   auto an = a.node();
   return MakeOp(std::move(out), {a}, "group_mean_rows",
                 [an, groups](Node& node) {

@@ -1,0 +1,53 @@
+#include "tensor/compute.h"
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace fkd {
+namespace detail {
+
+namespace {
+
+struct ComputeInstruments {
+  obs::Gauge* pool_threads;
+  obs::Counter* tasks;
+};
+
+ComputeInstruments& Instruments() {
+  static ComputeInstruments instruments = [] {
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+    return ComputeInstruments{
+        registry.GetGauge("fkd.compute.pool_threads"),
+        registry.GetCounter("fkd.compute.tasks"),
+    };
+  }();
+  return instruments;
+}
+
+}  // namespace
+
+bool ShouldParallelize(size_t begin, size_t end, size_t grain) {
+  if (end <= begin) return false;
+  if (ThreadPool::NumChunks(end - begin, grain) <= 1) return false;
+  if (ThreadPool::InWorker()) return false;
+  return ThreadPool::Global().num_threads() > 1;
+}
+
+void ParallelKernelImpl(const char* name, size_t begin, size_t end,
+                        size_t grain,
+                        const std::function<void(size_t, size_t)>& fn) {
+#if FKD_TRACING_ENABLED
+  obs::ScopedSpan span(name);
+#else
+  (void)name;
+#endif
+  ThreadPool& pool = ThreadPool::Global();
+  ComputeInstruments& instruments = Instruments();
+  instruments.pool_threads->Set(static_cast<double>(pool.num_threads()));
+  instruments.tasks->Increment(
+      static_cast<double>(ThreadPool::NumChunks(end - begin, grain)));
+  pool.ParallelFor(begin, end, grain, fn);
+}
+
+}  // namespace detail
+}  // namespace fkd

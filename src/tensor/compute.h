@@ -1,0 +1,54 @@
+#ifndef FKD_TENSOR_COMPUTE_H_
+#define FKD_TENSOR_COMPUTE_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace fkd {
+
+/// Instrumented front door to ThreadPool::Global() for the tensor kernels
+/// (and any layer above them): per-region trace spans behind
+/// FKD_ENABLE_TRACING plus the fkd.compute.* metrics, with a zero-erasure
+/// serial fast path so small tensors pay one predictable branch and no
+/// std::function allocation.
+///
+/// Determinism contract (see common/thread_pool.h): chunk boundaries depend
+/// only on (end - begin, grain). Kernels keep per-element reduction order
+/// fixed regardless of chunking, so outputs are bitwise-identical at any
+/// thread count — including the serial fast path.
+
+namespace detail {
+
+/// True when [begin, end) at `grain` would be dispatched to the pool
+/// (more than one chunk, spare threads, not nested in a pool worker).
+bool ShouldParallelize(size_t begin, size_t end, size_t grain);
+
+/// Slow path: trace span + metrics + pool dispatch.
+void ParallelKernelImpl(const char* name, size_t begin, size_t end,
+                        size_t grain,
+                        const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace detail
+
+/// Runs `fn(sub_begin, sub_end)` over disjoint subranges covering
+/// [begin, end), in parallel when worthwhile. `name` labels the trace span
+/// of the region and must be a string literal. `fn` must be thread-safe on
+/// disjoint ranges and must not care about chunk order.
+template <typename Fn>
+inline void ParallelKernel(const char* name, size_t begin, size_t end,
+                           size_t grain, Fn&& fn) {
+  if (!detail::ShouldParallelize(begin, end, grain)) {
+    if (end > begin) fn(begin, end);
+    return;
+  }
+  detail::ParallelKernelImpl(name, begin, end, grain,
+                             std::function<void(size_t, size_t)>(
+                                 std::forward<Fn>(fn)));
+}
+
+}  // namespace fkd
+
+#endif  // FKD_TENSOR_COMPUTE_H_

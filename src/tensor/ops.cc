@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
+
+#include "tensor/compute.h"
 
 namespace fkd {
 
@@ -18,6 +21,202 @@ OpDims DimsOf(const Tensor& t, bool transposed) {
   return {t.rows(), t.cols()};
 }
 
+/// Grain choices. Deterministic chunking only requires that grains are pure
+/// functions of problem size (never of thread count); values below target
+/// chunks of roughly 0.1-1 ms so the pool's per-chunk mutex claim is noise.
+constexpr size_t kEltwiseGrain = 1 << 15;   ///< elements per chunk
+constexpr size_t kGemmChunkFlops = 1 << 21; ///< ~2M mul-adds per row chunk
+
+size_t RowGrain(size_t cost_per_row) {
+  constexpr size_t kTargetChunkCost = 1 << 14;
+  return std::max<size_t>(1, kTargetChunkCost / std::max<size_t>(1, cost_per_row));
+}
+
+/// GEMM micro-kernel tile: kMR C-rows by kNR C-columns accumulate in
+/// registers across the whole k loop, so the inner loop issues one packed-B
+/// load and kMR fused multiply-adds per accumulator column instead of a
+/// load/add/store round trip through the C row. kNR = 16 floats is one
+/// AVX-512 register (two AVX2 registers); the SSE2 fallback spills some
+/// accumulators but stays correct.
+constexpr size_t kMR = 4;
+constexpr size_t kNR = 16;
+
+/// The row-chunk driver below is function-multiversioned: the portable
+/// binary carries AVX-512, AVX2+FMA and baseline clones of the blocked
+/// kernel and the dynamic loader picks the widest one the host supports.
+/// Clone choice is a pure function of the machine, never of thread count or
+/// run, so bitwise determinism across pool widths is unaffected. This is
+/// what lets a default (non -march=native) build beat the auto-vectorised
+/// SSE2 baseline on AVX hosts.
+/// Sanitizer builds skip multiversioning: the ifunc resolver runs before
+/// the sanitizer runtime is initialised and crashes at load time, and
+/// sanitizer jobs measure races, not GFLOPs.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define FKD_GEMM_NO_CLONES 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define FKD_GEMM_NO_CLONES 1
+#endif
+#endif
+#if !defined(FKD_GEMM_NO_CLONES) && defined(__x86_64__) && \
+    defined(__has_attribute)
+#if __has_attribute(target_clones)
+#define FKD_GEMM_CLONES \
+  __attribute__((target_clones("arch=x86-64-v4", "arch=x86-64-v3", "default")))
+#endif
+#endif
+#ifndef FKD_GEMM_CLONES
+#define FKD_GEMM_CLONES
+#endif
+
+/// The tile kernels must be forced inline into the multiversioned driver:
+/// left out-of-line they would compile once for the default ISA and every
+/// clone would call the same narrow code.
+#if defined(__GNUC__)
+#define FKD_GEMM_INLINE inline __attribute__((always_inline))
+#else
+#define FKD_GEMM_INLINE inline
+#endif
+
+/// Full-tile kernel with constexpr bounds: the compiler fully unrolls the
+/// kMR x kNR accumulator block into registers and vectorises the kNR loop.
+/// `bp` is one packed B panel: k rows of kNR contiguous floats (zero-padded
+/// past column jn). Writes C rows [i0,i0+kMR) x cols [j0,j0+jn).
+FKD_GEMM_INLINE void GemmMicroTile(const float* a, const float* bp, float* c,
+                                   size_t k, size_t n, size_t i0, size_t j0,
+                                   size_t jn, float alpha) {
+  float acc[kMR][kNR] = {};
+  const float* a0 = a + (i0 + 0) * k;
+  const float* a1 = a + (i0 + 1) * k;
+  const float* a2 = a + (i0 + 2) * k;
+  const float* a3 = a + (i0 + 3) * k;
+  for (size_t p = 0; p < k; ++p) {
+    const float* b_row = bp + p * kNR;
+    const float av0 = a0[p];
+    const float av1 = a1[p];
+    const float av2 = a2[p];
+    const float av3 = a3[p];
+    for (size_t j = 0; j < kNR; ++j) {
+      const float bv = b_row[j];
+      acc[0][j] += av0 * bv;
+      acc[1][j] += av1 * bv;
+      acc[2][j] += av2 * bv;
+      acc[3][j] += av3 * bv;
+    }
+  }
+  for (size_t r = 0; r < kMR; ++r) {
+    float* c_row = c + (i0 + r) * n + j0;
+    for (size_t j = 0; j < jn; ++j) c_row[j] += alpha * acc[r][j];
+  }
+}
+
+/// Row-remainder tile (mr < kMR rows). Accumulation order over p is
+/// identical to the full tile, so which kernel computes an element never
+/// changes its bits between runs.
+FKD_GEMM_INLINE void GemmEdgeTile(const float* a, const float* bp, float* c,
+                                  size_t k, size_t n, size_t i0, size_t mr,
+                                  size_t j0, size_t jn, float alpha) {
+  float acc[kMR][kNR] = {};
+  for (size_t p = 0; p < k; ++p) {
+    const float* b_row = bp + p * kNR;
+    for (size_t r = 0; r < mr; ++r) {
+      const float av = a[(i0 + r) * k + p];
+      for (size_t j = 0; j < kNR; ++j) acc[r][j] += av * b_row[j];
+    }
+  }
+  for (size_t r = 0; r < mr; ++r) {
+    float* c_row = c + (i0 + r) * n + j0;
+    for (size_t j = 0; j < jn; ++j) c_row[j] += alpha * acc[r][j];
+  }
+}
+
+/// Computes C rows [i0, i1) of C = beta*C + alpha * A * B. A is row-major
+/// m x k (lda == k); `bp` is panel-packed B (see PackBPanels). Looping
+/// panels outermost keeps one contiguous k x kNR panel of B hot in L1 while
+/// every row tile of the chunk streams through it.
+FKD_GEMM_CLONES
+void GemmRowChunk(const float* a, const float* bp, float* c, size_t k,
+                  size_t n, size_t i0, size_t i1, float alpha, float beta) {
+  for (size_t i = i0; i < i1; ++i) {
+    float* c_row = c + i * n;
+    if (beta == 0.0f) {
+      std::fill(c_row, c_row + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (size_t j = 0; j < n; ++j) c_row[j] *= beta;
+    }
+  }
+  const size_t num_panels = (n + kNR - 1) / kNR;
+  for (size_t q = 0; q < num_panels; ++q) {
+    const size_t j0 = q * kNR;
+    const size_t jn = std::min(kNR, n - j0);
+    const float* panel = bp + q * k * kNR;
+    size_t i = i0;
+    for (; i + kMR <= i1; i += kMR) {
+      GemmMicroTile(a, panel, c, k, n, i, j0, jn, alpha);
+    }
+    if (i < i1) GemmEdgeTile(a, panel, c, k, n, i, i1 - i, j0, jn, alpha);
+  }
+}
+
+/// Packs B (logically k x n, optionally stored transposed) into column
+/// panels of width kNR: panel q holds k rows of kNR contiguous floats
+/// covering columns [q*kNR, q*kNR+jn), zero-padded past jn. One pass over B
+/// per Gemm call (1/(2m) of the multiply work) turns every inner-loop B
+/// access into a contiguous L1-resident stream — including the old
+/// `bd[j * ldb + p]` strided column walk of the trans_b path.
+std::vector<float> PackBPanels(const float* b, size_t k, size_t n,
+                               bool trans) {
+  const size_t num_panels = (n + kNR - 1) / kNR;
+  std::vector<float> packed(num_panels * k * kNR, 0.0f);
+  float* dst = packed.data();
+  ParallelKernel("tensor/pack_b", 0, num_panels, RowGrain(k * kNR),
+                 [&](size_t begin, size_t end) {
+                   for (size_t q = begin; q < end; ++q) {
+                     const size_t j0 = q * kNR;
+                     const size_t jn = std::min(kNR, n - j0);
+                     float* panel = dst + q * k * kNR;
+                     if (!trans) {
+                       for (size_t p = 0; p < k; ++p) {
+                         const float* src = b + p * n + j0;
+                         float* out = panel + p * kNR;
+                         for (size_t j = 0; j < jn; ++j) out[j] = src[j];
+                       }
+                     } else {
+                       // Stored transposed: logical B(p, j) = b[j * k + p],
+                       // so each panel column is a contiguous source row.
+                       for (size_t j = 0; j < jn; ++j) {
+                         const float* src = b + (j0 + j) * k;
+                         for (size_t p = 0; p < k; ++p) {
+                           panel[p * kNR + j] = src[p];
+                         }
+                       }
+                     }
+                   }
+                 });
+  return packed;
+}
+
+/// Materialises the transpose of a row-major src_rows x src_cols matrix
+/// (row-parallel over the transposed rows). Packing once per call turns the
+/// strided column walks of transposed GEMM operands into the contiguous
+/// streams the blocked kernel wants.
+std::vector<float> PackTransposed(const float* src, size_t src_rows,
+                                  size_t src_cols) {
+  std::vector<float> packed(src_rows * src_cols);
+  float* dst = packed.data();
+  ParallelKernel("tensor/pack_b", 0, src_cols, RowGrain(src_rows),
+                 [&](size_t begin, size_t end) {
+                   for (size_t r = begin; r < end; ++r) {
+                     float* out_row = dst + r * src_rows;
+                     const float* in_col = src + r;
+                     for (size_t c = 0; c < src_rows; ++c) {
+                       out_row[c] = in_col[c * src_cols];
+                     }
+                   }
+                 });
+  return packed;
+}
+
 }  // namespace
 
 void Gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
@@ -32,36 +231,28 @@ void Gemm(bool trans_a, bool trans_b, float alpha, const Tensor& a,
   const size_t m = da.rows;
   const size_t k = da.cols;
   const size_t n = db.cols;
+  if (m == 0 || n == 0) return;
 
-  if (beta == 0.0f) {
-    c->SetZero();
-  } else if (beta != 1.0f) {
-    ScaleInPlace(beta, c);
-  }
-
-  // The four transpose layouts share an ikj ordering so that the innermost
-  // loop streams over contiguous memory of C (and of B when not transposed).
-  float* cd = c->data();
+  // A is packed to row-major m x k when stored transposed; B is always
+  // packed into contiguous kNR-wide column panels (either storage order
+  // feeds the same packing pass), so the blocked kernel never takes a
+  // strided walk through either operand.
+  std::vector<float> packed_a;
   const float* ad = a.data();
-  const float* bd = b.data();
-  const size_t lda = a.cols();
-  const size_t ldb = b.cols();
-
-  for (size_t i = 0; i < m; ++i) {
-    float* c_row = cd + i * n;
-    for (size_t p = 0; p < k; ++p) {
-      const float a_ip = trans_a ? ad[p * lda + i] : ad[i * lda + p];
-      if (a_ip == 0.0f) continue;
-      const float scaled = alpha * a_ip;
-      if (!trans_b) {
-        const float* b_row = bd + p * ldb;
-        for (size_t j = 0; j < n; ++j) c_row[j] += scaled * b_row[j];
-      } else {
-        // op(B)[p, j] = B[j, p]: strided column walk.
-        for (size_t j = 0; j < n; ++j) c_row[j] += scaled * bd[j * ldb + p];
-      }
-    }
+  if (trans_a) {
+    packed_a = PackTransposed(a.data(), a.rows(), a.cols());
+    ad = packed_a.data();
   }
+  const std::vector<float> packed_b = PackBPanels(b.data(), k, n, trans_b);
+  const float* bd = packed_b.data();
+
+  float* cd = c->data();
+  const size_t row_grain =
+      std::max<size_t>(1, kGemmChunkFlops / std::max<size_t>(1, n * std::max<size_t>(1, k)));
+  ParallelKernel("tensor/gemm", 0, m, row_grain,
+                 [&](size_t begin, size_t end) {
+                   GemmRowChunk(ad, bd, cd, k, n, begin, end, alpha, beta);
+                 });
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -88,14 +279,20 @@ void Gemv(bool trans_a, float alpha, const Tensor& a, const Tensor& x,
   float* yd = y->data();
   const float* xd = x.data();
   if (!trans_a) {
-    for (size_t i = 0; i < m; ++i) {
-      const float* row = a.Row(i);
-      double total = 0.0;
-      for (size_t j = 0; j < k; ++j) total += row[j] * xd[j];
-      yd[i] += alpha * static_cast<float>(total);
-    }
+    // Each output element owns its dot product: row-parallel, disjoint.
+    ParallelKernel("tensor/gemv", 0, m, RowGrain(k),
+                   [&](size_t begin, size_t end) {
+                     for (size_t i = begin; i < end; ++i) {
+                       const float* row = a.Row(i);
+                       double total = 0.0;
+                       for (size_t j = 0; j < k; ++j) total += row[j] * xd[j];
+                       yd[i] += alpha * static_cast<float>(total);
+                     }
+                   });
   } else {
-    // y += alpha * A^T x: stream over A's rows, scatter into y.
+    // y += alpha * A^T x scatters across all of y per input row; the
+    // r-ordered accumulation is the determinism contract, so this path
+    // stays serial (it is never a training hot spot).
     for (size_t r = 0; r < k; ++r) {
       const float* row = a.Row(r);
       const float scaled = alpha * xd[r];
@@ -110,18 +307,29 @@ void AxpyInPlace(float alpha, const Tensor& x, Tensor* y) {
   FKD_CHECK(x.shape() == y->shape());
   float* yd = y->data();
   const float* xd = x.data();
-  for (size_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+  ParallelKernel("tensor/axpy", 0, x.size(), kEltwiseGrain,
+                 [&](size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) yd[i] += alpha * xd[i];
+                 });
 }
 
 void ScaleInPlace(float scale, Tensor* y) {
   FKD_CHECK(y != nullptr);
   float* yd = y->data();
-  for (size_t i = 0; i < y->size(); ++i) yd[i] *= scale;
+  ParallelKernel("tensor/scale", 0, y->size(), kEltwiseGrain,
+                 [&](size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) yd[i] *= scale;
+                 });
 }
 
 Tensor Map(const Tensor& a, const std::function<float(float)>& f) {
   Tensor out(a.shape());
-  for (size_t i = 0; i < a.size(); ++i) out[i] = f(a[i]);
+  const float* ad = a.data();
+  float* od = out.data();
+  ParallelKernel("tensor/map", 0, a.size(), kEltwiseGrain,
+                 [&](size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) od[i] = f(ad[i]);
+                 });
   return out;
 }
 
@@ -129,29 +337,50 @@ Tensor ZipMap(const Tensor& a, const Tensor& b,
               const std::function<float(float, float)>& f) {
   FKD_CHECK(a.shape() == b.shape());
   Tensor out(a.shape());
-  for (size_t i = 0; i < a.size(); ++i) out[i] = f(a[i], b[i]);
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  ParallelKernel("tensor/zip_map", 0, a.size(), kEltwiseGrain,
+                 [&](size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) od[i] = f(ad[i], bd[i]);
+                 });
   return out;
 }
 
-Tensor Add(const Tensor& a, const Tensor& b) {
+namespace {
+
+/// Shared shape check + parallel elementwise binary loop (direct loop body,
+/// no per-element indirect call).
+template <typename Fn>
+Tensor BinaryEltwise(const Tensor& a, const Tensor& b, const char* name,
+                     Fn fn) {
   FKD_CHECK(a.shape() == b.shape());
   Tensor out(a.shape());
-  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out.data();
+  ParallelKernel(name, 0, a.size(), kEltwiseGrain,
+                 [&](size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) od[i] = fn(ad[i], bd[i]);
+                 });
   return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryEltwise(a, b, "tensor/add",
+                       [](float x, float y) { return x + y; });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  FKD_CHECK(a.shape() == b.shape());
-  Tensor out(a.shape());
-  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
-  return out;
+  return BinaryEltwise(a, b, "tensor/sub",
+                       [](float x, float y) { return x - y; });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  FKD_CHECK(a.shape() == b.shape());
-  Tensor out(a.shape());
-  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
-  return out;
+  return BinaryEltwise(a, b, "tensor/mul",
+                       [](float x, float y) { return x * y; });
 }
 
 Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row) {
@@ -159,58 +388,99 @@ Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row) {
   FKD_CHECK_EQ(row.size(), d);
   Tensor out = matrix;
   const float* rd = row.data();
-  for (size_t r = 0; r < matrix.rows(); ++r) {
-    float* out_row = out.Row(r);
-    for (size_t c = 0; c < d; ++c) out_row[c] += rd[c];
-  }
+  ParallelKernel("tensor/add_row", 0, matrix.rows(), RowGrain(d),
+                 [&](size_t begin, size_t end) {
+                   for (size_t r = begin; r < end; ++r) {
+                     float* out_row = out.Row(r);
+                     for (size_t c = 0; c < d; ++c) out_row[c] += rd[c];
+                   }
+                 });
   return out;
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  return Map(a, [](float x) {
-    if (x >= 0.0f) {
-      const float z = std::exp(-x);
-      return 1.0f / (1.0f + z);
-    }
-    const float z = std::exp(x);
-    return z / (1.0f + z);
-  });
+  Tensor out(a.shape());
+  const float* ad = a.data();
+  float* od = out.data();
+  ParallelKernel("tensor/sigmoid", 0, a.size(), kEltwiseGrain,
+                 [&](size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     const float x = ad[i];
+                     if (x >= 0.0f) {
+                       const float z = std::exp(-x);
+                       od[i] = 1.0f / (1.0f + z);
+                     } else {
+                       const float z = std::exp(x);
+                       od[i] = z / (1.0f + z);
+                     }
+                   }
+                 });
+  return out;
 }
 
 Tensor TanhT(const Tensor& a) {
-  return Map(a, [](float x) { return std::tanh(x); });
+  Tensor out(a.shape());
+  const float* ad = a.data();
+  float* od = out.data();
+  ParallelKernel("tensor/tanh", 0, a.size(), kEltwiseGrain,
+                 [&](size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) od[i] = std::tanh(ad[i]);
+                 });
+  return out;
 }
 
 Tensor Relu(const Tensor& a) {
-  return Map(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  Tensor out(a.shape());
+  const float* ad = a.data();
+  float* od = out.data();
+  ParallelKernel("tensor/relu", 0, a.size(), kEltwiseGrain,
+                 [&](size_t begin, size_t end) {
+                   for (size_t i = begin; i < end; ++i) {
+                     od[i] = ad[i] > 0.0f ? ad[i] : 0.0f;
+                   }
+                 });
+  return out;
 }
 
 Tensor SoftmaxRows(const Tensor& logits) {
   Tensor out(logits.rows(), logits.cols());
   const size_t k = logits.cols();
-  for (size_t r = 0; r < logits.rows(); ++r) {
-    const float* in_row = logits.Row(r);
-    float* out_row = out.Row(r);
-    float max_logit = in_row[0];
-    for (size_t c = 1; c < k; ++c) max_logit = std::max(max_logit, in_row[c]);
-    double total = 0.0;
-    for (size_t c = 0; c < k; ++c) {
-      out_row[c] = std::exp(in_row[c] - max_logit);
-      total += out_row[c];
-    }
-    const float inv = static_cast<float>(1.0 / total);
-    for (size_t c = 0; c < k; ++c) out_row[c] *= inv;
-  }
+  ParallelKernel("tensor/softmax", 0, logits.rows(), RowGrain(k),
+                 [&](size_t begin, size_t end) {
+                   for (size_t r = begin; r < end; ++r) {
+                     const float* in_row = logits.Row(r);
+                     float* out_row = out.Row(r);
+                     float max_logit = in_row[0];
+                     for (size_t c = 1; c < k; ++c) {
+                       max_logit = std::max(max_logit, in_row[c]);
+                     }
+                     double total = 0.0;
+                     for (size_t c = 0; c < k; ++c) {
+                       out_row[c] = std::exp(in_row[c] - max_logit);
+                       total += out_row[c];
+                     }
+                     const float inv = static_cast<float>(1.0 / total);
+                     for (size_t c = 0; c < k; ++c) out_row[c] *= inv;
+                   }
+                 });
   return out;
 }
 
 Tensor SumRowsTo(const Tensor& matrix) {
   Tensor out(1, matrix.cols());
   float* od = out.data();
-  for (size_t r = 0; r < matrix.rows(); ++r) {
-    const float* row = matrix.Row(r);
-    for (size_t c = 0; c < matrix.cols(); ++c) od[c] += row[c];
-  }
+  const size_t rows = matrix.rows();
+  const size_t cols = matrix.cols();
+  // Column-partitioned: each chunk owns a disjoint column slab and sums it
+  // over all rows in fixed row order, so the reduction order per output
+  // element never depends on the chunking.
+  ParallelKernel("tensor/sum_rows", 0, cols, RowGrain(rows),
+                 [&](size_t begin, size_t end) {
+                   for (size_t r = 0; r < rows; ++r) {
+                     const float* row = matrix.Row(r);
+                     for (size_t c = begin; c < end; ++c) od[c] += row[c];
+                   }
+                 });
   return out;
 }
 
@@ -223,15 +493,19 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     total_cols += part.cols();
   }
   Tensor out(n, total_cols);
-  for (size_t r = 0; r < n; ++r) {
-    float* out_row = out.Row(r);
-    size_t offset = 0;
-    for (const Tensor& part : parts) {
-      const float* in_row = part.Row(r);
-      std::copy(in_row, in_row + part.cols(), out_row + offset);
-      offset += part.cols();
-    }
-  }
+  ParallelKernel("tensor/concat_cols", 0, n, RowGrain(total_cols),
+                 [&](size_t begin, size_t end) {
+                   for (size_t r = begin; r < end; ++r) {
+                     float* out_row = out.Row(r);
+                     size_t offset = 0;
+                     for (const Tensor& part : parts) {
+                       const float* in_row = part.Row(r);
+                       std::copy(in_row, in_row + part.cols(),
+                                 out_row + offset);
+                       offset += part.cols();
+                     }
+                   }
+                 });
   return out;
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "tensor/autograd.h"
+#include "tensor/compute.h"
 
 namespace fkd {
 
@@ -85,16 +86,27 @@ Tensor CsrMatrix::MatMul(const Tensor& dense) const {
   FKD_CHECK_EQ(dense.rows(), cols_);
   const size_t n = dense.cols();
   Tensor out(rows_, n);
-  for (size_t r = 0; r < rows_; ++r) {
-    const auto indices = RowIndices(r);
-    const auto values = RowValues(r);
-    float* out_row = out.Row(r);
-    for (size_t k = 0; k < indices.size(); ++k) {
-      const float* dense_row = dense.Row(indices[k]);
-      const float v = values[k];
-      for (size_t j = 0; j < n; ++j) out_row[j] += v * dense_row[j];
-    }
-  }
+  // Row-parallel: each output row is a gather over that row's nonzeros, so
+  // chunks write disjoint rows and per-row accumulation order is fixed by
+  // the CSR layout regardless of chunking. Grain scales with the average
+  // per-row cost (nnz/rows * n) so sparse and near-dense matrices both get
+  // sensible chunk sizes.
+  const size_t avg_row_cost =
+      rows_ == 0 ? 1 : std::max<size_t>(1, nnz() * n / rows_);
+  const size_t grain = std::max<size_t>(1, (1 << 15) / avg_row_cost);
+  ParallelKernel("sparse/matmul", 0, rows_, grain,
+                 [&](size_t begin, size_t end) {
+                   for (size_t r = begin; r < end; ++r) {
+                     const auto indices = RowIndices(r);
+                     const auto values = RowValues(r);
+                     float* out_row = out.Row(r);
+                     for (size_t k = 0; k < indices.size(); ++k) {
+                       const float* dense_row = dense.Row(indices[k]);
+                       const float v = values[k];
+                       for (size_t j = 0; j < n; ++j) out_row[j] += v * dense_row[j];
+                     }
+                   }
+                 });
   return out;
 }
 
@@ -102,6 +114,10 @@ Tensor CsrMatrix::TransposedMatMul(const Tensor& dense) const {
   FKD_CHECK_EQ(dense.rows(), rows_);
   const size_t n = dense.cols();
   Tensor out(cols_, n);
+  // Scatter formulation: input row r writes to output rows indexed by its
+  // column ids, so rows of `out` are shared across input rows. Kept serial —
+  // the fixed r order is the determinism contract, and parallelising would
+  // need either atomics (non-deterministic order) or a CSC transpose.
   for (size_t r = 0; r < rows_; ++r) {
     const auto indices = RowIndices(r);
     const auto values = RowValues(r);

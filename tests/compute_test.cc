@@ -1,0 +1,527 @@
+// Parallel compute core tests: ThreadPool scheduling/coverage, bitwise
+// parity of every parallelised kernel across pool widths (the determinism
+// contract the checkpoint-resume suites depend on), blocked-GEMM
+// correctness against a straightforward reference, end-to-end training
+// determinism under FKD_NUM_THREADS, and a train-while-serve race case for
+// the TSan job.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+#include "core/fake_detector.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "nn/module.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+#include "tensor/autograd.h"
+#include "tensor/compute.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+
+namespace fkd {
+namespace {
+
+namespace fs = std::filesystem;
+namespace ag = autograd;
+
+/// Restores the env-derived global pool when a test that resizes it exits.
+class ScopedPool {
+ public:
+  explicit ScopedPool(size_t threads) { ThreadPool::ResetGlobal(threads); }
+  ~ScopedPool() { ThreadPool::ResetGlobal(0); }
+};
+
+// ---- ThreadPool scheduling ---------------------------------------------------
+
+TEST(ThreadPoolTest, NumChunksDependsOnlyOnRangeAndGrain) {
+  EXPECT_EQ(ThreadPool::NumChunks(0, 8), 0u);
+  EXPECT_EQ(ThreadPool::NumChunks(1, 8), 1u);
+  EXPECT_EQ(ThreadPool::NumChunks(8, 8), 1u);
+  EXPECT_EQ(ThreadPool::NumChunks(9, 8), 2u);
+  EXPECT_EQ(ThreadPool::NumChunks(100, 0), 100u);  // grain clamps to 1
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 2u, 5u}) {
+    ThreadPool pool(threads);
+    constexpr size_t kRange = 1337;
+    std::vector<std::atomic<int>> hits(kRange);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(0, kRange, 16, [&](size_t begin, size_t end) {
+      ASSERT_LT(begin, end);
+      ASSERT_LE(end, kRange);
+      for (size_t i = begin; i < end; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (size_t i = 0; i < kRange; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesFollowGrainAtAnyWidth) {
+  // Chunk boundaries must be begin + c*grain regardless of thread count.
+  for (size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::pair<size_t, size_t>> chunks;
+    pool.ParallelFor(10, 100, 24, [&](size_t begin, size_t end) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(begin, end);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    if (threads == 1) {
+      // Serial fallback: one covering call.
+      ASSERT_EQ(chunks.size(), 1u);
+      EXPECT_EQ(chunks[0], (std::pair<size_t, size_t>{10, 100}));
+    } else {
+      ASSERT_EQ(chunks.size(), 4u);
+      EXPECT_EQ(chunks[0], (std::pair<size_t, size_t>{10, 34}));
+      EXPECT_EQ(chunks[1], (std::pair<size_t, size_t>{34, 58}));
+      EXPECT_EQ(chunks[2], (std::pair<size_t, size_t>{58, 82}));
+      EXPECT_EQ(chunks[3], (std::pair<size_t, size_t>{82, 100}));
+    }
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> outer_hits{0};
+  std::atomic<int> inner_hits{0};
+  pool.ParallelFor(0, 8, 1, [&](size_t, size_t) {
+    outer_hits.fetch_add(1);
+    // Nested region: must complete (inline, no deadlock) and cover fully.
+    pool.ParallelFor(0, 4, 1, [&](size_t begin, size_t end) {
+      inner_hits.fetch_add(static_cast<int>(end - begin));
+    });
+  });
+  EXPECT_EQ(outer_hits.load(), 8);
+  EXPECT_EQ(inner_hits.load(), 8 * 4);
+}
+
+TEST(ThreadPoolTest, EnvOverrideSizesGlobalPool) {
+  ASSERT_EQ(setenv("FKD_NUM_THREADS", "3", 1), 0);
+  ThreadPool::ResetGlobal(0);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 3u);
+  ASSERT_EQ(setenv("FKD_NUM_THREADS", "not-a-number", 1), 0);
+  ThreadPool::ResetGlobal(0);
+  EXPECT_GE(ThreadPool::Global().num_threads(), 1u);
+  ASSERT_EQ(unsetenv("FKD_NUM_THREADS"), 0);
+  ThreadPool::ResetGlobal(0);
+}
+
+TEST(ThreadPoolTest, RegionAndTaskCountersAdvance) {
+  ScopedPool scoped(4);
+  ThreadPool& pool = ThreadPool::Global();
+  const uint64_t regions_before = pool.regions();
+  const uint64_t tasks_before = pool.tasks();
+  // Big enough that Gemm's flop-based grain yields multiple chunks (the
+  // serial fast path below the threshold bypasses pool and instruments).
+  Rng rng(3);
+  const Tensor a = Tensor::Randn(256, 256, &rng);
+  const Tensor b = Tensor::Randn(256, 256, &rng);
+  (void)MatMul(a, b);
+  EXPECT_GT(pool.regions(), regions_before);
+  EXPECT_GT(pool.tasks(), tasks_before);
+  // The instrumented wrapper mirrors pool shape/work into the registry.
+  EXPECT_EQ(obs::MetricsRegistry::Default()
+                .GetGauge("fkd.compute.pool_threads")
+                ->Value(),
+            4.0);
+  EXPECT_GT(obs::MetricsRegistry::Default()
+                .GetCounter("fkd.compute.tasks")
+                ->Value(),
+            0.0);
+}
+
+// ---- bitwise parity across pool widths --------------------------------------
+
+/// Runs `compute` under 1-, 2- and 8-thread global pools and expects exactly
+/// identical bits (Tensor::operator== compares raw floats).
+template <typename Fn>
+void ExpectBitwiseAcrossThreads(Fn compute, const char* what) {
+  ThreadPool::ResetGlobal(1);
+  const Tensor serial = compute();
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool::ResetGlobal(threads);
+    const Tensor parallel = compute();
+    EXPECT_TRUE(serial == parallel)
+        << what << " not bitwise reproducible at " << threads << " threads";
+  }
+  ThreadPool::ResetGlobal(0);
+}
+
+TEST(ComputeParityTest, GemmAllLayoutsAlphaBeta) {
+  Rng rng(41);
+  // Odd sizes on purpose: exercise every micro-kernel edge-tile path.
+  const Tensor a = Tensor::Randn(45, 33, &rng);
+  const Tensor b = Tensor::Randn(33, 29, &rng);
+  const Tensor at = a.Transposed();
+  const Tensor bt = b.Transposed();
+  const Tensor c0 = Tensor::Randn(45, 29, &rng);
+  struct Layout {
+    bool trans_a;
+    bool trans_b;
+    const Tensor* a;
+    const Tensor* b;
+    const char* name;
+  };
+  const Layout layouts[] = {{false, false, &a, &b, "NN"},
+                            {true, false, &at, &b, "TN"},
+                            {false, true, &a, &bt, "NT"},
+                            {true, true, &at, &bt, "TT"}};
+  for (const Layout& layout : layouts) {
+    ExpectBitwiseAcrossThreads(
+        [&] {
+          Tensor c = c0;
+          Gemm(layout.trans_a, layout.trans_b, 0.75f, *layout.a, *layout.b,
+               0.5f, &c);
+          return c;
+        },
+        layout.name);
+  }
+}
+
+TEST(ComputeParityTest, LargeGemmParity) {
+  Rng rng(43);
+  const Tensor a = Tensor::Randn(150, 70, &rng);
+  const Tensor b = Tensor::Randn(70, 110, &rng);
+  ExpectBitwiseAcrossThreads([&] { return MatMul(a, b); }, "150x70x110");
+}
+
+TEST(ComputeParityTest, ElementwiseKernels) {
+  Rng rng(47);
+  const Tensor a = Tensor::Randn(300, 240, &rng);
+  const Tensor b = Tensor::Randn(300, 240, &rng);
+  ExpectBitwiseAcrossThreads([&] { return Add(a, b); }, "Add");
+  ExpectBitwiseAcrossThreads([&] { return Sub(a, b); }, "Sub");
+  ExpectBitwiseAcrossThreads([&] { return Mul(a, b); }, "Mul");
+  ExpectBitwiseAcrossThreads([&] { return Sigmoid(a); }, "Sigmoid");
+  ExpectBitwiseAcrossThreads([&] { return TanhT(a); }, "Tanh");
+  ExpectBitwiseAcrossThreads([&] { return Relu(a); }, "Relu");
+  ExpectBitwiseAcrossThreads(
+      [&] { return Map(a, [](float x) { return x * 0.5f + 1.0f; }); }, "Map");
+  ExpectBitwiseAcrossThreads(
+      [&] {
+        return ZipMap(a, b, [](float x, float y) { return x * y - x; });
+      },
+      "ZipMap");
+  ExpectBitwiseAcrossThreads(
+      [&] {
+        Tensor y = a;
+        AxpyInPlace(0.25f, b, &y);
+        return y;
+      },
+      "Axpy");
+  ExpectBitwiseAcrossThreads(
+      [&] {
+        Tensor y = a;
+        ScaleInPlace(1.5f, &y);
+        return y;
+      },
+      "Scale");
+}
+
+TEST(ComputeParityTest, RowAndReductionKernels) {
+  Rng rng(53);
+  const Tensor m = Tensor::Randn(400, 70, &rng);
+  const Tensor row = Tensor::Randn(1, 70, &rng);
+  const Tensor x = Tensor::FromVector(std::vector<float>(70, 0.3f));
+  ExpectBitwiseAcrossThreads([&] { return SoftmaxRows(m); }, "SoftmaxRows");
+  ExpectBitwiseAcrossThreads([&] { return SumRowsTo(m); }, "SumRowsTo");
+  ExpectBitwiseAcrossThreads([&] { return AddRowBroadcast(m, row); },
+                             "AddRowBroadcast");
+  ExpectBitwiseAcrossThreads([&] { return ConcatCols({m, m}); }, "ConcatCols");
+  ExpectBitwiseAcrossThreads(
+      [&] {
+        Tensor y(std::vector<size_t>{400});
+        Gemv(false, 1.0f, m, x, 0.0f, &y);
+        return y;
+      },
+      "Gemv");
+}
+
+TEST(ComputeParityTest, SparseDense) {
+  Rng rng(59);
+  std::vector<CsrMatrix::Triplet> triplets;
+  for (size_t i = 0; i < 3000; ++i) {
+    triplets.push_back({static_cast<int32_t>(rng.UniformInt(uint64_t{500})),
+                        static_cast<int32_t>(rng.UniformInt(uint64_t{300})),
+                        static_cast<float>(rng.Normal())});
+  }
+  const CsrMatrix sparse = CsrMatrix::FromTriplets(500, 300, triplets);
+  const Tensor dense = Tensor::Randn(300, 40, &rng);
+  ExpectBitwiseAcrossThreads([&] { return sparse.MatMul(dense); },
+                             "CsrMatrix::MatMul");
+}
+
+TEST(ComputeParityTest, AutogradGatherAndGroupMean) {
+  Rng rng(61);
+  const Tensor source = Tensor::Randn(200, 30, &rng);
+  std::vector<int32_t> indices;
+  for (size_t i = 0; i < 300; ++i) {
+    indices.push_back(static_cast<int32_t>(rng.UniformInt(uint64_t{200})));
+  }
+  std::vector<std::vector<int32_t>> groups(120);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const size_t members = rng.UniformInt(uint64_t{6});
+    for (size_t j = 0; j < members; ++j) {
+      groups[g].push_back(static_cast<int32_t>(rng.UniformInt(uint64_t{200})));
+    }
+  }
+  ExpectBitwiseAcrossThreads(
+      [&] {
+        return ag::GatherRows(ag::Variable(source), indices).value();
+      },
+      "GatherRows");
+  ExpectBitwiseAcrossThreads(
+      [&] {
+        return ag::GroupMeanRows(ag::Variable(source), groups).value();
+      },
+      "GroupMeanRows");
+}
+
+TEST(ComputeParityTest, BackwardGradientsBitwise) {
+  Rng rng(67);
+  const Tensor wv = Tensor::Randn(40, 5, &rng);
+  const Tensor xv = Tensor::Randn(90, 40, &rng);
+  std::vector<int32_t> labels;
+  for (size_t i = 0; i < 90; ++i) {
+    labels.push_back(static_cast<int32_t>(rng.UniformInt(uint64_t{5})));
+  }
+  ExpectBitwiseAcrossThreads(
+      [&] {
+        ag::Variable w(wv, /*requires_grad=*/true, "w");
+        ag::Variable x(xv);
+        const ag::Variable loss =
+            ag::SoftmaxCrossEntropy(ag::MatMul(x, w), labels);
+        ag::Backward(loss);
+        return w.grad();
+      },
+      "MatMul backward");
+}
+
+// ---- blocked GEMM correctness -----------------------------------------------
+
+TEST(ComputeCorrectnessTest, GemmMatchesReferenceAllLayouts) {
+  ScopedPool scoped(4);
+  Rng rng(71);
+  const size_t m = 37, k = 23, n = 31;
+  const Tensor a = Tensor::Randn(m, k, &rng);
+  const Tensor b = Tensor::Randn(k, n, &rng);
+  const Tensor at = a.Transposed();
+  const Tensor bt = b.Transposed();
+  const Tensor c0 = Tensor::Randn(m, n, &rng);
+  const float alpha = 1.25f, beta = 0.5f;
+
+  // Double-accumulated reference: C = beta*C0 + alpha*A*B.
+  Tensor want = c0;
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      double total = 0.0;
+      for (size_t p = 0; p < k; ++p) total += a.At(i, p) * b.At(p, j);
+      want.At(i, j) = beta * c0.At(i, j) + alpha * static_cast<float>(total);
+    }
+  }
+  const bool layouts[4][2] = {{false, false}, {true, false}, {false, true},
+                              {true, true}};
+  for (const auto& layout : layouts) {
+    Tensor c = c0;
+    Gemm(layout[0], layout[1], alpha, layout[0] ? at : a, layout[1] ? bt : b,
+         beta, &c);
+    EXPECT_TRUE(c.AllClose(want, 1e-3f))
+        << "layout trans_a=" << layout[0] << " trans_b=" << layout[1];
+  }
+}
+
+TEST(ComputeCorrectnessTest, GemmZeroSizedEdges) {
+  ScopedPool scoped(4);
+  // k == 0: C must collapse to beta * C.
+  const Tensor a(3, 0);
+  const Tensor b(0, 4);
+  Tensor c = Tensor::Full(3, 4, 2.0f);
+  Gemm(false, false, 1.0f, a, b, 0.5f, &c);
+  EXPECT_TRUE(c.AllClose(Tensor::Full(3, 4, 1.0f)));
+}
+
+// ---- end-to-end training determinism ----------------------------------------
+
+core::FakeDetectorConfig TinyConfig() {
+  core::FakeDetectorConfig config;
+  config.epochs = 4;
+  config.explicit_words = 20;
+  config.latent_vocabulary = 60;
+  config.hflu.max_sequence_length = 8;
+  config.hflu.gru_hidden = 6;
+  config.hflu.latent_dim = 6;
+  config.hflu.embed_dim = 6;
+  config.gdu_hidden = 8;
+  return config;
+}
+
+struct TrainFixture {
+  data::Dataset dataset;
+  graph::HeterogeneousGraph graph;
+  eval::TrainContext context;
+  std::vector<int32_t> train_articles, train_creators, train_subjects;
+};
+
+const TrainFixture& Fixture() {
+  static TrainFixture* fixture = [] {
+    auto dataset =
+        data::GeneratePolitiFact(data::GeneratorOptions::Scaled(40, 36));
+    FKD_CHECK_OK(dataset.status());
+    auto graph = dataset.value().BuildGraph();
+    FKD_CHECK_OK(graph.status());
+    auto* f = new TrainFixture{std::move(dataset).value(),
+                               std::move(graph).value(),
+                               {},
+                               {},
+                               {},
+                               {}};
+    Rng rng(123);
+    auto splits = data::KFoldTriSplits(f->dataset.articles.size(),
+                                       f->dataset.creators.size(),
+                                       f->dataset.subjects.size(), 4, &rng);
+    FKD_CHECK_OK(splits.status());
+    f->train_articles = splits.value()[0].articles.train;
+    f->train_creators = splits.value()[0].creators.train;
+    f->train_subjects = splits.value()[0].subjects.train;
+    f->context.dataset = &f->dataset;
+    f->context.graph = &f->graph;
+    f->context.train_articles = f->train_articles;
+    f->context.train_creators = f->train_creators;
+    f->context.train_subjects = f->train_subjects;
+    f->context.granularity = eval::LabelGranularity::kBinary;
+    f->context.seed = 11;
+    return f;
+  }();
+  return *fixture;
+}
+
+std::unique_ptr<core::FakeDetector> TrainDetector(
+    const core::FakeDetectorConfig& config) {
+  auto detector = std::make_unique<core::FakeDetector>(config);
+  FKD_CHECK_OK(detector->Train(Fixture().context));
+  return detector;
+}
+
+void ExpectSameWeights(const core::FakeDetector& a,
+                       const core::FakeDetector& b) {
+  std::vector<nn::NamedParameter> pa, pb;
+  a.model()->CollectParameters("", &pa);
+  b.model()->CollectParameters("", &pb);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].name, pb[i].name);
+    const Tensor& ta = pa[i].variable.value();
+    const Tensor& tb = pb[i].variable.value();
+    ASSERT_EQ(ta.shape(), tb.shape()) << pa[i].name;
+    EXPECT_EQ(std::memcmp(ta.data(), tb.data(), ta.size() * sizeof(float)), 0)
+        << "parameter " << pa[i].name << " drifted";
+  }
+  const Tensor& sa = a.frozen_creator_states();
+  const Tensor& sb = b.frozen_creator_states();
+  ASSERT_EQ(sa.shape(), sb.shape());
+  EXPECT_EQ(std::memcmp(sa.data(), sb.data(), sa.size() * sizeof(float)), 0);
+}
+
+TEST(ComputeDeterminismTest, TrainingBitwiseAcrossThreadCounts) {
+  ThreadPool::ResetGlobal(1);
+  auto serial = TrainDetector(TinyConfig());
+  ThreadPool::ResetGlobal(4);
+  auto parallel = TrainDetector(TinyConfig());
+  ThreadPool::ResetGlobal(0);
+  ExpectSameWeights(*serial, *parallel);
+}
+
+TEST(ComputeDeterminismTest, CheckpointResumeUnderFkdNumThreads) {
+  // Reference: uninterrupted single-threaded run.
+  ThreadPool::ResetGlobal(1);
+  auto reference = TrainDetector(TinyConfig());
+
+  // Interrupted + resumed run under FKD_NUM_THREADS=4 (env-sized pool, the
+  // path a production restart takes) must land on the same bits.
+  ASSERT_EQ(setenv("FKD_NUM_THREADS", "4", 1), 0);
+  ThreadPool::ResetGlobal(0);
+  ASSERT_EQ(ThreadPool::Global().num_threads(), 4u);
+  const std::string ckpt_dir =
+      (fs::temp_directory_path() /
+       ("fkd_compute_resume_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(ckpt_dir);
+  core::FakeDetectorConfig config = TinyConfig();
+  config.checkpoint_dir = ckpt_dir;
+  core::FakeDetectorConfig first_leg = config;
+  first_leg.epochs = 2;
+  auto interrupted = TrainDetector(first_leg);
+  ASSERT_TRUE(fs::exists(ckpt_dir + "/ckpt-2"));
+  auto resumed = TrainDetector(config);
+
+  ASSERT_EQ(unsetenv("FKD_NUM_THREADS"), 0);
+  ThreadPool::ResetGlobal(0);
+  ExpectSameWeights(*reference, *resumed);
+  fs::remove_all(ckpt_dir);
+}
+
+// ---- pool/engine interaction (raced under TSan) -----------------------------
+
+TEST(ComputeConcurrencyTest, TrainWhileServe) {
+  ScopedPool scoped(4);
+  auto trained = TrainDetector(TinyConfig());
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("fkd_compute_serve_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+  ASSERT_TRUE(serve::ExportSnapshot(*trained, dir).ok());
+  auto loaded = serve::LoadSnapshot(dir);
+  ASSERT_TRUE(loaded.ok());
+  auto snapshot =
+      std::make_shared<const serve::Snapshot>(std::move(loaded).value());
+
+  serve::EngineOptions options;
+  options.num_workers = 2;
+  options.max_batch_size = 8;
+  options.max_batch_delay_us = 200;
+  serve::InferenceEngine engine(snapshot, options);
+  ASSERT_TRUE(engine.Start().ok());
+
+  // Serving workers and this thread's trainer now submit kernel chunks to
+  // the same global pool concurrently.
+  std::vector<serve::ClassificationFuture> futures;
+  for (size_t i = 0; i < 48; ++i) {
+    serve::ArticleRequest request;
+    request.text = Fixture().dataset.articles[i % 40].text;
+    auto submitted = engine.Submit(std::move(request));
+    ASSERT_TRUE(submitted.ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  auto concurrent = TrainDetector(TinyConfig());
+  size_t served = 0;
+  for (auto& future : futures) {
+    auto result = future.get();
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result.value().class_id, 0);
+    ++served;
+  }
+  engine.Stop();
+  EXPECT_EQ(served, futures.size());
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace fkd
