@@ -1,0 +1,222 @@
+// Router bench: cold (engine forward) vs cache-hit latency through the
+// serving router, plus the cost of a live hot-swap. Trains a small
+// detector once, exports + reloads a snapshot through the
+// VersionedModelStore, then measures three paths end to end:
+//
+//   cold  — distinct articles, every request runs the micro-batched GDU
+//           forward on an engine replica;
+//   hit   — the same articles resubmitted, fulfilled from the sharded LRU
+//           score cache without any forward pass;
+//   swap  — Publish() of a freshly loaded version while idle, i.e. the
+//           fleet build + pointer switch + old-generation drain.
+//
+// The committed BENCH_serve_router.json records the cache-hit speedup the
+// score cache is expected to deliver (the PR gate is hit-path mean latency
+// at least 5x below the cold forward pass).
+//
+//   ./bench_serve_router [--articles=120] [--requests=200] [--swaps=5]
+//                        [--json=/path/BENCH_serve_router.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/logging.h"
+#include "core/fake_detector.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "serve/model_store.h"
+#include "serve/router.h"
+#include "serve/snapshot.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct LatencySummary {
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+LatencySummary Summarize(std::vector<double> latencies) {
+  LatencySummary out;
+  if (latencies.empty()) return out;
+  std::sort(latencies.begin(), latencies.end());
+  double sum = 0.0;
+  for (double v : latencies) sum += v;
+  out.mean_us = sum / static_cast<double>(latencies.size());
+  out.p50_us = latencies[latencies.size() / 2];
+  out.p99_us = latencies[(latencies.size() * 99) / 100];
+  return out;
+}
+
+/// Submits each request and blocks on its future; returns per-request
+/// end-to-end latencies in microseconds.
+std::vector<double> DriveSequential(fkd::serve::Router* router,
+                                    const std::vector<std::string>& texts,
+                                    bool expect_cached) {
+  std::vector<double> latencies;
+  latencies.reserve(texts.size());
+  for (const auto& text : texts) {
+    fkd::serve::ArticleRequest request;
+    request.text = text;
+    const Clock::time_point start = Clock::now();
+    auto submitted = router->Submit(std::move(request));
+    FKD_CHECK_OK(submitted.status());
+    auto result = submitted.value().get();
+    FKD_CHECK_OK(result.status());
+    latencies.push_back(std::chrono::duration<double, std::micro>(
+                            Clock::now() - start)
+                            .count());
+    FKD_CHECK(result.value().from_cache == expect_cached)
+        << "unexpected cache state for \"" << text.substr(0, 24) << "...\"";
+  }
+  return latencies;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fkd::FlagParser flags;
+  flags.AddInt("articles", 120, "synthetic training corpus size");
+  flags.AddInt("train-epochs", 6, "training epochs before export");
+  flags.AddInt("requests", 200, "distinct articles driven cold then warm");
+  flags.AddInt("swaps", 5, "hot swaps timed at the end");
+  flags.AddString("json", "", "write the summary JSON here");
+  fkd::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return parsed.code() == fkd::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+
+  auto dataset = fkd::data::GeneratePolitiFact(
+      fkd::data::GeneratorOptions::Scaled(
+          static_cast<size_t>(flags.GetInt("articles")), 55));
+  FKD_CHECK_OK(dataset.status());
+  auto graph = dataset.value().BuildGraph();
+  FKD_CHECK_OK(graph.status());
+
+  fkd::Rng rng(77);
+  auto splits = fkd::data::KFoldTriSplits(dataset.value().articles.size(),
+                                          dataset.value().creators.size(),
+                                          dataset.value().subjects.size(), 5,
+                                          &rng);
+  FKD_CHECK_OK(splits.status());
+
+  fkd::core::FakeDetectorConfig config;
+  config.epochs = static_cast<size_t>(flags.GetInt("train-epochs"));
+  config.explicit_words = 60;
+  config.latent_vocabulary = 200;
+  config.hflu.max_sequence_length = 12;
+  config.hflu.gru_hidden = 16;
+  config.hflu.latent_dim = 12;
+  config.hflu.embed_dim = 12;
+  config.gdu_hidden = 24;
+  config.verbose = false;
+
+  fkd::eval::TrainContext context;
+  context.dataset = &dataset.value();
+  context.graph = &graph.value();
+  context.train_articles = splits.value()[0].articles.train;
+  context.train_creators = splits.value()[0].creators.train;
+  context.train_subjects = splits.value()[0].subjects.train;
+  context.granularity = fkd::eval::LabelGranularity::kBinary;
+  context.seed = 7;
+
+  fkd::core::FakeDetector detector(config);
+  FKD_CHECK_OK(detector.Train(context));
+
+  const std::string snapshot_dir =
+      (std::filesystem::temp_directory_path() / "fkd_bench_router_snapshot")
+          .string();
+  FKD_CHECK_OK(fkd::serve::ExportSnapshot(detector, snapshot_dir));
+
+  fkd::serve::VersionedModelStore store;
+  auto initial = store.Load(snapshot_dir);
+  FKD_CHECK_OK(initial.status());
+
+  // Distinct request texts: article text + a unique suffix, so the cold
+  // pass never accidentally hits and the warm pass always does.
+  const size_t num_requests = static_cast<size_t>(flags.GetInt("requests"));
+  std::vector<std::string> texts;
+  texts.reserve(num_requests);
+  for (size_t i = 0; i < num_requests; ++i) {
+    texts.push_back(
+        dataset.value().articles[i % dataset.value().articles.size()].text +
+        " #" + std::to_string(i));
+  }
+
+  fkd::serve::RouterOptions options;
+  options.num_replicas = 2;
+  options.engine.num_workers = 1;
+  options.engine.max_batch_delay_us = 0;
+  options.cache_capacity = 2 * num_requests;
+  options.canary_permille = 0;
+  fkd::serve::Router router(options);
+  FKD_CHECK_OK(router.Start(std::move(initial).value()));
+
+  const LatencySummary cold = Summarize(DriveSequential(&router, texts, false));
+  const LatencySummary hit = Summarize(DriveSequential(&router, texts, true));
+  const double speedup = hit.mean_us > 0.0 ? cold.mean_us / hit.mean_us : 0.0;
+
+  // Hot swaps while idle: fleet build + switch + drain, per publish.
+  const size_t num_swaps = static_cast<size_t>(flags.GetInt("swaps"));
+  std::vector<double> swap_us;
+  for (size_t s = 0; s < num_swaps; ++s) {
+    auto model = store.Load(snapshot_dir);
+    FKD_CHECK_OK(model.status());
+    const Clock::time_point start = Clock::now();
+    FKD_CHECK_OK(router.Publish(std::move(model).value()));
+    swap_us.push_back(std::chrono::duration<double, std::micro>(
+                          Clock::now() - start)
+                          .count());
+  }
+  const LatencySummary swap = Summarize(swap_us);
+  const fkd::serve::RouterStats stats = router.Stats();
+  router.Stop();
+
+  std::printf("requests per pass: %zu\n", num_requests);
+  std::printf("%8s %12s %12s %12s\n", "path", "mean_us", "p50_us", "p99_us");
+  std::printf("%8s %12.1f %12.1f %12.1f\n", "cold", cold.mean_us, cold.p50_us,
+              cold.p99_us);
+  std::printf("%8s %12.1f %12.1f %12.1f\n", "hit", hit.mean_us, hit.p50_us,
+              hit.p99_us);
+  std::printf("%8s %12.1f %12.1f %12.1f\n", "swap", swap.mean_us, swap.p50_us,
+              swap.p99_us);
+  std::printf("cache-hit speedup (cold mean / hit mean): %.1fx\n", speedup);
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    std::ofstream json(json_path, std::ios::trunc);
+    FKD_CHECK(json.good()) << "cannot open " << json_path;
+    json << "{\n"
+         << "  \"bench\": \"serve_router\",\n"
+         << "  \"hardware_concurrency\": "
+         << std::thread::hardware_concurrency() << ",\n"
+         << "  \"requests_per_pass\": " << num_requests << ",\n"
+         << "  \"replicas\": " << options.num_replicas << ",\n"
+         << "  \"cold\": {\"mean_us\": " << cold.mean_us
+         << ", \"p50_us\": " << cold.p50_us << ", \"p99_us\": " << cold.p99_us
+         << "},\n"
+         << "  \"cache_hit\": {\"mean_us\": " << hit.mean_us
+         << ", \"p50_us\": " << hit.p50_us << ", \"p99_us\": " << hit.p99_us
+         << "},\n"
+         << "  \"cache_hit_speedup\": " << speedup << ",\n"
+         << "  \"hot_swap\": {\"count\": " << num_swaps
+         << ", \"mean_us\": " << swap.mean_us << ", \"p50_us\": " << swap.p50_us
+         << ", \"p99_us\": " << swap.p99_us << "},\n"
+         << "  \"cache\": {\"hits\": " << stats.cache.hits
+         << ", \"misses\": " << stats.cache.misses
+         << ", \"size\": " << stats.cache.size << "}\n"
+         << "}\n";
+  }
+  return speedup >= 5.0 ? 0 : 2;
+}

@@ -1,9 +1,14 @@
 // Serving walk-through: train a detector on a synthetic corpus, freeze it
-// into a snapshot directory, reload the snapshot as a fresh process restart
-// would, start the micro-batching InferenceEngine, push synthetic traffic
-// through it, and dump the fkd.serve.* metrics the engine recorded.
+// into a snapshot directory, reload the snapshot through the versioned
+// model store as a fresh process restart would, bring up the serving
+// Router (replicated micro-batching engines + score cache), push synthetic
+// traffic through it, then exercise the operational moves — canary a
+// second version on a traffic slice, promote it, and hot-swap a third
+// version live — and dump the fkd.serve.* metrics recorded along the way.
 //
 //   ./serve_pipeline [--articles=200] [--requests=60] [--workers=2]
+//
+// FKD_CANARY_PCT=<percent> sets the default canary traffic share.
 
 #include <cstdio>
 #include <filesystem>
@@ -17,7 +22,8 @@
 #include "data/generator.h"
 #include "data/split.h"
 #include "obs/metrics.h"
-#include "serve/engine.h"
+#include "serve/model_store.h"
+#include "serve/router.h"
 #include "serve/snapshot.h"
 
 int main(int argc, char** argv) {
@@ -76,23 +82,31 @@ int main(int argc, char** argv) {
   FKD_CHECK_OK(fkd::serve::ExportSnapshot(detector, snapshot_dir));
   std::printf("exported snapshot to %s\n", snapshot_dir.c_str());
 
-  // 3. Reload — from here on only the snapshot directory is used, exactly
-  // like an inference process restarting on another machine.
-  auto loaded = fkd::serve::LoadSnapshot(snapshot_dir);
-  FKD_CHECK_OK(loaded.status());
-  auto snapshot = std::make_shared<const fkd::serve::Snapshot>(
-      std::move(loaded).value());
-  std::printf("reloaded: %zu classes, %zu frozen creators, %zu frozen subjects\n\n",
-              snapshot->num_classes, snapshot->creator_states.rows(),
-              snapshot->subject_states.rows());
+  // 3. Reload through the versioned model store — from here on only the
+  // snapshot directory is used, exactly like an inference process
+  // restarting on another machine. Each Load() is an immutable version.
+  fkd::serve::VersionedModelStore store;
+  auto v1 = store.Load(snapshot_dir);
+  FKD_CHECK_OK(v1.status());
+  FKD_CHECK_OK(store.Publish(v1.value()->version));
+  std::printf("loaded version %llu: %zu classes, %zu frozen creators, "
+              "%zu frozen subjects\n\n",
+              static_cast<unsigned long long>(v1.value()->version),
+              v1.value()->snapshot->num_classes,
+              v1.value()->snapshot->creator_states.rows(),
+              v1.value()->snapshot->subject_states.rows());
 
-  // 4. Serve synthetic traffic through the micro-batching engine.
-  fkd::serve::EngineOptions options;
-  options.num_workers = static_cast<size_t>(flags.GetInt("workers"));
-  options.max_batch_size = 8;
-  options.max_batch_delay_us = 1000;
-  fkd::serve::InferenceEngine engine(snapshot, options);
-  FKD_CHECK_OK(engine.Start());
+  // 4. Serve synthetic traffic through the router: replicated
+  // micro-batching engines behind consistent-hash placement and a sharded
+  // LRU score cache. The corpus repeats, so the second half of the traffic
+  // is mostly cache hits.
+  fkd::serve::RouterOptions options;
+  options.num_replicas = 2;
+  options.engine.num_workers = static_cast<size_t>(flags.GetInt("workers"));
+  options.engine.max_batch_size = 8;
+  options.engine.max_batch_delay_us = 1000;
+  fkd::serve::Router router(options);
+  FKD_CHECK_OK(router.Start(v1.value()));
 
   const size_t num_requests = static_cast<size_t>(flags.GetInt("requests"));
   std::vector<fkd::serve::ClassificationFuture> futures;
@@ -101,7 +115,7 @@ int main(int argc, char** argv) {
         dataset.value().articles[i % dataset.value().articles.size()];
     fkd::serve::ArticleRequest request;
     request.text = article.text;
-    auto submitted = engine.Submit(std::move(request));
+    auto submitted = router.Submit(std::move(request));
     FKD_CHECK_OK(submitted.status());
     futures.push_back(std::move(submitted).value());
   }
@@ -111,21 +125,66 @@ int main(int argc, char** argv) {
     FKD_CHECK_OK(result.status());
     if (shown < 5) {  // print the first few classifications
       const fkd::serve::Classification& c = result.value();
-      std::printf("request %zu -> %-13s (p=%.3f, batch of %zu, %.0f us)\n", i,
+      std::printf("request %zu -> %-13s (p=%.3f, v%llu%s, %.0f us)\n", i,
                   c.class_name.c_str(), c.probabilities[c.class_id],
-                  c.batch_size, c.total_us);
+                  static_cast<unsigned long long>(c.model_version),
+                  c.from_cache ? ", cached" : "", c.total_us);
       ++shown;
     }
   }
-  engine.Stop();
+  // Same traffic again: every request is now a score-cache hit — no
+  // forward pass, microsecond latency.
+  for (size_t i = 0; i < num_requests; ++i) {
+    const auto& article =
+        dataset.value().articles[i % dataset.value().articles.size()];
+    fkd::serve::ArticleRequest request;
+    request.text = article.text;
+    auto submitted = router.Submit(std::move(request));
+    FKD_CHECK_OK(submitted.status());
+    FKD_CHECK_OK(submitted.value().get().status());
+  }
+  {
+    const fkd::serve::RouterStats stats = router.Stats();
+    std::printf("\nserved %llu requests (%llu cache hits, %llu misses)\n",
+                static_cast<unsigned long long>(stats.submitted),
+                static_cast<unsigned long long>(stats.cache_hits),
+                static_cast<unsigned long long>(stats.cache_misses));
+  }
 
-  const fkd::serve::EngineStats stats = engine.Stats();
-  std::printf("\nserved %llu requests in %llu batches (%llu rejected)\n",
-              static_cast<unsigned long long>(stats.completed),
-              static_cast<unsigned long long>(stats.batches),
-              static_cast<unsigned long long>(stats.rejected));
+  // 5. Operational moves, all without dropping a request: canary a second
+  // version on 25% of traffic, promote it, then hot-swap a third version.
+  auto v2 = store.Load(snapshot_dir);
+  FKD_CHECK_OK(v2.status());
+  FKD_CHECK_OK(router.StartCanary(v2.value(), 250));
+  std::printf("\ncanary: version %llu on 25%% of request keys\n",
+              static_cast<unsigned long long>(v2.value()->version));
+  for (size_t i = 0; i < 20; ++i) {
+    fkd::serve::ArticleRequest request;
+    request.text = dataset.value().articles[i].text + " (canary probe)";
+    auto submitted = router.Submit(std::move(request));
+    FKD_CHECK_OK(submitted.status());
+    FKD_CHECK_OK(submitted.value().get().status());
+  }
+  {
+    const fkd::serve::RouterStats stats = router.Stats();
+    std::printf("canary served %llu of the probes; promoting\n",
+                static_cast<unsigned long long>(stats.canary_requests));
+  }
+  FKD_CHECK_OK(router.PromoteCanary());
+  FKD_CHECK_OK(store.Publish(v2.value()->version));
+  FKD_CHECK_OK(store.Retire(v1.value()->version));
 
-  // 5. The engine's own telemetry.
+  auto v3 = store.Load(snapshot_dir);
+  FKD_CHECK_OK(v3.status());
+  FKD_CHECK_OK(router.Publish(v3.value()));
+  FKD_CHECK_OK(store.Publish(v3.value()->version));
+  FKD_CHECK_OK(store.Retire(v2.value()->version));
+  std::printf("hot-swapped to version %llu (router active: %llu)\n",
+              static_cast<unsigned long long>(v3.value()->version),
+              static_cast<unsigned long long>(router.active_version()));
+  router.Stop();
+
+  // 6. The serving telemetry.
   std::printf("\nfkd.serve.* metrics:\n");
   const std::string text = fkd::obs::MetricsRegistry::Default().ExportText();
   for (size_t pos = 0; pos < text.size();) {

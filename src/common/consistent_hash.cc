@@ -1,0 +1,91 @@
+#include "common/consistent_hash.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fkd {
+
+uint64_t Hash64(const void* data, size_t size) {
+  // FNV-1a, 64-bit.
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 14695981039346656037ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+uint64_t Hash64Mix(uint64_t seed, uint64_t value) {
+  // splitmix64 finalizer over the xor'd pair: cheap, well-distributed, and
+  // (unlike a plain xor) sensitive to the order of mixed-in values.
+  uint64_t z = seed ^ (value + 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+uint64_t VnodePosition(uint64_t node_id, size_t replica) {
+  return Hash64Mix(Hash64Mix(0x5ca1ab1eull, node_id),
+                   static_cast<uint64_t>(replica));
+}
+
+}  // namespace
+
+ConsistentHashRing::ConsistentHashRing(size_t vnodes_per_node)
+    : vnodes_per_node_(vnodes_per_node == 0 ? 1 : vnodes_per_node) {}
+
+void ConsistentHashRing::AddNode(uint64_t node_id) {
+  if (HasNode(node_id)) return;
+  for (size_t r = 0; r < vnodes_per_node_; ++r) {
+    uint64_t position = VnodePosition(node_id, r);
+    // Collisions between distinct nodes' points are astronomically rare
+    // but would silently drop a vnode; probe to the next free position so
+    // every node keeps exactly vnodes_per_node_ points.
+    while (ring_.count(position) != 0) ++position;
+    ring_.emplace(position, node_id);
+  }
+  ++num_nodes_;
+}
+
+void ConsistentHashRing::RemoveNode(uint64_t node_id) {
+  if (!HasNode(node_id)) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == node_id) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  --num_nodes_;
+}
+
+bool ConsistentHashRing::HasNode(uint64_t node_id) const {
+  for (const auto& [position, node] : ring_) {
+    if (node == node_id) return true;
+  }
+  return false;
+}
+
+uint64_t ConsistentHashRing::Pick(uint64_t key_hash) const {
+  FKD_CHECK(!ring_.empty()) << "Pick on an empty consistent-hash ring";
+  auto it = ring_.lower_bound(key_hash);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<uint64_t> ConsistentHashRing::Nodes() const {
+  std::vector<uint64_t> nodes;
+  for (const auto& [position, node] : ring_) {
+    if (nodes.empty() || nodes.back() != node) nodes.push_back(node);
+  }
+  // Ring order interleaves nodes; dedupe via sort.
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+}  // namespace fkd

@@ -1,0 +1,71 @@
+#ifndef FKD_COMMON_CONSISTENT_HASH_H_
+#define FKD_COMMON_CONSISTENT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string_view>
+#include <vector>
+
+namespace fkd {
+
+/// 64-bit FNV-1a over raw bytes — a fast, dependency-free string hash whose
+/// output is stable across platforms and runs (unlike std::hash), so cache
+/// keys and ring placements survive process restarts and are reproducible
+/// in tests.
+uint64_t Hash64(const void* data, size_t size);
+
+inline uint64_t Hash64(std::string_view data) {
+  return Hash64(data.data(), data.size());
+}
+
+/// Mixes an integer into an existing hash (splitmix64 finalizer). Used both
+/// to fold request ids into a cache key and to derive virtual-node
+/// positions from (node, replica) pairs.
+uint64_t Hash64Mix(uint64_t seed, uint64_t value);
+
+/// Consistent-hash ring over integer node ids (replica indices, shard
+/// numbers, ...). Each node owns `vnodes_per_node` pseudo-random points on
+/// a 2^64 ring; a key is placed on the first node point at or clockwise
+/// after its hash. Properties the tests pin down:
+///
+///  - balance: with enough virtual nodes, keys spread across nodes within
+///    a small factor of perfectly even;
+///  - minimal remapping: adding or removing one of N nodes moves only
+///    ~1/N of the keys — every other key keeps its placement, which is what
+///    keeps per-replica batching and caches warm when a serving fleet
+///    resizes.
+///
+/// Not thread-safe for mutation; Pick() is const and safe to call
+/// concurrently once the membership is built.
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(size_t vnodes_per_node = 64);
+
+  /// Adds a node; no-op if already present.
+  void AddNode(uint64_t node_id);
+
+  /// Removes a node and all its ring points; no-op if absent.
+  void RemoveNode(uint64_t node_id);
+
+  bool HasNode(uint64_t node_id) const;
+  size_t num_nodes() const { return num_nodes_; }
+  size_t vnodes_per_node() const { return vnodes_per_node_; }
+
+  /// Node owning `key_hash`. The ring must be non-empty (FKD_CHECK).
+  uint64_t Pick(uint64_t key_hash) const;
+
+  /// Node ids currently on the ring, ascending.
+  std::vector<uint64_t> Nodes() const;
+
+ private:
+  const size_t vnodes_per_node_;
+  size_t num_nodes_ = 0;
+  /// ring position -> node id, ordered; lower_bound gives the clockwise
+  /// successor in O(log n).
+  std::map<uint64_t, uint64_t> ring_;
+};
+
+}  // namespace fkd
+
+#endif  // FKD_COMMON_CONSISTENT_HASH_H_

@@ -1,0 +1,218 @@
+#ifndef FKD_COMMON_LRU_CACHE_H_
+#define FKD_COMMON_LRU_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fkd {
+
+/// Point-in-time accounting of a cache (aggregated over shards for
+/// ShardedLruCache). `hits + misses` equals the number of Get() calls.
+struct LruCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;  ///< Put() calls that added a new key.
+  uint64_t updates = 0;     ///< Put() calls that overwrote an existing key.
+  uint64_t evictions = 0;   ///< Entries displaced by capacity pressure.
+  size_t size = 0;          ///< Entries currently resident.
+  size_t capacity = 0;      ///< Maximum resident entries.
+};
+
+/// Bounded least-recently-used map. Get() promotes the entry to
+/// most-recently-used; Put() beyond capacity evicts the least-recently-used
+/// entry. Not thread-safe — this is the single-shard building block;
+/// concurrent callers want ShardedLruCache below.
+///
+/// Invariants (what the randomized property tests pin down):
+///  - size() never exceeds capacity;
+///  - every Get() is accounted as exactly one hit or one miss;
+///  - an entry is evicted only when a Put() of a *new* key arrives at
+///    capacity, and the victim is always the least-recently-used key.
+template <typename Key, typename Value, typename HashFn = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(size_t capacity) : capacity_(capacity) {
+    FKD_CHECK_GT(capacity, 0u) << "LruCache needs capacity >= 1";
+  }
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+  LruCache(LruCache&&) = default;
+  LruCache& operator=(LruCache&&) = default;
+
+  /// Copies the value into `*value` and promotes the entry on hit.
+  bool Get(const Key& key, Value* value) {
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return false;
+    }
+    ++hits_;
+    order_.splice(order_.begin(), order_, it->second);
+    *value = it->second->second;
+    return true;
+  }
+
+  /// Inserts or overwrites; either way the key becomes most-recently-used.
+  void Put(const Key& key, Value value) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++updates_;
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return;
+    }
+    ++insertions_;
+    if (order_.size() >= capacity_) {
+      ++evictions_;
+      index_.erase(order_.back().first);
+      order_.pop_back();
+    }
+    order_.emplace_front(key, std::move(value));
+    index_[key] = order_.begin();
+  }
+
+  /// Removes the key if present; no-op (false) otherwise.
+  bool Erase(const Key& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  void Clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+  bool Contains(const Key& key) const { return index_.count(key) != 0; }
+  size_t size() const { return order_.size(); }
+  size_t capacity() const { return capacity_; }
+
+  LruCacheStats Stats() const {
+    LruCacheStats stats;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.insertions = insertions_;
+    stats.updates = updates_;
+    stats.evictions = evictions_;
+    stats.size = order_.size();
+    stats.capacity = capacity_;
+    return stats;
+  }
+
+ private:
+  size_t capacity_;
+  /// Front = most recently used. The index maps keys to list nodes so both
+  /// lookup and promotion are O(1).
+  std::list<std::pair<Key, Value>> order_;
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                     HashFn>
+      index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t insertions_ = 0;
+  uint64_t updates_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// Thread-safe LRU built from independently locked LruCache shards. A key
+/// is pinned to shard `HashFn(key) % num_shards`, so two threads touching
+/// different keys rarely contend on the same mutex, and the LRU order is
+/// exact *within* each shard (global recency is approximate — the standard
+/// sharded-cache trade-off).
+///
+/// Capacity is divided evenly across shards (each shard gets at least 1
+/// slot), so total residency never exceeds ~capacity.
+template <typename Key, typename Value, typename HashFn = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  ShardedLruCache(size_t capacity, size_t num_shards)
+      : hash_(HashFn()) {
+    FKD_CHECK_GT(capacity, 0u);
+    FKD_CHECK_GT(num_shards, 0u);
+    // No point in shards holding zero entries: cap the shard count at the
+    // capacity so every shard owns at least one slot.
+    const size_t shards = num_shards > capacity ? capacity : num_shards;
+    const size_t per_shard = (capacity + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (size_t i = 0; i < shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(per_shard));
+    }
+  }
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  bool Get(const Key& key, Value* value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.cache.Get(key, value);
+  }
+
+  void Put(const Key& key, Value value) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.cache.Put(key, std::move(value));
+  }
+
+  bool Erase(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.cache.Erase(key);
+  }
+
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      shard->cache.Clear();
+    }
+  }
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Sums per-shard accounting. Coherent per shard; the totals are a
+  /// consistent snapshot only when no writers are active.
+  LruCacheStats Stats() const {
+    LruCacheStats total;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      const LruCacheStats s = shard->cache.Stats();
+      total.hits += s.hits;
+      total.misses += s.misses;
+      total.insertions += s.insertions;
+      total.updates += s.updates;
+      total.evictions += s.evictions;
+      total.size += s.size;
+      total.capacity += s.capacity;
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(size_t capacity) : cache(capacity) {}
+    mutable std::mutex mutex;
+    LruCache<Key, Value, HashFn> cache;
+  };
+
+  Shard& ShardFor(const Key& key) const {
+    return *shards_[hash_(key) % shards_.size()];
+  }
+
+  HashFn hash_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace fkd
+
+#endif  // FKD_COMMON_LRU_CACHE_H_

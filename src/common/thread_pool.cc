@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -16,16 +17,30 @@ thread_local bool t_in_pool_worker = false;
 constexpr size_t kMaxThreads = 256;
 
 size_t ThreadsFromEnvironment() {
-  if (const char* env = std::getenv("FKD_NUM_THREADS")) {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && parsed > 0) {
-      return std::min(static_cast<size_t>(parsed), kMaxThreads);
-    }
-    FKD_LOG(Warning) << "ignoring invalid FKD_NUM_THREADS=\"" << env << "\"";
-  }
   const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<size_t>(hw) : 1;
+  const size_t fallback = hw > 0 ? static_cast<size_t>(hw) : 1;
+  if (const char* env = std::getenv("FKD_NUM_THREADS")) {
+    // Accept only a complete, in-range positive decimal integer. Anything
+    // else — garbage ("auto", "4x"), negatives, zero, or values that
+    // overflow strtol (errno == ERANGE, where `parsed` would still look
+    // positive) — falls back to hardware_concurrency with a warning rather
+    // than silently mis-sizing the pool.
+    char* end = nullptr;
+    errno = 0;
+    const long parsed = std::strtol(env, &end, 10);
+    const bool complete = end != env && *end == '\0';
+    if (complete && errno != ERANGE && parsed > 0) {
+      if (static_cast<unsigned long>(parsed) > kMaxThreads) {
+        FKD_LOG(Warning) << "FKD_NUM_THREADS=" << env << " exceeds the "
+                         << kMaxThreads << "-thread cap; clamping";
+        return kMaxThreads;
+      }
+      return static_cast<size_t>(parsed);
+    }
+    FKD_LOG(Warning) << "ignoring invalid FKD_NUM_THREADS=\"" << env
+                     << "\"; using hardware_concurrency (" << fallback << ")";
+  }
+  return fallback;
 }
 
 // The global pool pointer. Reads on the kernel hot path use the lock-free

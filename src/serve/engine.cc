@@ -303,6 +303,7 @@ void InferenceEngine::ProcessBatch(std::vector<Pending> batch) {
       result.class_name = snapshot_->class_names[result.class_id];
     }
     result.batch_size = live.size();
+    result.model_version = options_.version_tag;
     result.queue_us = std::chrono::duration<double, std::micro>(
                           now - live[r].submitted_at)
                           .count();
@@ -313,6 +314,9 @@ void InferenceEngine::ProcessBatch(std::vector<Pending> batch) {
     latency_us_->Observe(result.total_us);
     completed_.fetch_add(1, std::memory_order_relaxed);
     requests_ok_->Increment();
+    if (options_.completion_hook) {
+      options_.completion_hook(live[r].request, result);
+    }
     live[r].promise.set_value(std::move(result));
   }
 }

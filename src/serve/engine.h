@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -46,6 +47,12 @@ struct Classification {
   double queue_us = 0.0;
   /// End-to-end microseconds from Submit() to fulfilment.
   double total_us = 0.0;
+  /// Snapshot version that produced the scores
+  /// (EngineOptions::version_tag; 0 when serving outside a Router).
+  uint64_t model_version = 0;
+  /// True when a Router fulfilled this from its score cache without any
+  /// engine forward pass.
+  bool from_cache = false;
 };
 
 using ClassificationFuture = std::future<Result<Classification>>;
@@ -74,6 +81,17 @@ struct EngineOptions {
   size_t breaker_window = 8;
   float breaker_failure_threshold = 0.5f;
   int64_t breaker_open_us = 10000;
+  /// Stamped into every Classification::model_version this engine fulfils.
+  /// A Router sets it to the snapshot version the engine serves, so callers
+  /// (and the hot-swap tests) can attribute each response to a version.
+  uint64_t version_tag = 0;
+  /// Invoked on the worker thread for every successful classification,
+  /// after the result is complete but before its future is fulfilled (a
+  /// caller that observes the future also observes the hook's effects).
+  /// Must be thread-safe and must not block; the Router uses it to fill
+  /// its score cache. Null disables it.
+  std::function<void(const ArticleRequest&, const Classification&)>
+      completion_hook;
 };
 
 /// Coarse liveness summary exposed by InferenceEngine::Health().

@@ -1,0 +1,135 @@
+#include "serve/model_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace fkd {
+namespace serve {
+
+Result<std::shared_ptr<const ServingModel>> VersionedModelStore::Load(
+    const std::string& directory) {
+  // LoadSnapshot is the PR 3 durable path: the MANIFEST (existence, size,
+  // CRC-32C of every artifact) is verified before a byte is parsed, so a
+  // torn or bit-rotted snapshot never becomes a version.
+  Result<Snapshot> loaded = LoadSnapshot(directory);
+  if (!loaded.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++load_failures_;
+    return loaded.status();
+  }
+  auto snapshot =
+      std::make_shared<const Snapshot>(std::move(loaded).value());
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RegisterLocked(std::move(snapshot), directory);
+}
+
+std::shared_ptr<const ServingModel> VersionedModelStore::Register(
+    std::shared_ptr<const Snapshot> snapshot, std::string directory) {
+  FKD_CHECK(snapshot != nullptr && snapshot->model != nullptr)
+      << "Register needs a loaded snapshot";
+  std::lock_guard<std::mutex> lock(mutex_);
+  return RegisterLocked(std::move(snapshot), std::move(directory));
+}
+
+std::shared_ptr<const ServingModel> VersionedModelStore::RegisterLocked(
+    std::shared_ptr<const Snapshot> snapshot, std::string directory) {
+  auto model = std::make_shared<ServingModel>();
+  model->version = next_version_++;
+  model->directory = std::move(directory);
+  model->snapshot = std::move(snapshot);
+  ++loads_;
+  resident_.push_back(Entry{model});
+  FKD_LOG(Info) << "model store: loaded version " << model->version
+                << (model->directory.empty() ? ""
+                                             : " from " + model->directory);
+  return model;
+}
+
+Status VersionedModelStore::Publish(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : resident_) {
+    if (entry.model->version != version) continue;
+    active_ = entry.model;
+    ++publishes_;
+    obs::MetricsRegistry::Default()
+        .GetGauge("fkd.serve.active_version")
+        ->Set(static_cast<double>(version));
+    FKD_LOG(Info) << "model store: published version " << version;
+    return Status::OK();
+  }
+  return Status::NotFound(
+      StrFormat("version %llu is not resident in the store",
+                static_cast<unsigned long long>(version)));
+}
+
+std::shared_ptr<const ServingModel> VersionedModelStore::Active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_;
+}
+
+Result<std::shared_ptr<const ServingModel>> VersionedModelStore::Get(
+    uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : resident_) {
+    if (entry.model->version == version) return entry.model;
+  }
+  return Status::NotFound(
+      StrFormat("version %llu is not resident in the store",
+                static_cast<unsigned long long>(version)));
+}
+
+Status VersionedModelStore::Retire(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = std::find_if(resident_.begin(), resident_.end(),
+                         [version](const Entry& entry) {
+                           return entry.model->version == version;
+                         });
+  if (it == resident_.end()) {
+    return Status::NotFound(
+        StrFormat("version %llu is not resident in the store",
+                  static_cast<unsigned long long>(version)));
+  }
+  if (active_ != nullptr && active_->version == version) {
+    return Status::FailedPrecondition(
+        "cannot retire the active version; publish a replacement first");
+  }
+  retired_watch_.emplace_back(it->model);
+  resident_.erase(it);
+  ++retired_;
+  FKD_LOG(Info) << "model store: retired version " << version
+                << " (frees when its last reference drains)";
+  return Status::OK();
+}
+
+std::vector<uint64_t> VersionedModelStore::ResidentVersions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<uint64_t> versions;
+  versions.reserve(resident_.size());
+  for (const Entry& entry : resident_) {
+    versions.push_back(entry.model->version);
+  }
+  std::sort(versions.begin(), versions.end());
+  return versions;
+}
+
+ModelStoreStats VersionedModelStore::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ModelStoreStats stats;
+  stats.loads = loads_;
+  stats.load_failures = load_failures_;
+  stats.publishes = publishes_;
+  stats.retired = retired_;
+  stats.resident = resident_.size();
+  stats.active_version = active_ != nullptr ? active_->version : 0;
+  for (const auto& watch : retired_watch_) {
+    if (!watch.expired()) ++stats.retired_still_alive;
+  }
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace fkd

@@ -1,0 +1,327 @@
+#include "serve/router.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "obs/trace.h"
+
+namespace fkd {
+namespace serve {
+
+namespace {
+
+/// Salt separating the canary split from replica placement: without it the
+/// canary slice would be a contiguous arc of the placement ring and starve
+/// some replicas instead of sampling uniformly across them.
+constexpr uint64_t kCanarySalt = 0xca4a12ull;
+
+}  // namespace
+
+uint32_t RouterOptions::CanaryPermilleFromEnvironment() {
+  const char* env = std::getenv("FKD_CANARY_PCT");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  errno = 0;
+  const double pct = std::strtod(env, &end);
+  if (end == env || *end != '\0' || errno == ERANGE || pct < 0.0 ||
+      pct > 100.0) {
+    FKD_LOG(Warning) << "ignoring invalid FKD_CANARY_PCT=\"" << env
+                     << "\" (want a percentage in [0, 100])";
+    return 0;
+  }
+  return static_cast<uint32_t>(pct * 10.0 + 0.5);
+}
+
+uint64_t Router::RequestKey(const ArticleRequest& request) {
+  uint64_t key = Hash64(request.text);
+  // Graph context changes the score, so it is part of the identity: two
+  // requests differing only in creator/subjects must not share a cache
+  // entry. int32 -> uint64 via int64 keeps -1 distinct from every id.
+  key = Hash64Mix(key,
+                  static_cast<uint64_t>(
+                      static_cast<int64_t>(request.creator_id)));
+  for (int32_t subject : request.subject_ids) {
+    key = Hash64Mix(key, static_cast<uint64_t>(static_cast<int64_t>(subject)));
+  }
+  return key;
+}
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)), ring_(options_.ring_vnodes) {
+  FKD_CHECK_GT(options_.num_replicas, 0u);
+  FKD_CHECK_GT(options_.canary_replicas, 0u);
+  FKD_CHECK_LE(options_.canary_permille, 1000u);
+  canary_permille_ = options_.canary_permille;
+  for (size_t r = 0; r < options_.num_replicas; ++r) {
+    ring_.AddNode(static_cast<uint64_t>(r));
+  }
+  if (options_.cache_capacity > 0) {
+    cache_ = std::make_unique<ScoreCache>(options_.cache_capacity,
+                                          options_.cache_shards);
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  cache_hit_total_ = registry.GetCounter("fkd.serve.cache_hit");
+  cache_miss_total_ = registry.GetCounter("fkd.serve.cache_miss");
+  canary_total_ = registry.GetCounter("fkd.serve.canary");
+  swap_total_ = registry.GetCounter("fkd.serve.swap");
+  active_version_gauge_ = registry.GetGauge("fkd.serve.active_version");
+}
+
+Router::~Router() { Stop(); }
+
+Result<std::shared_ptr<Router::Generation>> Router::BuildGeneration(
+    std::shared_ptr<const ServingModel> model, size_t replicas) {
+  FKD_CHECK(model != nullptr && model->snapshot != nullptr);
+  auto generation = std::make_shared<Generation>();
+  generation->model = model;
+  generation->engines.reserve(replicas);
+  for (size_t r = 0; r < replicas; ++r) {
+    EngineOptions engine_options = options_.engine;
+    engine_options.version_tag = model->version;
+    if (cache_ != nullptr) {
+      // The engine worker fills the score cache before fulfilling each
+      // future. The version is bound per generation, so a cached score can
+      // never be attributed to a later snapshot.
+      const uint64_t version = model->version;
+      engine_options.completion_hook =
+          [this, version](const ArticleRequest& request,
+                          const Classification& result) {
+            cache_->Put(CacheKey{version, RequestKey(request)}, result);
+          };
+    }
+    auto engine = std::make_unique<InferenceEngine>(model->snapshot,
+                                                    engine_options);
+    FKD_RETURN_NOT_OK(engine->Start());
+    generation->engines.push_back(std::move(engine));
+  }
+  return generation;
+}
+
+void Router::DrainGeneration(const std::shared_ptr<Generation>& generation) {
+  if (generation == nullptr) return;
+  for (auto& engine : generation->engines) engine->Stop();
+}
+
+Status Router::Start(std::shared_ptr<const ServingModel> initial) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return Status::FailedPrecondition("router already stopped");
+    if (started_) return Status::FailedPrecondition("router already started");
+  }
+  FKD_ASSIGN_OR_RETURN(std::shared_ptr<Generation> generation,
+                       BuildGeneration(std::move(initial),
+                                       options_.num_replicas));
+  std::lock_guard<std::mutex> lock(mutex_);
+  primary_ = std::move(generation);
+  started_ = true;
+  active_version_gauge_->Set(static_cast<double>(primary_->model->version));
+  FKD_LOG(Info) << "router started: " << options_.num_replicas
+                << " replicas on version " << primary_->model->version;
+  return Status::OK();
+}
+
+Result<ClassificationFuture> Router::Submit(ArticleRequest request) {
+  const uint64_t key = RequestKey(request);
+  const auto submitted_at = std::chrono::steady_clock::now();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!started_ || stopped_ || primary_ == nullptr) {
+    return Status::Unavailable("router is not serving");
+  }
+  // Deterministic canary split on the request key: the same article always
+  // lands on the same side, so A/B comparisons are apples to apples.
+  Generation* target = primary_.get();
+  bool is_canary = false;
+  if (canary_ != nullptr && canary_permille_ > 0 &&
+      Hash64Mix(kCanarySalt, key) % 1000 < canary_permille_) {
+    target = canary_.get();
+    is_canary = true;
+  }
+
+  // Cache lookup is scoped to the version that would serve the request, so
+  // a hit can never resurrect scores from a replaced snapshot.
+  if (cache_ != nullptr) {
+    Classification cached;
+    if (cache_->Get(CacheKey{target->model->version, key}, &cached)) {
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cache_hit_total_->Increment();
+      cached.from_cache = true;
+      cached.batch_size = 0;
+      cached.queue_us = 0.0;
+      cached.total_us = std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - submitted_at)
+                            .count();
+      std::promise<Result<Classification>> ready;
+      ClassificationFuture future = ready.get_future();
+      ready.set_value(std::move(cached));
+      return future;
+    }
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+    cache_miss_total_->Increment();
+  }
+
+  // Consistent-hash placement across the generation's replicas. A
+  // promoted canary generation may have fewer engines than ring nodes;
+  // folding keeps the mapping total either way.
+  const uint64_t node = ring_.Pick(key);
+  InferenceEngine& engine =
+      *target->engines[node % target->engines.size()];
+  if (is_canary) {
+    canary_requests_.fetch_add(1, std::memory_order_relaxed);
+    canary_total_->Increment();
+  } else {
+    primary_requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  Result<ClassificationFuture> result = engine.Submit(std::move(request));
+  if (result.ok()) submitted_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+Status Router::Publish(std::shared_ptr<const ServingModel> model) {
+  FKD_TRACE_SCOPE("serve/swap");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_ || stopped_) {
+      return Status::FailedPrecondition("router is not serving");
+    }
+  }
+  // Build and warm the new fleet while the old one keeps serving — the
+  // expensive part of a swap happens entirely off the request path.
+  FKD_ASSIGN_OR_RETURN(std::shared_ptr<Generation> fresh,
+                       BuildGeneration(model, options_.num_replicas));
+  std::shared_ptr<Generation> old;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) {
+      // Lost the race with Stop(); do not resurrect a stopped router.
+      DrainGeneration(fresh);
+      return Status::Unavailable("router stopped during publish");
+    }
+    old = std::move(primary_);
+    primary_ = std::move(fresh);
+    swaps_.fetch_add(1, std::memory_order_relaxed);
+    swap_total_->Increment();
+    active_version_gauge_->Set(static_cast<double>(model->version));
+  }
+  // RCU drain: new submissions already go to the new version (the pointer
+  // switch above is the linearisation point); the old generation finishes
+  // its queued and in-flight work on the old snapshot, then dies with its
+  // last reference.
+  DrainGeneration(old);
+  FKD_LOG(Info) << "router: hot-swapped to version " << model->version;
+  return Status::OK();
+}
+
+Status Router::StartCanary(std::shared_ptr<const ServingModel> model,
+                           int permille_override) {
+  if (permille_override > 1000) {
+    return Status::InvalidArgument("canary permille must be <= 1000");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_ || stopped_) {
+      return Status::FailedPrecondition("router is not serving");
+    }
+  }
+  FKD_ASSIGN_OR_RETURN(std::shared_ptr<Generation> fresh,
+                       BuildGeneration(model, options_.canary_replicas));
+  std::shared_ptr<Generation> old;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) {
+      DrainGeneration(fresh);
+      return Status::Unavailable("router stopped during canary start");
+    }
+    old = std::move(canary_);
+    canary_ = std::move(fresh);
+    if (permille_override >= 0) {
+      canary_permille_ = static_cast<uint32_t>(permille_override);
+    }
+    FKD_LOG(Info) << "router: canary on version " << model->version << " at "
+                  << canary_permille_ << " permille";
+  }
+  DrainGeneration(old);
+  return Status::OK();
+}
+
+Status Router::PromoteCanary() {
+  FKD_TRACE_SCOPE("serve/swap");
+  std::shared_ptr<Generation> old;
+  uint64_t version = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!started_ || stopped_) {
+      return Status::FailedPrecondition("router is not serving");
+    }
+    if (canary_ == nullptr) {
+      return Status::FailedPrecondition("no canary to promote");
+    }
+    old = std::move(primary_);
+    primary_ = std::move(canary_);
+    canary_.reset();
+    version = primary_->model->version;
+    swaps_.fetch_add(1, std::memory_order_relaxed);
+    swap_total_->Increment();
+    active_version_gauge_->Set(static_cast<double>(version));
+  }
+  DrainGeneration(old);
+  FKD_LOG(Info) << "router: promoted canary version " << version;
+  return Status::OK();
+}
+
+Status Router::StopCanary() {
+  std::shared_ptr<Generation> old;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (canary_ == nullptr) {
+      return Status::FailedPrecondition("no canary to stop");
+    }
+    old = std::move(canary_);
+  }
+  DrainGeneration(old);
+  FKD_LOG(Info) << "router: canary stopped";
+  return Status::OK();
+}
+
+void Router::Stop() {
+  std::shared_ptr<Generation> primary;
+  std::shared_ptr<Generation> canary;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    primary = std::move(primary_);
+    canary = std::move(canary_);
+  }
+  DrainGeneration(primary);
+  DrainGeneration(canary);
+}
+
+uint64_t Router::active_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return primary_ != nullptr ? primary_->model->version : 0;
+}
+
+RouterStats Router::Stats() const {
+  RouterStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  stats.primary_requests = primary_requests_.load(std::memory_order_relaxed);
+  stats.canary_requests = canary_requests_.load(std::memory_order_relaxed);
+  stats.swaps = swaps_.load(std::memory_order_relaxed);
+  if (cache_ != nullptr) stats.cache = cache_->Stats();
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats.active_version = primary_ != nullptr ? primary_->model->version : 0;
+  stats.canary_version = canary_ != nullptr ? canary_->model->version : 0;
+  return stats;
+}
+
+}  // namespace serve
+}  // namespace fkd

@@ -1,0 +1,206 @@
+#ifndef FKD_SERVE_ROUTER_H_
+#define FKD_SERVE_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/consistent_hash.h"
+#include "common/lru_cache.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "serve/model_store.h"
+
+namespace fkd {
+namespace serve {
+
+/// Tuning knobs of the serving router.
+struct RouterOptions {
+  /// InferenceEngine replicas fronting the primary version. Requests are
+  /// placed on replicas by consistent hash of the request content, so one
+  /// article's repeats land on the same replica (warm batches) and
+  /// resizing the fleet remaps only ~1/N of the keys.
+  size_t num_replicas = 2;
+  /// Replicas fronting a canary version (usually fewer than the primary).
+  size_t canary_replicas = 1;
+  /// Virtual nodes per replica on the placement ring.
+  size_t ring_vnodes = 64;
+  /// Per-engine options. `version_tag` and `completion_hook` are owned by
+  /// the router and overwritten per engine.
+  EngineOptions engine;
+  /// Score cache entries across all shards; 0 disables the cache.
+  size_t cache_capacity = 4096;
+  /// Independently locked cache shards.
+  size_t cache_shards = 8;
+  /// Canary traffic share in permille (0..1000), decided deterministically
+  /// per request key. Defaults from FKD_CANARY_PCT (a percentage, e.g.
+  /// "5" or "2.5"); invalid or unset values mean 0.
+  uint32_t canary_permille = CanaryPermilleFromEnvironment();
+
+  /// Parses FKD_CANARY_PCT into permille; out-of-range/garbage values are
+  /// warned about and treated as unset (0).
+  static uint32_t CanaryPermilleFromEnvironment();
+};
+
+/// Monotone counters describing a router's lifetime so far.
+struct RouterStats {
+  uint64_t submitted = 0;        ///< Requests accepted by Submit().
+  uint64_t cache_hits = 0;       ///< Served from the score cache.
+  uint64_t cache_misses = 0;     ///< Routed to an engine.
+  uint64_t primary_requests = 0; ///< Engine-routed requests on the primary.
+  uint64_t canary_requests = 0;  ///< Engine-routed requests on the canary.
+  uint64_t swaps = 0;            ///< Primary publishes (incl. promotions).
+  uint64_t active_version = 0;   ///< Current primary version (0 = none).
+  uint64_t canary_version = 0;   ///< Current canary version (0 = none).
+  LruCacheStats cache;           ///< Score-cache accounting.
+};
+
+/// Zero-downtime serving front-end: N micro-batching InferenceEngine
+/// replicas behind consistent-hash request placement, a sharded LRU score
+/// cache, per-version canary traffic splitting, and RCU-style hot-swap of
+/// the serving version.
+///
+///  - **Placement** — each request is hashed over its full content (text +
+///    graph ids); the ring maps the hash to a replica. Repeats of an
+///    article always hit the same replica and the same cache shard.
+///  - **Score cache** — results are cached keyed by (snapshot version,
+///    request content hash), filled by the engines' completion hooks.
+///    A hit skips tokenisation and the GDU forward pass entirely and
+///    resolves the future immediately (`Classification::from_cache`).
+///    Versioned keys are the invalidation rule: publishing a new version
+///    changes every key, so stale scores are never served — old-version
+///    entries simply age out of the LRU.
+///  - **Hot swap** — Publish(model) builds and starts fresh replicas on
+///    the new version, atomically switches new submissions over, and only
+///    then drains the old replicas (queued and in-flight requests finish
+///    on the version they were submitted against). After Publish returns,
+///    every engine-served response carries the new version. No request is
+///    ever rejected because of a swap.
+///  - **Canary** — StartCanary(model) routes a deterministic
+///    `canary_permille` slice of request keys (FKD_CANARY_PCT) to replicas
+///    on the canary version; PromoteCanary() makes it the primary via the
+///    same drain-free swap, StopCanary() abandons it.
+///
+/// Instrumentation (obs::MetricsRegistry::Default()): fkd.serve.cache_hit,
+/// fkd.serve.cache_miss, fkd.serve.canary and fkd.serve.swap counters, the
+/// fkd.serve.active_version gauge, and a "serve/swap" trace span around
+/// every publish (FKD_ENABLE_TRACING builds).
+///
+/// Thread-safe: Submit may race with Publish/StartCanary/PromoteCanary —
+/// that is the point.
+class Router {
+ public:
+  explicit Router(RouterOptions options = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Brings up the primary replicas on `initial`. One Start per router.
+  Status Start(std::shared_ptr<const ServingModel> initial);
+
+  /// Classifies one article: cache lookup first, then consistent-hash
+  /// placement onto a primary (or canary) replica. Returns the engine
+  /// error when the chosen replica refuses (queue full / stopped).
+  Result<ClassificationFuture> Submit(ArticleRequest request);
+
+  /// Atomically swaps the primary to `model` (see class comment). Blocks
+  /// until the previous primary has drained; new submissions are served by
+  /// the new version from the moment of the swap, strictly before Publish
+  /// returns.
+  Status Publish(std::shared_ptr<const ServingModel> model);
+
+  /// Starts a canary on `model`. `permille_override` < 0 keeps the
+  /// configured canary_permille. Replaces (and drains) a previous canary.
+  Status StartCanary(std::shared_ptr<const ServingModel> model,
+                     int permille_override = -1);
+
+  /// Promotes the current canary to primary (drains the old primary).
+  Status PromoteCanary();
+
+  /// Drops and drains the canary; its traffic share returns to the primary.
+  Status StopCanary();
+
+  /// Drains and joins every replica. Idempotent; Submit afterwards fails
+  /// with Unavailable.
+  void Stop();
+
+  RouterStats Stats() const;
+  /// Current primary version (0 before Start).
+  uint64_t active_version() const;
+  const RouterOptions& options() const { return options_; }
+
+  /// Stable 64-bit content hash of a request (text + creator + subjects) —
+  /// the placement and cache-key hash, exposed for tests.
+  static uint64_t RequestKey(const ArticleRequest& request);
+
+ private:
+  /// One serving version's fleet: engines all built on the same snapshot.
+  struct Generation {
+    std::shared_ptr<const ServingModel> model;
+    std::vector<std::unique_ptr<InferenceEngine>> engines;
+  };
+
+  /// Cache key: the snapshot version scopes the content hash, so a swap
+  /// implicitly invalidates every cached score.
+  struct CacheKey {
+    uint64_t version = 0;
+    uint64_t content = 0;
+    bool operator==(const CacheKey& other) const {
+      return version == other.version && content == other.content;
+    }
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& key) const {
+      return static_cast<size_t>(Hash64Mix(key.version, key.content));
+    }
+  };
+  using ScoreCache = ShardedLruCache<CacheKey, Classification, CacheKeyHash>;
+
+  /// Builds and starts `replicas` engines on `model`.
+  Result<std::shared_ptr<Generation>> BuildGeneration(
+      std::shared_ptr<const ServingModel> model, size_t replicas);
+  /// Stops every engine of `generation` (drains); null-safe.
+  static void DrainGeneration(const std::shared_ptr<Generation>& generation);
+
+  RouterOptions options_;
+  ConsistentHashRing ring_;
+
+  // Destruction order matters: engines (inside the generations) may still
+  // run completion hooks into the cache while stopping, so the cache is
+  // declared first (destroyed last).
+  std::unique_ptr<ScoreCache> cache_;
+
+  /// Guards the generation pointers. Submit holds it across placement AND
+  /// the engine Submit so a concurrent swap cannot stop an engine between
+  /// the two (the swap's pointer switch happens under this mutex; the old
+  /// generation's drain happens outside it).
+  mutable std::mutex mutex_;
+  std::shared_ptr<Generation> primary_;
+  std::shared_ptr<Generation> canary_;
+  uint32_t canary_permille_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> primary_requests_{0};
+  std::atomic<uint64_t> canary_requests_{0};
+  std::atomic<uint64_t> swaps_{0};
+
+  obs::Counter* cache_hit_total_;
+  obs::Counter* cache_miss_total_;
+  obs::Counter* canary_total_;
+  obs::Counter* swap_total_;
+  obs::Gauge* active_version_gauge_;
+};
+
+}  // namespace serve
+}  // namespace fkd
+
+#endif  // FKD_SERVE_ROUTER_H_

@@ -116,9 +116,29 @@ TEST(ThreadPoolTest, EnvOverrideSizesGlobalPool) {
   ASSERT_EQ(setenv("FKD_NUM_THREADS", "3", 1), 0);
   ThreadPool::ResetGlobal(0);
   EXPECT_EQ(ThreadPool::Global().num_threads(), 3u);
-  ASSERT_EQ(setenv("FKD_NUM_THREADS", "not-a-number", 1), 0);
+  ASSERT_EQ(unsetenv("FKD_NUM_THREADS"), 0);
   ThreadPool::ResetGlobal(0);
-  EXPECT_GE(ThreadPool::Global().num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, InvalidEnvFallsBackToHardwareConcurrency) {
+  const size_t fallback =
+      std::max(1u, std::thread::hardware_concurrency());
+  // None of these are positive integers: garbage, trailing junk (a bare
+  // strtol would silently accept "4x" as 4), negatives, zero, and values
+  // that overflow long (strtol reports ERANGE but still returns a positive
+  // number — the silent-accept hole this parser closes).
+  for (const char* bad :
+       {"not-a-number", "4x", "-2", "-0", "0", "",
+        "99999999999999999999999999"}) {
+    ASSERT_EQ(setenv("FKD_NUM_THREADS", bad, 1), 0);
+    ThreadPool::ResetGlobal(0);
+    EXPECT_EQ(ThreadPool::Global().num_threads(), fallback)
+        << "FKD_NUM_THREADS=\"" << bad << "\"";
+  }
+  // In-range but above the pool's clamp: accepted, clamped, not ignored.
+  ASSERT_EQ(setenv("FKD_NUM_THREADS", "10000", 1), 0);
+  ThreadPool::ResetGlobal(0);
+  EXPECT_EQ(ThreadPool::Global().num_threads(), 256u);
   ASSERT_EQ(unsetenv("FKD_NUM_THREADS"), 0);
   ThreadPool::ResetGlobal(0);
 }

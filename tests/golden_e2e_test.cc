@@ -1,0 +1,261 @@
+// Golden end-to-end regression: fixed-seed synthetic PolitiFact → train →
+// snapshot to disk → serve round-trip. The checked-in accuracy/F1 numbers
+// are exact (not tolerances): the whole pipeline — generator, tokenizer,
+// HFLU/GDU forwards, training loop, snapshot codec — is bitwise
+// deterministic, so any drift in these constants is a behaviour change
+// that must be reviewed, not absorbed.
+//
+// The parity test closes the loop on the determinism contract: scores
+// served through the Router (engine micro-batching, worker threads) are
+// bitwise identical to direct Snapshot::Score calls, at 1 and at 4 intra-op
+// threads (ThreadPool chunk bounds are a pure function of range+grain).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/fake_detector.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "common/thread_pool.h"
+#include "serve/model_store.h"
+#include "serve/router.h"
+#include "serve/snapshot.h"
+#include "tensor/ops.h"
+
+namespace fkd {
+namespace serve {
+namespace {
+
+// ---- fixed-seed pipeline ----------------------------------------------------------
+//
+// Every seed below is load-bearing: the golden constants are a function of
+// all of them. Change any, re-bake the constants.
+
+constexpr size_t kArticles = 120;
+constexpr size_t kCreators = 90;
+constexpr uint64_t kSplitSeed = 77;
+constexpr uint64_t kTrainSeed = 7;
+constexpr size_t kFolds = 5;
+
+core::FakeDetectorConfig GoldenConfig() {
+  core::FakeDetectorConfig config;
+  config.epochs = 20;
+  config.explicit_words = 60;
+  config.latent_vocabulary = 200;
+  config.hflu.max_sequence_length = 10;
+  config.hflu.gru_hidden = 12;
+  config.hflu.latent_dim = 10;
+  config.hflu.embed_dim = 10;
+  config.gdu_hidden = 16;
+  config.verbose = false;
+  return config;
+}
+
+struct GoldenFixture {
+  data::Dataset dataset;
+  graph::HeterogeneousGraph graph;
+  core::FakeDetector detector;
+  std::vector<int32_t> test_articles;
+  std::string snapshot_dir;
+};
+
+const GoldenFixture& Fixture() {
+  static GoldenFixture* fixture = [] {
+    auto dataset = data::GeneratePolitiFact(
+        data::GeneratorOptions::Scaled(kArticles, kCreators));
+    FKD_CHECK_OK(dataset.status());
+    auto graph = dataset.value().BuildGraph();
+    FKD_CHECK_OK(graph.status());
+    auto* f = new GoldenFixture{std::move(dataset).value(),
+                                std::move(graph).value(),
+                                core::FakeDetector(GoldenConfig()),
+                                {},
+                                {}};
+    Rng rng(kSplitSeed);
+    auto splits = data::KFoldTriSplits(f->dataset.articles.size(),
+                                       f->dataset.creators.size(),
+                                       f->dataset.subjects.size(), kFolds,
+                                       &rng);
+    FKD_CHECK_OK(splits.status());
+    eval::TrainContext context;
+    context.dataset = &f->dataset;
+    context.graph = &f->graph;
+    context.train_articles = splits.value()[0].articles.train;
+    context.train_creators = splits.value()[0].creators.train;
+    context.train_subjects = splits.value()[0].subjects.train;
+    context.granularity = eval::LabelGranularity::kBinary;
+    context.seed = kTrainSeed;
+    FKD_CHECK_OK(f->detector.Train(context));
+    f->test_articles = splits.value()[0].articles.test;
+
+    f->snapshot_dir = (std::filesystem::temp_directory_path() /
+                       ("fkd_golden_snapshot_" + std::to_string(::getpid())))
+                          .string();
+    std::filesystem::remove_all(f->snapshot_dir);
+    FKD_CHECK_OK(ExportSnapshot(f->detector, f->snapshot_dir));
+    return f;
+  }();
+  return *fixture;
+}
+
+/// Builds the serving request for one test article, carrying its full graph
+/// context so the e2e path exercises the creator/subject GDU ports too.
+ArticleRequest RequestFor(const data::Article& article) {
+  ArticleRequest request;
+  request.text = article.text;
+  request.creator_id = article.creator;
+  request.subject_ids = article.subjects;
+  return request;
+}
+
+/// Direct (non-router) scores for one article through the reloaded
+/// snapshot, as class probabilities.
+std::vector<float> DirectProbabilities(const Snapshot& snapshot,
+                                       const data::Article& article) {
+  const Tensor logits = snapshot.Score({article.text}, {article.creator},
+                                       {article.subjects});
+  const Tensor probabilities = SoftmaxRows(logits);
+  std::vector<float> row(probabilities.cols());
+  for (size_t c = 0; c < probabilities.cols(); ++c) {
+    row[c] = probabilities.At(0, c);
+  }
+  return row;
+}
+
+// ---- golden metrics ---------------------------------------------------------------
+
+// Baked from one run of this exact pipeline (seeds above). Exact equality
+// on purpose — see the file comment.
+constexpr double kGoldenAccuracy = 0.70833333333333337;   // 17/24
+constexpr double kGoldenPrecision = 0.70588235294117652;  // 12/17
+constexpr double kGoldenRecall = 0.8571428571428571;      // 12/14
+constexpr double kGoldenF1 = 0.77419354838709675;         // 24/31
+
+TEST(GoldenE2ETest, HeldOutMetricsMatchCheckedInGolden) {
+  const GoldenFixture& fixture = Fixture();
+  ASSERT_FALSE(fixture.test_articles.empty());
+
+  // Serve the held-out fold through the durable path: snapshot reloaded
+  // from disk (manifest-verified), not the in-memory trained model.
+  auto loaded = LoadSnapshot(fixture.snapshot_dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Snapshot& snapshot = loaded.value();
+
+  eval::ConfusionMatrix matrix(snapshot.num_classes);
+  for (int32_t id : fixture.test_articles) {
+    const data::Article& article = fixture.dataset.articles[id];
+    const Tensor logits =
+        snapshot.Score({article.text}, {article.creator}, {article.subjects});
+    int32_t predicted = 0;
+    for (size_t c = 1; c < logits.cols(); ++c) {
+      if (logits.At(0, c) > logits.At(0, predicted)) {
+        predicted = static_cast<int32_t>(c);
+      }
+    }
+    matrix.Add(eval::TargetOf(article.label, snapshot.granularity), predicted);
+  }
+  const eval::BinaryMetrics metrics = eval::ComputeBinaryMetrics(matrix);
+
+  EXPECT_DOUBLE_EQ(metrics.accuracy, kGoldenAccuracy);
+  EXPECT_DOUBLE_EQ(metrics.precision, kGoldenPrecision);
+  EXPECT_DOUBLE_EQ(metrics.recall, kGoldenRecall);
+  EXPECT_DOUBLE_EQ(metrics.f1, kGoldenF1);
+  // The golden constants must also describe a model that actually learned
+  // something, or a regression to coin-flipping could hide inside an
+  // accidentally-matching constant update.
+  EXPECT_GT(metrics.accuracy, 0.5);
+}
+
+// ---- bitwise parity: direct vs router, 1 vs 4 threads -----------------------------
+
+std::vector<std::vector<float>> ScoreThroughRouter(
+    const std::vector<int32_t>& article_ids, uint64_t* served_version) {
+  const GoldenFixture& fixture = Fixture();
+  VersionedModelStore store;
+  auto model = store.Load(fixture.snapshot_dir);
+  FKD_CHECK_OK(model.status());
+
+  RouterOptions options;
+  options.num_replicas = 2;
+  options.engine.num_workers = 1;
+  options.engine.max_batch_delay_us = 0;
+  options.canary_permille = 0;
+  Router router(options);
+  FKD_CHECK_OK(router.Start(model.value()));
+
+  std::vector<std::vector<float>> scores;
+  for (int32_t id : article_ids) {
+    // One request at a time: singleton batches on both paths, so padding
+    // cannot differ between direct and routed scoring.
+    auto submitted =
+        router.Submit(RequestFor(fixture.dataset.articles[id]));
+    FKD_CHECK_OK(submitted.status());
+    auto result = submitted.value().get();
+    FKD_CHECK_OK(result.status());
+    FKD_CHECK(!result.value().from_cache) << "distinct articles cannot hit";
+    scores.push_back(result.value().probabilities);
+    *served_version = result.value().model_version;
+  }
+  router.Stop();
+  return scores;
+}
+
+TEST(GoldenE2ETest, RouterScoresBitwiseMatchDirectAtOneAndFourThreads) {
+  const GoldenFixture& fixture = Fixture();
+  auto loaded = LoadSnapshot(fixture.snapshot_dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Snapshot& snapshot = loaded.value();
+
+  const size_t sample = std::min<size_t>(fixture.test_articles.size(), 8);
+  const std::vector<int32_t> ids(fixture.test_articles.begin(),
+                                 fixture.test_articles.begin() + sample);
+
+  // Reference scores on the direct path with a single-thread pool.
+  ThreadPool::ResetGlobal(1);
+  std::vector<std::vector<float>> direct;
+  for (int32_t id : ids) {
+    direct.push_back(DirectProbabilities(snapshot, fixture.dataset.articles[id]));
+  }
+  uint64_t version_one = 0;
+  const auto routed_one = ScoreThroughRouter(ids, &version_one);
+
+  // Same work at 4 intra-op threads: chunk bounds are thread-count
+  // independent, so every float must be identical.
+  ThreadPool::ResetGlobal(4);
+  std::vector<std::vector<float>> direct_four;
+  for (int32_t id : ids) {
+    direct_four.push_back(
+        DirectProbabilities(snapshot, fixture.dataset.articles[id]));
+  }
+  uint64_t version_four = 0;
+  const auto routed_four = ScoreThroughRouter(ids, &version_four);
+  ThreadPool::ResetGlobal(0);  // back to the environment's sizing
+
+  EXPECT_EQ(version_one, 1u);
+  EXPECT_EQ(version_four, 1u);
+  ASSERT_EQ(routed_one.size(), ids.size());
+  ASSERT_EQ(routed_four.size(), ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_EQ(direct[i].size(), snapshot.num_classes);
+    ASSERT_EQ(routed_one[i].size(), snapshot.num_classes);
+    for (size_t c = 0; c < snapshot.num_classes; ++c) {
+      // EXPECT_EQ on floats: bitwise-or-bust, not almost-equal.
+      EXPECT_EQ(routed_one[i][c], direct[i][c])
+          << "router vs direct, article " << ids[i] << " class " << c;
+      EXPECT_EQ(direct_four[i][c], direct[i][c])
+          << "direct 4 threads vs 1 thread, article " << ids[i];
+      EXPECT_EQ(routed_four[i][c], direct[i][c])
+          << "router 4 threads vs direct 1 thread, article " << ids[i];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace fkd

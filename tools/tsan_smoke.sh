@@ -2,12 +2,15 @@
 # ThreadSanitizer smoke job for the serving engine.
 #
 # Configures a dedicated build tree with -fsanitize=thread, builds the
-# concurrency-sensitive test binaries, and runs every Serve*, Fault*,
-# Crash*, ThreadPool* and Compute* suite (plus the vocabulary concurrency
-# test) under TSan via ctest. The Compute* suites exercise the shared
-# intra-op pool from kernel fan-out, multi-width resizes, and the
-# train-while-serve case where trainer and serving workers submit chunks
-# concurrently. Any data race aborts the run with a non-zero exit code.
+# concurrency-sensitive test binaries, and runs every Serve*, Router*,
+# Store*, Cache*, Fault*, Crash*, ThreadPool* and Compute* suite (plus the
+# vocabulary concurrency test) under TSan via ctest. The Compute* suites
+# exercise the shared intra-op pool from kernel fan-out, multi-width
+# resizes, and the train-while-serve case where trainer and serving workers
+# submit chunks concurrently; Router* covers the hot-swap stress (Submit
+# racing Publish across 10 live swaps) and Cache* the sharded LRU under
+# concurrent readers/writers. Any data race aborts the run with a non-zero
+# exit code.
 #
 #   tools/tsan_smoke.sh [build-dir]   (default: build-tsan next to the repo root)
 
@@ -24,12 +27,13 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
   -DFKD_BUILD_EXAMPLES=OFF
 
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target serve_test text_test fault_test crash_test compute_test
+  --target serve_test text_test fault_test crash_test compute_test \
+           cache_test router_test
 
 # halt_on_error: fail the job on the first race instead of logging past it.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-  -R '^(Serve|Fault|Crash|ThreadPool|Compute|VocabularyTest\.ConstLookups)'
+  -R '^(Serve|Router|Store|Cache|ConsistentHash|Fault|Crash|ThreadPool|Compute|VocabularyTest\.ConstLookups)'
 
 echo "tsan smoke: OK"
