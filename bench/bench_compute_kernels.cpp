@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench/bench_hardware.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -89,7 +90,7 @@ void AppendJsonl(std::ofstream* jsonl, const ConfigRow& row) {
          << "\",\"size\":\"" << row.size << "\",\"threads\":" << row.threads
          << ",\"seconds\":" << row.seconds << ",\"gflops\":" << row.gflops
          << ",\"speedup_vs_serial_baseline\":" << row.speedup_vs_baseline
-         << "}\n";
+         << "," << fkd::bench::HardwareContextJsonFields() << "}\n";
 }
 
 /// One kernel x size sweep entry of the --out summary.
@@ -258,6 +259,26 @@ int main(int argc, char** argv) {
   if (!flags.GetString("out").empty()) {
     WriteSummaryJson(flags.GetString("out"), sweeps, reps);
     std::printf("\nwrote %s\n", flags.GetString("out").c_str());
+  }
+
+  // Acceptance gate: blocked parallel MatMul at 4 threads must beat the
+  // serial baseline. Meaningless on a 1-core host — skip loudly there
+  // instead of silently passing (or failing) on timings that measured
+  // scheduling overhead, not parallelism.
+  if (!fkd::bench::SkipSpeedupGateOnSmallHost(
+          "bench_compute_kernels", "matmul speedup_vs_baseline_at_4 >= 1.5")) {
+    for (const SweepSummary& sweep : sweeps) {
+      if (sweep.kernel != "matmul") continue;
+      const double speedup = sweep.SpeedupAt(4);
+      if (speedup < 1.5) {
+        std::fprintf(stderr,
+                     "bench_compute_kernels: GATE FAILED: matmul %s at 4 "
+                     "threads is %.2fx vs serial (want >= 1.5x)\n",
+                     sweep.size.c_str(), speedup);
+        return 1;
+      }
+    }
+    std::printf("speedup gate: OK (matmul >= 1.5x at 4 threads)\n");
   }
   return 0;
 }

@@ -1,0 +1,52 @@
+#ifndef FKD_BENCH_BENCH_HARDWARE_H_
+#define FKD_BENCH_BENCH_HARDWARE_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace fkd {
+namespace bench {
+
+/// Raw FKD_NUM_THREADS value ("" when unset) — recorded next to every
+/// measurement so a committed artifact is interpretable without knowing the
+/// environment it ran in.
+inline std::string FkdNumThreadsEnv() {
+  const char* env = std::getenv("FKD_NUM_THREADS");
+  return env != nullptr ? env : "";
+}
+
+/// JSON fragment (no surrounding braces/comma) recording the host context
+/// of a measurement row:
+///   "hardware_concurrency":8,"fkd_num_threads":"4"
+inline std::string HardwareContextJsonFields() {
+  return "\"hardware_concurrency\":" +
+         std::to_string(std::thread::hardware_concurrency()) +
+         ",\"fkd_num_threads\":\"" + FkdNumThreadsEnv() + "\"";
+}
+
+/// True — after printing a loud, unmissable warning — when the host cannot
+/// support a parallel-speedup expectation. Speedup gates must consult this
+/// and skip (not fail, and not silently pass) on 1-core CI boxes: the
+/// committed BENCH artifacts from such hosts record timings only.
+inline bool SkipSpeedupGateOnSmallHost(const char* bench, const char* gate,
+                                       unsigned needed_cores = 2) {
+  const unsigned cores = std::thread::hardware_concurrency();
+  if (cores >= needed_cores) return false;
+  std::fprintf(
+      stderr,
+      "============================================================\n"
+      "%s: SKIPPED: 1-core host\n"
+      "  hardware_concurrency=%u < %u required by gate \"%s\".\n"
+      "  Timings were recorded but no speedup is asserted; rerun on\n"
+      "  a multi-core host to exercise the parallel contract.\n"
+      "============================================================\n",
+      bench, cores, needed_cores, gate);
+  return true;
+}
+
+}  // namespace bench
+}  // namespace fkd
+
+#endif  // FKD_BENCH_BENCH_HARDWARE_H_

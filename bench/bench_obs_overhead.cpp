@@ -1,0 +1,195 @@
+// Observability-overhead microbench: the cost of this repo's always-on
+// request instrumentation, measured against the identical workload with it
+// stripped. The serving gate is < 2% overhead in the PR 5 configuration
+// (chrome tracing OFF, flight recorder ON) — observability that taxes the
+// hot path more than that does not ship enabled by default.
+//
+//   ./bench_obs_overhead [--reps=9] [--iters=20000] [--max-overhead-pct=2]
+//                        [--jsonl=/path/rows.jsonl]
+//
+// Two quantities are timed separately, each best-of-reps:
+//
+//   work_ns   — one baseline request's compute (a fixed kernel at the
+//               scale of a small scoring forward), instrumentation off;
+//   instr_ns  — one pass through the engine's per-request instrument
+//               path alone: flight-recorder events, HDR histogram
+//               observes, counter increments.
+//
+// The gate is instr_ns / work_ns < 2%. Decomposing beats timing one
+// combined loop with and without instrumentation: there the signal is the
+// tiny difference of two large wall-clock numbers, and on a busy 1-core
+// host scheduler jitter between the two runs routinely exceeds it. Here
+// jitter perturbs each measurement by a few percent *of itself*, so the
+// ratio moves by a few percent of the ~1% overhead — noise the gate
+// cannot feel. Reps are interleaved and the minimum is kept (preemption
+// only ever lengthens a rep). Exit code 1 when the gate fails.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_hardware.h"
+#include "common/flags.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using fkd::Rng;
+using fkd::Tensor;
+using fkd::WallTimer;
+using fkd::obs::FlightEventType;
+using fkd::obs::FlightRecorder;
+
+/// The per-request compute stand-in: a 128x128 GEMM (~tens of
+/// microseconds), a deliberately *low* floor for a single-article scoring
+/// forward (the real HFLU+GDU forward measures in the hundreds of
+/// microseconds) — so the overhead ratio this bench gates on is an
+/// overestimate of production impact. Reused buffers, seeded inputs.
+struct WorkUnit {
+  Tensor a, b, c;
+  WorkUnit() : a(128, 128), b(128, 128), c(128, 128) {
+    Rng rng(7);
+    a = Tensor::Randn(128, 128, &rng);
+    b = Tensor::Randn(128, 128, &rng);
+  }
+  void Run() { c = fkd::MatMul(a, b); }
+};
+
+/// Micro-batch size the per-batch instruments amortize over. The engine
+/// records kBatchStart/kBatchEnd and observes compute_us/batch_size once
+/// per *batch*; under load batches run full, so a per-request replay must
+/// spread that cost or it overstates the engine's real overhead.
+constexpr uint64_t kModelBatch = 8;
+
+/// The engine's per-request instrument path, replayed faithfully: the
+/// events and observations InferenceEngine + Router record for one ok
+/// request, with per-batch work amortized at kModelBatch.
+void RecordRequestPath(FlightRecorder* recorder, fkd::obs::Counter* requests,
+                       fkd::obs::Histogram* latency,
+                       fkd::obs::Histogram* queue, fkd::obs::Histogram* batch,
+                       fkd::obs::Histogram* compute, uint64_t id) {
+  recorder->Record(FlightEventType::kRequestSubmit, id, 0);
+  recorder->Record(FlightEventType::kEngineEnqueue, id, 1);
+  if (id % kModelBatch == 0) {
+    recorder->Record(FlightEventType::kBatchStart, kModelBatch, 1);
+    compute->Observe(800.0 + static_cast<double>(id % 100));
+    recorder->Record(FlightEventType::kBatchEnd, kModelBatch, 800);
+  }
+  queue->Observe(120.0 + static_cast<double>(id % 50));
+  batch->Observe(40.0 + static_cast<double>(id % 10));
+  latency->Observe(960.0 + static_cast<double>(id % 160));
+  requests->Increment();
+  recorder->Record(FlightEventType::kRequestComplete, id, 960);
+}
+
+/// Best-of-reps. Timing noise on a shared host is strictly additive
+/// (preemption and interrupts only ever lengthen a rep), so the minimum is
+/// the robust estimator of each config's true cost — the median still
+/// admits reps inflated by a scheduler burst, which on a 1-core box can
+/// exceed the instrumentation delta being measured.
+double MinSeconds(const std::vector<double>& reps) {
+  return *std::min_element(reps.begin(), reps.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fkd::FlagParser flags;
+  flags.AddInt("reps", 9, "interleaved repetitions per config (best-of)");
+  flags.AddInt("iters", 20000, "simulated requests per repetition");
+  flags.AddInt("max-overhead-pct", 2, "gate: max instrumented overhead");
+  flags.AddString("jsonl", "", "append one JSON result line to this file");
+  fkd::Status parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return parsed.code() == fkd::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+  const size_t reps = static_cast<size_t>(flags.GetInt("reps"));
+  const size_t iters = static_cast<size_t>(flags.GetInt("iters"));
+  const double max_overhead =
+      static_cast<double>(flags.GetInt("max-overhead-pct")) / 100.0;
+
+  WorkUnit work;
+  FlightRecorder& recorder = FlightRecorder::Get();
+  fkd::obs::MetricsRegistry registry;  // private: no exporter interference
+  auto* requests =
+      registry.GetCounter("fkd.serve.requests", {{"result", "ok"}});
+  auto* latency = registry.GetHistogram("fkd.serve.latency_us");
+  auto* queue = registry.GetHistogram("fkd.serve.queue_us");
+  auto* batch = registry.GetHistogram("fkd.serve.batch_form_us");
+  auto* compute = registry.GetHistogram("fkd.serve.compute_us");
+
+  // Warm-up: allocate the thread ring, touch every bucket path once.
+  recorder.SetEnabled(true);
+  for (uint64_t i = 0; i < 1000; ++i) {
+    work.Run();
+    RecordRequestPath(&recorder, requests, latency, queue, batch, compute, i);
+  }
+
+  // The instrument path is ~100x cheaper per call than the work unit, so
+  // it gets proportionally more iterations for comparable rep lengths.
+  const size_t instr_iters = iters * 50;
+  std::vector<double> work_reps, instr_reps;
+  uint64_t id = 0;
+  for (size_t rep = 0; rep < reps; ++rep) {
+    // Baseline request cost: compute only, recorder off.
+    recorder.SetEnabled(false);
+    {
+      WallTimer timer;
+      for (size_t i = 0; i < iters; ++i) work.Run();
+      work_reps.push_back(timer.ElapsedSeconds());
+    }
+    // The full PR 5 + observability per-request instrument path, alone.
+    recorder.SetEnabled(true);
+    {
+      WallTimer timer;
+      for (size_t i = 0; i < instr_iters; ++i) {
+        RecordRequestPath(&recorder, requests, latency, queue, batch, compute,
+                          ++id);
+      }
+      instr_reps.push_back(timer.ElapsedSeconds());
+    }
+  }
+
+  const double work_ns =
+      MinSeconds(work_reps) / static_cast<double>(iters) * 1e9;
+  const double instr_ns =
+      MinSeconds(instr_reps) / static_cast<double>(instr_iters) * 1e9;
+  const double overhead = instr_ns / work_ns;
+
+  std::printf("%-22s %14s\n", "quantity", "ns/request");
+  std::printf("%-22s %14.1f\n", "baseline compute", work_ns);
+  std::printf("%-22s %14.1f\n", "instrumentation", instr_ns);
+  std::printf("overhead: %.3f%%, gate < %.0f%%\n", overhead * 100.0,
+              max_overhead * 100.0);
+
+  const std::string jsonl_path = flags.GetString("jsonl");
+  if (!jsonl_path.empty()) {
+    std::ofstream jsonl(jsonl_path, std::ios::app);
+    FKD_CHECK(jsonl.good()) << "cannot open " << jsonl_path;
+    jsonl << "{\"bench\":\"obs_overhead\",\"iters\":" << iters
+          << ",\"reps\":" << reps << ",\"work_ns_per_request\":" << work_ns
+          << ",\"instr_ns_per_request\":" << instr_ns
+          << ",\"overhead_pct\":" << overhead * 100.0
+          << ",\"events_recorded\":" << recorder.NumRecorded() << ","
+          << fkd::bench::HardwareContextJsonFields() << "}\n";
+  }
+
+  if (overhead >= max_overhead) {
+    std::fprintf(stderr,
+                 "bench_obs_overhead: GATE FAILED: %.3f%% >= %.0f%% — the "
+                 "always-on instrumentation is too expensive for the "
+                 "serving hot path\n",
+                 overhead * 100.0, max_overhead * 100.0);
+    return 1;
+  }
+  std::printf("overhead gate: OK\n");
+  return 0;
+}

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_hardware.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "core/fake_detector.h"
@@ -201,6 +202,8 @@ int main(int argc, char** argv) {
          << "  \"bench\": \"serve_router\",\n"
          << "  \"hardware_concurrency\": "
          << std::thread::hardware_concurrency() << ",\n"
+         << "  \"fkd_num_threads\": \"" << fkd::bench::FkdNumThreadsEnv()
+         << "\",\n"
          << "  \"requests_per_pass\": " << num_requests << ",\n"
          << "  \"replicas\": " << options.num_replicas << ",\n"
          << "  \"cold\": {\"mean_us\": " << cold.mean_us

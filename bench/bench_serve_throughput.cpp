@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_hardware.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -208,12 +209,9 @@ int main(int argc, char** argv) {
               << ",\"mean_batch\":" << r.mean_batch
               << ",\"completed\":" << r.completed
               << ",\"rejected\":" << r.rejected
-              << ",\"wall_seconds\":" << r.wall_seconds
-              << ",\"fkd_num_threads\":\""
-              << (std::getenv("FKD_NUM_THREADS") != nullptr
-                      ? std::getenv("FKD_NUM_THREADS")
-                      : "")
-              << "\",\"pool_threads\":" << r.pool_threads
+              << ",\"wall_seconds\":" << r.wall_seconds << ","
+              << fkd::bench::HardwareContextJsonFields()
+              << ",\"pool_threads\":" << r.pool_threads
               << ",\"pool_tasks\":" << r.pool_tasks
               << ",\"pool_regions\":" << r.pool_regions << "}\n";
       }

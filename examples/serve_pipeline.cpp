@@ -7,8 +7,11 @@
 // version live — and dump the fkd.serve.* metrics recorded along the way.
 //
 //   ./serve_pipeline [--articles=200] [--requests=60] [--workers=2]
+//                    [--trace=trace.json]
 //
 // FKD_CANARY_PCT=<percent> sets the default canary traffic share.
+// With --trace and a tracing build, FKD_SLOW_TRACE_US=<n> controls which
+// requests leave queue/batch/compute spans (0 traces every request).
 
 #include <cstdio>
 #include <filesystem>
@@ -22,6 +25,7 @@
 #include "data/generator.h"
 #include "data/split.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/model_store.h"
 #include "serve/router.h"
 #include "serve/snapshot.h"
@@ -32,10 +36,20 @@ int main(int argc, char** argv) {
   flags.AddInt("requests", 60, "requests to serve");
   flags.AddInt("workers", 2, "engine worker threads");
   flags.AddString("snapshot", "", "snapshot directory (default: temp)");
+  flags.AddString("trace", "", "optional chrome://tracing JSON output path");
   fkd::Status parsed = flags.Parse(argc, argv);
   if (!parsed.ok()) {
     std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
     return parsed.code() == fkd::StatusCode::kFailedPrecondition ? 0 : 1;
+  }
+
+  const std::string trace_path = flags.GetString("trace");
+  if (!trace_path.empty()) {
+    fkd::obs::Tracer::Get().Enable(true);
+    if (!FKD_TRACING_ENABLED) {
+      FKD_LOG(Warning) << "--trace requested but spans are compiled out; "
+                          "reconfigure with -DFKD_ENABLE_TRACING=ON";
+    }
   }
 
   // 1. Train on a synthetic PolitiFact-style corpus.
@@ -195,6 +209,11 @@ int main(int argc, char** argv) {
     }
     if (end == std::string::npos) break;
     pos = end + 1;
+  }
+  if (!trace_path.empty()) {
+    FKD_CHECK_OK(fkd::obs::Tracer::Get().WriteChromeJson(trace_path));
+    std::printf("trace written to %s (open in chrome://tracing)\n",
+                trace_path.c_str());
   }
   return 0;
 }

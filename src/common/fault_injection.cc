@@ -113,6 +113,13 @@ FaultAction FaultInjector::Hit(const std::string& site) {
       action = it->second.action;
     }
   }
+  if (action == FaultAction::kCrash || action == FaultAction::kFatal) {
+    // Give the flight recorder (or any registered observer) a last chance
+    // to dump diagnostic state. Outside the lock: the hook may Record().
+    if (CrashHook hook = crash_hook_.load(std::memory_order_acquire)) {
+      hook(site.c_str(), static_cast<int>(action));
+    }
+  }
   if (action == FaultAction::kCrash) {
     // Simulated kill: no stream flushing, no atexit handlers — exactly the
     // state a SIGKILL mid-write leaves on disk.

@@ -1,6 +1,7 @@
 #ifndef FKD_COMMON_FAULT_INJECTION_H_
 #define FKD_COMMON_FAULT_INJECTION_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -50,6 +51,12 @@ inline constexpr int kFaultCrashExitCode = 134;
 /// Thread-safe: sites may be hit concurrently (serving workers do).
 class FaultInjector {
  public:
+  /// Called right before a kCrash _exit and on every kFatal hit, with the
+  /// site name and the FaultAction as an int. Lets higher layers (the
+  /// obs::FlightRecorder) dump diagnostic state without this low-level
+  /// library depending on them.
+  using CrashHook = void (*)(const char* site, int action);
+
   FaultInjector() = default;
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -81,6 +88,12 @@ class FaultInjector {
   /// Times `site` was hit since the last Configure/Clear (for tests).
   uint64_t HitCount(const std::string& site) const;
 
+  /// Registers the crash/fatal observer (nullptr to clear). The hook is
+  /// invoked outside the injector lock; it must not call back into Hit().
+  void SetCrashHook(CrashHook hook) {
+    crash_hook_.store(hook, std::memory_order_release);
+  }
+
  private:
   struct Rule {
     FaultAction action = FaultAction::kNone;
@@ -91,6 +104,7 @@ class FaultInjector {
   mutable std::mutex mutex_;
   std::map<std::string, Rule> rules_;
   std::map<std::string, uint64_t> hits_;
+  std::atomic<CrashHook> crash_hook_{nullptr};
 };
 
 }  // namespace fkd

@@ -1,6 +1,8 @@
 #ifndef FKD_COMMON_LOGGING_H_
 #define FKD_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -57,6 +59,13 @@ class NullLog {
   }
 };
 
+/// True on the 1st, (n+1)th, (2n+1)th... call against `counter` — the
+/// sampling gate behind FKD_LOG_EVERY_N. One relaxed fetch_add per call.
+inline bool ShouldLogEveryN(std::atomic<uint64_t>* counter, uint64_t n) {
+  if (n <= 1) return true;
+  return counter->fetch_add(1, std::memory_order_relaxed) % n == 0;
+}
+
 }  // namespace internal
 
 /// Runtime-configurable global log verbosity.
@@ -64,6 +73,20 @@ inline void SetLogLevel(LogLevel level) { internal::SetMinLogLevel(level); }
 
 #define FKD_LOG(level)                                                      \
   ::fkd::internal::LogMessage(::fkd::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Rate-limited logging for hot paths: emits the 1st, (n+1)th, (2n+1)th...
+/// occurrence *at this call site* and swallows the rest, so a retry storm
+/// or breaker flap cannot flood the sink. The per-site counter lives in a
+/// lambda-local static, making this a single statement usable anywhere
+/// FKD_LOG is. Emitted lines keep the ISO-8601 + mutex contract of FKD_LOG.
+#define FKD_LOG_EVERY_N(level, n)                                            \
+  if (::fkd::internal::ShouldLogEveryN(                                      \
+          [] {                                                               \
+            static ::std::atomic<uint64_t> fkd_log_site_counter{0};          \
+            return &fkd_log_site_counter;                                    \
+          }(),                                                               \
+          (n)))                                                              \
+  FKD_LOG(level)
 
 /// Invariant check: aborts with a diagnostic when `condition` is false.
 /// Use for programmer errors only; recoverable failures return Status.

@@ -116,12 +116,28 @@ Tensor DiffusionModel::ScoreArticles(
   FKD_CHECK_EQ(subject_states.cols(), article_gdu_.hidden_dim());
 
   ag::InferenceModeGuard no_grad;
-  const ag::Variable xa = article_hflu_.Forward(input);
+  // Sub-stage spans nest under fkd/score_articles in the chrome trace, so a
+  // slow serve/compute stage can be attributed to the text encoder, the
+  // graph aggregation, or the diffusion step.
+  ag::Variable xa;
+  {
+    FKD_TRACE_SCOPE("fkd/score_articles/hflu_forward");
+    xa = article_hflu_.Forward(input);
+  }
   const ag::Variable hu(creator_states, false, "frozen_hu");
   const ag::Variable hs(subject_states, false, "frozen_hs");
-  const ag::Variable za = ag::GroupMeanRows(hs, subject_groups);
-  const ag::Variable ta = ag::GroupMeanRows(hu, creator_groups);
-  const ag::Variable ha = article_gdu_.Step(xa, za, ta);
+  ag::Variable za, ta;
+  {
+    FKD_TRACE_SCOPE("fkd/score_articles/graph_aggregate");
+    za = ag::GroupMeanRows(hs, subject_groups);
+    ta = ag::GroupMeanRows(hu, creator_groups);
+  }
+  ag::Variable ha;
+  {
+    FKD_TRACE_SCOPE("fkd/score_articles/gdu_step");
+    ha = article_gdu_.Step(xa, za, ta);
+  }
+  FKD_TRACE_SCOPE("fkd/score_articles/head_forward");
   return article_head_.Forward(ha).value();
 }
 

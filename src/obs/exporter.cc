@@ -1,0 +1,201 @@
+#include "obs/exporter.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fkd {
+namespace obs {
+
+namespace {
+
+std::string Num(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "0";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    return StrFormat("%lld", static_cast<long long>(v));
+  }
+  return StrFormat("%.6g", v);
+}
+
+std::string EscapeKey(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void AppendHistogramStats(const HistogramSnapshot& h, std::string* out) {
+  *out += "\"count\":" + Num(static_cast<double>(h.count));
+  *out += ",\"mean\":" + Num(h.Mean());
+  *out += ",\"p50\":" + Num(h.Percentile(0.5));
+  *out += ",\"p99\":" + Num(h.Percentile(0.99));
+  *out += ",\"p999\":" + Num(h.Percentile(0.999));
+}
+
+}  // namespace
+
+StatsExporter::StatsExporter(StatsExporterOptions options)
+    : options_(std::move(options)) {
+  if (options_.registry == nullptr) {
+    options_.registry = &MetricsRegistry::Default();
+  }
+  if (options_.interval_ms <= 0) options_.interval_ms = 1000;
+}
+
+StatsExporter::~StatsExporter() { Stop(); }
+
+Status StatsExporter::Start() {
+  if (started_) return Status::FailedPrecondition("exporter already started");
+  out_.open(options_.path, std::ios::app);
+  if (!out_.is_open()) {
+    return Status::IoError("cannot open stats path " + options_.path);
+  }
+  start_time_ = last_tick_time_ = std::chrono::steady_clock::now();
+  stop_requested_ = false;
+  started_ = true;
+  thread_ = std::thread(&StatsExporter::Loop, this);
+  return Status::OK();
+}
+
+void StatsExporter::Stop() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  TickOnce();  // final flush so short runs still leave at least one line
+  out_.close();
+  started_ = false;
+}
+
+void StatsExporter::Loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_requested_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    TickOnce();
+    lock.lock();
+  }
+}
+
+void StatsExporter::TickOnce() {
+  std::lock_guard<std::mutex> tick_lock(tick_mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  double interval_seconds =
+      std::chrono::duration<double>(now - last_tick_time_).count();
+  if (interval_seconds <= 0) {
+    interval_seconds = options_.interval_ms / 1000.0;
+  }
+  last_tick_time_ = now;
+  const std::string line = BuildLine(interval_seconds);
+  if (out_.is_open()) {
+    out_ << line << "\n";
+    out_.flush();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++ticks_;
+}
+
+std::string StatsExporter::BuildLine(double interval_seconds) {
+  const auto now = std::chrono::steady_clock::now();
+  const int64_t uptime_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now - start_time_)
+          .count();
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seq = ticks_ + 1;
+  }
+  std::string counters, gauges, histograms;
+  for (const InstrumentView& view : options_.registry->Views()) {
+    const std::string key = "\"" + EscapeKey(view.identity) + "\":";
+    switch (view.kind) {
+      case InstrumentKind::kCounter: {
+        const double total = view.counter->Value();
+        const double prev = prev_counters_.count(view.identity)
+                                ? prev_counters_[view.identity]
+                                : 0.0;
+        const double rate =
+            interval_seconds > 0 ? (total - prev) / interval_seconds : 0.0;
+        prev_counters_[view.identity] = total;
+        if (!counters.empty()) counters += ',';
+        counters += key + "{\"total\":" + Num(total) +
+                    ",\"rate\":" + Num(std::max(0.0, rate)) + "}";
+        break;
+      }
+      case InstrumentKind::kGauge: {
+        if (!gauges.empty()) gauges += ',';
+        gauges += key + Num(view.gauge->Value());
+        break;
+      }
+      case InstrumentKind::kHistogram: {
+        const HistogramSnapshot current = view.histogram->Snapshot();
+        std::string entry = "{";
+        AppendHistogramStats(current, &entry);
+        auto it = prev_histograms_.find(view.identity);
+        if (it != prev_histograms_.end() &&
+            it->second.counts.size() == current.counts.size()) {
+          const HistogramSnapshot window = SnapshotDelta(current, it->second);
+          entry += ",\"window\":{";
+          AppendHistogramStats(window, &entry);
+          entry += "}";
+        }
+        entry += "}";
+        prev_histograms_[view.identity] = current;
+        if (!histograms.empty()) histograms += ',';
+        histograms += key + entry;
+        break;
+      }
+    }
+  }
+  std::string line = "{\"type\":\"fkd_stats\",\"seq\":" + Num(double(seq)) +
+                     ",\"uptime_ms\":" + Num(double(uptime_ms)) +
+                     ",\"interval_ms\":" + Num(double(options_.interval_ms)) +
+                     ",\"counters\":{" + counters + "},\"gauges\":{" + gauges +
+                     "},\"histograms\":{" + histograms + "}}";
+  return line;
+}
+
+uint64_t StatsExporter::NumTicks() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ticks_;
+}
+
+StatsExporter* StatsExporter::MaybeStartFromEnvironment() {
+  static StatsExporter* exporter = [] () -> StatsExporter* {
+    const char* interval_env = std::getenv("FKD_STATS_INTERVAL_MS");
+    if (interval_env == nullptr || interval_env[0] == '\0') return nullptr;
+    int interval_ms = std::atoi(interval_env);
+    if (interval_ms <= 0) return nullptr;
+    StatsExporterOptions options;
+    options.interval_ms = interval_ms;
+    if (const char* path = std::getenv("FKD_STATS_PATH")) {
+      if (path[0] != '\0') options.path = path;
+    }
+    auto* created = new StatsExporter(std::move(options));
+    const Status status = created->Start();
+    if (!status.ok()) {
+      FKD_LOG(Warning) << "stats exporter disabled: " << status.ToString();
+      delete created;
+      return nullptr;
+    }
+    FKD_LOG(Info) << "stats exporter writing " << created->options().path
+                  << " every " << created->options().interval_ms << "ms";
+    return created;
+  }();
+  return exporter;
+}
+
+}  // namespace obs
+}  // namespace fkd

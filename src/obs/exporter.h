@@ -1,0 +1,98 @@
+#ifndef FKD_OBS_EXPORTER_H_
+#define FKD_OBS_EXPORTER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace fkd {
+namespace obs {
+
+struct StatsExporterOptions {
+  /// JSONL output, appended to (one object per tick).
+  std::string path = "fkd_stats.jsonl";
+  /// Tick period. The exporter wakes, snapshots the registry, and writes
+  /// one line; windowed histogram stats cover exactly the last interval.
+  int interval_ms = 1000;
+  /// Registry to export; defaults to the process-wide one.
+  MetricsRegistry* registry = nullptr;
+};
+
+/// Background thread that periodically snapshots a MetricsRegistry and
+/// appends one self-contained JSON object per tick:
+///
+///   {"type":"fkd_stats","seq":3,"uptime_ms":3021,"interval_ms":1000,
+///    "counters":{"fkd.serve.requests{result=ok}":{"total":812,"rate":270.1}},
+///    "gauges":{"fkd.serve.queue_depth{}":2},
+///    "histograms":{"fkd.serve.latency_us{}":{"count":812,"p50":410,
+///       "p99":1810,"p999":2474,
+///       "window":{"count":271,"mean":501.2,"p50":405,"p99":1754,"p999":2390}}}}
+///
+/// `rate` is the counter delta divided by the measured tick duration;
+/// `window` is the histogram delta since the previous tick (SnapshotDelta),
+/// i.e. true last-N-seconds percentiles rather than since-process-start.
+/// `fkd_obstop` tails this file to render a live dashboard.
+class StatsExporter {
+ public:
+  explicit StatsExporter(StatsExporterOptions options);
+  ~StatsExporter();
+
+  StatsExporter(const StatsExporter&) = delete;
+  StatsExporter& operator=(const StatsExporter&) = delete;
+
+  /// Opens the output for append and spawns the tick thread.
+  Status Start();
+
+  /// Stops the thread after flushing one final tick. Idempotent.
+  void Stop();
+
+  /// One synchronous tick (snapshot + write + flush). Used by tests and by
+  /// Stop() for the final flush; safe to call whether or not Start() ran,
+  /// as long as the output was opened.
+  void TickOnce();
+
+  uint64_t NumTicks() const;
+  const StatsExporterOptions& options() const { return options_; }
+
+  /// If FKD_STATS_INTERVAL_MS is set (and > 0), starts a process-wide
+  /// exporter writing to FKD_STATS_PATH (or the default path) on first
+  /// call and returns it; otherwise returns nullptr. Idempotent — callers
+  /// sprinkle this at serving entry points (Router::Start, benches).
+  static StatsExporter* MaybeStartFromEnvironment();
+
+ private:
+  void Loop();
+  std::string BuildLine(double interval_seconds);
+
+  StatsExporterOptions options_;
+  std::ofstream out_;
+  std::thread thread_;
+  bool started_ = false;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  uint64_t ticks_ = 0;
+
+  /// Serialises whole ticks (loop thread vs TickOnce from tests/Stop).
+  std::mutex tick_mutex_;
+
+  std::chrono::steady_clock::time_point start_time_;
+  std::chrono::steady_clock::time_point last_tick_time_;
+  /// Previous-tick state keyed by instrument identity.
+  std::map<std::string, double> prev_counters_;
+  std::map<std::string, HistogramSnapshot> prev_histograms_;
+};
+
+}  // namespace obs
+}  // namespace fkd
+
+#endif  // FKD_OBS_EXPORTER_H_

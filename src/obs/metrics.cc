@@ -82,7 +82,63 @@ std::string LabelsJson(const Labels& labels) {
   return out;
 }
 
+size_t NumExponents(const HistogramOptions& options) {
+  return static_cast<size_t>(
+      std::max(1.0, std::ceil(std::log2(options.max_value))));
+}
+
+size_t NumBucketsFor(const HistogramOptions& options) {
+  // underflow (< 1) + log-linear range + overflow (>= 2^E).
+  return 1 + NumExponents(options) * options.sub_buckets + 1;
+}
+
+/// Percentile over a raw bucket array — shared by live histograms and
+/// snapshots. Linear interpolation within the owning bucket, clamped to
+/// the exact observed [min, max].
+double PercentileImpl(const HistogramOptions& options,
+                      const std::vector<uint64_t>& counts, uint64_t count,
+                      double min, double max, double p) {
+  if (count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const std::vector<double> bounds = BucketBoundsFor(options);
+  const double rank = p * static_cast<double>(count);
+  uint64_t seen = 0;
+  double lower = 0.0;
+  for (size_t bucket = 0; bucket < counts.size(); ++bucket) {
+    const double upper = std::isinf(bounds[bucket]) ? max : bounds[bucket];
+    if (counts[bucket] > 0) {
+      if (static_cast<double>(seen + counts[bucket]) >= rank) {
+        const double lo = std::max(lower, min);
+        const double hi = std::min(upper, max);
+        if (hi <= lo) return lo;
+        const double within = (rank - static_cast<double>(seen)) /
+                              static_cast<double>(counts[bucket]);
+        return lo + within * (hi - lo);
+      }
+      seen += counts[bucket];
+    }
+    lower = bounds[bucket];
+  }
+  return max;
+}
+
 }  // namespace
+
+std::vector<double> BucketBoundsFor(const HistogramOptions& options) {
+  const size_t num_exponents = NumExponents(options);
+  const double sub = static_cast<double>(options.sub_buckets);
+  std::vector<double> bounds;
+  bounds.reserve(NumBucketsFor(options));
+  bounds.push_back(1.0);  // underflow bucket covers [0, 1)
+  for (size_t e = 0; e < num_exponents; ++e) {
+    const double base = std::ldexp(1.0, static_cast<int>(e));  // 2^e
+    for (size_t s = 0; s < options.sub_buckets; ++s) {
+      bounds.push_back(base * (1.0 + static_cast<double>(s + 1) / sub));
+    }
+  }
+  bounds.push_back(std::numeric_limits<double>::infinity());
+  return bounds;
+}
 
 // ---- Counter / Gauge --------------------------------------------------------
 
@@ -103,110 +159,144 @@ void Gauge::Add(double delta) {
 
 // ---- Histogram --------------------------------------------------------------
 
-Histogram::Histogram(HistogramOptions options) : options_(options) {
-  FKD_CHECK_GT(options_.first_bound, 0.0);
-  FKD_CHECK_GT(options_.growth, 1.0);
-  FKD_CHECK_GT(options_.num_buckets, 0u);
-  counts_.assign(options_.num_buckets + 1, 0);
+Histogram::Histogram(HistogramOptions options)
+    : options_(options),
+      num_exponents_(NumExponents(options)),
+      counts_(NumBucketsFor(options)) {
+  FKD_CHECK_GT(options_.max_value, 1.0);
+  FKD_CHECK_GT(options_.sub_buckets, 0u);
+}
+
+size_t Histogram::BucketIndex(double value) const {
+  if (!(value >= 1.0)) return 0;  // underflow; also catches NaN/negative
+  int exp2 = 0;
+  const double mantissa = std::frexp(value, &exp2);  // value = m * 2^e, m in [0.5,1)
+  const size_t exponent = static_cast<size_t>(exp2 - 1);
+  if (exponent >= num_exponents_) return counts_.size() - 1;  // overflow
+  // mantissa*2 - 1 maps [2^e, 2^{e+1}) onto [0, 1) linearly.
+  size_t sub = static_cast<size_t>((mantissa * 2.0 - 1.0) *
+                                   static_cast<double>(options_.sub_buckets));
+  sub = std::min(sub, options_.sub_buckets - 1);
+  return 1 + exponent * options_.sub_buckets + sub;
 }
 
 void Histogram::Observe(double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  size_t bucket = 0;
-  double bound = options_.first_bound;
-  while (bucket < options_.num_buckets && value > bound) {
-    bound *= options_.growth;
-    ++bucket;
+  counts_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
   }
-  ++counts_[bucket];
-  ++count_;
-  sum_ += value;
-  if (count_ == 1) {
-    min_ = max_ = value;
-  } else {
-    min_ = std::min(min_, value);
-    max_ = std::max(max_, value);
+  // min_/max_ start at +/-infinity, so the first observation wins the
+  // check like any other; the common steady-state case is a relaxed load
+  // plus a failed comparison, no RMW. Plain CAS races are fine because the
+  // extremes only move monotonically.
+  double lo = min_.load(std::memory_order_relaxed);
+  while (value < lo &&
+         !min_.compare_exchange_weak(lo, value, std::memory_order_relaxed)) {
+  }
+  double hi = max_.load(std::memory_order_relaxed);
+  while (value > hi &&
+         !max_.compare_exchange_weak(hi, value, std::memory_order_relaxed)) {
   }
 }
 
 uint64_t Histogram::Count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return count_;
-}
-
-double Histogram::Sum() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return sum_;
+  uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
 }
 
 double Histogram::Min() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return min_;
+  return Count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
 }
 
 double Histogram::Max() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return max_;
+  return Count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
 }
 
 double Histogram::Mean() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  const uint64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
 }
 
 double Histogram::Percentile(double p) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (count_ == 0) return 0.0;
-  p = std::clamp(p, 0.0, 1.0);
-  const double rank = p * static_cast<double>(count_);
-  uint64_t seen = 0;
-  double lower = 0.0;
-  double bound = options_.first_bound;
-  for (size_t bucket = 0; bucket < counts_.size(); ++bucket) {
-    const bool overflow = bucket == counts_.size() - 1;
-    const double upper =
-        overflow ? std::max(max_, bound / options_.growth) : bound;
-    if (counts_[bucket] > 0) {
-      if (static_cast<double>(seen + counts_[bucket]) >= rank) {
-        // Clamp interpolation to the observed range.
-        const double lo = std::max(lower, min_);
-        const double hi = std::min(upper, max_);
-        if (hi <= lo) return lo;
-        const double within =
-            (rank - static_cast<double>(seen)) /
-            static_cast<double>(counts_[bucket]);
-        return lo + within * (hi - lo);
-      }
-      seen += counts_[bucket];
-    }
-    lower = bound;
-    bound *= options_.growth;
+  return Snapshot().Percentile(p);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snapshot;
+  snapshot.options = options_;
+  snapshot.counts.resize(counts_.size());
+  // Read buckets first, then the summary stats: a concurrent Observe may
+  // land between the two reads, so count >= sum(buckets) — never the
+  // reverse, which keeps percentile ranks conservative.
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    snapshot.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    bucket_total += snapshot.counts[i];
   }
-  return max_;
+  snapshot.count = bucket_total;
+  snapshot.sum = sum_.load(std::memory_order_relaxed);
+  if (bucket_total > 0) {
+    snapshot.min = min_.load(std::memory_order_relaxed);
+    snapshot.max = max_.load(std::memory_order_relaxed);
+  }
+  return snapshot;
 }
 
 std::vector<double> Histogram::BucketBounds() const {
-  std::vector<double> bounds;
-  bounds.reserve(options_.num_buckets + 1);
-  double bound = options_.first_bound;
-  for (size_t i = 0; i < options_.num_buckets; ++i) {
-    bounds.push_back(bound);
-    bound *= options_.growth;
-  }
-  bounds.push_back(std::numeric_limits<double>::infinity());
-  return bounds;
+  return BucketBoundsFor(options_);
 }
 
 std::vector<uint64_t> Histogram::BucketCounts() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return counts_;
+  std::vector<uint64_t> counts(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::fill(counts_.begin(), counts_.end(), 0);
-  count_ = 0;
-  sum_ = min_ = max_ = 0.0;
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  return PercentileImpl(options, counts, count, min, max, p);
+}
+
+HistogramSnapshot SnapshotDelta(const HistogramSnapshot& current,
+                                const HistogramSnapshot& previous) {
+  FKD_CHECK_EQ(current.counts.size(), previous.counts.size())
+      << "snapshot delta across different bucket layouts";
+  HistogramSnapshot delta;
+  delta.options = current.options;
+  delta.counts.resize(current.counts.size());
+  uint64_t total = 0;
+  for (size_t i = 0; i < current.counts.size(); ++i) {
+    const uint64_t cur = current.counts[i];
+    const uint64_t prev = previous.counts[i];
+    delta.counts[i] = cur > prev ? cur - prev : 0;
+    total += delta.counts[i];
+  }
+  delta.count = total;
+  delta.sum = current.sum - previous.sum;
+  if (total == 0) return delta;
+  // Exact window extremes are not tracked; approximate them from the
+  // outermost non-empty delta buckets so interpolation stays bounded.
+  const std::vector<double> bounds = BucketBoundsFor(delta.options);
+  size_t first = 0;
+  while (delta.counts[first] == 0) ++first;
+  size_t last = delta.counts.size() - 1;
+  while (delta.counts[last] == 0) --last;
+  delta.min = first == 0 ? std::max(0.0, current.min) : bounds[first - 1];
+  delta.max = std::isinf(bounds[last]) ? current.max : bounds[last];
+  if (delta.max < delta.min) delta.max = delta.min;
+  return delta;
 }
 
 // ---- MetricsRegistry --------------------------------------------------------
@@ -267,6 +357,32 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
   return instrument->histogram.get();
 }
 
+std::vector<InstrumentView> MetricsRegistry::Views() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<InstrumentView> views;
+  views.reserve(instruments_.size());
+  for (const auto& [key, instrument] : instruments_) {
+    InstrumentView view;
+    view.identity = key;
+    view.name = instrument.name;
+    view.labels = instrument.labels;
+    if (instrument.counter != nullptr) {
+      view.kind = InstrumentKind::kCounter;
+      view.counter = instrument.counter.get();
+    } else if (instrument.gauge != nullptr) {
+      view.kind = InstrumentKind::kGauge;
+      view.gauge = instrument.gauge.get();
+    } else if (instrument.histogram != nullptr) {
+      view.kind = InstrumentKind::kHistogram;
+      view.histogram = instrument.histogram.get();
+    } else {
+      continue;  // placeholder created but never typed; skip
+    }
+    views.push_back(std::move(view));
+  }
+  return views;
+}
+
 std::string MetricsRegistry::ExportText() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
@@ -277,12 +393,14 @@ std::string MetricsRegistry::ExportText() const {
     } else if (instrument.gauge != nullptr) {
       out << "gauge " << FormatNumber(instrument.gauge->Value());
     } else if (instrument.histogram != nullptr) {
-      const Histogram& h = *instrument.histogram;
-      out << "histogram count=" << h.Count() << " sum=" << FormatNumber(h.Sum())
-          << " min=" << FormatNumber(h.Min()) << " max=" << FormatNumber(h.Max())
+      const HistogramSnapshot h = instrument.histogram->Snapshot();
+      out << "histogram count=" << h.count << " sum=" << FormatNumber(h.sum)
+          << " min=" << FormatNumber(h.min) << " max=" << FormatNumber(h.max)
           << " mean=" << FormatNumber(h.Mean())
           << " p50=" << FormatNumber(h.Percentile(0.5))
-          << " p95=" << FormatNumber(h.Percentile(0.95));
+          << " p95=" << FormatNumber(h.Percentile(0.95))
+          << " p99=" << FormatNumber(h.Percentile(0.99))
+          << " p999=" << FormatNumber(h.Percentile(0.999));
     }
     out << "\n";
   }
@@ -302,25 +420,26 @@ std::string MetricsRegistry::ExportJsonl() const {
       out << "\"type\":\"gauge\",\"value\":"
           << FormatNumber(instrument.gauge->Value());
     } else if (instrument.histogram != nullptr) {
-      const Histogram& h = *instrument.histogram;
-      out << "\"type\":\"histogram\",\"count\":" << h.Count()
-          << ",\"sum\":" << FormatNumber(h.Sum())
-          << ",\"min\":" << FormatNumber(h.Min())
-          << ",\"max\":" << FormatNumber(h.Max())
+      const HistogramSnapshot h = instrument.histogram->Snapshot();
+      out << "\"type\":\"histogram\",\"count\":" << h.count
+          << ",\"sum\":" << FormatNumber(h.sum)
+          << ",\"min\":" << FormatNumber(h.min)
+          << ",\"max\":" << FormatNumber(h.max)
           << ",\"mean\":" << FormatNumber(h.Mean())
           << ",\"p50\":" << FormatNumber(h.Percentile(0.5))
           << ",\"p95\":" << FormatNumber(h.Percentile(0.95))
+          << ",\"p99\":" << FormatNumber(h.Percentile(0.99))
+          << ",\"p999\":" << FormatNumber(h.Percentile(0.999))
           << ",\"buckets\":[";
-      const auto bounds = h.BucketBounds();
-      const auto counts = h.BucketCounts();
+      const auto bounds = BucketBoundsFor(h.options);
       bool first = true;
-      for (size_t i = 0; i < counts.size(); ++i) {
-        if (counts[i] == 0) continue;  // Sparse: empty buckets are implicit.
+      for (size_t i = 0; i < h.counts.size(); ++i) {
+        if (h.counts[i] == 0) continue;  // Sparse: empty buckets are implicit.
         if (!first) out << ",";
         first = false;
         out << "[" << (std::isinf(bounds[i]) ? std::string("\"inf\"")
                                              : FormatNumber(bounds[i]))
-            << "," << counts[i] << "]";
+            << "," << h.counts[i] << "]";
       }
       out << "]";
     }

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -53,18 +54,48 @@ class Gauge {
   std::atomic<double> value_;
 };
 
-/// Bucket layout of a Histogram: fixed exponential bounds
-/// first_bound * growth^i for i in [0, num_buckets), plus an overflow
-/// bucket. The defaults cover 1us .. ~10^9us, the range of every duration
-/// metric in this codebase.
+/// Bucket layout of a Histogram: HDR-style log-linear buckets. Every power
+/// of two in [1, max_value] is split into `sub_buckets` linear sub-buckets,
+/// so any recorded value is bucketed with bounded *relative* error
+/// <= 1/sub_buckets across the whole range — accurate p50 and p999 from
+/// the same instrument, unlike fixed exponential buckets whose error grows
+/// with the growth factor. Values below 1 share one underflow bucket and
+/// values above max_value one overflow bucket.
 struct HistogramOptions {
-  double first_bound = 1.0;
-  double growth = 4.0;
-  size_t num_buckets = 16;
+  double max_value = 1e9;   ///< Upper edge of the finest-grained range.
+  size_t sub_buckets = 64;  ///< Linear sub-buckets per power of two.
 };
 
-/// Distribution of observed values: exponential buckets plus exact
-/// count/sum/min/max summary stats. Thread-safe.
+/// A point-in-time copy of a histogram's buckets and summary stats.
+/// Snapshots subtract (`Delta`) to give windowed views — the distribution
+/// of only the observations recorded between two snapshots — which is how
+/// the StatsExporter derives last-interval p50/p99/p999.
+struct HistogramSnapshot {
+  HistogramOptions options;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when empty.
+  double max = 0.0;  ///< 0 when empty.
+
+  double Mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Same interpolation rules as Histogram::Percentile.
+  double Percentile(double p) const;
+};
+
+/// Windowed difference `current - previous` (elementwise on buckets).
+/// `previous` must come from the same instrument (same layout); min/max of
+/// the delta are approximated from the outermost non-empty delta buckets.
+HistogramSnapshot SnapshotDelta(const HistogramSnapshot& current,
+                                const HistogramSnapshot& previous);
+
+/// Distribution of observed values: lock-free log-linear buckets plus
+/// count/sum/min/max summary stats. Observe() is wait-free on the bucket
+/// counter (one relaxed fetch_add) with short CAS loops only for the
+/// sum/min/max extremes — safe to call from every serving worker on every
+/// request. Thread-safe.
 class Histogram {
  public:
   explicit Histogram(HistogramOptions options = {});
@@ -73,31 +104,67 @@ class Histogram {
 
   void Observe(double value);
 
+  /// Total observations: the sum over bucket counters. O(num_buckets), but
+  /// reads happen at export cadence (~1/s) while Observe() runs on every
+  /// request — keeping a separate total counter would add a hot-path RMW
+  /// to subsidise a cold read.
   uint64_t Count() const;
-  double Sum() const;
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
   double Min() const;  ///< 0 when empty.
   double Max() const;  ///< 0 when empty.
   double Mean() const;
 
-  /// Approximate percentile (0 < p < 1) by linear interpolation within the
-  /// owning bucket. Exact for min/max queries at p=0/1 boundaries.
+  /// Percentile (0 < p < 1) by linear interpolation within the owning
+  /// bucket; relative error is bounded by the sub-bucket resolution
+  /// (~1/sub_buckets). Exact at the min/max boundaries.
   double Percentile(double p) const;
+
+  /// Consistent-enough copy for export and windowed views. Buckets are
+  /// read individually (relaxed) while writers proceed, so a snapshot
+  /// taken mid-Observe may be off by the in-flight observation — fine for
+  /// monitoring, never torn within a field.
+  HistogramSnapshot Snapshot() const;
 
   /// Upper bounds, one per bucket (the overflow bucket has bound +inf).
   std::vector<double> BucketBounds() const;
   std::vector<uint64_t> BucketCounts() const;
 
+  size_t num_buckets() const { return counts_.size(); }
+  const HistogramOptions& options() const { return options_; }
+
   /// Resets every count and summary stat (bucket layout is kept).
   void Reset();
 
  private:
+  size_t BucketIndex(double value) const;
+
   HistogramOptions options_;
-  mutable std::mutex mutex_;
-  std::vector<uint64_t> counts_;  // num_buckets + 1 (overflow)
-  uint64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
+  size_t num_exponents_ = 0;
+  std::vector<std::atomic<uint64_t>> counts_;  // underflow + log-linear + overflow
+  std::atomic<double> sum_{0.0};
+  // Seeded at the identity extremes so the first Observe() needs no
+  // special case: any real value beats +/-infinity in the CAS check.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Upper bucket bounds for a layout (shared by Histogram and snapshots).
+std::vector<double> BucketBoundsFor(const HistogramOptions& options);
+
+/// What kind of instrument an InstrumentView points at.
+enum class InstrumentKind { kCounter, kGauge, kHistogram };
+
+/// A read-only view of one registered instrument, as returned by
+/// MetricsRegistry::Views(). The pointers stay valid for the registry's
+/// lifetime (instruments are never destroyed).
+struct InstrumentView {
+  std::string identity;  ///< name{k=v,...} — stable export key.
+  std::string name;
+  Labels labels;
+  InstrumentKind kind = InstrumentKind::kCounter;
+  const Counter* counter = nullptr;
+  const Gauge* gauge = nullptr;
+  const Histogram* histogram = nullptr;
 };
 
 /// Thread-safe registry of named instruments. Instruments are identified by
@@ -124,14 +191,18 @@ class MetricsRegistry {
   Histogram* GetHistogram(const std::string& name, const Labels& labels = {},
                           const HistogramOptions& options = {});
 
+  /// Stable views of every registered instrument, sorted by identity —
+  /// what the StatsExporter iterates every tick.
+  std::vector<InstrumentView> Views() const;
+
   /// Human-readable dump, one instrument per line, sorted by identity.
   std::string ExportText() const;
 
   /// Machine-readable dump: one JSON object per line, e.g.
   ///   {"name":"fkd.train.loss","labels":{"method":"rnn"},
   ///    "type":"gauge","value":0.693}
-  /// Histogram lines carry count/sum/min/max/mean/p50/p95 and the bucket
-  /// arrays.
+  /// Histogram lines carry count/sum/min/max/mean/p50/p95/p99/p999 and the
+  /// bucket arrays.
   std::string ExportJsonl() const;
   Status WriteJsonl(const std::string& path) const;
 

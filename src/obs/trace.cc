@@ -93,8 +93,9 @@ std::string Tracer::ExportChromeJson() const {
     out << "\n{\"name\":\"" << JsonEscape(e.name)
         << "\",\"cat\":\"fkd\",\"ph\":\"X\",\"ts\":" << e.start_us
         << ",\"dur\":" << e.duration_us << ",\"pid\":1,\"tid\":"
-        << (e.thread_id % 1000000) << ",\"args\":{\"depth\":" << e.depth
-        << "}}";
+        << (e.thread_id % 1000000) << ",\"args\":{\"depth\":" << e.depth;
+    if (e.id != 0) out << ",\"request_id\":" << e.id;
+    out << "}}";
   }
   out << "\n]}\n";
   return out.str();

@@ -31,6 +31,7 @@ struct TraceEvent {
   int64_t start_us = 0;
   int64_t duration_us = 0;
   int32_t depth = 0;  ///< Nesting depth within the thread at span begin.
+  uint64_t id = 0;    ///< Correlation id (request id); 0 = none.
 };
 
 /// Process-wide trace collector: a bounded in-memory buffer of completed

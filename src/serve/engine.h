@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "serve/snapshot.h"
 
@@ -33,7 +34,20 @@ struct ArticleRequest {
   /// with DeadlineExceeded instead of blocking forever once it lapses.
   /// 0 falls back to EngineOptions::default_deadline_us.
   int64_t deadline_us = 0;
+
+  // --- request context (observability) ---------------------------------
+  /// Correlation id carried through cache lookup, queue, batch and trace
+  /// spans into Classification::request_id. The Router stamps it at
+  /// Submit; the engine assigns one (NextRequestId) if it is still 0.
+  uint64_t request_id = 0;
+  /// Microseconds the Router spent on its cache lookup before routing here
+  /// (0 for direct engine submissions); copied into the breakdown.
+  double cache_us = 0.0;
 };
+
+/// Process-unique request id (monotone, never 0). Routers and engines use
+/// this one sequence so ids stay unique across replicas and generations.
+uint64_t NextRequestId();
 
 /// A fulfilled classification.
 struct Classification {
@@ -43,8 +57,19 @@ struct Classification {
   std::vector<float> probabilities;
   /// Size of the micro-batch this request rode in.
   size_t batch_size = 0;
-  /// Microseconds spent queued before its batch formed.
+  /// Correlation id (see ArticleRequest::request_id); never 0 for an
+  /// engine-served or cache-served response.
+  uint64_t request_id = 0;
+  /// Per-stage latency breakdown, all in microseconds. For an engine-served
+  /// request: queue_us (submit -> dequeued by a worker) + batch_us
+  /// (dequeue -> forward start: straggler wait bookkeeping, deadline
+  /// checks, retry backoff) + compute_us (batched forward + softmax) plus
+  /// fulfilment overhead add up to total_us - cache_us. A cache hit has
+  /// only cache_us ~= total_us and zero engine stages.
   double queue_us = 0.0;
+  double batch_us = 0.0;
+  double compute_us = 0.0;
+  double cache_us = 0.0;
   /// End-to-end microseconds from Submit() to fulfilment.
   double total_us = 0.0;
   /// Snapshot version that produced the scores
@@ -85,6 +110,11 @@ struct EngineOptions {
   /// A Router sets it to the snapshot version the engine serves, so callers
   /// (and the hot-swap tests) can attribute each response to a version.
   uint64_t version_tag = 0;
+  /// When runtime tracing is on (Tracer::Enable), requests whose total
+  /// latency reaches this threshold are dumped as chrome-trace child spans
+  /// (serve/request > queue/batch_form/compute), correlated by request_id.
+  /// -1 (default) reads FKD_SLOW_TRACE_US; 0 traces every request.
+  int64_t slow_trace_us = -1;
   /// Invoked on the worker thread for every successful classification,
   /// after the result is complete but before its future is fulfilled (a
   /// caller that observes the future also observes the hook's effects).
@@ -115,9 +145,21 @@ struct EngineStats {
   uint64_t retries = 0;  ///< Batch attempts repeated after transient failure.
   uint64_t failed = 0;   ///< Futures failed by an exhausted/fatal batch.
   uint64_t shed = 0;     ///< Submissions refused by the open breaker.
+  /// Accepted into the queue but failed with Unavailable because the
+  /// engine stopped before a worker could serve them (never-started
+  /// engine's orphaned queue). Distinct from `rejected`, which counts
+  /// refusals *at* Submit that were never accepted.
+  uint64_t unavailable = 0;
   uint64_t breaker_trips = 0;  ///< Closed/half-open -> open transitions.
   size_t queue_depth = 0;      ///< Requests currently queued.
 };
+
+/// Every accepted request resolves exactly one way, so for any engine at
+/// rest (no in-flight work):
+///   submitted == completed + expired + failed + unavailable
+/// and refusals (never accepted, futures never created) are disjoint:
+///   refused  == rejected + shed
+/// router_test asserts these invariants under hot-swap stress.
 
 /// Multi-threaded micro-batching inference server over a frozen Snapshot.
 ///
@@ -147,12 +189,16 @@ struct EngineStats {
 ///    degradation instead of queueing doomed work).
 ///
 /// Instrumentation (obs::MetricsRegistry::Default()): fkd.serve.requests
-/// (counter, labelled result=ok|rejected|expired|failed|shed),
+/// (counter, labelled result=ok|rejected|expired|failed|shed|unavailable),
 /// fkd.serve.deadline_exceeded and fkd.serve.retries and
 /// fkd.serve.breaker_open (counters), fkd.serve.health (gauge: 0 healthy,
-/// 1 degraded, 2 draining), fkd.serve.batch_size and fkd.serve.latency_us
-/// / fkd.serve.queue_us (histograms; read p50/p99 via
-/// Histogram::Percentile), fkd.serve.queue_depth (gauge).
+/// 1 degraded, 2 draining), fkd.serve.batch_size, fkd.serve.latency_us,
+/// fkd.serve.queue_us, fkd.serve.batch_form_us and fkd.serve.compute_us
+/// (HDR histograms; read p50/p99/p999 via Histogram::Percentile),
+/// fkd.serve.queue_depth (gauge). Every request also leaves lifecycle
+/// events in the obs::FlightRecorder, and — with tracing runtime-enabled —
+/// slow requests leave per-stage chrome-trace spans (see
+/// EngineOptions::slow_trace_us).
 class InferenceEngine {
  public:
   explicit InferenceEngine(std::shared_ptr<const Snapshot> snapshot,
@@ -193,6 +239,7 @@ class InferenceEngine {
     ArticleRequest request;
     std::promise<Result<Classification>> promise;
     Clock::time_point submitted_at;
+    Clock::time_point dequeued_at;  ///< When a worker took it off the queue.
     Clock::time_point deadline;  ///< time_point::max() = none.
   };
 
@@ -203,6 +250,9 @@ class InferenceEngine {
   void FailExpired(std::vector<Pending>* live, Clock::time_point now);
   /// Feeds one batch outcome to the circuit breaker (locks mutex_).
   void RecordBatchOutcome(bool ok);
+  /// Emits the per-stage chrome-trace spans for one served request (only
+  /// called when tracing is runtime-enabled and total_us >= threshold).
+  void TraceSlowRequest(const Classification& result) const;
   /// Health under mutex_ (for use inside locked sections).
   EngineHealth HealthLocked() const;
   void PublishHealthLocked();
@@ -232,7 +282,14 @@ class InferenceEngine {
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> failed_{0};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> unavailable_{0};
   std::atomic<uint64_t> breaker_trips_{0};
+
+  /// Resolved slow-trace threshold (options_.slow_trace_us or env).
+  int64_t slow_trace_us_ = 0;
+  /// Flight recorder, resolved once in the constructor so serving is
+  /// always covered by the black box.
+  obs::FlightRecorder* recorder_;
 
   // Cached instruments (pointer-stable for the registry's lifetime).
   obs::Counter* requests_ok_;
@@ -240,12 +297,15 @@ class InferenceEngine {
   obs::Counter* requests_expired_;
   obs::Counter* requests_failed_;
   obs::Counter* requests_shed_;
+  obs::Counter* requests_unavailable_;
   obs::Counter* deadline_exceeded_total_;
   obs::Counter* retries_total_;
   obs::Counter* breaker_open_total_;
   obs::Histogram* batch_size_;
   obs::Histogram* latency_us_;
   obs::Histogram* queue_us_;
+  obs::Histogram* batch_form_us_;
+  obs::Histogram* compute_us_;
   obs::Gauge* queue_depth_;
   obs::Gauge* health_;
 };

@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace fkd {
@@ -58,6 +59,8 @@ Status VersionedModelStore::Publish(uint64_t version) {
     obs::MetricsRegistry::Default()
         .GetGauge("fkd.serve.active_version")
         ->Set(static_cast<double>(version));
+    obs::FlightRecorder::Get().Record(obs::FlightEventType::kModelPublish,
+                                      version, 0);
     FKD_LOG(Info) << "model store: published version " << version;
     return Status::OK();
   }
@@ -100,6 +103,8 @@ Status VersionedModelStore::Retire(uint64_t version) {
   retired_watch_.emplace_back(it->model);
   resident_.erase(it);
   ++retired_;
+  obs::FlightRecorder::Get().Record(obs::FlightEventType::kModelRetire,
+                                    version, 0);
   FKD_LOG(Info) << "model store: retired version " << version
                 << " (frees when its last reference drains)";
   return Status::OK();

@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/exporter.h"
 #include "obs/trace.h"
 
 namespace fkd {
@@ -19,6 +20,8 @@ namespace {
 /// canary slice would be a contiguous arc of the placement ring and starve
 /// some replicas instead of sampling uniformly across them.
 constexpr uint64_t kCanarySalt = 0xca4a12ull;
+
+using obs::FlightEventType;
 
 }  // namespace
 
@@ -64,12 +67,16 @@ Router::Router(RouterOptions options)
     cache_ = std::make_unique<ScoreCache>(options_.cache_capacity,
                                           options_.cache_shards);
   }
+  recorder_ = &obs::FlightRecorder::Get();
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
   cache_hit_total_ = registry.GetCounter("fkd.serve.cache_hit");
   cache_miss_total_ = registry.GetCounter("fkd.serve.cache_miss");
+  requests_cache_hit_ =
+      registry.GetCounter("fkd.serve.requests", {{"result", "cache_hit"}});
   canary_total_ = registry.GetCounter("fkd.serve.canary");
   swap_total_ = registry.GetCounter("fkd.serve.swap");
   active_version_gauge_ = registry.GetGauge("fkd.serve.active_version");
+  cache_us_ = registry.GetHistogram("fkd.serve.cache_us");
 }
 
 Router::~Router() { Stop(); }
@@ -116,6 +123,9 @@ Status Router::Start(std::shared_ptr<const ServingModel> initial) {
   FKD_ASSIGN_OR_RETURN(std::shared_ptr<Generation> generation,
                        BuildGeneration(std::move(initial),
                                        options_.num_replicas));
+  // Serving entry point: bring up the periodic stats exporter when
+  // FKD_STATS_INTERVAL_MS asks for one (no-op otherwise, idempotent).
+  obs::StatsExporter::MaybeStartFromEnvironment();
   std::lock_guard<std::mutex> lock(mutex_);
   primary_ = std::move(generation);
   started_ = true;
@@ -126,11 +136,20 @@ Status Router::Start(std::shared_ptr<const ServingModel> initial) {
 }
 
 Result<ClassificationFuture> Router::Submit(ArticleRequest request) {
+  // Birth of the request context: correlation id + deadline budget travel
+  // with the request through cache lookup, canary split, engine queue and
+  // micro-batch into the Classification's latency breakdown.
+  if (request.request_id == 0) request.request_id = NextRequestId();
+  const uint64_t request_id = request.request_id;
   const uint64_t key = RequestKey(request);
   const auto submitted_at = std::chrono::steady_clock::now();
+  recorder_->Record(FlightEventType::kRequestSubmit, request_id,
+                    static_cast<uint64_t>(std::max<int64_t>(
+                        0, request.deadline_us)));
 
   std::lock_guard<std::mutex> lock(mutex_);
   if (!started_ || stopped_ || primary_ == nullptr) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
     return Status::Unavailable("router is not serving");
   }
   // Deterministic canary split on the request key: the same article always
@@ -144,16 +163,30 @@ Result<ClassificationFuture> Router::Submit(ArticleRequest request) {
   }
 
   // Cache lookup is scoped to the version that would serve the request, so
-  // a hit can never resurrect scores from a replaced snapshot.
+  // a hit can never resurrect scores from a replaced snapshot. The lookup
+  // time is part of the breakdown either way: a hit's total is ~all cache,
+  // a miss carries it into the engine as ArticleRequest::cache_us.
   if (cache_ != nullptr) {
     Classification cached;
-    if (cache_->Get(CacheKey{target->model->version, key}, &cached)) {
+    const bool hit = cache_->Get(CacheKey{target->model->version, key}, &cached);
+    const double lookup_us = std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - submitted_at)
+                                 .count();
+    cache_us_->Observe(lookup_us);
+    if (hit) {
       submitted_.fetch_add(1, std::memory_order_relaxed);
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       cache_hit_total_->Increment();
+      requests_cache_hit_->Increment();
+      recorder_->Record(FlightEventType::kCacheHit, request_id,
+                        target->model->version);
       cached.from_cache = true;
       cached.batch_size = 0;
+      cached.request_id = request_id;
       cached.queue_us = 0.0;
+      cached.batch_us = 0.0;
+      cached.compute_us = 0.0;
+      cached.cache_us = lookup_us;
       cached.total_us = std::chrono::duration<double, std::micro>(
                             std::chrono::steady_clock::now() - submitted_at)
                             .count();
@@ -164,6 +197,8 @@ Result<ClassificationFuture> Router::Submit(ArticleRequest request) {
     }
     cache_misses_.fetch_add(1, std::memory_order_relaxed);
     cache_miss_total_->Increment();
+    recorder_->Record(FlightEventType::kCacheMiss, request_id, 0);
+    request.cache_us = lookup_us;
   }
 
   // Consistent-hash placement across the generation's replicas. A
@@ -172,19 +207,27 @@ Result<ClassificationFuture> Router::Submit(ArticleRequest request) {
   const uint64_t node = ring_.Pick(key);
   InferenceEngine& engine =
       *target->engines[node % target->engines.size()];
-  if (is_canary) {
-    canary_requests_.fetch_add(1, std::memory_order_relaxed);
-    canary_total_->Increment();
-  } else {
-    primary_requests_.fetch_add(1, std::memory_order_relaxed);
-  }
   Result<ClassificationFuture> result = engine.Submit(std::move(request));
-  if (result.ok()) submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (result.ok()) {
+    // Count outcomes only after the engine accepted, so
+    // submitted == cache_hits + primary_requests + canary_requests holds
+    // even when a replica rejects (queue full / breaker open).
+    submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (is_canary) {
+      canary_requests_.fetch_add(1, std::memory_order_relaxed);
+      canary_total_->Increment();
+    } else {
+      primary_requests_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
   return result;
 }
 
 Status Router::Publish(std::shared_ptr<const ServingModel> model) {
   FKD_TRACE_SCOPE("serve/swap");
+  recorder_->Record(FlightEventType::kSwapBegin, model->version, 0);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!started_ || stopped_) {
@@ -214,6 +257,7 @@ Status Router::Publish(std::shared_ptr<const ServingModel> model) {
   // its queued and in-flight work on the old snapshot, then dies with its
   // last reference.
   DrainGeneration(old);
+  recorder_->Record(FlightEventType::kSwapEnd, model->version, model->version);
   FKD_LOG(Info) << "router: hot-swapped to version " << model->version;
   return Status::OK();
 }
@@ -243,6 +287,8 @@ Status Router::StartCanary(std::shared_ptr<const ServingModel> model,
     if (permille_override >= 0) {
       canary_permille_ = static_cast<uint32_t>(permille_override);
     }
+    recorder_->Record(FlightEventType::kCanaryStart, model->version,
+                      canary_permille_);
     FKD_LOG(Info) << "router: canary on version " << model->version << " at "
                   << canary_permille_ << " permille";
   }
@@ -252,6 +298,7 @@ Status Router::StartCanary(std::shared_ptr<const ServingModel> model,
 
 Status Router::PromoteCanary() {
   FKD_TRACE_SCOPE("serve/swap");
+  recorder_->Record(FlightEventType::kSwapBegin, 0, 0);
   std::shared_ptr<Generation> old;
   uint64_t version = 0;
   {
@@ -269,8 +316,10 @@ Status Router::PromoteCanary() {
     swaps_.fetch_add(1, std::memory_order_relaxed);
     swap_total_->Increment();
     active_version_gauge_->Set(static_cast<double>(version));
+    recorder_->Record(FlightEventType::kCanaryStop, version, 1);
   }
   DrainGeneration(old);
+  recorder_->Record(FlightEventType::kSwapEnd, version, version);
   FKD_LOG(Info) << "router: promoted canary version " << version;
   return Status::OK();
 }
@@ -283,6 +332,7 @@ Status Router::StopCanary() {
       return Status::FailedPrecondition("no canary to stop");
     }
     old = std::move(canary_);
+    recorder_->Record(FlightEventType::kCanaryStop, old->model->version, 0);
   }
   DrainGeneration(old);
   FKD_LOG(Info) << "router: canary stopped";
@@ -311,6 +361,7 @@ uint64_t Router::active_version() const {
 RouterStats Router::Stats() const {
   RouterStats stats;
   stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   stats.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   stats.primary_requests = primary_requests_.load(std::memory_order_relaxed);

@@ -11,6 +11,7 @@
 #include "common/consistent_hash.h"
 #include "common/lru_cache.h"
 #include "common/status.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "serve/engine.h"
 #include "serve/model_store.h"
@@ -46,13 +47,19 @@ struct RouterOptions {
   static uint32_t CanaryPermilleFromEnvironment();
 };
 
-/// Monotone counters describing a router's lifetime so far.
+/// Monotone counters describing a router's lifetime so far. Accounting
+/// invariant (asserted under hot-swap stress in router_test): every call
+/// to Submit() resolves exactly one way, so
+///   submitted == cache_hits + primary_requests + canary_requests
+/// and `rejected` counts the remaining calls (engine refused / router not
+/// serving), disjoint from `submitted`.
 struct RouterStats {
   uint64_t submitted = 0;        ///< Requests accepted by Submit().
+  uint64_t rejected = 0;         ///< Submit() calls refused (not accepted).
   uint64_t cache_hits = 0;       ///< Served from the score cache.
   uint64_t cache_misses = 0;     ///< Routed to an engine.
-  uint64_t primary_requests = 0; ///< Engine-routed requests on the primary.
-  uint64_t canary_requests = 0;  ///< Engine-routed requests on the canary.
+  uint64_t primary_requests = 0; ///< Engine-accepted requests on the primary.
+  uint64_t canary_requests = 0;  ///< Engine-accepted requests on the canary.
   uint64_t swaps = 0;            ///< Primary publishes (incl. promotions).
   uint64_t active_version = 0;   ///< Current primary version (0 = none).
   uint64_t canary_version = 0;   ///< Current canary version (0 = none).
@@ -187,17 +194,21 @@ class Router {
   bool stopped_ = false;
 
   std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> primary_requests_{0};
   std::atomic<uint64_t> canary_requests_{0};
   std::atomic<uint64_t> swaps_{0};
 
+  obs::FlightRecorder* recorder_;
   obs::Counter* cache_hit_total_;
   obs::Counter* cache_miss_total_;
+  obs::Counter* requests_cache_hit_;
   obs::Counter* canary_total_;
   obs::Counter* swap_total_;
   obs::Gauge* active_version_gauge_;
+  obs::Histogram* cache_us_;
 };
 
 }  // namespace serve

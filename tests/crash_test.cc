@@ -28,6 +28,8 @@
 #include "core/fake_detector.h"
 #include "data/generator.h"
 #include "data/split.h"
+#include "obs/flight_recorder.h"
+#include "serve/engine.h"
 #include "serve/snapshot.h"
 
 namespace fkd {
@@ -383,6 +385,62 @@ TEST(CrashCheckpointTest, KillDuringCheckpointThenRetrainMatches) {
   std::unique_ptr<core::FakeDetector> retrained(TrainDetector(config));
   ExpectSameWeights(*full, *retrained);
   fs::remove_all(ckpt_dir);
+}
+
+// ---- flight recorder on the way down ----------------------------------------
+
+// A fault-injected crash mid-batch must leave a readable flight-recorder
+// dump with the in-flight request's lifecycle events in it — the "black
+// box" a postmortem starts from.
+TEST(CrashFlightRecorderTest, FatalFaultDumpsInFlightRequestEvents) {
+  const core::FakeDetector& detector = SnapshotDetector();
+  const std::string snapshot_dir = TestDir("fkd_crash_recorder_snapshot");
+  ASSERT_TRUE(serve::ExportSnapshot(detector, snapshot_dir).ok());
+  auto loaded = serve::LoadSnapshot(snapshot_dir);
+  ASSERT_TRUE(loaded.ok());
+  auto snapshot =
+      std::make_shared<const serve::Snapshot>(std::move(loaded).value());
+
+  const std::string dump_path = TestDir("fkd_crash_recorder") + ".dump";
+  fs::remove(dump_path);
+  // Both parent and death-test child cache this path on first
+  // FlightRecorder::Get(); the child is the only one that dumps.
+  ASSERT_EQ(setenv("FKD_FLIGHT_RECORDER_PATH", dump_path.c_str(), 1), 0);
+
+  EXPECT_EXIT(
+      {
+        // The same arming surface production uses: FKD_FAULTS grammar via
+        // Configure. The first scoring batch dies with the request still
+        // in flight.
+        FKD_CHECK_OK(FaultInjector::Global().Configure("serve.batch:crash@1"));
+        serve::InferenceEngine engine(snapshot);
+        FKD_CHECK_OK(engine.Start());
+        serve::ArticleRequest request;
+        request.text = "doomed request";
+        auto submitted = engine.Submit(std::move(request));
+        FKD_CHECK(submitted.ok());
+        (void)submitted.value().get();  // never resolves: the batch crashes
+        ::_exit(0);                     // unreachable
+      },
+      ::testing::ExitedWithCode(kFaultCrashExitCode), "");
+
+  auto dumped = ReadFileToString(dump_path);
+  ASSERT_TRUE(dumped.ok()) << "crash left no flight-recorder dump at "
+                           << dump_path;
+  const std::string& text = dumped.value();
+  EXPECT_NE(text.find("=== fkd flight recorder ==="), std::string::npos);
+  EXPECT_NE(text.find("fault_site=serve.batch"), std::string::npos);
+  // The in-flight request's lifecycle is visible: accepted, queued, batch
+  // formed, then the injected fault itself.
+  EXPECT_NE(text.find("engine_start"), std::string::npos);
+  EXPECT_NE(text.find("engine_enqueue"), std::string::npos);
+  EXPECT_NE(text.find("batch_start"), std::string::npos);
+  EXPECT_NE(text.find("fault"), std::string::npos);
+  EXPECT_NE(text.find("=== end of dump ==="), std::string::npos);
+
+  ASSERT_EQ(unsetenv("FKD_FLIGHT_RECORDER_PATH"), 0);
+  fs::remove(dump_path);
+  fs::remove_all(snapshot_dir);
 }
 
 }  // namespace

@@ -495,6 +495,19 @@ TEST(RouterTest, HotSwapStressZeroDowntime) {
   EXPECT_EQ(router_stats.swaps, kSwaps);
   EXPECT_EQ(final_version, 1u + kSwaps);
 
+  // Counter-consistency audit: every Submit() call resolved exactly one
+  // way, even while versions were being swapped underneath it.
+  EXPECT_EQ(router_stats.submitted,
+            router_stats.cache_hits + router_stats.primary_requests +
+                router_stats.canary_requests)
+      << "a request was double-counted or dropped across outcomes";
+  EXPECT_EQ(router_stats.rejected, 0u);
+  EXPECT_EQ(router_stats.submitted, requests_ok.load())
+      << "router accounting must match the per-future tally";
+  EXPECT_EQ(router_stats.cache_hits, cache_hits_seen.load());
+  EXPECT_EQ(router_stats.submitted,
+            router_stats.cache_hits + router_stats.cache_misses);
+
   // Every retired version must actually die once the router and the
   // submitters released it — the RCU drain is not a leak.
   const ModelStoreStats stats = store.Stats();

@@ -231,6 +231,14 @@ TEST(ServeEngineTest, ServesSubmittedRequests) {
     EXPECT_NEAR(sum, 1.0f, 1e-4f);
     EXPECT_FALSE(c.class_name.empty());
     EXPECT_GE(c.batch_size, 1u);
+    // Every engine-served response carries the request context and a
+    // per-stage latency breakdown that never exceeds the total.
+    EXPECT_NE(c.request_id, 0u);
+    EXPECT_GE(c.queue_us, 0.0);
+    EXPECT_GE(c.batch_us, 0.0);
+    EXPECT_GT(c.compute_us, 0.0);
+    EXPECT_LE(c.queue_us + c.batch_us + c.compute_us, c.total_us * 1.01 + 1.0);
+    EXPECT_DOUBLE_EQ(c.cache_us, 0.0);  // no router, no cache stage
   }
   engine.Stop();
   const EngineStats stats = engine.Stats();
@@ -297,7 +305,14 @@ TEST(ServeEngineTest, BoundedQueueRejectsWithBackpressure) {
     EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
   }
   const EngineStats stats = engine.Stats();
-  EXPECT_EQ(stats.rejected, options.max_queue_depth + 1);
+  // Disjoint outcomes: the overflow submission was refused (rejected), the
+  // three accepted-but-never-served requests are unavailable — so every
+  // submission is accounted exactly once.
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.unavailable, options.max_queue_depth);
+  EXPECT_EQ(stats.submitted, options.max_queue_depth);
+  EXPECT_EQ(stats.submitted,
+            stats.completed + stats.expired + stats.failed + stats.unavailable);
   EXPECT_EQ(stats.queue_depth, 0u);
 }
 
