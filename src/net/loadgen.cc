@@ -1,0 +1,410 @@
+#include "net/loadgen.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace fkd {
+namespace net {
+
+namespace {
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Result<int> ConnectTo(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("socket: %s", std::strerror(errno)));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        StrFormat("bad address \"%s\" (numeric IPv4 only)", host.c_str()));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::IoError(
+        StrFormat("connect %s:%d: %s", host.c_str(), port,
+                  std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+Status WriteAll(int fd, const std::string& bytes) {
+  size_t offset = 0;
+  while (offset < bytes.size()) {
+    const ssize_t n =
+        ::write(fd, bytes.data() + offset, bytes.size() - offset);
+    if (n > 0) {
+      offset += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IoError(StrFormat("write: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+/// Blocking single-frame round trip on a fresh connection.
+Result<Frame> RoundTrip(const std::string& host, int port,
+                        MessageType type, const std::string& payload,
+                        int64_t timeout_ms = 30000) {
+  FKD_ASSIGN_OR_RETURN(const int fd, ConnectTo(host, port));
+  const Status write_status =
+      WriteAll(fd, EncodeFrame(type, /*request_id=*/1, payload));
+  if (!write_status.ok()) {
+    ::close(fd);
+    return write_status;
+  }
+  FrameDecoder decoder;
+  const int64_t deadline_us = NowUs() + timeout_ms * 1000;
+  char chunk[16 * 1024];
+  for (;;) {
+    Frame frame;
+    bool ready = false;
+    const Status status = decoder.Next(&frame, &ready);
+    if (!status.ok()) {
+      ::close(fd);
+      return status;
+    }
+    if (ready) {
+      ::close(fd);
+      return frame;
+    }
+    const int64_t remaining_ms = (deadline_us - NowUs()) / 1000;
+    if (remaining_ms <= 0) {
+      ::close(fd);
+      return Status::DeadlineExceeded("timed out waiting for response frame");
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int rv = ::poll(&pfd, 1, static_cast<int>(remaining_ms));
+    if (rv < 0 && errno != EINTR) {
+      ::close(fd);
+      return Status::IoError(StrFormat("poll: %s", std::strerror(errno)));
+    }
+    if (rv <= 0) continue;
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IoError("server closed the connection mid-round-trip");
+    }
+    decoder.Append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<uint64_t> ControlRoundTrip(const std::string& host, int port,
+                                  MessageType type,
+                                  const std::string& payload) {
+  FKD_ASSIGN_OR_RETURN(Frame frame, RoundTrip(host, port, type, payload));
+  FKD_ASSIGN_OR_RETURN(ControlResponseMsg msg,
+                       DecodeControlResponse(frame.payload));
+  if (!msg.ok) {
+    return Status(static_cast<StatusCode>(msg.status_code), msg.message);
+  }
+  return msg.value;
+}
+
+/// Counters shared by every worker thread of one run.
+struct SharedState {
+  std::atomic<uint64_t> sent{0};
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> from_cache{0};
+  std::atomic<uint64_t> connect_failures{0};
+  std::atomic<uint64_t> io_errors{0};
+  obs::Histogram latency_us;
+  /// Measured window, steady-clock us: samples outside are dropped.
+  int64_t window_start_us = 0;
+  int64_t window_end_us = 0;
+};
+
+/// One connection's sending/receiving loop. Runs until past
+/// window_end + drain, or until the connection dies.
+void Worker(const LoadGenOptions& options, size_t index, SharedState* shared) {
+  Result<int> connected = ConnectTo(options.host, options.port);
+  if (!connected.ok()) {
+    shared->connect_failures.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const int fd = connected.value();
+  FrameDecoder decoder;
+  std::unordered_map<uint64_t, int64_t> outstanding;  // request_id -> send us
+  uint64_t next_seq = 1;
+  size_t corpus_index = index % options.corpus.size();
+
+  const bool open_loop = options.open_loop_qps > 0.0;
+  const double conn_qps =
+      open_loop ? options.open_loop_qps / static_cast<double>(
+                                              options.connections)
+                : 0.0;
+  const int64_t send_interval_us =
+      open_loop ? static_cast<int64_t>(1e6 / conn_qps) : 0;
+  // Stagger open-loop schedules so N connections don't fire in lockstep.
+  int64_t next_send_us =
+      NowUs() + (open_loop ? static_cast<int64_t>(index) * send_interval_us /
+                                 static_cast<int64_t>(options.connections)
+                           : 0);
+
+  const int64_t send_end_us = shared->window_end_us;
+  const int64_t drain_end_us = send_end_us + options.drain_timeout_ms * 1000;
+
+  auto send_one = [&]() -> bool {
+    ClassifyRequestMsg msg = options.corpus[corpus_index];
+    corpus_index = (corpus_index + 1) % options.corpus.size();
+    if (options.deadline_us > 0) msg.deadline_us = options.deadline_us;
+    const uint64_t request_id =
+        (static_cast<uint64_t>(index + 1) << 48) | next_seq++;
+    if (options.unique_requests) {
+      msg.text += StrFormat(" #%llu",
+                            static_cast<unsigned long long>(request_id));
+    }
+    const int64_t now = NowUs();
+    if (!WriteAll(fd, EncodeFrame(MessageType::kClassifyRequest, request_id,
+                                  EncodeClassifyRequest(msg)))
+             .ok()) {
+      return false;
+    }
+    outstanding.emplace(request_id, now);
+    if (now >= shared->window_start_us && now < shared->window_end_us) {
+      shared->sent.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+  };
+
+  auto handle_response = [&](const Frame& frame) {
+    auto it = outstanding.find(frame.request_id);
+    if (it == outstanding.end()) return;
+    const int64_t sent_us = it->second;
+    outstanding.erase(it);
+    const int64_t now = NowUs();
+    const bool measured =
+        now >= shared->window_start_us && now < shared->window_end_us;
+    Result<ClassifyResponseMsg> decoded =
+        DecodeClassifyResponse(frame.payload);
+    if (!decoded.ok()) {
+      if (measured) shared->errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (!measured) return;
+    const ClassifyResponseMsg& msg = decoded.value();
+    if (msg.ok) {
+      shared->ok.fetch_add(1, std::memory_order_relaxed);
+      if (msg.from_cache) {
+        shared->from_cache.fetch_add(1, std::memory_order_relaxed);
+      }
+      shared->latency_us.Observe(static_cast<double>(now - sent_us));
+    } else if (static_cast<StatusCode>(msg.status_code) ==
+               StatusCode::kUnavailable) {
+      shared->shed.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      shared->errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  // Closed loop primes the window; the open loop starts from its schedule.
+  if (!open_loop) {
+    for (size_t i = 0; i < options.window; ++i) {
+      if (!send_one()) {
+        shared->io_errors.fetch_add(1, std::memory_order_relaxed);
+        ::close(fd);
+        return;
+      }
+    }
+  }
+
+  char chunk[64 * 1024];
+  for (;;) {
+    const int64_t now = NowUs();
+    const bool sending = now < send_end_us;
+    if (!sending && outstanding.empty()) break;
+    if (!sending && now >= drain_end_us) {
+      // Stragglers past the drain budget: lost to this run.
+      shared->io_errors.fetch_add(outstanding.size(),
+                                  std::memory_order_relaxed);
+      break;
+    }
+
+    if (open_loop && sending) {
+      while (NowUs() >= next_send_us && next_send_us < send_end_us) {
+        if (!send_one()) {
+          shared->io_errors.fetch_add(1, std::memory_order_relaxed);
+          ::close(fd);
+          return;
+        }
+        next_send_us += send_interval_us;
+      }
+    }
+
+    int64_t wait_until_us = sending ? send_end_us : drain_end_us;
+    if (open_loop && sending && next_send_us < wait_until_us) {
+      wait_until_us = next_send_us;
+    }
+    int timeout_ms =
+        static_cast<int>((wait_until_us - NowUs() + 999) / 1000);
+    if (timeout_ms < 0) timeout_ms = 0;
+    if (timeout_ms > 100) timeout_ms = 100;
+
+    pollfd pfd{fd, POLLIN, 0};
+    const int rv = ::poll(&pfd, 1, timeout_ms);
+    if (rv < 0 && errno != EINTR) {
+      shared->io_errors.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    if (rv <= 0 || !(pfd.revents & POLLIN)) continue;
+
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      shared->io_errors.fetch_add(1 + outstanding.size(),
+                                  std::memory_order_relaxed);
+      break;
+    }
+    decoder.Append(chunk, static_cast<size_t>(n));
+    for (;;) {
+      Frame frame;
+      bool ready = false;
+      if (!decoder.Next(&frame, &ready).ok()) {
+        shared->io_errors.fetch_add(1, std::memory_order_relaxed);
+        ::close(fd);
+        return;
+      }
+      if (!ready) break;
+      if (frame.type == MessageType::kClassifyResponse) {
+        handle_response(frame);
+        // Closed loop: a completed slot is refilled immediately.
+        if (!open_loop && NowUs() < send_end_us) {
+          if (!send_one()) {
+            shared->io_errors.fetch_add(1, std::memory_order_relaxed);
+            ::close(fd);
+            return;
+          }
+        }
+      }
+      // kPong / kError frames are ignored by the workers.
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+std::string LoadGenReport::ToJson() const {
+  return StrFormat(
+      "{\"mode\": \"%s\", \"connections\": %zu, \"window\": %zu, "
+      "\"target_qps\": %.1f, \"duration_ms\": %lld, \"warmup_ms\": %lld, "
+      "\"sent\": %llu, \"ok\": %llu, \"errors\": %llu, \"shed\": %llu, "
+      "\"from_cache\": %llu, \"connect_failures\": %llu, "
+      "\"io_errors\": %llu, \"achieved_qps\": %.2f, \"p50_us\": %.1f, "
+      "\"p90_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f, "
+      "\"mean_us\": %.1f, \"max_us\": %.1f}",
+      mode.c_str(), connections, window, target_qps,
+      static_cast<long long>(duration_ms), static_cast<long long>(warmup_ms),
+      static_cast<unsigned long long>(sent),
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(from_cache),
+      static_cast<unsigned long long>(connect_failures),
+      static_cast<unsigned long long>(io_errors), achieved_qps, p50_us,
+      p90_us, p99_us, p999_us, mean_us, max_us);
+}
+
+Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
+  if (options.corpus.empty()) {
+    return Status::InvalidArgument("loadgen corpus is empty");
+  }
+  if (options.connections == 0) {
+    return Status::InvalidArgument("loadgen needs at least one connection");
+  }
+  SharedState shared;
+  shared.window_start_us = NowUs() + options.warmup_ms * 1000;
+  shared.window_end_us = shared.window_start_us + options.duration_ms * 1000;
+
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  for (size_t i = 0; i < options.connections; ++i) {
+    workers.emplace_back(Worker, std::cref(options), i, &shared);
+  }
+  for (auto& worker : workers) worker.join();
+
+  if (shared.connect_failures.load() == options.connections) {
+    return Status::Unavailable(StrFormat(
+        "all %zu loadgen connections failed to connect to %s:%d",
+        options.connections, options.host.c_str(), options.port));
+  }
+
+  LoadGenReport report;
+  report.mode = options.open_loop_qps > 0.0 ? "open" : "closed";
+  report.connections = options.connections;
+  report.window = options.window;
+  report.target_qps = options.open_loop_qps;
+  report.duration_ms = options.duration_ms;
+  report.warmup_ms = options.warmup_ms;
+  report.sent = shared.sent.load();
+  report.ok = shared.ok.load();
+  report.errors = shared.errors.load();
+  report.shed = shared.shed.load();
+  report.from_cache = shared.from_cache.load();
+  report.connect_failures = shared.connect_failures.load();
+  report.io_errors = shared.io_errors.load();
+  report.achieved_qps =
+      static_cast<double>(report.ok) /
+      (static_cast<double>(options.duration_ms) / 1000.0);
+  if (shared.latency_us.Count() > 0) {
+    report.p50_us = shared.latency_us.Percentile(0.50);
+    report.p90_us = shared.latency_us.Percentile(0.90);
+    report.p99_us = shared.latency_us.Percentile(0.99);
+    report.p999_us = shared.latency_us.Percentile(0.999);
+    report.mean_us = shared.latency_us.Mean();
+    report.max_us = shared.latency_us.Max();
+  }
+  return report;
+}
+
+Result<int64_t> Ping(const std::string& host, int port) {
+  const int64_t start_us = NowUs();
+  FKD_ASSIGN_OR_RETURN(Frame frame,
+                       RoundTrip(host, port, MessageType::kPing, ""));
+  if (frame.type != MessageType::kPong) {
+    return Status::Internal(StrFormat("expected kPong, got %s",
+                                      MessageTypeName(frame.type)));
+  }
+  return NowUs() - start_us;
+}
+
+Result<uint64_t> RequestSwap(const std::string& host, int port) {
+  return ControlRoundTrip(host, port, MessageType::kSwapRequest, "");
+}
+
+Result<uint64_t> RequestCanary(const std::string& host, int port,
+                               uint32_t permille) {
+  return ControlRoundTrip(host, port, MessageType::kCanaryRequest,
+                          EncodeCanaryRequest(permille));
+}
+
+}  // namespace net
+}  // namespace fkd

@@ -1,0 +1,102 @@
+#ifndef FKD_NET_LOADGEN_H_
+#define FKD_NET_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace fkd {
+namespace net {
+
+/// Configuration of one timed load-generation run against an FKDN/1 server.
+///
+/// Two loop disciplines:
+///  - **closed loop** (open_loop_qps == 0): each connection keeps `window`
+///    requests outstanding, sending a new one the moment a response lands.
+///    Measures the server's sustainable throughput at that concurrency.
+///  - **open loop** (open_loop_qps > 0): requests are sent on a fixed
+///    schedule (aggregate open_loop_qps spread over the connections)
+///    regardless of completions, the way real traffic arrives. Exposes
+///    queueing delay that a closed loop hides (coordinated omission).
+struct LoadGenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  size_t connections = 4;
+  /// Closed loop: outstanding requests per connection.
+  size_t window = 4;
+  /// > 0 selects the open loop at this aggregate request rate.
+  double open_loop_qps = 0.0;
+  /// Measured interval; samples completing inside it make the report.
+  int64_t duration_ms = 10000;
+  /// Ramp-up excluded from every reported number.
+  int64_t warmup_ms = 1000;
+  /// Per-request engine deadline forwarded in each ClassifyRequest (0 =
+  /// server default).
+  int64_t deadline_us = 0;
+  /// Request bodies, cycled round-robin per connection. Must be non-empty.
+  std::vector<ClassifyRequestMsg> corpus;
+  /// Appends a per-request nonce to every text, so no two requests share a
+  /// cache key: measures the engine-bound path instead of the score cache.
+  bool unique_requests = false;
+  /// After the send window closes, wait this long for stragglers.
+  int64_t drain_timeout_ms = 5000;
+};
+
+/// Outcome of a run. Counters cover the measured window only (warmup and
+/// drain excluded); latencies are microseconds, send -> response decoded.
+struct LoadGenReport {
+  std::string mode;  ///< "closed" | "open"
+  size_t connections = 0;
+  size_t window = 0;
+  double target_qps = 0.0;  ///< open loop only; 0 for closed
+  int64_t duration_ms = 0;
+  int64_t warmup_ms = 0;
+
+  uint64_t sent = 0;        ///< requests sent in the window
+  uint64_t ok = 0;          ///< responses carrying a classification
+  uint64_t errors = 0;      ///< responses carrying a non-shed error
+  uint64_t shed = 0;        ///< Unavailable responses (admission control)
+  uint64_t from_cache = 0;  ///< ok responses served from the score cache
+  uint64_t connect_failures = 0;
+  uint64_t io_errors = 0;   ///< connections lost mid-run
+
+  double achieved_qps = 0.0;  ///< ok responses per second of window
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double p999_us = 0.0;
+  double mean_us = 0.0;
+  double max_us = 0.0;
+
+  /// Flat JSON object (one row of a BENCH_server.json run array).
+  std::string ToJson() const;
+};
+
+/// Runs one timed load-generation round. Blocks for roughly
+/// warmup + duration + drain. Fails only when no connection could be
+/// established or the corpus is empty; per-connection mid-run failures are
+/// reported in the counters instead.
+Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options);
+
+// ---- control-channel one-shots ----------------------------------------------
+// Each opens a dedicated connection, performs one round trip and closes —
+// used by the fkd_loadgen CLI and the hot-swap-under-load tests.
+
+/// kPing round trip; returns the RTT in microseconds.
+Result<int64_t> Ping(const std::string& host, int port);
+
+/// kSwapRequest round trip; returns the newly published model version.
+Result<uint64_t> RequestSwap(const std::string& host, int port);
+
+/// kCanaryRequest round trip (permille of traffic, 0 stops the canary);
+/// returns the canary model version.
+Result<uint64_t> RequestCanary(const std::string& host, int port,
+                               uint32_t permille);
+
+}  // namespace net
+}  // namespace fkd
+
+#endif  // FKD_NET_LOADGEN_H_

@@ -1,0 +1,412 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/string_util.h"
+
+namespace fkd {
+namespace net {
+
+namespace {
+
+// ---- little-endian primitives ----------------------------------------------
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  PutU16(out, static_cast<uint16_t>(v));
+  PutU16(out, static_cast<uint16_t>(v >> 16));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutI64(std::string* out, int64_t v) {
+  PutU64(out, static_cast<uint64_t>(v));
+}
+
+void PutF32(std::string* out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(out, bits);
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+uint32_t ReadU32(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  return static_cast<uint64_t>(ReadU32(p)) |
+         static_cast<uint64_t>(ReadU32(p + 4)) << 32;
+}
+
+/// Bounds-checked sequential reader over a decoded payload. Every getter
+/// fails with Corruption instead of reading past the end, so a truncated
+/// or hostile payload can never over-read.
+class Reader {
+ public:
+  explicit Reader(const std::string& data)
+      : data_(reinterpret_cast<const uint8_t*>(data.data())),
+        size_(data.size()) {}
+
+  Status GetU8(uint8_t* v) {
+    FKD_RETURN_NOT_OK(Need(1));
+    *v = data_[pos_++];
+    return Status::OK();
+  }
+  Status GetU32(uint32_t* v) {
+    FKD_RETURN_NOT_OK(Need(4));
+    *v = ReadU32(data_ + pos_);
+    pos_ += 4;
+    return Status::OK();
+  }
+  Status GetU64(uint64_t* v) {
+    FKD_RETURN_NOT_OK(Need(8));
+    *v = ReadU64(data_ + pos_);
+    pos_ += 8;
+    return Status::OK();
+  }
+  Status GetI32(int32_t* v) {
+    uint32_t raw;
+    FKD_RETURN_NOT_OK(GetU32(&raw));
+    *v = static_cast<int32_t>(raw);
+    return Status::OK();
+  }
+  Status GetI64(int64_t* v) {
+    uint64_t raw;
+    FKD_RETURN_NOT_OK(GetU64(&raw));
+    *v = static_cast<int64_t>(raw);
+    return Status::OK();
+  }
+  Status GetF32(float* v) {
+    uint32_t bits;
+    FKD_RETURN_NOT_OK(GetU32(&bits));
+    std::memcpy(v, &bits, sizeof(*v));
+    return Status::OK();
+  }
+  Status GetF64(double* v) {
+    uint64_t bits;
+    FKD_RETURN_NOT_OK(GetU64(&bits));
+    std::memcpy(v, &bits, sizeof(*v));
+    return Status::OK();
+  }
+  Status GetString(std::string* v) {
+    uint32_t len;
+    FKD_RETURN_NOT_OK(GetU32(&len));
+    FKD_RETURN_NOT_OK(Need(len));
+    v->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return Status::OK();
+  }
+
+  Status ExpectEnd() const {
+    if (pos_ != size_) {
+      return Status::Corruption(
+          StrFormat("payload has %zu trailing bytes", size_ - pos_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Need(size_t n) const {
+    if (size_ - pos_ < n) {
+      return Status::Corruption(StrFormat(
+          "payload truncated: need %zu bytes at offset %zu of %zu", n, pos_,
+          size_));
+    }
+    return Status::OK();
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kPing: return "ping";
+    case MessageType::kPong: return "pong";
+    case MessageType::kClassifyRequest: return "classify_request";
+    case MessageType::kClassifyResponse: return "classify_response";
+    case MessageType::kSwapRequest: return "swap_request";
+    case MessageType::kSwapResponse: return "swap_response";
+    case MessageType::kCanaryRequest: return "canary_request";
+    case MessageType::kCanaryResponse: return "canary_response";
+    case MessageType::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(MessageType type, uint64_t request_id,
+                        const std::string& payload) {
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  PutU32(&out, kMagic);
+  PutU8(&out, kProtocolVersion);
+  PutU8(&out, static_cast<uint8_t>(type));
+  PutU16(&out, 0);  // flags
+  PutU64(&out, request_id);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, payload.empty() ? 0 : Crc32c(payload.data(), payload.size()));
+  PutU32(&out, Crc32c(out.data(), out.size()));
+  out.append(payload);
+  return out;
+}
+
+void FrameDecoder::Append(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+Status FrameDecoder::Next(Frame* out, bool* ready) {
+  *ready = false;
+  if (poisoned_) return Status::Corruption("frame stream already poisoned");
+  // Compact consumed bytes lazily, once they dominate the buffer, so a
+  // burst of pipelined frames costs one memmove instead of one per frame.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kHeaderSize) return Status::OK();
+  const uint8_t* header =
+      reinterpret_cast<const uint8_t*>(buffer_.data()) + consumed_;
+
+  // Validate the header before trusting a single field of it.
+  const uint32_t header_crc = ReadU32(header + 24);
+  if (Crc32c(header, 24) != header_crc) {
+    poisoned_ = true;
+    // Distinguish the common diagnoses for the log line.
+    if (ReadU32(header) != kMagic) {
+      return Status::Corruption("bad frame magic (not an FKDN stream?)");
+    }
+    return Status::Corruption("frame header CRC mismatch");
+  }
+  if (ReadU32(header) != kMagic) {
+    poisoned_ = true;
+    return Status::Corruption("bad frame magic despite clean header CRC");
+  }
+  if (header[4] != kProtocolVersion) {
+    poisoned_ = true;
+    return Status::InvalidArgument(
+        StrFormat("unsupported protocol version %u", header[4]));
+  }
+  if ((static_cast<uint16_t>(header[6]) |
+       static_cast<uint16_t>(header[7]) << 8) != 0) {
+    poisoned_ = true;
+    return Status::InvalidArgument("reserved frame flags must be 0");
+  }
+  const uint32_t payload_len = ReadU32(header + 16);
+  if (payload_len > max_payload_) {
+    poisoned_ = true;
+    return Status::InvalidArgument(
+        StrFormat("frame payload of %u bytes exceeds the %zu-byte limit",
+                  payload_len, max_payload_));
+  }
+  if (available < kHeaderSize + payload_len) return Status::OK();
+
+  const char* payload = buffer_.data() + consumed_ + kHeaderSize;
+  const uint32_t payload_crc = ReadU32(header + 20);
+  const uint32_t actual_crc =
+      payload_len == 0 ? 0 : Crc32c(payload, payload_len);
+  if (actual_crc != payload_crc) {
+    poisoned_ = true;
+    return Status::Corruption("frame payload CRC mismatch");
+  }
+
+  out->type = static_cast<MessageType>(header[5]);
+  out->request_id = ReadU64(header + 8);
+  out->payload.assign(payload, payload_len);
+  consumed_ += kHeaderSize + payload_len;
+  *ready = true;
+  return Status::OK();
+}
+
+// ---- classify request -------------------------------------------------------
+
+std::string EncodeClassifyRequest(const ClassifyRequestMsg& msg) {
+  std::string out;
+  PutString(&out, msg.text);
+  PutI32(&out, msg.creator_id);
+  PutU32(&out, static_cast<uint32_t>(msg.subject_ids.size()));
+  for (int32_t subject : msg.subject_ids) PutI32(&out, subject);
+  PutI64(&out, msg.deadline_us);
+  return out;
+}
+
+Result<ClassifyRequestMsg> DecodeClassifyRequest(const std::string& payload) {
+  ClassifyRequestMsg msg;
+  Reader reader(payload);
+  FKD_RETURN_NOT_OK(reader.GetString(&msg.text));
+  FKD_RETURN_NOT_OK(reader.GetI32(&msg.creator_id));
+  uint32_t num_subjects;
+  FKD_RETURN_NOT_OK(reader.GetU32(&num_subjects));
+  if (num_subjects > payload.size() / 4) {
+    return Status::Corruption("subject count exceeds payload size");
+  }
+  msg.subject_ids.resize(num_subjects);
+  for (uint32_t i = 0; i < num_subjects; ++i) {
+    FKD_RETURN_NOT_OK(reader.GetI32(&msg.subject_ids[i]));
+  }
+  FKD_RETURN_NOT_OK(reader.GetI64(&msg.deadline_us));
+  FKD_RETURN_NOT_OK(reader.ExpectEnd());
+  return msg;
+}
+
+// ---- classify response ------------------------------------------------------
+
+std::string EncodeClassifyResponse(const ClassifyResponseMsg& msg) {
+  std::string out;
+  PutU8(&out, msg.ok ? 1 : 0);
+  if (!msg.ok) {
+    PutU8(&out, msg.status_code);
+    PutString(&out, msg.message);
+    return out;
+  }
+  PutI32(&out, msg.class_id);
+  PutString(&out, msg.class_name);
+  PutU32(&out, static_cast<uint32_t>(msg.probabilities.size()));
+  for (float p : msg.probabilities) PutF32(&out, p);
+  PutU64(&out, msg.model_version);
+  PutU32(&out, msg.batch_size);
+  PutU8(&out, msg.from_cache ? 1 : 0);
+  PutF64(&out, msg.queue_us);
+  PutF64(&out, msg.batch_us);
+  PutF64(&out, msg.compute_us);
+  PutF64(&out, msg.cache_us);
+  PutF64(&out, msg.total_us);
+  return out;
+}
+
+Result<ClassifyResponseMsg> DecodeClassifyResponse(const std::string& payload) {
+  ClassifyResponseMsg msg;
+  Reader reader(payload);
+  uint8_t ok;
+  FKD_RETURN_NOT_OK(reader.GetU8(&ok));
+  msg.ok = ok != 0;
+  if (!msg.ok) {
+    FKD_RETURN_NOT_OK(reader.GetU8(&msg.status_code));
+    FKD_RETURN_NOT_OK(reader.GetString(&msg.message));
+    FKD_RETURN_NOT_OK(reader.ExpectEnd());
+    return msg;
+  }
+  FKD_RETURN_NOT_OK(reader.GetI32(&msg.class_id));
+  FKD_RETURN_NOT_OK(reader.GetString(&msg.class_name));
+  uint32_t num_probs;
+  FKD_RETURN_NOT_OK(reader.GetU32(&num_probs));
+  if (num_probs > payload.size() / 4) {
+    return Status::Corruption("probability count exceeds payload size");
+  }
+  msg.probabilities.resize(num_probs);
+  for (uint32_t i = 0; i < num_probs; ++i) {
+    FKD_RETURN_NOT_OK(reader.GetF32(&msg.probabilities[i]));
+  }
+  FKD_RETURN_NOT_OK(reader.GetU64(&msg.model_version));
+  FKD_RETURN_NOT_OK(reader.GetU32(&msg.batch_size));
+  uint8_t from_cache;
+  FKD_RETURN_NOT_OK(reader.GetU8(&from_cache));
+  msg.from_cache = from_cache != 0;
+  FKD_RETURN_NOT_OK(reader.GetF64(&msg.queue_us));
+  FKD_RETURN_NOT_OK(reader.GetF64(&msg.batch_us));
+  FKD_RETURN_NOT_OK(reader.GetF64(&msg.compute_us));
+  FKD_RETURN_NOT_OK(reader.GetF64(&msg.cache_us));
+  FKD_RETURN_NOT_OK(reader.GetF64(&msg.total_us));
+  FKD_RETURN_NOT_OK(reader.ExpectEnd());
+  return msg;
+}
+
+// ---- control response -------------------------------------------------------
+
+std::string EncodeControlResponse(const ControlResponseMsg& msg) {
+  std::string out;
+  PutU8(&out, msg.ok ? 1 : 0);
+  PutU8(&out, msg.status_code);
+  PutString(&out, msg.message);
+  PutU64(&out, msg.value);
+  return out;
+}
+
+Result<ControlResponseMsg> DecodeControlResponse(const std::string& payload) {
+  ControlResponseMsg msg;
+  Reader reader(payload);
+  uint8_t ok;
+  FKD_RETURN_NOT_OK(reader.GetU8(&ok));
+  msg.ok = ok != 0;
+  FKD_RETURN_NOT_OK(reader.GetU8(&msg.status_code));
+  FKD_RETURN_NOT_OK(reader.GetString(&msg.message));
+  FKD_RETURN_NOT_OK(reader.GetU64(&msg.value));
+  FKD_RETURN_NOT_OK(reader.ExpectEnd());
+  return msg;
+}
+
+std::string EncodeCanaryRequest(uint32_t permille) {
+  std::string out;
+  PutU32(&out, permille);
+  return out;
+}
+
+Result<uint32_t> DecodeCanaryRequest(const std::string& payload) {
+  Reader reader(payload);
+  uint32_t permille;
+  FKD_RETURN_NOT_OK(reader.GetU32(&permille));
+  FKD_RETURN_NOT_OK(reader.ExpectEnd());
+  if (permille > 1000) {
+    return Status::InvalidArgument("canary permille must be <= 1000");
+  }
+  return permille;
+}
+
+ClassifyResponseMsg ClassifyResponseFromResult(
+    const Result<serve::Classification>& result) {
+  ClassifyResponseMsg msg;
+  if (!result.ok()) {
+    msg.ok = false;
+    msg.status_code = static_cast<uint8_t>(result.status().code());
+    msg.message = result.status().message();
+    return msg;
+  }
+  const serve::Classification& c = result.value();
+  msg.ok = true;
+  msg.class_id = c.class_id;
+  msg.class_name = c.class_name;
+  msg.probabilities = c.probabilities;
+  msg.model_version = c.model_version;
+  msg.batch_size = static_cast<uint32_t>(c.batch_size);
+  msg.from_cache = c.from_cache;
+  msg.queue_us = c.queue_us;
+  msg.batch_us = c.batch_us;
+  msg.compute_us = c.compute_us;
+  msg.cache_us = c.cache_us;
+  msg.total_us = c.total_us;
+  return msg;
+}
+
+}  // namespace net
+}  // namespace fkd

@@ -1,0 +1,154 @@
+#ifndef FKD_NET_WIRE_H_
+#define FKD_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/engine.h"
+
+namespace fkd {
+namespace net {
+
+/// FKDN/1 wire protocol: length-prefixed binary frames with a CRC-32C
+/// checked fixed-size header and a CRC-32C checked payload.
+///
+/// Frame layout (all integers little-endian):
+///
+///   offset  size  field
+///        0     4  magic        0x4E444B46 ("FKDN")
+///        4     1  version      1
+///        5     1  type         MessageType
+///        6     2  flags        reserved, must be 0
+///        8     8  request_id   client-chosen correlation id, echoed back
+///       16     4  payload_len  bytes following the header
+///       20     4  payload_crc  CRC-32C of the payload (0 when empty)
+///       24     4  header_crc   CRC-32C of bytes [0, 24)
+///       28     *  payload
+///
+/// The header CRC gates everything: a receiver never trusts payload_len
+/// (and never allocates) until the first 24 bytes checksum clean, so a
+/// corrupt or hostile length prefix is detected before it can do harm.
+/// The payload CRC is checked once payload_len bytes have arrived.
+constexpr uint32_t kMagic = 0x4E444B46u;  // "FKDN" read as LE u32
+constexpr uint8_t kProtocolVersion = 1;
+constexpr size_t kHeaderSize = 28;
+/// Hard ceiling on payload_len; a clean header announcing more than this is
+/// a protocol error (oversized length prefix), not an allocation request.
+constexpr size_t kDefaultMaxPayload = 1u << 20;
+
+/// Frame types. Values are wire-stable; append only.
+enum class MessageType : uint8_t {
+  kPing = 1,              ///< liveness probe; empty payload
+  kPong = 2,              ///< reply to kPing; echoes the ping payload
+  kClassifyRequest = 3,   ///< ClassifyRequestMsg
+  kClassifyResponse = 4,  ///< ClassifyResponseMsg
+  kSwapRequest = 5,       ///< ask the server to hot-swap; empty payload
+  kSwapResponse = 6,      ///< ControlResponseMsg (value = new version)
+  kCanaryRequest = 7,     ///< u32 permille (0 stops the canary)
+  kCanaryResponse = 8,    ///< ControlResponseMsg (value = canary version)
+  kError = 9,             ///< ControlResponseMsg; sent before a server close
+};
+
+const char* MessageTypeName(MessageType type);
+
+/// One decoded frame.
+struct Frame {
+  MessageType type = MessageType::kPing;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Serialises one frame (header + payload) ready for the socket.
+std::string EncodeFrame(MessageType type, uint64_t request_id,
+                        const std::string& payload);
+
+/// Incremental frame parser over a byte stream. Feed bytes as they arrive;
+/// Next() yields complete frames. Any protocol violation (bad magic, bad
+/// version, nonzero flags, header/payload CRC mismatch, oversized
+/// payload_len) returns a non-OK status and poisons the decoder: the
+/// stream has lost framing and the connection must be closed.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kDefaultMaxPayload)
+      : max_payload_(max_payload) {}
+
+  void Append(const void* data, size_t size);
+
+  /// Extracts the next complete frame into `out`. Returns:
+  ///  - OK with *ready = true  — one frame decoded;
+  ///  - OK with *ready = false — need more bytes;
+  ///  - a protocol error       — stream corrupt; decoder stays poisoned.
+  Status Next(Frame* out, bool* ready);
+
+  /// Bytes buffered but not yet consumed by a complete frame.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+  bool poisoned() const { return poisoned_; }
+
+ private:
+  size_t max_payload_;
+  std::string buffer_;
+  size_t consumed_ = 0;  ///< decoded-frame bytes not yet compacted away
+  bool poisoned_ = false;
+};
+
+// ---- payload messages -------------------------------------------------------
+
+/// Body of kClassifyRequest.
+struct ClassifyRequestMsg {
+  std::string text;
+  int32_t creator_id = -1;
+  std::vector<int32_t> subject_ids;
+  int64_t deadline_us = 0;
+};
+
+/// Body of kClassifyResponse. `ok` selects which half is meaningful.
+struct ClassifyResponseMsg {
+  bool ok = false;
+  // error half
+  uint8_t status_code = 0;  ///< fkd::StatusCode of the failure
+  std::string message;
+  // success half
+  int32_t class_id = -1;
+  std::string class_name;
+  std::vector<float> probabilities;
+  uint64_t model_version = 0;
+  uint32_t batch_size = 0;
+  bool from_cache = false;
+  double queue_us = 0.0;
+  double batch_us = 0.0;
+  double compute_us = 0.0;
+  double cache_us = 0.0;
+  double total_us = 0.0;
+};
+
+/// Body of kSwapResponse / kCanaryResponse / kError: a Status plus one
+/// numeric detail (the new model version for control replies).
+struct ControlResponseMsg {
+  bool ok = false;
+  uint8_t status_code = 0;
+  std::string message;
+  uint64_t value = 0;
+};
+
+std::string EncodeClassifyRequest(const ClassifyRequestMsg& msg);
+Result<ClassifyRequestMsg> DecodeClassifyRequest(const std::string& payload);
+
+std::string EncodeClassifyResponse(const ClassifyResponseMsg& msg);
+Result<ClassifyResponseMsg> DecodeClassifyResponse(const std::string& payload);
+
+std::string EncodeControlResponse(const ControlResponseMsg& msg);
+Result<ControlResponseMsg> DecodeControlResponse(const std::string& payload);
+
+std::string EncodeCanaryRequest(uint32_t permille);
+Result<uint32_t> DecodeCanaryRequest(const std::string& payload);
+
+/// Builds the ClassifyResponseMsg for a fulfilled classification result.
+ClassifyResponseMsg ClassifyResponseFromResult(
+    const Result<serve::Classification>& result);
+
+}  // namespace net
+}  // namespace fkd
+
+#endif  // FKD_NET_WIRE_H_

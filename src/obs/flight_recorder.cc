@@ -136,6 +136,12 @@ const char* FlightEventTypeName(FlightEventType type) {
     case FlightEventType::kCanaryStart: return "canary_start";
     case FlightEventType::kCanaryStop: return "canary_stop";
     case FlightEventType::kFault: return "fault";
+    case FlightEventType::kConnAccept: return "conn_accept";
+    case FlightEventType::kConnClose: return "conn_close";
+    case FlightEventType::kNetShed: return "net_shed";
+    case FlightEventType::kNetProtocolError: return "net_protocol_error";
+    case FlightEventType::kServerStart: return "server_start";
+    case FlightEventType::kServerStop: return "server_stop";
   }
   return "unknown";
 }

@@ -42,6 +42,13 @@ enum class FlightEventType : uint32_t {
   kCanaryStop = 45,      ///< b = 1 if promoted
   // Faults (a = site hash, b = action).
   kFault = 60,
+  // Network front end (src/net).
+  kConnAccept = 70,        ///< a = connection id, b = event-loop index
+  kConnClose = 71,         ///< a = connection id, b = 1 if idle-swept
+  kNetShed = 72,           ///< a = request id, b = depth/inflight at shed
+  kNetProtocolError = 73,  ///< a = connection id, b = frame type (0 = framing)
+  kServerStart = 74,       ///< a = bound port, b = event loops
+  kServerStop = 75,        ///< a = responses dropped on dead connections
 };
 
 /// Human-readable tag for a dump line, e.g. "request_submit".

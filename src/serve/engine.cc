@@ -65,7 +65,10 @@ InferenceEngine::InferenceEngine(std::shared_ptr<const Snapshot> snapshot,
   queue_us_ = registry.GetHistogram("fkd.serve.queue_us");
   batch_form_us_ = registry.GetHistogram("fkd.serve.batch_form_us");
   compute_us_ = registry.GetHistogram("fkd.serve.compute_us");
-  queue_depth_ = registry.GetGauge("fkd.serve.queue_depth");
+  // Engines share one labelled gauge (last writer wins across replicas);
+  // the Router owns the unlabelled aggregate identity.
+  queue_depth_ =
+      registry.GetGauge("fkd.serve.queue_depth", {{"scope", "engine"}});
   health_ = registry.GetGauge("fkd.serve.health");
   health_->Set(static_cast<double>(EngineHealth::kHealthy));
 }
@@ -110,6 +113,7 @@ void InferenceEngine::Stop() {
         orphaned.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      depth_.store(0, std::memory_order_relaxed);
       queue_depth_->Set(0.0);
     }
   }
@@ -182,6 +186,7 @@ Result<ClassificationFuture> InferenceEngine::Submit(ArticleRequest request) {
     }
     queue_.push_back(std::move(pending));
     depth_after = queue_.size();
+    depth_.store(depth_after, std::memory_order_relaxed);
     queue_depth_->Set(static_cast<double>(depth_after));
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -217,6 +222,7 @@ void InferenceEngine::WorkerLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      depth_.store(queue_.size(), std::memory_order_relaxed);
       queue_depth_->Set(static_cast<double>(queue_.size()));
     }
     // Leftover work may remain; let a sibling (or the next loop turn) have

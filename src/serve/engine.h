@@ -195,7 +195,9 @@ struct EngineStats {
 /// 1 degraded, 2 draining), fkd.serve.batch_size, fkd.serve.latency_us,
 /// fkd.serve.queue_us, fkd.serve.batch_form_us and fkd.serve.compute_us
 /// (HDR histograms; read p50/p99/p999 via Histogram::Percentile),
-/// fkd.serve.queue_depth (gauge). Every request also leaves lifecycle
+/// fkd.serve.queue_depth{scope=engine} (gauge; the Router publishes the
+/// cross-replica aggregate as plain fkd.serve.queue_depth). Every request
+/// also leaves lifecycle
 /// events in the obs::FlightRecorder, and — with tracing runtime-enabled —
 /// slow requests leave per-stage chrome-trace spans (see
 /// EngineOptions::slow_trace_us).
@@ -224,6 +226,13 @@ class InferenceEngine {
   Result<ClassificationFuture> Submit(ArticleRequest request);
 
   EngineStats Stats() const;
+  /// Lock-free queue depth, maintained alongside every push/pop. Cheap
+  /// enough for per-request admission-control reads (the network front end
+  /// polls it on every classify), unlike Stats() which takes the engine
+  /// mutex.
+  size_t queue_depth() const {
+    return depth_.load(std::memory_order_relaxed);
+  }
   /// Current health: Draining once Stop() begins, Degraded while the
   /// circuit breaker is open or probing, Healthy otherwise.
   EngineHealth Health() const;
@@ -263,6 +272,8 @@ class InferenceEngine {
   mutable std::mutex mutex_;
   std::condition_variable queue_cv_;
   std::deque<Pending> queue_;
+  /// Mirrors queue_.size() (updated under mutex_, read lock-free).
+  std::atomic<size_t> depth_{0};
   std::vector<std::thread> workers_;
   bool started_ = false;
   bool stopping_ = false;

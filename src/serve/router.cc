@@ -76,6 +76,7 @@ Router::Router(RouterOptions options)
   canary_total_ = registry.GetCounter("fkd.serve.canary");
   swap_total_ = registry.GetCounter("fkd.serve.swap");
   active_version_gauge_ = registry.GetGauge("fkd.serve.active_version");
+  queue_depth_gauge_ = registry.GetGauge("fkd.serve.queue_depth");
   cache_us_ = registry.GetHistogram("fkd.serve.cache_us");
 }
 
@@ -356,6 +357,25 @@ void Router::Stop() {
 uint64_t Router::active_version() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return primary_ != nullptr ? primary_->model->version : 0;
+}
+
+size_t Router::QueueDepth() const {
+  std::shared_ptr<Generation> primary;
+  std::shared_ptr<Generation> canary;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    primary = primary_;
+    canary = canary_;
+  }
+  size_t depth = 0;
+  for (const auto& generation : {primary, canary}) {
+    if (generation == nullptr) continue;
+    for (const auto& engine : generation->engines) {
+      depth += engine->queue_depth();
+    }
+  }
+  queue_depth_gauge_->Set(static_cast<double>(depth));
+  return depth;
 }
 
 RouterStats Router::Stats() const {

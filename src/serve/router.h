@@ -137,6 +137,15 @@ class Router {
   void Stop();
 
   RouterStats Stats() const;
+
+  /// Aggregate engine queue depth across the primary and canary fleets —
+  /// the admission-control signal the network front end sheds on. Reads
+  /// each engine's lock-free depth counter; takes the router mutex only to
+  /// pin the generation pointers. Also published as the unlabelled
+  /// fkd.serve.queue_depth gauge on every call (the per-engine gauge
+  /// carries the scope=engine label).
+  size_t QueueDepth() const;
+
   /// Current primary version (0 before Start).
   uint64_t active_version() const;
   const RouterOptions& options() const { return options_; }
@@ -208,6 +217,7 @@ class Router {
   obs::Counter* canary_total_;
   obs::Counter* swap_total_;
   obs::Gauge* active_version_gauge_;
+  obs::Gauge* queue_depth_gauge_;
   obs::Histogram* cache_us_;
 };
 

@@ -1,0 +1,1035 @@
+// Network front-end suites. NetFrame*: FKDN/1 codec + decoder hardening
+// (truncated frames, oversized length prefixes, corrupt CRCs, poisoning).
+// NetServer*: the epoll server over real sockets — classify round trips,
+// control frames, admission-control shedding, slow-loris and idle sweeps,
+// mid-request disconnects, protocol-error isolation. NetShutdown*: the
+// graceful-drain accounting invariant (no accepted request silently
+// dropped). LoadGen*: the closed/open-loop load generator driving a live
+// server, including the hot-swap-under-load zero-error gate. Net*/LoadGen*
+// also run under TSan and ASan (tools/{tsan,asan}_smoke.sh).
+
+#include <gtest/gtest.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/crc32c.h"
+#include "core/fake_detector.h"
+#include "data/generator.h"
+#include "data/split.h"
+#include "net/loadgen.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "serve/model_store.h"
+#include "serve/router.h"
+
+namespace fkd {
+namespace net {
+namespace {
+
+// ---- shared trained fixture -------------------------------------------------
+
+struct TrainedFixture {
+  data::Dataset dataset;
+  graph::HeterogeneousGraph graph;
+  core::FakeDetector detector;
+  std::string snapshot_dir;
+};
+
+core::FakeDetectorConfig TinyConfig() {
+  core::FakeDetectorConfig config;
+  config.epochs = 5;
+  config.explicit_words = 40;
+  config.latent_vocabulary = 120;
+  config.hflu.max_sequence_length = 10;
+  config.hflu.gru_hidden = 10;
+  config.hflu.latent_dim = 8;
+  config.hflu.embed_dim = 8;
+  config.gdu_hidden = 12;
+  config.verbose = false;
+  return config;
+}
+
+const TrainedFixture& SharedFixture() {
+  static TrainedFixture* fixture = [] {
+    auto dataset =
+        data::GeneratePolitiFact(data::GeneratorOptions::Scaled(55, 91));
+    FKD_CHECK_OK(dataset.status());
+    auto graph = dataset.value().BuildGraph();
+    FKD_CHECK_OK(graph.status());
+    auto* f = new TrainedFixture{std::move(dataset).value(),
+                                 std::move(graph).value(),
+                                 core::FakeDetector(TinyConfig()),
+                                 {}};
+    Rng rng(17);
+    auto splits = data::KFoldTriSplits(f->dataset.articles.size(),
+                                       f->dataset.creators.size(),
+                                       f->dataset.subjects.size(), 5, &rng);
+    FKD_CHECK_OK(splits.status());
+    eval::TrainContext context;
+    context.dataset = &f->dataset;
+    context.graph = &f->graph;
+    context.train_articles = splits.value()[0].articles.train;
+    context.train_creators = splits.value()[0].creators.train;
+    context.train_subjects = splits.value()[0].subjects.train;
+    context.granularity = eval::LabelGranularity::kBinary;
+    context.seed = 7;
+    FKD_CHECK_OK(f->detector.Train(context));
+    f->snapshot_dir = (std::filesystem::temp_directory_path() /
+                       ("fkd_net_snapshot_" + std::to_string(::getpid())))
+                          .string();
+    std::filesystem::remove_all(f->snapshot_dir);
+    FKD_CHECK_OK(serve::ExportSnapshot(f->detector, f->snapshot_dir));
+    return f;
+  }();
+  return *fixture;
+}
+
+std::string SampleText(size_t i) {
+  const auto& fixture = SharedFixture();
+  return fixture.dataset.articles[i % fixture.dataset.articles.size()].text;
+}
+
+// ---- harness: router + server over a real socket ----------------------------
+
+serve::RouterOptions FastRouterOptions() {
+  serve::RouterOptions options;
+  options.num_replicas = 1;
+  options.engine.num_workers = 1;
+  options.engine.max_batch_size = 8;
+  options.engine.max_batch_delay_us = 200;
+  options.engine.max_queue_depth = 4096;
+  options.canary_permille = 0;
+  return options;
+}
+
+struct Harness {
+  std::unique_ptr<serve::VersionedModelStore> store;
+  std::unique_ptr<serve::Router> router;
+  std::unique_ptr<Server> server;
+  std::string snapshot_dir;
+
+  ~Harness() {
+    if (server != nullptr) server->Shutdown();
+    if (router != nullptr) router->Stop();
+  }
+};
+
+std::unique_ptr<Harness> StartHarness(
+    ServerOptions server_options = {},
+    serve::RouterOptions router_options = FastRouterOptions()) {
+  auto harness = std::make_unique<Harness>();
+  harness->snapshot_dir = SharedFixture().snapshot_dir;
+  harness->store = std::make_unique<serve::VersionedModelStore>();
+  auto model = harness->store->Load(harness->snapshot_dir);
+  FKD_CHECK_OK(model.status());
+  harness->router = std::make_unique<serve::Router>(router_options);
+  FKD_CHECK_OK(harness->router->Start(model.value()));
+
+  serve::Router* router = harness->router.get();
+  serve::VersionedModelStore* store = harness->store.get();
+  const std::string dir = harness->snapshot_dir;
+  if (!server_options.swap_handler) {
+    server_options.swap_handler = [router, store, dir]() -> Result<uint64_t> {
+      auto next = store->Load(dir);
+      FKD_RETURN_NOT_OK(next.status());
+      FKD_RETURN_NOT_OK(router->Publish(next.value()));
+      return next.value()->version;
+    };
+  }
+  if (!server_options.canary_handler) {
+    server_options.canary_handler =
+        [router, store, dir](uint32_t permille) -> Result<uint64_t> {
+      if (permille == 0) {
+        // Idempotent: "canary share 0" with no canary running is a no-op.
+        const Status stopped = router->StopCanary();
+        if (!stopped.ok() &&
+            stopped.code() != StatusCode::kFailedPrecondition) {
+          return stopped;
+        }
+        return static_cast<uint64_t>(0);
+      }
+      auto next = store->Load(dir);
+      FKD_RETURN_NOT_OK(next.status());
+      FKD_RETURN_NOT_OK(
+          router->StartCanary(next.value(), static_cast<int>(permille)));
+      return next.value()->version;
+    };
+  }
+  server_options.port = 0;  // always ephemeral in tests
+  harness->server = std::make_unique<Server>(router, server_options);
+  FKD_CHECK_OK(harness->server->Start());
+  return harness;
+}
+
+/// Minimal blocking test client with its own decoder.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    FKD_CHECK_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    FKD_CHECK_EQ(
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  }
+  ~TestClient() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+  void SendRaw(const std::string& bytes) {
+    size_t offset = 0;
+    while (offset < bytes.size()) {
+      const ssize_t n =
+          ::write(fd_, bytes.data() + offset, bytes.size() - offset);
+      ASSERT_GT(n, 0) << "client write failed: " << std::strerror(errno);
+      offset += static_cast<size_t>(n);
+    }
+  }
+
+  void Send(MessageType type, uint64_t request_id,
+            const std::string& payload) {
+    SendRaw(EncodeFrame(type, request_id, payload));
+  }
+
+  /// Reads until one frame decodes; fails the test on timeout/EOF.
+  Frame ReadFrame(int timeout_ms = 10000) {
+    Frame frame;
+    bool ready = false;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      const Status status = decoder_.Next(&frame, &ready);
+      FKD_CHECK_OK(status);
+      if (ready) return frame;
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline -
+                                     std::chrono::steady_clock::now());
+      FKD_CHECK_GT(remaining.count(), 0) << "timed out waiting for a frame";
+      pollfd pfd{fd_, POLLIN, 0};
+      const int rv = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+      FKD_CHECK_GT(rv, 0) << "poll timeout/error waiting for a frame";
+      char chunk[16 * 1024];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      FKD_CHECK_GT(n, 0) << "connection closed while expecting a frame";
+      decoder_.Append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// Reads frames until the server closes; returns them.
+  std::vector<Frame> ReadUntilClose(int timeout_ms = 10000) {
+    std::vector<Frame> frames;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    for (;;) {
+      Frame frame;
+      bool ready = false;
+      if (decoder_.Next(&frame, &ready).ok() && ready) {
+        frames.push_back(std::move(frame));
+        continue;
+      }
+      const auto remaining = std::chrono::duration_cast<
+          std::chrono::milliseconds>(deadline -
+                                     std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        ADD_FAILURE() << "server never closed the connection";
+        return frames;
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      if (::poll(&pfd, 1, static_cast<int>(remaining.count())) <= 0) continue;
+      char chunk[16 * 1024];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return frames;  // closed
+      decoder_.Append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  struct Classification {
+    ClassifyResponseMsg msg;
+  };
+
+  Result<Classification> Classify(const std::string& text,
+                                  uint64_t request_id) {
+    ClassifyRequestMsg msg;
+    msg.text = text;
+    Send(MessageType::kClassifyRequest, request_id,
+         EncodeClassifyRequest(msg));
+    Frame frame = ReadFrame();
+    FKD_CHECK_EQ(static_cast<int>(frame.type),
+                 static_cast<int>(MessageType::kClassifyResponse));
+    FKD_CHECK_EQ(frame.request_id, request_id);
+    auto decoded = DecodeClassifyResponse(frame.payload);
+    FKD_CHECK_OK(decoded.status());
+    if (!decoded.value().ok) {
+      return Status(static_cast<StatusCode>(decoded.value().status_code),
+                    decoded.value().message);
+    }
+    Classification out;
+    out.msg = decoded.value();
+    return out;
+  }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+// ---- helpers for crafting corrupt frames ------------------------------------
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// Hand-builds a frame so tests can forge arbitrary header fields; the
+/// header CRC is recomputed unless `break_header_crc`.
+std::string ForgeFrame(uint32_t magic, uint8_t version, uint8_t type,
+                       uint16_t flags, uint32_t payload_len,
+                       const std::string& payload,
+                       bool break_header_crc = false,
+                       bool break_payload_crc = false) {
+  std::string out;
+  PutU32(&out, magic);
+  out.push_back(static_cast<char>(version));
+  out.push_back(static_cast<char>(type));
+  PutU16(&out, flags);
+  PutU64(&out, 77);
+  PutU32(&out, payload_len);
+  uint32_t payload_crc = Crc32c(payload.data(), payload.size());
+  if (break_payload_crc) payload_crc ^= 0xdeadbeef;
+  PutU32(&out, payload_crc);
+  uint32_t header_crc = Crc32c(out.data(), out.size());
+  if (break_header_crc) header_crc ^= 1;
+  PutU32(&out, header_crc);
+  out += payload;
+  return out;
+}
+
+// ==== NetFrameTest: codec + decoder hardening ================================
+
+TEST(NetFrameTest, FrameRoundTripsThroughDecoder) {
+  const std::string payload = "hello fkdn";
+  const std::string bytes =
+      EncodeFrame(MessageType::kClassifyRequest, 42, payload);
+  EXPECT_EQ(bytes.size(), kHeaderSize + payload.size());
+
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  bool ready = false;
+  ASSERT_TRUE(decoder.Next(&frame, &ready).ok());
+  ASSERT_TRUE(ready);
+  EXPECT_EQ(frame.type, MessageType::kClassifyRequest);
+  EXPECT_EQ(frame.request_id, 42u);
+  EXPECT_EQ(frame.payload, payload);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(NetFrameTest, DecoderReassemblesByteAtATime) {
+  std::string stream;
+  for (uint64_t i = 0; i < 5; ++i) {
+    stream += EncodeFrame(MessageType::kPing, i, "payload-" + std::to_string(i));
+  }
+  FrameDecoder decoder;
+  size_t decoded = 0;
+  for (char byte : stream) {
+    decoder.Append(&byte, 1);
+    Frame frame;
+    bool ready = true;
+    while (ready) {
+      ASSERT_TRUE(decoder.Next(&frame, &ready).ok());
+      if (ready) {
+        EXPECT_EQ(frame.request_id, decoded);
+        ++decoded;
+      }
+    }
+  }
+  EXPECT_EQ(decoded, 5u);
+}
+
+TEST(NetFrameTest, TruncatedFrameWaitsForMoreBytes) {
+  const std::string bytes = EncodeFrame(MessageType::kPing, 1, "abcdef");
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size() - 3);
+  Frame frame;
+  bool ready = true;
+  ASSERT_TRUE(decoder.Next(&frame, &ready).ok());
+  EXPECT_FALSE(ready);
+  EXPECT_FALSE(decoder.poisoned());
+  decoder.Append(bytes.data() + bytes.size() - 3, 3);
+  ASSERT_TRUE(decoder.Next(&frame, &ready).ok());
+  EXPECT_TRUE(ready);
+  EXPECT_EQ(frame.payload, "abcdef");
+}
+
+TEST(NetFrameTest, BadMagicPoisonsTheDecoder) {
+  const std::string bytes = ForgeFrame(0x12345678u, kProtocolVersion, 1, 0, 0, "");
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  bool ready = false;
+  const Status status = decoder.Next(&frame, &ready);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(decoder.poisoned());
+  // Poisoned decoders stay poisoned, even fed a pristine frame.
+  const std::string good = EncodeFrame(MessageType::kPing, 1, "");
+  decoder.Append(good.data(), good.size());
+  EXPECT_FALSE(decoder.Next(&frame, &ready).ok());
+}
+
+TEST(NetFrameTest, HeaderCrcMismatchDetectedBeforeLengthIsTrusted) {
+  // An absurd payload_len rides behind a broken header CRC: the decoder
+  // must fail on the CRC, never interpret the length.
+  const std::string bytes =
+      ForgeFrame(kMagic, kProtocolVersion, 1, 0, 0xffffffffu, "",
+                 /*break_header_crc=*/true);
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  bool ready = false;
+  const Status status = decoder.Next(&frame, &ready);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("header CRC"), std::string::npos)
+      << status.message();
+}
+
+TEST(NetFrameTest, OversizedLengthPrefixRejected) {
+  // Valid CRCs, hostile length: must error out, not allocate 4 GiB.
+  const std::string bytes =
+      ForgeFrame(kMagic, kProtocolVersion, 1, 0, 0xfffffff0u, "");
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  bool ready = false;
+  const Status status = decoder.Next(&frame, &ready);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("exceeds"), std::string::npos)
+      << status.message();
+}
+
+TEST(NetFrameTest, PayloadCrcMismatchRejected) {
+  const std::string payload = "payload bytes";
+  const std::string bytes = ForgeFrame(
+      kMagic, kProtocolVersion, 1, 0, static_cast<uint32_t>(payload.size()),
+      payload, /*break_header_crc=*/false, /*break_payload_crc=*/true);
+  FrameDecoder decoder;
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  bool ready = false;
+  const Status status = decoder.Next(&frame, &ready);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("payload CRC"), std::string::npos)
+      << status.message();
+}
+
+TEST(NetFrameTest, WrongVersionAndReservedFlagsRejected) {
+  {
+    const std::string bytes = ForgeFrame(kMagic, 9, 1, 0, 0, "");
+    FrameDecoder decoder;
+    decoder.Append(bytes.data(), bytes.size());
+    Frame frame;
+    bool ready = false;
+    EXPECT_FALSE(decoder.Next(&frame, &ready).ok());
+  }
+  {
+    const std::string bytes = ForgeFrame(kMagic, kProtocolVersion, 1, 7, 0, "");
+    FrameDecoder decoder;
+    decoder.Append(bytes.data(), bytes.size());
+    Frame frame;
+    bool ready = false;
+    EXPECT_FALSE(decoder.Next(&frame, &ready).ok());
+  }
+}
+
+TEST(NetFrameTest, DecoderHonoursCustomPayloadCeiling) {
+  FrameDecoder decoder(/*max_payload=*/16);
+  const std::string bytes =
+      EncodeFrame(MessageType::kPing, 1, std::string(17, 'x'));
+  decoder.Append(bytes.data(), bytes.size());
+  Frame frame;
+  bool ready = false;
+  EXPECT_FALSE(decoder.Next(&frame, &ready).ok());
+}
+
+TEST(NetFrameTest, ClassifyRequestCodecRoundTrips) {
+  ClassifyRequestMsg msg;
+  msg.text = "suspicious claim text";
+  msg.creator_id = 12;
+  msg.subject_ids = {3, 1, 4};
+  msg.deadline_us = 250000;
+  auto decoded = DecodeClassifyRequest(EncodeClassifyRequest(msg));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().text, msg.text);
+  EXPECT_EQ(decoded.value().creator_id, 12);
+  EXPECT_EQ(decoded.value().subject_ids, msg.subject_ids);
+  EXPECT_EQ(decoded.value().deadline_us, 250000);
+}
+
+TEST(NetFrameTest, ClassifyResponseCodecRoundTripsBothHalves) {
+  {
+    ClassifyResponseMsg msg;
+    msg.ok = true;
+    msg.class_id = 1;
+    msg.class_name = "fake";
+    msg.probabilities = {0.25f, 0.75f};
+    msg.model_version = 7;
+    msg.batch_size = 4;
+    msg.from_cache = true;
+    msg.queue_us = 10.5;
+    msg.total_us = 99.25;
+    auto decoded = DecodeClassifyResponse(EncodeClassifyResponse(msg));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(decoded.value().ok);
+    EXPECT_EQ(decoded.value().class_name, "fake");
+    EXPECT_EQ(decoded.value().probabilities, msg.probabilities);
+    EXPECT_EQ(decoded.value().model_version, 7u);
+    EXPECT_TRUE(decoded.value().from_cache);
+    EXPECT_DOUBLE_EQ(decoded.value().total_us, 99.25);
+  }
+  {
+    ClassifyResponseMsg msg;
+    msg.ok = false;
+    msg.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
+    msg.message = "shed";
+    auto decoded = DecodeClassifyResponse(EncodeClassifyResponse(msg));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_FALSE(decoded.value().ok);
+    EXPECT_EQ(decoded.value().status_code,
+              static_cast<uint8_t>(StatusCode::kUnavailable));
+    EXPECT_EQ(decoded.value().message, "shed");
+  }
+}
+
+TEST(NetFrameTest, ControlAndCanaryCodecsRoundTrip) {
+  ControlResponseMsg msg;
+  msg.ok = true;
+  msg.value = 31337;
+  auto decoded = DecodeControlResponse(EncodeControlResponse(msg));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().ok);
+  EXPECT_EQ(decoded.value().value, 31337u);
+
+  auto permille = DecodeCanaryRequest(EncodeCanaryRequest(250));
+  ASSERT_TRUE(permille.ok());
+  EXPECT_EQ(permille.value(), 250u);
+}
+
+TEST(NetFrameTest, TruncatedPayloadsFailCleanly) {
+  ClassifyRequestMsg msg;
+  msg.text = "some text";
+  msg.subject_ids = {1, 2};
+  const std::string payload = EncodeClassifyRequest(msg);
+  for (size_t cut = 0; cut < payload.size(); cut += 3) {
+    auto decoded = DecodeClassifyRequest(payload.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+// ==== NetServerTest: live socket behaviour ===================================
+
+TEST(NetServerTest, ClassifyRoundTripServesRealModel) {
+  auto harness = StartHarness();
+  TestClient client(harness->server->bound_port());
+  auto result = client.Classify(SampleText(0), 1001);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const ClassifyResponseMsg& msg = result.value().msg;
+  EXPECT_GE(msg.class_id, 0);
+  EXPECT_FALSE(msg.class_name.empty());
+  EXPECT_EQ(msg.probabilities.size(), 2u);
+  EXPECT_EQ(msg.model_version, 1u);
+  EXPECT_GT(msg.total_us, 0.0);
+
+  const ServerStats stats = harness->server->Stats();
+  EXPECT_EQ(stats.classify_frames, 1u);
+  EXPECT_EQ(stats.responses_ok, 1u);
+}
+
+TEST(NetServerTest, PingEchoesPayload) {
+  auto harness = StartHarness();
+  TestClient client(harness->server->bound_port());
+  client.Send(MessageType::kPing, 5, "echo me");
+  Frame frame = client.ReadFrame();
+  EXPECT_EQ(frame.type, MessageType::kPong);
+  EXPECT_EQ(frame.request_id, 5u);
+  EXPECT_EQ(frame.payload, "echo me");
+}
+
+TEST(NetServerTest, RepeatRequestServedFromScoreCache) {
+  auto harness = StartHarness();
+  TestClient client(harness->server->bound_port());
+  auto first = client.Classify(SampleText(1), 1);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().msg.from_cache);
+  auto second = client.Classify(SampleText(1), 2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().msg.from_cache);
+  EXPECT_EQ(second.value().msg.class_id, first.value().msg.class_id);
+}
+
+TEST(NetServerTest, MalformedPayloadAnswersErrorWithoutKillingStream) {
+  auto harness = StartHarness();
+  TestClient client(harness->server->bound_port());
+  // The frame is wire-clean (CRCs pass) but the body is garbage: the
+  // stream stays in sync, so the server answers instead of disconnecting.
+  client.Send(MessageType::kClassifyRequest, 9, "not a classify payload");
+  Frame frame = client.ReadFrame();
+  EXPECT_EQ(frame.type, MessageType::kClassifyResponse);
+  auto decoded = DecodeClassifyResponse(frame.payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().ok);
+  // Same connection still serves a good request.
+  auto result = client.Classify(SampleText(2), 10);
+  EXPECT_TRUE(result.ok());
+}
+
+TEST(NetServerTest, GarbageBytesGetErrorFrameThenClose) {
+  auto harness = StartHarness();
+  TestClient client(harness->server->bound_port());
+  client.SendRaw("this is not an FKDN stream at all, not even close");
+  std::vector<Frame> frames = client.ReadUntilClose();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, MessageType::kError);
+  const ServerStats stats = harness->server->Stats();
+  EXPECT_EQ(stats.protocol_errors, 1u);
+  EXPECT_EQ(stats.classify_frames, 0u);
+
+  // The neighbour connection is unaffected.
+  TestClient neighbour(harness->server->bound_port());
+  EXPECT_TRUE(neighbour.Classify(SampleText(3), 11).ok());
+}
+
+TEST(NetServerTest, UnexpectedFrameTypeClosesConnection) {
+  auto harness = StartHarness();
+  TestClient client(harness->server->bound_port());
+  ClassifyResponseMsg bogus;
+  bogus.ok = false;
+  client.Send(MessageType::kClassifyResponse, 3,
+              EncodeClassifyResponse(bogus));
+  std::vector<Frame> frames = client.ReadUntilClose();
+  EXPECT_TRUE(frames.empty());
+  EXPECT_EQ(harness->server->Stats().protocol_errors, 1u);
+}
+
+TEST(NetServerTest, CorruptHeaderOnTheWireIsCaught) {
+  auto harness = StartHarness();
+  TestClient client(harness->server->bound_port());
+  std::string bytes = EncodeFrame(MessageType::kPing, 1, "payload");
+  bytes[17] ^= 0x40;  // flip a payload_len bit; header CRC now mismatches
+  client.SendRaw(bytes);
+  std::vector<Frame> frames = client.ReadUntilClose();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, MessageType::kError);
+  EXPECT_EQ(harness->server->Stats().protocol_errors, 1u);
+}
+
+TEST(NetServerTest, AdmissionControlShedsWhenEngineQueueSaturated) {
+  ServerOptions server_options;
+  server_options.shed_queue_depth = 4;
+  serve::RouterOptions router_options = FastRouterOptions();
+  // One slow-forming batch pipeline: the worker waits 200 ms for
+  // stragglers, so pipelined unique requests pile up in the queue.
+  router_options.engine.max_batch_size = 4;
+  router_options.engine.max_batch_delay_us = 200000;
+  router_options.cache_capacity = 0;  // every request must hit the engine
+  auto harness = StartHarness(server_options, router_options);
+
+  TestClient client(harness->server->bound_port());
+  constexpr size_t kRequests = 40;
+  std::string burst;
+  for (size_t i = 0; i < kRequests; ++i) {
+    ClassifyRequestMsg msg;
+    msg.text = SampleText(i) + " #" + std::to_string(i);
+    burst += EncodeFrame(MessageType::kClassifyRequest, 100 + i,
+                         EncodeClassifyRequest(msg));
+  }
+  client.SendRaw(burst);
+
+  size_t ok = 0;
+  size_t shed = 0;
+  for (size_t i = 0; i < kRequests; ++i) {
+    Frame frame = client.ReadFrame(30000);
+    ASSERT_EQ(frame.type, MessageType::kClassifyResponse);
+    auto decoded = DecodeClassifyResponse(frame.payload);
+    ASSERT_TRUE(decoded.ok());
+    if (decoded.value().ok) {
+      ++ok;
+    } else {
+      EXPECT_EQ(decoded.value().status_code,
+                static_cast<uint8_t>(StatusCode::kUnavailable));
+      ++shed;
+    }
+  }
+  // Every request answered, some explicitly shed — never a hang or drop.
+  EXPECT_EQ(ok + shed, kRequests);
+  EXPECT_GT(shed, 0u) << "expected queue-depth shedding under the burst";
+  EXPECT_GT(ok, 0u);
+  const ServerStats stats = harness->server->Stats();
+  EXPECT_EQ(stats.shed, shed);
+  EXPECT_EQ(stats.classify_frames, kRequests);
+}
+
+TEST(NetServerTest, SlowLorisConnectionIsClosed) {
+  ServerOptions server_options;
+  server_options.idle_timeout_ms = 300;
+  auto harness = StartHarness(server_options);
+  TestClient client(harness->server->bound_port());
+
+  // Dribble a valid frame one byte every 100 ms: activity never stops, but
+  // the frame never completes — the loris sweep must kill it anyway.
+  const std::string bytes = EncodeFrame(MessageType::kPing, 1, "loris");
+  bool closed = false;
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < bytes.size() && !closed; ++i) {
+    if (::write(client.fd(), &bytes[i], 1) < 0) {
+      closed = true;
+      break;
+    }
+    pollfd pfd{client.fd(), POLLIN, 0};
+    if (::poll(&pfd, 1, 100) > 0) {
+      char sink[64];
+      if (::read(client.fd(), sink, sizeof(sink)) == 0) closed = true;
+    }
+    if (std::chrono::steady_clock::now() - start >
+        std::chrono::seconds(10)) {
+      break;
+    }
+  }
+  if (!closed) {
+    // Out of bytes before the sweep fired; wait for the close.
+    std::vector<Frame> frames = client.ReadUntilClose();
+    EXPECT_TRUE(frames.empty());
+  }
+  // The sweep, not the peer, closed it.
+  for (int i = 0; i < 100; ++i) {
+    if (harness->server->Stats().idle_closed > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(harness->server->Stats().idle_closed, 1u);
+}
+
+TEST(NetServerTest, IdleConnectionIsClosed) {
+  ServerOptions server_options;
+  server_options.idle_timeout_ms = 200;
+  auto harness = StartHarness(server_options);
+  TestClient client(harness->server->bound_port());
+  std::vector<Frame> frames = client.ReadUntilClose(5000);
+  EXPECT_TRUE(frames.empty());
+  // The client can see the EOF a beat before the sweep bumps the counter.
+  for (int i = 0; i < 100; ++i) {
+    if (harness->server->Stats().idle_closed > 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(harness->server->Stats().idle_closed, 1u);
+}
+
+TEST(NetServerTest, MidRequestDisconnectNeverLeaksTheSlot) {
+  serve::RouterOptions router_options = FastRouterOptions();
+  router_options.engine.max_batch_delay_us = 100000;  // keep it in flight
+  router_options.cache_capacity = 0;
+  auto harness = StartHarness({}, router_options);
+  {
+    TestClient client(harness->server->bound_port());
+    ClassifyRequestMsg msg;
+    msg.text = SampleText(4) + " #disconnect";
+    client.Send(MessageType::kClassifyRequest, 55,
+                EncodeClassifyRequest(msg));
+    // Give the loop a moment to decode + submit, then vanish.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }  // client destructor closes the socket with the request in flight
+  ServerStats stats;
+  for (int i = 0; i < 200; ++i) {
+    stats = harness->server->Stats();
+    if (stats.responses_dropped + stats.responses_error +
+            stats.responses_ok ==
+        stats.classify_frames) {
+      if (stats.inflight == 0 && stats.classify_frames == 1) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(stats.classify_frames, 1u);
+  EXPECT_EQ(stats.responses_dropped, 1u);
+  EXPECT_EQ(stats.inflight, 0u);
+}
+
+TEST(NetServerTest, ConnectionCapRefusesExtraClients) {
+  ServerOptions server_options;
+  server_options.max_connections = 1;
+  auto harness = StartHarness(server_options);
+  TestClient keeper(harness->server->bound_port());
+  ASSERT_TRUE(keeper.Classify(SampleText(5), 1).ok());
+  TestClient refused(harness->server->bound_port());
+  std::vector<Frame> frames = refused.ReadUntilClose(5000);
+  EXPECT_TRUE(frames.empty());
+  EXPECT_GE(harness->server->Stats().over_capacity, 1u);
+  // The admitted connection still works.
+  EXPECT_TRUE(keeper.Classify(SampleText(6), 2).ok());
+}
+
+TEST(NetServerTest, SwapAndCanaryControlFramesDriveTheRouter) {
+  auto harness = StartHarness();
+  const int port = harness->server->bound_port();
+  TestClient client(port);
+  auto before = client.Classify(SampleText(7), 1);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before.value().msg.model_version, 1u);
+
+  auto swapped = RequestSwap("127.0.0.1", port);
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  EXPECT_EQ(swapped.value(), 2u);
+  EXPECT_EQ(harness->router->active_version(), 2u);
+  // Uncached request after the swap carries the new version.
+  ClassifyRequestMsg msg;
+  msg.text = SampleText(7) + " #post-swap";
+  client.Send(MessageType::kClassifyRequest, 2, EncodeClassifyRequest(msg));
+  Frame frame = client.ReadFrame();
+  auto decoded = DecodeClassifyResponse(frame.payload);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_TRUE(decoded.value().ok);
+  EXPECT_EQ(decoded.value().model_version, 2u);
+
+  // Stopping a canary that never started is an idempotent no-op (the
+  // loadgen's canary sweep starts from permille 0).
+  auto noop = RequestCanary("127.0.0.1", port, 0);
+  ASSERT_TRUE(noop.ok()) << noop.status().ToString();
+
+  auto canary = RequestCanary("127.0.0.1", port, 250);
+  ASSERT_TRUE(canary.ok()) << canary.status().ToString();
+  EXPECT_EQ(canary.value(), 3u);
+  auto stopped = RequestCanary("127.0.0.1", port, 0);
+  ASSERT_TRUE(stopped.ok());
+  EXPECT_EQ(harness->server->Stats().swaps, 1u);
+}
+
+TEST(NetServerTest, QueueDepthSignalIsZeroAtRest) {
+  auto harness = StartHarness();
+  TestClient client(harness->server->bound_port());
+  ASSERT_TRUE(client.Classify(SampleText(8), 1).ok());
+  EXPECT_EQ(harness->router->QueueDepth(), 0u);
+}
+
+// ==== NetShutdownTest: graceful drain ========================================
+
+TEST(NetShutdownTest, DrainFlushesEveryAcceptedRequest) {
+  serve::RouterOptions router_options = FastRouterOptions();
+  router_options.cache_capacity = 0;
+  auto harness = StartHarness({}, router_options);
+  TestClient client(harness->server->bound_port());
+
+  constexpr size_t kRequests = 24;
+  std::string burst;
+  for (size_t i = 0; i < kRequests; ++i) {
+    ClassifyRequestMsg msg;
+    msg.text = SampleText(i) + " #drain-" + std::to_string(i);
+    burst += EncodeFrame(MessageType::kClassifyRequest, i + 1,
+                         EncodeClassifyRequest(msg));
+  }
+  client.SendRaw(burst);
+  // Let the loop accept some in-flight work, then shut down mid-stream.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  std::thread shutdown([&] { harness->server->Shutdown(); });
+
+  // Every frame the server accepted must produce a response before the
+  // close: some classified, some shed with Unavailable — none dropped.
+  std::vector<Frame> frames = client.ReadUntilClose(30000);
+  shutdown.join();
+
+  const ServerStats stats = harness->server->Stats();
+  EXPECT_EQ(stats.classify_frames,
+            stats.responses_ok + stats.responses_error +
+                stats.responses_dropped)
+      << "accounting invariant violated";
+  EXPECT_EQ(stats.responses_dropped, 0u)
+      << "client stayed connected; nothing may be dropped";
+  EXPECT_EQ(frames.size(), stats.classify_frames)
+      << "every accepted classify got a response frame before the close";
+  for (const Frame& frame : frames) {
+    EXPECT_EQ(frame.type, MessageType::kClassifyResponse);
+  }
+}
+
+TEST(NetShutdownTest, ShutdownIsIdempotentAndRefusesNewWork) {
+  auto harness = StartHarness();
+  const int port = harness->server->bound_port();
+  harness->server->Shutdown();
+  harness->server->Shutdown();  // second call is a no-op
+  // The listen socket is gone: connects are refused. (One loophole: with
+  // the listener closed the port is free, so the kernel may pick it as the
+  // client's own ephemeral source port and complete a TCP self-connection.
+  // That still proves no server listens — a real listener would have given
+  // the client a different source port.)
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    sockaddr_in local{};
+    socklen_t len = sizeof(local);
+    ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&local), &len), 0);
+    EXPECT_EQ(local.sin_port, addr.sin_port)
+        << "a non-self connect succeeded: something still listens";
+  }
+  ::close(fd);
+}
+
+// ==== LoadGenTest: the harness measuring the harness =========================
+
+std::vector<ClassifyRequestMsg> SmallCorpus(size_t n) {
+  std::vector<ClassifyRequestMsg> corpus;
+  for (size_t i = 0; i < n; ++i) {
+    ClassifyRequestMsg msg;
+    msg.text = SampleText(i);
+    corpus.push_back(std::move(msg));
+  }
+  return corpus;
+}
+
+TEST(LoadGenTest, ClosedLoopRoundTripAgainstLiveServer) {
+  auto harness = StartHarness();
+  LoadGenOptions options;
+  options.port = harness->server->bound_port();
+  options.connections = 2;
+  options.window = 2;
+  options.duration_ms = 1000;
+  options.warmup_ms = 200;
+  options.corpus = SmallCorpus(10);
+  auto report = RunLoadGen(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().mode, "closed");
+  EXPECT_GT(report.value().ok, 0u);
+  EXPECT_EQ(report.value().errors, 0u);
+  EXPECT_EQ(report.value().connect_failures, 0u);
+  EXPECT_EQ(report.value().io_errors, 0u);
+  EXPECT_GT(report.value().achieved_qps, 0.0);
+  EXPECT_GT(report.value().p50_us, 0.0);
+  EXPECT_GE(report.value().p99_us, report.value().p50_us);
+  EXPECT_GT(report.value().from_cache, 0u) << "10 texts must repeat";
+  const std::string json = report.value().ToJson();
+  EXPECT_NE(json.find("\"achieved_qps\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999_us\""), std::string::npos);
+}
+
+TEST(LoadGenTest, OpenLoopHoldsItsSchedule) {
+  auto harness = StartHarness();
+  LoadGenOptions options;
+  options.port = harness->server->bound_port();
+  options.connections = 2;
+  options.open_loop_qps = 200.0;
+  options.duration_ms = 1000;
+  options.warmup_ms = 200;
+  options.corpus = SmallCorpus(10);
+  auto report = RunLoadGen(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report.value().mode, "open");
+  // The schedule sends ~200 requests over the measured second; allow wide
+  // slack for CI jitter but catch a broken pacer (0 or unbounded).
+  EXPECT_GT(report.value().sent, 100u);
+  EXPECT_LT(report.value().sent, 400u);
+  EXPECT_EQ(report.value().errors, 0u);
+}
+
+TEST(LoadGenTest, UniqueRequestsDefeatTheScoreCache) {
+  auto harness = StartHarness();
+  LoadGenOptions options;
+  options.port = harness->server->bound_port();
+  options.connections = 1;
+  options.window = 2;
+  options.duration_ms = 500;
+  options.warmup_ms = 100;
+  options.corpus = SmallCorpus(4);
+  options.unique_requests = true;
+  auto report = RunLoadGen(options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report.value().ok, 0u);
+  EXPECT_EQ(report.value().from_cache, 0u);
+}
+
+TEST(LoadGenTest, DeadServerReportsConnectFailure) {
+  LoadGenOptions options;
+  options.port = 1;  // nothing listens on port 1
+  options.connections = 2;
+  options.duration_ms = 100;
+  options.warmup_ms = 0;
+  options.corpus = SmallCorpus(1);
+  auto report = RunLoadGen(options);
+  EXPECT_FALSE(report.ok());
+}
+
+TEST(LoadGenTest, HotSwapUnderLoadCompletesWithZeroFailures) {
+  serve::RouterOptions router_options = FastRouterOptions();
+  router_options.cache_capacity = 0;  // every request rides an engine
+  auto harness = StartHarness({}, router_options);
+  const int port = harness->server->bound_port();
+
+  LoadGenOptions options;
+  options.port = port;
+  options.connections = 2;
+  options.window = 3;
+  options.duration_ms = 1500;
+  options.warmup_ms = 100;
+  options.corpus = SmallCorpus(12);
+  options.unique_requests = true;
+
+  std::atomic<bool> done{false};
+  uint64_t last_version = 0;
+  std::thread swapper([&] {
+    // Two live hot-swaps while the closed loop hammers the server.
+    for (int i = 0; i < 2 && !done.load(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(400));
+      auto version = RequestSwap("127.0.0.1", port);
+      ASSERT_TRUE(version.ok()) << version.status().ToString();
+      last_version = version.value();
+    }
+  });
+  auto report = RunLoadGen(options);
+  done.store(true);
+  swapper.join();
+
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report.value().ok, 0u);
+  // The acceptance gate: a hot swap under sustained load is invisible to
+  // clients — zero errors, zero lost connections, zero shed.
+  EXPECT_EQ(report.value().errors, 0u);
+  EXPECT_EQ(report.value().io_errors, 0u);
+  EXPECT_EQ(report.value().connect_failures, 0u);
+  EXPECT_EQ(last_version, 3u);
+  EXPECT_EQ(harness->router->active_version(), 3u);
+  EXPECT_EQ(harness->server->Stats().swaps, 2u);
+
+  const ServerStats stats = harness->server->Stats();
+  EXPECT_EQ(stats.classify_frames,
+            stats.responses_ok + stats.responses_error +
+                stats.responses_dropped);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace fkd

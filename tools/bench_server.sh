@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Sustained-load benchmark of the network front end -> BENCH_server.json.
+#
+# Boots fkd_server --demo on an ephemeral port, then drives timed
+# fkd_loadgen rounds (each >= 10 s measured):
+#   1. closed-loop connections sweep      — sustainable QPS vs concurrency
+#   2. closed-loop window (batch) sweep   — QPS vs per-connection pipelining
+#   3. canary-permille sweep              — cost of splitting traffic
+#   4. open-loop round at a fixed rate    — honest latency under load
+#   5. hot-swap-under-load round          — swaps every few seconds while a
+#      closed loop runs; MUST finish with zero client-visible errors
+# and assembles the per-round reports (each carrying hardware context)
+# into one committed artifact.
+#
+#   tools/bench_server.sh [build-dir] [out.json]
+#
+# Environment: DURATION_S (default 10), OPEN_QPS (default 150).
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+OUT="${2:-${REPO_ROOT}/BENCH_server.json}"
+DURATION_S="${DURATION_S:-10}"
+OPEN_QPS="${OPEN_QPS:-150}"
+
+SERVER_BIN="${BUILD_DIR}/tools/fkd_server"
+LOADGEN_BIN="${BUILD_DIR}/tools/fkd_loadgen"
+[[ -x "${SERVER_BIN}" && -x "${LOADGEN_BIN}" ]] || {
+  echo "build fkd_server/fkd_loadgen first (cmake --build ${BUILD_DIR})"; exit 1
+}
+
+WORKDIR="$(mktemp -d)"
+PORT_FILE="${WORKDIR}/port"
+SERVER_PID=""
+cleanup() {
+  if [[ -n "${SERVER_PID}" ]] && kill -0 "${SERVER_PID}" 2>/dev/null; then
+    kill -TERM "${SERVER_PID}" 2>/dev/null || true
+    for _ in $(seq 1 40); do
+      kill -0 "${SERVER_PID}" 2>/dev/null || break; sleep 0.5
+    done
+    kill -KILL "${SERVER_PID}" 2>/dev/null || true
+  fi
+  rm -rf "${WORKDIR}"
+}
+trap cleanup EXIT
+
+"${SERVER_BIN}" --demo --port=0 --snapshot="${WORKDIR}/snapshot" \
+  --port-file="${PORT_FILE}" >"${WORKDIR}/server.log" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 240); do
+  [[ -f "${PORT_FILE}" ]] && break
+  kill -0 "${SERVER_PID}" 2>/dev/null || {
+    echo "server died:"; cat "${WORKDIR}/server.log"; exit 1; }
+  sleep 0.5
+done
+PORT="$(cat "${PORT_FILE}")"
+echo "== server on port ${PORT}; ${DURATION_S}s per round =="
+
+COMMON=(--port="${PORT}" --duration-s="${DURATION_S}" --warmup-s=2)
+
+echo "== 1/5 closed-loop connections sweep =="
+"${LOADGEN_BIN}" "${COMMON[@]}" --window=4 \
+  --sweep-connections=1,2,4,8 --json="${WORKDIR}/connections.json"
+
+echo "== 2/5 closed-loop window sweep (engine-bound, cache defeated) =="
+"${LOADGEN_BIN}" "${COMMON[@]}" --connections=4 --unique \
+  --sweep-window=1,4,16 --json="${WORKDIR}/window.json"
+
+echo "== 3/5 canary-permille sweep =="
+"${LOADGEN_BIN}" "${COMMON[@]}" --connections=4 --window=4 \
+  --sweep-canary=0,100,250 --json="${WORKDIR}/canary.json"
+
+echo "== 4/5 open-loop at ${OPEN_QPS} qps =="
+"${LOADGEN_BIN}" "${COMMON[@]}" --connections=4 \
+  --open-qps="${OPEN_QPS}" --json="${WORKDIR}/open.json"
+
+echo "== 5/5 hot-swap under load (zero-error gate) =="
+"${LOADGEN_BIN}" --port="${PORT}" --duration-s=$((DURATION_S + 2)) \
+  --warmup-s=2 --connections=2 --window=4 --swap --swap-every-s=4 \
+  --expect-zero-errors --json="${WORKDIR}/swap.json"
+
+{
+  echo '{'
+  echo "  \"bench\": \"server_sustained_load\","
+  echo "  \"protocol\": \"FKDN/1 over loopback TCP, demo model, ${DURATION_S}s measured per round\","
+  echo '  "closed_loop_connections_sweep":'
+  sed 's/^/  /' "${WORKDIR}/connections.json"
+  echo '  ,"closed_loop_window_sweep":'
+  sed 's/^/  /' "${WORKDIR}/window.json"
+  echo '  ,"canary_permille_sweep":'
+  sed 's/^/  /' "${WORKDIR}/canary.json"
+  echo '  ,"open_loop":'
+  sed 's/^/  /' "${WORKDIR}/open.json"
+  echo '  ,"hot_swap_under_load":'
+  sed 's/^/  /' "${WORKDIR}/swap.json"
+  echo '}'
+} > "${OUT}"
+
+kill -TERM "${SERVER_PID}"
+for _ in $(seq 1 60); do kill -0 "${SERVER_PID}" 2>/dev/null || break; sleep 0.5; done
+wait "${SERVER_PID}" || { echo "server exited non-zero"; cat "${WORKDIR}/server.log"; exit 1; }
+SERVER_PID=""
+grep -q "no accepted request was silently dropped" "${WORKDIR}/server.log"
+
+echo "wrote ${OUT}"

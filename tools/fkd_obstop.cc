@@ -166,6 +166,36 @@ void RenderFrame(const std::string& path, const std::string& line) {
       ExtractNumber(gauges, "fkd.serve.health{}", 1.0),
       ExtractNumber(gauges, "fkd.serve.active_version{}"),
       ExtractNumber(breaker_object, "total"));
+
+  // Network front end (present only when fkd_server is running).
+  const std::string conns_object =
+      ExtractObject(counters, "fkd.net.connections_total{}");
+  if (!conns_object.empty()) {
+    std::printf(
+        "  %-12s active=%-6.0f inflight=%-6.0f accepts/s=%-8.2f "
+        "frames_in/s=%-8.1f frames_out/s=%-8.1f\n",
+        "net",
+        ExtractNumber(gauges, "fkd.net.connections{}"),
+        ExtractNumber(gauges, "fkd.net.inflight{}"),
+        ExtractNumber(conns_object, "rate"),
+        ExtractNumber(ExtractObject(counters, "fkd.net.frames{dir=in}"),
+                      "rate"),
+        ExtractNumber(ExtractObject(counters, "fkd.net.frames{dir=out}"),
+                      "rate"));
+    std::printf(
+        "  %-12s shed/s=%-8.2f proto_errs=%-6.0f idle_closed=%-6.0f "
+        "dropped=%-6.0f\n",
+        "net errors",
+        ExtractNumber(ExtractObject(counters, "fkd.net.shed{}"), "rate"),
+        ExtractNumber(ExtractObject(counters, "fkd.net.protocol_errors{}"),
+                      "total"),
+        ExtractNumber(ExtractObject(counters, "fkd.net.idle_closed{}"),
+                      "total"),
+        ExtractNumber(
+            ExtractObject(counters, "fkd.net.responses_dropped{}"),
+            "total"));
+    PrintHistogramRow("net_req_us", histograms, "fkd.net.request_us{}");
+  }
 }
 
 }  // namespace
