@@ -7,14 +7,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 #include <thread>
-#include <unordered_map>
 
 #include "common/string_util.h"
+#include "net/client.h"
 #include "obs/metrics.h"
 
 namespace fkd {
@@ -133,26 +136,64 @@ struct SharedState {
   std::atomic<uint64_t> ok{0};
   std::atomic<uint64_t> errors{0};
   std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> deadline_exceeded{0};
   std::atomic<uint64_t> from_cache{0};
   std::atomic<uint64_t> connect_failures{0};
   std::atomic<uint64_t> io_errors{0};
+  std::atomic<uint64_t> timeouts{0};
+  std::atomic<uint64_t> retries{0};
+  std::atomic<uint64_t> hedges{0};
+  std::atomic<uint64_t> hedge_wins{0};
   obs::Histogram latency_us;
   /// Measured window, steady-clock us: samples outside are dropped.
   int64_t window_start_us = 0;
   int64_t window_end_us = 0;
 };
 
-/// One connection's sending/receiving loop. Runs until past
-/// window_end + drain, or until the connection dies.
+/// One connection's sending loop, built on the resilient NetClient: the
+/// client owns per-request timeouts, retries and (optionally) hedging, so
+/// a response lost on the wire times out and frees its window slot instead
+/// of wedging the worker forever. Runs until past window_end + drain.
 void Worker(const LoadGenOptions& options, size_t index, SharedState* shared) {
-  Result<int> connected = ConnectTo(options.host, options.port);
-  if (!connected.ok()) {
+  // Pre-flight with a blocking connect so a server that is down at start
+  // is reported as a connect failure, not a run full of timeouts.
+  {
+    Result<int> probe = ConnectTo(options.host, options.port);
+    if (!probe.ok()) {
+      shared->connect_failures.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ::close(probe.value());
+  }
+
+  int64_t request_timeout_us = options.request_timeout_us;
+  if (request_timeout_us <= 0) {
+    // Default: comfortably inside the drain, so every straggler resolves
+    // (as a timeout) before the run gives up on it.
+    request_timeout_us = options.drain_timeout_ms * 1000 * 8 / 10;
+    if (request_timeout_us <= 0) request_timeout_us = 1'000'000;
+  }
+
+  NetClientOptions client_options;
+  client_options.host = options.host;
+  client_options.port = options.port;
+  client_options.default_timeout_us = request_timeout_us;
+  client_options.retry = options.retry;
+  // Decorrelate jitter across connections without losing determinism.
+  client_options.retry.seed += index;
+  client_options.hedge = options.hedge;
+  NetClient client(client_options);
+  if (!client.Start().ok()) {
     shared->connect_failures.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  const int fd = connected.value();
-  FrameDecoder decoder;
-  std::unordered_map<uint64_t, int64_t> outstanding;  // request_id -> send us
+
+  // Closed-loop window accounting: callbacks (on the client's I/O thread)
+  // release slots; this thread acquires them.
+  std::mutex mutex;
+  std::condition_variable cv;
+  size_t outstanding = 0;
+
   uint64_t next_seq = 1;
   size_t corpus_index = index % options.corpus.size();
 
@@ -172,142 +213,111 @@ void Worker(const LoadGenOptions& options, size_t index, SharedState* shared) {
   const int64_t send_end_us = shared->window_end_us;
   const int64_t drain_end_us = send_end_us + options.drain_timeout_ms * 1000;
 
-  auto send_one = [&]() -> bool {
+  auto send_one = [&]() {
     ClassifyRequestMsg msg = options.corpus[corpus_index];
     corpus_index = (corpus_index + 1) % options.corpus.size();
     if (options.deadline_us > 0) msg.deadline_us = options.deadline_us;
-    const uint64_t request_id =
-        (static_cast<uint64_t>(index + 1) << 48) | next_seq++;
     if (options.unique_requests) {
-      msg.text += StrFormat(" #%llu",
-                            static_cast<unsigned long long>(request_id));
+      const uint64_t nonce =
+          (static_cast<uint64_t>(index + 1) << 48) | next_seq++;
+      msg.text +=
+          StrFormat(" #%llu", static_cast<unsigned long long>(nonce));
     }
-    const int64_t now = NowUs();
-    if (!WriteAll(fd, EncodeFrame(MessageType::kClassifyRequest, request_id,
-                                  EncodeClassifyRequest(msg)))
-             .ok()) {
-      return false;
-    }
-    outstanding.emplace(request_id, now);
-    if (now >= shared->window_start_us && now < shared->window_end_us) {
+    const int64_t sent_at = NowUs();
+    if (sent_at >= shared->window_start_us && sent_at < send_end_us) {
       shared->sent.fetch_add(1, std::memory_order_relaxed);
     }
-    return true;
-  };
-
-  auto handle_response = [&](const Frame& frame) {
-    auto it = outstanding.find(frame.request_id);
-    if (it == outstanding.end()) return;
-    const int64_t sent_us = it->second;
-    outstanding.erase(it);
-    const int64_t now = NowUs();
-    const bool measured =
-        now >= shared->window_start_us && now < shared->window_end_us;
-    Result<ClassifyResponseMsg> decoded =
-        DecodeClassifyResponse(frame.payload);
-    if (!decoded.ok()) {
-      if (measured) shared->errors.fetch_add(1, std::memory_order_relaxed);
-      return;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++outstanding;
     }
-    if (!measured) return;
-    const ClassifyResponseMsg& msg = decoded.value();
-    if (msg.ok) {
-      shared->ok.fetch_add(1, std::memory_order_relaxed);
-      if (msg.from_cache) {
-        shared->from_cache.fetch_add(1, std::memory_order_relaxed);
-      }
-      shared->latency_us.Observe(static_cast<double>(now - sent_us));
-    } else if (static_cast<StatusCode>(msg.status_code) ==
-               StatusCode::kUnavailable) {
-      shared->shed.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      shared->errors.fetch_add(1, std::memory_order_relaxed);
-    }
-  };
-
-  // Closed loop primes the window; the open loop starts from its schedule.
-  if (!open_loop) {
-    for (size_t i = 0; i < options.window; ++i) {
-      if (!send_one()) {
-        shared->io_errors.fetch_add(1, std::memory_order_relaxed);
-        ::close(fd);
-        return;
-      }
-    }
-  }
-
-  char chunk[64 * 1024];
-  for (;;) {
-    const int64_t now = NowUs();
-    const bool sending = now < send_end_us;
-    if (!sending && outstanding.empty()) break;
-    if (!sending && now >= drain_end_us) {
-      // Stragglers past the drain budget: lost to this run.
-      shared->io_errors.fetch_add(outstanding.size(),
-                                  std::memory_order_relaxed);
-      break;
-    }
-
-    if (open_loop && sending) {
-      while (NowUs() >= next_send_us && next_send_us < send_end_us) {
-        if (!send_one()) {
-          shared->io_errors.fetch_add(1, std::memory_order_relaxed);
-          ::close(fd);
-          return;
+    client.Submit(std::move(msg), [&, sent_at](
+                                      Result<ClassifyResponseMsg> result) {
+      const int64_t now = NowUs();
+      const bool measured =
+          now >= shared->window_start_us && now < shared->window_end_us;
+      StatusCode code = StatusCode::kOk;
+      if (result.ok() && result.value().ok) {
+        if (measured) {
+          shared->ok.fetch_add(1, std::memory_order_relaxed);
+          if (result.value().from_cache) {
+            shared->from_cache.fetch_add(1, std::memory_order_relaxed);
+          }
+          shared->latency_us.Observe(static_cast<double>(now - sent_at));
         }
-        next_send_us += send_interval_us;
-      }
-    }
-
-    int64_t wait_until_us = sending ? send_end_us : drain_end_us;
-    if (open_loop && sending && next_send_us < wait_until_us) {
-      wait_until_us = next_send_us;
-    }
-    int timeout_ms =
-        static_cast<int>((wait_until_us - NowUs() + 999) / 1000);
-    if (timeout_ms < 0) timeout_ms = 0;
-    if (timeout_ms > 100) timeout_ms = 100;
-
-    pollfd pfd{fd, POLLIN, 0};
-    const int rv = ::poll(&pfd, 1, timeout_ms);
-    if (rv < 0 && errno != EINTR) {
-      shared->io_errors.fetch_add(1, std::memory_order_relaxed);
-      break;
-    }
-    if (rv <= 0 || !(pfd.revents & POLLIN)) continue;
-
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      shared->io_errors.fetch_add(1 + outstanding.size(),
-                                  std::memory_order_relaxed);
-      break;
-    }
-    decoder.Append(chunk, static_cast<size_t>(n));
-    for (;;) {
-      Frame frame;
-      bool ready = false;
-      if (!decoder.Next(&frame, &ready).ok()) {
-        shared->io_errors.fetch_add(1, std::memory_order_relaxed);
-        ::close(fd);
-        return;
-      }
-      if (!ready) break;
-      if (frame.type == MessageType::kClassifyResponse) {
-        handle_response(frame);
-        // Closed loop: a completed slot is refilled immediately.
-        if (!open_loop && NowUs() < send_end_us) {
-          if (!send_one()) {
-            shared->io_errors.fetch_add(1, std::memory_order_relaxed);
-            ::close(fd);
-            return;
+      } else {
+        code = result.ok()
+                   ? static_cast<StatusCode>(result.value().status_code)
+                   : result.status().code();
+        if (measured) {
+          switch (code) {
+            case StatusCode::kUnavailable:
+              shared->shed.fetch_add(1, std::memory_order_relaxed);
+              break;
+            case StatusCode::kDeadlineExceeded:
+              shared->deadline_exceeded.fetch_add(1,
+                                                  std::memory_order_relaxed);
+              break;
+            case StatusCode::kIoError:
+              shared->io_errors.fetch_add(1, std::memory_order_relaxed);
+              break;
+            default:
+              shared->errors.fetch_add(1, std::memory_order_relaxed);
+              break;
           }
         }
       }
-      // kPong / kError frames are ignored by the workers.
+      std::lock_guard<std::mutex> lock(mutex);
+      --outstanding;
+      cv.notify_all();
+    });
+  };
+
+  if (open_loop) {
+    while (true) {
+      const int64_t now = NowUs();
+      if (now >= send_end_us) break;
+      if (now >= next_send_us) {
+        send_one();
+        next_send_us += send_interval_us;
+        continue;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          std::min<int64_t>(next_send_us - now, 100'000)));
+    }
+  } else {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (NowUs() < send_end_us) {
+      if (outstanding >= options.window) {
+        cv.wait_for(lock, std::chrono::milliseconds(100),
+                    [&] { return outstanding < options.window; });
+        continue;
+      }
+      lock.unlock();
+      send_one();
+      lock.lock();
     }
   }
-  ::close(fd);
+
+  // Drain: per-request timeouts guarantee progress, so everything resolves
+  // by send_end + request_timeout; the drain budget just caps our patience.
+  {
+    std::unique_lock<std::mutex> lock(mutex);
+    while (outstanding > 0 && NowUs() < drain_end_us) {
+      cv.wait_for(lock, std::chrono::milliseconds(50));
+    }
+    if (outstanding > 0) {
+      // Stragglers past the drain budget: lost to this run.
+      shared->io_errors.fetch_add(outstanding, std::memory_order_relaxed);
+    }
+  }
+  client.Stop();
+
+  const NetClientStats stats = client.Stats();
+  shared->timeouts.fetch_add(stats.timeouts, std::memory_order_relaxed);
+  shared->retries.fetch_add(stats.retries, std::memory_order_relaxed);
+  shared->hedges.fetch_add(stats.hedges, std::memory_order_relaxed);
+  shared->hedge_wins.fetch_add(stats.hedge_wins, std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -317,8 +327,10 @@ std::string LoadGenReport::ToJson() const {
       "{\"mode\": \"%s\", \"connections\": %zu, \"window\": %zu, "
       "\"target_qps\": %.1f, \"duration_ms\": %lld, \"warmup_ms\": %lld, "
       "\"sent\": %llu, \"ok\": %llu, \"errors\": %llu, \"shed\": %llu, "
-      "\"from_cache\": %llu, \"connect_failures\": %llu, "
-      "\"io_errors\": %llu, \"achieved_qps\": %.2f, \"p50_us\": %.1f, "
+      "\"deadline_exceeded\": %llu, \"from_cache\": %llu, "
+      "\"connect_failures\": %llu, \"io_errors\": %llu, "
+      "\"timeouts\": %llu, \"retries\": %llu, \"hedges\": %llu, "
+      "\"hedge_wins\": %llu, \"achieved_qps\": %.2f, \"p50_us\": %.1f, "
       "\"p90_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f, "
       "\"mean_us\": %.1f, \"max_us\": %.1f}",
       mode.c_str(), connections, window, target_qps,
@@ -327,9 +339,14 @@ std::string LoadGenReport::ToJson() const {
       static_cast<unsigned long long>(ok),
       static_cast<unsigned long long>(errors),
       static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(deadline_exceeded),
       static_cast<unsigned long long>(from_cache),
       static_cast<unsigned long long>(connect_failures),
-      static_cast<unsigned long long>(io_errors), achieved_qps, p50_us,
+      static_cast<unsigned long long>(io_errors),
+      static_cast<unsigned long long>(timeouts),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(hedges),
+      static_cast<unsigned long long>(hedge_wins), achieved_qps, p50_us,
       p90_us, p99_us, p999_us, mean_us, max_us);
 }
 
@@ -368,9 +385,14 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
   report.ok = shared.ok.load();
   report.errors = shared.errors.load();
   report.shed = shared.shed.load();
+  report.deadline_exceeded = shared.deadline_exceeded.load();
   report.from_cache = shared.from_cache.load();
   report.connect_failures = shared.connect_failures.load();
   report.io_errors = shared.io_errors.load();
+  report.timeouts = shared.timeouts.load();
+  report.retries = shared.retries.load();
+  report.hedges = shared.hedges.load();
+  report.hedge_wins = shared.hedge_wins.load();
   report.achieved_qps =
       static_cast<double>(report.ok) /
       (static_cast<double>(options.duration_ms) / 1000.0);

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/retry.h"
 #include "net/wire.h"
 
 namespace fkd {
@@ -43,10 +44,22 @@ struct LoadGenOptions {
   bool unique_requests = false;
   /// After the send window closes, wait this long for stragglers.
   int64_t drain_timeout_ms = 5000;
+  /// Client-side budget per request (NetClient timer + propagated absolute
+  /// deadline). A response lost on the wire times out and is counted as an
+  /// error instead of wedging its window slot. 0 = 80% of the drain
+  /// timeout, so every straggler resolves inside the drain.
+  int64_t request_timeout_us = 0;
+  /// Retry discipline of the underlying NetClient (attempts, backoff,
+  /// jitter seed). Each connection decorrelates the seed by its index.
+  RetryOptions retry;
+  /// Hedging policy of the underlying NetClient. Disabled by default.
+  HedgeOptions hedge;
 };
 
-/// Outcome of a run. Counters cover the measured window only (warmup and
-/// drain excluded); latencies are microseconds, send -> response decoded.
+/// Outcome of a run. Terminal-outcome counters (sent/ok/errors/shed/
+/// deadline_exceeded/from_cache) cover the measured window only (warmup
+/// and drain excluded); io_errors and the client-mechanics counters are
+/// whole-run. Latencies are microseconds, submit -> response decoded.
 struct LoadGenReport {
   std::string mode;  ///< "closed" | "open"
   size_t connections = 0;
@@ -57,11 +70,19 @@ struct LoadGenReport {
 
   uint64_t sent = 0;        ///< requests sent in the window
   uint64_t ok = 0;          ///< responses carrying a classification
-  uint64_t errors = 0;      ///< responses carrying a non-shed error
-  uint64_t shed = 0;        ///< Unavailable responses (admission control)
+  uint64_t errors = 0;      ///< non-shed, non-deadline terminal errors
+  uint64_t shed = 0;        ///< Unavailable outcomes (admission control)
+  uint64_t deadline_exceeded = 0;  ///< deadline misses (server or client)
   uint64_t from_cache = 0;  ///< ok responses served from the score cache
   uint64_t connect_failures = 0;
-  uint64_t io_errors = 0;   ///< connections lost mid-run
+  uint64_t io_errors = 0;   ///< transport failures that exhausted retries
+
+  // Whole-run client mechanics (not windowed): how hard the resilient
+  // client worked to produce the numbers above.
+  uint64_t timeouts = 0;  ///< client-side per-request deadline expiries
+  uint64_t retries = 0;   ///< backoff/reconnect resubmissions
+  uint64_t hedges = 0;    ///< speculative second attempts launched
+  uint64_t hedge_wins = 0;
 
   double achieved_qps = 0.0;  ///< ok responses per second of window
   double p50_us = 0.0;

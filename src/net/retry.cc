@@ -1,0 +1,73 @@
+#include "net/retry.h"
+
+namespace fkd {
+namespace net {
+
+int64_t RetryPolicy::BackoffUs(int attempt) const {
+  if (attempt <= 0) return 0;
+  // Shift-with-saturation: 2^62us is ~146k years, far beyond any cap, so
+  // clamp the exponent instead of overflowing.
+  const int shift = std::min(attempt - 1, 40);
+  const int64_t raw = options_.backoff_base_us << shift;
+  const int64_t capped =
+      (raw < 0 || raw > options_.backoff_max_us) ? options_.backoff_max_us : raw;
+  return capped;
+}
+
+int64_t RetryPolicy::NextDelayUs(int attempt, int64_t now_us,
+                                 int64_t deadline_us) {
+  if (attempt >= options_.max_attempts) return -1;
+  int64_t delay = BackoffUs(attempt);
+  if (options_.jitter > 0.0 && delay > 0) {
+    const double jitter = std::clamp(options_.jitter, 0.0, 1.0);
+    // Uniform in [delay * (1 - jitter), delay]; never above the
+    // deterministic envelope so the deadline check below is exact.
+    const double lo = static_cast<double>(delay) * (1.0 - jitter);
+    delay = static_cast<int64_t>(rng_.Uniform(lo, static_cast<double>(delay)));
+  }
+  if (deadline_us > 0) {
+    const int64_t wake_us = now_us + delay;
+    if (wake_us + kMinUsefulBudgetUs >= deadline_us) return -1;
+  }
+  return delay;
+}
+
+HedgeTracker::HedgeTracker(const HedgeOptions& options) : options_(options) {
+  if (options_.window == 0) options_.window = 1;
+  ring_.reserve(options_.window);
+}
+
+void HedgeTracker::RecordLatencyUs(int64_t latency_us) {
+  if (!enabled() || options_.hedge_percentile <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.size() < options_.window) {
+    ring_.push_back(latency_us);
+  } else {
+    ring_[next_] = latency_us;
+  }
+  next_ = (next_ + 1) % options_.window;
+  ++count_;
+}
+
+int64_t HedgeTracker::HedgeDelayUs() const {
+  if (options_.hedge_fixed_us > 0) return options_.hedge_fixed_us;
+  if (options_.hedge_percentile <= 0.0) return -1;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ < options_.min_samples || ring_.empty()) return -1;
+  // nth_element over a copy of the (small) ring: exact percentile of the
+  // recent window, no bucketing error near the tail where hedging lives.
+  std::vector<int64_t> sorted = ring_;
+  const double p = std::clamp(options_.hedge_percentile, 0.0, 1.0);
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted.size()));
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  std::nth_element(sorted.begin(), sorted.begin() + idx, sorted.end());
+  return sorted[idx];
+}
+
+size_t HedgeTracker::samples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+}  // namespace net
+}  // namespace fkd

@@ -1,0 +1,117 @@
+#ifndef FKD_NET_RETRY_H_
+#define FKD_NET_RETRY_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace fkd {
+namespace net {
+
+/// Retry discipline for the resilient NetClient. Pure state-machine math —
+/// no clocks, no sleeps, no sockets — so unit tests drive it with a
+/// FakeClock and assert exact microsecond schedules.
+struct RetryOptions {
+  /// Total tries including the first (1 = no retries).
+  int max_attempts = 4;
+
+  /// Backoff before retry k (k >= 1) is base * 2^(k-1), capped at max,
+  /// then jittered. Defaults: 1ms, 2ms, 4ms ... capped at 250ms.
+  int64_t backoff_base_us = 1000;
+  int64_t backoff_max_us = 250000;
+
+  /// Jitter fraction in [0, 1]: the jittered delay is uniform in
+  /// [delay * (1 - jitter), delay]. "Decorrelated-enough" without ever
+  /// exceeding the deterministic envelope, so deadline-bounded truncation
+  /// can reason about the worst case.
+  double jitter = 0.5;
+
+  /// Seed for the jitter stream. Same seed + same attempt sequence =>
+  /// same delays, which is what makes chaos drills replayable.
+  uint64_t seed = 0x9E3779B97F4A7C15ULL;
+};
+
+/// Computes deterministic, deadline-bounded retry delays.
+///
+/// Not thread-safe: each connection/client owns one instance (the jitter
+/// stream is part of the per-client deterministic schedule).
+class RetryPolicy {
+ public:
+  explicit RetryPolicy(const RetryOptions& options = {})
+      : options_(options), rng_(options.seed) {}
+
+  const RetryOptions& options() const { return options_; }
+
+  /// Un-jittered exponential backoff before retry `attempt` (1-based:
+  /// attempt 1 is the first *retry*). Returns 0 for attempt <= 0.
+  int64_t BackoffUs(int attempt) const;
+
+  /// Decides whether retry `attempt` (1-based) may run, and with what
+  /// delay, given the current monotonic time and the request's absolute
+  /// monotonic deadline (0 = no deadline).
+  ///
+  /// Returns the jittered delay in microseconds (>= 0) when the retry is
+  /// allowed, or -1 when it is not: attempts exhausted, or the delay plus
+  /// a minimum useful remaining budget would overrun the deadline. A retry
+  /// that would wake up with (almost) no budget left is pointless work the
+  /// server would immediately shed, so it is truncated here instead.
+  int64_t NextDelayUs(int attempt, int64_t now_us, int64_t deadline_us);
+
+  /// Smallest remaining budget (after the backoff sleep) that still makes
+  /// a retry worth sending. Exposed for tests.
+  static constexpr int64_t kMinUsefulBudgetUs = 500;
+
+ private:
+  RetryOptions options_;
+  Rng rng_;
+};
+
+/// Hedging decision: when to launch a speculative second attempt for a
+/// request whose first attempt is slow. Modes:
+///   - disabled (hedge_fixed_us == 0 and hedge_percentile == 0)
+///   - fixed: hedge after a constant delay
+///   - percentile: hedge after the observed p<hedge_percentile> latency,
+///     once at least `min_samples` completions have been recorded.
+///
+/// Thread-safe: completions arrive from the client's I/O thread while
+/// senders ask for the threshold.
+struct HedgeOptions {
+  int64_t hedge_fixed_us = 0;     ///< Fixed hedge delay; 0 = not fixed mode.
+  double hedge_percentile = 0.0;  ///< e.g. 0.99; 0 = not percentile mode.
+  size_t min_samples = 32;        ///< Completions required before hedging.
+  size_t window = 1024;           ///< Ring of recent latencies kept.
+};
+
+class HedgeTracker {
+ public:
+  explicit HedgeTracker(const HedgeOptions& options = {});
+
+  bool enabled() const {
+    return options_.hedge_fixed_us > 0 || options_.hedge_percentile > 0.0;
+  }
+
+  /// Records one completed-request latency (only successful first attempts
+  /// should be fed in; hedged wins would bias the percentile down).
+  void RecordLatencyUs(int64_t latency_us);
+
+  /// Delay after which an in-flight request should hedge, or -1 when
+  /// hedging is off / not yet warmed up.
+  int64_t HedgeDelayUs() const;
+
+  size_t samples() const;
+
+ private:
+  HedgeOptions options_;
+  mutable std::mutex mutex_;
+  std::vector<int64_t> ring_;  // capacity options_.window
+  size_t next_ = 0;            // ring write cursor
+  size_t count_ = 0;           // total recorded (saturating at window for size)
+};
+
+}  // namespace net
+}  // namespace fkd
+
+#endif  // FKD_NET_RETRY_H_

@@ -10,11 +10,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -34,6 +36,19 @@ constexpr size_t kReadChunk = 64 * 1024;
 /// outbound buffer get this long to reach the socket before the fd closes.
 constexpr int kShutdownFlushMs = 500;
 
+/// How long accepts stay paused after EMFILE/ENFILE. Long enough that a
+/// transient fd spike drains, short enough that the backlog (128) keeps
+/// absorbing connect bursts in the meantime.
+constexpr int64_t kAcceptPauseMs = 50;
+
+/// Chaos shim: returns the armed action for a socket-layer site, kNone
+/// when the injector is idle (one relaxed load on the hot path).
+FaultAction NetFault(const char* site) {
+  FaultInjector& injector = FaultInjector::Global();
+  if (!injector.enabled()) return FaultAction::kNone;
+  return injector.Hit(site);
+}
+
 Status ErrnoStatus(const char* what) {
   return Status::IoError(StrFormat("%s: %s", what, std::strerror(errno)));
 }
@@ -49,6 +64,12 @@ int64_t Server::NowMs() {
 int64_t Server::NowUs() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t Server::WallNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
       .count();
 }
 
@@ -74,6 +95,8 @@ Server::Server(serve::Router* router, ServerOptions options)
   bytes_in_total_ = registry.GetCounter("fkd.net.bytes", {{"dir", "in"}});
   bytes_out_total_ = registry.GetCounter("fkd.net.bytes", {{"dir", "out"}});
   shed_total_ = registry.GetCounter("fkd.net.shed");
+  deadline_shed_total_ = registry.GetCounter("fkd.net.deadline_shed");
+  accept_pauses_total_ = registry.GetCounter("fkd.net.accept_pauses");
   protocol_errors_total_ = registry.GetCounter("fkd.net.protocol_errors");
   idle_closed_total_ = registry.GetCounter("fkd.net.idle_closed");
   responses_dropped_total_ = registry.GetCounter("fkd.net.responses_dropped");
@@ -161,6 +184,10 @@ Status Server::Start() {
 }
 
 void Server::WakeLoop(EventLoop* loop) {
+  // Chaos site net.eventfd: a dropped wakeup write. The loop must still
+  // make progress via its bounded epoll_wait timeout — a lost wakeup may
+  // only ever cost latency, never liveness.
+  if (NetFault("net.eventfd") != FaultAction::kNone) return;
   const uint64_t one = 1;
   [[maybe_unused]] const ssize_t n =
       ::write(loop->wake_fd, &one, sizeof(one));
@@ -168,14 +195,41 @@ void Server::WakeLoop(EventLoop* loop) {
 
 // ---- accept path -------------------------------------------------------------
 
+void Server::PauseAccept(EventLoop* loop, int error) {
+  // accept4() failed without consuming the backlog entry, so retrying
+  // immediately (the pre-PR-8 `continue`) hot-spins: the listen fd stays
+  // readable and every accept fails the same way until an fd frees up.
+  // Instead, step away: unregister the listen socket for a brief pause and
+  // let loop 0 re-arm it afterwards (see LoopMain).
+  accept_pauses_.fetch_add(1, std::memory_order_relaxed);
+  accept_pauses_total_->Increment();
+  recorder_->Record(FlightEventType::kNetAcceptPause,
+                    accept_pauses_.load(std::memory_order_relaxed),
+                    static_cast<uint64_t>(kAcceptPauseMs));
+  FKD_LOG_EVERY_N(Warning, 16)
+      << "accept failed: " << std::strerror(error) << "; pausing accepts for "
+      << kAcceptPauseMs << "ms (rate-limited: 1 in 16 logged)";
+  ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  accept_paused_ = true;
+  accept_resume_ms_ = NowMs() + kAcceptPauseMs;
+}
+
 void Server::HandleAccept(EventLoop* loop) {
   for (;;) {
+    // Chaos site net.accept: simulated fd exhaustion. Checked before the
+    // accept4 so, like real EMFILE, the backlog entry is not consumed.
+    if (NetFault("net.accept") != FaultAction::kNone) {
+      PauseAccept(loop, EMFILE);
+      return;
+    }
     const int fd =
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      if (errno == EMFILE || errno == ENFILE || errno == ECONNABORTED) {
-        continue;
+      if (errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        PauseAccept(loop, errno);
+        return;
       }
       return;  // listen socket closed mid-drain or fatal: stop accepting
     }
@@ -237,6 +291,15 @@ void Server::RegisterConnection(EventLoop* loop, int fd) {
 // ---- read path ---------------------------------------------------------------
 
 void Server::HandleReadable(EventLoop* loop, const ConnectionPtr& conn) {
+  // Chaos site net.ready: defer this readable event one epoll tick. The
+  // socket stays armed level-triggered, so the next epoll_wait re-delivers
+  // it — a deterministic stand-in for delayed readiness.
+  if (NetFault("net.ready") != FaultAction::kNone) return;
+  // Chaos site net.recv: the kernel reports a reset (RST) mid-stream.
+  if (NetFault("net.recv") != FaultAction::kNone) {
+    CloseConnection(loop, conn, "injected connection reset");
+    return;
+  }
   char chunk[kReadChunk];
   for (;;) {
     const ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
@@ -425,6 +488,27 @@ void Server::HandleClassify(const ConnectionPtr& conn, const Frame& frame) {
                  Status::Unavailable("server draining"));
     return;
   }
+  // Deadline propagation: a request whose absolute deadline has already
+  // passed is answered DeadlineExceeded right here — it never reaches
+  // Router::Submit, so expired work is refused, not silently computed.
+  // Survivors carry their *remaining* budget into the engine.
+  int64_t remaining_budget_us = 0;  // 0 = no absolute deadline
+  if (decoded.value().deadline_unix_us > 0) {
+    remaining_budget_us = decoded.value().deadline_unix_us - WallNowUs();
+    if (remaining_budget_us <= 0) {
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      shed_total_->Increment();
+      deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+      deadline_shed_total_->Increment();
+      recorder_->Record(FlightEventType::kNetDeadlineShed, frame.request_id,
+                        static_cast<uint64_t>(-remaining_budget_us));
+      RespondError(conn, frame.request_id,
+                   Status::DeadlineExceeded(StrFormat(
+                       "deadline expired %lldus before admission",
+                       static_cast<long long>(-remaining_budget_us))));
+      return;
+    }
+  }
   // Bounded in-flight budget: the one knob that caps the server's queued
   // work no matter how many connections pile on.
   const size_t inflight_now =
@@ -464,6 +548,15 @@ void Server::HandleClassify(const ConnectionPtr& conn, const Frame& frame) {
   request.creator_id = decoded.value().creator_id;
   request.subject_ids = std::move(decoded.value().subject_ids);
   request.deadline_us = decoded.value().deadline_us;
+  if (remaining_budget_us > 0) {
+    // Score against what is left of the client's budget, not a fresh
+    // server default; a relative budget, when also present, can only
+    // tighten it further.
+    request.deadline_us = request.deadline_us > 0
+                              ? std::min(request.deadline_us,
+                                         remaining_budget_us)
+                              : remaining_budget_us;
+  }
   Result<serve::ClassificationFuture> submitted =
       router_->Submit(std::move(request));
   if (!submitted.ok()) {
@@ -504,6 +597,7 @@ void Server::PumpMain() {
 
     std::string response;
     bool classify = false;
+    bool result_ok = false;
     if (item.control) {
       response = item.control();
     } else {
@@ -512,19 +606,29 @@ void Server::PumpMain() {
       // request does (completed, expired, failed, or drained), so the pump
       // can never hang on a live router.
       Result<serve::Classification> result = item.future.get();
-      if (result.ok()) {
-        responses_ok_.fetch_add(1, std::memory_order_relaxed);
-      } else {
-        responses_error_.fetch_add(1, std::memory_order_relaxed);
-      }
+      result_ok = result.ok();
       response = EncodeFrame(MessageType::kClassifyResponse, item.request_id,
                              EncodeClassifyResponse(
                                  ClassifyResponseFromResult(result)));
     }
 
-    if (!EnqueueOutput(item.conn, response)) {
+    if (EnqueueOutput(item.conn, response)) {
+      // A classify response counts exactly once: ok/error when it reaches
+      // the connection's output queue, dropped when the connection died
+      // first. The shutdown invariant classify_frames == ok + error +
+      // dropped depends on these being disjoint.
+      if (classify) {
+        if (result_ok) {
+          responses_ok_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          responses_error_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    } else if (classify) {
       // The connection died while its request was in flight: the slot is
       // still released, the response is accounted as dropped, never leaked.
+      // (A dropped control reply is not tracked — the client is gone and
+      // control frames are outside the classify accounting.)
       responses_dropped_.fetch_add(1, std::memory_order_relaxed);
       responses_dropped_total_->Increment();
     }
@@ -569,6 +673,28 @@ void Server::FlushOutput(EventLoop* loop, const ConnectionPtr& conn) {
   {
     std::lock_guard<std::mutex> lock(conn->out_mutex);
     while (conn->out_offset < conn->outbound.size()) {
+      // Chaos site net.send: fail = the write errors outright (EPIPE);
+      // torn = half the pending bytes reach the wire, then the connection
+      // dies mid-frame — the peer is left holding a torn partial frame.
+      const FaultAction send_fault = NetFault("net.send");
+      if (send_fault != FaultAction::kNone) {
+        if (send_fault == FaultAction::kTorn) {
+          const size_t part = (conn->outbound.size() - conn->out_offset) / 2;
+          const ssize_t torn =
+              part == 0 ? 0
+                        : ::write(conn->fd,
+                                  conn->outbound.data() + conn->out_offset,
+                                  part);
+          if (torn > 0) {
+            conn->out_offset += static_cast<size_t>(torn);
+            bytes_out_.fetch_add(static_cast<uint64_t>(torn),
+                                 std::memory_order_relaxed);
+            bytes_out_total_->Increment(static_cast<double>(torn));
+          }
+        }
+        close_after = true;
+        break;
+      }
       const ssize_t n =
           ::write(conn->fd, conn->outbound.data() + conn->out_offset,
                   conn->outbound.size() - conn->out_offset);
@@ -675,6 +801,15 @@ void Server::LoopMain(size_t index) {
       ::close(listen_fd_);
       listen_fd_ = -1;
       listening = false;
+    }
+    // End of an EMFILE/ENFILE accept pause: put the listen socket back in
+    // the interest set and resume accepting.
+    if (listening && accept_paused_ && NowMs() >= accept_resume_ms_) {
+      epoll_event event{};
+      event.events = EPOLLIN;
+      event.data.fd = listen_fd_;
+      ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &event);
+      accept_paused_ = false;
     }
 
     const int n = ::epoll_wait(loop->epoll_fd, events, kMaxEpollEvents,
@@ -824,6 +959,8 @@ ServerStats Server::Stats() const {
   stats.responses_dropped =
       responses_dropped_.load(std::memory_order_relaxed);
   stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.deadline_shed = deadline_shed_.load(std::memory_order_relaxed);
+  stats.accept_pauses = accept_pauses_.load(std::memory_order_relaxed);
   stats.swaps = swaps_.load(std::memory_order_relaxed);
   stats.active_connections =
       active_connections_.load(std::memory_order_relaxed);

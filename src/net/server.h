@@ -78,6 +78,8 @@ struct ServerStats {
   uint64_t responses_error = 0;    ///< Classify responses carrying an error.
   uint64_t responses_dropped = 0;  ///< Results whose connection had closed.
   uint64_t shed = 0;               ///< Classifies refused by admission.
+  uint64_t deadline_shed = 0;      ///< ... of which expired before admission.
+  uint64_t accept_pauses = 0;      ///< EMFILE/ENFILE accept pauses taken.
   uint64_t swaps = 0;              ///< Successful swap frames served.
   size_t active_connections = 0;
   size_t inflight = 0;             ///< Classifies submitted, response pending.
@@ -113,6 +115,18 @@ struct ServerStats {
 /// Unavailable, wait for every in-flight classify to resolve and its
 /// response to flush, then close connections and join all threads. No
 /// accepted request is silently dropped (ServerStats invariant above).
+///
+/// Deterministic network chaos: every socket-layer failure branch is
+/// reachable in-process through FKD_FAULTS sites consulted on the hot
+/// paths (free when no rules are armed):
+///   net.accept   — accept() reports fd exhaustion (EMFILE path + pause)
+///   net.recv     — read() reports a connection reset (RST) mid-stream
+///   net.send     — write() fails (fail) or tears mid-frame (torn), then
+///                  the connection closes as if the peer vanished
+///   net.ready    — a readable event is deferred one epoll tick
+///                  (delayed readiness; level-triggered epoll re-delivers)
+///   net.eventfd  — a pump->loop wakeup write is dropped; the loop must
+///                  recover via its epoll timeout, never hang
 ///
 /// Instrumentation (obs::MetricsRegistry::Default()): fkd.net.connections
 /// gauge, fkd.net.connections_total / frames{dir} / bytes{dir} / shed /
@@ -195,6 +209,11 @@ class Server {
   void AdoptPendingAccepts(EventLoop* loop);
   void RegisterConnection(EventLoop* loop, int fd);
   void HandleAccept(EventLoop* loop);
+  /// fd-exhaustion backoff: unregisters the listen socket from loop 0's
+  /// epoll for a brief pause instead of hot-spinning on a full backlog the
+  /// process cannot accept from. Loop 0's thread re-arms it after the
+  /// pause (see LoopMain). Only ever called on loop 0's thread.
+  void PauseAccept(EventLoop* loop, int error);
   void HandleReadable(EventLoop* loop, const ConnectionPtr& conn);
   void HandleWritable(EventLoop* loop, const ConnectionPtr& conn);
   /// Dispatches one decoded frame (loop thread).
@@ -217,6 +236,9 @@ class Server {
 
   static int64_t NowMs();
   static int64_t NowUs();
+  /// Wall-clock us since the Unix epoch — the timescale of the client's
+  /// absolute deadline (deadline_unix_us in ClassifyRequestMsg).
+  static int64_t WallNowUs();
 
   serve::Router* router_;
   ServerOptions options_;
@@ -224,6 +246,9 @@ class Server {
 
   int listen_fd_ = -1;
   int bound_port_ = 0;
+  /// Accept-pause state; touched only by loop 0's thread, no locking.
+  bool accept_paused_ = false;
+  int64_t accept_resume_ms_ = 0;
   std::vector<std::unique_ptr<EventLoop>> loops_;
   std::atomic<size_t> next_loop_{0};
   std::atomic<uint64_t> next_conn_id_{1};
@@ -261,6 +286,8 @@ class Server {
   std::atomic<uint64_t> responses_error_{0};
   std::atomic<uint64_t> responses_dropped_{0};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> deadline_shed_{0};
+  std::atomic<uint64_t> accept_pauses_{0};
   std::atomic<uint64_t> swaps_{0};
 
   obs::FlightRecorder* recorder_;
@@ -271,6 +298,8 @@ class Server {
   obs::Counter* bytes_in_total_;
   obs::Counter* bytes_out_total_;
   obs::Counter* shed_total_;
+  obs::Counter* deadline_shed_total_;
+  obs::Counter* accept_pauses_total_;
   obs::Counter* protocol_errors_total_;
   obs::Counter* idle_closed_total_;
   obs::Counter* responses_dropped_total_;

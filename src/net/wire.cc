@@ -125,6 +125,8 @@ class Reader {
     return Status::OK();
   }
 
+  bool AtEnd() const { return pos_ == size_; }
+
   Status ExpectEnd() const {
     if (pos_ != size_) {
       return Status::Corruption(
@@ -258,6 +260,7 @@ std::string EncodeClassifyRequest(const ClassifyRequestMsg& msg) {
   PutU32(&out, static_cast<uint32_t>(msg.subject_ids.size()));
   for (int32_t subject : msg.subject_ids) PutI32(&out, subject);
   PutI64(&out, msg.deadline_us);
+  PutI64(&out, msg.deadline_unix_us);
   return out;
 }
 
@@ -276,6 +279,11 @@ Result<ClassifyRequestMsg> DecodeClassifyRequest(const std::string& payload) {
     FKD_RETURN_NOT_OK(reader.GetI32(&msg.subject_ids[i]));
   }
   FKD_RETURN_NOT_OK(reader.GetI64(&msg.deadline_us));
+  // Trailing optional (added after PR 7): absolute wall-clock deadline.
+  // Its absence is a valid old-encoder payload, not a truncation.
+  if (!reader.AtEnd()) {
+    FKD_RETURN_NOT_OK(reader.GetI64(&msg.deadline_unix_us));
+  }
   FKD_RETURN_NOT_OK(reader.ExpectEnd());
   return msg;
 }

@@ -96,11 +96,22 @@ class FrameDecoder {
 // ---- payload messages -------------------------------------------------------
 
 /// Body of kClassifyRequest.
+///
+/// Deadline propagation contract: `deadline_us` is a *relative* budget in
+/// microseconds (0 = server default), kept for PR 7 compatibility.
+/// `deadline_unix_us` is the client's *absolute* wall-clock deadline
+/// (microseconds since the Unix epoch, 0 = none). When set, the server
+/// sheds already-expired requests at admission with DeadlineExceeded and
+/// scores the rest against the *remaining* budget — so a retried request
+/// carries the same shrinking deadline across attempts instead of getting
+/// a fresh server-side default each time. The field is a trailing optional:
+/// PR 7 encoders that omit it still decode cleanly.
 struct ClassifyRequestMsg {
   std::string text;
   int32_t creator_id = -1;
   std::vector<int32_t> subject_ids;
   int64_t deadline_us = 0;
+  int64_t deadline_unix_us = 0;
 };
 
 /// Body of kClassifyResponse. `ok` selects which half is meaningful.

@@ -49,6 +49,12 @@ enum class FlightEventType : uint32_t {
   kNetProtocolError = 73,  ///< a = connection id, b = frame type (0 = framing)
   kServerStart = 74,       ///< a = bound port, b = event loops
   kServerStop = 75,        ///< a = responses dropped on dead connections
+  // Fault tolerance on the wire (quarantine, deadline shed, accept pause).
+  kNetAcceptPause = 80,    ///< a = consecutive failures, b = pause ms
+  kNetDeadlineShed = 81,   ///< a = request id, b = us past the deadline
+  kReplicaQuarantine = 82, ///< a = engine index, b = failure permille
+  kReplicaReinstate = 83,  ///< a = engine index, b = probe successes
+  kReplicaProbe = 84,      ///< a = engine index, b = 1 on probe success
 };
 
 /// Human-readable tag for a dump line, e.g. "request_submit".

@@ -291,6 +291,9 @@ void InferenceEngine::ProcessBatch(std::vector<Pending> batch) {
   for (size_t attempt = 0;; ++attempt) {
     batches_.fetch_add(1, std::memory_order_relaxed);
     Status batch_status = FaultInjector::Global().Inject("serve.batch");
+    if (batch_status.ok() && !options_.fault_site.empty()) {
+      batch_status = FaultInjector::Global().Inject(options_.fault_site);
+    }
     if (batch_status.ok()) {
       forward_start = Clock::now();
       logits = snapshot_->Score(texts, creator_ids, subject_ids);

@@ -110,6 +110,13 @@ struct EngineOptions {
   /// A Router sets it to the snapshot version the engine serves, so callers
   /// (and the hot-swap tests) can attribute each response to a version.
   uint64_t version_tag = 0;
+  /// Extra FKD_FAULTS site consulted per batch attempt, *in addition to*
+  /// the shared "serve.batch" site. A Router names each replica's site
+  /// ("serve.replicaN.batch") so chaos drills can make exactly one replica
+  /// sick — the quarantine path is unreachable otherwise, since shared
+  /// faults sicken the whole fleet at once. Empty (default) = no extra
+  /// site, zero cost.
+  std::string fault_site;
   /// When runtime tracing is on (Tracer::Enable), requests whose total
   /// latency reaches this threshold are dumped as chrome-trace child spans
   /// (serve/request > queue/batch_form/compute), correlated by request_id.

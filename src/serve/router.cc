@@ -77,6 +77,10 @@ Router::Router(RouterOptions options)
   swap_total_ = registry.GetCounter("fkd.serve.swap");
   active_version_gauge_ = registry.GetGauge("fkd.serve.active_version");
   queue_depth_gauge_ = registry.GetGauge("fkd.serve.queue_depth");
+  quarantine_total_ = registry.GetCounter("fkd.serve.quarantine");
+  reinstate_total_ = registry.GetCounter("fkd.serve.reinstate");
+  probe_total_ = registry.GetCounter("fkd.serve.probe");
+  quarantined_gauge_ = registry.GetGauge("fkd.serve.quarantined");
   cache_us_ = registry.GetHistogram("fkd.serve.cache_us");
 }
 
@@ -88,9 +92,15 @@ Result<std::shared_ptr<Router::Generation>> Router::BuildGeneration(
   auto generation = std::make_shared<Generation>();
   generation->model = model;
   generation->engines.reserve(replicas);
+  generation->quarantined.assign(replicas, 0);
   for (size_t r = 0; r < replicas; ++r) {
     EngineOptions engine_options = options_.engine;
     engine_options.version_tag = model->version;
+    // Per-replica fault site so chaos drills can sicken exactly one
+    // replica; a caller-provided site wins (it already knows its name).
+    if (engine_options.fault_site.empty()) {
+      engine_options.fault_site = StrFormat("serve.replica%zu.batch", r);
+    }
     if (cache_ != nullptr) {
       // The engine worker fills the score cache before fulfilling each
       // future. The version is bound per generation, so a cached score can
@@ -127,12 +137,19 @@ Status Router::Start(std::shared_ptr<const ServingModel> initial) {
   // Serving entry point: bring up the periodic stats exporter when
   // FKD_STATS_INTERVAL_MS asks for one (no-op otherwise, idempotent).
   obs::StatsExporter::MaybeStartFromEnvironment();
-  std::lock_guard<std::mutex> lock(mutex_);
-  primary_ = std::move(generation);
-  started_ = true;
-  active_version_gauge_->Set(static_cast<double>(primary_->model->version));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    primary_ = std::move(generation);
+    started_ = true;
+    active_version_gauge_->Set(static_cast<double>(primary_->model->version));
+  }
+  if (options_.quarantine.enabled) {
+    monitor_ = std::thread([this] { MonitorMain(); });
+  }
   FKD_LOG(Info) << "router started: " << options_.num_replicas
-                << " replicas on version " << primary_->model->version;
+                << " replicas on version " << active_version()
+                << (options_.quarantine.enabled ? " (quarantine monitor on)"
+                                                : "");
   return Status::OK();
 }
 
@@ -206,8 +223,22 @@ Result<ClassificationFuture> Router::Submit(ArticleRequest request) {
   // promoted canary generation may have fewer engines than ring nodes;
   // folding keeps the mapping total either way.
   const uint64_t node = ring_.Pick(key);
-  InferenceEngine& engine =
-      *target->engines[node % target->engines.size()];
+  size_t replica = node % target->engines.size();
+  // Quarantine re-placement: a sick replica's hash range moves forward to
+  // the next healthy peer (deterministic, so repeats of an article keep
+  // hitting the same stand-in). With every replica quarantined the
+  // original placement stands — degraded service beats refusing outright.
+  if (target->quarantined[replica] != 0) {
+    for (size_t step = 1; step < target->engines.size(); ++step) {
+      const size_t candidate = (replica + step) % target->engines.size();
+      if (target->quarantined[candidate] == 0) {
+        replica = candidate;
+        rerouted_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+  InferenceEngine& engine = *target->engines[replica];
   Result<ClassificationFuture> result = engine.Submit(std::move(request));
   if (result.ok()) {
     // Count outcomes only after the engine accepted, so
@@ -350,8 +381,160 @@ void Router::Stop() {
     primary = std::move(primary_);
     canary = std::move(canary_);
   }
+  // The monitor holds generation shared_ptrs across its pass, so it must
+  // be gone before the engines drain away under it.
+  {
+    std::lock_guard<std::mutex> lock(monitor_mutex_);
+    monitor_stop_ = true;
+  }
+  monitor_cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
   DrainGeneration(primary);
   DrainGeneration(canary);
+}
+
+// ---- quarantine + self-healing ----------------------------------------------
+
+void Router::MonitorMain() {
+  std::unordered_map<const InferenceEngine*, ReplicaHealth> history;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(monitor_mutex_);
+      monitor_cv_.wait_for(
+          lock, std::chrono::milliseconds(options_.quarantine.interval_ms),
+          [this] { return monitor_stop_; });
+      if (monitor_stop_) return;
+    }
+    std::shared_ptr<Generation> primary;
+    std::shared_ptr<Generation> canary;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      primary = primary_;
+      canary = canary_;
+    }
+    MonitorGeneration(primary, &history);
+    MonitorGeneration(canary, &history);
+    // Drop bookkeeping for engines of drained generations: a dangling key
+    // is never dereferenced, but a recycled allocation must not inherit a
+    // dead replica's history.
+    for (auto it = history.begin(); it != history.end();) {
+      bool live = false;
+      for (const auto& generation : {primary, canary}) {
+        if (generation == nullptr) continue;
+        for (const auto& engine : generation->engines) {
+          live = live || engine.get() == it->first;
+        }
+      }
+      it = live ? std::next(it) : history.erase(it);
+    }
+    size_t quarantined_now = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (const auto& generation : {primary_, canary_}) {
+        if (generation == nullptr) continue;
+        for (char flag : generation->quarantined) {
+          quarantined_now += flag != 0 ? 1 : 0;
+        }
+      }
+    }
+    quarantined_gauge_->Set(static_cast<double>(quarantined_now));
+  }
+}
+
+void Router::MonitorGeneration(
+    const std::shared_ptr<Generation>& generation,
+    std::unordered_map<const InferenceEngine*, ReplicaHealth>* history) {
+  if (generation == nullptr) return;
+  for (size_t r = 0; r < generation->engines.size(); ++r) {
+    InferenceEngine* engine = generation->engines[r].get();
+    ReplicaHealth& health = (*history)[engine];
+    const EngineStats now = engine->Stats();
+    const EngineHealth liveness = engine->Health();
+    if (liveness == EngineHealth::kDraining) {
+      health.prev = now;
+      health.seeded = true;
+      continue;  // a draining engine is being replaced, not sick
+    }
+    bool quarantined;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      quarantined = generation->quarantined[r] != 0;
+    }
+    if (!quarantined) {
+      // Health scoring over the last interval's deltas. The first pass
+      // only seeds the baseline: lifetime totals would blame a replica
+      // for failures that predate the monitor.
+      if (health.seeded) {
+        const uint64_t failures = (now.failed - health.prev.failed) +
+                                  (now.deadline_exceeded -
+                                   health.prev.deadline_exceeded) +
+                                  (now.shed - health.prev.shed);
+        const uint64_t total =
+            (now.completed - health.prev.completed) + failures;
+        const bool ratio_sick =
+            total >= options_.quarantine.min_samples &&
+            static_cast<double>(failures) >=
+                options_.quarantine.failure_threshold *
+                    static_cast<double>(total);
+        if (liveness == EngineHealth::kDegraded || ratio_sick) {
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            generation->quarantined[r] = 1;
+          }
+          health.probe_streak = 0;
+          quarantines_.fetch_add(1, std::memory_order_relaxed);
+          quarantine_total_->Increment();
+          const uint64_t permille =
+              total == 0 ? 1000 : (1000 * failures) / total;
+          recorder_->Record(FlightEventType::kReplicaQuarantine, r, permille);
+          FKD_LOG(Warning) << "router: quarantined replica " << r
+                           << " of version " << generation->model->version
+                           << " (" << failures << "/" << total
+                           << " failures last interval, breaker "
+                           << (liveness == EngineHealth::kDegraded
+                                   ? "degraded"
+                                   : "closed")
+                           << ")";
+        }
+      }
+    } else {
+      // Probe the quarantined replica directly (bypassing placement and
+      // the router counters); consecutive successes reinstate it.
+      ArticleRequest probe;
+      probe.text = options_.quarantine.probe_text;
+      probe.deadline_us = options_.quarantine.probe_deadline_us;
+      probes_.fetch_add(1, std::memory_order_relaxed);
+      probe_total_->Increment();
+      bool success = false;
+      Result<ClassificationFuture> submitted = engine->Submit(std::move(probe));
+      if (submitted.ok()) {
+        success = submitted.value().get().ok();
+      }
+      recorder_->Record(FlightEventType::kReplicaProbe, r, success ? 1 : 0);
+      if (success) {
+        ++health.probe_streak;
+        if (health.probe_streak >= options_.quarantine.probe_successes) {
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            generation->quarantined[r] = 0;
+          }
+          reinstatements_.fetch_add(1, std::memory_order_relaxed);
+          reinstate_total_->Increment();
+          recorder_->Record(FlightEventType::kReplicaReinstate, r,
+                            static_cast<uint64_t>(health.probe_streak));
+          FKD_LOG(Info) << "router: reinstated replica " << r
+                        << " of version " << generation->model->version
+                        << " after " << health.probe_streak
+                        << " successful probes";
+          health.probe_streak = 0;
+        }
+      } else {
+        health.probe_streak = 0;
+      }
+    }
+    health.prev = now;
+    health.seeded = true;
+  }
 }
 
 uint64_t Router::active_version() const {
@@ -387,10 +570,20 @@ RouterStats Router::Stats() const {
   stats.primary_requests = primary_requests_.load(std::memory_order_relaxed);
   stats.canary_requests = canary_requests_.load(std::memory_order_relaxed);
   stats.swaps = swaps_.load(std::memory_order_relaxed);
+  stats.quarantines = quarantines_.load(std::memory_order_relaxed);
+  stats.reinstatements = reinstatements_.load(std::memory_order_relaxed);
+  stats.probes = probes_.load(std::memory_order_relaxed);
+  stats.rerouted = rerouted_.load(std::memory_order_relaxed);
   if (cache_ != nullptr) stats.cache = cache_->Stats();
   std::lock_guard<std::mutex> lock(mutex_);
   stats.active_version = primary_ != nullptr ? primary_->model->version : 0;
   stats.canary_version = canary_ != nullptr ? canary_->model->version : 0;
+  for (const auto& generation : {primary_, canary_}) {
+    if (generation == nullptr) continue;
+    for (char flag : generation->quarantined) {
+      stats.quarantined_now += flag != 0 ? 1 : 0;
+    }
+  }
   return stats;
 }
 

@@ -2,10 +2,13 @@
 #define FKD_SERVE_ROUTER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/consistent_hash.h"
@@ -18,6 +21,26 @@
 
 namespace fkd {
 namespace serve {
+
+/// Replica quarantine + self-healing knobs (see Router class comment).
+struct QuarantineOptions {
+  /// Master switch for the health monitor thread.
+  bool enabled = true;
+  /// Health-evaluation and probe cadence.
+  int64_t interval_ms = 200;
+  /// A replica whose failure ratio over one interval reaches this (with at
+  /// least `min_samples` resolutions) is quarantined. Breaker-degraded
+  /// replicas are quarantined regardless of the ratio.
+  double failure_threshold = 0.5;
+  uint64_t min_samples = 8;
+  /// Consecutive successful probes required to reinstate a replica.
+  int probe_successes = 2;
+  /// Deadline budget given to each probe request.
+  int64_t probe_deadline_us = 250000;
+  /// Article text scored by probe requests (content is irrelevant; the
+  /// probe only proves the replica can complete a forward pass again).
+  std::string probe_text = "router replica health probe";
+};
 
 /// Tuning knobs of the serving router.
 struct RouterOptions {
@@ -41,6 +64,8 @@ struct RouterOptions {
   /// per request key. Defaults from FKD_CANARY_PCT (a percentage, e.g.
   /// "5" or "2.5"); invalid or unset values mean 0.
   uint32_t canary_permille = CanaryPermilleFromEnvironment();
+  /// Replica quarantine + self-healing (enabled by default).
+  QuarantineOptions quarantine;
 
   /// Parses FKD_CANARY_PCT into permille; out-of-range/garbage values are
   /// warned about and treated as unset (0).
@@ -63,6 +88,11 @@ struct RouterStats {
   uint64_t swaps = 0;            ///< Primary publishes (incl. promotions).
   uint64_t active_version = 0;   ///< Current primary version (0 = none).
   uint64_t canary_version = 0;   ///< Current canary version (0 = none).
+  uint64_t quarantines = 0;      ///< Replicas taken out of rotation.
+  uint64_t reinstatements = 0;   ///< Replicas probed healthy and restored.
+  uint64_t probes = 0;           ///< Health probes sent to quarantined replicas.
+  uint64_t rerouted = 0;         ///< Submits re-placed off a quarantined replica.
+  size_t quarantined_now = 0;    ///< Replicas currently quarantined.
   LruCacheStats cache;           ///< Score-cache accounting.
 };
 
@@ -91,6 +121,19 @@ struct RouterStats {
 ///    `canary_permille` slice of request keys (FKD_CANARY_PCT) to replicas
 ///    on the canary version; PromoteCanary() makes it the primary via the
 ///    same drain-free swap, StopCanary() abandons it.
+///  - **Quarantine + self-healing** — a monitor thread scores every
+///    replica each interval on its breaker state and its windowed
+///    failure + deadline-miss ratio. A sick replica is quarantined:
+///    placement walks its hash range forward to the next healthy peer
+///    (all-quarantined degrades to the original placement — still serving
+///    beats refusing). While quarantined, the replica receives periodic
+///    probe requests instead of traffic; `probe_successes` consecutive
+///    successes reinstate it and its hash range snaps back. Probes go
+///    straight to the engine, so router accounting (`submitted ==
+///    cache_hits + primary_requests + canary_requests`) is unaffected.
+///    State machine per replica:
+///      healthy --(breaker degraded | failure ratio >= threshold)-->
+///      quarantined --(N consecutive probe oks)--> healthy
 ///
 /// Instrumentation (obs::MetricsRegistry::Default()): fkd.serve.cache_hit,
 /// fkd.serve.cache_miss, fkd.serve.canary and fkd.serve.swap counters, the
@@ -159,6 +202,9 @@ class Router {
   struct Generation {
     std::shared_ptr<const ServingModel> model;
     std::vector<std::unique_ptr<InferenceEngine>> engines;
+    /// Per-engine quarantine flags (1 = out of rotation), index-aligned
+    /// with `engines`. Guarded by the router mutex_.
+    std::vector<char> quarantined;
   };
 
   /// Cache key: the snapshot version scopes the content hash, so a swap
@@ -182,6 +228,20 @@ class Router {
       std::shared_ptr<const ServingModel> model, size_t replicas);
   /// Stops every engine of `generation` (drains); null-safe.
   static void DrainGeneration(const std::shared_ptr<Generation>& generation);
+
+  /// Health monitor thread: quarantine scoring + probing (see class
+  /// comment). Runs only when options_.quarantine.enabled.
+  void MonitorMain();
+  /// One monitor pass over `generation`; `history` is the monitor-local
+  /// per-engine bookkeeping (previous stats snapshot, probe streak).
+  struct ReplicaHealth {
+    EngineStats prev;
+    int probe_streak = 0;
+    bool seeded = false;  ///< prev is a real baseline, not zero-init
+  };
+  void MonitorGeneration(
+      const std::shared_ptr<Generation>& generation,
+      std::unordered_map<const InferenceEngine*, ReplicaHealth>* history);
 
   RouterOptions options_;
   ConsistentHashRing ring_;
@@ -209,6 +269,16 @@ class Router {
   std::atomic<uint64_t> primary_requests_{0};
   std::atomic<uint64_t> canary_requests_{0};
   std::atomic<uint64_t> swaps_{0};
+  std::atomic<uint64_t> quarantines_{0};
+  std::atomic<uint64_t> reinstatements_{0};
+  std::atomic<uint64_t> probes_{0};
+  std::atomic<uint64_t> rerouted_{0};
+
+  // Health monitor (quarantine + self-healing).
+  std::thread monitor_;
+  std::mutex monitor_mutex_;
+  std::condition_variable monitor_cv_;
+  bool monitor_stop_ = false;
 
   obs::FlightRecorder* recorder_;
   obs::Counter* cache_hit_total_;
@@ -218,6 +288,10 @@ class Router {
   obs::Counter* swap_total_;
   obs::Gauge* active_version_gauge_;
   obs::Gauge* queue_depth_gauge_;
+  obs::Counter* quarantine_total_;
+  obs::Counter* reinstate_total_;
+  obs::Counter* probe_total_;
+  obs::Gauge* quarantined_gauge_;
   obs::Histogram* cache_us_;
 };
 

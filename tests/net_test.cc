@@ -17,14 +17,21 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <filesystem>
+#include <functional>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/crc32c.h"
+#include "common/fault_injection.h"
+#include "net/client.h"
 #include "core/fake_detector.h"
 #include "data/generator.h"
 #include "data/split.h"
@@ -1028,6 +1035,594 @@ TEST(LoadGenTest, HotSwapUnderLoadCompletesWithZeroFailures) {
   EXPECT_EQ(stats.classify_frames,
             stats.responses_ok + stats.responses_error +
                 stats.responses_dropped);
+}
+
+// ==== RetryPolicyTest: backoff/jitter/deadline math, no real sleeps =========
+
+TEST(RetryPolicyTest, BackoffDoublesAndCaps) {
+  RetryOptions options;
+  options.backoff_base_us = 1000;
+  options.backoff_max_us = 250000;
+  RetryPolicy policy(options);
+  EXPECT_EQ(policy.BackoffUs(0), 0);
+  EXPECT_EQ(policy.BackoffUs(1), 1000);
+  EXPECT_EQ(policy.BackoffUs(2), 2000);
+  EXPECT_EQ(policy.BackoffUs(3), 4000);
+  EXPECT_EQ(policy.BackoffUs(8), 128000);
+  EXPECT_EQ(policy.BackoffUs(9), 250000);   // capped
+  EXPECT_EQ(policy.BackoffUs(60), 250000);  // shift-overflow guarded
+}
+
+TEST(RetryPolicyTest, SameSeedSameScheduleDifferentSeedDiverges) {
+  RetryOptions options;
+  options.max_attempts = 10;
+  options.seed = 42;
+  RetryPolicy a(options);
+  RetryPolicy b(options);
+  options.seed = 43;
+  RetryPolicy c(options);
+  bool diverged = false;
+  for (int attempt = 1; attempt < 8; ++attempt) {
+    const int64_t da = a.NextDelayUs(attempt, 0, 0);
+    const int64_t db = b.NextDelayUs(attempt, 0, 0);
+    const int64_t dc = c.NextDelayUs(attempt, 0, 0);
+    EXPECT_EQ(da, db) << "same seed must produce the same jittered delay";
+    if (da != dc) diverged = true;
+  }
+  EXPECT_TRUE(diverged) << "different seeds should produce different jitter";
+}
+
+TEST(RetryPolicyTest, JitterStaysInsideTheDeterministicEnvelope) {
+  RetryOptions options;
+  options.max_attempts = 100;
+  options.jitter = 0.5;
+  RetryPolicy policy(options);
+  for (int i = 0; i < 50; ++i) {
+    const int attempt = 1 + (i % 6);
+    const int64_t raw = policy.BackoffUs(attempt);
+    const int64_t jittered = policy.NextDelayUs(attempt, 0, 0);
+    ASSERT_GE(jittered, raw / 2) << "below the [delay*(1-j), delay] floor";
+    ASSERT_LE(jittered, raw) << "jitter must never exceed the raw backoff";
+  }
+}
+
+TEST(RetryPolicyTest, ZeroJitterIsExactBackoff) {
+  RetryOptions options;
+  options.jitter = 0.0;
+  options.max_attempts = 8;
+  RetryPolicy policy(options);
+  for (int attempt = 1; attempt < 5; ++attempt) {
+    EXPECT_EQ(policy.NextDelayUs(attempt, 0, 0), policy.BackoffUs(attempt));
+  }
+}
+
+TEST(RetryPolicyTest, ExhaustedAttemptsRefuse) {
+  RetryOptions options;
+  options.max_attempts = 3;  // one send + two retries
+  RetryPolicy policy(options);
+  EXPECT_GE(policy.NextDelayUs(1, 0, 0), 0);
+  EXPECT_GE(policy.NextDelayUs(2, 0, 0), 0);
+  EXPECT_EQ(policy.NextDelayUs(3, 0, 0), -1);
+  EXPECT_EQ(policy.NextDelayUs(4, 0, 0), -1);
+
+  RetryOptions one;
+  one.max_attempts = 1;  // no retries at all
+  RetryPolicy no_retries(one);
+  EXPECT_EQ(no_retries.NextDelayUs(1, 0, 0), -1);
+}
+
+TEST(RetryPolicyTest, DeadlineTruncatesUselessRetries) {
+  RetryOptions options;
+  options.jitter = 0.0;
+  options.backoff_base_us = 10000;
+  RetryPolicy policy(options);
+  const int64_t now = 1000000;
+  // Plenty of budget: 10 ms backoff fits a 100 ms deadline.
+  EXPECT_EQ(policy.NextDelayUs(1, now, now + 100000), 10000);
+  // The retry would wake exactly at the deadline: pointless, refuse.
+  EXPECT_EQ(policy.NextDelayUs(1, now, now + 10000), -1);
+  // Wakes with less than the minimum useful budget: also refuse.
+  EXPECT_EQ(policy.NextDelayUs(
+                1, now, now + 10000 + RetryPolicy::kMinUsefulBudgetUs),
+            -1);
+  // Just over the line: allowed again.
+  EXPECT_EQ(policy.NextDelayUs(
+                1, now, now + 10000 + RetryPolicy::kMinUsefulBudgetUs + 1),
+            10000);
+  // Deadline already passed.
+  EXPECT_EQ(policy.NextDelayUs(1, now, now - 1), -1);
+  // No deadline (0) never truncates.
+  EXPECT_EQ(policy.NextDelayUs(1, now, 0), 10000);
+}
+
+// ==== HedgeTrackerTest ======================================================
+
+TEST(HedgeTrackerTest, DisabledByDefault) {
+  HedgeTracker tracker;
+  EXPECT_FALSE(tracker.enabled());
+  EXPECT_EQ(tracker.HedgeDelayUs(), -1);
+  tracker.RecordLatencyUs(1000);
+  EXPECT_EQ(tracker.HedgeDelayUs(), -1);
+}
+
+TEST(HedgeTrackerTest, FixedModeNeedsNoWarmup) {
+  HedgeOptions options;
+  options.hedge_fixed_us = 7500;
+  HedgeTracker tracker(options);
+  EXPECT_TRUE(tracker.enabled());
+  EXPECT_EQ(tracker.HedgeDelayUs(), 7500);
+}
+
+TEST(HedgeTrackerTest, PercentileModeWarmsUpThenTracksTheTail) {
+  HedgeOptions options;
+  options.hedge_percentile = 0.90;
+  options.min_samples = 10;
+  HedgeTracker tracker(options);
+  EXPECT_TRUE(tracker.enabled());
+  // Cold: no threshold until min_samples completions have been seen.
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(tracker.HedgeDelayUs(), -1) << "hedged during warmup at " << i;
+    tracker.RecordLatencyUs(1000 + i);
+  }
+  for (int i = 9; i < 19; ++i) tracker.RecordLatencyUs(1000 + i);
+  tracker.RecordLatencyUs(1000000);  // one slow outlier
+  EXPECT_EQ(tracker.samples(), 20u);
+  const int64_t delay = tracker.HedgeDelayUs();
+  ASSERT_GE(delay, 0);
+  // p90 of {1000..1018, 1000000} sits at the top of the fast cluster —
+  // far below the outlier, at or above the typical latency.
+  EXPECT_GE(delay, 1000);
+  EXPECT_LT(delay, 1000000);
+}
+
+// ==== NetClientTest: the resilient client over real sockets =================
+
+/// Scripted FKDN/1 server for exercising client retry paths: accepts one
+/// connection at a time and hands every decoded frame (with its connection
+/// fd) to the test's handler, which answers or closes as the script needs.
+class ScriptedServer {
+ public:
+  /// Return false to close the current connection after the frame.
+  using Handler = std::function<bool(int fd, const Frame& frame)>;
+
+  explicit ScriptedServer(Handler handler) : handler_(std::move(handler)) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    FKD_CHECK_GE(listen_fd_, 0);
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    FKD_CHECK_EQ(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+                 0);
+    FKD_CHECK_EQ(::listen(listen_fd_, 8), 0);
+    socklen_t len = sizeof(addr);
+    FKD_CHECK_EQ(::getsockname(listen_fd_,
+                               reinterpret_cast<sockaddr*>(&addr), &len),
+                 0);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] { Serve(); });
+  }
+
+  ~ScriptedServer() {
+    stop_.store(true);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    thread_.join();
+    for (std::thread& conn : conn_threads_) conn.join();
+  }
+
+  int port() const { return port_; }
+
+  static void Respond(int fd, uint64_t request_id,
+                      const ClassifyResponseMsg& msg) {
+    const std::string bytes = EncodeFrame(MessageType::kClassifyResponse,
+                                          request_id,
+                                          EncodeClassifyResponse(msg));
+    size_t offset = 0;
+    while (offset < bytes.size()) {
+      const ssize_t n =
+          ::write(fd, bytes.data() + offset, bytes.size() - offset);
+      if (n <= 0) return;  // client went away; the test will notice
+      offset += static_cast<size_t>(n);
+    }
+  }
+
+ private:
+  void Serve() {
+    // One thread per connection so a deliberately stalled connection (the
+    // hedge tests) cannot block the accept loop.
+    while (!stop_.load()) {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) return;  // listener shut down
+      conn_threads_.emplace_back([this, fd] {
+        FrameDecoder decoder;
+        bool keep = true;
+        while (keep) {
+          char chunk[16 * 1024];
+          const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+          if (n <= 0) break;
+          decoder.Append(chunk, static_cast<size_t>(n));
+          Frame frame;
+          bool ready = false;
+          while (keep && decoder.Next(&frame, &ready).ok() && ready) {
+            keep = handler_(fd, frame);
+          }
+        }
+        ::close(fd);
+      });
+    }
+  }
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::vector<std::thread> conn_threads_;  // only touched by thread_ + dtor
+};
+
+/// Client options tuned for tests: fast, deterministic backoff.
+NetClientOptions FastClientOptions(int port) {
+  NetClientOptions options;
+  options.port = port;
+  options.retry.backoff_base_us = 2000;
+  options.retry.jitter = 0.0;
+  return options;
+}
+
+TEST(NetClientTest, BlockingClassifyAgainstLiveServer) {
+  auto harness = StartHarness();
+  NetClient client(FastClientOptions(harness->server->bound_port()));
+  ASSERT_TRUE(client.Start().ok());
+  ClassifyRequestMsg msg;
+  msg.text = SampleText(0);
+  auto result = client.Classify(msg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().ok);
+  EXPECT_FALSE(result.value().class_name.empty());
+  client.Stop();
+  const NetClientStats stats = client.Stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.ok, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+TEST(NetClientTest, LostResponseTimesOutInsteadOfHangingForever) {
+  // A listener that accepts the TCP connection (via the backlog) but never
+  // reads or responds: the request vanishes. The client's per-request
+  // budget must fire and classify the loss as DeadlineExceeded — the
+  // closed-loop slot comes back instead of leaking forever.
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  ASSERT_EQ(::listen(fd, 8), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  NetClientOptions options = FastClientOptions(ntohs(addr.sin_port));
+  options.default_timeout_us = 200000;  // 200 ms budget
+  options.retry.max_attempts = 1;       // loss, not flakiness: no retries
+  NetClient client(options);
+  ASSERT_TRUE(client.Start().ok());
+  ClassifyRequestMsg msg;
+  msg.text = "into the void";
+  auto result = client.Classify(msg);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  client.Stop();
+  const NetClientStats stats = client.Stats();
+  EXPECT_EQ(stats.timeouts, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.submitted, stats.ok + stats.shed + stats.deadline_exceeded +
+                                 stats.transport_errors + stats.other_errors);
+  ::close(fd);
+}
+
+TEST(NetClientTest, RetriesUnavailableWithTheSameRequestId) {
+  // The server sheds the first two attempts; the client must retry with
+  // the SAME request id (idempotent resubmission) and win on the third.
+  std::mutex mutex;
+  std::vector<uint64_t> seen_ids;
+  ScriptedServer server([&](int fd, const Frame& frame) {
+    if (frame.type != MessageType::kClassifyRequest) return true;
+    size_t nth = 0;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      seen_ids.push_back(frame.request_id);
+      nth = seen_ids.size();
+    }
+    ClassifyResponseMsg msg;
+    if (nth <= 2) {
+      msg.ok = false;
+      msg.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
+      msg.message = "shed";
+    } else {
+      msg.ok = true;
+      msg.class_id = 1;
+      msg.class_name = "fake";
+    }
+    ScriptedServer::Respond(fd, frame.request_id, msg);
+    return true;
+  });
+
+  NetClient client(FastClientOptions(server.port()));
+  ASSERT_TRUE(client.Start().ok());
+  ClassifyRequestMsg msg;
+  msg.text = "retry me";
+  auto result = client.Classify(msg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().ok);
+  client.Stop();
+
+  std::lock_guard<std::mutex> lock(mutex);
+  ASSERT_EQ(seen_ids.size(), 3u);
+  EXPECT_EQ(seen_ids[0], seen_ids[1]);
+  EXPECT_EQ(seen_ids[1], seen_ids[2]);
+  const NetClientStats stats = client.Stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.ok, 1u);
+}
+
+TEST(NetClientTest, ExhaustedRetriesSurfaceTheFinalUnavailable) {
+  ScriptedServer server([&](int fd, const Frame& frame) {
+    if (frame.type != MessageType::kClassifyRequest) return true;
+    ClassifyResponseMsg msg;
+    msg.ok = false;
+    msg.status_code = static_cast<uint8_t>(StatusCode::kUnavailable);
+    msg.message = "always shedding";
+    ScriptedServer::Respond(fd, frame.request_id, msg);
+    return true;
+  });
+
+  NetClientOptions options = FastClientOptions(server.port());
+  options.retry.max_attempts = 3;
+  NetClient client(options);
+  ASSERT_TRUE(client.Start().ok());
+  ClassifyRequestMsg msg;
+  msg.text = "doomed";
+  auto result = client.Classify(msg);
+  // Once the policy refuses another attempt, the last shed becomes the
+  // request's terminal status.
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  client.Stop();
+  const NetClientStats stats = client.Stats();
+  EXPECT_EQ(stats.retries, 2u);  // attempts 2 and 3
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.submitted, stats.ok + stats.shed + stats.deadline_exceeded +
+                                 stats.transport_errors + stats.other_errors);
+}
+
+TEST(NetClientTest, ReconnectResendsPendingRequestWithTheSameId) {
+  // Connection 1 reads the request and slams the door without answering.
+  // The client must reconnect and resend the SAME id; connection 2 serves
+  // it. This is the mid-stream-disconnect path of the resilience story.
+  std::mutex mutex;
+  std::vector<uint64_t> seen_ids;
+  std::atomic<int> classify_frames{0};
+  ScriptedServer server([&](int fd, const Frame& frame) {
+    if (frame.type != MessageType::kClassifyRequest) return true;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      seen_ids.push_back(frame.request_id);
+    }
+    if (classify_frames.fetch_add(1) == 0) return false;  // drop conn 1
+    ClassifyResponseMsg msg;
+    msg.ok = true;
+    msg.class_id = 0;
+    msg.class_name = "true";
+    ScriptedServer::Respond(fd, frame.request_id, msg);
+    return true;
+  });
+
+  NetClient client(FastClientOptions(server.port()));
+  ASSERT_TRUE(client.Start().ok());
+  ClassifyRequestMsg msg;
+  msg.text = "survive the disconnect";
+  auto result = client.Classify(msg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().ok);
+  client.Stop();
+
+  std::lock_guard<std::mutex> lock(mutex);
+  ASSERT_EQ(seen_ids.size(), 2u);
+  EXPECT_EQ(seen_ids[0], seen_ids[1]);
+  const NetClientStats stats = client.Stats();
+  EXPECT_GE(stats.reconnects, 1u);
+  EXPECT_EQ(stats.ok, 1u);
+}
+
+TEST(NetClientTest, StopFailsPendingRequestsInsteadOfLeakingThem) {
+  // Nothing ever answers; Stop() must complete the outstanding request
+  // with Unavailable rather than stranding its callback.
+  ScriptedServer server([](int, const Frame&) { return true; });
+  NetClientOptions options = FastClientOptions(server.port());
+  options.default_timeout_us = 30'000'000;
+  NetClient client(options);
+  ASSERT_TRUE(client.Start().ok());
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::optional<Status> outcome;
+  ClassifyRequestMsg msg;
+  msg.text = "stranded";
+  client.Submit(std::move(msg), [&](Result<ClassifyResponseMsg> result) {
+    std::lock_guard<std::mutex> lock(mutex);
+    outcome = result.status();
+    cv.notify_all();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  client.Stop();
+  std::unique_lock<std::mutex> lock(mutex);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                          [&] { return outcome.has_value(); }));
+  EXPECT_EQ(outcome->code(), StatusCode::kUnavailable);
+  const NetClientStats stats = client.Stats();
+  EXPECT_EQ(stats.submitted, stats.ok + stats.shed + stats.deadline_exceeded +
+                                 stats.transport_errors + stats.other_errors);
+}
+
+TEST(NetClientTest, FixedDelayHedgeWinsWhenThePrimaryStalls) {
+  // The scripted server ignores the first copy of the request and answers
+  // only the second (the hedge, arriving on a second connection).
+  std::atomic<int> classify_frames{0};
+  ScriptedServer server([&](int fd, const Frame& frame) {
+    if (frame.type != MessageType::kClassifyRequest) return true;
+    if (classify_frames.fetch_add(1) == 0) return true;  // stall, keep conn
+    ClassifyResponseMsg msg;
+    msg.ok = true;
+    msg.class_id = 1;
+    msg.class_name = "fake";
+    ScriptedServer::Respond(fd, frame.request_id, msg);
+    return true;
+  });
+
+  NetClientOptions options = FastClientOptions(server.port());
+  options.hedge.hedge_fixed_us = 20000;  // hedge after 20 ms
+  options.retry.max_attempts = 1;        // isolate hedging from retries
+  NetClient client(options);
+  ASSERT_TRUE(client.Start().ok());
+  ClassifyRequestMsg msg;
+  msg.text = "hedge me";
+  auto result = client.Classify(msg);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result.value().ok);
+  client.Stop();
+  const NetClientStats stats = client.Stats();
+  EXPECT_EQ(stats.hedges, 1u);
+  EXPECT_EQ(stats.hedge_wins, 1u);
+  EXPECT_EQ(stats.ok, 1u);
+}
+
+// ==== NetChaosTest: fault-injected socket-layer behaviour ====================
+
+/// Clears the global fault injector for the duration of a test, whatever
+/// happens — a leaked rule would silently poison every later suite.
+struct FaultGuard {
+  FaultGuard() { FaultInjector::Global().Clear(); }
+  ~FaultGuard() { FaultInjector::Global().Clear(); }
+};
+
+TEST(NetChaosTest, AcceptFailurePausesBrieflyThenRecovers) {
+  FaultGuard guard;
+  auto harness = StartHarness();
+  // The first two accepts fail as if the fd table were exhausted (EMFILE).
+  // The server must log-and-pause, not hot-spin, and the connection — held
+  // in the listen backlog — must still be served once the pause lapses.
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("net.accept:fail@1*2").ok());
+  TestClient client(harness->server->bound_port());
+  auto result = client.Classify(SampleText(0), 1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  FaultInjector::Global().Clear();
+  const ServerStats stats = harness->server->Stats();
+  EXPECT_GE(stats.accept_pauses, 1u);
+  EXPECT_EQ(stats.responses_ok, 1u);
+}
+
+TEST(NetChaosTest, TornSendClosesTheConnectionWithoutBreakingAccounting) {
+  FaultGuard guard;
+  auto harness = StartHarness();
+  TestClient victim(harness->server->bound_port());
+  ASSERT_TRUE(victim.Classify(SampleText(0), 1).ok());  // healthy first
+
+  ASSERT_TRUE(FaultInjector::Global().Configure("net.send:torn@1").ok());
+  ClassifyRequestMsg msg;
+  msg.text = SampleText(1);
+  victim.Send(MessageType::kClassifyRequest, 2, EncodeClassifyRequest(msg));
+  // The response is cut mid-frame and the connection closed: the client
+  // sees a partial (undecodable) frame, never a clean response.
+  std::vector<Frame> frames = victim.ReadUntilClose();
+  EXPECT_TRUE(frames.empty());
+  FaultInjector::Global().Clear();
+
+  // A fresh connection is untouched, and the books still balance.
+  TestClient fresh(harness->server->bound_port());
+  EXPECT_TRUE(fresh.Classify(SampleText(2), 3).ok());
+  const ServerStats stats = harness->server->Stats();
+  EXPECT_EQ(stats.classify_frames,
+            stats.responses_ok + stats.responses_error +
+                stats.responses_dropped);
+}
+
+TEST(NetChaosTest, InjectedRecvResetDropsTheConnection) {
+  FaultGuard guard;
+  auto harness = StartHarness();
+  TestClient client(harness->server->bound_port());
+  ASSERT_TRUE(client.Classify(SampleText(0), 1).ok());
+
+  ASSERT_TRUE(FaultInjector::Global().Configure("net.recv:fail@1").ok());
+  client.Send(MessageType::kPing, 2, "ping into the storm");
+  // The read is treated as a connection reset: closed, no reply.
+  std::vector<Frame> frames = client.ReadUntilClose();
+  EXPECT_TRUE(frames.empty());
+  FaultInjector::Global().Clear();
+
+  TestClient fresh(harness->server->bound_port());
+  EXPECT_TRUE(fresh.Classify(SampleText(1), 3).ok());
+}
+
+TEST(NetChaosTest, DroppedEventfdWakeupDelaysButNeverLosesACompletion) {
+  FaultGuard guard;
+  serve::RouterOptions router_options = FastRouterOptions();
+  router_options.cache_capacity = 0;  // force the async engine path
+  auto harness = StartHarness({}, router_options);
+  // Drop the next two completion wakeups: the response must still go out
+  // via the event loop's bounded poll timeout (liveness, not luck).
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("net.eventfd:fail@1*2").ok());
+  TestClient client(harness->server->bound_port());
+  auto result = client.Classify(SampleText(0), 1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  FaultInjector::Global().Clear();
+  EXPECT_EQ(harness->server->Stats().responses_ok, 1u);
+}
+
+TEST(NetChaosTest, ExpiredDeadlineIsShedAtAdmissionNeverScored) {
+  // The unit-level deadline-propagation proof: a request whose absolute
+  // deadline has already passed is answered DeadlineExceeded by admission
+  // control and never reaches the router, let alone a scoring engine.
+  FaultGuard guard;
+  auto harness = StartHarness();
+  const uint64_t router_submitted_before = harness->router->Stats().submitted;
+
+  TestClient client(harness->server->bound_port());
+  ClassifyRequestMsg msg;
+  msg.text = SampleText(0);
+  msg.deadline_unix_us = 1000;  // one millisecond past the 1970 epoch
+  client.Send(MessageType::kClassifyRequest, 42, EncodeClassifyRequest(msg));
+  Frame frame = client.ReadFrame();
+  ASSERT_EQ(frame.type, MessageType::kClassifyResponse);
+  EXPECT_EQ(frame.request_id, 42u);
+  auto decoded = DecodeClassifyResponse(frame.payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded.value().ok);
+  EXPECT_EQ(decoded.value().status_code,
+            static_cast<uint8_t>(StatusCode::kDeadlineExceeded));
+
+  const ServerStats stats = harness->server->Stats();
+  EXPECT_EQ(stats.deadline_shed, 1u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.responses_error, 1u);
+  // Nothing was submitted to the router: the work was shed, not computed.
+  EXPECT_EQ(harness->router->Stats().submitted, router_submitted_before);
+
+  // A live deadline on the same connection is admitted and served.
+  ClassifyRequestMsg live;
+  live.text = SampleText(1);
+  live.deadline_unix_us = Clock::Real()->WallUs() + 5'000'000;
+  client.Send(MessageType::kClassifyRequest, 43, EncodeClassifyRequest(live));
+  Frame ok_frame = client.ReadFrame();
+  auto ok_decoded = DecodeClassifyResponse(ok_frame.payload);
+  ASSERT_TRUE(ok_decoded.ok());
+  EXPECT_TRUE(ok_decoded.value().ok);
 }
 
 }  // namespace

@@ -12,11 +12,13 @@
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "core/fake_detector.h"
 #include "data/generator.h"
 #include "data/split.h"
@@ -515,6 +517,162 @@ TEST(RouterTest, HotSwapStressZeroDowntime) {
   EXPECT_EQ(stats.retired_still_alive, 0u)
       << "a retired version is still pinned after its drain";
   EXPECT_EQ(stats.active_version, 1u + kSwaps);
+}
+
+// ==== QuarantineTest: replica quarantine + self-healing ======================
+
+/// Router options tuned so the monitor reacts within a few hundred ms:
+/// fast intervals, tiny sample floor, single probe to reinstate. The score
+/// cache is disabled so every request exercises an engine.
+RouterOptions QuarantineRouterOptions() {
+  RouterOptions options = FastRouterOptions();
+  options.cache_capacity = 0;
+  options.quarantine.interval_ms = 50;
+  options.quarantine.min_samples = 2;
+  options.quarantine.probe_successes = 1;
+  return options;
+}
+
+/// Spins until `predicate` holds or `timeout_ms` passes.
+bool WaitFor(const std::function<bool()>& predicate, int64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+TEST(QuarantineTest, SickReplicaIsQuarantinedAndReinstated) {
+  const auto& fixture = SharedFixture();
+  FaultInjector::Global().Clear();
+  VersionedModelStore store;
+  auto model = store.Load(fixture.snapshot_dir);
+  ASSERT_TRUE(model.ok());
+
+  Router router(QuarantineRouterOptions());
+  ASSERT_TRUE(router.Start(model.value()).ok());
+
+  // Make replica 0's private fault site fail every batch; replica 1 stays
+  // healthy, so this is exactly the one-sick-replica scenario quarantine
+  // exists for.
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("serve.replica0.batch:fail").ok());
+
+  // Drive engine-bound traffic until the monitor quarantines replica 0.
+  // Requests on the sick replica fail (retries exhausted -> IoError);
+  // that is the signal being scored, not a test failure.
+  std::atomic<bool> stop{false};
+  std::thread driver([&] {
+    size_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      ArticleRequest request;
+      request.text = SampleText(i) + " #" + std::to_string(i);
+      ++i;
+      auto submitted = router.Submit(std::move(request));
+      if (submitted.ok()) (void)submitted.value().get();
+    }
+  });
+
+  EXPECT_TRUE(WaitFor([&] { return router.Stats().quarantines >= 1; }, 5000))
+      << "sick replica was never quarantined";
+
+  // Heal the replica: probes must now succeed and reinstate it.
+  FaultInjector::Global().Clear();
+  EXPECT_TRUE(
+      WaitFor([&] { return router.Stats().reinstatements >= 1; }, 5000))
+      << "healed replica was never reinstated";
+
+  stop.store(true, std::memory_order_release);
+  driver.join();
+  const RouterStats stats = router.Stats();
+  router.Stop();
+
+  // While quarantined, replica 0's hash range was re-placed onto replica 1.
+  EXPECT_GE(stats.quarantines, 1u);
+  EXPECT_GE(stats.reinstatements, 1u);
+  EXPECT_GE(stats.probes, 1u);
+  EXPECT_GT(stats.rerouted, 0u);
+  EXPECT_EQ(stats.quarantined_now, 0u);
+  // Probes bypass Submit, so the router accounting invariant is intact.
+  EXPECT_EQ(stats.submitted,
+            stats.cache_hits + stats.primary_requests +
+                stats.canary_requests);
+}
+
+TEST(QuarantineTest, HealthyFleetIsNeverQuarantined) {
+  const auto& fixture = SharedFixture();
+  FaultInjector::Global().Clear();
+  VersionedModelStore store;
+  auto model = store.Load(fixture.snapshot_dir);
+  ASSERT_TRUE(model.ok());
+
+  Router router(QuarantineRouterOptions());
+  ASSERT_TRUE(router.Start(model.value()).ok());
+  for (size_t i = 0; i < 64; ++i) {
+    ArticleRequest request;
+    request.text = SampleText(i) + " healthy" + std::to_string(i);
+    auto submitted = router.Submit(std::move(request));
+    ASSERT_TRUE(submitted.ok());
+    auto result = submitted.value().get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  // Give the monitor a few intervals to (wrongly) react.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const RouterStats stats = router.Stats();
+  router.Stop();
+  EXPECT_EQ(stats.quarantines, 0u);
+  EXPECT_EQ(stats.rerouted, 0u);
+  EXPECT_EQ(stats.quarantined_now, 0u);
+}
+
+TEST(QuarantineTest, AllQuarantinedFallsBackToOriginalPlacement) {
+  const auto& fixture = SharedFixture();
+  FaultInjector::Global().Clear();
+  VersionedModelStore store;
+  auto model = store.Load(fixture.snapshot_dir);
+  ASSERT_TRUE(model.ok());
+
+  // Every replica sick: the shared serve.batch site fails everything, so
+  // both replicas degrade. Submission must still be attempted (serving
+  // beats refusing), not crash or spin.
+  Router router(QuarantineRouterOptions());
+  ASSERT_TRUE(router.Start(model.value()).ok());
+  ASSERT_TRUE(FaultInjector::Global().Configure("serve.batch:fail").ok());
+
+  std::atomic<bool> stop{false};
+  std::thread driver([&] {
+    size_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      ArticleRequest request;
+      request.text = SampleText(i) + " sick" + std::to_string(i);
+      ++i;
+      auto submitted = router.Submit(std::move(request));
+      if (submitted.ok()) (void)submitted.value().get();
+    }
+  });
+  EXPECT_TRUE(WaitFor([&] { return router.Stats().quarantines >= 2; }, 5000))
+      << "both replicas should quarantine";
+
+  // Still accepting work while the whole fleet is quarantined.
+  ArticleRequest request;
+  request.text = SampleText(1) + " fallback";
+  auto submitted = router.Submit(std::move(request));
+  if (submitted.ok()) (void)submitted.value().get();
+
+  FaultInjector::Global().Clear();
+  EXPECT_TRUE(
+      WaitFor([&] { return router.Stats().reinstatements >= 2; }, 5000))
+      << "both replicas should heal";
+  stop.store(true, std::memory_order_release);
+  driver.join();
+  const RouterStats stats = router.Stats();
+  router.Stop();
+  EXPECT_EQ(stats.quarantined_now, 0u);
+  EXPECT_EQ(stats.submitted,
+            stats.cache_hits + stats.primary_requests +
+                stats.canary_requests);
 }
 
 }  // namespace

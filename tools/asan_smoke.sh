@@ -26,7 +26,7 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
 
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target serve_test text_test fault_test crash_test compute_test \
-           cache_test router_test net_test
+           cache_test router_test net_test common_test
 
 # detect_leaks=0: the shared test fixtures intentionally leak one static
 # trained detector per process (train once, share across TESTs); leak
@@ -35,6 +35,6 @@ export ASAN_OPTIONS="detect_leaks=0 ${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="print_stacktrace=1 halt_on_error=1 ${UBSAN_OPTIONS:-}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-  -R '^(Serve|Router|Store|Cache|ConsistentHash|Fault|Crash|ThreadPool|Compute|Net|LoadGen|VocabularyTest\.ConstLookups)'
+  -R '^(Serve|Router|Store|Cache|ConsistentHash|Fault|Crash|ThreadPool|Compute|Net|LoadGen|Quarantine|RetryPolicy|HedgeTracker|Clock|VocabularyTest\.ConstLookups)'
 
 echo "asan smoke: OK"

@@ -77,6 +77,17 @@ int main(int argc, char** argv) {
   flags.AddInt("duration-s", 10, "measured seconds per round");
   flags.AddInt("warmup-s", 1, "warmup seconds excluded from the report");
   flags.AddInt("deadline-us", 0, "per-request engine deadline (0 = none)");
+  flags.AddInt("timeout-us", 0,
+               "client-side per-request budget, propagated to the server "
+               "as an absolute deadline (0 = 80% of the drain timeout)");
+  flags.AddInt("retries", 4, "max send attempts per request (>=1)");
+  flags.AddInt("backoff-us", 1000, "base retry backoff, doubled per attempt");
+  flags.AddInt("hedge-us", 0,
+               "fixed hedge delay: resend still-pending requests on a "
+               "second connection after this (0 = off)");
+  flags.AddDouble("hedge-p", 0.0,
+                  "adaptive hedge percentile, e.g. 0.99 hedges requests "
+                  "slower than the observed p99 (0 = off)");
   flags.AddInt("corpus", 200, "distinct request bodies to cycle");
   flags.AddBool("unique", false,
                 "salt every request so the score cache never hits "
@@ -123,6 +134,11 @@ int main(int argc, char** argv) {
   base.deadline_us = flags.GetInt("deadline-us");
   base.corpus = BuildCorpus(static_cast<size_t>(flags.GetInt("corpus")));
   base.unique_requests = flags.GetBool("unique");
+  base.request_timeout_us = flags.GetInt("timeout-us");
+  base.retry.max_attempts = static_cast<int>(flags.GetInt("retries"));
+  base.retry.backoff_base_us = flags.GetInt("backoff-us");
+  base.hedge.hedge_fixed_us = flags.GetInt("hedge-us");
+  base.hedge.hedge_percentile = flags.GetDouble("hedge-p");
 
   // The sweep axis: exactly one of connections/window/canary, else a
   // single round with the base options.
@@ -179,11 +195,15 @@ int main(int argc, char** argv) {
     if (swapper.joinable()) swapper.join();
     FKD_CHECK_OK(report.status());
     const fkd::net::LoadGenReport& r = report.value();
-    std::printf("  %.1f qps sustained | ok %llu, shed %llu, errors %llu | "
+    std::printf("  %.1f qps sustained | ok %llu, shed %llu, errors %llu, "
+                "deadline %llu | retries %llu, hedges %llu | "
                 "p50 %.0f us, p99 %.0f us, p99.9 %.0f us\n",
                 r.achieved_qps, static_cast<unsigned long long>(r.ok),
                 static_cast<unsigned long long>(r.shed),
-                static_cast<unsigned long long>(r.errors), r.p50_us,
+                static_cast<unsigned long long>(r.errors),
+                static_cast<unsigned long long>(r.deadline_exceeded),
+                static_cast<unsigned long long>(r.retries),
+                static_cast<unsigned long long>(r.hedges), r.p50_us,
                 r.p99_us, r.p999_us);
     rounds.push_back({axis, value, r});
   };
@@ -221,7 +241,8 @@ int main(int argc, char** argv) {
   uint64_t total_errors = 0;
   for (const Round& round : rounds) {
     total_errors += round.report.errors + round.report.io_errors +
-                    round.report.connect_failures;
+                    round.report.connect_failures +
+                    round.report.deadline_exceeded;
   }
 
   const std::string json_path = flags.GetString("json");
