@@ -96,6 +96,12 @@ size_t ThreadPool::NumChunks(size_t range, size_t grain) {
   return (range + grain - 1) / grain;
 }
 
+size_t ThreadPool::CostAwareGrain(size_t cost_hint, size_t min_grain) {
+  const size_t per_element = std::max<size_t>(cost_hint, 1);
+  return std::max(std::max<size_t>(min_grain, 1),
+                  kTargetChunkBytes / per_element);
+}
+
 bool ThreadPool::RunOneChunk(Region* region,
                              std::unique_lock<std::mutex>* lock) {
   if (region->next_chunk >= region->num_chunks) return false;
@@ -154,11 +160,14 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
 
   std::unique_lock<std::mutex> lock(mutex_);
   queue_.push_back(&region);
-  if (num_chunks > 2) {
-    work_cv_.notify_all();
-  } else {
-    work_cv_.notify_one();
-  }
+  // Wake only as many workers as could usefully claim a chunk (the
+  // submitter takes chunks too). notify_all here woke the whole pool for
+  // every region; on an oversubscribed host the futile wakeups turned
+  // into context switches that made small parallel regions slower than
+  // serial. Scheduling-only change: chunk bounds are untouched.
+  const size_t wakeups =
+      std::min(num_chunks - 1, workers_.size());
+  for (size_t i = 0; i < wakeups; ++i) work_cv_.notify_one();
   // The submitter participates until the chunks run out, then waits for the
   // stragglers claimed by workers.
   while (RunOneChunk(&region, &lock)) {

@@ -63,6 +63,21 @@ class ThreadPool {
   /// this is the determinism contract callers build reductions on.
   static size_t NumChunks(size_t range, size_t grain);
 
+  /// Cost-aware grain: elements per chunk such that one chunk touches
+  /// roughly kTargetChunkBytes of memory-equivalent work, given
+  /// `cost_hint` bytes touched (or byte-equivalent arithmetic cost) per
+  /// element. Cheap elementwise kernels used to over-chunk — hundreds of
+  /// ~10 us chunks whose per-chunk mutex claims and worker wakeups cost
+  /// more than the work — because the old fixed grains ignored how little
+  /// each element cost. The result is a pure function of the arguments
+  /// (never of thread count or load), so chunk bounds stay deterministic.
+  static size_t CostAwareGrain(size_t cost_hint, size_t min_grain = 1);
+
+  /// Target per-chunk cost for CostAwareGrain: big enough (~100 us at
+  /// DRAM bandwidth) that chunk-claim overhead is noise, small enough
+  /// that mid-size kernels still split across a pool.
+  static constexpr size_t kTargetChunkBytes = size_t{1} << 22;  // 4 MiB
+
   size_t num_threads() const { return num_threads_; }
 
   /// Invokes `fn(chunk_begin, chunk_end)` over disjoint subranges covering

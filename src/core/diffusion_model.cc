@@ -135,7 +135,13 @@ Tensor DiffusionModel::ScoreArticles(
   ag::Variable ha;
   {
     FKD_TRACE_SCOPE("fkd/score_articles/gdu_step");
-    ha = article_gdu_.Step(xa, za, ta);
+    // Cache-blocked tape-free step against the packed frozen weights —
+    // bitwise-identical to Step (the golden parity suite locks this), but
+    // one fused GEMM for all four gates and no graph-node churn. Scoring
+    // models are frozen snapshots, satisfying StepInference's contract.
+    ha = ag::Variable(
+        article_gdu_.StepInference(xa.value(), za.value(), ta.value()),
+        /*requires_grad=*/false, "ha");
   }
   FKD_TRACE_SCOPE("fkd/score_articles/head_forward");
   return article_head_.Forward(ha).value();

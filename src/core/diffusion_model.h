@@ -143,6 +143,10 @@ class DiffusionModel : public nn::Module {
   const Hflu& article_hflu() const { return article_hflu_; }
   const Hflu& creator_hflu() const { return creator_hflu_; }
   const Hflu& subject_hflu() const { return subject_hflu_; }
+  /// Exposed so parity suites and benches can drive the article scoring
+  /// pieces (HFLU -> GDU -> head) directly against ScoreArticles.
+  const GduCell& article_gdu() const { return article_gdu_; }
+  const nn::Linear& article_head() const { return article_head_; }
   size_t num_classes() const { return num_classes_; }
   size_t hidden_dim() const { return article_gdu_.hidden_dim(); }
   size_t diffusion_steps() const { return diffusion_steps_; }

@@ -1,13 +1,35 @@
 #include "core/gdu.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/compute.h"
+
+#if defined(__GNUC__)
+#define FKD_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define FKD_PREFETCH(addr) ((void)0)
+#endif
 
 namespace fkd {
 namespace core {
 
 namespace ag = ::fkd::autograd;
+
+namespace {
+
+/// Row-block cache budget for StepInference: the block's concat buffer,
+/// gate activations and fuse branches should together sit in L2 while the
+/// five GEMMs of a block run. Block size only groups independent rows —
+/// results are bitwise-identical at any block size — so this is purely a
+/// locality knob.
+constexpr size_t kGduBlockBytes = size_t{1} << 20;
+
+}  // namespace
 
 GduCell::GduCell(size_t input_dim, size_t hidden_dim, Rng* rng,
                  const GduOptions& options)
@@ -66,6 +88,184 @@ ag::Variable GduCell::Step(const ag::Variable& x, const ag::Variable& z,
   h = ag::Add(h, ag::Mul(ag::Mul(g, not_r), branch_tz));
   h = ag::Add(h, ag::Mul(ag::Mul(not_g, not_r), branch_zz));
   return h;
+}
+
+const GduCell::InferencePack& GduCell::Pack() const {
+  std::call_once(pack_once_, [this] {
+    pack_.fuse = PackGemmB(fuse_.weight().value());
+    pack_.fuse_bias = fuse_.bias().value();
+    if (options_.plain_unit) return;
+    // The active sigmoid gates share one packed GEMM: their weight
+    // matrices are concatenated column-wise [f | e | g | r] (disabled
+    // gates skipped). Column concatenation never touches an output
+    // element's k-accumulation chain, so gate values stay bit-identical
+    // to the per-gate GEMMs Step computes.
+    std::vector<const nn::Linear*> active;
+    pack_.f_col = pack_.e_col = SIZE_MAX;
+    const size_t h = hidden_dim_;
+    if (!options_.disable_forget_gate) {
+      pack_.f_col = active.size() * h;
+      active.push_back(&forget_gate_);
+    }
+    if (!options_.disable_adjust_gate) {
+      pack_.e_col = active.size() * h;
+      active.push_back(&adjust_gate_);
+    }
+    pack_.g_col = active.size() * h;
+    active.push_back(&select_g_);
+    pack_.r_col = active.size() * h;
+    active.push_back(&select_r_);
+    pack_.num_gates = active.size();
+
+    std::vector<Tensor> weights;
+    std::vector<Tensor> biases;
+    for (const nn::Linear* gate : active) {
+      weights.push_back(gate->weight().value());
+      biases.push_back(gate->bias().value());
+    }
+    pack_.gates = PackGemmB(ConcatCols(weights));
+    pack_.gate_bias = ConcatCols(biases);
+  });
+  return pack_;
+}
+
+Tensor GduCell::StepInference(const Tensor& x, const Tensor& z,
+                              const Tensor& t) const {
+  FKD_TRACE_SCOPE("gdu/step_inference");
+  static obs::Histogram* infer_us =
+      obs::MetricsRegistry::Default().GetHistogram("fkd.gdu.infer_us");
+  ScopedTimer<obs::Histogram> step_timer(infer_us);
+  FKD_CHECK_EQ(x.cols(), input_dim_);
+  FKD_CHECK_EQ(z.cols(), hidden_dim_);
+  FKD_CHECK_EQ(t.cols(), hidden_dim_);
+  FKD_CHECK_EQ(z.rows(), x.rows());
+  FKD_CHECK_EQ(t.rows(), x.rows());
+
+  const size_t n = x.rows();
+  const size_t in = input_dim_;
+  const size_t h = hidden_dim_;
+  const size_t k = in + 2 * h;
+  const InferencePack& pack = Pack();
+  Tensor out(n, h);
+  if (n == 0) return out;
+
+  // Row-block size from the L2 budget: concat row + gate row + four branch
+  // rows + output row. Pure function of the dims (and bitwise-neutral, see
+  // kGduBlockBytes); blocks parallelise across the pool, and the GEMMs
+  // inside a block serial-inline when they land on a pool worker.
+  const size_t row_bytes =
+      (k + pack.num_gates * h + 5 * h) * sizeof(float);
+  const size_t block =
+      std::clamp<size_t>(kGduBlockBytes / std::max<size_t>(row_bytes, 1),
+                         16, 512);
+  const size_t num_blocks = (n + block - 1) / block;
+
+  ParallelKernel("gdu/step_inference", 0, num_blocks, 1, [&](size_t bb,
+                                                             size_t be) {
+    for (size_t blk = bb; blk < be; ++blk) {
+      const size_t r0 = blk * block;
+      const size_t r1 = std::min(n, r0 + block);
+      const size_t m = r1 - r0;
+
+      // Concat buffer [x | z | t], reused across the five GEMMs of the
+      // block with only its z / t column bands rewritten between branches.
+      Tensor concat(m, k);
+      for (size_t i = 0; i < m; ++i) {
+        const size_t src = r0 + i;
+        if (src + 1 < n) {
+          FKD_PREFETCH(x.Row(src + 1));
+          FKD_PREFETCH(z.Row(src + 1));
+          FKD_PREFETCH(t.Row(src + 1));
+        }
+        float* row = concat.Row(i);
+        std::copy(x.Row(src), x.Row(src) + in, row);
+        std::copy(z.Row(src), z.Row(src) + h, row + in);
+        std::copy(t.Row(src), t.Row(src) + h, row + in + h);
+      }
+
+      if (options_.plain_unit) {
+        Tensor branch(m, h);
+        GemmBiasAct(concat, pack.fuse, &pack.fuse_bias, EpilogueAct::kTanh,
+                    &branch);
+        for (size_t i = 0; i < m; ++i) {
+          std::copy(branch.Row(i), branch.Row(i) + h, out.Row(r0 + i));
+        }
+        continue;
+      }
+
+      // All active gates in one fused GEMM over the unmodified [x, z, t].
+      Tensor gates(m, pack.num_gates * h);
+      GemmBiasAct(concat, pack.gates, &pack.gate_bias, EpilogueAct::kSigmoid,
+                  &gates);
+
+      // The four fuse branches share W_u and differ only in the z / t
+      // column bands, so they are ordered to minimise rewrites of the
+      // concat buffer: [x,z,t] -> [x,z,t~] -> [x,z~,t~] -> [x,z~,t].
+      Tensor branch_zz(m, h);
+      Tensor branch_zt(m, h);
+      Tensor branch_tt(m, h);
+      Tensor branch_tz(m, h);
+      GemmBiasAct(concat, pack.fuse, &pack.fuse_bias, EpilogueAct::kTanh,
+                  &branch_zz);
+      if (pack.e_col != SIZE_MAX) {
+        // t~ = e (*) t, same operand order as Step's Mul(e, t).
+        for (size_t i = 0; i < m; ++i) {
+          const float* e = gates.Row(i) + pack.e_col;
+          const float* t_row = t.Row(r0 + i);
+          float* dst = concat.Row(i) + in + h;
+          for (size_t c = 0; c < h; ++c) dst[c] = e[c] * t_row[c];
+        }
+      }
+      GemmBiasAct(concat, pack.fuse, &pack.fuse_bias, EpilogueAct::kTanh,
+                  &branch_zt);
+      if (pack.f_col != SIZE_MAX) {
+        // z~ = f (*) z.
+        for (size_t i = 0; i < m; ++i) {
+          const float* f = gates.Row(i) + pack.f_col;
+          const float* z_row = z.Row(r0 + i);
+          float* dst = concat.Row(i) + in;
+          for (size_t c = 0; c < h; ++c) dst[c] = f[c] * z_row[c];
+        }
+      }
+      GemmBiasAct(concat, pack.fuse, &pack.fuse_bias, EpilogueAct::kTanh,
+                  &branch_tt);
+      if (pack.e_col != SIZE_MAX) {
+        // Restore the original t band for the [x, z~, t] branch.
+        for (size_t i = 0; i < m; ++i) {
+          const float* t_row = t.Row(r0 + i);
+          std::copy(t_row, t_row + h, concat.Row(i) + in + h);
+        }
+      }
+      GemmBiasAct(concat, pack.fuse, &pack.fuse_bias, EpilogueAct::kTanh,
+                  &branch_tz);
+
+      // Gate-weighted 4-way mixture, term order and per-element operation
+      // order exactly as Step composes it:
+      //   h =  (g*r)*tt; h += ((1-g)*r)*zt; h += (g*(1-r))*tz;
+      //   h += ((1-g)*(1-r))*zz.
+      for (size_t i = 0; i < m; ++i) {
+        const float* g_row = gates.Row(i) + pack.g_col;
+        const float* r_row = gates.Row(i) + pack.r_col;
+        const float* tt = branch_tt.Row(i);
+        const float* zt = branch_zt.Row(i);
+        const float* tz = branch_tz.Row(i);
+        const float* zz = branch_zz.Row(i);
+        float* o_row = out.Row(r0 + i);
+        for (size_t c = 0; c < h; ++c) {
+          const float g = g_row[c];
+          const float r = r_row[c];
+          const float ng = 1.0f - g;
+          const float nr = 1.0f - r;
+          float v = (g * r) * tt[c];
+          v += (ng * r) * zt[c];
+          v += (g * nr) * tz[c];
+          v += (ng * nr) * zz[c];
+          o_row[c] = v;
+        }
+      }
+    }
+  });
+  return out;
 }
 
 void GduCell::CollectParameters(const std::string& prefix,

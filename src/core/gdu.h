@@ -1,10 +1,13 @@
 #ifndef FKD_CORE_GDU_H_
 #define FKD_CORE_GDU_H_
 
+#include <mutex>
+
 #include "common/rng.h"
 #include "nn/layers.h"
 #include "nn/module.h"
 #include "tensor/autograd.h"
+#include "tensor/ops.h"
 
 namespace fkd {
 namespace core {
@@ -50,6 +53,21 @@ class GduCell : public nn::Module {
                           const autograd::Variable& z,
                           const autograd::Variable& t) const;
 
+  /// Tape-free inference step over raw tensors, bitwise-identical to
+  /// `Step(x, z, t).value()` on the same inputs (the serving parity tests
+  /// lock this). Optimised for the scoring hot path: the four gate GEMVs
+  /// are batched into one packed GEMM against column-concatenated gate
+  /// weights, bias + sigmoid/tanh run fused in the GEMM epilogue, and rows
+  /// are processed in L2-sized blocks so each block's concat buffer and
+  /// gate/branch activations stay cache-resident across the five GEMMs.
+  ///
+  /// The first call packs the cell's weights into GEMM panel form and
+  /// caches them; the parameters must be frozen from then on (the serving
+  /// snapshot contract — training paths keep using Step, which reads the
+  /// live weights every call).
+  Tensor StepInference(const Tensor& x, const Tensor& z,
+                       const Tensor& t) const;
+
   void CollectParameters(const std::string& prefix,
                          std::vector<nn::NamedParameter>* out) const override;
 
@@ -57,6 +75,22 @@ class GduCell : public nn::Module {
   size_t hidden_dim() const { return hidden_dim_; }
 
  private:
+  /// Frozen panel-packed weights for StepInference, built on first use.
+  struct InferencePack {
+    PackedBPanels gates;  ///< Active sigmoid gates, [k x num_gates*h].
+    Tensor gate_bias;     ///< [1 x num_gates*h], same column order.
+    PackedBPanels fuse;   ///< W_u, [k x h].
+    Tensor fuse_bias;     ///< [1 x h].
+    size_t num_gates = 0; ///< 0 for plain_unit.
+    /// Column offset of each gate's h-wide block in `gates` output
+    /// (SIZE_MAX when the gate is disabled by the variant options).
+    size_t f_col = 0;
+    size_t e_col = 0;
+    size_t g_col = 0;
+    size_t r_col = 0;
+  };
+  const InferencePack& Pack() const;
+
   size_t input_dim_;
   size_t hidden_dim_;
   GduOptions options_;
@@ -65,6 +99,9 @@ class GduCell : public nn::Module {
   nn::Linear select_g_;
   nn::Linear select_r_;
   nn::Linear fuse_;  // W_u, shared by all four combinations.
+
+  mutable std::once_flag pack_once_;
+  mutable InferencePack pack_;
 };
 
 }  // namespace core

@@ -28,6 +28,8 @@ class Linear : public Module {
   size_t in_dim() const { return in_dim_; }
   size_t out_dim() const { return out_dim_; }
   const autograd::Variable& weight() const { return weight_; }
+  /// Undefined (default-constructed) when built without bias.
+  const autograd::Variable& bias() const { return bias_; }
 
  private:
   size_t in_dim_;

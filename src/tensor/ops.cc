@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "tensor/compute.h"
 
 namespace fkd {
@@ -22,14 +23,24 @@ OpDims DimsOf(const Tensor& t, bool transposed) {
 }
 
 /// Grain choices. Deterministic chunking only requires that grains are pure
-/// functions of problem size (never of thread count); values below target
-/// chunks of roughly 0.1-1 ms so the pool's per-chunk mutex claim is noise.
-constexpr size_t kEltwiseGrain = 1 << 15;   ///< elements per chunk
-constexpr size_t kGemmChunkFlops = 1 << 21; ///< ~2M mul-adds per row chunk
+/// functions of problem size (never of thread count). Everything except the
+/// compute-bound GEMM derives its grain from ThreadPool::CostAwareGrain with
+/// a per-element cost hint in bytes of equivalent memory traffic: the old
+/// fixed element/row grains ignored how little each element cost, splitting
+/// cheap streaming ops into hundreds of ~10 us chunks whose claim + wakeup
+/// overhead is what regressed softmax to 0.69x of serial at 4 threads.
+constexpr size_t kGemmChunkFlops = 1 << 21;     ///< ~2M mul-adds per row chunk
+constexpr size_t kCopyCost = 2 * sizeof(float); ///< stream read + write
+constexpr size_t kEltwiseCost = 3 * sizeof(float);  ///< 2 reads + 1 write
+constexpr size_t kCallCost = 48;  ///< indirect call per element (Map/ZipMap)
+constexpr size_t kExpCost = 64;   ///< transcendental per element
 
-size_t RowGrain(size_t cost_per_row) {
-  constexpr size_t kTargetChunkCost = 1 << 14;
-  return std::max<size_t>(1, kTargetChunkCost / std::max<size_t>(1, cost_per_row));
+size_t EltwiseGrain(size_t bytes_per_element) {
+  return ThreadPool::CostAwareGrain(bytes_per_element);
+}
+
+size_t RowGrain(size_t bytes_per_row) {
+  return ThreadPool::CostAwareGrain(bytes_per_row);
 }
 
 /// GEMM micro-kernel tile: kMR C-rows by kNR C-columns accumulate in
@@ -169,7 +180,7 @@ std::vector<float> PackBPanels(const float* b, size_t k, size_t n,
   const size_t num_panels = (n + kNR - 1) / kNR;
   std::vector<float> packed(num_panels * k * kNR, 0.0f);
   float* dst = packed.data();
-  ParallelKernel("tensor/pack_b", 0, num_panels, RowGrain(k * kNR),
+  ParallelKernel("tensor/pack_b", 0, num_panels, RowGrain(k * kNR * kCopyCost),
                  [&](size_t begin, size_t end) {
                    for (size_t q = begin; q < end; ++q) {
                      const size_t j0 = q * kNR;
@@ -204,7 +215,7 @@ std::vector<float> PackTransposed(const float* src, size_t src_rows,
                                   size_t src_cols) {
   std::vector<float> packed(src_rows * src_cols);
   float* dst = packed.data();
-  ParallelKernel("tensor/pack_b", 0, src_cols, RowGrain(src_rows),
+  ParallelKernel("tensor/pack_b", 0, src_cols, RowGrain(src_rows * kCopyCost),
                  [&](size_t begin, size_t end) {
                    for (size_t r = begin; r < end; ++r) {
                      float* out_row = dst + r * src_rows;
@@ -280,7 +291,7 @@ void Gemv(bool trans_a, float alpha, const Tensor& a, const Tensor& x,
   const float* xd = x.data();
   if (!trans_a) {
     // Each output element owns its dot product: row-parallel, disjoint.
-    ParallelKernel("tensor/gemv", 0, m, RowGrain(k),
+    ParallelKernel("tensor/gemv", 0, m, RowGrain(k * kCopyCost),
                    [&](size_t begin, size_t end) {
                      for (size_t i = begin; i < end; ++i) {
                        const float* row = a.Row(i);
@@ -307,7 +318,7 @@ void AxpyInPlace(float alpha, const Tensor& x, Tensor* y) {
   FKD_CHECK(x.shape() == y->shape());
   float* yd = y->data();
   const float* xd = x.data();
-  ParallelKernel("tensor/axpy", 0, x.size(), kEltwiseGrain,
+  ParallelKernel("tensor/axpy", 0, x.size(), EltwiseGrain(kEltwiseCost),
                  [&](size_t begin, size_t end) {
                    for (size_t i = begin; i < end; ++i) yd[i] += alpha * xd[i];
                  });
@@ -316,7 +327,7 @@ void AxpyInPlace(float alpha, const Tensor& x, Tensor* y) {
 void ScaleInPlace(float scale, Tensor* y) {
   FKD_CHECK(y != nullptr);
   float* yd = y->data();
-  ParallelKernel("tensor/scale", 0, y->size(), kEltwiseGrain,
+  ParallelKernel("tensor/scale", 0, y->size(), EltwiseGrain(kCopyCost),
                  [&](size_t begin, size_t end) {
                    for (size_t i = begin; i < end; ++i) yd[i] *= scale;
                  });
@@ -326,7 +337,7 @@ Tensor Map(const Tensor& a, const std::function<float(float)>& f) {
   Tensor out(a.shape());
   const float* ad = a.data();
   float* od = out.data();
-  ParallelKernel("tensor/map", 0, a.size(), kEltwiseGrain,
+  ParallelKernel("tensor/map", 0, a.size(), EltwiseGrain(kCallCost),
                  [&](size_t begin, size_t end) {
                    for (size_t i = begin; i < end; ++i) od[i] = f(ad[i]);
                  });
@@ -340,7 +351,7 @@ Tensor ZipMap(const Tensor& a, const Tensor& b,
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out.data();
-  ParallelKernel("tensor/zip_map", 0, a.size(), kEltwiseGrain,
+  ParallelKernel("tensor/zip_map", 0, a.size(), EltwiseGrain(kCallCost),
                  [&](size_t begin, size_t end) {
                    for (size_t i = begin; i < end; ++i) od[i] = f(ad[i], bd[i]);
                  });
@@ -359,7 +370,7 @@ Tensor BinaryEltwise(const Tensor& a, const Tensor& b, const char* name,
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out.data();
-  ParallelKernel(name, 0, a.size(), kEltwiseGrain,
+  ParallelKernel(name, 0, a.size(), EltwiseGrain(kEltwiseCost),
                  [&](size_t begin, size_t end) {
                    for (size_t i = begin; i < end; ++i) od[i] = fn(ad[i], bd[i]);
                  });
@@ -388,7 +399,8 @@ Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row) {
   FKD_CHECK_EQ(row.size(), d);
   Tensor out = matrix;
   const float* rd = row.data();
-  ParallelKernel("tensor/add_row", 0, matrix.rows(), RowGrain(d),
+  ParallelKernel("tensor/add_row", 0, matrix.rows(),
+                 RowGrain(d * kEltwiseCost),
                  [&](size_t begin, size_t end) {
                    for (size_t r = begin; r < end; ++r) {
                      float* out_row = out.Row(r);
@@ -402,7 +414,7 @@ Tensor Sigmoid(const Tensor& a) {
   Tensor out(a.shape());
   const float* ad = a.data();
   float* od = out.data();
-  ParallelKernel("tensor/sigmoid", 0, a.size(), kEltwiseGrain,
+  ParallelKernel("tensor/sigmoid", 0, a.size(), EltwiseGrain(kExpCost),
                  [&](size_t begin, size_t end) {
                    for (size_t i = begin; i < end; ++i) {
                      const float x = ad[i];
@@ -422,7 +434,7 @@ Tensor TanhT(const Tensor& a) {
   Tensor out(a.shape());
   const float* ad = a.data();
   float* od = out.data();
-  ParallelKernel("tensor/tanh", 0, a.size(), kEltwiseGrain,
+  ParallelKernel("tensor/tanh", 0, a.size(), EltwiseGrain(kExpCost),
                  [&](size_t begin, size_t end) {
                    for (size_t i = begin; i < end; ++i) od[i] = std::tanh(ad[i]);
                  });
@@ -433,7 +445,7 @@ Tensor Relu(const Tensor& a) {
   Tensor out(a.shape());
   const float* ad = a.data();
   float* od = out.data();
-  ParallelKernel("tensor/relu", 0, a.size(), kEltwiseGrain,
+  ParallelKernel("tensor/relu", 0, a.size(), EltwiseGrain(kEltwiseCost),
                  [&](size_t begin, size_t end) {
                    for (size_t i = begin; i < end; ++i) {
                      od[i] = ad[i] > 0.0f ? ad[i] : 0.0f;
@@ -445,7 +457,11 @@ Tensor Relu(const Tensor& a) {
 Tensor SoftmaxRows(const Tensor& logits) {
   Tensor out(logits.rows(), logits.cols());
   const size_t k = logits.cols();
-  ParallelKernel("tensor/softmax", 0, logits.rows(), RowGrain(k),
+  // The row cost is exp-dominated (three passes, one transcendental per
+  // element); the old grain priced rows as k "units" and cut an 8192x256
+  // softmax into 128 tiny chunks — the dispatch overhead regressed the
+  // kernel below serial at 4 threads.
+  ParallelKernel("tensor/softmax", 0, logits.rows(), RowGrain(k * kExpCost),
                  [&](size_t begin, size_t end) {
                    for (size_t r = begin; r < end; ++r) {
                      const float* in_row = logits.Row(r);
@@ -473,8 +489,18 @@ Tensor SumRowsTo(const Tensor& matrix) {
   const size_t cols = matrix.cols();
   // Column-partitioned: each chunk owns a disjoint column slab and sums it
   // over all rows in fixed row order, so the reduction order per output
-  // element never depends on the chunking.
-  ParallelKernel("tensor/sum_rows", 0, cols, RowGrain(rows),
+  // element never depends on the chunking (and always equals the serial
+  // order — per-thread row partials would change the summation order and
+  // break the golden-run bit locks). Every chunk re-walks all rows, so
+  // slabs must be wide: the old per-column grain produced 2-column slabs
+  // for tall matrices — 128 strided passes over the same memory, with
+  // adjacent chunks false-sharing cache lines of the output row. Slab
+  // bounds are rounded to 16 floats (one cache line) so no two chunks
+  // ever write the same line of `od`.
+  constexpr size_t kSlabAlign = 16;
+  size_t grain = ThreadPool::CostAwareGrain(rows * sizeof(float), kSlabAlign);
+  grain = (grain + kSlabAlign - 1) & ~(kSlabAlign - 1);
+  ParallelKernel("tensor/sum_rows", 0, cols, grain,
                  [&](size_t begin, size_t end) {
                    for (size_t r = 0; r < rows; ++r) {
                      const float* row = matrix.Row(r);
@@ -493,7 +519,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     total_cols += part.cols();
   }
   Tensor out(n, total_cols);
-  ParallelKernel("tensor/concat_cols", 0, n, RowGrain(total_cols),
+  ParallelKernel("tensor/concat_cols", 0, n, RowGrain(total_cols * kCopyCost),
                  [&](size_t begin, size_t end) {
                    for (size_t r = begin; r < end; ++r) {
                      float* out_row = out.Row(r);
@@ -507,6 +533,86 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
                    }
                  });
   return out;
+}
+
+namespace {
+
+/// Fused epilogue over C rows [i0, i1): bias row add, then activation, per
+/// element in place. The formulas are copied verbatim from AddRowBroadcast /
+/// Sigmoid / TanhT / Relu above — elementwise ops commute across the chunking,
+/// so fused output is bitwise-identical to the unfused three-pass chain.
+void ApplyBiasActRows(float* c, const float* bias, EpilogueAct act, size_t n,
+                      size_t i0, size_t i1) {
+  for (size_t i = i0; i < i1; ++i) {
+    float* row = c + i * n;
+    if (bias != nullptr) {
+      for (size_t j = 0; j < n; ++j) row[j] += bias[j];
+    }
+    switch (act) {
+      case EpilogueAct::kNone:
+        break;
+      case EpilogueAct::kSigmoid:
+        for (size_t j = 0; j < n; ++j) {
+          const float x = row[j];
+          if (x >= 0.0f) {
+            const float z = std::exp(-x);
+            row[j] = 1.0f / (1.0f + z);
+          } else {
+            const float z = std::exp(x);
+            row[j] = z / (1.0f + z);
+          }
+        }
+        break;
+      case EpilogueAct::kTanh:
+        for (size_t j = 0; j < n; ++j) row[j] = std::tanh(row[j]);
+        break;
+      case EpilogueAct::kRelu:
+        for (size_t j = 0; j < n; ++j) row[j] = row[j] > 0.0f ? row[j] : 0.0f;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+PackedBPanels PackGemmB(const Tensor& b, bool trans_b) {
+  const OpDims db = DimsOf(b, trans_b);
+  PackedBPanels packed;
+  packed.k_ = db.rows;
+  packed.n_ = db.cols;
+  packed.data_ = PackBPanels(b.data(), db.rows, db.cols, trans_b);
+  return packed;
+}
+
+void GemmBiasAct(const Tensor& a, const PackedBPanels& b, const Tensor* bias,
+                 EpilogueAct act, Tensor* c) {
+  FKD_CHECK(c != nullptr);
+  FKD_CHECK_EQ(a.cols(), b.k());
+  FKD_CHECK_EQ(c->rows(), a.rows());
+  FKD_CHECK_EQ(c->cols(), b.n());
+  if (bias != nullptr) FKD_CHECK_EQ(bias->size(), b.n());
+
+  const size_t m = a.rows();
+  const size_t k = b.k();
+  const size_t n = b.n();
+  if (m == 0 || n == 0) return;
+
+  const float* ad = a.data();
+  const float* bd = b.data_.data();
+  const float* biasd = bias != nullptr ? bias->data() : nullptr;
+  float* cd = c->data();
+  const size_t row_grain = std::max<size_t>(
+      1, kGemmChunkFlops / std::max<size_t>(1, n * std::max<size_t>(1, k)));
+  ParallelKernel("tensor/gemm_bias_act", 0, m, row_grain,
+                 [&](size_t begin, size_t end) {
+                   GemmRowChunk(ad, bd, cd, k, n, begin, end, 1.0f, 0.0f);
+                   ApplyBiasActRows(cd, biasd, act, n, begin, end);
+                 });
+}
+
+void GemmBiasAct(const Tensor& a, const Tensor& b, const Tensor* bias,
+                 EpilogueAct act, Tensor* c) {
+  GemmBiasAct(a, PackGemmB(b, false), bias, act, c);
 }
 
 }  // namespace fkd

@@ -1,7 +1,9 @@
 #ifndef FKD_TENSOR_OPS_H_
 #define FKD_TENSOR_OPS_H_
 
+#include <cstddef>
 #include <functional>
+#include <vector>
 
 #include "tensor/tensor.h"
 
@@ -61,6 +63,51 @@ Tensor SumRowsTo(const Tensor& matrix);
 
 /// Concatenates rank-2 tensors with equal row counts along columns.
 Tensor ConcatCols(const std::vector<Tensor>& parts);
+
+/// Activation fused into the GemmBiasAct epilogue. The fused forms apply
+/// exactly the per-element formulas of the standalone Sigmoid / TanhT /
+/// Relu kernels, so a fused call is bitwise-identical to the unfused
+/// Gemm + AddRowBroadcast + activation chain it replaces.
+enum class EpilogueAct { kNone, kSigmoid, kTanh, kRelu };
+
+class PackedBPanels;
+
+/// Packs op(B) into the blocked GEMM driver's contiguous 16-column panels
+/// once, for reuse across many GemmBiasAct calls against the same weights
+/// (the serving hot path re-scores against frozen matrices every request —
+/// re-packing per call was pure overhead).
+PackedBPanels PackGemmB(const Tensor& b, bool trans_b = false);
+
+/// Fused C = act(A * B + bias): the bias row add and activation run inside
+/// the GEMM's row-chunk dispatch while the freshly written C rows are still
+/// cache-hot, instead of three full passes over C. `bias` may be null
+/// (skipped); it must otherwise be a length-n row. C is overwritten.
+void GemmBiasAct(const Tensor& a, const PackedBPanels& b, const Tensor* bias,
+                 EpilogueAct act, Tensor* c);
+
+/// Convenience overload packing `b` on the fly (single-shot callers).
+void GemmBiasAct(const Tensor& a, const Tensor& b, const Tensor* bias,
+                 EpilogueAct act, Tensor* c);
+
+/// An opaque panel-packed GEMM B operand (see PackGemmB). Move-friendly
+/// value type; the layout is owned by the GEMM kernels in ops.cc.
+class PackedBPanels {
+ public:
+  PackedBPanels() = default;
+
+  size_t k() const { return k_; }
+  size_t n() const { return n_; }
+  bool empty() const { return k_ == 0 || n_ == 0; }
+
+ private:
+  friend PackedBPanels PackGemmB(const Tensor& b, bool trans_b);
+  friend void GemmBiasAct(const Tensor& a, const PackedBPanels& b,
+                          const Tensor* bias, EpilogueAct act, Tensor* c);
+
+  std::vector<float> data_;  ///< Panel-packed, zero-padded to 16-wide.
+  size_t k_ = 0;             ///< Inner (reduction) dimension.
+  size_t n_ = 0;             ///< Logical output columns.
+};
 
 }  // namespace fkd
 

@@ -4,10 +4,30 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "tensor/autograd.h"
 #include "tensor/compute.h"
 
+#if defined(__GNUC__)
+#define FKD_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define FKD_PREFETCH(addr) ((void)0)
+#endif
+
 namespace fkd {
+
+namespace {
+
+/// Output column slabs are multiples of 16 floats (one cache line) so
+/// concurrent chunks never write the same line.
+constexpr size_t kColAlign = 16;
+
+/// Upper bound on BalancedMatMulPlan chunks. Constant (never derived from
+/// thread count) so the plan — and therefore the bench-visible chunking —
+/// is a pure function of the matrix.
+constexpr size_t kMaxPlanChunks = 64;
+
+}  // namespace
 
 CsrMatrix CsrMatrix::FromTriplets(size_t rows, size_t cols,
                                   std::vector<Triplet> triplets) {
@@ -82,31 +102,96 @@ Tensor CsrMatrix::ToDense() const {
   return dense;
 }
 
+std::vector<CsrMatrix::MatMulChunk> CsrMatrix::BalancedMatMulPlan(
+    size_t dense_cols) const {
+  std::vector<MatMulChunk> plan;
+  if (rows_ == 0 || dense_cols == 0) return plan;
+  // Target nonzeros per chunk. Each nonzero streams a dense_cols-float
+  // slice of the dense operand and accumulates into a dense_cols-float
+  // output slice, so its cost hint is ~3 float accesses per output column.
+  // The cost-derived ceiling keeps chunks ~100 us; the nnz/kMaxPlanChunks
+  // term pulls the target down for mid-size matrices so a pool has enough
+  // chunks to balance; the /64 floor stops tiny matrices from shattering
+  // into overhead-dominated slivers.
+  const size_t per_nnz_bytes = dense_cols * 3 * sizeof(float);
+  const size_t ceiling = ThreadPool::CostAwareGrain(per_nnz_bytes);
+  const size_t floor = std::max<size_t>(1, ceiling / 64);
+  const size_t balanced =
+      std::max<size_t>(1, (nnz() + kMaxPlanChunks - 1) / kMaxPlanChunks);
+  const size_t target_nnz = std::clamp(balanced, floor, ceiling);
+
+  size_t chunk_row_begin = 0;
+  size_t chunk_nnz = 0;
+  for (size_t r = 0; r < rows_; ++r) {
+    const size_t row_nnz = static_cast<size_t>(offsets_[r + 1] - offsets_[r]);
+    if (row_nnz >= 2 * target_nnz && dense_cols > kColAlign) {
+      // This one row dominates a whole chunk: flush the light rows pending
+      // before it, then split the row itself into column slabs. Splitting
+      // along columns (not nonzeros) keeps each output element's
+      // accumulation chain intact, so bits never change.
+      if (r > chunk_row_begin) {
+        plan.push_back({chunk_row_begin, r, 0, dense_cols});
+      }
+      const size_t pieces_by_work = (row_nnz + target_nnz - 1) / target_nnz;
+      const size_t max_pieces = (dense_cols + kColAlign - 1) / kColAlign;
+      const size_t pieces = std::min(pieces_by_work, max_pieces);
+      const size_t slab =
+          (((dense_cols + pieces - 1) / pieces) + kColAlign - 1) &
+          ~(kColAlign - 1);
+      for (size_t j0 = 0; j0 < dense_cols; j0 += slab) {
+        plan.push_back({r, r + 1, j0, std::min(dense_cols, j0 + slab)});
+      }
+      chunk_row_begin = r + 1;
+      chunk_nnz = 0;
+      continue;
+    }
+    chunk_nnz += row_nnz;
+    if (chunk_nnz >= target_nnz) {
+      plan.push_back({chunk_row_begin, r + 1, 0, dense_cols});
+      chunk_row_begin = r + 1;
+      chunk_nnz = 0;
+    }
+  }
+  if (chunk_row_begin < rows_) {
+    plan.push_back({chunk_row_begin, rows_, 0, dense_cols});
+  }
+  return plan;
+}
+
 Tensor CsrMatrix::MatMul(const Tensor& dense) const {
   FKD_CHECK_EQ(dense.rows(), cols_);
   const size_t n = dense.cols();
   Tensor out(rows_, n);
-  // Row-parallel: each output row is a gather over that row's nonzeros, so
-  // chunks write disjoint rows and per-row accumulation order is fixed by
-  // the CSR layout regardless of chunking. Grain scales with the average
-  // per-row cost (nnz/rows * n) so sparse and near-dense matrices both get
-  // sensible chunk sizes.
-  const size_t avg_row_cost =
-      rows_ == 0 ? 1 : std::max<size_t>(1, nnz() * n / rows_);
-  const size_t grain = std::max<size_t>(1, (1 << 15) / avg_row_cost);
-  ParallelKernel("sparse/matmul", 0, rows_, grain,
-                 [&](size_t begin, size_t end) {
-                   for (size_t r = begin; r < end; ++r) {
-                     const auto indices = RowIndices(r);
-                     const auto values = RowValues(r);
-                     float* out_row = out.Row(r);
-                     for (size_t k = 0; k < indices.size(); ++k) {
-                       const float* dense_row = dense.Row(indices[k]);
-                       const float v = values[k];
-                       for (size_t j = 0; j < n; ++j) out_row[j] += v * dense_row[j];
-                     }
-                   }
-                 });
+  // Executes the nonzero-balanced plan: chunks tile the output disjointly
+  // (row ranges, or column slabs of one heavy row) and per output element
+  // the accumulation stays in CSR nonzero order, so any chunk schedule
+  // reproduces the serial loop bit for bit. Balancing by nonzeros rather
+  // than row count is what lets one pathological dense row among thousands
+  // of empty ones actually parallelise.
+  const std::vector<MatMulChunk> plan = BalancedMatMulPlan(n);
+  ParallelKernel(
+      "sparse/matmul", 0, plan.size(), 1, [&](size_t begin, size_t end) {
+        for (size_t ci = begin; ci < end; ++ci) {
+          const MatMulChunk& chunk = plan[ci];
+          for (size_t r = chunk.row_begin; r < chunk.row_end; ++r) {
+            const auto indices = RowIndices(r);
+            const auto values = RowValues(r);
+            float* out_row = out.Row(r);
+            for (size_t k = 0; k < indices.size(); ++k) {
+              if (k + 1 < indices.size()) {
+                // The gathered dense rows are the one irregular access
+                // stream here; ask for the next one a beat early.
+                FKD_PREFETCH(dense.Row(indices[k + 1]) + chunk.col_begin);
+              }
+              const float* dense_row = dense.Row(indices[k]);
+              const float v = values[k];
+              for (size_t j = chunk.col_begin; j < chunk.col_end; ++j) {
+                out_row[j] += v * dense_row[j];
+              }
+            }
+          }
+        }
+      });
   return out;
 }
 
@@ -115,19 +200,36 @@ Tensor CsrMatrix::TransposedMatMul(const Tensor& dense) const {
   const size_t n = dense.cols();
   Tensor out(cols_, n);
   // Scatter formulation: input row r writes to output rows indexed by its
-  // column ids, so rows of `out` are shared across input rows. Kept serial —
-  // the fixed r order is the determinism contract, and parallelising would
-  // need either atomics (non-deterministic order) or a CSC transpose.
-  for (size_t r = 0; r < rows_; ++r) {
-    const auto indices = RowIndices(r);
-    const auto values = RowValues(r);
-    const float* dense_row = dense.Row(r);
-    for (size_t k = 0; k < indices.size(); ++k) {
-      float* out_row = out.Row(indices[k]);
-      const float v = values[k];
-      for (size_t j = 0; j < n; ++j) out_row[j] += v * dense_row[j];
-    }
-  }
+  // column ids, so output rows are shared across input rows and the fixed r
+  // order is the bit-exactness contract. Parallelism therefore comes from
+  // column blocking: every chunk walks ALL input rows in the same r order
+  // but touches only its own 16-aligned slab [begin, end) of the dense and
+  // output columns — each output element keeps the exact serial
+  // accumulation chain while chunks write disjoint cache lines. Each chunk
+  // re-reads the whole CSR structure, so the per-column cost hint (one
+  // float read + one accumulate per nonzero) errs coarse: narrow outputs
+  // (training backward, hidden_dim-wide) stay a single serial chunk.
+  size_t grain = ThreadPool::CostAwareGrain(
+      std::max<size_t>(1, nnz()) * 2 * sizeof(float), kColAlign);
+  grain = (grain + kColAlign - 1) & ~(kColAlign - 1);
+  ParallelKernel("sparse/matmul_t", 0, n, grain,
+                 [&](size_t begin, size_t end) {
+                   for (size_t r = 0; r < rows_; ++r) {
+                     const auto indices = RowIndices(r);
+                     const auto values = RowValues(r);
+                     const float* dense_row = dense.Row(r);
+                     for (size_t k = 0; k < indices.size(); ++k) {
+                       if (k + 1 < indices.size()) {
+                         FKD_PREFETCH(out.Row(indices[k + 1]) + begin);
+                       }
+                       float* out_row = out.Row(indices[k]);
+                       const float v = values[k];
+                       for (size_t j = begin; j < end; ++j) {
+                         out_row[j] += v * dense_row[j];
+                       }
+                     }
+                   }
+                 });
   return out;
 }
 

@@ -58,10 +58,34 @@ class CsrMatrix {
   /// Materialises the dense equivalent.
   Tensor ToDense() const;
 
-  /// C = this [m x k] * B [k x n], dense output. O(nnz * n).
+  /// C = this [m x k] * B [k x n], dense output. O(nnz * n). Parallelised
+  /// over the nonzero-balanced plan below; bitwise-identical to the serial
+  /// row loop at any thread count.
   Tensor MatMul(const Tensor& dense) const;
 
-  /// C = this^T [k x m] * B [m x n], dense output (scatter formulation).
+  /// One chunk of the MatMul work plan: output rows [row_begin, row_end)
+  /// restricted to output/dense columns [col_begin, col_end). Chunks tile
+  /// the output disjointly, and each output element's accumulation stays in
+  /// CSR nonzero order, so executing the plan in any chunk order (or
+  /// concurrently) reproduces the serial kernel bit for bit.
+  struct MatMulChunk {
+    size_t row_begin;
+    size_t row_end;
+    size_t col_begin;
+    size_t col_end;
+  };
+
+  /// The nonzero-balanced 2D partition MatMul executes. Row ranges are cut
+  /// by cumulative nonzero count (prefix sums in the CSR offsets), not row
+  /// count, so skewed graphs split evenly; a single row heavy enough to
+  /// dominate a chunk is further split along columns into 16-aligned slabs.
+  /// Pure function of the matrix and `dense_cols` — never of thread count —
+  /// and exposed so tests can assert balance directly.
+  std::vector<MatMulChunk> BalancedMatMulPlan(size_t dense_cols) const;
+
+  /// C = this^T [k x m] * B [m x n], dense output (scatter formulation,
+  /// column-blocked parallel; every chunk preserves the serial row-walk
+  /// accumulation order per output element).
   Tensor TransposedMatMul(const Tensor& dense) const;
 
  private:

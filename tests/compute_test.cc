@@ -97,6 +97,22 @@ TEST(ThreadPoolTest, ChunkBoundariesFollowGrainAtAnyWidth) {
   }
 }
 
+TEST(ThreadPoolTest, CostAwareGrainScalesInverselyWithElementCost) {
+  // One chunk should touch ~kTargetChunkBytes of work: expensive elements
+  // mean fine grains, cheap elements coarse grains.
+  EXPECT_EQ(ThreadPool::CostAwareGrain(1), ThreadPool::kTargetChunkBytes);
+  EXPECT_EQ(ThreadPool::CostAwareGrain(64),
+            ThreadPool::kTargetChunkBytes / 64);
+  EXPECT_EQ(ThreadPool::CostAwareGrain(ThreadPool::kTargetChunkBytes), 1u);
+  // Costs past the target still yield a 1-element grain, never 0.
+  EXPECT_EQ(ThreadPool::CostAwareGrain(ThreadPool::kTargetChunkBytes * 8), 1u);
+  // A zero hint clamps to 1 byte rather than dividing by zero.
+  EXPECT_EQ(ThreadPool::CostAwareGrain(0), ThreadPool::kTargetChunkBytes);
+  // The min_grain floor wins when the cost-derived grain is finer.
+  EXPECT_EQ(ThreadPool::CostAwareGrain(ThreadPool::kTargetChunkBytes, 16),
+            16u);
+}
+
 TEST(ThreadPoolTest, NestedParallelForRunsInline) {
   ThreadPool pool(4);
   std::atomic<int> outer_hits{0};
@@ -272,6 +288,59 @@ TEST(ComputeParityTest, RowAndReductionKernels) {
         return y;
       },
       "Gemv");
+}
+
+TEST(ComputeParityTest, FusedGemmBiasActMatchesUnfusedBitwise) {
+  // The fused epilogue must reproduce the unfused
+  // Gemm -> AddRowBroadcast -> activation chain float for float, at every
+  // pool width, across micro-kernel edge cases (sub-tile rows, ragged
+  // panel widths) and with the packed-B reuse path.
+  Rng rng(67);
+  const struct {
+    size_t m, k, n;
+  } sizes[] = {{1, 7, 5}, {3, 16, 16}, {33, 48, 64}, {120, 200, 29}};
+  for (const auto& s : sizes) {
+    const Tensor a = Tensor::Randn(s.m, s.k, &rng);
+    const Tensor w = Tensor::Randn(s.k, s.n, &rng);
+    const Tensor bias = Tensor::Randn(1, s.n, &rng);
+    const PackedBPanels packed = PackGemmB(w);
+    ASSERT_EQ(packed.k(), s.k);
+    ASSERT_EQ(packed.n(), s.n);
+
+    struct ActCase {
+      EpilogueAct act;
+      Tensor (*apply)(const Tensor&);
+      const char* name;
+    };
+    const ActCase cases[] = {
+        {EpilogueAct::kNone, nullptr, "none"},
+        {EpilogueAct::kSigmoid, &Sigmoid, "sigmoid"},
+        {EpilogueAct::kTanh, &TanhT, "tanh"},
+        {EpilogueAct::kRelu, &Relu, "relu"},
+    };
+    for (const ActCase& c : cases) {
+      Tensor unfused = AddRowBroadcast(MatMul(a, w), bias);
+      if (c.apply != nullptr) unfused = c.apply(unfused);
+      for (size_t threads : {1u, 2u, 8u}) {
+        ThreadPool::ResetGlobal(threads);
+        Tensor fused(s.m, s.n);
+        GemmBiasAct(a, packed, &bias, c.act, &fused);
+        EXPECT_TRUE(fused == unfused)
+            << c.name << " " << s.m << "x" << s.k << "x" << s.n << " at "
+            << threads << " threads";
+        // The pack-on-the-fly overload must agree with the cached pack.
+        Tensor fused_adhoc(s.m, s.n);
+        GemmBiasAct(a, w, &bias, c.act, &fused_adhoc);
+        EXPECT_TRUE(fused_adhoc == unfused) << c.name << " (ad-hoc pack)";
+      }
+    }
+    // Null bias skips the bias add entirely: plain act(A*B).
+    ThreadPool::ResetGlobal(2);
+    Tensor no_bias(s.m, s.n);
+    GemmBiasAct(a, packed, nullptr, EpilogueAct::kNone, &no_bias);
+    EXPECT_TRUE(no_bias == MatMul(a, w)) << "null-bias identity";
+  }
+  ThreadPool::ResetGlobal(0);
 }
 
 TEST(ComputeParityTest, SparseDense) {

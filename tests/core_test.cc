@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/thread_pool.h"
 #include "core/fake_detector.h"
 #include "core/gdu.h"
 #include "core/hflu.h"
@@ -113,6 +114,57 @@ TEST(GduCellTest, ForgetGateChangesZSensitivity) {
   EXPECT_FALSE(
       gated.Step(x, z, t).value().AllClose(ungated.Step(x, z, t).value(),
                                            1e-5f));
+}
+
+// StepInference promises bitwise identity with the tape-based Step at any
+// pool width, for every gate ablation. Exercised with enough rows to cross
+// several L2 row blocks on the default variant.
+TEST(GduCellTest, StepInferenceBitwiseMatchesStepAcrossVariants) {
+  struct VariantCase {
+    const char* name;
+    GduOptions options;
+    size_t rows;
+  };
+  GduOptions no_forget;
+  no_forget.disable_forget_gate = true;
+  GduOptions no_adjust;
+  no_adjust.disable_adjust_gate = true;
+  GduOptions no_both;
+  no_both.disable_forget_gate = true;
+  no_both.disable_adjust_gate = true;
+  GduOptions plain;
+  plain.plain_unit = true;
+  const VariantCase cases[] = {
+      {"full", GduOptions{}, 600},  // > one 512-row block.
+      {"no_forget", no_forget, 37},
+      {"no_adjust", no_adjust, 37},
+      {"no_both", no_both, 37},
+      {"plain_unit", plain, 600},
+  };
+  for (const VariantCase& vc : cases) {
+    SCOPED_TRACE(vc.name);
+    Rng rng(91);
+    GduCell cell(24, 16, &rng, vc.options);
+    const Tensor x = RandomTensor(vc.rows, 24, 92);
+    const Tensor z = RandomTensor(vc.rows, 16, 93, 0.4f);
+    const Tensor t = RandomTensor(vc.rows, 16, 94, 0.4f);
+    ag::InferenceModeGuard no_grad;
+    const Tensor want = cell
+                            .Step(ag::Variable(x, false), ag::Variable(z, false),
+                                  ag::Variable(t, false))
+                            .value();
+    for (size_t threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE(threads);
+      ThreadPool::ResetGlobal(threads);
+      const Tensor got = cell.StepInference(x, z, t);
+      ASSERT_EQ(got.rows(), want.rows());
+      ASSERT_EQ(got.cols(), want.cols());
+      for (size_t i = 0; i < got.size(); ++i) {
+        ASSERT_EQ(got[i], want[i]) << "element " << i;
+      }
+    }
+    ThreadPool::ResetGlobal(0);
+  }
 }
 
 // ---- Hflu ---------------------------------------------------------------------

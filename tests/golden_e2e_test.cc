@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/fake_detector.h"
+#include "core/hflu.h"
 #include "data/generator.h"
 #include "data/split.h"
 #include "eval/metrics.h"
@@ -26,7 +27,9 @@
 #include "serve/model_store.h"
 #include "serve/router.h"
 #include "serve/snapshot.h"
+#include "tensor/autograd.h"
 #include "tensor/ops.h"
+#include "text/features.h"
 
 namespace fkd {
 namespace serve {
@@ -254,6 +257,58 @@ TEST(GoldenE2ETest, RouterScoresBitwiseMatchDirectAtOneAndFourThreads) {
           << "router 4 threads vs direct 1 thread, article " << ids[i];
     }
   }
+}
+
+// ---- bitwise parity: fused ScoreArticles vs the tape-based Step path --------------
+
+// ScoreArticles now runs the cache-blocked GduCell::StepInference (packed
+// gate GEMM, fused bias+activation epilogues). This case pins it to the
+// original serving formulation — tape-based GDU Step over the unfused
+// kernels — float for float, at 1 and 4 intra-op threads.
+TEST(GoldenE2ETest, ScoreArticlesBitwiseMatchesTapeBasedStepPath) {
+  const GoldenFixture& fixture = Fixture();
+  auto loaded = LoadSnapshot(fixture.snapshot_dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Snapshot& snapshot = loaded.value();
+  const core::DiffusionModel& model = *snapshot.model;
+
+  const size_t sample = std::min<size_t>(fixture.test_articles.size(), 8);
+  std::vector<std::string> texts;
+  std::vector<std::vector<int32_t>> subject_groups;
+  std::vector<std::vector<int32_t>> creator_groups;
+  for (size_t i = 0; i < sample; ++i) {
+    const data::Article& article =
+        fixture.dataset.articles[fixture.test_articles[i]];
+    texts.push_back(article.text);
+    subject_groups.push_back(article.subjects);
+    creator_groups.push_back(article.creator >= 0
+                                 ? std::vector<int32_t>{article.creator}
+                                 : std::vector<int32_t>{});
+  }
+  const auto documents = text::TokenizeDocuments(texts);
+  const core::HfluInput input = model.article_hflu().PrepareBatch(documents);
+
+  namespace ag = ::fkd::autograd;
+  for (const size_t threads : {1u, 4u}) {
+    ThreadPool::ResetGlobal(threads);
+    const Tensor fused =
+        model.ScoreArticles(input, subject_groups, creator_groups,
+                            snapshot.creator_states, snapshot.subject_states);
+
+    ag::InferenceModeGuard no_grad;
+    const ag::Variable xa = model.article_hflu().Forward(input);
+    const ag::Variable za = ag::GroupMeanRows(
+        ag::Variable(snapshot.subject_states, false, "hs"), subject_groups);
+    const ag::Variable ta = ag::GroupMeanRows(
+        ag::Variable(snapshot.creator_states, false, "hu"), creator_groups);
+    const ag::Variable ha = model.article_gdu().Step(xa, za, ta);
+    const Tensor seed_path = model.article_head().Forward(ha).value();
+
+    EXPECT_TRUE(fused == seed_path)
+        << "fused ScoreArticles diverged from the tape-based Step path at "
+        << threads << " thread(s)";
+  }
+  ThreadPool::ResetGlobal(0);
 }
 
 }  // namespace

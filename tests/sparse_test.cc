@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 #include "tests/test_util.h"
 
@@ -9,6 +12,44 @@ namespace fkd {
 namespace {
 
 namespace ag = ::fkd::autograd;
+
+/// Runs `compute` under 1-, 2- and 8-thread global pools and expects
+/// bit-identical outputs (the sparse kernels' determinism contract).
+template <typename Fn>
+void ExpectBitwiseAcrossPoolWidths(Fn compute, const char* what) {
+  ThreadPool::ResetGlobal(1);
+  const Tensor serial = compute();
+  for (size_t threads : {2u, 8u}) {
+    ThreadPool::ResetGlobal(threads);
+    const Tensor parallel = compute();
+    EXPECT_TRUE(serial == parallel)
+        << what << " not bitwise reproducible at " << threads << " threads";
+  }
+  ThreadPool::ResetGlobal(0);
+}
+
+/// Asserts the plan tiles the full [rows x dense_cols] output exactly once:
+/// per row, the covering chunks' column ranges partition [0, dense_cols).
+void ExpectPlanTilesOutput(const CsrMatrix& csr,
+                           const std::vector<CsrMatrix::MatMulChunk>& plan,
+                           size_t dense_cols) {
+  for (size_t r = 0; r < csr.rows(); ++r) {
+    std::vector<std::pair<size_t, size_t>> spans;
+    for (const auto& chunk : plan) {
+      if (r >= chunk.row_begin && r < chunk.row_end) {
+        spans.emplace_back(chunk.col_begin, chunk.col_end);
+      }
+    }
+    std::sort(spans.begin(), spans.end());
+    ASSERT_FALSE(spans.empty()) << "row " << r << " uncovered";
+    ASSERT_EQ(spans.front().first, 0u) << "row " << r;
+    for (size_t i = 1; i < spans.size(); ++i) {
+      ASSERT_EQ(spans[i].first, spans[i - 1].second)
+          << "row " << r << " has a gap or overlap";
+    }
+    ASSERT_EQ(spans.back().second, dense_cols) << "row " << r;
+  }
+}
 
 TEST(CsrMatrixTest, EmptyMatrix) {
   CsrMatrix csr;
@@ -85,6 +126,113 @@ TEST(CsrMatrixTest, TransposedMatMulMatchesDense) {
   Tensor expected(4, 3);
   Gemm(true, false, 1.0f, dense_a, b, 0.0f, &expected);
   EXPECT_TRUE(sparse_a.TransposedMatMul(b).AllClose(expected, 1e-4f));
+}
+
+// ---- pathological skew: nnz-balanced partition --------------------------------
+
+TEST(CsrSkewTest, DenseRowAmongEmptyRowsSplitsAcrossColumnSlabs) {
+  // One fully dense row among 4095 empty ones: a row-count partition puts
+  // 100% of the work in one chunk. The nnz-balanced plan must split the
+  // dense row's work along the output columns.
+  constexpr size_t kRows = 4096;
+  constexpr size_t kDenseRow = 1234;
+  constexpr size_t kDenseCols = 256;
+  std::vector<CsrMatrix::Triplet> triplets;
+  for (size_t c = 0; c < kRows; ++c) {
+    triplets.push_back({static_cast<int32_t>(kDenseRow),
+                        static_cast<int32_t>(c),
+                        0.25f + static_cast<float>(c % 7)});
+  }
+  const CsrMatrix csr = CsrMatrix::FromTriplets(kRows, kRows, triplets);
+
+  const auto plan = csr.BalancedMatMulPlan(kDenseCols);
+  ExpectPlanTilesOutput(csr, plan, kDenseCols);
+  size_t dense_row_chunks = 0;
+  for (const auto& chunk : plan) {
+    if (kDenseRow >= chunk.row_begin && kDenseRow < chunk.row_end) {
+      ++dense_row_chunks;
+      // Every chunk touching the dense row must be a column slab of that
+      // row alone, never a row-range chunk swallowing all its work.
+      EXPECT_EQ(chunk.row_begin, kDenseRow);
+      EXPECT_EQ(chunk.row_end, kDenseRow + 1);
+      EXPECT_LT(chunk.col_end - chunk.col_begin, kDenseCols);
+    }
+  }
+  EXPECT_GE(dense_row_chunks, 4u)
+      << "the dense row's work did not split across column slabs";
+
+  Rng rng(101);
+  const Tensor dense = Tensor::Randn(kRows, kDenseCols, &rng);
+  ExpectBitwiseAcrossPoolWidths([&] { return csr.MatMul(dense); },
+                                "skewed CsrMatrix::MatMul (dense row)");
+}
+
+TEST(CsrSkewTest, PowerLawRowsBalanceAndStayBitwiseStable) {
+  // Power-law nnz per row (row r gets ~4096/(r+1) nonzeros): the head rows
+  // dominate, so a row-count partition leaves the tail chunks idle.
+  constexpr size_t kRows = 512;
+  constexpr size_t kCols = 4096;
+  constexpr size_t kDenseCols = 64;
+  Rng rng(103);
+  std::vector<CsrMatrix::Triplet> triplets;
+  for (size_t r = 0; r < kRows; ++r) {
+    const size_t row_nnz = std::max<size_t>(1, 4096 / (r + 1));
+    for (size_t j = 0; j < row_nnz; ++j) {
+      triplets.push_back({static_cast<int32_t>(r),
+                          static_cast<int32_t>(rng.UniformInt(uint64_t{kCols})),
+                          static_cast<float>(rng.Normal())});
+    }
+  }
+  const CsrMatrix csr = CsrMatrix::FromTriplets(kRows, kCols, triplets);
+
+  const auto plan = csr.BalancedMatMulPlan(kDenseCols);
+  ExpectPlanTilesOutput(csr, plan, kDenseCols);
+  ASSERT_GT(plan.size(), 4u);
+  // Balance: no multi-row chunk may hold more than 1/8 of all nonzeros
+  // (the heaviest single rows are allowed to, but they get column-split).
+  size_t head_row_chunks = 0;
+  for (const auto& chunk : plan) {
+    size_t chunk_nnz = 0;
+    for (size_t r = chunk.row_begin; r < chunk.row_end; ++r) {
+      chunk_nnz += csr.RowIndices(r).size();
+    }
+    if (chunk.row_end - chunk.row_begin > 1) {
+      EXPECT_LE(chunk_nnz, csr.nnz() / 8)
+          << "rows [" << chunk.row_begin << ", " << chunk.row_end
+          << ") concentrate too much work in one chunk";
+    }
+    if (chunk.row_begin == 0 && chunk.row_end == 1) ++head_row_chunks;
+  }
+  // The heaviest row's work is itself split along columns.
+  EXPECT_GE(head_row_chunks, 2u);
+
+  const Tensor dense = Tensor::Randn(kCols, kDenseCols, &rng);
+  ExpectBitwiseAcrossPoolWidths([&] { return csr.MatMul(dense); },
+                                "skewed CsrMatrix::MatMul (power law)");
+}
+
+TEST(CsrSkewTest, TransposedMatMulColumnBlockedParity) {
+  // Enough nonzeros and a wide enough dense operand that the column-blocked
+  // TransposedMatMul actually runs multiple slabs, plus a correctness check
+  // against the dense transpose.
+  constexpr size_t kRows = 600;
+  constexpr size_t kCols = 400;
+  constexpr size_t kDenseCols = 64;
+  Rng rng(107);
+  std::vector<CsrMatrix::Triplet> triplets;
+  for (size_t i = 0; i < 40000; ++i) {
+    triplets.push_back({static_cast<int32_t>(rng.UniformInt(uint64_t{kRows})),
+                        static_cast<int32_t>(rng.UniformInt(uint64_t{kCols})),
+                        static_cast<float>(rng.Normal())});
+  }
+  const CsrMatrix csr = CsrMatrix::FromTriplets(kRows, kCols, triplets);
+  const Tensor dense = Tensor::Randn(kRows, kDenseCols, &rng);
+  ExpectBitwiseAcrossPoolWidths([&] { return csr.TransposedMatMul(dense); },
+                                "column-blocked TransposedMatMul");
+
+  Tensor expected(kCols, kDenseCols);
+  Gemm(true, false, 1.0f, csr.ToDense(), dense, 0.0f, &expected);
+  EXPECT_TRUE(csr.TransposedMatMul(dense).AllClose(expected, 1e-3f));
 }
 
 TEST(SparseMatMulOpTest, ForwardMatchesDense) {

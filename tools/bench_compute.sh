@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# One-shot regeneration of the committed compute-kernel artifact
+# BENCH_compute.json: the full bench_compute_kernels sweep (dense MatMul,
+# uniform + skewed SpMM, row softmax, GDU diffusion step, end-to-end
+# ScoreArticles) at pool widths 1/2/4/8 against fixed serial baselines.
+# Every row and the summary stamp the host context (hardware_concurrency,
+# FKD_NUM_THREADS) via bench_hardware.h, so artifacts from different boxes
+# stay interpretable; the binary's speedup gates skip with a loud banner on
+# 1-core hosts.
+#
+#   tools/bench_compute.sh [build-dir] [out.json]
+#
+# Environment: REPS (default 5, best-of per config).
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${REPO_ROOT}/build}"
+OUT="${2:-${REPO_ROOT}/BENCH_compute.json}"
+REPS="${REPS:-5}"
+
+BENCH_BIN="${BUILD_DIR}/bench/bench_compute_kernels"
+[[ -x "${BENCH_BIN}" ]] || {
+  echo "build bench_compute_kernels first (cmake --build ${BUILD_DIR})"; exit 1
+}
+
+echo "== compute-kernel sweep (reps=${REPS}) =="
+"${BENCH_BIN}" --reps="${REPS}" --out="${OUT}"
+
+echo "wrote ${OUT}"
