@@ -1,0 +1,334 @@
+#include "common/block_codec.h"
+
+#include <cstring>
+
+#include "common/crc32c.h"
+#include "common/file_io.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fkd {
+
+namespace {
+
+// ---- LZ-style codec ----------------------------------------------------
+//
+// Token stream:
+//   control c < 0x80  → literal run: the next (c + 1) bytes are copied
+//                       verbatim (runs of 1..128);
+//   control c >= 0x80 → match: length (c & 0x7f) + kMinMatch, followed by
+//                       a little-endian u16 distance in [1, 65535] back
+//                       into the already-decoded output.
+//
+// The compressor is a greedy single-pass hash matcher (last position per
+// 4-byte prefix hash), which is deterministic by construction: no
+// randomised probing, no thread-dependent state.
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = 0x7f + kMinMatch;   // 131
+constexpr size_t kMaxLiteralRun = 0x80;          // 128
+constexpr size_t kMaxDistance = 65535;
+constexpr size_t kHashBits = 15;
+
+inline uint32_t HashPrefix(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void FlushLiterals(const uint8_t* from, size_t count, std::string* out) {
+  while (count > 0) {
+    const size_t run = count < kMaxLiteralRun ? count : kMaxLiteralRun;
+    out->push_back(static_cast<char>(run - 1));
+    out->append(reinterpret_cast<const char*>(from), run);
+    from += run;
+    count -= run;
+  }
+}
+
+class LzCodec : public BlockCodec {
+ public:
+  BlockCodecId id() const override { return BlockCodecId::kLz; }
+  std::string name() const override { return "lz"; }
+
+  void Compress(std::string_view input, std::string* out) const override {
+    const uint8_t* data = reinterpret_cast<const uint8_t*>(input.data());
+    const size_t n = input.size();
+    if (n < kMinMatch + 1) {
+      if (n > 0) FlushLiterals(data, n, out);
+      return;
+    }
+    // Last seen position of each prefix hash; n marks "never seen".
+    std::vector<size_t> table(size_t{1} << kHashBits, n);
+    size_t pos = 0;
+    size_t literal_start = 0;
+    const size_t last_hashable = n - kMinMatch;
+    while (pos <= last_hashable) {
+      const uint32_t hash = HashPrefix(data + pos);
+      const size_t candidate = table[hash];
+      table[hash] = pos;
+      if (candidate < pos && pos - candidate <= kMaxDistance &&
+          std::memcmp(data + candidate, data + pos, kMinMatch) == 0) {
+        size_t length = kMinMatch;
+        const size_t limit =
+            (n - pos) < kMaxMatch ? (n - pos) : kMaxMatch;
+        while (length < limit &&
+               data[candidate + length] == data[pos + length]) {
+          ++length;
+        }
+        FlushLiterals(data + literal_start, pos - literal_start, out);
+        out->push_back(static_cast<char>(0x80 | (length - kMinMatch)));
+        const uint16_t distance = static_cast<uint16_t>(pos - candidate);
+        out->push_back(static_cast<char>(distance & 0xff));
+        out->push_back(static_cast<char>(distance >> 8));
+        pos += length;
+        literal_start = pos;
+      } else {
+        ++pos;
+      }
+    }
+    FlushLiterals(data + literal_start, n - literal_start, out);
+  }
+
+  Status Decompress(std::string_view input, size_t expected_size,
+                    std::string* out) const override {
+    const size_t base = out->size();
+    const uint8_t* in = reinterpret_cast<const uint8_t*>(input.data());
+    size_t pos = 0;
+    const size_t n = input.size();
+    while (pos < n) {
+      const uint8_t control = in[pos++];
+      if (control < 0x80) {
+        const size_t run = static_cast<size_t>(control) + 1;
+        if (pos + run > n) {
+          return Status::Corruption("lz block: literal run past input end");
+        }
+        if (out->size() - base + run > expected_size) {
+          return Status::Corruption("lz block: output overruns declared size");
+        }
+        out->append(reinterpret_cast<const char*>(in + pos), run);
+        pos += run;
+      } else {
+        if (pos + 2 > n) {
+          return Status::Corruption("lz block: truncated match token");
+        }
+        const size_t length = static_cast<size_t>(control & 0x7f) + kMinMatch;
+        const size_t distance =
+            static_cast<size_t>(in[pos]) | (static_cast<size_t>(in[pos + 1]) << 8);
+        pos += 2;
+        const size_t decoded = out->size() - base;
+        if (distance == 0 || distance > decoded) {
+          return Status::Corruption("lz block: match reaches before the block");
+        }
+        if (decoded + length > expected_size) {
+          return Status::Corruption("lz block: output overruns declared size");
+        }
+        // Byte-by-byte: overlapping matches (distance < length) replicate
+        // the just-written bytes, RLE-style.
+        for (size_t i = 0; i < length; ++i) {
+          out->push_back((*out)[out->size() - distance]);
+        }
+      }
+    }
+    if (out->size() - base != expected_size) {
+      return Status::Corruption(
+          StrFormat("lz block: decoded %zu bytes, expected %zu",
+                    out->size() - base, expected_size));
+    }
+    return Status::OK();
+  }
+};
+
+class RawCodec : public BlockCodec {
+ public:
+  BlockCodecId id() const override { return BlockCodecId::kRaw; }
+  std::string name() const override { return "raw"; }
+
+  void Compress(std::string_view input, std::string* out) const override {
+    out->append(input);
+  }
+
+  Status Decompress(std::string_view input, size_t expected_size,
+                    std::string* out) const override {
+    if (input.size() != expected_size) {
+      return Status::Corruption(
+          StrFormat("raw block: %zu stored bytes, expected %zu", input.size(),
+                    expected_size));
+    }
+    out->append(input);
+    return Status::OK();
+  }
+};
+
+// ---- FKDZ framing ------------------------------------------------------
+
+constexpr uint32_t kFkdzMagic = 0x5A444B46;  // "FKDZ" little-endian
+constexpr uint32_t kFkdzVersion = 1;
+constexpr uint8_t kBlockCompressed = 0x01;
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::string_view data, size_t* pos, T* value) {
+  if (*pos + sizeof(T) > data.size()) return false;
+  std::memcpy(value, data.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+const BlockCodec* GetBlockCodec(BlockCodecId id) {
+  static const RawCodec* raw = new RawCodec;
+  static const LzCodec* lz = new LzCodec;
+  switch (id) {
+    case BlockCodecId::kRaw:
+      return raw;
+    case BlockCodecId::kLz:
+      return lz;
+  }
+  return nullptr;
+}
+
+Result<BlockCodecId> BlockCodecIdFromName(const std::string& name) {
+  if (name == "raw") return BlockCodecId::kRaw;
+  if (name == "lz") return BlockCodecId::kLz;
+  return Status::Corruption("unknown block codec '" + name + "'");
+}
+
+Status WriteCompressedFile(const std::string& path, std::string_view data,
+                           BlockCodecId codec_id, size_t block_bytes) {
+  const BlockCodec* codec = GetBlockCodec(codec_id);
+  FKD_CHECK(codec != nullptr) << "unregistered codec id";
+  FKD_CHECK_GT(block_bytes, 0u);
+  const size_t num_blocks = (data.size() + block_bytes - 1) / block_bytes;
+
+  FKD_ASSIGN_OR_RETURN(FileWriter out, FileWriter::Open(path));
+  std::string header;
+  AppendPod(&header, kFkdzMagic);
+  AppendPod(&header, kFkdzVersion);
+  AppendPod(&header, static_cast<uint32_t>(codec_id));
+  AppendPod(&header, static_cast<uint32_t>(block_bytes));
+  AppendPod(&header, static_cast<uint64_t>(data.size()));
+  AppendPod(&header, static_cast<uint32_t>(num_blocks));
+  FKD_RETURN_NOT_OK(out.Append(header));
+
+  std::string compressed;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t offset = b * block_bytes;
+    const size_t raw_len =
+        (data.size() - offset) < block_bytes ? (data.size() - offset)
+                                             : block_bytes;
+    const std::string_view raw = data.substr(offset, raw_len);
+    compressed.clear();
+    codec->Compress(raw, &compressed);
+    // Incompressible block (random floats, already-compressed text): store
+    // it raw so the cold tier never inflates data.
+    const bool use_compressed = compressed.size() < raw.size();
+    const std::string_view stored =
+        use_compressed ? std::string_view(compressed) : raw;
+
+    std::string block_header;
+    AppendPod(&block_header, static_cast<uint32_t>(raw_len));
+    AppendPod(&block_header, static_cast<uint32_t>(stored.size()));
+    AppendPod(&block_header,
+              static_cast<uint8_t>(use_compressed ? kBlockCompressed : 0));
+    AppendPod(&block_header, Crc32c(stored));
+    FKD_RETURN_NOT_OK(out.Append(block_header));
+    FKD_RETURN_NOT_OK(out.Append(stored));
+  }
+  return out.Close();
+}
+
+Result<std::string> ReadCompressedFile(const std::string& path) {
+  FKD_ASSIGN_OR_RETURN(const std::string bytes, ReadFileToString(path));
+  size_t pos = 0;
+  uint32_t magic = 0, version = 0, codec_raw = 0, block_bytes = 0;
+  uint64_t raw_size = 0;
+  uint32_t num_blocks = 0;
+  if (!ReadPod(bytes, &pos, &magic) || magic != kFkdzMagic) {
+    return Status::Corruption("bad FKDZ magic in " + path);
+  }
+  if (!ReadPod(bytes, &pos, &version) || version != kFkdzVersion) {
+    return Status::Corruption(
+        StrFormat("unsupported FKDZ version %u in %s", version, path.c_str()));
+  }
+  if (!ReadPod(bytes, &pos, &codec_raw) || !ReadPod(bytes, &pos, &block_bytes) ||
+      !ReadPod(bytes, &pos, &raw_size) || !ReadPod(bytes, &pos, &num_blocks)) {
+    return Status::Corruption("truncated FKDZ header in " + path);
+  }
+  const BlockCodec* codec =
+      GetBlockCodec(static_cast<BlockCodecId>(codec_raw));
+  if (codec == nullptr) {
+    return Status::Corruption(
+        StrFormat("unknown FKDZ codec id %u in %s", codec_raw, path.c_str()));
+  }
+  if (block_bytes == 0) {
+    return Status::Corruption("FKDZ block size 0 in " + path);
+  }
+  const uint64_t expected_blocks =
+      (raw_size + block_bytes - 1) / block_bytes;
+  if (num_blocks != expected_blocks) {
+    return Status::Corruption(
+        StrFormat("FKDZ block count %u does not cover %llu bytes in %s",
+                  num_blocks, static_cast<unsigned long long>(raw_size),
+                  path.c_str()));
+  }
+
+  std::string out;
+  out.reserve(raw_size);
+  for (uint32_t b = 0; b < num_blocks; ++b) {
+    uint32_t raw_len = 0, stored_len = 0, crc = 0;
+    uint8_t flags = 0;
+    if (!ReadPod(bytes, &pos, &raw_len) || !ReadPod(bytes, &pos, &stored_len) ||
+        !ReadPod(bytes, &pos, &flags) || !ReadPod(bytes, &pos, &crc)) {
+      return Status::Corruption(
+          StrFormat("truncated FKDZ block %u header in %s", b, path.c_str()));
+    }
+    // The CRC covers the stored bytes, not this header byte — reject any
+    // undefined flag bit instead of silently decoding around it.
+    if (flags & ~kBlockCompressed) {
+      return Status::Corruption(
+          StrFormat("FKDZ block %u has unknown flags 0x%02x in %s", b, flags,
+                    path.c_str()));
+    }
+    if (pos + stored_len > bytes.size()) {
+      return Status::Corruption(
+          StrFormat("truncated FKDZ block %u payload in %s", b, path.c_str()));
+    }
+    const std::string_view stored(bytes.data() + pos, stored_len);
+    pos += stored_len;
+    // The per-block CRC gate: a flipped byte is detected here, before any
+    // codec parses the block.
+    if (Crc32c(stored) != crc) {
+      return Status::Corruption(
+          StrFormat("FKDZ block %u CRC mismatch in %s", b, path.c_str()));
+    }
+    if (flags & kBlockCompressed) {
+      FKD_RETURN_NOT_OK(codec->Decompress(stored, raw_len, &out));
+    } else {
+      if (stored_len != raw_len) {
+        return Status::Corruption(
+            StrFormat("FKDZ stored block %u length mismatch in %s", b,
+                      path.c_str()));
+      }
+      out.append(stored);
+    }
+  }
+  if (pos != bytes.size()) {
+    return Status::Corruption("trailing bytes after last FKDZ block in " +
+                              path);
+  }
+  if (out.size() != raw_size) {
+    return Status::Corruption(
+        StrFormat("FKDZ decoded %zu bytes, header declared %llu in %s",
+                  out.size(), static_cast<unsigned long long>(raw_size),
+                  path.c_str()));
+  }
+  return out;
+}
+
+}  // namespace fkd

@@ -1,0 +1,85 @@
+#ifndef FKD_COMMON_BLOCK_CODEC_H_
+#define FKD_COMMON_BLOCK_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace fkd {
+
+/// Identifies a block-compression codec in the FKDZ container. Values are
+/// persisted on disk; append only.
+enum class BlockCodecId : uint32_t {
+  kRaw = 0,  ///< Identity (stored) — framing + CRC without compression.
+  kLz = 1,   ///< LZ-style byte codec (greedy hash-chain LZSS).
+};
+
+/// Lossless byte-block compressor behind the cold storage tier.
+///
+/// Implementations must be deterministic (same input bytes → same output
+/// bytes on every run and platform: compressed artifacts are covered by
+/// manifest CRCs) and must never read outside the given input span.
+/// Decompress validates every token against the output bounds and fails
+/// with Corruption instead of over-reading — the compressed tier treats
+/// its input as hostile, exactly like the wire decoder does.
+class BlockCodec {
+ public:
+  virtual ~BlockCodec() = default;
+
+  virtual BlockCodecId id() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Compresses `input` appending to `*out` (not cleared). The result may
+  /// be larger than the input for incompressible data; the FKDZ framing
+  /// stores such blocks raw instead.
+  virtual void Compress(std::string_view input, std::string* out) const = 0;
+
+  /// Reverses Compress. `expected_size` is the exact decoded size recorded
+  /// by the framing; any mismatch, bad token, or out-of-window reference is
+  /// Corruption. Appends to `*out`.
+  virtual Status Decompress(std::string_view input, size_t expected_size,
+                            std::string* out) const = 0;
+};
+
+/// Codec registry keyed by the persisted id. Returns nullptr for unknown
+/// ids (loader turns that into Corruption, naming the id).
+const BlockCodec* GetBlockCodec(BlockCodecId id);
+
+/// Parses a codec name ("raw", "lz") as written into snapshot configs.
+Result<BlockCodecId> BlockCodecIdFromName(const std::string& name);
+
+/// ---- FKDZ container ---------------------------------------------------
+///
+/// A compressed file is a sequence of independently-checksummed blocks:
+///
+///   magic "FKDZ" | version u32 | codec u32 | block_size u32
+///   raw_size u64 | num_blocks u32
+///   per block: raw_len u32 | stored_len u32 | flags u8 | crc32c u32 | bytes
+///
+/// `flags` bit 0 set means the block is codec-compressed; clear means it is
+/// stored raw (the codec expanded it). The CRC-32C covers the block's
+/// stored bytes, so a byte flip is caught before the codec ever parses the
+/// block — corruption is detected per block, not discovered as a garbled
+/// decode. Written through the durable fault-injectable FileWriter, so
+/// ENOSPC/torn-write/crash tests cover the cold tier like every other
+/// artifact.
+
+/// Default block granularity (64 KiB): big enough to amortise per-block
+/// headers, small enough that corruption is localised per block.
+inline constexpr size_t kDefaultBlockBytes = 64 * 1024;
+
+/// Compresses `data` into `path` as an FKDZ container.
+Status WriteCompressedFile(const std::string& path, std::string_view data,
+                           BlockCodecId codec,
+                           size_t block_bytes = kDefaultBlockBytes);
+
+/// Reads back a full FKDZ container, verifying the header, every block's
+/// CRC-32C, and the total decoded size. Corruption on any mismatch.
+Result<std::string> ReadCompressedFile(const std::string& path);
+
+}  // namespace fkd
+
+#endif  // FKD_COMMON_BLOCK_CODEC_H_

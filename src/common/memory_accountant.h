@@ -1,0 +1,79 @@
+#ifndef FKD_COMMON_MEMORY_ACCOUNTANT_H_
+#define FKD_COMMON_MEMORY_ACCOUNTANT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace fkd {
+
+/// Byte-level residency ledger behind a hard memory budget.
+///
+/// Tracks the bytes charged per key (a model version, a corpus shard) and
+/// answers the one question a budget-enforcing cache hierarchy asks on
+/// every admit: "who must be evicted for this charge to fit?". The
+/// accountant itself never evicts — it is pure bookkeeping; the owning
+/// store drives demotion until `OverBudget()` clears (or only undemotable
+/// entries remain) and keeps the invariant `total() <= budget()` observable
+/// through its metrics.
+///
+/// Not internally synchronised: the owner serialises access under its own
+/// mutex (the model store charges/releases while holding the registry
+/// lock).
+class MemoryAccountant {
+ public:
+  /// `budget_bytes` == 0 means unlimited (never over budget).
+  explicit MemoryAccountant(size_t budget_bytes = 0)
+      : budget_bytes_(budget_bytes) {}
+
+  /// Charges `bytes` against `key`, replacing any previous charge for the
+  /// same key (an entry is re-charged when its resident form changes).
+  void Charge(uint64_t key, size_t bytes) {
+    auto it = charges_.find(key);
+    if (it != charges_.end()) {
+      total_ -= it->second;
+      it->second = bytes;
+    } else {
+      charges_.emplace(key, bytes);
+    }
+    total_ += bytes;
+  }
+
+  /// Drops the charge for `key` (no-op when absent). Returns the bytes
+  /// released.
+  size_t Release(uint64_t key) {
+    auto it = charges_.find(key);
+    if (it == charges_.end()) return 0;
+    const size_t bytes = it->second;
+    total_ -= bytes;
+    charges_.erase(it);
+    return bytes;
+  }
+
+  /// Bytes currently charged for `key` (0 when absent).
+  size_t ChargeOf(uint64_t key) const {
+    auto it = charges_.find(key);
+    return it == charges_.end() ? 0 : it->second;
+  }
+
+  size_t total() const { return total_; }
+  size_t budget() const { return budget_bytes_; }
+  bool unlimited() const { return budget_bytes_ == 0; }
+  bool OverBudget() const {
+    return budget_bytes_ != 0 && total_ > budget_bytes_;
+  }
+  /// Bytes that must be released for the ledger to fit the budget.
+  size_t Excess() const {
+    return OverBudget() ? total_ - budget_bytes_ : 0;
+  }
+  size_t entries() const { return charges_.size(); }
+
+ private:
+  size_t budget_bytes_;
+  size_t total_ = 0;
+  std::unordered_map<uint64_t, size_t> charges_;
+};
+
+}  // namespace fkd
+
+#endif  // FKD_COMMON_MEMORY_ACCOUNTANT_H_

@@ -1,0 +1,83 @@
+#include "common/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace fkd {
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr && size_ > 0) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      mapped_(other.mapped_),
+      path_(std::move(other.path_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr && size_ > 0) {
+      ::munmap(const_cast<uint8_t*>(data_), size_);
+    }
+    data_ = other.data_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    path_ = std::move(other.path_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError(StrFormat("cannot open %s for mapping: %s",
+                                     path.c_str(), std::strerror(errno)));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(StrFormat("cannot stat %s: %s", path.c_str(),
+                                     std::strerror(err)));
+  }
+  MappedFile file;
+  file.path_ = path;
+  file.size_ = static_cast<size_t>(st.st_size);
+  file.mapped_ = true;
+  if (file.size_ > 0) {
+    void* addr =
+        ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError(StrFormat("cannot mmap %s (%zu bytes): %s",
+                                       path.c_str(), file.size_,
+                                       std::strerror(err)));
+    }
+    file.data_ = static_cast<const uint8_t*>(addr);
+  }
+  // The mapping keeps its own reference to the file; the descriptor is not
+  // needed once mmap returned.
+  ::close(fd);
+  return file;
+}
+
+}  // namespace fkd

@@ -1,0 +1,203 @@
+#include "nn/quantize.h"
+
+#include <cmath>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+
+namespace fkd {
+namespace nn {
+
+const char* TensorCodecName(TensorCodec codec) {
+  switch (codec) {
+    case TensorCodec::kFp32:
+      return "fp32";
+    case TensorCodec::kFp16:
+      return "fp16";
+    case TensorCodec::kInt8:
+      return "int8";
+  }
+  return "unknown";
+}
+
+bool TensorCodecFromName(const std::string& name, TensorCodec* out) {
+  if (name == "fp32") {
+    *out = TensorCodec::kFp32;
+  } else if (name == "fp16") {
+    *out = TensorCodec::kFp16;
+  } else if (name == "int8") {
+    *out = TensorCodec::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+size_t TensorCodecBytesPerElement(TensorCodec codec) {
+  switch (codec) {
+    case TensorCodec::kFp32:
+      return 4;
+    case TensorCodec::kFp16:
+      return 2;
+    case TensorCodec::kInt8:
+      return 1;
+  }
+  return 4;
+}
+
+// ---- fp16 --------------------------------------------------------------
+
+uint16_t Fp16FromFloat(float value) {
+  uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  const uint32_t sign = (bits >> 16) & 0x8000u;
+  const uint32_t exponent = (bits >> 23) & 0xffu;
+  const uint32_t mantissa = bits & 0x7fffffu;
+
+  if (exponent == 0xffu) {
+    // Inf / NaN. A NaN keeps a non-zero mantissa (quiet bit forced so the
+    // payload truncation cannot silently produce an infinity).
+    if (mantissa == 0) return static_cast<uint16_t>(sign | 0x7c00u);
+    return static_cast<uint16_t>(sign | 0x7c00u | 0x200u | (mantissa >> 13));
+  }
+
+  const int half_exponent = static_cast<int>(exponent) - 127 + 15;
+  if (half_exponent >= 0x1f) {
+    // Overflow: rounds to infinity.
+    return static_cast<uint16_t>(sign | 0x7c00u);
+  }
+  if (half_exponent <= 0) {
+    // Subnormal half (or underflow to zero). Below half the smallest
+    // subnormal everything rounds to zero.
+    if (half_exponent < -10) return static_cast<uint16_t>(sign);
+    const uint32_t full = mantissa | 0x800000u;  // implicit leading 1
+    const uint32_t shift = static_cast<uint32_t>(14 - half_exponent);
+    uint32_t half_mantissa = full >> shift;
+    const uint32_t remainder = full & ((1u << shift) - 1u);
+    const uint32_t halfway = 1u << (shift - 1u);
+    // Round to nearest, ties to even.
+    if (remainder > halfway ||
+        (remainder == halfway && (half_mantissa & 1u))) {
+      ++half_mantissa;  // may carry into the exponent — still correct
+    }
+    return static_cast<uint16_t>(sign | half_mantissa);
+  }
+
+  uint32_t half = sign | (static_cast<uint32_t>(half_exponent) << 10) |
+                  (mantissa >> 13);
+  const uint32_t remainder = mantissa & 0x1fffu;
+  if (remainder > 0x1000u || (remainder == 0x1000u && (half & 1u))) {
+    // Mantissa carry may roll into the exponent; 65520 rounds to +inf this
+    // way, which is the IEEE-correct result.
+    ++half;
+  }
+  return static_cast<uint16_t>(half);
+}
+
+float Fp16ToFloat(uint16_t half) {
+  const uint32_t sign = static_cast<uint32_t>(half & 0x8000u) << 16;
+  const uint32_t exponent = (half >> 10) & 0x1fu;
+  uint32_t mantissa = half & 0x3ffu;
+  uint32_t bits;
+  if (exponent == 0) {
+    if (mantissa == 0) {
+      bits = sign;  // signed zero
+    } else {
+      // Subnormal half: normalise into a float with an explicit exponent.
+      uint32_t shift = 0;
+      while (!(mantissa & 0x400u)) {
+        mantissa <<= 1;
+        ++shift;
+      }
+      mantissa &= 0x3ffu;
+      const uint32_t float_exponent = 127 - 15 - shift + 1;
+      bits = sign | (float_exponent << 23) | (mantissa << 13);
+    }
+  } else if (exponent == 0x1fu) {
+    bits = sign | 0x7f800000u | (mantissa << 13);  // inf / NaN
+  } else {
+    bits = sign | ((exponent - 15 + 127) << 23) | (mantissa << 13);
+  }
+  float value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+// ---- int8 --------------------------------------------------------------
+
+Int8Params ChooseInt8Params(const float* values, size_t count) {
+  Int8Params params;
+  if (count == 0) return params;
+  float min = values[0];
+  float max = values[0];
+  for (size_t i = 1; i < count; ++i) {
+    if (values[i] < min) min = values[i];
+    if (values[i] > max) max = values[i];
+  }
+  params.offset = static_cast<double>(min);
+  // Double arithmetic: a FLT_MAX-wide range would overflow a float here.
+  params.scale =
+      (static_cast<double>(max) - static_cast<double>(min)) / 255.0;
+  return params;
+}
+
+void QuantizeInt8(const float* values, size_t count, const Int8Params& params,
+                  int8_t* out) {
+  if (params.scale == 0.0) {
+    // Constant tensor: every element is grid point -128 == offset.
+    for (size_t i = 0; i < count; ++i) out[i] = -128;
+    return;
+  }
+  const double inv_scale = 1.0 / params.scale;
+  for (size_t i = 0; i < count; ++i) {
+    const double steps =
+        (static_cast<double>(values[i]) - params.offset) * inv_scale;
+    long q = std::lround(steps) - 128;
+    if (q < -128) q = -128;
+    if (q > 127) q = 127;
+    out[i] = static_cast<int8_t>(q);
+  }
+}
+
+void DequantizeInt8(const int8_t* quantized, size_t count,
+                    const Int8Params& params, float* out) {
+  // THE dequant path: every int8 load in the library funnels through this
+  // loop. Elements are independent (no accumulation order to vary), the
+  // arithmetic is double then one narrowing per element, so the output is
+  // a pure function of (stored bytes, params) — bitwise reproducible
+  // across runs, platforms with IEEE doubles, and any thread count.
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = static_cast<float>(
+        params.scale * (static_cast<double>(quantized[i]) + 128.0) +
+        params.offset);
+  }
+}
+
+// ---- tensor-level helpers ----------------------------------------------
+
+Tensor RoundTripThroughCodec(const Tensor& tensor, TensorCodec codec) {
+  Tensor out = tensor;
+  switch (codec) {
+    case TensorCodec::kFp32:
+      break;
+    case TensorCodec::kFp16: {
+      float* data = out.data();
+      for (size_t i = 0; i < out.size(); ++i) {
+        data[i] = Fp16ToFloat(Fp16FromFloat(data[i]));
+      }
+      break;
+    }
+    case TensorCodec::kInt8: {
+      const Int8Params params = ChooseInt8Params(tensor.data(), tensor.size());
+      std::vector<int8_t> quantized(tensor.size());
+      QuantizeInt8(tensor.data(), tensor.size(), params, quantized.data());
+      DequantizeInt8(quantized.data(), quantized.size(), params, out.data());
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace nn
+}  // namespace fkd

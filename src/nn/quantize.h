@@ -1,0 +1,88 @@
+#ifndef FKD_NN_QUANTIZE_H_
+#define FKD_NN_QUANTIZE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fkd {
+namespace nn {
+
+/// Weight encodings of the FKDW container. Values are persisted on disk
+/// (FKDW v2 record dtype byte); append only.
+enum class TensorCodec : uint8_t {
+  kFp32 = 0,  ///< Verbatim float32 — the lossless default.
+  kFp16 = 1,  ///< IEEE 754 binary16, round-to-nearest-even.
+  kInt8 = 2,  ///< Per-tensor affine int8 (scale/zero-point).
+};
+
+/// Parses/prints the codec names used in snapshot configs and tools
+/// ("fp32", "fp16", "int8").
+const char* TensorCodecName(TensorCodec codec);
+bool TensorCodecFromName(const std::string& name, TensorCodec* out);
+
+// ---- fp16 --------------------------------------------------------------
+//
+// Scalar IEEE binary16 conversion with round-to-nearest-even, handling
+// zero/denormal/infinity/NaN. Both directions are pure bit manipulation:
+// no tables, no platform intrinsics, so encode and decode are bitwise
+// deterministic everywhere. fp16 → fp32 is exact (every half value is
+// representable as a float), which is why dequantised fp16 weights are a
+// deterministic function of the stored bits alone.
+
+uint16_t Fp16FromFloat(float value);
+float Fp16ToFloat(uint16_t half);
+
+// ---- int8 --------------------------------------------------------------
+//
+// Per-tensor affine quantisation. The stored parameters are the real-axis
+// affine map of the int8 grid:
+//
+//   dequant(q) = float( scale * (q + 128) + offset )
+//
+// with q in [-128, 127], offset = min(tensor) and scale = range / 255
+// (computed in double so FLT_MAX-wide ranges cannot overflow). This is the
+// classic scale/zero-point form with the zero point expressed on the real
+// axis; a constant tensor degenerates to scale == 0 and every element
+// dequantises to exactly `offset`.
+//
+// Quantisation rounds to nearest (ties away from zero via std::lround);
+// the max-abs reconstruction error is bounded by scale/2 plus one float
+// rounding (≤ half an ulp of the reconstructed value). Dequantisation is
+// a pure element-wise map evaluated in double then narrowed once — the
+// single deterministic path every load takes, independent of thread count.
+
+struct Int8Params {
+  double scale = 0.0;   ///< Grid step on the real axis (0 = constant tensor).
+  double offset = 0.0;  ///< Real value of grid point q == -128.
+};
+
+/// Chooses the affine grid covering [min, max] of `values`.
+Int8Params ChooseInt8Params(const float* values, size_t count);
+
+/// Quantises `count` floats onto the grid. Deterministic; elements are
+/// independent (no accumulation), so the result is identical at any
+/// thread count by construction.
+void QuantizeInt8(const float* values, size_t count, const Int8Params& params,
+                  int8_t* out);
+
+/// Reverses QuantizeInt8 through the one deterministic dequant path.
+void DequantizeInt8(const int8_t* quantized, size_t count,
+                    const Int8Params& params, float* out);
+
+// ---- tensor-level helpers (tests, benches) -----------------------------
+
+/// Round-trips `tensor` through the given lossy codec (kFp32 returns a
+/// copy). This is exactly what an export-then-load of the codec produces.
+Tensor RoundTripThroughCodec(const Tensor& tensor, TensorCodec codec);
+
+/// Encoded payload bytes per element of a codec (4, 2, 1).
+size_t TensorCodecBytesPerElement(TensorCodec codec);
+
+}  // namespace nn
+}  // namespace fkd
+
+#endif  // FKD_NN_QUANTIZE_H_

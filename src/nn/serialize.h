@@ -7,6 +7,7 @@
 
 #include "common/status.h"
 #include "nn/module.h"
+#include "nn/quantize.h"
 
 namespace fkd {
 namespace nn {
@@ -28,10 +29,44 @@ Status SaveTensors(
     const std::vector<std::pair<std::string, const Tensor*>>& tensors,
     const std::string& path);
 
+/// SaveTensors with an explicit weight encoding. kFp32 delegates to the
+/// v1 writer (byte-identical to SaveTensors, preserving the checkpoint
+/// bitwise contract); kFp16/kInt8 write FKDW v2 records carrying a dtype
+/// byte and the encoded payload (int8 records embed their double
+/// scale/offset). Encoding is element-independent and therefore identical
+/// at any thread count.
+Status SaveTensorsEncoded(
+    const std::vector<std::pair<std::string, const Tensor*>>& tensors,
+    const std::string& path, TensorCodec codec);
+
+/// SaveParameters with an explicit weight encoding (see SaveTensorsEncoded).
+Status SaveParametersEncoded(const Module& module, const std::string& path,
+                             TensorCodec codec);
+
 /// Reads back every record of an FKDW file in file order, shapes taken
-/// from the file itself. Corruption on any malformed or truncated record.
+/// from the file itself. Accepts v1 (fp32) and v2 (dtype-tagged) files;
+/// quantized records are dequantised through the single deterministic
+/// fp16/int8 decode path, so the returned tensors are always fp32 and a
+/// pure function of the file bytes. The file is memory-mapped, not
+/// buffered — demoted-tier loads parse straight from the page cache.
+/// Corruption on any malformed or truncated record.
 Result<std::vector<std::pair<std::string, Tensor>>> LoadTensors(
     const std::string& path);
+
+/// LoadTensors from an in-memory FKDW image (a mapped file, a decompressed
+/// cold-tier block). `origin` labels error messages.
+Result<std::vector<std::pair<std::string, Tensor>>> DecodeTensors(
+    const void* data, size_t size, const std::string& origin);
+
+/// Builds in memory exactly the bytes SaveTensorsEncoded would write —
+/// the input the compressed cold tier wraps into an FKDZ container.
+std::string EncodeTensorsImage(
+    const std::vector<std::pair<std::string, const Tensor*>>& tensors,
+    TensorCodec codec);
+
+/// LoadParameters from an in-memory FKDW image (same matching rules).
+Status LoadParametersFromImage(Module* module, const void* data, size_t size,
+                               const std::string& origin);
 
 }  // namespace nn
 }  // namespace fkd

@@ -40,6 +40,8 @@ enum class FlightEventType : uint32_t {
   kSwapEnd = 43,         ///< b = new active version
   kCanaryStart = 44,     ///< b = permille
   kCanaryStop = 45,      ///< b = 1 if promoted
+  kModelDemote = 46,     ///< b = bytes released to the disk tier
+  kModelPromote = 47,    ///< b = bytes re-charged on promotion
   // Faults (a = site hash, b = action).
   kFault = 60,
   // Network front end (src/net).

@@ -26,6 +26,16 @@ constexpr const char* kLabelsFile = "labels.txt";
 constexpr const char* kWeightsFile = "weights.fkdw";
 constexpr const char* kStatesFile = "states.fkdw";
 
+/// Cold-tier artifacts (states + vocabularies) gain this suffix when the
+/// snapshot is exported with a compressing cold codec.
+constexpr const char* kCompressedSuffix = ".fkdz";
+
+std::string ColdFileName(const char* base, BlockCodecId cold_codec) {
+  std::string name = base;
+  if (cold_codec != BlockCodecId::kRaw) name += kCompressedSuffix;
+  return name;
+}
+
 /// The six vocabulary files, in the DiffusionModel constructor's order.
 const char* const kVocabularyFiles[] = {
     "article_words.tsv", "creator_words.tsv", "subject_words.tsv",
@@ -66,10 +76,13 @@ std::vector<std::string> ClassNames(eval::LabelGranularity granularity) {
 }
 
 Status WriteConfig(const Snapshot& snapshot, size_t num_creators,
-                   size_t num_subjects, const std::string& path) {
+                   size_t num_subjects, const SnapshotOptions& options,
+                   const std::string& path) {
   std::ostringstream out;
   const core::FakeDetectorConfig& c = snapshot.config;
   out << "format_version=" << kFormatVersion << '\n'
+      << "weights_codec=" << nn::TensorCodecName(options.weights_codec) << '\n'
+      << "cold_codec=" << GetBlockCodec(options.cold_codec)->name() << '\n'
       << "num_classes=" << snapshot.num_classes << '\n'
       << "granularity=" << GranularityName(snapshot.granularity) << '\n'
       << "hflu.embed_dim=" << c.hflu.embed_dim << '\n'
@@ -158,6 +171,12 @@ class ConfigReader {
     return Status::OK();
   }
 
+  /// Optional keys (codec hints absent from pre-quantization snapshots).
+  std::string GetOr(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
  private:
   std::string path_;
   std::map<std::string, std::string> values_;
@@ -200,12 +219,20 @@ Tensor Snapshot::Score(
                               creator_states, subject_states);
 }
 
-Status ExportSnapshot(const core::FakeDetector& detector,
-                      const std::string& directory) {
-  const core::DiffusionModel* model = detector.model();
-  if (model == nullptr) {
-    return Status::FailedPrecondition(
-        "ExportSnapshot needs a trained FakeDetector");
+namespace {
+
+/// Shared export body for both the trained-detector and loaded-snapshot
+/// fronts. `header` supplies config/classes/label names; the model and the
+/// frozen states are passed explicitly because the two fronts own them
+/// differently.
+Status ExportSnapshotImpl(const core::DiffusionModel& model,
+                          const Snapshot& header,
+                          const Tensor& creator_states,
+                          const Tensor& subject_states,
+                          const std::string& directory,
+                          const SnapshotOptions& options) {
+  if (GetBlockCodec(options.cold_codec) == nullptr) {
+    return Status::InvalidArgument("unregistered cold codec id");
   }
   // Crash-safe export: every file is written (and fsynced) into a staging
   // directory, the MANIFEST covering all of them goes last, and only then
@@ -218,18 +245,13 @@ Status ExportSnapshot(const core::FakeDetector& detector,
   FKD_ASSIGN_OR_RETURN(StagedDir staged, StagedDir::Create(directory));
   const std::filesystem::path dir(staged.path());
 
-  Snapshot header;
-  header.config = detector.config();
-  header.num_classes = model->num_classes();
-  header.granularity = detector.granularity();
-  FKD_RETURN_NOT_OK(WriteConfig(header,
-                                detector.frozen_creator_states().rows(),
-                                detector.frozen_subject_states().rows(),
+  FKD_RETURN_NOT_OK(WriteConfig(header, creator_states.rows(),
+                                subject_states.rows(), options,
                                 (dir / kConfigFile).string()));
 
   {
     std::string labels;
-    for (const auto& name : ClassNames(detector.granularity())) {
+    for (const auto& name : header.class_names) {
       labels += name;
       labels += '\n';
     }
@@ -237,31 +259,87 @@ Status ExportSnapshot(const core::FakeDetector& detector,
   }
 
   const text::Vocabulary* vocabularies[] = {
-      &model->article_hflu().word_set(),
-      &model->creator_hflu().word_set(),
-      &model->subject_hflu().word_set(),
-      &model->article_hflu().latent_vocabulary(),
-      &model->creator_hflu().latent_vocabulary(),
-      &model->subject_hflu().latent_vocabulary(),
+      &model.article_hflu().word_set(),
+      &model.creator_hflu().word_set(),
+      &model.subject_hflu().word_set(),
+      &model.article_hflu().latent_vocabulary(),
+      &model.creator_hflu().latent_vocabulary(),
+      &model.subject_hflu().latent_vocabulary(),
   };
   for (size_t i = 0; i < std::size(kVocabularyFiles); ++i) {
-    FKD_RETURN_NOT_OK(
-        vocabularies[i]->Save((dir / kVocabularyFiles[i]).string()));
+    const std::string name = ColdFileName(kVocabularyFiles[i],
+                                          options.cold_codec);
+    if (options.cold_codec == BlockCodecId::kRaw) {
+      FKD_RETURN_NOT_OK(vocabularies[i]->Save((dir / name).string()));
+    } else {
+      FKD_RETURN_NOT_OK(WriteCompressedFile(
+          (dir / name).string(), vocabularies[i]->SerializeToString(),
+          options.cold_codec));
+    }
   }
 
-  FKD_RETURN_NOT_OK(
-      nn::SaveParameters(*model, (dir / kWeightsFile).string()));
-  const FrozenStates states(detector.frozen_creator_states(),
-                            detector.frozen_subject_states());
-  FKD_RETURN_NOT_OK(
-      nn::SaveParameters(states, (dir / kStatesFile).string()));
+  FKD_RETURN_NOT_OK(nn::SaveParametersEncoded(
+      model, (dir / kWeightsFile).string(), options.weights_codec));
+
+  const std::vector<std::pair<std::string, const Tensor*>> state_tensors = {
+      {"creator_states", &creator_states},
+      {"subject_states", &subject_states},
+  };
+  const std::string states_name = ColdFileName(kStatesFile,
+                                               options.cold_codec);
+  if (options.cold_codec == BlockCodecId::kRaw) {
+    FKD_RETURN_NOT_OK(nn::SaveTensorsEncoded(
+        state_tensors, (dir / states_name).string(), options.weights_codec));
+  } else {
+    FKD_RETURN_NOT_OK(WriteCompressedFile(
+        (dir / states_name).string(),
+        nn::EncodeTensorsImage(state_tensors, options.weights_codec),
+        options.cold_codec));
+  }
 
   std::vector<std::string> files = {kConfigFile, kLabelsFile, kWeightsFile,
-                                    kStatesFile};
-  files.insert(files.end(), std::begin(kVocabularyFiles),
-               std::end(kVocabularyFiles));
+                                    states_name};
+  for (const char* file : kVocabularyFiles) {
+    files.push_back(ColdFileName(file, options.cold_codec));
+  }
   FKD_RETURN_NOT_OK(WriteManifest(staged.path(), files));
   return staged.Commit();
+}
+
+}  // namespace
+
+Status ExportSnapshot(const core::FakeDetector& detector,
+                      const std::string& directory) {
+  return ExportSnapshot(detector, directory, SnapshotOptions());
+}
+
+Status ExportSnapshot(const core::FakeDetector& detector,
+                      const std::string& directory,
+                      const SnapshotOptions& options) {
+  const core::DiffusionModel* model = detector.model();
+  if (model == nullptr) {
+    return Status::FailedPrecondition(
+        "ExportSnapshot needs a trained FakeDetector");
+  }
+  Snapshot header;
+  header.config = detector.config();
+  header.num_classes = model->num_classes();
+  header.granularity = detector.granularity();
+  header.class_names = ClassNames(detector.granularity());
+  return ExportSnapshotImpl(*model, header, detector.frozen_creator_states(),
+                            detector.frozen_subject_states(), directory,
+                            options);
+}
+
+Status ExportSnapshot(const Snapshot& snapshot, const std::string& directory,
+                      const SnapshotOptions& options) {
+  if (snapshot.model == nullptr) {
+    return Status::FailedPrecondition(
+        "ExportSnapshot needs a loaded Snapshot");
+  }
+  return ExportSnapshotImpl(*snapshot.model, snapshot,
+                            snapshot.creator_states, snapshot.subject_states,
+                            directory, options);
 }
 
 Result<Snapshot> LoadSnapshot(const std::string& directory) {
@@ -292,6 +370,17 @@ Result<Snapshot> LoadSnapshot(const std::string& directory) {
     return Status::Corruption(
         StrFormat("unsupported snapshot format_version %zu", format_version));
   }
+
+  // Codec hints default to the legacy encodings when absent (snapshots
+  // exported before quantization landed carry neither key).
+  nn::TensorCodec weights_codec = nn::TensorCodec::kFp32;
+  if (!nn::TensorCodecFromName(reader.GetOr("weights_codec", "fp32"),
+                               &weights_codec)) {
+    return Status::Corruption("bad weights_codec in " + directory);
+  }
+  (void)weights_codec;  // recorded per record in FKDW v2; config is a hint
+  FKD_ASSIGN_OR_RETURN(const BlockCodecId cold_codec,
+                       BlockCodecIdFromName(reader.GetOr("cold_codec", "raw")));
 
   Snapshot snapshot;
   core::FakeDetectorConfig& c = snapshot.config;
@@ -356,9 +445,17 @@ Result<Snapshot> LoadSnapshot(const std::string& directory) {
 
   std::vector<text::Vocabulary> vocabularies;
   for (const char* file : kVocabularyFiles) {
-    FKD_ASSIGN_OR_RETURN(text::Vocabulary vocabulary,
-                         text::Vocabulary::Load((dir / file).string()));
-    vocabularies.push_back(std::move(vocabulary));
+    const std::string path = (dir / ColdFileName(file, cold_codec)).string();
+    if (cold_codec == BlockCodecId::kRaw) {
+      FKD_ASSIGN_OR_RETURN(text::Vocabulary vocabulary,
+                           text::Vocabulary::Load(path));
+      vocabularies.push_back(std::move(vocabulary));
+    } else {
+      FKD_ASSIGN_OR_RETURN(const std::string bytes, ReadCompressedFile(path));
+      FKD_ASSIGN_OR_RETURN(text::Vocabulary vocabulary,
+                           text::Vocabulary::Parse(bytes, path));
+      vocabularies.push_back(std::move(vocabulary));
+    }
   }
 
   // The initialiser RNG is irrelevant: every parameter is overwritten from
@@ -374,11 +471,50 @@ Result<Snapshot> LoadSnapshot(const std::string& directory) {
 
   FrozenStates states(Tensor(num_creators, c.gdu_hidden),
                       Tensor(num_subjects, c.gdu_hidden));
-  FKD_RETURN_NOT_OK(
-      nn::LoadParameters(&states, (dir / kStatesFile).string()));
+  const std::string states_path =
+      (dir / ColdFileName(kStatesFile, cold_codec)).string();
+  if (cold_codec == BlockCodecId::kRaw) {
+    FKD_RETURN_NOT_OK(nn::LoadParameters(&states, states_path));
+  } else {
+    FKD_ASSIGN_OR_RETURN(const std::string bytes,
+                         ReadCompressedFile(states_path));
+    FKD_RETURN_NOT_OK(nn::LoadParametersFromImage(&states, bytes.data(),
+                                                  bytes.size(), states_path));
+  }
   snapshot.creator_states = states.creators.value();
   snapshot.subject_states = states.subjects.value();
   return snapshot;
+}
+
+size_t Snapshot::ResidentBytes() const {
+  // Fixed per-entry model for the hash-map + string + id bookkeeping a
+  // vocabulary entry costs; exact token payloads on top. Constant by
+  // content so re-charges after a promote/demote cycle are identical.
+  constexpr size_t kVocabularyEntryOverhead = 64;
+  size_t bytes = (creator_states.size() + subject_states.size()) *
+                 sizeof(float);
+  for (const auto& name : class_names) bytes += name.size() + sizeof(name);
+  if (model != nullptr) {
+    std::vector<nn::NamedParameter> params;
+    model->CollectParameters("", &params);
+    for (const auto& p : params) {
+      bytes += p.variable.value().size() * sizeof(float);
+    }
+    const text::Vocabulary* vocabularies[] = {
+        &model->article_hflu().word_set(),
+        &model->creator_hflu().word_set(),
+        &model->subject_hflu().word_set(),
+        &model->article_hflu().latent_vocabulary(),
+        &model->creator_hflu().latent_vocabulary(),
+        &model->subject_hflu().latent_vocabulary(),
+    };
+    for (const text::Vocabulary* vocabulary : vocabularies) {
+      for (const auto& token : vocabulary->tokens()) {
+        bytes += token.size() + kVocabularyEntryOverhead;
+      }
+    }
+  }
+  return bytes;
 }
 
 }  // namespace serve

@@ -5,10 +5,12 @@
 #include <string>
 #include <vector>
 
+#include "common/block_codec.h"
 #include "common/status.h"
 #include "core/diffusion_model.h"
 #include "core/fake_detector.h"
 #include "eval/classifier.h"
+#include "nn/quantize.h"
 #include "tensor/tensor.h"
 
 namespace fkd {
@@ -50,6 +52,23 @@ struct Snapshot {
   Tensor Score(const std::vector<std::string>& texts,
                const std::vector<int32_t>& creator_ids,
                const std::vector<std::vector<int32_t>>& subject_ids) const;
+
+  /// Deterministic estimate of this snapshot's heap footprint once loaded:
+  /// parameter and state tensors exactly, vocabularies and label names by
+  /// a fixed per-entry model. The memory accountant charges this value, so
+  /// it must be a pure function of the snapshot's content.
+  size_t ResidentBytes() const;
+};
+
+/// Knobs of an export. The defaults reproduce the legacy layout exactly
+/// (fp32 FKDW v1 weights, plain-text cold artifacts).
+struct SnapshotOptions {
+  /// Encoding of weights.fkdw AND states: kFp16/kInt8 write FKDW v2
+  /// records dequantised on load through one deterministic path.
+  nn::TensorCodec weights_codec = nn::TensorCodec::kFp32;
+  /// kRaw keeps the frozen states and vocab TSVs as plain files; any other
+  /// codec wraps them into per-block-CRC'd FKDZ containers (*.fkdz).
+  BlockCodecId cold_codec = BlockCodecId::kRaw;
 };
 
 /// Freezes a trained detector into `directory`: architecture config +
@@ -63,6 +82,21 @@ struct Snapshot {
 /// was not trained.
 Status ExportSnapshot(const core::FakeDetector& detector,
                       const std::string& directory);
+
+/// ExportSnapshot with explicit weight/cold-tier encodings. config.txt
+/// records both codecs so LoadSnapshot routes each artifact through the
+/// matching decoder; the MANIFEST covers the encoded artifacts, so
+/// corruption of a quantized or compressed file fails the same loud way.
+Status ExportSnapshot(const core::FakeDetector& detector,
+                      const std::string& directory,
+                      const SnapshotOptions& options);
+
+/// Re-exports an already-loaded snapshot — the spill path of the model
+/// store's on-disk tier (there is no FakeDetector to export from once only
+/// the servable form is resident). Lossless for fp32 weights: a
+/// LoadSnapshot of the result is bit-identical to `snapshot`.
+Status ExportSnapshot(const Snapshot& snapshot, const std::string& directory,
+                      const SnapshotOptions& options);
 
 /// Rebuilds a servable model from an ExportSnapshot directory. The
 /// MANIFEST is verified (existence, size, CRC-32C of every artifact)

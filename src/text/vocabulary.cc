@@ -87,10 +87,7 @@ std::vector<int32_t> Vocabulary::EncodePadded(
   return ids;
 }
 
-Status Vocabulary::Save(const std::string& path) const {
-  // Built in memory, then one durable write through the fault-injectable
-  // shim: a vocabulary is one logical artifact, so it lands wholly or not
-  // at all (modulo the torn-write fault tests rely on).
+std::string Vocabulary::SerializeToString() const {
   std::string body;
   for (size_t id = 0; id < tokens_.size(); ++id) {
     body += tokens_[id];
@@ -98,33 +95,49 @@ Status Vocabulary::Save(const std::string& path) const {
     body += std::to_string(frequencies_[id]);
     body += '\n';
   }
-  return WriteStringToFile(path, body);
+  return body;
+}
+
+Status Vocabulary::Save(const std::string& path) const {
+  // Built in memory, then one durable write through the fault-injectable
+  // shim: a vocabulary is one logical artifact, so it lands wholly or not
+  // at all (modulo the torn-write fault tests rely on).
+  return WriteStringToFile(path, SerializeToString());
 }
 
 Result<Vocabulary> Vocabulary::Load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open for reading: " + path);
+  FKD_ASSIGN_OR_RETURN(const std::string content, ReadFileToString(path));
+  return Parse(content, path);
+}
+
+Result<Vocabulary> Vocabulary::Parse(std::string_view content,
+                                     const std::string& origin) {
   Vocabulary vocab;
-  std::string line;
   size_t line_number = 0;
-  while (std::getline(in, line)) {
+  size_t start = 0;
+  while (start <= content.size()) {
+    if (start == content.size()) break;
+    size_t end = content.find('\n', start);
+    if (end == std::string_view::npos) end = content.size();
+    const std::string line(content.substr(start, end - start));
+    start = end + 1;
     ++line_number;
     if (line.empty()) continue;
     const auto fields = Split(line, '\t');
     if (fields.size() != 2 || fields[0].empty()) {
       return Status::Corruption(
-          StrFormat("%s:%zu: expected 'token<TAB>frequency'", path.c_str(),
+          StrFormat("%s:%zu: expected 'token<TAB>frequency'", origin.c_str(),
                     line_number));
     }
     uint64_t frequency = 0;
     if (!ParseUint64(fields[1], &frequency)) {
       return Status::Corruption(
-          StrFormat("%s:%zu: bad frequency '%s'", path.c_str(), line_number,
+          StrFormat("%s:%zu: bad frequency '%s'", origin.c_str(), line_number,
                     fields[1].c_str()));
     }
     if (vocab.IdOf(fields[0]) != kUnknownId) {
       return Status::Corruption(
-          StrFormat("%s:%zu: duplicate token '%s'", path.c_str(), line_number,
+          StrFormat("%s:%zu: duplicate token '%s'", origin.c_str(), line_number,
                     fields[0].c_str()));
     }
     const int32_t id = vocab.Add(fields[0]);

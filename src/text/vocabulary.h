@@ -64,9 +64,18 @@ class Vocabulary {
   std::vector<int32_t> EncodePadded(const std::vector<std::string>& tokens,
                                     size_t max_length) const;
 
-  /// Text serialization: one "token<TAB>frequency" line per id.
+  /// Text serialization: one "token<TAB>frequency" line per id. Save is
+  /// SerializeToString landed durably; the string form feeds the
+  /// compressed cold tier.
+  std::string SerializeToString() const;
   Status Save(const std::string& path) const;
   static Result<Vocabulary> Load(const std::string& path);
+
+  /// Parses the Save format from an in-memory buffer (a decompressed
+  /// cold-tier block, an mmap'd view). `origin` labels error messages.
+  /// Load is this applied to the file's bytes.
+  static Result<Vocabulary> Parse(std::string_view content,
+                                  const std::string& origin);
 
  private:
   std::unordered_map<std::string, int32_t> token_to_id_;

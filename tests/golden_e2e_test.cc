@@ -131,6 +131,58 @@ std::vector<float> DirectProbabilities(const Snapshot& snapshot,
   return row;
 }
 
+/// Held-out-fold metrics served through a reloaded snapshot.
+eval::BinaryMetrics MetricsThroughSnapshot(const Snapshot& snapshot) {
+  const GoldenFixture& fixture = Fixture();
+  eval::ConfusionMatrix matrix(snapshot.num_classes);
+  for (int32_t id : fixture.test_articles) {
+    const data::Article& article = fixture.dataset.articles[id];
+    const Tensor logits =
+        snapshot.Score({article.text}, {article.creator}, {article.subjects});
+    int32_t predicted = 0;
+    for (size_t c = 1; c < logits.cols(); ++c) {
+      if (logits.At(0, c) > logits.At(0, predicted)) {
+        predicted = static_cast<int32_t>(c);
+      }
+    }
+    matrix.Add(eval::TargetOf(article.label, snapshot.granularity), predicted);
+  }
+  return eval::ComputeBinaryMetrics(matrix);
+}
+
+/// Quantized twins of the golden snapshot, exported once from the same
+/// trained detector: fp16 and int8 weights, both with the LZ-compressed
+/// cold tier (the production shape of a quantized artifact).
+struct QuantizedTwins {
+  std::string fp16_dir;
+  std::string int8_dir;
+};
+
+const QuantizedTwins& Twins() {
+  static QuantizedTwins* twins = [] {
+    const GoldenFixture& fixture = Fixture();
+    auto* t = new QuantizedTwins();
+    const std::string stem =
+        (std::filesystem::temp_directory_path() /
+         ("fkd_golden_quant_" + std::to_string(::getpid())))
+            .string();
+    t->fp16_dir = stem + "_fp16";
+    t->int8_dir = stem + "_int8";
+    std::filesystem::remove_all(t->fp16_dir);
+    std::filesystem::remove_all(t->int8_dir);
+    SnapshotOptions fp16;
+    fp16.weights_codec = nn::TensorCodec::kFp16;
+    fp16.cold_codec = BlockCodecId::kLz;
+    FKD_CHECK_OK(ExportSnapshot(fixture.detector, t->fp16_dir, fp16));
+    SnapshotOptions int8;
+    int8.weights_codec = nn::TensorCodec::kInt8;
+    int8.cold_codec = BlockCodecId::kLz;
+    FKD_CHECK_OK(ExportSnapshot(fixture.detector, t->int8_dir, int8));
+    return t;
+  }();
+  return *twins;
+}
+
 // ---- golden metrics ---------------------------------------------------------------
 
 // Baked from one run of this exact pipeline (seeds above). Exact equality
@@ -150,20 +202,7 @@ TEST(GoldenE2ETest, HeldOutMetricsMatchCheckedInGolden) {
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   const Snapshot& snapshot = loaded.value();
 
-  eval::ConfusionMatrix matrix(snapshot.num_classes);
-  for (int32_t id : fixture.test_articles) {
-    const data::Article& article = fixture.dataset.articles[id];
-    const Tensor logits =
-        snapshot.Score({article.text}, {article.creator}, {article.subjects});
-    int32_t predicted = 0;
-    for (size_t c = 1; c < logits.cols(); ++c) {
-      if (logits.At(0, c) > logits.At(0, predicted)) {
-        predicted = static_cast<int32_t>(c);
-      }
-    }
-    matrix.Add(eval::TargetOf(article.label, snapshot.granularity), predicted);
-  }
-  const eval::BinaryMetrics metrics = eval::ComputeBinaryMetrics(matrix);
+  const eval::BinaryMetrics metrics = MetricsThroughSnapshot(snapshot);
 
   EXPECT_DOUBLE_EQ(metrics.accuracy, kGoldenAccuracy);
   EXPECT_DOUBLE_EQ(metrics.precision, kGoldenPrecision);
@@ -309,6 +348,114 @@ TEST(GoldenE2ETest, ScoreArticlesBitwiseMatchesTapeBasedStepPath) {
         << threads << " thread(s)";
   }
   ThreadPool::ResetGlobal(0);
+}
+
+// ---- quantized twins: accuracy lock + determinism ---------------------------------
+
+// The accuracy gate of the quantization harness: the same trained model,
+// exported at fp16 and int8, served end to end from disk. fp16 perturbs
+// this model too little to move a single argmax on the held-out fold, so
+// its metrics are locked to the fp32 golden constants EXACTLY; int8 is
+// held to a small delta gate on accuracy and F1.
+TEST(GoldenE2ETest, QuantizedTwinsHoldTheAccuracyGate) {
+  const QuantizedTwins& twins = Twins();
+
+  auto fp16 = LoadSnapshot(twins.fp16_dir);
+  ASSERT_TRUE(fp16.ok()) << fp16.status().ToString();
+  const eval::BinaryMetrics fp16_metrics = MetricsThroughSnapshot(fp16.value());
+  EXPECT_DOUBLE_EQ(fp16_metrics.accuracy, kGoldenAccuracy);
+  EXPECT_DOUBLE_EQ(fp16_metrics.precision, kGoldenPrecision);
+  EXPECT_DOUBLE_EQ(fp16_metrics.recall, kGoldenRecall);
+  EXPECT_DOUBLE_EQ(fp16_metrics.f1, kGoldenF1);
+
+  auto int8 = LoadSnapshot(twins.int8_dir);
+  ASSERT_TRUE(int8.ok()) << int8.status().ToString();
+  const eval::BinaryMetrics int8_metrics = MetricsThroughSnapshot(int8.value());
+  EXPECT_NEAR(int8_metrics.accuracy, kGoldenAccuracy, 0.05);
+  EXPECT_NEAR(int8_metrics.f1, kGoldenF1, 0.05);
+  // A quantized model must still clearly beat coin-flipping.
+  EXPECT_GT(int8_metrics.accuracy, 0.6);
+}
+
+// Dequantisation is one deterministic element-wise path, so a quantized
+// snapshot served at 1 and at 4 intra-op threads — and across independent
+// loads — produces bitwise identical probabilities.
+TEST(GoldenE2ETest, QuantizedServingIsBitwiseReproducible) {
+  const GoldenFixture& fixture = Fixture();
+  const QuantizedTwins& twins = Twins();
+  for (const std::string& dir : {twins.fp16_dir, twins.int8_dir}) {
+    auto first = LoadSnapshot(dir);
+    auto second = LoadSnapshot(dir);
+    ASSERT_TRUE(first.ok() && second.ok());
+
+    const size_t sample = std::min<size_t>(fixture.test_articles.size(), 6);
+    for (size_t i = 0; i < sample; ++i) {
+      const data::Article& article =
+          fixture.dataset.articles[fixture.test_articles[i]];
+      ThreadPool::ResetGlobal(1);
+      const std::vector<float> one =
+          DirectProbabilities(first.value(), article);
+      ThreadPool::ResetGlobal(4);
+      const std::vector<float> four =
+          DirectProbabilities(first.value(), article);
+      const std::vector<float> reloaded =
+          DirectProbabilities(second.value(), article);
+      ThreadPool::ResetGlobal(0);
+      ASSERT_EQ(one.size(), four.size());
+      for (size_t c = 0; c < one.size(); ++c) {
+        EXPECT_EQ(one[c], four[c]) << dir << " thread-count drift, class " << c;
+        EXPECT_EQ(one[c], reloaded[c]) << dir << " reload drift, class " << c;
+      }
+    }
+  }
+}
+
+// ---- storage gate -----------------------------------------------------------------
+
+uintmax_t DirectoryBytes(const std::string& directory) {
+  uintmax_t total = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory)) {
+    if (entry.is_regular_file()) total += entry.file_size();
+  }
+  return total;
+}
+
+// Size regression gate (also registered as the `storage_gate` ctest): the
+// quantized artifacts must deliver their bytes. The weights container —
+// what quantization actually targets — is held to the hard int8 ≤ 30% /
+// fp16 ≤ 55% ratios. Whole-directory totals (config, labels, manifest,
+// compressed cold tier) get two points of slack: the golden model is tiny,
+// so the fixed per-snapshot metadata footprint is proportionally large,
+// and on production-sized models the directory ratio converges to the
+// weights ratio.
+TEST(StorageGateTest, QuantizedSnapshotsShrinkAsAdvertised) {
+  const GoldenFixture& fixture = Fixture();
+  const QuantizedTwins& twins = Twins();
+
+  const uintmax_t fp32_weights =
+      std::filesystem::file_size(fixture.snapshot_dir + "/weights.fkdw");
+  const uintmax_t fp16_weights =
+      std::filesystem::file_size(twins.fp16_dir + "/weights.fkdw");
+  const uintmax_t int8_weights =
+      std::filesystem::file_size(twins.int8_dir + "/weights.fkdw");
+  ASSERT_GT(fp32_weights, 0u);
+  EXPECT_LE(fp16_weights, fp32_weights * 55 / 100)
+      << "fp16 weights are " << fp16_weights << " of " << fp32_weights
+      << " fp32 bytes";
+  EXPECT_LE(int8_weights, fp32_weights * 30 / 100)
+      << "int8 weights are " << int8_weights << " of " << fp32_weights
+      << " fp32 bytes";
+
+  const uintmax_t fp32_bytes = DirectoryBytes(fixture.snapshot_dir);
+  const uintmax_t fp16_bytes = DirectoryBytes(twins.fp16_dir);
+  const uintmax_t int8_bytes = DirectoryBytes(twins.int8_dir);
+  EXPECT_LE(fp16_bytes, fp32_bytes * 57 / 100)
+      << "fp16 snapshot is " << fp16_bytes << " of " << fp32_bytes
+      << " fp32 bytes";
+  EXPECT_LE(int8_bytes, fp32_bytes * 32 / 100)
+      << "int8 snapshot is " << int8_bytes << " of " << fp32_bytes
+      << " fp32 bytes";
 }
 
 }  // namespace

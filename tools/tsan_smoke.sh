@@ -17,8 +17,12 @@
 # multi-connection load generator under TSan; NetClient*/NetChaos* add the
 # resilient client's I/O thread (submitters racing retries/hedges/timeouts)
 # and the fault-injected socket paths, and Quarantine* races the health
-# monitor's quarantine/reinstate transitions against live Submits. Any data
-# race aborts the run with a non-zero exit code.
+# monitor's quarantine/reinstate transitions against live Submits. The
+# Quant*/Tier* suites cover the quantized codecs and the compressed cold
+# tier (including the 1-vs-4-thread determinism cases), and Budget* the
+# memory-budgeted store's demote/promote transitions — including the
+# hot-swap stress replayed under a tight budget. Any data race aborts the
+# run with a non-zero exit code.
 #
 #   tools/tsan_smoke.sh [build-dir]   (default: build-tsan next to the repo root)
 
@@ -36,12 +40,12 @@ cmake -B "${BUILD_DIR}" -S "${REPO_ROOT}" \
 
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target serve_test text_test fault_test crash_test compute_test \
-           cache_test router_test obs_test net_test common_test
+           cache_test router_test obs_test net_test common_test quant_test
 
 # halt_on_error: fail the job on the first race instead of logging past it.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 
 ctest --test-dir "${BUILD_DIR}" --output-on-failure \
-  -R '^(Serve|Router|Store|Cache|ConsistentHash|Fault|Crash|ThreadPool|Compute|Histogram|FlightRecorder|StatsExporter|Net|LoadGen|Quarantine|RetryPolicy|HedgeTracker|Clock|RegistryTest\.Concurrent|VocabularyTest\.ConstLookups)'
+  -R '^(Serve|Router|Store|Cache|ConsistentHash|Fault|Crash|ThreadPool|Compute|Histogram|FlightRecorder|StatsExporter|Net|LoadGen|Quarantine|Quant|Tier|Budget|RetryPolicy|HedgeTracker|Clock|RegistryTest\.Concurrent|VocabularyTest\.ConstLookups)'
 
 echo "tsan smoke: OK"
